@@ -1,0 +1,99 @@
+// Reproduces paper Figure 4: DIRECT FEASIBILITY TEST (DFT) vs ADM on tiny
+// complete graphs, inside Prim's algorithm.
+//  (a) DFT consistently needs fewer oracle calls than ADM (paper: 27-58%),
+//  (b) but its running time explodes with the graph size (paper: hours for
+//      a few hundred edges; our from-scratch simplex replaces CPLEX, see
+//      DESIGN.md, so absolute times differ while the blow-up shape holds).
+//
+// Flags: --sizes=8,10,12  --seed=42   (n=14 adds ~a minute of LP time)
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/prim.h"
+#include "bench/common.h"
+#include "harness/flags.h"
+#include "harness/table.h"
+
+namespace {
+
+std::vector<metricprox::ObjectId> ParseSizes(const std::string& csv) {
+  std::vector<metricprox::ObjectId> sizes;
+  std::stringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    sizes.push_back(static_cast<metricprox::ObjectId>(std::stoul(token)));
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace metricprox;
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<ObjectId> sizes =
+      ParseSizes(flags->GetString("sizes", "8,10,12"));
+  const uint64_t seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  if (const Status s = flags->FailOnUnused(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table({"# of Edges", "Without Plug", "ADM calls",
+                      "ADM-tight calls", "DFT calls", "DFT save vs ADM (%)",
+                      "ADM time (s)", "DFT time (s)"});
+  // Lazy-key Prim: every decision is a two-unknown comparison, the paper's
+  // general IF-statement form.
+  const Workload workload = [](BoundedResolver* resolver) {
+    return PrimMstLazy(resolver).total_weight;
+  };
+  for (const ObjectId n : sizes) {
+    Dataset dataset =
+        MakeClusteredEuclidean(n, 2, /*num_clusters=*/3, /*spread=*/0.04, seed);
+
+    auto run = [&](SchemeKind scheme) {
+      WorkloadConfig config;
+      config.scheme = scheme;
+      config.max_distance = dataset.max_distance;
+      config.seed = seed;
+      return RunWorkload(dataset.oracle.get(), config, workload);
+    };
+    const WorkloadResult none = run(SchemeKind::kNone);
+    const WorkloadResult adm_classic = run(SchemeKind::kAdmClassic);
+    const WorkloadResult adm_tight = run(SchemeKind::kAdm);
+    const WorkloadResult dft = run(SchemeKind::kDft);
+    benchutil::CheckSameResult(none.value, adm_classic.value, "fig4 adm");
+    benchutil::CheckSameResult(none.value, adm_tight.value, "fig4 adm-tight");
+    benchutil::CheckSameResult(none.value, dft.value, "fig4 dft");
+
+    table.NewRow()
+        .AddUint(benchutil::PairCount(n))
+        .AddUint(none.total_calls)
+        .AddUint(adm_classic.total_calls)
+        .AddUint(adm_tight.total_calls)
+        .AddUint(dft.total_calls)
+        .AddPercent(
+            SaveFraction(dft.total_calls, adm_classic.total_calls))
+        .AddDouble(adm_classic.wall_seconds, 4)
+        .AddDouble(dft.wall_seconds, 4);
+  }
+  table.Print(
+      "Figure 4 — DFT vs ADM inside (lazy-key) Prim's algorithm "
+      "(clustered Euclidean, 3 tight clusters)");
+  std::printf(
+      "\nNotes. \"ADM\" uses the classical incremental matrix updates, "
+      "whose lower bounds go stale — the headroom DFT exploits (Fig 4a's "
+      "save-up). \"ADM-tight\" recomputes the tightest wrap bound per "
+      "query; DFT can only beat it through joint two-variable reasoning, "
+      "which our measurements show is rare (see EXPERIMENTS.md). DFT time "
+      "grows superlinearly in the edge count — the paper's scalability "
+      "wall (4b); our from-scratch simplex stands in for CPLEX.\n");
+  return 0;
+}

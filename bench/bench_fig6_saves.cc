@@ -1,0 +1,62 @@
+// Reproduces paper Figure 6: oracle-call save-ups of the Tri Scheme inside
+// four proximity workloads, growing with dataset size.
+//  (a) Kruskal's MST on UrbanGB-like,
+//  (b) KNNrp-style k-NN graph construction (k = 5) on UrbanGB-like,
+//  (c) PAM (l = 10) on UrbanGB-like,
+//  (d) PAM (l = 10) on SF-POI-like.
+//
+// Flags: --seed=42  --big=true (adds one larger size per sub-figure)
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "harness/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace metricprox;
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  const bool big = flags->GetBool("big", false);
+  if (const Status s = flags->FailOnUnused(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<ObjectId> mst_sizes = {128, 256, 512};
+  std::vector<ObjectId> knn_sizes = {128, 256, 512};
+  std::vector<ObjectId> pam_sizes = {64, 128, 256};
+  if (big) {
+    mst_sizes.push_back(1024);
+    knn_sizes.push_back(1024);
+    pam_sizes.push_back(384);
+  }
+
+  const auto urbangb = [](ObjectId n, uint64_t s) {
+    return MakeUrbanGbLike(n, s);
+  };
+  const auto sf = [](ObjectId n, uint64_t s) { return MakeSfPoiLike(n, s); };
+
+  benchutil::RunCallCountSweep(
+      "Figure 6a — Kruskal's algorithm distance save-up (UrbanGB-like)",
+      urbangb, [](ObjectId) { return benchutil::KruskalWorkload(); },
+      mst_sizes, seed);
+
+  benchutil::RunCallCountSweep(
+      "Figure 6b — KNNrp (k=5) distance save-up (UrbanGB-like)", urbangb,
+      [](ObjectId) { return benchutil::KnnWorkload(5); }, knn_sizes, seed);
+
+  benchutil::RunCallCountSweep(
+      "Figure 6c — PAM (l=10) distance calls vs size (UrbanGB-like)",
+      urbangb, [](ObjectId) { return benchutil::PamWorkload(10); },
+      pam_sizes, seed);
+
+  benchutil::RunCallCountSweep(
+      "Figure 6d — PAM (l=10) distance calls vs size (SF-POI-like)", sf,
+      [](ObjectId) { return benchutil::PamWorkload(10); }, pam_sizes, seed);
+  return 0;
+}

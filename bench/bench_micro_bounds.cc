@@ -1,0 +1,168 @@
+// Google-benchmark microbenchmarks for the per-operation costs behind
+// Figure 3c: a single bound query / update under each scheme, plus the
+// graph and Dijkstra substrate operations they decompose into.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+#include "bounds/adm.h"
+#include "bounds/laesa.h"
+#include "bounds/pivots.h"
+#include "bounds/splub.h"
+#include "bounds/tlaesa.h"
+#include "bounds/tri.h"
+#include "bounds/resolver.h"
+#include "bounds/scheme.h"
+#include "data/datasets.h"
+#include "graph/dijkstra.h"
+
+namespace metricprox {
+namespace {
+
+constexpr ObjectId kN = 256;
+
+// Shared fixture state: an SF-like dataset with ~8% of pairs resolved.
+struct Fixture {
+  Fixture() : dataset(MakeSfPoiLike(kN, 42)), graph(kN) {
+    BoundedResolver resolver(dataset.oracle.get(), &graph);
+    BootstrapWithLandmarks(&resolver, DefaultNumLandmarks(kN), 1);
+    std::mt19937_64 rng(2);
+    while (graph.num_edges() <
+           static_cast<size_t>(kN) * (kN - 1) / 2 / 12) {
+      const ObjectId i = static_cast<ObjectId>(rng() % kN);
+      const ObjectId j = static_cast<ObjectId>(rng() % kN);
+      if (i == j || graph.Has(i, j)) continue;
+      resolver.Distance(i, j);
+    }
+  }
+
+  std::pair<ObjectId, ObjectId> RandomUnknownPair(std::mt19937_64* rng) const {
+    while (true) {
+      const ObjectId i = static_cast<ObjectId>((*rng)() % kN);
+      const ObjectId j = static_cast<ObjectId>((*rng)() % kN);
+      if (i != j && !graph.Has(i, j)) return {i, j};
+    }
+  }
+
+  Dataset dataset;
+  PartialDistanceGraph graph;
+};
+
+Fixture& SharedFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_TriBoundsQuery(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  TriBounder tri(&f.graph);
+  std::mt19937_64 rng(3);
+  for (auto _ : state) {
+    const auto [i, j] = f.RandomUnknownPair(&rng);
+    benchmark::DoNotOptimize(tri.Bounds(i, j));
+  }
+}
+BENCHMARK(BM_TriBoundsQuery);
+
+void BM_SplubBoundsQuery(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  SplubBounder splub(&f.graph);
+  std::mt19937_64 rng(4);
+  for (auto _ : state) {
+    const auto [i, j] = f.RandomUnknownPair(&rng);
+    benchmark::DoNotOptimize(splub.Bounds(i, j));
+  }
+}
+BENCHMARK(BM_SplubBoundsQuery);
+
+void BM_AdmBoundsQuery(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  static AdmBounder* adm = new AdmBounder(&f.graph);  // O(n^2 m) build, once
+  std::mt19937_64 rng(5);
+  for (auto _ : state) {
+    const auto [i, j] = f.RandomUnknownPair(&rng);
+    benchmark::DoNotOptimize(adm->Bounds(i, j));
+  }
+}
+BENCHMARK(BM_AdmBoundsQuery);
+
+void BM_AdmUpdate(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  AdmBounder adm(&f.graph);
+  std::mt19937_64 rng(6);
+  for (auto _ : state) {
+    const auto [i, j] = f.RandomUnknownPair(&rng);
+    // Measures the O(n^2) relaxation pass; the value is synthetic but
+    // valid (below any existing upper bound path or not — both realistic).
+    adm.OnEdgeResolved(i, j, 1.0);
+  }
+}
+BENCHMARK(BM_AdmUpdate);
+
+void BM_LaesaBoundsQuery(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  static std::unique_ptr<LaesaBounder> laesa = LaesaBounder::Build(
+      kN, DefaultNumLandmarks(kN),
+      [&](ObjectId a, ObjectId b) { return f.dataset.oracle->Distance(a, b); },
+      7);
+  std::mt19937_64 rng(8);
+  for (auto _ : state) {
+    const auto [i, j] = f.RandomUnknownPair(&rng);
+    benchmark::DoNotOptimize(laesa->Bounds(i, j));
+  }
+}
+BENCHMARK(BM_LaesaBoundsQuery);
+
+void BM_TlaesaBoundsQuery(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  static std::unique_ptr<TlaesaBounder> tlaesa = [] {
+    Fixture& fx = SharedFixture();
+    TlaesaBounder::Options options;
+    options.seed = 9;
+    return TlaesaBounder::Build(kN, options, [&fx](ObjectId a, ObjectId b) {
+      return fx.dataset.oracle->Distance(a, b);
+    });
+  }();
+  std::mt19937_64 rng(10);
+  for (auto _ : state) {
+    const auto [i, j] = f.RandomUnknownPair(&rng);
+    benchmark::DoNotOptimize(tlaesa->Bounds(i, j));
+  }
+}
+BENCHMARK(BM_TlaesaBoundsQuery);
+
+void BM_GraphInsertAndLookup(benchmark::State& state) {
+  std::mt19937_64 rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PartialDistanceGraph graph(kN);
+    state.ResumeTiming();
+    for (int e = 0; e < 512; ++e) {
+      const ObjectId i = static_cast<ObjectId>(rng() % kN);
+      const ObjectId j = static_cast<ObjectId>(rng() % kN);
+      if (i == j || graph.Has(i, j)) continue;
+      graph.Insert(i, j, 1.0);
+    }
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_GraphInsertAndLookup);
+
+void BM_DijkstraOverPartialGraph(benchmark::State& state) {
+  Fixture& f = SharedFixture();
+  DijkstraSolver solver(kN);
+  std::vector<double> out;
+  std::mt19937_64 rng(12);
+  for (auto _ : state) {
+    solver.Solve(f.graph, static_cast<ObjectId>(rng() % kN), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DijkstraOverPartialGraph);
+
+}  // namespace
+}  // namespace metricprox
+
+BENCHMARK_MAIN();

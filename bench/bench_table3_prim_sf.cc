@@ -1,0 +1,52 @@
+// Reproduces paper Table 3: expensive oracle-call counts for Prim's
+// algorithm on the SF-POI-like road-network dataset (same columns as
+// Table 2 / bench_table2_prim_urbangb).
+//
+// Flags: --sizes=64,128,256,512,1024   --seed=42
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "harness/flags.h"
+
+namespace {
+
+std::vector<metricprox::ObjectId> ParseSizes(const std::string& csv) {
+  std::vector<metricprox::ObjectId> sizes;
+  std::stringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    sizes.push_back(static_cast<metricprox::ObjectId>(std::stoul(token)));
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = metricprox::Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<metricprox::ObjectId> sizes =
+      ParseSizes(flags->GetString("sizes", "64,128,256,512,1024"));
+  const uint64_t seed = static_cast<uint64_t>(flags->GetInt("seed", 42));
+  const metricprox::Status unused = flags->FailOnUnused();
+  if (!unused.ok()) {
+    std::fprintf(stderr, "%s\n", unused.ToString().c_str());
+    return 1;
+  }
+
+  metricprox::benchutil::RunPrimOracleCallTable(
+      "Table 3 — SF-POI-like [oracle call count], Prim's algorithm, "
+      "k = log2(n)",
+      [](metricprox::ObjectId n, uint64_t s) {
+        return metricprox::MakeSfPoiLike(n, s);
+      },
+      sizes, seed);
+  return 0;
+}

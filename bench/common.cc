@@ -1,0 +1,222 @@
+#include "bench/common.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "algo/clarans.h"
+#include "bounds/pivots.h"
+#include "harness/table.h"
+#include "algo/knn_graph.h"
+#include "algo/kruskal.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "core/logging.h"
+
+namespace metricprox {
+namespace benchutil {
+
+Workload PrimWorkload() {
+  return [](BoundedResolver* resolver) {
+    return PrimMst(resolver).total_weight;
+  };
+}
+
+Workload KruskalWorkload() {
+  return [](BoundedResolver* resolver) {
+    return KruskalMst(resolver).total_weight;
+  };
+}
+
+Workload KnnWorkload(uint32_t k) {
+  return [k](BoundedResolver* resolver) {
+    const KnnGraph graph = BuildKnnGraph(resolver, KnnGraphOptions{k});
+    double checksum = 0.0;
+    for (const auto& neighbors : graph) {
+      for (const KnnNeighbor& nb : neighbors) checksum += nb.distance;
+    }
+    return checksum;
+  };
+}
+
+Workload PamWorkload(uint32_t num_medoids) {
+  return [num_medoids](BoundedResolver* resolver) {
+    PamOptions options;
+    options.num_medoids = num_medoids;
+    return PamCluster(resolver, options).total_deviation;
+  };
+}
+
+Workload ClaransWorkload(uint32_t num_medoids, uint64_t seed) {
+  return [num_medoids, seed](BoundedResolver* resolver) {
+    ClaransOptions options;
+    options.num_medoids = num_medoids;
+    options.seed = seed;
+    return ClaransCluster(resolver, options).total_deviation;
+  };
+}
+
+std::vector<SchemeRow> StandardSchemes(uint64_t seed) {
+  std::vector<SchemeRow> rows;
+  {
+    WorkloadConfig config;
+    config.scheme = SchemeKind::kNone;
+    config.seed = seed;
+    rows.push_back({"without-plug", config});
+  }
+  {
+    WorkloadConfig config;
+    config.scheme = SchemeKind::kTri;
+    config.seed = seed;
+    rows.push_back({"ts-nb", config});
+  }
+  {
+    WorkloadConfig config;
+    config.scheme = SchemeKind::kTri;
+    config.bootstrap = true;
+    config.seed = seed;
+    rows.push_back({"tri", config});
+  }
+  {
+    WorkloadConfig config;
+    config.scheme = SchemeKind::kLaesa;
+    config.seed = seed;
+    rows.push_back({"laesa", config});
+  }
+  {
+    WorkloadConfig config;
+    config.scheme = SchemeKind::kTlaesa;
+    config.seed = seed;
+    rows.push_back({"tlaesa", config});
+  }
+  return rows;
+}
+
+void CheckSameResult(double a, double b, const std::string& context) {
+  const double tolerance = 1e-6 * (1.0 + std::abs(a));
+  CHECK_LE(std::abs(a - b), tolerance)
+      << "exactness violated in " << context << ": " << a << " vs " << b;
+}
+
+void RunCallCountSweep(
+    const std::string& title,
+    const std::function<Dataset(ObjectId, uint64_t)>& make_dataset,
+    const std::function<Workload(ObjectId)>& make_workload,
+    const std::vector<ObjectId>& sizes, uint64_t seed) {
+  TablePrinter table({"n", "# pairs", "Without Plug", "Tri Scheme",
+                      "save vs w/o (%)", "LAESA", "save (%)", "TLAESA",
+                      "save (%)"});
+  for (const ObjectId n : sizes) {
+    Dataset dataset = make_dataset(n, seed);
+    const Workload workload = make_workload(n);
+    auto run = [&](SchemeKind scheme, bool bootstrap) {
+      WorkloadConfig config;
+      config.scheme = scheme;
+      config.bootstrap = bootstrap;
+      config.seed = seed;
+      return RunWorkload(dataset.oracle.get(), config, workload);
+    };
+    const WorkloadResult without = run(SchemeKind::kNone, false);
+    const WorkloadResult tri = run(SchemeKind::kTri, true);
+    const WorkloadResult laesa = run(SchemeKind::kLaesa, false);
+    const WorkloadResult tlaesa = run(SchemeKind::kTlaesa, false);
+    for (const WorkloadResult* r : {&tri, &laesa, &tlaesa}) {
+      CheckSameResult(without.value, r->value, title);
+    }
+    table.NewRow()
+        .AddUint(n)
+        .AddUint(PairCount(n))
+        .AddUint(without.total_calls)
+        .AddUint(tri.total_calls)
+        .AddPercent(SaveFraction(tri.total_calls, without.total_calls))
+        .AddUint(laesa.total_calls)
+        .AddPercent(SaveFraction(tri.total_calls, laesa.total_calls))
+        .AddUint(tlaesa.total_calls)
+        .AddPercent(SaveFraction(tri.total_calls, tlaesa.total_calls));
+  }
+  table.Print(title);
+  std::printf("\n");
+}
+
+BestBaselineResult RunBestLandmarkBaseline(DistanceOracle* oracle,
+                                           SchemeKind scheme,
+                                           const Workload& workload,
+                                           uint64_t seed) {
+  // The paper compares against "the empirically found best (lowest) count
+  // for distance calls in LAESA and TLAESA": sweep multiples of log2(n)
+  // and keep the cheapest run.
+  const uint32_t base = DefaultNumLandmarks(oracle->num_objects());
+  BestBaselineResult best;
+  bool first = true;
+  for (const uint32_t k :
+       {base / 2 > 0 ? base / 2 : 1, base, 2 * base, 3 * base, 4 * base}) {
+    WorkloadConfig config;
+    config.scheme = scheme;
+    config.num_landmarks = k;
+    config.seed = seed;
+    WorkloadResult result = RunWorkload(oracle, config, workload);
+    if (first || result.total_calls < best.result.total_calls) {
+      best.result = std::move(result);
+      best.num_landmarks = k;
+      first = false;
+    }
+  }
+  return best;
+}
+
+void RunPrimOracleCallTable(
+    const std::string& title,
+    const std::function<Dataset(ObjectId, uint64_t)>& make_dataset,
+    const std::vector<ObjectId>& sizes, uint64_t seed) {
+  TablePrinter table({"# of Edges", "Without Plug", "TS-NB", "Bootstrap",
+                      "Tri Scheme (k)", "LAESA (k)", "Save (%)", "TLAESA (k)",
+                      "Save (%)"});
+  const Workload workload = PrimWorkload();
+  for (const ObjectId n : sizes) {
+    Dataset dataset = make_dataset(n, seed);
+    const uint32_t landmarks = DefaultNumLandmarks(n);
+
+    auto run = [&](SchemeKind scheme, bool bootstrap) {
+      WorkloadConfig config;
+      config.scheme = scheme;
+      config.bootstrap = bootstrap;
+      config.num_landmarks = landmarks;
+      config.seed = seed;
+      return RunWorkload(dataset.oracle.get(), config, workload);
+    };
+
+    const WorkloadResult without = run(SchemeKind::kNone, false);
+    const WorkloadResult ts_nb = run(SchemeKind::kTri, false);
+    const WorkloadResult tri = run(SchemeKind::kTri, true);
+    const BestBaselineResult laesa = RunBestLandmarkBaseline(
+        dataset.oracle.get(), SchemeKind::kLaesa, workload, seed);
+    const BestBaselineResult tlaesa = RunBestLandmarkBaseline(
+        dataset.oracle.get(), SchemeKind::kTlaesa, workload, seed);
+    for (const WorkloadResult* r :
+         {&ts_nb, &tri, &laesa.result, &tlaesa.result}) {
+      CheckSameResult(without.value, r->value, "prim table");
+    }
+
+    auto with_k = [](const WorkloadResult& r, uint32_t k) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%llu (%u)",
+                    static_cast<unsigned long long>(r.total_calls), k);
+      return std::string(buf);
+    };
+
+    table.NewRow()
+        .AddUint(PairCount(n))
+        .AddUint(without.total_calls)
+        .AddUint(ts_nb.total_calls)
+        .AddUint(tri.construction_calls)
+        .AddCell(with_k(tri, landmarks))
+        .AddCell(with_k(laesa.result, laesa.num_landmarks))
+        .AddPercent(SaveFraction(tri.total_calls, laesa.result.total_calls))
+        .AddCell(with_k(tlaesa.result, tlaesa.num_landmarks))
+        .AddPercent(
+            SaveFraction(tri.total_calls, tlaesa.result.total_calls));
+  }
+  table.Print(title);
+}
+
+}  // namespace benchutil
+}  // namespace metricprox

@@ -1,0 +1,76 @@
+#ifndef METRICPROX_BENCH_COMMON_H_
+#define METRICPROX_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/datasets.h"
+#include "harness/experiment.h"
+
+namespace metricprox {
+namespace benchutil {
+
+/// n*(n-1)/2 — the "# of Edges" column of the paper's tables.
+inline uint64_t PairCount(ObjectId n) {
+  return static_cast<uint64_t>(n) * (n - 1) / 2;
+}
+
+/// Ready-made workloads (checksum = MST weight / total deviation / k-NN
+/// distance sum) so every bench can assert scheme-independence of results.
+Workload PrimWorkload();
+Workload KruskalWorkload();
+Workload KnnWorkload(uint32_t k);
+Workload PamWorkload(uint32_t num_medoids);
+Workload ClaransWorkload(uint32_t num_medoids, uint64_t seed);
+
+/// A labelled scheme configuration (one column/row of a paper table).
+struct SchemeRow {
+  std::string label;
+  WorkloadConfig config;
+};
+
+/// The paper's standard comparison set: Without Plug, TS-NB (Tri without
+/// bootstrap), Tri Scheme (bootstrapped), LAESA, TLAESA.
+std::vector<SchemeRow> StandardSchemes(uint64_t seed = 42);
+
+/// CHECK-fails if two workload checksums disagree beyond fp tolerance —
+/// every bench verifies the exactness invariant as a side effect.
+void CheckSameResult(double a, double b, const std::string& context);
+
+/// A landmark-baseline run at its empirically best landmark count (the
+/// paper's methodology for the LAESA/TLAESA columns).
+struct BestBaselineResult {
+  WorkloadResult result;
+  uint32_t num_landmarks = 0;
+};
+
+/// Runs `scheme` (LAESA or TLAESA) over a sweep of landmark counts
+/// (multiples of log2 n) and returns the cheapest run in oracle calls.
+BestBaselineResult RunBestLandmarkBaseline(DistanceOracle* oracle,
+                                           SchemeKind scheme,
+                                           const Workload& workload,
+                                           uint64_t seed);
+
+/// Emits a generic oracle-call-count sweep: one row per size with columns
+/// WithoutPlug / Tri (bootstrapped) / LAESA / TLAESA plus save percentages
+/// (k = ceil(log2 n) landmarks everywhere). Used by the Figure 6/7 benches.
+void RunCallCountSweep(
+    const std::string& title,
+    const std::function<Dataset(ObjectId, uint64_t)>& make_dataset,
+    const std::function<Workload(ObjectId)>& make_workload,
+    const std::vector<ObjectId>& sizes, uint64_t seed);
+
+/// Emits a Table-2/3-style oracle-call-count table for Prim's algorithm:
+/// one row per size, columns WithoutPlug / TS-NB / Bootstrap / TriScheme /
+/// LAESA / Save% / TLAESA / Save%, with k = ceil(log2 n) landmarks.
+void RunPrimOracleCallTable(
+    const std::string& title,
+    const std::function<Dataset(ObjectId, uint64_t)>& make_dataset,
+    const std::vector<ObjectId>& sizes, uint64_t seed);
+
+}  // namespace benchutil
+}  // namespace metricprox
+
+#endif  // METRICPROX_BENCH_COMMON_H_

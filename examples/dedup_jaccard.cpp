@@ -1,0 +1,102 @@
+// Scenario: near-duplicate detection over tag/shingle sets under Jaccard
+// distance — the classical record-linkage workload. A similarity self-join
+// with radius r finds every pair at Jaccard distance <= r; the Tri Scheme
+// discards far pairs without evaluating their (expensive, for real
+// documents) set intersection.
+//
+//   $ ./dedup_jaccard --n=400 --radius=0.35
+
+#include <cstdio>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "algo/join.h"
+#include "bounds/pivots.h"
+#include "bounds/resolver.h"
+#include "bounds/scheme.h"
+#include "harness/flags.h"
+#include "oracle/set_oracle.h"
+
+namespace {
+
+// Documents as shingle-id sets: a few templates, each instance a mutated
+// copy (drop/add a few elements) — duplicates share most shingles.
+std::vector<std::vector<uint32_t>> MakeDocuments(uint32_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const uint32_t kTemplates = 24;
+  const uint32_t kUniverse = 4000;
+  const uint32_t kSetSize = 60;
+
+  std::vector<std::vector<uint32_t>> templates(kTemplates);
+  for (auto& t : templates) {
+    std::set<uint32_t> s;
+    while (s.size() < kSetSize) s.insert(rng() % kUniverse);
+    t.assign(s.begin(), s.end());
+  }
+  std::set<std::vector<uint32_t>> seen;
+  std::vector<std::vector<uint32_t>> docs;
+  while (docs.size() < n) {
+    const auto& base = templates[rng() % kTemplates];
+    std::set<uint32_t> s(base.begin(), base.end());
+    const uint32_t edits = 1 + rng() % 8;
+    for (uint32_t e = 0; e < edits; ++e) {
+      if (rng() % 2 == 0 && s.size() > 8) {
+        auto it = s.begin();
+        std::advance(it, rng() % s.size());
+        s.erase(it);
+      } else {
+        s.insert(rng() % kUniverse);
+      }
+    }
+    std::vector<uint32_t> doc(s.begin(), s.end());
+    if (seen.insert(doc).second) docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace metricprox;
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const ObjectId n = static_cast<ObjectId>(flags->GetInt("n", 400));
+  const double radius = flags->GetDouble("radius", 0.35);
+  if (const Status s = flags->FailOnUnused(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  JaccardOracle oracle(MakeDocuments(n, 77));
+  PartialDistanceGraph graph(n);
+  BoundedResolver resolver(&oracle, &graph);
+  BootstrapWithLandmarks(&resolver, DefaultNumLandmarks(n), 5);
+  SchemeOptions options;
+  auto scheme = MakeAndAttachScheme(SchemeKind::kTri, &resolver, options);
+  if (!scheme.ok()) {
+    std::fprintf(stderr, "%s\n", scheme.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto matches = SimilarityJoin(&resolver, radius);
+
+  const uint64_t all_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  std::printf("%u documents, Jaccard radius %.2f: %zu near-duplicate "
+              "pairs\n",
+              n, radius, matches.size());
+  std::printf("set intersections evaluated: %llu of %llu (%.1f%% skipped "
+              "via triangle pruning)\n",
+              static_cast<unsigned long long>(resolver.stats().oracle_calls),
+              static_cast<unsigned long long>(all_pairs),
+              100.0 * (1.0 - static_cast<double>(resolver.stats().oracle_calls) /
+                                 static_cast<double>(all_pairs)));
+  for (size_t m = 0; m < matches.size() && m < 5; ++m) {
+    std::printf("  e.g. documents %u and %u at distance %.3f\n",
+                matches[m].u, matches[m].v, matches[m].weight);
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Scenario: build a minimum spanning tree over points of interest whose
+// pairwise distances come from a routing service (simulated here by a
+// synthetic road network — each oracle call is one "API request", billed
+// at a configurable latency). This is the paper's motivating application:
+// with a 1.2 s round-trip per request, saving half the calls saves hours.
+//
+//   $ ./poi_mst --n=300 --api-latency=1.2
+
+#include <cstdio>
+#include <tuple>
+
+#include "algo/prim.h"
+#include "bounds/resolver.h"
+#include "bounds/pivots.h"
+#include "bounds/scheme.h"
+#include "data/datasets.h"
+#include "harness/flags.h"
+#include "harness/table.h"
+#include "oracle/wrappers.h"
+
+int main(int argc, char** argv) {
+  using namespace metricprox;
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  const ObjectId n = static_cast<ObjectId>(flags->GetInt("n", 300));
+  const double latency = flags->GetDouble("api-latency", 1.2);
+  if (const Status s = flags->FailOnUnused(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // A city's POIs pinned to a road network; distances are shortest paths
+  // over it (a genuine metric, like driving distances).
+  Dataset city = MakeSfPoiLike(n, /*seed=*/2024);
+  std::printf("Dataset: %u POIs on a synthetic road network; each distance "
+              "lookup simulates a %.1f s API round-trip.\n\n",
+              n, latency);
+
+  TablePrinter table(
+      {"scheme", "API calls", "simulated API hours", "MST weight"});
+  for (const auto& [label, scheme, bootstrap] :
+       {std::tuple<const char*, SchemeKind, bool>{"without-plug",
+                                                  SchemeKind::kNone, false},
+        {"tri (bootstrapped)", SchemeKind::kTri, true},
+        {"laesa", SchemeKind::kLaesa, false}}) {
+    SimulatedCostOracle api(city.oracle.get(), latency);
+    PartialDistanceGraph graph(n);
+    BoundedResolver resolver(&api, &graph);
+    if (bootstrap) {
+      BootstrapWithLandmarks(&resolver, DefaultNumLandmarks(n), 7);
+    }
+    SchemeOptions options;
+    auto attached = MakeAndAttachScheme(scheme, &resolver, options);
+    if (!attached.ok()) {
+      std::fprintf(stderr, "%s\n", attached.status().ToString().c_str());
+      return 1;
+    }
+
+    const MstResult mst = PrimMst(&resolver);
+    table.NewRow()
+        .AddCell(label)
+        .AddUint(resolver.stats().oracle_calls)
+        .AddDouble(api.simulated_seconds() / 3600.0, 2)
+        .AddDouble(mst.total_weight, 2);
+  }
+  table.Print("Prim's MST over routing-API distances");
+  std::printf(
+      "\nIdentical trees, very different bills: every scheme returns the "
+      "exact MST, only the number of API round-trips changes.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "algo/boruvka.h"
+
+#include <vector>
+
+#include "core/logging.h"
+#include "graph/union_find.h"
+
+namespace metricprox {
+
+namespace {
+
+// Strict total order on (weight, EdgeKey) used for all comparisons.
+bool EdgeLess(double wa, ObjectId au, ObjectId av, double wb, ObjectId bu,
+              ObjectId bv) {
+  if (wa != wb) return wa < wb;
+  return EdgeKey(au, av) < EdgeKey(bu, bv);
+}
+
+bool KeyLess(ObjectId au, ObjectId av, ObjectId bu, ObjectId bv) {
+  return EdgeKey(au, av) < EdgeKey(bu, bv);
+}
+
+}  // namespace
+
+MstResult BoruvkaMst(BoundedResolver* resolver) {
+  CHECK(resolver != nullptr);
+  const ObjectId n = resolver->num_objects();
+  MstResult result;
+  if (n <= 1) return result;
+  result.edges.reserve(n - 1);
+
+  UnionFind forest(n);
+  while (forest.num_components() > 1) {
+    // Per component root: the best outgoing edge found this round.
+    std::vector<WeightedEdge> best(n,
+                                   WeightedEdge{kInvalidObject, kInvalidObject,
+                                                kInfDistance});
+    for (ObjectId u = 0; u < n; ++u) {
+      const uint32_t cu = forest.Find(u);
+      for (ObjectId v = u + 1; v < n; ++v) {
+        const uint32_t cv = forest.Find(v);
+        if (cu == cv) continue;
+        // Try to beat both components' incumbents under (w, key) order,
+        // resolving the distance only when the scheme cannot refute it.
+        for (const uint32_t c : {cu, cv}) {
+          WeightedEdge& incumbent = best[c];
+          if (incumbent.u == kInvalidObject) {
+            const double d = resolver->Distance(u, v);
+            incumbent = WeightedEdge{u, v, d};
+            continue;
+          }
+          bool resolve;
+          if (KeyLess(u, v, incumbent.u, incumbent.v)) {
+            // A tie would also win: only a *strictly greater* distance can
+            // be discarded without resolving.
+            resolve = !resolver->ProvenGreaterThan(u, v, incumbent.weight);
+          } else {
+            // A tie loses: discard unless strictly smaller is possible.
+            resolve = resolver->LessThan(u, v, incumbent.weight);
+          }
+          if (!resolve) continue;
+          const double d = resolver->Distance(u, v);
+          if (EdgeLess(d, u, v, incumbent.weight, incumbent.u,
+                       incumbent.v)) {
+            incumbent = WeightedEdge{u, v, d};
+          }
+        }
+      }
+    }
+    // Contract: add every component's best edge (skipping the duplicate
+    // when two components chose the same edge).
+    bool progressed = false;
+    for (ObjectId c = 0; c < n; ++c) {
+      const WeightedEdge& e = best[c];
+      if (e.u == kInvalidObject) continue;
+      if (forest.Union(e.u, e.v)) {
+        result.edges.push_back(e);
+        result.total_weight += e.weight;
+        progressed = true;
+      }
+    }
+    CHECK(progressed) << "Borůvka round made no progress";
+  }
+  return result;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,23 @@
+#ifndef METRICPROX_ALGO_BORUVKA_H_
+#define METRICPROX_ALGO_BORUVKA_H_
+
+#include "algo/mst.h"
+#include "bounds/resolver.h"
+
+namespace metricprox {
+
+/// Borůvka's MST algorithm over the complete metric graph, re-authored
+/// against the bound framework: each round, every component scans for its
+/// minimum outgoing edge, and the scheme discards candidates whose lower
+/// bound proves they cannot beat the component's incumbent.
+///
+/// Edges are compared in the strict total order (weight, min id, max id),
+/// which makes Borůvka's contraction cycle-safe even under exact weight
+/// ties — near-ties inside the bound scheme's safety margin simply fall
+/// back to the oracle, so the tree equals the one classical Borůvka picks
+/// under the same order (and the weight equals Prim/Kruskal's always).
+MstResult BoruvkaMst(BoundedResolver* resolver);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_BORUVKA_H_

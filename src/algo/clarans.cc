@@ -1,0 +1,81 @@
+#include "algo/clarans.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+using medoid_internal::AssignmentTable;
+using medoid_internal::ComputeAssignment;
+using medoid_internal::IsMedoid;
+using medoid_internal::SwapDelta;
+
+namespace {
+
+std::vector<ObjectId> SampleDistinct(ObjectId n, uint32_t k,
+                                     std::mt19937_64* rng) {
+  std::vector<ObjectId> picked;
+  picked.reserve(k);
+  while (picked.size() < k) {
+    const ObjectId candidate = static_cast<ObjectId>((*rng)() % n);
+    if (std::find(picked.begin(), picked.end(), candidate) == picked.end()) {
+      picked.push_back(candidate);
+    }
+  }
+  return picked;
+}
+
+}  // namespace
+
+ClusteringResult ClaransCluster(BoundedResolver* resolver,
+                                const ClaransOptions& options) {
+  CHECK(resolver != nullptr);
+  CHECK_GE(options.num_medoids, 2u);
+  CHECK_GE(options.num_local, 1u);
+  const ObjectId n = resolver->num_objects();
+  CHECK_GT(n, options.num_medoids);
+
+  std::mt19937_64 rng(options.seed);
+  ClusteringResult best;
+  best.total_deviation = kInfDistance;
+
+  for (uint32_t local = 0; local < options.num_local; ++local) {
+    std::vector<ObjectId> medoids =
+        SampleDistinct(n, options.num_medoids, &rng);
+    AssignmentTable table = ComputeAssignment(resolver, medoids);
+    uint32_t accepted = 0;
+
+    uint32_t stale = 0;
+    while (stale < options.max_neighbor) {
+      const uint32_t out = static_cast<uint32_t>(rng() % medoids.size());
+      ObjectId h = static_cast<ObjectId>(rng() % n);
+      if (IsMedoid(medoids, h)) {
+        // Count the draw but retry; keeps the RNG stream identical between
+        // the plugged and oracle-only runs.
+        continue;
+      }
+      const double delta = SwapDelta(resolver, medoids, table, out, h);
+      if (delta < 0.0) {
+        medoids[out] = h;
+        table = ComputeAssignment(resolver, medoids);
+        ++accepted;
+        stale = 0;
+      } else {
+        ++stale;
+      }
+    }
+
+    if (table.total_deviation < best.total_deviation) {
+      best.medoids = medoids;
+      best.assignment = table.nearest;
+      best.total_deviation = table.total_deviation;
+      best.iterations = accepted;
+    }
+  }
+  return best;
+}
+
+}  // namespace metricprox

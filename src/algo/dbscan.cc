@@ -1,0 +1,65 @@
+#include "algo/dbscan.h"
+
+#include <deque>
+
+#include "algo/search.h"
+#include "core/logging.h"
+
+namespace metricprox {
+
+DbscanResult DbscanCluster(BoundedResolver* resolver,
+                           const DbscanOptions& options) {
+  CHECK(resolver != nullptr);
+  CHECK_GE(options.eps, 0.0);
+  CHECK_GE(options.min_pts, 1u);
+  const ObjectId n = resolver->num_objects();
+
+  DbscanResult result;
+  result.labels.assign(n, DbscanResult::kNoise);
+  // kUnvisited below noise so "already claimed" checks stay simple.
+  constexpr int32_t kUnvisited = -2;
+  std::vector<int32_t> state(n, kUnvisited);
+
+  for (ObjectId p = 0; p < n; ++p) {
+    if (state[p] != kUnvisited) continue;
+    const std::vector<KnnNeighbor> neighborhood =
+        RangeSearch(resolver, p, options.eps);
+    if (neighborhood.size() + 1 < options.min_pts) {
+      state[p] = DbscanResult::kNoise;
+      continue;
+    }
+
+    // p is a core point: grow a new cluster breadth-first.
+    const int32_t cluster = static_cast<int32_t>(result.num_clusters++);
+    state[p] = cluster;
+    std::deque<ObjectId> frontier;
+    for (const KnnNeighbor& nb : neighborhood) frontier.push_back(nb.id);
+
+    while (!frontier.empty()) {
+      const ObjectId q = frontier.front();
+      frontier.pop_front();
+      if (state[q] == DbscanResult::kNoise) {
+        state[q] = cluster;  // former noise becomes a border point
+      }
+      if (state[q] != kUnvisited) continue;
+      state[q] = cluster;
+      const std::vector<KnnNeighbor> reach =
+          RangeSearch(resolver, q, options.eps);
+      if (reach.size() + 1 >= options.min_pts) {
+        for (const KnnNeighbor& nb : reach) {
+          if (state[nb.id] == kUnvisited ||
+              state[nb.id] == DbscanResult::kNoise) {
+            frontier.push_back(nb.id);
+          }
+        }
+      }
+    }
+  }
+
+  for (ObjectId o = 0; o < n; ++o) {
+    result.labels[o] = state[o] == kUnvisited ? DbscanResult::kNoise : state[o];
+  }
+  return result;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,44 @@
+#ifndef METRICPROX_ALGO_DBSCAN_H_
+#define METRICPROX_ALGO_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounds/resolver.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+struct DbscanOptions {
+  /// Neighborhood radius (inclusive).
+  double eps = 1.0;
+  /// Minimum neighborhood size — *including* the point itself — for a
+  /// core point (the scikit-learn convention).
+  uint32_t min_pts = 4;
+};
+
+struct DbscanResult {
+  /// Number of clusters found (labels 0 .. num_clusters-1).
+  uint32_t num_clusters = 0;
+  /// Per-object cluster label, or kNoise.
+  std::vector<int32_t> labels;
+
+  static constexpr int32_t kNoise = -1;
+};
+
+/// DBSCAN (Ester et al. 1996) over a general metric space, re-authored
+/// against the bound framework: every eps-neighborhood is an exact
+/// RangeSearch, so candidates the scheme proves farther than eps cost no
+/// oracle call — density clustering is *all* range queries, which makes it
+/// one of the framework's best customers.
+///
+/// Deterministic: points are expanded in ascending id order, so cluster
+/// labels — including the classic border-point tie (a border point joins
+/// the first core cluster that reaches it) — are identical across schemes
+/// and match the oracle-only run.
+DbscanResult DbscanCluster(BoundedResolver* resolver,
+                           const DbscanOptions& options);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_DBSCAN_H_

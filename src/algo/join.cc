@@ -1,0 +1,27 @@
+#include "algo/join.h"
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+std::vector<WeightedEdge> SimilarityJoin(BoundedResolver* resolver,
+                                         double radius) {
+  CHECK(resolver != nullptr);
+  CHECK_GE(radius, 0.0);
+  const ObjectId n = resolver->num_objects();
+
+  std::vector<WeightedEdge> matches;
+  for (ObjectId u = 0; u < n; ++u) {
+    for (ObjectId v = u + 1; v < n; ++v) {
+      // Provably outside the join radius: no oracle call. Matches resolved
+      // earlier in the scan tighten the bounds for later candidates, so the
+      // join gets cheaper as it proceeds.
+      if (resolver->ProvenGreaterThan(u, v, radius)) continue;
+      const double d = resolver->Distance(u, v);
+      if (d <= radius) matches.push_back(WeightedEdge{u, v, d});
+    }
+  }
+  return matches;  // (u, v)-sorted by construction
+}
+
+}  // namespace metricprox

@@ -1,0 +1,23 @@
+#ifndef METRICPROX_ALGO_JOIN_H_
+#define METRICPROX_ALGO_JOIN_H_
+
+#include <vector>
+
+#include "bounds/resolver.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Exact metric similarity self-join: every unordered pair (u, v) with
+/// dist(u, v) <= radius, sorted by (u, v), with exact distances attached.
+/// The classic SIGMOD workload for expensive distance functions
+/// (near-duplicate detection, record linkage): the scheme discards a pair
+/// without an oracle call whenever its lower bound provably exceeds the
+/// radius, which on clustered data is the vast majority of the n(n-1)/2
+/// candidates.
+std::vector<WeightedEdge> SimilarityJoin(BoundedResolver* resolver,
+                                         double radius);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_JOIN_H_

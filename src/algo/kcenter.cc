@@ -1,0 +1,52 @@
+#include "algo/kcenter.h"
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+KCenterResult KCenterCluster(BoundedResolver* resolver, uint32_t k,
+                             ObjectId first_center) {
+  CHECK(resolver != nullptr);
+  CHECK_GE(k, 1u);
+  const ObjectId n = resolver->num_objects();
+  CHECK_LE(k, n);
+  CHECK_LT(first_center, n);
+
+  KCenterResult result;
+  result.centers.reserve(k);
+  std::vector<double> d2c(n, kInfDistance);
+  std::vector<bool> is_center(n, false);
+
+  ObjectId center = first_center;
+  for (uint32_t round = 0; round < k; ++round) {
+    result.centers.push_back(center);
+    is_center[center] = true;
+    for (ObjectId j = 0; j < n; ++j) {
+      if (is_center[j]) {
+        d2c[j] = 0.0;
+        continue;
+      }
+      // Keep d2c exact while skipping oracle calls the scheme rules out.
+      if (resolver->LessThan(center, j, d2c[j])) {
+        d2c[j] = resolver->Distance(center, j);
+      }
+    }
+    // Farthest-first: the next center is the worst-served object.
+    ObjectId farthest = kInvalidObject;
+    double worst = -1.0;
+    for (ObjectId j = 0; j < n; ++j) {
+      if (!is_center[j] && d2c[j] > worst) {
+        worst = d2c[j];
+        farthest = j;
+      }
+    }
+    if (round + 1 == k || farthest == kInvalidObject) {
+      result.radius = worst < 0.0 ? 0.0 : worst;
+      break;
+    }
+    center = farthest;
+  }
+  return result;
+}
+
+}  // namespace metricprox

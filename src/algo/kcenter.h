@@ -1,0 +1,34 @@
+#ifndef METRICPROX_ALGO_KCENTER_H_
+#define METRICPROX_ALGO_KCENTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounds/resolver.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+struct KCenterResult {
+  std::vector<ObjectId> centers;
+  /// Max over objects of the distance to the nearest center (the 2-approx
+  /// objective value).
+  double radius = 0.0;
+};
+
+/// Gonzalez's farthest-first 2-approximation for metric k-center,
+/// re-authored against the bound framework — one of the "more sophisticated
+/// optimization problems" (facility allocation) the paper's conclusion
+/// proposes as future work.
+///
+/// The maintained per-object distance-to-nearest-center array is updated
+/// after each new center c through `LessThan(c, j, d2c[j])`: a proven
+/// LB(c, j) >= d2c[j] keeps the entry without an oracle call. The chosen
+/// centers are exactly those of the oracle-only algorithm (the array stays
+/// exact; ties break toward smaller ids in both).
+KCenterResult KCenterCluster(BoundedResolver* resolver, uint32_t k,
+                             ObjectId first_center = 0);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_KCENTER_H_

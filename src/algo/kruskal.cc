@@ -1,0 +1,90 @@
+#include "algo/kruskal.h"
+
+#include <queue>
+#include <vector>
+
+#include "core/logging.h"
+#include "graph/union_find.h"
+
+namespace metricprox {
+
+namespace {
+
+struct QueueEntry {
+  double key;
+  ObjectId u;
+  ObjectId v;
+  bool exact;
+
+  // Min-heap order; deterministic tie-break by pair then exactness (exact
+  // entries first so a resolved edge beats an equal stale bound).
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    if (a.u != b.u) return a.u > b.u;
+    if (a.v != b.v) return a.v > b.v;
+    return a.exact < b.exact;
+  }
+};
+
+}  // namespace
+
+MstResult KruskalMst(BoundedResolver* resolver) {
+  CHECK(resolver != nullptr);
+  const ObjectId n = resolver->num_objects();
+  MstResult result;
+  if (n <= 1) return result;
+  result.edges.reserve(n - 1);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue;
+  // Lower-bound keys are shaved by the fp-safety margin so a bound that
+  // strays a few ulps above the true distance can never overtake an exact
+  // key it mathematically equals.
+  const auto lb_key = [](const Interval& b) {
+    const double key = b.lo - BoundDecisionMargin(b.lo);
+    return key > 0.0 ? key : 0.0;
+  };
+  for (ObjectId u = 0; u < n; ++u) {
+    for (ObjectId v = u + 1; v < n; ++v) {
+      if (resolver->Known(u, v)) {
+        queue.push(QueueEntry{resolver->Distance(u, v), u, v, true});
+      } else {
+        queue.push(QueueEntry{lb_key(resolver->Bounds(u, v)), u, v, false});
+      }
+    }
+  }
+
+  UnionFind forest(n);
+  while (forest.num_components() > 1) {
+    CHECK(!queue.empty()) << "ran out of pairs before the forest connected";
+    const QueueEntry e = queue.top();
+    queue.pop();
+    if (forest.Connected(e.u, e.v)) continue;  // discarded unresolved
+    if (e.exact) {
+      // Every queued key lower-bounds its true distance, so this edge is a
+      // minimum-weight edge across the current partition: take it.
+      forest.Union(e.u, e.v);
+      result.edges.push_back(WeightedEdge{e.u, e.v, e.key});
+      result.total_weight += e.key;
+      continue;
+    }
+    if (resolver->Known(e.u, e.v)) {
+      // Resolved as a side effect of scheme construction or bootstrap.
+      queue.push(QueueEntry{resolver->Distance(e.u, e.v), e.u, e.v, true});
+      continue;
+    }
+    const double improved = lb_key(resolver->Bounds(e.u, e.v));
+    if (improved > e.key) {
+      // The scheme learned something since this entry was queued; requeue
+      // lazily instead of paying the oracle.
+      queue.push(QueueEntry{improved, e.u, e.v, false});
+    } else {
+      const double d = resolver->Distance(e.u, e.v);
+      queue.push(QueueEntry{d, e.u, e.v, true});
+    }
+  }
+  return result;
+}
+
+}  // namespace metricprox

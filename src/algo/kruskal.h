@@ -1,0 +1,28 @@
+#ifndef METRICPROX_ALGO_KRUSKAL_H_
+#define METRICPROX_ALGO_KRUSKAL_H_
+
+#include "algo/mst.h"
+#include "bounds/resolver.h"
+
+namespace metricprox {
+
+/// Kruskal's algorithm over the complete metric graph, re-authored as a
+/// *lazy* bound-ordered sweep (Figure 6a workload).
+///
+/// Classical Kruskal must resolve all n(n-1)/2 distances just to sort them.
+/// The re-authored version keeps a priority queue keyed by each pair's
+/// current lower bound and repeatedly pops the smallest key:
+///   * endpoints already connected  -> discard without ever resolving;
+///   * key is an exact distance     -> it is globally minimal (every other
+///     entry's key lower-bounds its true distance), process the edge;
+///   * key is a stale lower bound   -> requeue with the improved bound, or
+///     resolve via the oracle if the bound did not improve.
+/// Pairs still queued when the forest connects are never resolved at all.
+///
+/// The resulting tree weight always equals classical Kruskal's; the edge
+/// set itself is identical whenever distances are pairwise distinct.
+MstResult KruskalMst(BoundedResolver* resolver);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_KRUSKAL_H_

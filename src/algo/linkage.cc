@@ -1,0 +1,53 @@
+#include "algo/linkage.h"
+
+#include <algorithm>
+#include <map>
+
+#include "algo/prim.h"
+#include "core/logging.h"
+#include "graph/union_find.h"
+
+namespace metricprox {
+
+SingleLinkageResult SingleLinkageCluster(BoundedResolver* resolver) {
+  CHECK(resolver != nullptr);
+  SingleLinkageResult result;
+  result.num_objects = resolver->num_objects();
+  if (result.num_objects <= 1) return result;
+
+  MstResult mst = PrimMst(resolver);
+  std::sort(mst.edges.begin(), mst.edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.weight != b.weight) return a.weight < b.weight;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+  result.merges.reserve(mst.edges.size());
+  for (const WeightedEdge& e : mst.edges) {
+    result.merges.push_back(LinkageMerge{e.u, e.v, e.weight});
+  }
+  return result;
+}
+
+std::vector<uint32_t> SingleLinkageResult::LabelsForK(uint32_t k) const {
+  CHECK_GE(k, 1u);
+  CHECK_LE(k, num_objects);
+  UnionFind forest(num_objects);
+  const size_t merges_to_apply = num_objects - k;
+  CHECK_LE(merges_to_apply, merges.size());
+  for (size_t m = 0; m < merges_to_apply; ++m) {
+    forest.Union(merges[m].u, merges[m].v);
+  }
+  // Dense labels ordered by each component's smallest member.
+  std::map<uint32_t, uint32_t> root_to_label;
+  std::vector<uint32_t> labels(num_objects);
+  for (ObjectId o = 0; o < num_objects; ++o) {
+    const uint32_t root = forest.Find(o);
+    labels[o] = root_to_label
+                    .emplace(root, static_cast<uint32_t>(root_to_label.size()))
+                    .first->second;
+  }
+  return labels;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,40 @@
+#ifndef METRICPROX_ALGO_LINKAGE_H_
+#define METRICPROX_ALGO_LINKAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounds/resolver.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// One agglomeration step: the clusters containing `u` and `v` merged at
+/// distance `height`.
+struct LinkageMerge {
+  ObjectId u;
+  ObjectId v;
+  double height;
+};
+
+/// A single-linkage dendrogram over the complete metric graph.
+struct SingleLinkageResult {
+  ObjectId num_objects = 0;
+  /// n-1 merges in non-decreasing height order.
+  std::vector<LinkageMerge> merges;
+
+  /// Flat clustering with `k` clusters: stop after n-k merges and label the
+  /// resulting components 0..k-1 (labels ordered by smallest member id).
+  std::vector<uint32_t> LabelsForK(uint32_t k) const;
+};
+
+/// Single-linkage hierarchical agglomerative clustering, computed through
+/// the minimum spanning tree (the classical equivalence: processing MST
+/// edges by ascending weight IS single linkage). The MST comes from the
+/// bound-augmented Prim, so the whole dendrogram inherits the framework's
+/// oracle-call savings and exactness guarantee.
+SingleLinkageResult SingleLinkageCluster(BoundedResolver* resolver);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_LINKAGE_H_

@@ -1,0 +1,76 @@
+#include "algo/medoid_common.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace metricprox {
+namespace medoid_internal {
+
+bool IsMedoid(const std::vector<ObjectId>& medoids, ObjectId object) {
+  return std::find(medoids.begin(), medoids.end(), object) != medoids.end();
+}
+
+AssignmentTable ComputeAssignment(BoundedResolver* resolver,
+                                  const std::vector<ObjectId>& medoids) {
+  const ObjectId n = resolver->num_objects();
+  CHECK_GE(medoids.size(), 2u) << "second-nearest undefined for k < 2";
+  AssignmentTable table;
+  table.nearest.assign(n, 0);
+  table.dist_nearest.assign(n, kInfDistance);
+  table.dist_second.assign(n, kInfDistance);
+
+  for (ObjectId j = 0; j < n; ++j) {
+    for (uint32_t m = 0; m < medoids.size(); ++m) {
+      const double d = resolver->Distance(j, medoids[m]);  // 0 for j itself
+      if (d < table.dist_nearest[j] ||
+          (d == table.dist_nearest[j] && medoids[m] < medoids[table.nearest[j]])) {
+        table.dist_second[j] = table.dist_nearest[j];
+        table.dist_nearest[j] = d;
+        table.nearest[j] = m;
+      } else if (d < table.dist_second[j]) {
+        table.dist_second[j] = d;
+      }
+    }
+    table.total_deviation += table.dist_nearest[j];
+  }
+  return table;
+}
+
+double SwapDelta(BoundedResolver* resolver,
+                 [[maybe_unused]] const std::vector<ObjectId>& medoids,
+                 const AssignmentTable& table, uint32_t out_index,
+                 ObjectId h) {
+  DCHECK_LT(out_index, medoids.size());
+  DCHECK(!IsMedoid(medoids, h));
+  const ObjectId n = resolver->num_objects();
+  double delta = 0.0;
+  for (ObjectId j = 0; j < n; ++j) {
+    if (j == h) {
+      // h becomes a medoid: its old contribution disappears.
+      delta -= table.dist_nearest[j];
+      continue;
+    }
+    const double dn = table.dist_nearest[j];
+    const double ds = table.dist_second[j];
+    if (table.nearest[j] == out_index) {
+      // j loses its medoid: it moves to h or to its old second-nearest.
+      // (The outgoing medoid itself falls in this case with dn = 0.)
+      if (resolver->LessThan(j, h, ds)) {
+        delta += resolver->Distance(j, h) - dn;
+      } else {
+        delta += ds - dn;  // decided without resolving d(j, h)
+      }
+    } else {
+      // j keeps its medoid unless h is strictly closer.
+      if (resolver->LessThan(j, h, dn)) {
+        delta += resolver->Distance(j, h) - dn;
+      }
+      // else: contributes 0 — the common case the scheme prunes for free.
+    }
+  }
+  return delta;
+}
+
+}  // namespace medoid_internal
+}  // namespace metricprox

@@ -1,0 +1,62 @@
+#ifndef METRICPROX_ALGO_MEDOID_COMMON_H_
+#define METRICPROX_ALGO_MEDOID_COMMON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bounds/resolver.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Output of a k-medoid clustering (PAM / CLARANS).
+struct ClusteringResult {
+  std::vector<ObjectId> medoids;
+  /// assignment[j] = index into `medoids` of j's nearest medoid.
+  std::vector<uint32_t> assignment;
+  /// Sum over all objects of the distance to their nearest medoid (TD).
+  double total_deviation = 0.0;
+  /// Swap rounds executed (PAM) or accepted moves (CLARANS).
+  uint32_t iterations = 0;
+};
+
+namespace medoid_internal {
+
+/// Per-object nearest / second-nearest medoid bookkeeping used by the swap
+/// evaluations of PAM and CLARANS.
+struct AssignmentTable {
+  /// Index into the medoid vector of the nearest medoid (for a medoid
+  /// object: itself).
+  std::vector<uint32_t> nearest;
+  /// Distance to the nearest medoid (0 for medoids).
+  std::vector<double> dist_nearest;
+  /// Distance to the second-nearest medoid.
+  std::vector<double> dist_second;
+  double total_deviation = 0.0;
+};
+
+/// Computes the table by resolving object-to-medoid distances (cached in the
+/// shared graph, so successive rounds only pay for new medoids).
+AssignmentTable ComputeAssignment(BoundedResolver* resolver,
+                                  const std::vector<ObjectId>& medoids);
+
+/// Exact change in total deviation if medoids[out_index] is swapped with
+/// non-medoid h, evaluated with per-object bound pruning:
+///   * nearest(j) != out and LB(j,h) >= dn(j)  -> contributes 0, no call;
+///   * nearest(j) == out and LB(j,h) >= ds(j)  -> contributes ds(j) - dn(j),
+///     no call;
+///   * otherwise d(j,h) is resolved.
+/// This is the paper's re-authored IF statement inside PAM/CLARANS; the
+/// returned value equals the oracle-only computation exactly.
+double SwapDelta(BoundedResolver* resolver,
+                 const std::vector<ObjectId>& medoids,
+                 const AssignmentTable& table, uint32_t out_index, ObjectId h);
+
+/// True if `object` appears in `medoids`.
+bool IsMedoid(const std::vector<ObjectId>& medoids, ObjectId object);
+
+}  // namespace medoid_internal
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_MEDOID_COMMON_H_

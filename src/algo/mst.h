@@ -1,0 +1,19 @@
+#ifndef METRICPROX_ALGO_MST_H_
+#define METRICPROX_ALGO_MST_H_
+
+#include <vector>
+
+#include "core/types.h"
+
+namespace metricprox {
+
+/// A minimum spanning tree over the complete distance graph.
+struct MstResult {
+  /// n-1 tree edges with exact weights.
+  std::vector<WeightedEdge> edges;
+  double total_weight = 0.0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_MST_H_

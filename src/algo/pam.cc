@@ -1,0 +1,162 @@
+#include "algo/pam.h"
+
+#include <vector>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+using medoid_internal::AssignmentTable;
+using medoid_internal::ComputeAssignment;
+using medoid_internal::IsMedoid;
+using medoid_internal::SwapDelta;
+
+namespace {
+
+// Lower bound shaved by the fp-safety margin, so early-abandon sums can
+// never discard a candidate that mathematically ties the incumbent.
+double SafeLowerBound(BoundedResolver* resolver, ObjectId a, ObjectId b) {
+  const double lo = resolver->Bounds(a, b).lo;
+  const double safe = lo - BoundDecisionMargin(lo);
+  return safe > 0.0 ? safe : 0.0;
+}
+
+// BUILD step 1: the object minimizing its distance sum to everything,
+// with branch-and-bound early abandon on partial sums.
+ObjectId SelectFirstMedoid(BoundedResolver* resolver) {
+  const ObjectId n = resolver->num_objects();
+  ObjectId best = kInvalidObject;
+  double best_sum = kInfDistance;
+  std::vector<double> lbs(n);
+
+  for (ObjectId c = 0; c < n; ++c) {
+    double remaining_lb = 0.0;
+    for (ObjectId j = 0; j < n; ++j) {
+      lbs[j] = (j == c) ? 0.0 : SafeLowerBound(resolver, c, j);
+      remaining_lb += lbs[j];
+    }
+    double sum = 0.0;
+    bool abandoned = false;
+    for (ObjectId j = 0; j < n; ++j) {
+      remaining_lb -= lbs[j];
+      if (j != c) sum += resolver->Distance(c, j);
+      if (sum + remaining_lb >= best_sum) {
+        abandoned = true;  // cannot be strictly better than the incumbent
+        break;
+      }
+    }
+    if (!abandoned && sum < best_sum) {
+      best_sum = sum;
+      best = c;
+    }
+  }
+  CHECK_NE(best, kInvalidObject);
+  return best;
+}
+
+// BUILD steps 2..k: add the candidate maximizing the total-deviation gain
+// against the current nearest-medoid distances `dn`, pruning per object and
+// early-abandoning per candidate.
+ObjectId SelectNextMedoid(BoundedResolver* resolver,
+                          const std::vector<ObjectId>& medoids,
+                          const std::vector<double>& dn) {
+  const ObjectId n = resolver->num_objects();
+  ObjectId best = kInvalidObject;
+  double best_gain = -1.0;  // a valid candidate always has gain >= 0
+  std::vector<double> lbs(n);
+
+  for (ObjectId c = 0; c < n; ++c) {
+    if (IsMedoid(medoids, c)) continue;
+    double potential = 0.0;
+    for (ObjectId j = 0; j < n; ++j) {
+      if (dn[j] <= 0.0) {
+        lbs[j] = 0.0;
+        continue;
+      }
+      lbs[j] = (j == c) ? 0.0 : SafeLowerBound(resolver, c, j);
+      const double p = dn[j] - lbs[j];
+      if (p > 0.0) potential += p;
+    }
+    double gain = 0.0;
+    bool abandoned = false;
+    for (ObjectId j = 0; j < n; ++j) {
+      if (dn[j] <= 0.0) continue;  // already served at cost 0
+      const double p = dn[j] - lbs[j];
+      if (p > 0.0) potential -= p;
+      if (resolver->LessThan(c, j, dn[j])) {
+        gain += dn[j] - resolver->Distance(c, j);
+      }
+      if (gain + potential <= best_gain) {
+        abandoned = true;
+        break;
+      }
+    }
+    if (!abandoned && gain > best_gain) {
+      best_gain = gain;
+      best = c;
+    }
+  }
+  CHECK_NE(best, kInvalidObject);
+  return best;
+}
+
+}  // namespace
+
+ClusteringResult PamCluster(BoundedResolver* resolver,
+                            const PamOptions& options) {
+  CHECK(resolver != nullptr);
+  CHECK_GE(options.num_medoids, 2u);
+  const ObjectId n = resolver->num_objects();
+  CHECK_GT(n, options.num_medoids);
+
+  // ---- BUILD ----
+  std::vector<ObjectId> medoids;
+  medoids.reserve(options.num_medoids);
+  medoids.push_back(SelectFirstMedoid(resolver));
+
+  std::vector<double> dn(n);
+  for (ObjectId j = 0; j < n; ++j) {
+    dn[j] = resolver->Distance(medoids[0], j);
+  }
+  while (medoids.size() < options.num_medoids) {
+    const ObjectId next = SelectNextMedoid(resolver, medoids, dn);
+    medoids.push_back(next);
+    for (ObjectId j = 0; j < n; ++j) {
+      // `LessThan == false` proves the minimum is unchanged — no call.
+      if (resolver->LessThan(next, j, dn[j])) {
+        dn[j] = resolver->Distance(next, j);
+      }
+    }
+  }
+
+  // ---- SWAP ----
+  ClusteringResult result;
+  AssignmentTable table = ComputeAssignment(resolver, medoids);
+  for (uint32_t round = 0; round < options.max_swap_rounds; ++round) {
+    double best_delta = 0.0;
+    uint32_t best_out = 0;
+    ObjectId best_h = kInvalidObject;
+    for (uint32_t out = 0; out < medoids.size(); ++out) {
+      for (ObjectId h = 0; h < n; ++h) {
+        if (IsMedoid(medoids, h)) continue;
+        const double delta = SwapDelta(resolver, medoids, table, out, h);
+        if (delta < best_delta) {  // strictly improving, first-wins ties
+          best_delta = delta;
+          best_out = out;
+          best_h = h;
+        }
+      }
+    }
+    if (best_h == kInvalidObject) break;  // local optimum
+    medoids[best_out] = best_h;
+    table = ComputeAssignment(resolver, medoids);
+    ++result.iterations;
+  }
+
+  result.medoids = medoids;
+  result.assignment = table.nearest;
+  result.total_deviation = table.total_deviation;
+  return result;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,93 @@
+#include "algo/prim.h"
+
+#include <vector>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+MstResult PrimMst(BoundedResolver* resolver) {
+  CHECK(resolver != nullptr);
+  const ObjectId n = resolver->num_objects();
+  MstResult result;
+  if (n <= 1) return result;
+  result.edges.reserve(n - 1);
+
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> key(n, kInfDistance);
+  std::vector<ObjectId> parent(n, kInvalidObject);
+
+  ObjectId current = 0;
+  in_tree[0] = true;
+  for (ObjectId round = 1; round < n; ++round) {
+    // Relax every out-of-tree vertex against the newly added one. The
+    // bound scheme earns its keep here: a proven LB(current, v) >= key[v]
+    // skips the oracle entirely.
+    for (ObjectId v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      if (resolver->LessThan(current, v, key[v])) {
+        key[v] = resolver->Distance(current, v);
+        parent[v] = current;
+      }
+    }
+    // Extract the minimum-key vertex (ties toward the smallest id, matching
+    // the classical implementation).
+    ObjectId next = kInvalidObject;
+    for (ObjectId v = 0; v < n; ++v) {
+      if (!in_tree[v] && (next == kInvalidObject || key[v] < key[next])) {
+        next = v;
+      }
+    }
+    CHECK_NE(next, kInvalidObject);
+    CHECK_NE(parent[next], kInvalidObject) << "disconnected metric graph?";
+    in_tree[next] = true;
+    result.edges.push_back(WeightedEdge{parent[next], next, key[next]});
+    result.total_weight += key[next];
+    current = next;
+  }
+  return result;
+}
+
+MstResult PrimMstLazy(BoundedResolver* resolver) {
+  CHECK(resolver != nullptr);
+  const ObjectId n = resolver->num_objects();
+  MstResult result;
+  if (n <= 1) return result;
+  result.edges.reserve(n - 1);
+
+  std::vector<bool> in_tree(n, false);
+  // candidate[v] = tree endpoint of v's current best connecting edge; the
+  // edge's weight stays unresolved until a comparison forces it.
+  std::vector<ObjectId> candidate(n, 0);
+  in_tree[0] = true;
+
+  for (ObjectId round = 1; round < n; ++round) {
+    // Extract the vertex with the minimum candidate edge by pairwise
+    // comparisons (strict <, so the smallest id wins ties, matching the
+    // eager variant).
+    ObjectId best = kInvalidObject;
+    for (ObjectId v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      if (best == kInvalidObject ||
+          resolver->PairLess(candidate[v], v, candidate[best], best)) {
+        best = v;
+      }
+    }
+    CHECK_NE(best, kInvalidObject);
+    const double weight = resolver->Distance(candidate[best], best);
+    in_tree[best] = true;
+    result.edges.push_back(WeightedEdge{candidate[best], best, weight});
+    result.total_weight += weight;
+
+    // Relax every remaining vertex against the newly added one.
+    for (ObjectId v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      if (resolver->PairLess(best, v, candidate[v], v)) {
+        candidate[v] = best;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace metricprox

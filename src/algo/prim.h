@@ -1,0 +1,36 @@
+#ifndef METRICPROX_ALGO_PRIM_H_
+#define METRICPROX_ALGO_PRIM_H_
+
+#include "algo/mst.h"
+#include "bounds/resolver.h"
+
+namespace metricprox {
+
+/// Prim's algorithm over the complete metric graph, re-authored against the
+/// bound framework (the paper's Tables 2 and 3 workload).
+///
+/// The inner comparison `dist(u, v) < key[v]` goes through
+/// BoundedResolver::LessThan: when the plugged scheme proves
+/// `LB(u, v) >= key[v]` the oracle call is saved; otherwise the distance is
+/// resolved and the key updated. With no scheme attached this is exactly
+/// classical Prim and resolves all n(n-1)/2 pairs (the tables'
+/// "Without Plug" column).
+///
+/// Output is identical to classical Prim for any scheme (keys stay exact;
+/// ties break toward the earlier-attached parent in both variants).
+MstResult PrimMst(BoundedResolver* resolver);
+
+/// Lazy-key Prim: keys are kept as *unresolved* candidate edges and every
+/// decision — both the minimum-key extraction and the relaxation — is a
+/// two-edge comparison `dist(i,j) < dist(k,l)` issued through PairLess.
+/// This is the paper's general IF-statement form, and the variant where
+/// DFT's joint feasibility reasoning can decide comparisons that interval
+/// bounds cannot (Figure 4); only the n-1 chosen tree edges are ever
+/// resolved unconditionally.
+///
+/// Output is identical to PrimMst (ties break toward smaller ids in both).
+MstResult PrimMstLazy(BoundedResolver* resolver);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_PRIM_H_

@@ -1,0 +1,99 @@
+#include "algo/reference.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/logging.h"
+#include "graph/union_find.h"
+
+namespace metricprox {
+
+MstResult ReferencePrimMst(DistanceOracle* oracle) {
+  CHECK(oracle != nullptr);
+  const ObjectId n = oracle->num_objects();
+  MstResult result;
+  if (n <= 1) return result;
+
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> key(n, kInfDistance);
+  std::vector<ObjectId> parent(n, kInvalidObject);
+
+  ObjectId current = 0;
+  in_tree[0] = true;
+  for (ObjectId round = 1; round < n; ++round) {
+    for (ObjectId v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double d = oracle->Distance(current, v);
+      if (d < key[v]) {
+        key[v] = d;
+        parent[v] = current;
+      }
+    }
+    ObjectId next = kInvalidObject;
+    for (ObjectId v = 0; v < n; ++v) {
+      if (!in_tree[v] && (next == kInvalidObject || key[v] < key[next])) {
+        next = v;
+      }
+    }
+    in_tree[next] = true;
+    result.edges.push_back(WeightedEdge{parent[next], next, key[next]});
+    result.total_weight += key[next];
+    current = next;
+  }
+  return result;
+}
+
+MstResult ReferenceKruskalMst(DistanceOracle* oracle) {
+  CHECK(oracle != nullptr);
+  const ObjectId n = oracle->num_objects();
+  MstResult result;
+  if (n <= 1) return result;
+
+  std::vector<WeightedEdge> edges;
+  edges.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (ObjectId u = 0; u < n; ++u) {
+    for (ObjectId v = u + 1; v < n; ++v) {
+      edges.push_back(WeightedEdge{u, v, oracle->Distance(u, v)});
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              if (a.weight != b.weight) return a.weight < b.weight;
+              if (a.u != b.u) return a.u < b.u;
+              return a.v < b.v;
+            });
+
+  UnionFind forest(n);
+  for (const WeightedEdge& e : edges) {
+    if (forest.Union(e.u, e.v)) {
+      result.edges.push_back(e);
+      result.total_weight += e.weight;
+      if (forest.num_components() == 1) break;
+    }
+  }
+  return result;
+}
+
+KnnGraph ReferenceKnnGraph(DistanceOracle* oracle, uint32_t k) {
+  CHECK(oracle != nullptr);
+  const ObjectId n = oracle->num_objects();
+  CHECK_GT(n, k);
+  KnnGraph graph(n);
+  std::vector<KnnNeighbor> all;
+  for (ObjectId u = 0; u < n; ++u) {
+    all.clear();
+    for (ObjectId v = 0; v < n; ++v) {
+      if (v == u) continue;
+      all.push_back(KnnNeighbor{v, oracle->Distance(u, v)});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const KnnNeighbor& a, const KnnNeighbor& b) {
+                if (a.distance != b.distance) return a.distance < b.distance;
+                return a.id < b.id;
+              });
+    graph[u].assign(all.begin(), all.begin() + k);
+  }
+  return graph;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,31 @@
+#ifndef METRICPROX_ALGO_REFERENCE_H_
+#define METRICPROX_ALGO_REFERENCE_H_
+
+#include <cstdint>
+
+#include "algo/knn_graph.h"
+#include "algo/mst.h"
+#include "core/oracle.h"
+
+namespace metricprox {
+
+/// Textbook implementations that talk to the oracle directly, with no
+/// framework involvement. They exist so the test suite can verify the
+/// paper's headline invariant — a bound-augmented algorithm returns exactly
+/// the original algorithm's output — against code that shares nothing with
+/// the augmented paths. They resolve all n(n-1)/2 distances, so keep n
+/// small.
+
+/// Classical Prim on the full distance matrix (ties toward smaller ids,
+/// matching PrimMst).
+MstResult ReferencePrimMst(DistanceOracle* oracle);
+
+/// Classical Kruskal: full sort, then union-find (ties by (weight, u, v)).
+MstResult ReferenceKruskalMst(DistanceOracle* oracle);
+
+/// Brute-force k-NN graph under (distance, id) ordering.
+KnnGraph ReferenceKnnGraph(DistanceOracle* oracle, uint32_t k);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_REFERENCE_H_

@@ -1,0 +1,185 @@
+#include "algo/search.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+struct Candidate {
+  double lower_bound;
+  ObjectId id;
+};
+
+std::vector<Candidate> CandidatesByLowerBound(BoundedResolver* resolver,
+                                              ObjectId query) {
+  const ObjectId n = resolver->num_objects();
+  std::vector<Candidate> candidates;
+  candidates.reserve(n - 1);
+  for (ObjectId v = 0; v < n; ++v) {
+    if (v == query) continue;
+    candidates.push_back(Candidate{resolver->Bounds(query, v).lo, v});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.lower_bound != b.lower_bound) {
+                return a.lower_bound < b.lower_bound;
+              }
+              return a.id < b.id;
+            });
+  return candidates;
+}
+
+struct HeapLess {
+  bool operator()(const KnnNeighbor& a, const KnnNeighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+std::vector<KnnNeighbor> KnnSearch(BoundedResolver* resolver, ObjectId query,
+                                   uint32_t k) {
+  CHECK(resolver != nullptr);
+  CHECK_GE(k, 1u);
+  const ObjectId n = resolver->num_objects();
+  CHECK_GT(n, k);
+  CHECK_LT(query, n);
+
+  std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, HeapLess> best;
+  for (const Candidate& c : CandidatesByLowerBound(resolver, query)) {
+    const ObjectId v = c.id;
+    if (best.size() < k) {
+      best.push(KnnNeighbor{v, resolver->Distance(query, v)});
+      continue;
+    }
+    const double t = best.top().distance;
+    const ObjectId tid = best.top().id;
+    if (resolver->ProvenGreaterThan(query, v, t)) continue;
+    const double d = resolver->Distance(query, v);
+    if (d < t || (d == t && v < tid)) {
+      best.pop();
+      best.push(KnnNeighbor{v, d});
+    }
+  }
+
+  std::vector<KnnNeighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<KnnNeighbor> RangeSearch(BoundedResolver* resolver,
+                                     ObjectId query, double radius) {
+  CHECK(resolver != nullptr);
+  CHECK_GE(radius, 0.0);
+  const ObjectId n = resolver->num_objects();
+  CHECK_LT(query, n);
+
+  std::vector<KnnNeighbor> hits;
+  for (ObjectId v = 0; v < n; ++v) {
+    if (v == query) continue;
+    // Provably outside the ball: no oracle call.
+    if (resolver->ProvenGreaterThan(query, v, radius)) continue;
+    const double d = resolver->Distance(query, v);
+    if (d <= radius) hits.push_back(KnnNeighbor{v, d});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+DiameterEstimate ApproximateDiameter(BoundedResolver* resolver,
+                                     ObjectId anchor) {
+  CHECK(resolver != nullptr);
+  const ObjectId n = resolver->num_objects();
+  CHECK_GE(n, 2u);
+  CHECK_LT(anchor, n);
+
+  // One farthest-point sweep: skip candidates whose upper bound proves
+  // they cannot beat the incumbent (LessThan decided true by bounds).
+  const auto sweep = [resolver, n](ObjectId from) {
+    ObjectId arg = kInvalidObject;
+    double best = -1.0;
+    for (ObjectId v = 0; v < n; ++v) {
+      if (v == from) continue;
+      if (best >= 0.0 && resolver->LessThan(from, v, best)) continue;
+      const double d = resolver->Distance(from, v);
+      if (d > best) {
+        best = d;
+        arg = v;
+      }
+    }
+    return std::pair<ObjectId, double>{arg, best};
+  };
+
+  const auto [p, dp] = sweep(anchor);
+  const auto [q, dq] = sweep(p);
+  DiameterEstimate out;
+  if (dq >= dp) {
+    out.u = p;
+    out.v = q;
+    out.distance = dq;
+  } else {
+    out.u = anchor;
+    out.v = p;
+    out.distance = dp;
+  }
+  return out;
+}
+
+WeightedEdge ClosestPair(BoundedResolver* resolver) {
+  CHECK(resolver != nullptr);
+  const ObjectId n = resolver->num_objects();
+  CHECK_GE(n, 2u);
+
+  // All pairs, ascending by current lower bound: near pairs resolve first
+  // and collapse the incumbent quickly.
+  struct PairCandidate {
+    double lower_bound;
+    ObjectId u;
+    ObjectId v;
+  };
+  std::vector<PairCandidate> candidates;
+  candidates.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+  for (ObjectId u = 0; u < n; ++u) {
+    for (ObjectId v = u + 1; v < n; ++v) {
+      candidates.push_back(PairCandidate{resolver->Bounds(u, v).lo, u, v});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const PairCandidate& a, const PairCandidate& b) {
+              if (a.lower_bound != b.lower_bound) {
+                return a.lower_bound < b.lower_bound;
+              }
+              return EdgeKey(a.u, a.v) < EdgeKey(b.u, b.v);
+            });
+
+  WeightedEdge best{kInvalidObject, kInvalidObject, kInfDistance};
+  for (const PairCandidate& c : candidates) {
+    // Provably not closer: skip without an oracle call. (A tie cannot win
+    // unless its pair key is smaller, which ProvenGreaterThan's strictness
+    // already leaves to the resolve path below.)
+    if (best.u != kInvalidObject &&
+        resolver->ProvenGreaterThan(c.u, c.v, best.weight)) {
+      continue;
+    }
+    const double d = resolver->Distance(c.u, c.v);
+    if (d < best.weight ||
+        (d == best.weight && EdgeKey(c.u, c.v) < EdgeKey(best.u, best.v))) {
+      best = WeightedEdge{c.u, c.v, d};
+    }
+  }
+  return best;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,54 @@
+#include "algo/tsp.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "algo/prim.h"
+#include "core/logging.h"
+
+namespace metricprox {
+
+TspTour TspTwoApproximation(BoundedResolver* resolver) {
+  CHECK(resolver != nullptr);
+  const ObjectId n = resolver->num_objects();
+  TspTour tour;
+  if (n == 0) return tour;
+  if (n == 1) {
+    tour.order.push_back(0);
+    return tour;
+  }
+
+  const MstResult mst = PrimMst(resolver);
+  std::vector<std::vector<ObjectId>> children(n);
+  for (const WeightedEdge& e : mst.edges) {
+    children[e.u].push_back(e.v);
+    children[e.v].push_back(e.u);
+  }
+  for (std::vector<ObjectId>& c : children) std::sort(c.begin(), c.end());
+
+  // Iterative preorder DFS from object 0.
+  tour.order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<ObjectId> stack{0};
+  while (!stack.empty()) {
+    const ObjectId u = stack.back();
+    stack.pop_back();
+    if (visited[u]) continue;
+    visited[u] = true;
+    tour.order.push_back(u);
+    // Push in reverse so smaller ids are visited first.
+    for (auto it = children[u].rbegin(); it != children[u].rend(); ++it) {
+      if (!visited[*it]) stack.push_back(*it);
+    }
+  }
+  CHECK_EQ(tour.order.size(), static_cast<size_t>(n));
+
+  for (size_t i = 0; i < tour.order.size(); ++i) {
+    const ObjectId a = tour.order[i];
+    const ObjectId b = tour.order[(i + 1) % tour.order.size()];
+    tour.length += resolver->Distance(a, b);
+  }
+  return tour;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,29 @@
+#ifndef METRICPROX_ALGO_TSP_H_
+#define METRICPROX_ALGO_TSP_H_
+
+#include <vector>
+
+#include "bounds/resolver.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+struct TspTour {
+  /// Visiting order over all objects (a permutation; the tour closes back
+  /// to tour[0]).
+  std::vector<ObjectId> order;
+  double length = 0.0;
+};
+
+/// The classical MST-based 2-approximation for metric TSP — the second
+/// future-work adaptation from the paper's conclusion.
+///
+/// Builds the MST with bound-augmented Prim, walks it in preorder (children
+/// visited in id order) and charges the tour edges via the resolver (mostly
+/// cache hits, since tree edges are already resolved). Tour quality and
+/// order match the oracle-only pipeline because the MST does.
+TspTour TspTwoApproximation(BoundedResolver* resolver);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ALGO_TSP_H_

@@ -1,0 +1,60 @@
+#include "bounds/adm.h"
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+AdmBounder::AdmBounder(const PartialDistanceGraph* graph)
+    : graph_(graph), n_(graph->num_objects()) {
+  CHECK(graph != nullptr);
+  ub_.assign(static_cast<size_t>(n_) * n_, kInfDistance);
+  for (ObjectId i = 0; i < n_; ++i) ub_[Index(i, i)] = 0.0;
+  row_u_.resize(n_);
+  row_v_.resize(n_);
+  // Fold in any edges resolved before this bounder was attached
+  // (e.g. a LAESA bootstrap that pre-populated the graph).
+  for (const WeightedEdge& e : graph_->edges()) {
+    OnEdgeResolved(e.u, e.v, e.weight);
+  }
+}
+
+void AdmBounder::OnEdgeResolved(ObjectId u, ObjectId v, double d) {
+  DCHECK_NE(u, v);
+  if (d >= ub_[Index(u, v)]) return;  // no relaxation possible
+
+  // Snapshot the pre-update rows: the relaxation below must use old values
+  // uniformly, and ub_ is mutated in place.
+  for (ObjectId a = 0; a < n_; ++a) {
+    row_u_[a] = ub_[Index(a, u)];
+    row_v_[a] = ub_[Index(a, v)];
+  }
+  for (ObjectId a = 0; a < n_; ++a) {
+    const double au = row_u_[a];
+    const double av = row_v_[a];
+    // Best way for a to reach the new edge's endpoints.
+    const double via_u = au + d;  // a ... u -(d)- v
+    const double via_v = av + d;  // a ... v -(d)- u
+    double* row = &ub_[Index(a, 0)];
+    for (ObjectId b = 0; b < n_; ++b) {
+      const double cand1 = via_u + row_v_[b];
+      const double cand2 = via_v + row_u_[b];
+      const double cand = cand1 < cand2 ? cand1 : cand2;
+      if (cand < row[b]) row[b] = cand;
+    }
+  }
+}
+
+Interval AdmBounder::Bounds(ObjectId i, ObjectId j) {
+  const double ub = ub_[Index(i, j)];
+  double lb = 0.0;
+  for (const WeightedEdge& e : graph_->edges()) {
+    const double via_uv = e.weight - ub_[Index(i, e.u)] - ub_[Index(e.v, j)];
+    const double via_vu = e.weight - ub_[Index(i, e.v)] - ub_[Index(e.u, j)];
+    if (via_uv > lb) lb = via_uv;
+    if (via_vu > lb) lb = via_vu;
+  }
+  if (lb > ub) lb = ub;
+  return Interval(lb, ub);
+}
+
+}  // namespace metricprox

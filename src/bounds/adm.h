@@ -1,0 +1,53 @@
+#ifndef METRICPROX_BOUNDS_ADM_H_
+#define METRICPROX_BOUNDS_ADM_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/bounder.h"
+#include "core/types.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+
+/// The ADM baseline (Wang & Shasha, "Query Processing for Distance
+/// Metrics", VLDB 1990): exact bounds maintained in O(n^2) matrices.
+///
+/// We keep the all-pairs shortest-path (= tightest upper bound) matrix
+/// incrementally: resolving (u, v) = d relaxes every pair through the new
+/// edge in O(n^2). The tightest lower bound is evaluated at query time by
+/// wrapping every known edge onto the exact UB matrix:
+///     TLB(i, j) = max over known (k, l) of d(k,l) - UB(i,k) - UB(l,j)
+/// which — given exact shortest-path UBs — equals SPLUB's TLB (a tested
+/// property). Queries are O(m); updates O(n^2); memory O(n^2); total cubic,
+/// matching the paper's characterization of ADM.
+class AdmBounder : public Bounder {
+ public:
+  explicit AdmBounder(const PartialDistanceGraph* graph);
+
+  std::string_view name() const override { return "adm"; }
+
+  Interval Bounds(ObjectId i, ObjectId j) override;
+  void OnEdgeResolved(ObjectId i, ObjectId j, double d) override;
+
+  /// Current shortest-path upper bound (exposed for tests).
+  double UpperBound(ObjectId i, ObjectId j) const {
+    return i == j ? 0.0 : ub_[Index(i, j)];
+  }
+
+ private:
+  size_t Index(ObjectId i, ObjectId j) const {
+    return static_cast<size_t>(i) * n_ + j;
+  }
+
+  const PartialDistanceGraph* graph_;  // not owned
+  ObjectId n_;
+  std::vector<double> ub_;
+  // Scratch copies of the u/v rows taken before an update pass.
+  std::vector<double> row_u_;
+  std::vector<double> row_v_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_ADM_H_

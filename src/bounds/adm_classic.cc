@@ -1,0 +1,73 @@
+#include "bounds/adm_classic.h"
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+AdmClassicBounder::AdmClassicBounder(const PartialDistanceGraph* graph)
+    : n_(graph->num_objects()) {
+  CHECK(graph != nullptr);
+  const size_t cells = static_cast<size_t>(n_) * n_;
+  ub_.assign(cells, kInfDistance);
+  lb_.assign(cells, 0.0);
+  for (ObjectId i = 0; i < n_; ++i) ub_[Index(i, i)] = 0.0;
+  ub_u_.resize(n_);
+  ub_v_.resize(n_);
+  lb_u_.resize(n_);
+  lb_v_.resize(n_);
+  for (const WeightedEdge& e : graph->edges()) {
+    OnEdgeResolved(e.u, e.v, e.weight);
+  }
+}
+
+void AdmClassicBounder::OnEdgeResolved(ObjectId u, ObjectId v, double d) {
+  DCHECK_NE(u, v);
+  // Snapshot pre-update rows so the relaxation uses consistent values.
+  for (ObjectId a = 0; a < n_; ++a) {
+    ub_u_[a] = ub_[Index(a, u)];
+    ub_v_[a] = ub_[Index(a, v)];
+    lb_u_[a] = lb_[Index(a, u)];
+    lb_v_[a] = lb_[Index(a, v)];
+  }
+
+  for (ObjectId a = 0; a < n_; ++a) {
+    const double au_ub = ub_u_[a];
+    const double av_ub = ub_v_[a];
+    const double au_lb = lb_u_[a];
+    const double av_lb = lb_v_[a];
+    const double via_u = au_ub + d;
+    const double via_v = av_ub + d;
+    double* ub_row = &ub_[Index(a, 0)];
+    double* lb_row = &lb_[Index(a, 0)];
+    for (ObjectId b = 0; b < n_; ++b) {
+      // Upper bounds: path through the new edge (either orientation).
+      const double ub_cand1 = via_u + ub_v_[b];
+      const double ub_cand2 = via_v + ub_u_[b];
+      const double ub_cand = ub_cand1 < ub_cand2 ? ub_cand1 : ub_cand2;
+      if (ub_cand < ub_row[b]) ub_row[b] = ub_cand;
+
+      // Lower bounds: wrap the new edge, and propagate triangle LBs through
+      // each endpoint — the classical one-shot rules (no retro-tightening).
+      double lb_cand = d - ub_u_[a] - ub_v_[b];
+      const double wrap2 = d - ub_v_[a] - ub_u_[b];
+      if (wrap2 > lb_cand) lb_cand = wrap2;
+      const double tri1 = au_lb - ub_u_[b];
+      if (tri1 > lb_cand) lb_cand = tri1;
+      const double tri2 = av_lb - ub_v_[b];
+      if (tri2 > lb_cand) lb_cand = tri2;
+      const double tri3 = lb_u_[b] - au_ub;
+      if (tri3 > lb_cand) lb_cand = tri3;
+      const double tri4 = lb_v_[b] - av_ub;
+      if (tri4 > lb_cand) lb_cand = tri4;
+      if (lb_cand > lb_row[b]) lb_row[b] = lb_cand;
+    }
+    // Self-distances stay exact.
+    lb_row[a] = 0.0;
+  }
+  lb_[Index(u, v)] = d;
+  lb_[Index(v, u)] = d;
+  ub_[Index(u, v)] = ub_[Index(u, v)] < d ? ub_[Index(u, v)] : d;
+  ub_[Index(v, u)] = ub_[Index(u, v)];
+}
+
+}  // namespace metricprox

@@ -1,0 +1,62 @@
+#ifndef METRICPROX_BOUNDS_ADM_CLASSIC_H_
+#define METRICPROX_BOUNDS_ADM_CLASSIC_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/bounder.h"
+#include "core/types.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+
+/// Classical ADM (Wang & Shasha 1990) with *incremental* matrix updates —
+/// the way the original maintains its bounds, as opposed to AdmBounder,
+/// which recomputes the tightest wrap lower bound at query time.
+///
+/// Both an UB and an LB matrix are kept. Resolving (u, v) = d relaxes every
+/// pair through the new edge in O(n^2):
+///   UB[a][b] <- min(UB[a][b], UB[a][u] + d + UB[v][b], ...)
+///   LB[a][b] <- max(LB[a][b],
+///                   d - UB[a][u] - UB[v][b],  d - UB[a][v] - UB[u][b],
+///                   LB[a][u] - UB[u][b],      LB[a][v] - UB[v][b],
+///                   LB[u][b] - UB[a][u],      LB[v][b] - UB[a][v])
+/// Queries are O(1). The upper bounds stay exact (shortest paths), but the
+/// lower bounds go *stale*: when a later edge shortens a path that feeds an
+/// earlier wrap bound, the old wrap is never revisited, so classic LBs are
+/// weaker than the tightest. That staleness is precisely the headroom the
+/// paper's DIRECT FEASIBILITY TEST (and our query-time AdmBounder) exploit
+/// in Figure 4.
+class AdmClassicBounder : public Bounder {
+ public:
+  explicit AdmClassicBounder(const PartialDistanceGraph* graph);
+
+  std::string_view name() const override { return "adm-classic"; }
+
+  Interval Bounds(ObjectId i, ObjectId j) override {
+    const double ub = ub_[Index(i, j)];
+    double lb = lb_[Index(i, j)];
+    if (lb > ub) lb = ub;
+    return Interval(lb, ub);
+  }
+
+  void OnEdgeResolved(ObjectId u, ObjectId v, double d) override;
+
+ private:
+  size_t Index(ObjectId i, ObjectId j) const {
+    return static_cast<size_t>(i) * n_ + j;
+  }
+
+  ObjectId n_;
+  std::vector<double> ub_;
+  std::vector<double> lb_;
+  // Scratch row snapshots for the update pass.
+  std::vector<double> ub_u_;
+  std::vector<double> ub_v_;
+  std::vector<double> lb_u_;
+  std::vector<double> lb_v_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_ADM_CLASSIC_H_

@@ -1,0 +1,71 @@
+#include "bounds/dft.h"
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+MetricFeasibilitySystem& DftBounder::System() {
+  if (!system_ || system_edges_ != graph_->num_edges()) {
+    pivots_ += system_ ? system_->total_pivots() : 0;
+    system_ = std::make_unique<MetricFeasibilitySystem>(*graph_,
+                                                        max_distance_);
+    system_edges_ = graph_->num_edges();
+  }
+  return *system_;
+}
+
+Interval DftBounder::Bounds(ObjectId i, ObjectId j) {
+  StatusOr<Interval> bounds = System().LpBounds(i, j);
+  CHECK(bounds.ok()) << bounds.status();
+  return *bounds;
+}
+
+std::optional<bool> DftBounder::DecideLessThan(ObjectId i, ObjectId j,
+                                               double t) {
+  MetricFeasibilitySystem& system = System();
+  // Can dist(i,j) >= t?  (x_ij >= t  <=>  -x_ij <= -t)
+  StatusOr<bool> can_be_ge =
+      system.FeasibleWith({DistanceTerm{i, j, -1.0}}, -t);
+  CHECK(can_be_ge.ok()) << can_be_ge.status();
+  if (!*can_be_ge) return true;  // every completion has dist < t
+  // Can dist(i,j) <= t?
+  StatusOr<bool> can_be_le =
+      system.FeasibleWith({DistanceTerm{i, j, 1.0}}, t);
+  CHECK(can_be_le.ok()) << can_be_le.status();
+  if (!*can_be_le) return false;  // every completion has dist > t
+  return std::nullopt;
+}
+
+std::optional<bool> DftBounder::DecideGreaterThan(ObjectId i, ObjectId j,
+                                                  double t) {
+  MetricFeasibilitySystem& system = System();
+  // Can dist(i,j) <= t?
+  StatusOr<bool> can_be_le =
+      system.FeasibleWith({DistanceTerm{i, j, 1.0}}, t);
+  CHECK(can_be_le.ok()) << can_be_le.status();
+  if (!*can_be_le) return true;  // every completion has dist > t
+  // Can dist(i,j) >= t?
+  StatusOr<bool> can_be_ge =
+      system.FeasibleWith({DistanceTerm{i, j, -1.0}}, -t);
+  CHECK(can_be_ge.ok()) << can_be_ge.status();
+  if (!*can_be_ge) return false;  // every completion has dist < t
+  return std::nullopt;
+}
+
+std::optional<bool> DftBounder::DecidePairLess(ObjectId i, ObjectId j,
+                                               ObjectId k, ObjectId l) {
+  MetricFeasibilitySystem& system = System();
+  // Can dist(i,j) >= dist(k,l)?  (x_kl - x_ij <= 0)
+  StatusOr<bool> can_be_ge = system.FeasibleWith(
+      {DistanceTerm{k, l, 1.0}, DistanceTerm{i, j, -1.0}}, 0.0);
+  CHECK(can_be_ge.ok()) << can_be_ge.status();
+  if (!*can_be_ge) return true;
+  // Can dist(i,j) <= dist(k,l)?
+  StatusOr<bool> can_be_le = system.FeasibleWith(
+      {DistanceTerm{i, j, 1.0}, DistanceTerm{k, l, -1.0}}, 0.0);
+  CHECK(can_be_le.ok()) << can_be_le.status();
+  if (!*can_be_le) return false;
+  return std::nullopt;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,72 @@
+#ifndef METRICPROX_BOUNDS_DFT_H_
+#define METRICPROX_BOUNDS_DFT_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/bounder.h"
+#include "core/types.h"
+#include "graph/partial_graph.h"
+#include "lp/metric_lp.h"
+
+namespace metricprox {
+
+/// The paper's DIRECT FEASIBILITY TEST (Section 2.2) as a plug-in.
+///
+/// Comparisons are decided by LP feasibility over the full triangle-
+/// inequality system rather than by interval bounds: `dist(a,b) < dist(c,d)`
+/// is certainly true iff the system plus the reversed constraint
+/// `x_cd - x_ab <= 0` has no feasible region (and symmetrically for
+/// certainly-false). This can decide comparisons that interval schemes
+/// cannot, because the two unknowns are constrained *jointly*.
+///
+/// Bounds() answers with LP-tight intervals (minimize / maximize the
+/// variable), primarily for analysis; the resolver's comparison fast path
+/// uses the feasibility deciders.
+///
+/// Cost: the constraint system is rebuilt on each graph change snapshot and
+/// every decision solves one or two dense LPs — practical only for graphs
+/// with at most a few hundred edges, exactly as reported in the paper.
+class DftBounder : public Bounder {
+ public:
+  /// `max_distance` must upper-bound every true distance (the paper
+  /// normalizes distances into [0, 1]).
+  DftBounder(const PartialDistanceGraph* graph, double max_distance)
+      : graph_(graph), max_distance_(max_distance) {
+    CHECK(graph != nullptr);
+    CHECK_GT(max_distance, 0.0);
+  }
+
+  std::string_view name() const override { return "dft"; }
+
+  Interval Bounds(ObjectId i, ObjectId j) override;
+  void OnEdgeResolved(ObjectId, ObjectId, double) override {
+    system_.reset();  // snapshot is stale
+  }
+
+  std::optional<bool> DecideLessThan(ObjectId i, ObjectId j,
+                                     double t) override;
+  std::optional<bool> DecideGreaterThan(ObjectId i, ObjectId j,
+                                        double t) override;
+  std::optional<bool> DecidePairLess(ObjectId i, ObjectId j, ObjectId k,
+                                     ObjectId l) override;
+
+  /// Total simplex pivots spent so far (CPU-cost proxy for reports).
+  uint64_t total_pivots() const {
+    return pivots_ + (system_ ? system_->total_pivots() : 0);
+  }
+
+ private:
+  MetricFeasibilitySystem& System();
+
+  const PartialDistanceGraph* graph_;  // not owned
+  double max_distance_;
+  std::unique_ptr<MetricFeasibilitySystem> system_;
+  size_t system_edges_ = 0;
+  uint64_t pivots_ = 0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_DFT_H_

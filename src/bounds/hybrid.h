@@ -1,0 +1,59 @@
+#ifndef METRICPROX_BOUNDS_HYBRID_H_
+#define METRICPROX_BOUNDS_HYBRID_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/bounder.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Intersection of two bound schemes: lb = max of the two lower bounds,
+/// ub = min of the two upper bounds — valid whenever both inputs are, and
+/// at least as tight as either. The practical combination is
+/// Tri ∧ LAESA: LAESA contributes strong bounds from the first
+/// comparison (its landmark table is global and static), Tri contributes
+/// bounds that keep improving as the run resolves distances. Ablation 4
+/// (`bench_ablation`) measures whether the combination pays for its double
+/// query cost.
+class HybridBounder : public Bounder {
+ public:
+  /// Takes ownership of both schemes. Decision hooks fall back to the
+  /// interval defaults over the intersected bounds.
+  HybridBounder(std::unique_ptr<Bounder> first,
+                std::unique_ptr<Bounder> second)
+      : first_(std::move(first)), second_(std::move(second)) {
+    CHECK(first_ != nullptr);
+    CHECK(second_ != nullptr);
+    name_ = std::string(first_->name()) + "+" + std::string(second_->name());
+  }
+
+  std::string_view name() const override { return name_; }
+
+  Interval Bounds(ObjectId i, ObjectId j) override {
+    const Interval a = first_->Bounds(i, j);
+    const Interval b = second_->Bounds(i, j);
+    double lo = a.lo > b.lo ? a.lo : b.lo;
+    const double hi = a.hi < b.hi ? a.hi : b.hi;
+    // Disjoint only through floating-point noise: both contain the truth.
+    if (lo > hi) lo = hi;
+    return Interval(lo, hi);
+  }
+
+  void OnEdgeResolved(ObjectId i, ObjectId j, double d) override {
+    first_->OnEdgeResolved(i, j, d);
+    second_->OnEdgeResolved(i, j, d);
+  }
+
+ private:
+  std::unique_ptr<Bounder> first_;
+  std::unique_ptr<Bounder> second_;
+  std::string name_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_HYBRID_H_

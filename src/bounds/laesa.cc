@@ -1,0 +1,13 @@
+#include "bounds/laesa.h"
+
+namespace metricprox {
+
+std::unique_ptr<LaesaBounder> LaesaBounder::Build(ObjectId n,
+                                                  uint32_t num_pivots,
+                                                  const ResolveFn& resolve,
+                                                  uint64_t seed) {
+  PivotTable table = SelectMaxMinPivots(n, num_pivots, resolve, seed);
+  return std::make_unique<LaesaBounder>(std::move(table));
+}
+
+}  // namespace metricprox

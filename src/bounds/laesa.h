@@ -1,0 +1,62 @@
+#ifndef METRICPROX_BOUNDS_LAESA_H_
+#define METRICPROX_BOUNDS_LAESA_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/bounder.h"
+#include "core/types.h"
+#include "bounds/pivots.h"
+
+namespace metricprox {
+
+/// The LAESA baseline (Micó, Oncina & Vidal 1994) adapted as a bound
+/// plug-in: k landmark pivots with a precomputed k x n distance table;
+/// for any pair,
+///     lb = max_p |D(p,i) - D(p,j)|      (pivot triangle lower bound)
+///     ub = min_p (D(p,i) + D(p,j))
+/// Queries are O(k) and never improve during the run: LAESA ignores every
+/// distance the proximity algorithm resolves after construction — the
+/// structural weakness the paper's Section 5.4.1 experiments highlight.
+class LaesaBounder : public Bounder {
+ public:
+  /// Builds the pivot table with `num_pivots` max-min landmarks; the
+  /// `resolve` function performs (and is expected to account for) the
+  /// construction-time oracle calls.
+  static std::unique_ptr<LaesaBounder> Build(ObjectId n, uint32_t num_pivots,
+                                             const ResolveFn& resolve,
+                                             uint64_t seed);
+
+  explicit LaesaBounder(PivotTable table) : table_(std::move(table)) {}
+
+  std::string_view name() const override { return "laesa"; }
+
+  Interval Bounds(ObjectId i, ObjectId j) override {
+    double lb = 0.0;
+    double ub = kInfDistance;
+    for (const std::vector<double>& row : table_.dist) {
+      const double di = row[i];
+      const double dj = row[j];
+      const double gap = di > dj ? di - dj : dj - di;
+      if (gap > lb) lb = gap;
+      const double sum = di + dj;
+      if (sum < ub) ub = sum;
+    }
+    if (lb > ub) lb = ub;
+    return Interval(lb, ub);
+  }
+
+  void OnEdgeResolved(ObjectId, ObjectId, double) override {}
+
+  uint32_t num_pivots() const {
+    return static_cast<uint32_t>(table_.pivots.size());
+  }
+  const PivotTable& table() const { return table_; }
+
+ private:
+  PivotTable table_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_LAESA_H_

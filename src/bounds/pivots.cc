@@ -1,0 +1,61 @@
+#include "bounds/pivots.h"
+
+#include <cmath>
+#include <random>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+uint32_t DefaultNumLandmarks(ObjectId n) {
+  uint32_t k = 1;
+  while ((1ull << k) < n) ++k;  // ceil(log2(n))
+  return k;
+}
+
+PivotTable SelectMaxMinPivots(ObjectId n, uint32_t k, const ResolveFn& resolve,
+                              uint64_t seed) {
+  CHECK_GE(n, 2u);
+  CHECK_GE(k, 1u);
+  if (k > n) k = n;
+
+  PivotTable table;
+  table.pivots.reserve(k);
+  table.dist.reserve(k);
+
+  std::mt19937_64 rng(seed);
+  ObjectId pivot = static_cast<ObjectId>(rng() % n);
+
+  // min_to_chosen[o] = min distance from o to any already-chosen pivot.
+  std::vector<double> min_to_chosen(n, kInfDistance);
+  std::vector<bool> chosen(n, false);
+
+  for (uint32_t round = 0; round < k; ++round) {
+    chosen[pivot] = true;
+    table.pivots.push_back(pivot);
+    std::vector<double> row(n, 0.0);
+    for (ObjectId o = 0; o < n; ++o) {
+      if (o == pivot) continue;
+      row[o] = resolve(pivot, o);
+      if (row[o] < min_to_chosen[o]) min_to_chosen[o] = row[o];
+    }
+    table.dist.push_back(std::move(row));
+    if (round + 1 == k) break;
+
+    // Farthest-first: next pivot maximizes the min distance to chosen ones.
+    ObjectId best = kInvalidObject;
+    double best_gap = -1.0;
+    for (ObjectId o = 0; o < n; ++o) {
+      if (chosen[o]) continue;
+      if (min_to_chosen[o] > best_gap) {
+        best_gap = min_to_chosen[o];
+        best = o;
+      }
+    }
+    CHECK_NE(best, kInvalidObject);
+    pivot = best;
+  }
+  return table;
+}
+
+}  // namespace metricprox

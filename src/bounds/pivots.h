@@ -1,0 +1,38 @@
+#ifndef METRICPROX_BOUNDS_PIVOTS_H_
+#define METRICPROX_BOUNDS_PIVOTS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Function used to obtain an exact distance during scheme construction.
+/// Implementations typically route through BoundedResolver::Distance so the
+/// calls are charged to the experiment's oracle-call counter and the
+/// resolved edges land in the shared partial graph.
+using ResolveFn = std::function<double(ObjectId, ObjectId)>;
+
+/// A landmark table: `dist[p][o]` is the exact distance between `pivots[p]`
+/// and object `o`.
+struct PivotTable {
+  std::vector<ObjectId> pivots;
+  std::vector<std::vector<double>> dist;
+};
+
+/// Greedy max-min (farthest-first) pivot selection as in LAESA's linear
+/// preprocessing: the first pivot is seeded-random; each next pivot
+/// maximizes its minimum distance to the already-chosen ones. Costs exactly
+/// k * (n - 1) resolve calls minus pairs shared between pivots.
+PivotTable SelectMaxMinPivots(ObjectId n, uint32_t k,
+                              const ResolveFn& resolve, uint64_t seed);
+
+/// The default landmark count used throughout the paper: ceil(log2(n)),
+/// at least 1.
+uint32_t DefaultNumLandmarks(ObjectId n);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_PIVOTS_H_

@@ -1,0 +1,138 @@
+#include "bounds/resolver.h"
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+BoundedResolver::BoundedResolver(DistanceOracle* oracle,
+                                 PartialDistanceGraph* graph)
+    : oracle_(oracle), graph_(graph), bounder_(&null_bounder_) {
+  CHECK(oracle != nullptr);
+  CHECK(graph != nullptr);
+  CHECK_EQ(oracle->num_objects(), graph->num_objects());
+}
+
+void BoundedResolver::SetBounder(Bounder* bounder) {
+  bounder_ = bounder != nullptr ? bounder : &null_bounder_;
+}
+
+double BoundedResolver::Distance(ObjectId i, ObjectId j) {
+  if (i == j) return 0.0;
+  if (const std::optional<double> cached = graph_->Get(i, j)) {
+    return *cached;
+  }
+  Stopwatch oracle_watch;
+  const double d = oracle_->Distance(i, j);
+  stats_.oracle_seconds += oracle_watch.ElapsedSeconds();
+  ++stats_.oracle_calls;
+
+  graph_->Insert(i, j, d);
+  Stopwatch bounder_watch;
+  bounder_->OnEdgeResolved(i, j, d);
+  stats_.bounder_seconds += bounder_watch.ElapsedSeconds();
+  return d;
+}
+
+Interval BoundedResolver::Bounds(ObjectId i, ObjectId j) {
+  if (i == j) return Interval::Exact(0.0);
+  if (const std::optional<double> cached = graph_->Get(i, j)) {
+    return Interval::Exact(*cached);
+  }
+  ++stats_.bound_queries;
+  Stopwatch watch;
+  const Interval bounds = bounder_->Bounds(i, j);
+  stats_.bounder_seconds += watch.ElapsedSeconds();
+  return bounds;
+}
+
+bool BoundedResolver::LessThan(ObjectId i, ObjectId j, double t) {
+  ++stats_.comparisons;
+  if (t == kInfDistance) {
+    // Any finite metric distance is below +inf; deciding here keeps an
+    // infinite right-hand side out of scheme internals (notably DFT's LP).
+    // Applied uniformly across schemes so call accounting stays comparable.
+    ++stats_.decided_by_bounds;
+    return true;
+  }
+  if (i == j) {
+    ++stats_.decided_by_cache;
+    return 0.0 < t;
+  }
+  if (const std::optional<double> cached = graph_->Get(i, j)) {
+    ++stats_.decided_by_cache;
+    return *cached < t;
+  }
+  ++stats_.bound_queries;
+  Stopwatch watch;
+  const std::optional<bool> decided = bounder_->DecideLessThan(i, j, t);
+  stats_.bounder_seconds += watch.ElapsedSeconds();
+  if (decided.has_value()) {
+    ++stats_.decided_by_bounds;
+    return *decided;
+  }
+  ++stats_.decided_by_oracle;
+  return Distance(i, j) < t;
+}
+
+bool BoundedResolver::ProvenGreaterThan(ObjectId i, ObjectId j, double t) {
+  ++stats_.comparisons;
+  if (i == j) {
+    ++stats_.decided_by_cache;
+    return 0.0 > t;
+  }
+  if (const std::optional<double> cached = graph_->Get(i, j)) {
+    ++stats_.decided_by_cache;
+    return *cached > t;
+  }
+  ++stats_.bound_queries;
+  Stopwatch watch;
+  const std::optional<bool> decided = bounder_->DecideGreaterThan(i, j, t);
+  stats_.bounder_seconds += watch.ElapsedSeconds();
+  if (decided.has_value() && *decided) {
+    ++stats_.decided_by_bounds;
+    return true;
+  }
+  // Not proven (either provably <= t or undecidable): the caller resolves.
+  ++stats_.decided_by_oracle;
+  return false;
+}
+
+bool BoundedResolver::PairLess(ObjectId i, ObjectId j, ObjectId k,
+                               ObjectId l) {
+  ++stats_.comparisons;
+  const std::optional<double> dij =
+      (i == j) ? std::optional<double>(0.0) : graph_->Get(i, j);
+  const std::optional<double> dkl =
+      (k == l) ? std::optional<double>(0.0) : graph_->Get(k, l);
+  if (dij && dkl) {
+    ++stats_.decided_by_cache;
+    return *dij < *dkl;
+  }
+
+  std::optional<bool> decided;
+  {
+    ++stats_.bound_queries;
+    Stopwatch watch;
+    if (dkl) {
+      // Right side known: `dist(i,j) < t`.
+      decided = bounder_->DecideLessThan(i, j, *dkl);
+    } else if (dij) {
+      // Left side known: `dist(k,l) > t` (not the negation of LessThan —
+      // equality must resolve to false here and the scheme must stay exact).
+      decided = bounder_->DecideGreaterThan(k, l, *dij);
+    } else {
+      decided = bounder_->DecidePairLess(i, j, k, l);
+    }
+    stats_.bounder_seconds += watch.ElapsedSeconds();
+  }
+  if (decided.has_value()) {
+    ++stats_.decided_by_bounds;
+    return *decided;
+  }
+  ++stats_.decided_by_oracle;
+  const double a = dij ? *dij : Distance(i, j);
+  const double b = dkl ? *dkl : Distance(k, l);
+  return a < b;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,86 @@
+#ifndef METRICPROX_BOUNDS_RESOLVER_H_
+#define METRICPROX_BOUNDS_RESOLVER_H_
+
+#include "core/bounder.h"
+#include "core/oracle.h"
+#include "core/stats.h"
+#include "core/types.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+
+/// The unified framework's engine: proximity algorithms issue distance
+/// *comparisons* here instead of calling the oracle, and the resolver
+/// decides each one as cheaply as possible —
+///   1. from the cache of already-resolved distances (the partial graph),
+///   2. from the plugged-in bound scheme (Tri, SPLUB, ADM, LAESA, TLAESA,
+///      DFT, or none),
+///   3. only then from the expensive oracle, recording the new edge and
+///      notifying the bounder (the paper's UPDATE problem).
+///
+/// Because a bound-decided comparison is always consistent with the true
+/// distances, an algorithm written against LessThan()/PairLess() produces
+/// exactly the output of its oracle-only counterpart (tested property for
+/// every shipped algorithm).
+///
+/// The resolver does not own the oracle, graph or bounder; a typical
+/// experiment stacks them on the stack in that order.
+class BoundedResolver {
+ public:
+  /// Starts with no scheme attached (NullBounder semantics).
+  BoundedResolver(DistanceOracle* oracle, PartialDistanceGraph* graph);
+
+  BoundedResolver(const BoundedResolver&) = delete;
+  BoundedResolver& operator=(const BoundedResolver&) = delete;
+
+  /// Attaches (or with nullptr, detaches) the bound scheme. Construction-
+  /// time oracle calls a scheme performs through Distance() are charged to
+  /// this resolver's stats.
+  void SetBounder(Bounder* bounder);
+  Bounder& bounder() { return *bounder_; }
+
+  /// Exact distance; 0 for i == j. Calls the oracle only if the pair is not
+  /// yet resolved, inserting the edge and notifying the bounder.
+  double Distance(ObjectId i, ObjectId j);
+
+  bool Known(ObjectId i, ObjectId j) const {
+    return i == j || graph_->Has(i, j);
+  }
+
+  /// Current bound interval: exact for resolved pairs, else the scheme's.
+  Interval Bounds(ObjectId i, ObjectId j);
+
+  /// Truth of `dist(i, j) < t`, resolving the pair only when the scheme
+  /// cannot decide (the paper's re-authored IF statement against a known
+  /// threshold — the dominant pattern in Prim, k-NN and PAM/CLARANS).
+  bool LessThan(ObjectId i, ObjectId j, double t);
+
+  /// Truth of `dist(i, j) < dist(k, l)`, the general two-pair comparison.
+  /// Falls back to resolving both pairs (up to two oracle calls).
+  bool PairLess(ObjectId i, ObjectId j, ObjectId k, ObjectId l);
+
+  /// True iff the cache or the scheme *proves* dist(i, j) > t — never calls
+  /// the oracle. The one-sided IF form used by candidate-discard loops
+  /// (k-NN: "provably farther than the current k-th neighbor"); a false
+  /// return means "not proven", after which the caller typically resolves.
+  bool ProvenGreaterThan(ObjectId i, ObjectId j, double t);
+
+  ObjectId num_objects() const { return graph_->num_objects(); }
+  PartialDistanceGraph& graph() { return *graph_; }
+  const PartialDistanceGraph& graph() const { return *graph_; }
+  DistanceOracle& oracle() { return *oracle_; }
+
+  const ResolverStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  DistanceOracle* oracle_;       // not owned
+  PartialDistanceGraph* graph_;  // not owned
+  NullBounder null_bounder_;
+  Bounder* bounder_;  // not owned; never null (defaults to &null_bounder_)
+  ResolverStats stats_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_RESOLVER_H_

@@ -1,0 +1,136 @@
+#include "bounds/scheme.h"
+
+#include "bounds/adm.h"
+#include "bounds/adm_classic.h"
+#include "bounds/dft.h"
+#include "bounds/hybrid.h"
+#include "bounds/laesa.h"
+#include "bounds/pivots.h"
+#include "bounds/splub.h"
+#include "bounds/tlaesa.h"
+#include "bounds/tri.h"
+
+namespace metricprox {
+
+std::string_view SchemeKindName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kNone:
+      return "none";
+    case SchemeKind::kTri:
+      return "tri";
+    case SchemeKind::kSplub:
+      return "splub";
+    case SchemeKind::kAdm:
+      return "adm";
+    case SchemeKind::kAdmClassic:
+      return "adm-classic";
+    case SchemeKind::kLaesa:
+      return "laesa";
+    case SchemeKind::kTlaesa:
+      return "tlaesa";
+    case SchemeKind::kDft:
+      return "dft";
+    case SchemeKind::kHybrid:
+      return "tri+laesa";
+  }
+  return "unknown";
+}
+
+StatusOr<SchemeKind> ParseSchemeKind(std::string_view text) {
+  for (SchemeKind kind :
+       {SchemeKind::kNone, SchemeKind::kTri, SchemeKind::kSplub,
+        SchemeKind::kAdm, SchemeKind::kAdmClassic, SchemeKind::kLaesa,
+        SchemeKind::kTlaesa, SchemeKind::kDft, SchemeKind::kHybrid}) {
+    if (text == SchemeKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown scheme: " + std::string(text));
+}
+
+StatusOr<std::unique_ptr<Bounder>> MakeAndAttachScheme(
+    SchemeKind kind, BoundedResolver* resolver,
+    const SchemeOptions& options) {
+  if (resolver == nullptr) {
+    return Status::InvalidArgument("resolver must not be null");
+  }
+  if (options.rho < 1.0) {
+    return Status::InvalidArgument("rho must be >= 1");
+  }
+  if (options.rho > 1.0 && kind != SchemeKind::kTri &&
+      kind != SchemeKind::kNone) {
+    return Status::InvalidArgument(
+        "only the Tri Scheme supports relaxed triangle inequalities");
+  }
+  const ObjectId n = resolver->num_objects();
+  const ResolveFn resolve = [resolver](ObjectId a, ObjectId b) {
+    return resolver->Distance(a, b);
+  };
+  const uint32_t landmarks = options.num_landmarks > 0
+                                 ? options.num_landmarks
+                                 : DefaultNumLandmarks(n);
+
+  std::unique_ptr<Bounder> bounder;
+  switch (kind) {
+    case SchemeKind::kNone:
+      bounder = std::make_unique<NullBounder>();
+      break;
+    case SchemeKind::kTri:
+      bounder = std::make_unique<TriBounder>(&resolver->graph(), options.rho);
+      break;
+    case SchemeKind::kSplub:
+      bounder = std::make_unique<SplubBounder>(&resolver->graph());
+      break;
+    case SchemeKind::kAdm:
+      bounder = std::make_unique<AdmBounder>(&resolver->graph());
+      break;
+    case SchemeKind::kAdmClassic:
+      bounder = std::make_unique<AdmClassicBounder>(&resolver->graph());
+      break;
+    case SchemeKind::kLaesa:
+      bounder = LaesaBounder::Build(n, landmarks, resolve, options.seed);
+      break;
+    case SchemeKind::kTlaesa: {
+      TlaesaBounder::Options tl;
+      // TLAESA keeps LAESA's base prototypes and adds the hierarchy plus
+      // the leaf-prototype matrix on top (strictly tighter bounds at extra
+      // construction cost — whether that pays off is workload-dependent;
+      // see EXPERIMENTS.md).
+      tl.num_base_pivots = landmarks;
+      tl.leaf_size = options.tlaesa_leaf_size;
+      tl.seed = options.seed;
+      bounder = TlaesaBounder::Build(n, tl, resolve);
+      break;
+    }
+    case SchemeKind::kHybrid:
+      bounder = std::make_unique<HybridBounder>(
+          std::make_unique<TriBounder>(&resolver->graph()),
+          LaesaBounder::Build(n, landmarks, resolve, options.seed));
+      break;
+    case SchemeKind::kDft:
+      if (options.max_distance <= 0.0) {
+        return Status::InvalidArgument("dft requires a positive max_distance");
+      }
+      bounder =
+          std::make_unique<DftBounder>(&resolver->graph(), options.max_distance);
+      break;
+  }
+  if (bounder == nullptr) {
+    return Status::Internal("scheme construction failed");
+  }
+  resolver->SetBounder(bounder.get());
+  return bounder;
+}
+
+uint64_t BootstrapWithLandmarks(BoundedResolver* resolver,
+                                uint32_t num_landmarks, uint64_t seed) {
+  CHECK(resolver != nullptr);
+  const uint64_t before = resolver->stats().oracle_calls;
+  const ResolveFn resolve = [resolver](ObjectId a, ObjectId b) {
+    return resolver->Distance(a, b);
+  };
+  // The table itself is discarded: the resolved edges now live in the
+  // partial graph, which is what Tri/SPLUB/ADM read.
+  SelectMaxMinPivots(resolver->num_objects(), num_landmarks, resolve, seed);
+  return resolver->stats().oracle_calls - before;
+}
+
+}  // namespace metricprox

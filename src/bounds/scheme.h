@@ -1,0 +1,64 @@
+#ifndef METRICPROX_BOUNDS_SCHEME_H_
+#define METRICPROX_BOUNDS_SCHEME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "core/bounder.h"
+#include "core/status.h"
+#include "bounds/resolver.h"
+
+namespace metricprox {
+
+/// The bound schemes a proximity algorithm can be plugged with.
+enum class SchemeKind {
+  kNone,    // "without plug": every comparison calls the oracle
+  kTri,     // Tri Scheme (Section 4.2)
+  kSplub,   // SPLUB (Section 4.1)
+  kAdm,         // ADM with query-time tightest LBs (Wang & Shasha 1990)
+  kAdmClassic,  // ADM with classical incremental matrix updates
+  kLaesa,   // LAESA baseline
+  kTlaesa,  // TLAESA baseline
+  kDft,     // Direct Feasibility Test (Section 2.2)
+  kHybrid,  // Tri ∧ LAESA intersection (ablation; see bounds/hybrid.h)
+};
+
+std::string_view SchemeKindName(SchemeKind kind);
+StatusOr<SchemeKind> ParseSchemeKind(std::string_view text);
+
+/// Construction parameters shared by the schemes.
+struct SchemeOptions {
+  /// Landmarks for LAESA/TLAESA-leaning structures; 0 = ceil(log2(n)), the
+  /// paper's default.
+  uint32_t num_landmarks = 0;
+  /// Upper bound on any true distance; required by DFT (the paper
+  /// normalizes distances into [0, 1]).
+  double max_distance = 1.0;
+  /// TLAESA tree leaf size.
+  uint32_t tlaesa_leaf_size = 16;
+  /// Relaxed-triangle-inequality factor of the space (1 = true metric).
+  /// Only the Tri Scheme supports rho > 1 (see bounds/tri.h); requesting
+  /// any other scheme with rho > 1 is an InvalidArgument.
+  double rho = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Builds the requested scheme and attaches it to the resolver. Any
+/// construction-time oracle calls (LAESA/TLAESA tables) are routed through
+/// `resolver->Distance` so they are charged to its stats and their edges
+/// populate the shared graph. Returns the owning pointer; the caller keeps
+/// it alive as long as the resolver uses it.
+StatusOr<std::unique_ptr<Bounder>> MakeAndAttachScheme(
+    SchemeKind kind, BoundedResolver* resolver, const SchemeOptions& options);
+
+/// The paper's "Bootstrapping Tri Scheme through Landmarks": resolves a
+/// max-min landmark table directly into the resolver's graph so triangle
+/// bounds are informative from the first comparison. Returns the number of
+/// oracle calls spent (the tables' "Bootstrap" column).
+uint64_t BootstrapWithLandmarks(BoundedResolver* resolver,
+                                uint32_t num_landmarks, uint64_t seed);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_SCHEME_H_

@@ -1,0 +1,64 @@
+#ifndef METRICPROX_BOUNDS_SPLUB_H_
+#define METRICPROX_BOUNDS_SPLUB_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/bounder.h"
+#include "core/types.h"
+#include "graph/dijkstra.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+
+/// The paper's SPLUB (Algorithm 1): exact tightest bounds via shortest
+/// paths over the resolved edges.
+///
+///   TUB(i, j) = sp(i, j)
+///   TLB(i, j) = max over known edges (k, l) of
+///                 max(d(k,l) - sp(i,k) - sp(l,j),
+///                     d(k,l) - sp(j,k) - sp(l,i))
+///
+/// Each query runs two Dijkstras (O(m + n log n)) and one O(m) scan of the
+/// known edges; the update problem is O(1) (the shared graph insertion).
+/// Produces the same bounds as ADM (tested property) at a fraction of the
+/// cost, but is still too slow to sit inside large proximity loops.
+class SplubBounder : public Bounder {
+ public:
+  explicit SplubBounder(const PartialDistanceGraph* graph)
+      : graph_(graph), dijkstra_(graph->num_objects()) {
+    CHECK(graph != nullptr);
+  }
+
+  std::string_view name() const override { return "splub"; }
+
+  Interval Bounds(ObjectId i, ObjectId j) override {
+    dijkstra_.Solve(*graph_, i, &sp_i_);
+    dijkstra_.Solve(*graph_, j, &sp_j_);
+    const double ub = sp_i_[j];
+
+    double lb = 0.0;
+    for (const WeightedEdge& e : graph_->edges()) {
+      // Wrap the (i ... k)-(k,l)-(l ... j) path onto the known edge; the
+      // residue is a lower bound (Equation 4). Both orientations count.
+      const double via_uv = e.weight - sp_i_[e.u] - sp_j_[e.v];
+      const double via_vu = e.weight - sp_i_[e.v] - sp_j_[e.u];
+      if (via_uv > lb) lb = via_uv;
+      if (via_vu > lb) lb = via_vu;
+    }
+    if (lb > ub) lb = ub;  // float-noise clamp; theory guarantees lb <= ub
+    return Interval(lb, ub);
+  }
+
+  void OnEdgeResolved(ObjectId, ObjectId, double) override {}
+
+ private:
+  const PartialDistanceGraph* graph_;  // not owned
+  DijkstraSolver dijkstra_;
+  std::vector<double> sp_i_;
+  std::vector<double> sp_j_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_SPLUB_H_

@@ -1,0 +1,201 @@
+#include "bounds/tlaesa.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <random>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+struct BuildFrame {
+  std::vector<ObjectId> members;
+  // members' exact distances to this node's representative.
+  std::vector<double> to_rep;
+  ObjectId rep;
+  uint32_t depth;
+  // Distance between this node's rep and its sibling's rep (resolved when
+  // the parent split; meaningless for the root).
+  double sibling_dist;
+};
+
+}  // namespace
+
+std::unique_ptr<TlaesaBounder> TlaesaBounder::Build(ObjectId n,
+                                                    const Options& options,
+                                                    const ResolveFn& resolve) {
+  CHECK_GE(n, 2u);
+  auto bounder = std::unique_ptr<TlaesaBounder>(new TlaesaBounder());
+  bounder->paths_.resize(n);
+
+  // Base prototypes: the same max-min landmark table LAESA keeps.
+  const uint32_t base_pivots = options.num_base_pivots > 0
+                                   ? options.num_base_pivots
+                                   : DefaultNumLandmarks(n);
+  bounder->base_ = SelectMaxMinPivots(n, base_pivots, resolve, options.seed);
+
+  std::mt19937_64 rng(options.seed);
+  uint32_t next_node_id = 0;
+
+  // Root frame: random representative, resolve everyone against it.
+  BuildFrame root;
+  root.rep = static_cast<ObjectId>(rng() % n);
+  root.depth = 0;
+  root.sibling_dist = 0.0;
+  root.members.resize(n);
+  for (ObjectId o = 0; o < n; ++o) root.members[o] = o;
+  root.to_rep.resize(n);
+  for (ObjectId o = 0; o < n; ++o) {
+    root.to_rep[o] = (o == root.rep) ? 0.0 : resolve(root.rep, o);
+  }
+
+  std::vector<BuildFrame> stack;
+  stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    BuildFrame frame = std::move(stack.back());
+    stack.pop_back();
+    const uint32_t node_id = next_node_id++;
+
+    // Every member records this level; paths therefore stay depth-aligned,
+    // which the Bounds() walk depends on to detect the divergence node.
+    for (size_t idx = 0; idx < frame.members.size(); ++idx) {
+      const ObjectId o = frame.members[idx];
+      bounder->paths_[o].push_back(PathEntry{node_id, frame.rep,
+                                             frame.to_rep[idx],
+                                             frame.sibling_dist});
+    }
+    bounder->table_entries_ += frame.members.size();
+
+    if (frame.members.size() <= options.leaf_size ||
+        frame.depth + 1 >= options.max_depth) {
+      continue;
+    }
+
+    // Ball split: the new representative is the member farthest from the
+    // current one; members go to the nearer of (old rep, new rep). Only
+    // the new rep's side pays fresh oracle calls, and the distance between
+    // the two sibling representatives is frame.to_rep[far_idx] — already
+    // resolved, and the key to the strong cross-branch bound in Bounds().
+    size_t far_idx = 0;
+    for (size_t idx = 1; idx < frame.members.size(); ++idx) {
+      if (frame.to_rep[idx] > frame.to_rep[far_idx]) far_idx = idx;
+    }
+    const ObjectId new_rep = frame.members[far_idx];
+    if (new_rep == frame.rep) continue;  // all members coincide with rep
+    const double rep_gap = frame.to_rep[far_idx];
+
+    BuildFrame keep;   // child that retains frame.rep (distances inherited)
+    BuildFrame moved;  // child around new_rep (distances resolved now)
+    keep.rep = frame.rep;
+    moved.rep = new_rep;
+    keep.depth = moved.depth = frame.depth + 1;
+    keep.sibling_dist = moved.sibling_dist = rep_gap;
+    for (size_t idx = 0; idx < frame.members.size(); ++idx) {
+      const ObjectId o = frame.members[idx];
+      const double d_old = frame.to_rep[idx];
+      const double d_new = (o == new_rep) ? 0.0 : resolve(new_rep, o);
+      if (d_new < d_old) {
+        moved.members.push_back(o);
+        moved.to_rep.push_back(d_new);
+      } else {
+        keep.members.push_back(o);
+        keep.to_rep.push_back(d_old);
+      }
+    }
+    // Degenerate split (everything stayed): stop here to guarantee progress.
+    if (moved.members.empty() || keep.members.empty()) continue;
+    stack.push_back(std::move(keep));
+    stack.push_back(std::move(moved));
+  }
+
+  // Leaf prototypes: every object's deepest representative, with the full
+  // inter-prototype distance matrix resolved (R is small — about
+  // n / leaf_size — so this costs R*(R-1)/2 calls minus pairs the tree
+  // already resolved).
+  bounder->leaf_rep_index_.assign(n, 0);
+  bounder->dist_to_leaf_rep_.assign(n, 0.0);
+  std::vector<ObjectId> reps;
+  std::unordered_map<ObjectId, uint32_t> rep_index;
+  for (ObjectId o = 0; o < n; ++o) {
+    const PathEntry& leaf = bounder->paths_[o].back();
+    auto [it, inserted] =
+        rep_index.emplace(leaf.rep, static_cast<uint32_t>(reps.size()));
+    if (inserted) reps.push_back(leaf.rep);
+    bounder->leaf_rep_index_[o] = it->second;
+    bounder->dist_to_leaf_rep_[o] = leaf.dist_to_rep;
+  }
+  const uint32_t num_reps = static_cast<uint32_t>(reps.size());
+  bounder->num_leaf_reps_ = num_reps;
+  bounder->rep_matrix_.assign(static_cast<size_t>(num_reps) * num_reps, 0.0);
+  for (uint32_t a = 0; a < num_reps; ++a) {
+    for (uint32_t b = a + 1; b < num_reps; ++b) {
+      const double d = resolve(reps[a], reps[b]);
+      bounder->rep_matrix_[a * num_reps + b] = d;
+      bounder->rep_matrix_[b * num_reps + a] = d;
+    }
+  }
+  return bounder;
+}
+
+Interval TlaesaBounder::Bounds(ObjectId i, ObjectId j) {
+  double lb = 0.0;
+  double ub = kInfDistance;
+  // Base prototypes: every pair can use the full landmark table.
+  for (const std::vector<double>& row : base_.dist) {
+    const double di = row[i];
+    const double dj = row[j];
+    const double gap = di > dj ? di - dj : dj - di;
+    if (gap > lb) lb = gap;
+    const double sum = di + dj;
+    if (sum < ub) ub = sum;
+  }
+
+  const std::vector<PathEntry>& pi = paths_[i];
+  const std::vector<PathEntry>& pj = paths_[j];
+  // Tree walk: shared ancestors act as pivots; at the divergence node the
+  // two sibling representatives (with their known inter-distance g) give
+  //   dist(i,j) >= g - d(i, rep_i) - d(j, rep_j)   (wrap)
+  //   dist(i,j) <= d(i, rep_i) + g + d(j, rep_j)
+  // which is what makes the tree effective for *far* pairs.
+  const size_t depth = std::min(pi.size(), pj.size());
+  for (size_t d = 0; d < depth; ++d) {
+    const double di = pi[d].dist_to_rep;
+    const double dj = pj[d].dist_to_rep;
+    if (pi[d].node == pj[d].node) {
+      const double gap = di > dj ? di - dj : dj - di;
+      if (gap > lb) lb = gap;
+      const double sum = di + dj;
+      if (sum < ub) ub = sum;
+    } else {
+      const double g = pi[d].sibling_dist;
+      DCHECK_EQ(g, pj[d].sibling_dist);
+      const double wrap = g - di - dj;
+      if (wrap > lb) lb = wrap;
+      const double around = di + g + dj;
+      if (around < ub) ub = around;
+      break;
+    }
+  }
+  // Leaf prototypes: D(rep_i, rep_j) is in the prototype matrix, and both
+  // objects sit close to their leaf representative, so the wrap bound is
+  // tight precisely for far pairs.
+  const uint32_t ri = leaf_rep_index_[i];
+  const uint32_t rj = leaf_rep_index_[j];
+  if (ri != rj) {
+    const double g = rep_matrix_[ri * num_leaf_reps_ + rj];
+    const double di = dist_to_leaf_rep_[i];
+    const double dj = dist_to_leaf_rep_[j];
+    const double wrap = g - di - dj;
+    if (wrap > lb) lb = wrap;
+    const double around = di + g + dj;
+    if (around < ub) ub = around;
+  }
+
+  if (lb > ub) lb = ub;
+  return Interval(lb, ub);
+}
+
+}  // namespace metricprox

@@ -1,0 +1,75 @@
+#ifndef METRICPROX_BOUNDS_TRI_H_
+#define METRICPROX_BOUNDS_TRI_H_
+
+#include <string_view>
+
+#include "core/bounder.h"
+#include "core/types.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+
+/// The paper's Tri Scheme (Algorithm 2): bounds from triangles only.
+///
+/// For an unknown pair (i, j), every common resolved neighbor c forms a
+/// triangle whose two known sides constrain the missing one:
+///     lb = max_c |dist(i,c) - dist(j,c)|
+///     ub = min_c (dist(i,c) + dist(j,c))
+/// Computed by a linear merge over the two sorted adjacency lists, i.e.
+/// O(deg(i) + deg(j)); expected O(m/n) per lookup (Theorem 4.2). Updates
+/// are the graph insertion itself, so OnEdgeResolved is a no-op here.
+///
+/// Bounds are looser than SPLUB's (paths longer than 2 are ignored) but the
+/// scheme is the paper's recommended practical plug-in for large inputs.
+///
+/// The paper's Characteristic 1 admits *relaxed* triangle inequalities:
+///     dist(i, j) <= rho * (dist(i, c) + dist(c, j)),  rho >= 1
+/// (squared Euclidean distance is such a semimetric with rho = 2). Because
+/// Tri only ever uses paths of length two, the relaxation enters each bound
+/// exactly once:
+///     ub = rho * (d(i,c) + d(j,c))
+///     lb = max(d(i,c)/rho - d(j,c),  d(j,c)/rho - d(i,c))
+/// so a TriBounder constructed with the space's rho stays valid — and the
+/// framework's exactness guarantee carries over unchanged. (SPLUB/ADM/DFT
+/// compose the inequality along longer paths and require rho = 1.)
+class TriBounder : public Bounder {
+ public:
+  explicit TriBounder(const PartialDistanceGraph* graph, double rho = 1.0)
+      : graph_(graph), rho_(rho) {
+    CHECK(graph != nullptr);
+    CHECK_GE(rho, 1.0) << "relaxation factor must be >= 1";
+  }
+
+  std::string_view name() const override { return "tri"; }
+
+  Interval Bounds(ObjectId i, ObjectId j) override {
+    double lb = 0.0;
+    double ub = kInfDistance;
+    const double inv_rho = 1.0 / rho_;
+    graph_->ForEachCommonNeighbor(
+        i, j, [&](ObjectId, double di, double dj) {
+          const double gap_ij = di * inv_rho - dj;
+          const double gap_ji = dj * inv_rho - di;
+          const double gap = gap_ij > gap_ji ? gap_ij : gap_ji;
+          if (gap > lb) lb = gap;
+          const double sum = rho_ * (di + dj);
+          if (sum < ub) ub = sum;
+        });
+    // A maximally tight triangle can make lb exceed ub by floating-point
+    // noise only; clamp defensively.
+    if (lb > ub) lb = ub;
+    return Interval(lb, ub);
+  }
+
+  void OnEdgeResolved(ObjectId, ObjectId, double) override {}
+
+  double rho() const { return rho_; }
+
+ private:
+  const PartialDistanceGraph* graph_;  // not owned
+  double rho_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_TRI_H_

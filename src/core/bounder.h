@@ -1,0 +1,102 @@
+#ifndef METRICPROX_CORE_BOUNDER_H_
+#define METRICPROX_CORE_BOUNDER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string_view>
+
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Safety margin for bound-based decisions. Bound intervals are computed
+/// with a handful of floating-point additions, so they can stray a few ulps
+/// outside the true mathematical interval; deciding a comparison only when
+/// the bound clears the threshold by this (relative) margin keeps every
+/// decision consistent with the exact distances. Near-ties inside the
+/// margin simply fall back to the oracle — exactness is never sacrificed.
+inline double BoundDecisionMargin(double scale) {
+  return 1e-12 * (1.0 + std::abs(scale));
+}
+
+/// A bound scheme: the pluggable component that answers "what do the
+/// already-resolved distances imply about this unknown distance?".
+///
+/// Implementations: TriBounder, SplubBounder, AdmBounder, LaesaBounder,
+/// TlaesaBounder, DftBounder, NullBounder. A BoundedResolver consults the
+/// bounder before every oracle call and notifies it after every resolution
+/// (the paper's BOUNDS and UPDATE problems, Problems 1 and 2).
+class Bounder {
+ public:
+  virtual ~Bounder() = default;
+
+  /// Short identifier for reports, e.g. "tri" or "splub".
+  virtual std::string_view name() const = 0;
+
+  /// A [lb, ub] interval guaranteed to contain dist(i, j), derived without
+  /// any oracle call. The caller guarantees i != j and that (i, j) is not
+  /// already resolved (the resolver short-circuits known edges itself).
+  ///
+  /// Non-const because schemes may maintain internal caches.
+  virtual Interval Bounds(ObjectId i, ObjectId j) = 0;
+
+  /// Notification that dist(i, j) = d has been resolved and inserted into
+  /// the shared PartialDistanceGraph (the UPDATE problem).
+  virtual void OnEdgeResolved(ObjectId i, ObjectId j, double d) = 0;
+
+  /// Tries to decide `dist(i, j) < t` without the oracle. Returns nullopt
+  /// when the scheme cannot decide. The default derives the answer from
+  /// Bounds(); DFT overrides this with an LP feasibility test.
+  virtual std::optional<bool> DecideLessThan(ObjectId i, ObjectId j,
+                                             double t) {
+    const Interval b = Bounds(i, j);
+    const double margin = BoundDecisionMargin(t);
+    if (b.hi < t - margin) return true;
+    if (b.lo >= t + margin) return false;
+    return std::nullopt;
+  }
+
+  /// Tries to decide `dist(i, j) > t` without the oracle (needed when the
+  /// *left* side of a pair comparison is already resolved; note this is not
+  /// the negation of DecideLessThan because of possible equality).
+  virtual std::optional<bool> DecideGreaterThan(ObjectId i, ObjectId j,
+                                                double t) {
+    const Interval b = Bounds(i, j);
+    const double margin = BoundDecisionMargin(t);
+    if (b.lo > t + margin) return true;
+    if (b.hi <= t - margin) return false;
+    return std::nullopt;
+  }
+
+  /// Tries to decide `dist(i, j) < dist(k, l)` without the oracle. The
+  /// default compares the two bound intervals (the paper's re-authored IF
+  /// statement `LB(i,j) >= UB(k,l)` and its mirror).
+  virtual std::optional<bool> DecidePairLess(ObjectId i, ObjectId j,
+                                             ObjectId k, ObjectId l) {
+    const Interval ij = Bounds(i, j);
+    const Interval kl = Bounds(k, l);
+    const double margin =
+        BoundDecisionMargin(std::min(ij.hi, kl.hi) == kInfDistance
+                                ? std::max(ij.lo, kl.lo)
+                                : std::min(ij.hi, kl.hi));
+    if (ij.hi < kl.lo - margin) return true;
+    if (ij.lo >= kl.hi + margin) return false;
+    return std::nullopt;
+  }
+};
+
+/// The no-op scheme backing the "without plug" baselines: every bound is
+/// [0, inf), so every comparison falls through to the oracle.
+class NullBounder : public Bounder {
+ public:
+  std::string_view name() const override { return "none"; }
+  Interval Bounds(ObjectId, ObjectId) override {
+    return Interval::Unbounded();
+  }
+  void OnEdgeResolved(ObjectId, ObjectId, double) override {}
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_CORE_BOUNDER_H_

@@ -1,0 +1,147 @@
+#ifndef METRICPROX_CORE_LOGGING_H_
+#define METRICPROX_CORE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Minimal CHECK/LOG macros in the spirit of glog, sufficient for a library
+// that forbids exceptions: invariant violations abort with a location and a
+// streamed message.
+//
+// Usage:
+//   CHECK(ptr != nullptr) << "context " << x;
+//   CHECK_LT(i, n);
+//   DCHECK(...)  // compiled out in NDEBUG builds
+//   LOG(INFO) << "message";
+
+namespace metricprox {
+namespace internal_logging {
+
+enum class Severity { kInfo, kWarning, kError, kFatal };
+
+// Accumulates a message and emits it (aborting for kFatal) on destruction.
+class LogMessage {
+ public:
+  LogMessage(Severity severity, const char* file, int line)
+      : severity_(severity) {
+    stream_ << "[" << Label(severity) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (severity_ == Severity::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  static const char* Label(Severity s) {
+    switch (s) {
+      case Severity::kInfo:
+        return "INFO";
+      case Severity::kWarning:
+        return "WARN";
+      case Severity::kError:
+        return "ERROR";
+      case Severity::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* file) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  Severity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a DCHECK is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace metricprox
+
+#define MetricproxLogInfo \
+  ::metricprox::internal_logging::Severity::kInfo
+#define MetricproxLogWarning \
+  ::metricprox::internal_logging::Severity::kWarning
+#define MetricproxLogError \
+  ::metricprox::internal_logging::Severity::kError
+#define MetricproxLogFatal \
+  ::metricprox::internal_logging::Severity::kFatal
+
+#define LOG(severity)                                                 \
+  ::metricprox::internal_logging::LogMessage(MetricproxLog##severity, \
+                                             __FILE__, __LINE__)      \
+      .stream()
+
+#define CHECK(condition)                                            \
+  if (!(condition))                                                  \
+  ::metricprox::internal_logging::LogMessage(MetricproxLogFatal,     \
+                                             __FILE__, __LINE__)     \
+          .stream()                                                  \
+      << "Check failed: " #condition " "
+
+#define METRICPROX_CHECK_OP(name, op, a, b)                          \
+  if (!((a)op(b)))                                                   \
+  ::metricprox::internal_logging::LogMessage(MetricproxLogFatal,     \
+                                             __FILE__, __LINE__)     \
+          .stream()                                                  \
+      << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b) \
+      << ") "
+
+#define CHECK_EQ(a, b) METRICPROX_CHECK_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) METRICPROX_CHECK_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) METRICPROX_CHECK_OP(LT, <, a, b)
+#define CHECK_LE(a, b) METRICPROX_CHECK_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) METRICPROX_CHECK_OP(GT, >, a, b)
+#define CHECK_GE(a, b) METRICPROX_CHECK_OP(GE, >=, a, b)
+
+#ifdef NDEBUG
+#define METRICPROX_DCHECK_ACTIVE 0
+#else
+#define METRICPROX_DCHECK_ACTIVE 1
+#endif
+
+#if METRICPROX_DCHECK_ACTIVE
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(a, b) CHECK_EQ(a, b)
+#define DCHECK_NE(a, b) CHECK_NE(a, b)
+#define DCHECK_LT(a, b) CHECK_LT(a, b)
+#define DCHECK_LE(a, b) CHECK_LE(a, b)
+#define DCHECK_GT(a, b) CHECK_GT(a, b)
+#define DCHECK_GE(a, b) CHECK_GE(a, b)
+#else
+#define DCHECK(condition) \
+  if (false) ::metricprox::internal_logging::NullStream()
+#define DCHECK_EQ(a, b) DCHECK((a) == (b))
+#define DCHECK_NE(a, b) DCHECK((a) != (b))
+#define DCHECK_LT(a, b) DCHECK((a) < (b))
+#define DCHECK_LE(a, b) DCHECK((a) <= (b))
+#define DCHECK_GT(a, b) DCHECK((a) > (b))
+#define DCHECK_GE(a, b) DCHECK((a) >= (b))
+#endif
+
+#endif  // METRICPROX_CORE_LOGGING_H_

@@ -1,0 +1,42 @@
+#ifndef METRICPROX_CORE_ORACLE_H_
+#define METRICPROX_CORE_ORACLE_H_
+
+#include <string_view>
+
+#include "core/types.h"
+
+namespace metricprox {
+
+/// The expensive distance function over a fixed universe of objects
+/// identified by dense ids `0 .. num_objects()-1`.
+///
+/// Implementations MUST be metric — symmetric, non-negative, zero only for
+/// identical objects, satisfying the triangle inequality — or a *relaxed*
+/// metric (d(i,j) <= rho*(d(i,k)+d(k,j)) for a documented rho >= 1, e.g.
+/// squared Euclidean with rho = 2), in which case only rho-aware schemes
+/// apply (see bounds/tri.h). Every bound scheme silently produces wrong
+/// answers on inputs violating its assumed inequality (tests sample-check
+/// the property for each shipped oracle).
+///
+/// A call to Distance() models one *expensive* oracle invocation (map API
+/// round-trip, edit-distance DP, image comparison, ...). Proximity
+/// algorithms never call this directly; they go through BoundedResolver,
+/// which counts calls and consults the plugged-in bound scheme first.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Exact distance between two distinct objects. Requires i != j and both
+  /// ids in range.
+  virtual double Distance(ObjectId i, ObjectId j) = 0;
+
+  /// Number of objects in the universe.
+  virtual ObjectId num_objects() const = 0;
+
+  /// Short identifier for reports, e.g. "euclidean" or "road-network".
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_CORE_ORACLE_H_

@@ -1,0 +1,23 @@
+#include "core/stats.h"
+
+#include <sstream>
+
+namespace metricprox {
+
+std::string ResolverStats::ToString() const {
+  std::ostringstream os;
+  os << "oracle_calls=" << oracle_calls
+     << " comparisons=" << comparisons
+     << " decided_by_bounds=" << decided_by_bounds
+     << " decided_by_cache=" << decided_by_cache
+     << " decided_by_oracle=" << decided_by_oracle
+     << " bound_queries=" << bound_queries
+     << " bounder_seconds=" << bounder_seconds
+     << " oracle_seconds=" << oracle_seconds;
+  if (simulated_oracle_seconds > 0) {
+    os << " simulated_oracle_seconds=" << simulated_oracle_seconds;
+  }
+  return os.str();
+}
+
+}  // namespace metricprox

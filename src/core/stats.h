@@ -1,0 +1,73 @@
+#ifndef METRICPROX_CORE_STATS_H_
+#define METRICPROX_CORE_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace metricprox {
+
+/// Counters collected by a BoundedResolver while a proximity algorithm runs.
+///
+/// `oracle_calls` is the headline metric of the paper; `decided_by_bounds`
+/// counts comparisons resolved without touching the oracle (the "save-ups").
+struct ResolverStats {
+  /// Calls that reached the distance oracle.
+  uint64_t oracle_calls = 0;
+  /// Comparisons answered purely from bounds (each avoided >= 1 oracle call).
+  uint64_t decided_by_bounds = 0;
+  /// Comparisons answered because the edge was already resolved earlier.
+  uint64_t decided_by_cache = 0;
+  /// Comparisons that had to fall back to the oracle.
+  uint64_t decided_by_oracle = 0;
+  /// Total comparison requests (LessThan + PairLess).
+  uint64_t comparisons = 0;
+  /// Bound-interval queries issued to the plugged-in bounder.
+  uint64_t bound_queries = 0;
+  /// Wall time spent inside the bounder (bounds + updates), in seconds:
+  /// the paper's "CPU overhead".
+  double bounder_seconds = 0.0;
+  /// Wall time spent inside the oracle, in seconds (real, not simulated).
+  double oracle_seconds = 0.0;
+  /// Simulated oracle latency accumulated by a SimulatedCostOracle, seconds.
+  double simulated_oracle_seconds = 0.0;
+
+  void Reset() { *this = ResolverStats(); }
+
+  ResolverStats& operator+=(const ResolverStats& o) {
+    oracle_calls += o.oracle_calls;
+    decided_by_bounds += o.decided_by_bounds;
+    decided_by_cache += o.decided_by_cache;
+    decided_by_oracle += o.decided_by_oracle;
+    comparisons += o.comparisons;
+    bound_queries += o.bound_queries;
+    bounder_seconds += o.bounder_seconds;
+    oracle_seconds += o.oracle_seconds;
+    simulated_oracle_seconds += o.simulated_oracle_seconds;
+    return *this;
+  }
+
+  /// Multi-line human-readable dump (for examples and debugging).
+  std::string ToString() const;
+};
+
+/// Monotonic stopwatch used for the fine-grained stat timers.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Restart() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_CORE_STATS_H_

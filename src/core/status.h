@@ -1,0 +1,141 @@
+#ifndef METRICPROX_CORE_STATUS_H_
+#define METRICPROX_CORE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+/// Error categories used across the library (RocksDB-style; the library does
+/// not use exceptions).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a short human-readable name for a code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+///
+/// Cheap to copy in the OK case (no allocation); error construction
+/// allocates for the message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// kOk (use the default constructor for success).
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    DCHECK(code != StatusCode::kOk) << "use Status::OK() for success";
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error StatusOr is a fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value, mirroring absl::StatusOr ergonomics.
+  StatusOr(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status.
+  StatusOr(Status status) : payload_(std::move(status)) {  // NOLINT
+    DCHECK(!std::get<Status>(payload_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CHECK(ok()) << "value() on error StatusOr: "
+                << std::get<Status>(payload_).ToString();
+    return std::get<T>(payload_);
+  }
+
+  T& value() & {
+    CHECK(ok()) << "value() on error StatusOr: "
+                << std::get<Status>(payload_).ToString();
+    return std::get<T>(payload_);
+  }
+
+  T&& value() && {
+    CHECK(ok()) << "value() on error StatusOr: "
+                << std::get<Status>(payload_).ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> payload_;
+};
+
+/// Propagates a non-OK status out of the calling function.
+#define MP_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::metricprox::Status mp_status_ = (expr);    \
+    if (!mp_status_.ok()) return mp_status_;     \
+  } while (false)
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_CORE_STATUS_H_

@@ -1,0 +1,108 @@
+#ifndef METRICPROX_CORE_TYPES_H_
+#define METRICPROX_CORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+/// Dense index of an object in the metric space, 0-based.
+using ObjectId = uint32_t;
+
+/// Sentinel "no object".
+inline constexpr ObjectId kInvalidObject =
+    std::numeric_limits<ObjectId>::max();
+
+/// Positive infinity for distances.
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// An unordered pair of objects packed into one 64-bit key
+/// (min in the high word). Used as a hash-map key for resolved edges.
+class EdgeKey {
+ public:
+  EdgeKey() : packed_(0) {}
+
+  EdgeKey(ObjectId a, ObjectId b) {
+    DCHECK_NE(a, b) << "self-edge has no distance entry";
+    if (a > b) std::swap(a, b);
+    packed_ = (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  ObjectId lo() const { return static_cast<ObjectId>(packed_ >> 32); }
+  ObjectId hi() const { return static_cast<ObjectId>(packed_ & 0xffffffffu); }
+  uint64_t packed() const { return packed_; }
+
+  friend bool operator==(EdgeKey x, EdgeKey y) {
+    return x.packed_ == y.packed_;
+  }
+  friend bool operator<(EdgeKey x, EdgeKey y) { return x.packed_ < y.packed_; }
+
+ private:
+  uint64_t packed_;
+};
+
+struct EdgeKeyHash {
+  size_t operator()(EdgeKey k) const {
+    // splitmix64 finalizer: cheap and well-distributed for packed pairs.
+    uint64_t x = k.packed();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+/// Closed interval [lo, hi] bounding an unknown distance.
+struct Interval {
+  double lo = 0.0;
+  double hi = kInfDistance;
+
+  Interval() = default;
+  Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {
+    DCHECK_LE(lo, hi);
+  }
+
+  /// A degenerate interval for an exactly-known distance.
+  static Interval Exact(double d) { return Interval(d, d); }
+
+  /// The uninformative interval [0, inf).
+  static Interval Unbounded() { return Interval(0.0, kInfDistance); }
+
+  bool IsExact() const { return lo == hi; }
+  double width() const { return hi - lo; }
+  bool Contains(double d) const { return lo <= d && d <= hi; }
+
+  /// Intersection of two intervals known to bound the same quantity.
+  /// CHECK-fails if they are disjoint (which would indicate a broken bound).
+  Interval IntersectedWith(const Interval& other) const {
+    Interval out;
+    out.lo = lo > other.lo ? lo : other.lo;
+    out.hi = hi < other.hi ? hi : other.hi;
+    CHECK_LE(out.lo, out.hi) << "disjoint bound intervals";
+    return out;
+  }
+
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// A resolved edge: unordered pair plus its exact distance.
+struct WeightedEdge {
+  ObjectId u = kInvalidObject;
+  ObjectId v = kInvalidObject;
+  double weight = 0.0;
+
+  friend bool operator==(const WeightedEdge& a, const WeightedEdge& b) {
+    return a.u == b.u && a.v == b.v && a.weight == b.weight;
+  }
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_CORE_TYPES_H_

@@ -1,0 +1,91 @@
+#include "data/io.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace metricprox {
+
+namespace {
+
+Status ParseRow(const std::string& line, size_t line_number,
+                std::vector<double>* out) {
+  out->clear();
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string::npos) comma = line.size();
+    const std::string field = line.substr(start, comma - start);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || errno == ERANGE) {
+      std::ostringstream os;
+      os << "line " << line_number << ": cannot parse field '" << field
+         << "'";
+      return Status::InvalidArgument(os.str());
+    }
+    out->push_back(value);
+    start = comma + 1;
+    if (comma == line.size()) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<PointSet> LoadPointsCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  PointSet points;
+  std::string line;
+  size_t line_number = 0;
+  std::vector<double> row;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    MP_RETURN_IF_ERROR(ParseRow(line, line_number, &row));
+    if (!points.empty() && row.size() != points[0].size()) {
+      std::ostringstream os;
+      os << "line " << line_number << ": arity " << row.size()
+         << " does not match first row arity " << points[0].size();
+      return Status::InvalidArgument(os.str());
+    }
+    points.push_back(row);
+  }
+  if (points.empty()) {
+    return Status::InvalidArgument(path + " contains no points");
+  }
+  return points;
+}
+
+Status SavePointsCsv(const std::string& path, const PointSet& points) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.precision(std::numeric_limits<double>::max_digits10);
+  for (const std::vector<double>& p : points) {
+    for (size_t d = 0; d < p.size(); ++d) {
+      if (d > 0) out << ',';
+      out << p[d];
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> LoadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,26 @@
+#ifndef METRICPROX_DATA_IO_H_
+#define METRICPROX_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "oracle/vector_oracle.h"
+
+namespace metricprox {
+
+/// Loads a headerless CSV of equal-arity numeric rows (one point per line,
+/// comma-separated coordinates). Blank lines are skipped; any parse error
+/// or ragged row fails the whole load.
+StatusOr<PointSet> LoadPointsCsv(const std::string& path);
+
+/// Writes points as CSV with full double precision. Overwrites `path`.
+Status SavePointsCsv(const std::string& path, const PointSet& points);
+
+/// Loads one string per line (used for edit-distance datasets). Blank lines
+/// are skipped.
+StatusOr<std::vector<std::string>> LoadLines(const std::string& path);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_DATA_IO_H_

@@ -1,0 +1,125 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <random>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+PointSet UniformPoints(ObjectId n, uint32_t dim, double range,
+                       uint64_t seed) {
+  CHECK_GE(n, 1u);
+  CHECK_GE(dim, 1u);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, range);
+  PointSet points(n, std::vector<double>(dim));
+  for (std::vector<double>& p : points) {
+    for (double& c : p) c = coord(rng);
+  }
+  return points;
+}
+
+PointSet GaussianMixturePoints(ObjectId n, uint32_t dim,
+                               uint32_t num_clusters, double range,
+                               double spread, uint64_t seed) {
+  CHECK_GE(n, 1u);
+  CHECK_GE(dim, 1u);
+  CHECK_GE(num_clusters, 1u);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coord(0.0, range);
+  std::normal_distribution<double> noise(0.0, spread);
+
+  PointSet centers(num_clusters, std::vector<double>(dim));
+  for (std::vector<double>& c : centers) {
+    for (double& x : c) x = coord(rng);
+  }
+  PointSet points(n, std::vector<double>(dim));
+  for (ObjectId i = 0; i < n; ++i) {
+    const std::vector<double>& center = centers[rng() % num_clusters];
+    for (uint32_t d = 0; d < dim; ++d) {
+      points[i][d] = center[d] + noise(rng);
+    }
+  }
+  return points;
+}
+
+std::vector<std::string> DnaFamilyStrings(ObjectId n, size_t length,
+                                          uint32_t num_families,
+                                          uint32_t mutations, uint64_t seed) {
+  CHECK_GE(n, 1u);
+  CHECK_GE(length, 8u);
+  CHECK_GE(num_families, 1u);
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::mt19937_64 rng(seed);
+  auto random_base = [&rng]() { return kBases[rng() % 4]; };
+
+  std::vector<std::string> ancestors(num_families);
+  for (std::string& a : ancestors) {
+    a.resize(length);
+    for (char& c : a) c = random_base();
+  }
+
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::string s = ancestors[rng() % num_families];
+    for (uint32_t m = 0; m < mutations; ++m) {
+      const size_t pos = rng() % s.size();
+      switch (rng() % 3) {
+        case 0:  // substitution
+          s[pos] = random_base();
+          break;
+        case 1:  // insertion
+          s.insert(s.begin() + pos, random_base());
+          break;
+        default:  // deletion (keep a minimum length)
+          if (s.size() > 4) s.erase(s.begin() + pos);
+          break;
+      }
+    }
+    // Metric identity needs pairwise-distinct objects.
+    if (std::find(out.begin(), out.end(), s) == out.end()) {
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<double> RandomShortestPathMetric(ObjectId n, double roughness,
+                                             uint64_t seed) {
+  CHECK_GE(n, 2u);
+  CHECK_GT(roughness, 0.0);
+  CHECK_LE(roughness, 1.0);
+  std::mt19937_64 rng(seed);
+  // Raw weights in [1 - roughness, 1 + roughness] scaled to [0, 1]-ish;
+  // closure only shortens, so positivity is preserved.
+  std::uniform_real_distribution<double> weight(1.0 - roughness,
+                                                1.0 + roughness);
+  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      const double w = weight(rng);
+      d[i * n + j] = w;
+      d[j * n + i] = w;
+    }
+  }
+  // Floyd–Warshall closure.
+  for (ObjectId k = 0; k < n; ++k) {
+    for (ObjectId i = 0; i < n; ++i) {
+      const double dik = d[i * n + k];
+      for (ObjectId j = 0; j < n; ++j) {
+        const double via = dik + d[k * n + j];
+        if (via < d[i * n + j]) d[i * n + j] = via;
+      }
+    }
+  }
+  // Normalize into (0, 1].
+  double diameter = 0.0;
+  for (double v : d) diameter = std::max(diameter, v);
+  CHECK_GT(diameter, 0.0);
+  for (double& v : d) v /= diameter;
+  return d;
+}
+
+}  // namespace metricprox

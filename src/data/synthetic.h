@@ -1,0 +1,42 @@
+#ifndef METRICPROX_DATA_SYNTHETIC_H_
+#define METRICPROX_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "oracle/vector_oracle.h"
+
+namespace metricprox {
+
+/// n points uniform in [0, range]^dim.
+PointSet UniformPoints(ObjectId n, uint32_t dim, double range, uint64_t seed);
+
+/// n points from a Gaussian mixture: `num_clusters` centers uniform in
+/// [0, range]^dim, points N(center, spread^2 I). Models feature-vector
+/// corpora like Flickr1M.
+PointSet GaussianMixturePoints(ObjectId n, uint32_t dim,
+                               uint32_t num_clusters, double range,
+                               double spread, uint64_t seed);
+
+/// n random strings over the DNA alphabet: `num_families` random ancestors
+/// of the given length, each instance derived by `mutations` random
+/// point-edits (substitute/insert/delete). Pairs within a family are close
+/// in edit distance, across families far — the cluster structure k-NN and
+/// clustering workloads need.
+std::vector<std::string> DnaFamilyStrings(ObjectId n, size_t length,
+                                          uint32_t num_families,
+                                          uint32_t mutations, uint64_t seed);
+
+/// Dense n*n shortest-path-closure metric: start from a random positively
+/// weighted complete graph and take the all-pairs shortest-path closure
+/// (which is always a metric). `roughness` in (0, 1] controls how far the
+/// raw weights deviate before closure — higher means more triangle slack
+/// gets removed, producing a metric with more "shortcut" structure.
+std::vector<double> RandomShortestPathMetric(ObjectId n, double roughness,
+                                             uint64_t seed);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_DATA_SYNTHETIC_H_

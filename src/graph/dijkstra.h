@@ -1,0 +1,38 @@
+#ifndef METRICPROX_GRAPH_DIJKSTRA_H_
+#define METRICPROX_GRAPH_DIJKSTRA_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+
+/// Single-source shortest paths over the resolved edges of a
+/// PartialDistanceGraph (standard binary-heap Dijkstra, O(m + n log n)-ish).
+///
+/// Unreachable nodes get kInfDistance. A reusable instance keeps its
+/// scratch buffers allocated across calls, which matters when SPLUB issues
+/// one call per bound query.
+class DijkstraSolver {
+ public:
+  explicit DijkstraSolver(ObjectId num_objects);
+
+  /// Fills `out` (resized to num_objects) with shortest-path distances from
+  /// `source` over the known edges of `graph`.
+  void Solve(const PartialDistanceGraph& graph, ObjectId source,
+             std::vector<double>* out);
+
+  /// One-shot convenience.
+  static std::vector<double> ShortestPaths(const PartialDistanceGraph& graph,
+                                           ObjectId source);
+
+ private:
+  ObjectId num_objects_;
+  // Scratch reused across Solve() calls.
+  std::vector<uint32_t> touched_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_GRAPH_DIJKSTRA_H_

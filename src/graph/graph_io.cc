@@ -1,0 +1,73 @@
+#include "graph/graph_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace metricprox {
+
+namespace {
+constexpr char kMagic[] = "metricprox-graph";
+constexpr char kVersion[] = "v1";
+}  // namespace
+
+Status SaveGraph(const PartialDistanceGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << kMagic << ' ' << kVersion << ' ' << graph.num_objects() << ' '
+      << graph.num_edges() << '\n';
+  for (const WeightedEdge& e : graph.edges()) {
+    out << e.u << ' ' << e.v << ' ' << e.weight << '\n';
+  }
+  if (!out.good()) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+StatusOr<PartialDistanceGraph> LoadGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  std::string magic;
+  std::string version;
+  ObjectId n = 0;
+  size_t m = 0;
+  if (!(in >> magic >> version >> n >> m) || magic != kMagic) {
+    return Status::InvalidArgument(path + ": not a metricprox graph file");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(path + ": unsupported version " + version);
+  }
+  if (n == 0) return Status::InvalidArgument(path + ": zero objects");
+
+  PartialDistanceGraph graph(n);
+  for (size_t e = 0; e < m; ++e) {
+    ObjectId u = 0;
+    ObjectId v = 0;
+    double d = 0.0;
+    if (!(in >> u >> v >> d)) {
+      std::ostringstream os;
+      os << path << ": truncated edge list (expected " << m << " edges, got "
+         << e << ")";
+      return Status::InvalidArgument(os.str());
+    }
+    if (u >= n || v >= n || u == v) {
+      std::ostringstream os;
+      os << path << ": invalid edge (" << u << ", " << v << ")";
+      return Status::InvalidArgument(os.str());
+    }
+    if (!(d >= 0.0) || !std::isfinite(d)) {
+      return Status::InvalidArgument(path + ": invalid edge weight");
+    }
+    if (graph.Has(u, v)) {
+      std::ostringstream os;
+      os << path << ": duplicate edge (" << u << ", " << v << ")";
+      return Status::InvalidArgument(os.str());
+    }
+    graph.Insert(u, v, d);
+  }
+  return graph;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,27 @@
+#ifndef METRICPROX_GRAPH_GRAPH_IO_H_
+#define METRICPROX_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+
+/// Persists the resolved edges of a partial graph so an expensive run
+/// (e.g. thousands of paid map-API calls) can be checkpointed and resumed:
+/// reload the edges, rebuild the resolver on top, and every previously
+/// paid distance is a cache hit.
+///
+/// Format: a text header `metricprox-graph v1 <n> <m>` followed by one
+/// `u v distance` line per edge (full double precision, insertion order).
+Status SaveGraph(const PartialDistanceGraph& graph, const std::string& path);
+
+/// Loads a graph saved by SaveGraph. Fails with InvalidArgument on any
+/// malformed content (bad header, out-of-range ids, duplicate or negative
+/// edges) and IoError if the file cannot be read.
+StatusOr<PartialDistanceGraph> LoadGraph(const std::string& path);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,147 @@
+#ifndef METRICPROX_GRAPH_INDEXED_HEAP_H_
+#define METRICPROX_GRAPH_INDEXED_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+/// Binary min-heap over a fixed id universe [0, capacity) with
+/// decrease-key, as used by Dijkstra and Prim.
+///
+/// Keys are doubles; ties broken by smaller id for determinism. All
+/// operations are O(log size) except Contains/KeyOf which are O(1).
+class IndexedMinHeap {
+ public:
+  /// Creates an empty heap able to hold ids in [0, capacity).
+  explicit IndexedMinHeap(uint32_t capacity)
+      : position_(capacity, kAbsent) {}
+
+  bool empty() const { return entries_.empty(); }
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+  bool Contains(uint32_t id) const {
+    DCHECK_LT(id, position_.size());
+    return position_[id] != kAbsent;
+  }
+
+  /// Key currently associated with `id`; requires Contains(id).
+  double KeyOf(uint32_t id) const {
+    DCHECK(Contains(id));
+    return entries_[position_[id]].key;
+  }
+
+  /// Inserts `id` with `key`; requires !Contains(id).
+  void Push(uint32_t id, double key) {
+    DCHECK(!Contains(id));
+    position_[id] = static_cast<uint32_t>(entries_.size());
+    entries_.push_back(Entry{key, id});
+    SiftUp(static_cast<uint32_t>(entries_.size()) - 1);
+  }
+
+  /// Lowers the key of `id` to `key`; requires Contains(id) and
+  /// key <= KeyOf(id).
+  void DecreaseKey(uint32_t id, double key) {
+    DCHECK(Contains(id));
+    uint32_t pos = position_[id];
+    DCHECK_LE(key, entries_[pos].key);
+    entries_[pos].key = key;
+    SiftUp(pos);
+  }
+
+  /// Inserts or lowers: no-op if present with a smaller-or-equal key.
+  void PushOrDecrease(uint32_t id, double key) {
+    if (!Contains(id)) {
+      Push(id, key);
+    } else if (key < KeyOf(id)) {
+      DecreaseKey(id, key);
+    }
+  }
+
+  /// Id with the minimum key; requires !empty().
+  uint32_t Top() const {
+    DCHECK(!empty());
+    return entries_[0].id;
+  }
+
+  /// Key of the minimum entry; requires !empty().
+  double TopKey() const {
+    DCHECK(!empty());
+    return entries_[0].key;
+  }
+
+  /// Removes and returns the id with the minimum key; requires !empty().
+  uint32_t Pop() {
+    DCHECK(!empty());
+    const uint32_t top = entries_[0].id;
+    RemoveAt(0);
+    return top;
+  }
+
+ private:
+  struct Entry {
+    double key;
+    uint32_t id;
+  };
+
+  static constexpr uint32_t kAbsent = 0xffffffffu;
+
+  bool Less(const Entry& a, const Entry& b) const {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  void RemoveAt(uint32_t pos) {
+    position_[entries_[pos].id] = kAbsent;
+    const uint32_t last = static_cast<uint32_t>(entries_.size()) - 1;
+    if (pos != last) {
+      entries_[pos] = entries_[last];
+      position_[entries_[pos].id] = pos;
+      entries_.pop_back();
+      if (!SiftUp(pos)) SiftDown(pos);
+    } else {
+      entries_.pop_back();
+    }
+  }
+
+  // Returns true if the entry moved.
+  bool SiftUp(uint32_t pos) {
+    bool moved = false;
+    while (pos > 0) {
+      const uint32_t parent = (pos - 1) / 2;
+      if (!Less(entries_[pos], entries_[parent])) break;
+      SwapEntries(pos, parent);
+      pos = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void SiftDown(uint32_t pos) {
+    const uint32_t n = static_cast<uint32_t>(entries_.size());
+    while (true) {
+      uint32_t best = pos;
+      const uint32_t left = 2 * pos + 1;
+      const uint32_t right = 2 * pos + 2;
+      if (left < n && Less(entries_[left], entries_[best])) best = left;
+      if (right < n && Less(entries_[right], entries_[best])) best = right;
+      if (best == pos) break;
+      SwapEntries(pos, best);
+      pos = best;
+    }
+  }
+
+  void SwapEntries(uint32_t a, uint32_t b) {
+    std::swap(entries_[a], entries_[b]);
+    position_[entries_[a].id] = a;
+    position_[entries_[b].id] = b;
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> position_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_GRAPH_INDEXED_HEAP_H_

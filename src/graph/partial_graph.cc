@@ -1,0 +1,33 @@
+#include "graph/partial_graph.h"
+
+#include <algorithm>
+
+namespace metricprox {
+
+namespace {
+
+void InsertSorted(std::vector<PartialDistanceGraph::Neighbor>* list,
+                  ObjectId id, double d) {
+  auto it = std::lower_bound(
+      list->begin(), list->end(), id,
+      [](const PartialDistanceGraph::Neighbor& n, ObjectId key) {
+        return n.id < key;
+      });
+  list->insert(it, PartialDistanceGraph::Neighbor{id, d});
+}
+
+}  // namespace
+
+void PartialDistanceGraph::Insert(ObjectId i, ObjectId j, double d) {
+  CHECK_NE(i, j) << "self-edge";
+  CHECK_LT(i, num_objects());
+  CHECK_LT(j, num_objects());
+  CHECK_GE(d, 0.0) << "negative distance from oracle";
+  const bool inserted = edge_map_.emplace(EdgeKey(i, j), d).second;
+  CHECK(inserted) << "duplicate edge (" << i << ", " << j << ")";
+  InsertSorted(&adjacency_[i], j, d);
+  InsertSorted(&adjacency_[j], i, d);
+  edges_.push_back(WeightedEdge{i, j, d});
+}
+
+}  // namespace metricprox

@@ -1,0 +1,54 @@
+#ifndef METRICPROX_GRAPH_UNION_FIND_H_
+#define METRICPROX_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+/// Disjoint-set forest with union by rank and path halving.
+/// Used by Kruskal's algorithm and by connectivity checks in generators.
+class UnionFind {
+ public:
+  explicit UnionFind(uint32_t n) : parent_(n), rank_(n, 0), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  /// Representative of x's component (amortized near-constant).
+  uint32_t Find(uint32_t x) {
+    DCHECK_LT(x, parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Merges the components of a and b; returns false if already merged.
+  bool Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a);
+    uint32_t rb = Find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --components_;
+    return true;
+  }
+
+  uint32_t num_components() const { return components_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint8_t> rank_;
+  uint32_t components_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_GRAPH_UNION_FIND_H_

@@ -1,0 +1,59 @@
+#include "harness/experiment.h"
+
+#include "bounds/pivots.h"
+#include "core/logging.h"
+#include "graph/partial_graph.h"
+#include "oracle/wrappers.h"
+
+namespace metricprox {
+
+WorkloadResult RunWorkload(DistanceOracle* oracle,
+                           const WorkloadConfig& config,
+                           const Workload& workload) {
+  CHECK(oracle != nullptr);
+  CHECK(workload != nullptr);
+
+  SimulatedCostOracle costed(oracle, config.oracle_cost_seconds);
+  PartialDistanceGraph graph(oracle->num_objects());
+  BoundedResolver resolver(&costed, &graph);
+
+  WorkloadResult result;
+  Stopwatch watch;
+
+  if (config.bootstrap) {
+    const uint32_t landmarks = config.num_landmarks > 0
+                                   ? config.num_landmarks
+                                   : DefaultNumLandmarks(oracle->num_objects());
+    BootstrapWithLandmarks(&resolver, landmarks, config.seed);
+  }
+
+  SchemeOptions scheme_options;
+  scheme_options.num_landmarks = config.num_landmarks;
+  scheme_options.max_distance = config.max_distance;
+  scheme_options.rho = config.rho;
+  scheme_options.seed = config.seed;
+  StatusOr<std::unique_ptr<Bounder>> bounder =
+      MakeAndAttachScheme(config.scheme, &resolver, scheme_options);
+  CHECK(bounder.ok()) << bounder.status();
+
+  result.construction_calls = resolver.stats().oracle_calls;
+  result.value = workload(&resolver);
+
+  result.wall_seconds = watch.ElapsedSeconds();
+  result.stats = resolver.stats();
+  result.stats.simulated_oracle_seconds = costed.simulated_seconds();
+  result.total_calls = result.stats.oracle_calls;
+  result.completion_seconds =
+      result.wall_seconds + costed.simulated_seconds();
+  return result;
+}
+
+double SaveFraction(uint64_t ours, uint64_t baseline) {
+  if (baseline == 0) return 0.0;
+  // May be negative when "ours" spends more than the baseline; the tables
+  // report that honestly rather than clamping.
+  return (static_cast<double>(baseline) - static_cast<double>(ours)) /
+         static_cast<double>(baseline);
+}
+
+}  // namespace metricprox

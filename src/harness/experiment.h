@@ -1,0 +1,65 @@
+#ifndef METRICPROX_HARNESS_EXPERIMENT_H_
+#define METRICPROX_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "bounds/resolver.h"
+#include "bounds/scheme.h"
+#include "core/oracle.h"
+#include "core/stats.h"
+
+namespace metricprox {
+
+/// One configured execution of a proximity workload under a bound scheme.
+struct WorkloadConfig {
+  SchemeKind scheme = SchemeKind::kNone;
+  /// Resolve a LAESA-style landmark table into the graph before running
+  /// (the paper's bootstrapped "Tri Scheme" rows; only meaningful for
+  /// graph-reading schemes: tri/splub/adm).
+  bool bootstrap = false;
+  /// Landmarks for bootstrap / LAESA / TLAESA; 0 = ceil(log2(n)).
+  uint32_t num_landmarks = 0;
+  /// Simulated per-call oracle latency in seconds (paper Figures 7d/8a/8b).
+  double oracle_cost_seconds = 0.0;
+  /// Normalization bound required by DFT.
+  double max_distance = 1.0;
+  /// Relaxed-triangle-inequality factor (Tri Scheme only; see bounds/tri.h).
+  double rho = 1.0;
+  uint64_t seed = 42;
+};
+
+/// A proximity algorithm run against a resolver; returns a checksum
+/// (MST weight, total deviation, ...) used to verify scheme-independence.
+using Workload = std::function<double(BoundedResolver*)>;
+
+struct WorkloadResult {
+  /// All oracle calls, including scheme construction and bootstrap.
+  uint64_t total_calls = 0;
+  /// Calls spent before the workload started (pivot tables / bootstrap).
+  uint64_t construction_calls = 0;
+  ResolverStats stats;
+  /// Measured wall time of construction + workload.
+  double wall_seconds = 0.0;
+  /// wall_seconds plus simulated oracle latency (completion time).
+  double completion_seconds = 0.0;
+  /// The workload's checksum.
+  double value = 0.0;
+};
+
+/// Wires oracle -> simulated-cost wrapper -> graph -> resolver -> scheme,
+/// runs the workload, and collects the counters. The oracle is shared
+/// across calls only through its own state (road-row caches etc.); each run
+/// gets a fresh graph, so counts are independent.
+WorkloadResult RunWorkload(DistanceOracle* oracle,
+                           const WorkloadConfig& config,
+                           const Workload& workload);
+
+/// Fraction of calls saved by `ours` relative to `baseline`
+/// (the tables' "Save (%)" columns, as a fraction).
+double SaveFraction(uint64_t ours, uint64_t baseline);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,61 @@
+#include "harness/flags.h"
+
+#include <cstdlib>
+
+namespace metricprox {
+
+StatusOr<Flags> Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected --key[=value], got: " + arg);
+    }
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags.values_[arg.substr(2)] = "true";
+    } else {
+      flags.values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  used_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  used_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  used_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  used_[key] = true;
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Status Flags::FailOnUnused() const {
+  for (const auto& [key, value] : values_) {
+    if (used_.find(key) == used_.end()) {
+      return Status::InvalidArgument("unknown flag: --" + key);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace metricprox

@@ -1,0 +1,40 @@
+#ifndef METRICPROX_HARNESS_FLAGS_H_
+#define METRICPROX_HARNESS_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/status.h"
+
+namespace metricprox {
+
+/// Minimal `--key=value` / `--flag` command-line parser for the bench and
+/// example binaries (no external dependency; unknown flags are errors so
+/// typos do not silently fall back to defaults).
+class Flags {
+ public:
+  /// Parses argv. On error (malformed token) returns InvalidArgument.
+  static StatusOr<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Keys consumed so far via Get*/Has. Call to reject unknown flags.
+  Status FailOnUnused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_HARNESS_FLAGS_H_

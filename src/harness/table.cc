@@ -1,0 +1,107 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+TablePrinter& TablePrinter::NewRow() {
+  rows_.emplace_back();
+  rows_.back().reserve(columns_.size());
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddCell(std::string value) {
+  CHECK(!rows_.empty()) << "call NewRow() first";
+  CHECK_LT(rows_.back().size(), columns_.size()) << "row overflow";
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+TablePrinter& TablePrinter::AddInt(int64_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddUint(uint64_t value) {
+  return AddCell(std::to_string(value));
+}
+
+TablePrinter& TablePrinter::AddDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return AddCell(buf);
+}
+
+TablePrinter& TablePrinter::AddPercent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", fraction * 100.0);
+  return AddCell(buf);
+}
+
+std::string TablePrinter::ToString(const std::string& title) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const std::vector<std::string>& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << "\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << (c == 0 ? "| " : " | ");
+      os << std::string(widths[c] - cell.size(), ' ') << cell;
+    }
+    os << " |\n";
+  };
+  emit_row(columns_);
+  os << "|";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const std::vector<std::string>& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::cout << ToString(title) << std::flush;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::ostringstream os;
+  const auto emit_cell = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char c : cell) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (c > 0) os << ',';
+    emit_cell(columns_[c]);
+  }
+  os << '\n';
+  for (const std::vector<std::string>& row : rows_) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) os << ',';
+      emit_cell(c < row.size() ? row[c] : "");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace metricprox

@@ -1,0 +1,48 @@
+#ifndef METRICPROX_HARNESS_TABLE_H_
+#define METRICPROX_HARNESS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metricprox {
+
+/// Right-aligned ASCII table printer used by the bench binaries to emit
+/// paper-style tables (one row per configuration, one column per scheme or
+/// metric).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  TablePrinter& NewRow();
+
+  TablePrinter& AddCell(std::string value);
+  TablePrinter& AddInt(int64_t value);
+  TablePrinter& AddUint(uint64_t value);
+  /// Fixed-point with `precision` digits.
+  TablePrinter& AddDouble(double value, int precision = 2);
+  /// Percentage with two digits, e.g. "42.13".
+  TablePrinter& AddPercent(double fraction);
+
+  /// Renders with a header, a separator and every row. `title` prints above
+  /// the table when non-empty.
+  std::string ToString(const std::string& title = "") const;
+
+  /// Convenience: ToString to stdout.
+  void Print(const std::string& title = "") const;
+
+  /// Comma-separated rendering (header row + data rows) for piping bench
+  /// output into plotting tools. Cells containing commas or quotes are
+  /// quoted per RFC 4180.
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_HARNESS_TABLE_H_

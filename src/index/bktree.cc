@@ -1,0 +1,137 @@
+#include "index/bktree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+int64_t AsIntegerDistance(double d) {
+  const double rounded = std::nearbyint(d);
+  CHECK_LE(std::abs(d - rounded), 1e-9)
+      << "BK-tree requires integer distances, got " << d;
+  CHECK_GE(rounded, 0.0);
+  return static_cast<int64_t>(rounded);
+}
+
+struct HeapLess {
+  bool operator()(const KnnNeighbor& a, const KnnNeighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+BkTree::BkTree(ObjectId n, const ResolveFn& resolve) {
+  CHECK_GE(n, 1u);
+  nodes_.reserve(n);
+  for (ObjectId o = 0; o < n; ++o) Insert(o, resolve);
+}
+
+void BkTree::Insert(ObjectId object, const ResolveFn& resolve) {
+  if (nodes_.empty()) {
+    nodes_.push_back(Node{object, {}});
+    return;
+  }
+  int32_t current = 0;
+  uint32_t level = 0;
+  while (true) {
+    const int64_t d =
+        AsIntegerDistance(resolve(nodes_[current].object, object));
+    CHECK_GT(d, 0) << "duplicate object (distance 0) in BK-tree";
+    auto it = nodes_[current].children.find(d);
+    if (it == nodes_[current].children.end()) {
+      const int32_t fresh = static_cast<int32_t>(nodes_.size());
+      nodes_.push_back(Node{object, {}});
+      nodes_[current].children.emplace(d, fresh);
+      depth_ = std::max(depth_, level + 1);
+      return;
+    }
+    current = it->second;
+    ++level;
+  }
+}
+
+std::vector<KnnNeighbor> BkTree::Range(ObjectId query, double radius,
+                                       const ResolveFn& resolve) const {
+  CHECK_GE(radius, 0.0);
+  const int64_t r = static_cast<int64_t>(std::floor(radius + 1e-9));
+  std::vector<KnnNeighbor> hits;
+  std::vector<int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    int64_t d = 0;
+    if (node.object != query) {
+      d = AsIntegerDistance(resolve(query, node.object));
+      if (d <= r) {
+        hits.push_back(KnnNeighbor{node.object, static_cast<double>(d)});
+      }
+    }
+    // Children with keys in [d - r, d + r] may contain hits.
+    const auto lo = node.children.lower_bound(d - r);
+    const auto hi = node.children.upper_bound(d + r);
+    for (auto it = lo; it != hi; ++it) stack.push_back(it->second);
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+std::vector<KnnNeighbor> BkTree::Knn(ObjectId query, uint32_t k,
+                                     const ResolveFn& resolve) const {
+  CHECK_GE(k, 1u);
+  CHECK_GT(nodes_.size(), static_cast<size_t>(k));
+  std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, HeapLess> best;
+  int64_t tau = std::numeric_limits<int64_t>::max();
+
+  std::vector<int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    int64_t d = 0;
+    if (node.object != query) {
+      d = AsIntegerDistance(resolve(query, node.object));
+      const KnnNeighbor candidate{node.object, static_cast<double>(d)};
+      if (best.size() < k) {
+        best.push(candidate);
+      } else if (HeapLess()(candidate, best.top())) {
+        best.pop();
+        best.push(candidate);
+      }
+      if (best.size() == k) {
+        tau = static_cast<int64_t>(best.top().distance);
+      }
+    }
+    const int64_t r = best.size() < k ? std::numeric_limits<int64_t>::max()
+                                      : tau;
+    // Guard against overflow when r is the sentinel.
+    const int64_t lo_key = r == std::numeric_limits<int64_t>::max()
+                               ? std::numeric_limits<int64_t>::min()
+                               : d - r;
+    const int64_t hi_key = r == std::numeric_limits<int64_t>::max()
+                               ? std::numeric_limits<int64_t>::max()
+                               : d + r;
+    const auto lo = node.children.lower_bound(lo_key);
+    const auto hi = node.children.upper_bound(hi_key);
+    for (auto it = lo; it != hi; ++it) stack.push_back(it->second);
+  }
+
+  std::vector<KnnNeighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+}  // namespace metricprox

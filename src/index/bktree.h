@@ -1,0 +1,57 @@
+#ifndef METRICPROX_INDEX_BKTREE_H_
+#define METRICPROX_INDEX_BKTREE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "algo/knn_graph.h"
+#include "bounds/pivots.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Burkhard–Keller tree (1973) — the classical index for *discrete* metric
+/// spaces (edit distance over strings being the canonical one; related
+/// work §6.1). Each node keys its children by the integer distance to the
+/// node's object; a range query of radius r recurses only into children
+/// keyed within [d - r, d + r] by the triangle inequality.
+///
+/// Construction inserts objects one by one (one oracle call per level
+/// descended); all calls go through the supplied ResolveFn for accounting.
+/// Distances are expected to be non-negative integers (CHECKed).
+class BkTree {
+ public:
+  /// Builds over objects 0..n-1 in id order.
+  BkTree(ObjectId n, const ResolveFn& resolve);
+
+  /// Exact range query (radius inclusive), ascending by (distance, id).
+  /// The query object itself is excluded.
+  std::vector<KnnNeighbor> Range(ObjectId query, double radius,
+                                 const ResolveFn& resolve) const;
+
+  /// Exact k nearest neighbors via best-first descent with a shrinking
+  /// radius, ascending by (distance, id).
+  std::vector<KnnNeighbor> Knn(ObjectId query, uint32_t k,
+                               const ResolveFn& resolve) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Maximum node depth (root = 0); a proxy for insert/search cost.
+  uint32_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    ObjectId object;
+    // child distance -> node index; ordered so range scans are contiguous.
+    std::map<int64_t, int32_t> children;
+  };
+
+  void Insert(ObjectId object, const ResolveFn& resolve);
+
+  std::vector<Node> nodes_;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_INDEX_BKTREE_H_

@@ -1,0 +1,196 @@
+#include "index/fqt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+uint64_t NextRandom(uint64_t* state) {
+  *state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct HeapLess {
+  bool operator()(const KnnNeighbor& a, const KnnNeighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+Fqt::Fqt(ObjectId n, const FqtOptions& options, const ResolveFn& resolve)
+    : n_(n), bucket_width_(options.bucket_width) {
+  CHECK_GE(n, 2u);
+  CHECK_GT(options.bucket_width, 0.0);
+  CHECK_GE(options.max_depth, 1u);
+  // Level pivots: deterministic pseudo-random distinct objects.
+  uint64_t rng_state = options.seed;
+  std::vector<bool> used(n, false);
+  for (uint32_t level = 0; level < options.max_depth; ++level) {
+    ObjectId pivot;
+    do {
+      pivot = static_cast<ObjectId>(NextRandom(&rng_state) % n);
+    } while (used[pivot] && level < n);
+    used[pivot] = true;
+    level_pivots_.push_back(pivot);
+  }
+
+  std::vector<ObjectId> members(n);
+  for (ObjectId o = 0; o < n; ++o) members[o] = o;
+  root_ = Build(std::move(members), 0, options, resolve);
+}
+
+int32_t Fqt::Build(std::vector<ObjectId> members, uint32_t depth,
+                   const FqtOptions& options, const ResolveFn& resolve) {
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (members.size() <= options.leaf_size ||
+      depth >= level_pivots_.size()) {
+    nodes_[static_cast<size_t>(index)].bucket = std::move(members);
+    return index;
+  }
+
+  const ObjectId pivot = level_pivots_[depth];
+  std::map<int64_t, std::vector<ObjectId>> buckets;
+  for (const ObjectId o : members) {
+    const double d = o == pivot ? 0.0 : resolve(pivot, o);
+    buckets[static_cast<int64_t>(std::floor(d / bucket_width_))].push_back(o);
+  }
+  if (buckets.size() == 1) {
+    // The pivot cannot distinguish these members at this width; descend a
+    // level (a later pivot may) rather than looping on the same content.
+    nodes_.pop_back();
+    return Build(std::move(buckets.begin()->second), depth + 1, options,
+                 resolve);
+  }
+  for (auto& [key, subset] : buckets) {
+    const int32_t child = Build(std::move(subset), depth + 1, options, resolve);
+    nodes_[static_cast<size_t>(index)].children.emplace(key, child);
+  }
+  return index;
+}
+
+std::vector<KnnNeighbor> Fqt::Range(ObjectId query, double radius,
+                                    const ResolveFn& resolve) const {
+  CHECK_GE(radius, 0.0);
+  CHECK_LT(query, n_);
+  std::vector<KnnNeighbor> hits;
+  // One pivot distance per level, shared across every surviving branch —
+  // the "fixed queries" property.
+  std::vector<double> level_distance(level_pivots_.size(), -1.0);
+
+  struct Frame {
+    int32_t node;
+    uint32_t depth;
+  };
+  std::vector<Frame> stack{{root_, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+    for (const ObjectId o : node.bucket) {
+      if (o == query) continue;
+      const double d = resolve(query, o);
+      if (d <= radius) hits.push_back(KnnNeighbor{o, d});
+    }
+    if (node.children.empty()) continue;
+
+    double& dq = level_distance[frame.depth];
+    if (dq < 0.0) {
+      const ObjectId pivot = level_pivots_[frame.depth];
+      dq = pivot == query ? 0.0 : resolve(query, pivot);
+    }
+    const int64_t lo_key = static_cast<int64_t>(
+        std::floor(std::max(0.0, dq - radius) / bucket_width_));
+    const int64_t hi_key =
+        static_cast<int64_t>(std::floor((dq + radius) / bucket_width_));
+    for (auto it = node.children.lower_bound(lo_key);
+         it != node.children.end() && it->first <= hi_key; ++it) {
+      stack.push_back(Frame{it->second, frame.depth + 1});
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+std::vector<KnnNeighbor> Fqt::Knn(ObjectId query, uint32_t k,
+                                  const ResolveFn& resolve) const {
+  CHECK_GE(k, 1u);
+  CHECK_GT(n_, k);
+  CHECK_LT(query, n_);
+  std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, HeapLess> best;
+  double tau = kInfDistance;
+  std::vector<double> level_distance(level_pivots_.size(), -1.0);
+
+  const auto offer = [&](ObjectId o, double d) {
+    const KnnNeighbor candidate{o, d};
+    if (best.size() < k) {
+      best.push(candidate);
+    } else if (HeapLess()(candidate, best.top())) {
+      best.pop();
+      best.push(candidate);
+    }
+    if (best.size() == k) tau = best.top().distance;
+  };
+
+  struct Frame {
+    int32_t node;
+    uint32_t depth;
+  };
+  std::vector<Frame> stack{{root_, 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+    for (const ObjectId o : node.bucket) {
+      if (o != query) offer(o, resolve(query, o));
+    }
+    if (node.children.empty()) continue;
+
+    double& dq = level_distance[frame.depth];
+    if (dq < 0.0) {
+      const ObjectId pivot = level_pivots_[frame.depth];
+      dq = pivot == query ? 0.0 : resolve(query, pivot);
+    }
+    // Children pushed in key order; pruning re-checked against the current
+    // tau at pop time would be tighter, but band checks are callless, so a
+    // conservative push-time check is both exact and cheap.
+    const double reach = tau == kInfDistance ? kInfDistance : tau;
+    const int64_t lo_key =
+        reach == kInfDistance
+            ? std::numeric_limits<int64_t>::min()
+            : static_cast<int64_t>(
+                  std::floor(std::max(0.0, dq - reach) / bucket_width_));
+    const int64_t hi_key =
+        reach == kInfDistance
+            ? std::numeric_limits<int64_t>::max()
+            : static_cast<int64_t>(std::floor((dq + reach) / bucket_width_));
+    for (auto it = node.children.begin(); it != node.children.end(); ++it) {
+      if (it->first < lo_key || it->first > hi_key) continue;
+      stack.push_back(Frame{it->second, frame.depth + 1});
+    }
+  }
+
+  std::vector<KnnNeighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+}  // namespace metricprox

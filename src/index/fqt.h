@@ -1,0 +1,75 @@
+#ifndef METRICPROX_INDEX_FQT_H_
+#define METRICPROX_INDEX_FQT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "algo/knn_graph.h"
+#include "bounds/pivots.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+struct FqtOptions {
+  /// Bucket width for discretizing distances into child keys. Continuous
+  /// metrics need a width comparable to the query radii of interest;
+  /// integer metrics (edit distance) work naturally with width 1.
+  double bucket_width = 1.0;
+  /// Maximum pivot levels (also bounds query cost: one call per level).
+  uint32_t max_depth = 16;
+  /// Sets at or below this size become leaf buckets.
+  uint32_t leaf_size = 4;
+  uint64_t seed = 1;
+};
+
+/// Fixed-Queries Tree (Baeza-Yates, Cunto, Manber & Wu 1994) — the §6.1
+/// index whose defining trick is that *every node at the same depth shares
+/// one pivot*. A query therefore computes at most `max_depth` pivot
+/// distances total, no matter how many branches survive; children are
+/// keyed by the discretized distance to the level pivot and pruned by the
+/// triangle inequality (|d(q,p) - d(x,p)| <= tau band intersection).
+///
+/// All oracle calls flow through the supplied ResolveFn; results are exact
+/// under (distance, id) ordering.
+class Fqt {
+ public:
+  /// Builds over objects 0..n-1. Level pivots are chosen by max-min
+  /// farthest-first selection over the whole set.
+  Fqt(ObjectId n, const FqtOptions& options, const ResolveFn& resolve);
+
+  /// Exact range query (radius inclusive), ascending (distance, id); the
+  /// query object itself is excluded.
+  std::vector<KnnNeighbor> Range(ObjectId query, double radius,
+                                 const ResolveFn& resolve) const;
+
+  /// Exact k nearest neighbors, ascending (distance, id).
+  std::vector<KnnNeighbor> Knn(ObjectId query, uint32_t k,
+                               const ResolveFn& resolve) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  uint32_t num_levels() const {
+    return static_cast<uint32_t>(level_pivots_.size());
+  }
+
+ private:
+  struct Node {
+    // Child bucket key -> node index (keys are floor(d / bucket_width)).
+    std::map<int64_t, int32_t> children;
+    // Non-empty only for leaves.
+    std::vector<ObjectId> bucket;
+  };
+
+  int32_t Build(std::vector<ObjectId> members, uint32_t depth,
+                const FqtOptions& options, const ResolveFn& resolve);
+
+  ObjectId n_;
+  double bucket_width_;
+  std::vector<ObjectId> level_pivots_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_INDEX_FQT_H_

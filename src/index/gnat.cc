@@ -1,0 +1,200 @@
+#include "index/gnat.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+uint64_t NextRandom(uint64_t* state) {
+  *state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct HeapLess {
+  bool operator()(const KnnNeighbor& a, const KnnNeighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+Gnat::Gnat(ObjectId n, const GnatOptions& options, const ResolveFn& resolve)
+    : n_(n) {
+  CHECK_GE(n, 2u);
+  CHECK_GE(options.degree, 2u);
+  CHECK_GE(options.leaf_size, 1u);
+  std::vector<ObjectId> members(n);
+  for (ObjectId o = 0; o < n; ++o) members[o] = o;
+  uint64_t rng_state = options.seed;
+  root_ = Build(std::move(members), options, resolve, &rng_state);
+}
+
+int32_t Gnat::Build(std::vector<ObjectId> members, const GnatOptions& options,
+                    const ResolveFn& resolve, uint64_t* rng_state) {
+  if (members.empty()) return -1;
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  if (members.size() <= options.leaf_size) {
+    nodes_[static_cast<size_t>(index)].bucket = std::move(members);
+    return index;
+  }
+
+  // Split points by farthest-first selection (the spread Brin recommends).
+  const uint32_t degree =
+      std::min<uint32_t>(options.degree,
+                         static_cast<uint32_t>(members.size()));
+  std::vector<ObjectId> splits;
+  std::vector<std::vector<double>> split_dist;  // per split: dist to members
+  std::vector<double> min_to_split(members.size(), kInfDistance);
+  size_t first = NextRandom(rng_state) % members.size();
+  for (uint32_t s = 0; s < degree; ++s) {
+    const ObjectId pivot = members[first];
+    splits.push_back(pivot);
+    std::vector<double> row(members.size());
+    for (size_t m = 0; m < members.size(); ++m) {
+      row[m] =
+          members[m] == pivot ? 0.0 : resolve(pivot, members[m]);
+      if (row[m] < min_to_split[m]) min_to_split[m] = row[m];
+    }
+    split_dist.push_back(std::move(row));
+    if (s + 1 == degree) break;
+    // Next split point: the member farthest from all chosen ones.
+    size_t best = 0;
+    for (size_t m = 1; m < members.size(); ++m) {
+      if (min_to_split[m] > min_to_split[best]) best = m;
+    }
+    first = best;
+  }
+
+  // Assign members to their nearest split point (ties toward the earlier
+  // split for determinism).
+  std::vector<std::vector<ObjectId>> partitions(degree);
+  std::vector<std::vector<size_t>> partition_rows(degree);
+  for (size_t m = 0; m < members.size(); ++m) {
+    uint32_t owner = 0;
+    for (uint32_t s = 1; s < degree; ++s) {
+      if (split_dist[s][m] < split_dist[owner][m]) owner = s;
+    }
+    partitions[owner].push_back(members[m]);
+    partition_rows[owner].push_back(m);
+  }
+
+  // Distance bands: from every split point into every child's member set.
+  Node staged;
+  staged.splits = splits;
+  staged.children.assign(degree, -1);
+  staged.ranges.assign(static_cast<size_t>(degree) * degree, Band{});
+  for (uint32_t s = 0; s < degree; ++s) {
+    for (uint32_t c = 0; c < degree; ++c) {
+      Band& band = staged.ranges[s * degree + c];
+      for (const size_t m : partition_rows[c]) {
+        const double d = split_dist[s][m];
+        if (d < band.lo) band.lo = d;
+        if (d > band.hi) band.hi = d;
+      }
+    }
+  }
+  nodes_[static_cast<size_t>(index)] = std::move(staged);
+
+  for (uint32_t c = 0; c < degree; ++c) {
+    // The split point itself stays at this node (it is reported when the
+    // node is visited); the child holds the remaining members.
+    std::vector<ObjectId> rest;
+    rest.reserve(partitions[c].size());
+    for (const ObjectId o : partitions[c]) {
+      if (o != splits[c]) rest.push_back(o);
+    }
+    const int32_t child = Build(std::move(rest), options, resolve, rng_state);
+    nodes_[static_cast<size_t>(index)].children[c] = child;
+  }
+  return index;
+}
+
+template <typename Emit>
+void Gnat::Visit(int32_t node, ObjectId query, const ResolveFn& resolve,
+                 const double* tau, Emit&& emit) const {
+  if (node < 0) return;
+  const Node& nd = nodes_[static_cast<size_t>(node)];
+  for (const ObjectId o : nd.bucket) {
+    if (o != query) emit(o, o == query ? 0.0 : resolve(query, o));
+  }
+  if (nd.splits.empty()) return;
+
+  const uint32_t degree = static_cast<uint32_t>(nd.splits.size());
+  std::vector<bool> alive(degree, true);
+  for (uint32_t s = 0; s < degree; ++s) {
+    if (!alive[s]) continue;
+    const double d =
+        nd.splits[s] == query ? 0.0 : resolve(query, nd.splits[s]);
+    if (nd.splits[s] != query) emit(nd.splits[s], d);
+    // Annulus elimination: child c cannot contain anything within tau of
+    // the query if [d - tau, d + tau] misses its recorded band from this
+    // split point. Non-strict comparisons keep exact ties reachable.
+    for (uint32_t c = 0; c < degree; ++c) {
+      if (!alive[c] || nd.children[c] < 0) continue;
+      const Band& band = nd.ranges[s * degree + c];
+      if (band.hi < band.lo) {
+        alive[c] = false;  // empty child
+        continue;
+      }
+      if (d - *tau > band.hi || d + *tau < band.lo) alive[c] = false;
+    }
+  }
+  for (uint32_t c = 0; c < degree; ++c) {
+    if (alive[c]) Visit(nd.children[c], query, resolve, tau, emit);
+  }
+}
+
+std::vector<KnnNeighbor> Gnat::Range(ObjectId query, double radius,
+                                     const ResolveFn& resolve) const {
+  CHECK_GE(radius, 0.0);
+  CHECK_LT(query, n_);
+  std::vector<KnnNeighbor> hits;
+  const double tau = radius;
+  Visit(root_, query, resolve, &tau, [&](ObjectId o, double d) {
+    if (d <= radius) hits.push_back(KnnNeighbor{o, d});
+  });
+  std::sort(hits.begin(), hits.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+std::vector<KnnNeighbor> Gnat::Knn(ObjectId query, uint32_t k,
+                                   const ResolveFn& resolve) const {
+  CHECK_GE(k, 1u);
+  CHECK_LT(query, n_);
+  CHECK_GT(n_, k);
+  std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, HeapLess> best;
+  double tau = kInfDistance;
+  Visit(root_, query, resolve, &tau, [&](ObjectId o, double d) {
+    if (best.size() < k) {
+      best.push(KnnNeighbor{o, d});
+    } else if (d < best.top().distance ||
+               (d == best.top().distance && o < best.top().id)) {
+      best.pop();
+      best.push(KnnNeighbor{o, d});
+    }
+    if (best.size() == k) tau = best.top().distance;
+  });
+
+  std::vector<KnnNeighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+}  // namespace metricprox

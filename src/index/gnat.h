@@ -1,0 +1,80 @@
+#ifndef METRICPROX_INDEX_GNAT_H_
+#define METRICPROX_INDEX_GNAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/knn_graph.h"
+#include "bounds/pivots.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+struct GnatOptions {
+  /// Split points (= children) per internal node.
+  uint32_t degree = 6;
+  /// Node sets at or below this size become leaf buckets.
+  uint32_t leaf_size = 12;
+  uint64_t seed = 1;
+};
+
+/// Geometric Near-neighbor Access Tree (Brin, VLDB 1995) — the related-work
+/// §6.1 index inspired by Voronoi diagrams. Each internal node picks
+/// `degree` far-spread split points, assigns every member to its nearest
+/// split point, and records for every (split point, child) pair the
+/// [min, max] *range* of distances from that split point into that child's
+/// subtree. A query eliminates whole children without entering them when
+/// the annulus [d(q,p) - tau, d(q,p) + tau] misses the recorded range —
+/// one oracle call per split point can kill many subtrees.
+///
+/// All oracle calls flow through the supplied ResolveFn; results are exact
+/// under (distance, id) ordering.
+class Gnat {
+ public:
+  /// Builds over objects 0..n-1.
+  Gnat(ObjectId n, const GnatOptions& options, const ResolveFn& resolve);
+
+  /// Exact range query (radius inclusive), ascending (distance, id); the
+  /// query object itself is excluded.
+  std::vector<KnnNeighbor> Range(ObjectId query, double radius,
+                                 const ResolveFn& resolve) const;
+
+  /// Exact k nearest neighbors, ascending (distance, id).
+  std::vector<KnnNeighbor> Knn(ObjectId query, uint32_t k,
+                               const ResolveFn& resolve) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Band {
+    double lo = kInfDistance;
+    double hi = 0.0;
+  };
+  struct Node {
+    // Parallel arrays: split point i routes to children[i].
+    std::vector<ObjectId> splits;
+    std::vector<int32_t> children;  // -1 when that child is empty
+    // ranges[i * splits.size() + j]: distance band from splits[i] into
+    // child j's subtree (split point included).
+    std::vector<Band> ranges;
+    // Leaf bucket (non-empty only for leaves).
+    std::vector<ObjectId> bucket;
+  };
+
+  int32_t Build(std::vector<ObjectId> members, const GnatOptions& options,
+                const ResolveFn& resolve, uint64_t* rng_state);
+
+  // Exact search shared by Range (fixed tau) and Knn (shrinking tau via
+  // the callback's return value).
+  template <typename Emit>
+  void Visit(int32_t node, ObjectId query, const ResolveFn& resolve,
+             const double* tau, Emit&& emit) const;
+
+  ObjectId n_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_INDEX_GNAT_H_

@@ -1,0 +1,350 @@
+#include "index/mtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+struct HeapLess {
+  bool operator()(const KnnNeighbor& a, const KnnNeighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+// d(a, b) with the self-distance short-circuit oracles do not accept.
+double Dist(const ResolveFn& resolve, ObjectId a, ObjectId b) {
+  return a == b ? 0.0 : resolve(a, b);
+}
+
+}  // namespace
+
+MTree::MTree(ObjectId n, const MTreeOptions& options,
+             const ResolveFn& resolve)
+    : capacity_(options.node_capacity) {
+  CHECK_GE(n, 2u);
+  CHECK_GE(capacity_, 2u);
+  nodes_.emplace_back();  // empty root leaf
+  root_ = 0;
+  for (ObjectId o = 0; o < n; ++o) {
+    SplitResult split;
+    if (InsertRecursive(root_, kInvalidObject, o, resolve, &split)) {
+      // Grow a new root above the two halves.
+      Node new_root;
+      new_root.is_leaf = false;
+      split.replace.parent_distance = 0.0;
+      split.add.parent_distance = 0.0;
+      new_root.entries = {split.replace, split.add};
+      nodes_.push_back(std::move(new_root));
+      root_ = static_cast<int32_t>(nodes_.size()) - 1;
+      ++height_;
+    }
+  }
+}
+
+bool MTree::InsertRecursive(int32_t node_index, ObjectId node_pivot,
+                            ObjectId o, const ResolveFn& resolve,
+                            SplitResult* split) {
+  if (nodes_[static_cast<size_t>(node_index)].is_leaf) {
+    // parent_distance is stamped by the caller below (the routing level
+    // already computed d(o, leaf pivot) during choose-subtree); at the
+    // root leaf it stays 0.
+    nodes_[static_cast<size_t>(node_index)].entries.push_back(
+        Entry{o, 0.0, 0.0, -1});
+    if (nodes_[static_cast<size_t>(node_index)].entries.size() > capacity_) {
+      *split = SplitNode(node_index, resolve);
+      return true;
+    }
+    return false;
+  }
+
+  // Choose the subtree: prefer entries already covering o (minimum
+  // distance); otherwise minimize the radius enlargement.
+  size_t best_idx = 0;
+  double best_distance = 0.0;
+  {
+    const Node& node = nodes_[static_cast<size_t>(node_index)];
+    double best_key = kInfDistance;
+    bool best_covers = false;
+    for (size_t idx = 0; idx < node.entries.size(); ++idx) {
+      const Entry& e = node.entries[idx];
+      const double d = Dist(resolve, o, e.object);
+      const bool covers = d <= e.radius;
+      const double key = covers ? d : d - e.radius;
+      if ((covers && !best_covers) ||
+          (covers == best_covers && key < best_key)) {
+        best_covers = covers;
+        best_key = key;
+        best_idx = idx;
+        best_distance = d;
+      }
+    }
+  }
+  {
+    Entry& chosen = nodes_[static_cast<size_t>(node_index)].entries[best_idx];
+    if (best_distance > chosen.radius) chosen.radius = best_distance;
+  }
+  const int32_t child =
+      nodes_[static_cast<size_t>(node_index)].entries[best_idx].child;
+  const ObjectId chosen_pivot =
+      nodes_[static_cast<size_t>(node_index)].entries[best_idx].object;
+
+  SplitResult child_split;
+  const bool overflowed =
+      InsertRecursive(child, chosen_pivot, o, resolve, &child_split);
+  if (!overflowed) {
+    // Stamp the freshly inserted leaf entry's parent distance if the child
+    // is a leaf (the recursion appended it last).
+    Node& child_node = nodes_[static_cast<size_t>(child)];
+    if (child_node.is_leaf && child_node.entries.back().object == o) {
+      child_node.entries.back().parent_distance = best_distance;
+    }
+    return false;
+  }
+
+  // The child split into (replace, add): both routing entries now hang in
+  // this node, so their parent distances reference this node's pivot.
+  // (With calls routed through a BoundedResolver these are usually cache
+  // hits — the promoted pivots were just measured during the split.)
+  const auto stamp = [&](Entry* e) {
+    e->parent_distance = node_pivot == kInvalidObject
+                             ? 0.0
+                             : Dist(resolve, e->object, node_pivot);
+  };
+  stamp(&child_split.replace);
+  stamp(&child_split.add);
+
+  Node& node = nodes_[static_cast<size_t>(node_index)];
+  node.entries[best_idx] = child_split.replace;
+  node.entries.push_back(child_split.add);
+  if (node.entries.size() > capacity_) {
+    *split = SplitNode(node_index, resolve);
+    return true;
+  }
+  return false;
+}
+
+MTree::SplitResult MTree::SplitNode(int32_t node_index,
+                                    const ResolveFn& resolve) {
+  // Copy out the overflowing entries (nodes_ may reallocate below).
+  std::vector<Entry> entries =
+      std::move(nodes_[static_cast<size_t>(node_index)].entries);
+  const bool is_leaf = nodes_[static_cast<size_t>(node_index)].is_leaf;
+  const size_t count = entries.size();
+
+  // Pairwise distances between entry objects; promote the farthest pair
+  // (deterministic ties by index).
+  std::vector<double> d(count * count, 0.0);
+  for (size_t a = 0; a < count; ++a) {
+    for (size_t b = a + 1; b < count; ++b) {
+      const double dist = Dist(resolve, entries[a].object, entries[b].object);
+      d[a * count + b] = dist;
+      d[b * count + a] = dist;
+    }
+  }
+  size_t pa = 0;
+  size_t pb = 1;
+  for (size_t a = 0; a < count; ++a) {
+    for (size_t b = a + 1; b < count; ++b) {
+      if (d[a * count + b] > d[pa * count + pb]) {
+        pa = a;
+        pb = b;
+      }
+    }
+  }
+
+  // Generalized-hyperplane partition around the promoted pivots.
+  Node part_a;
+  Node part_b;
+  part_a.is_leaf = is_leaf;
+  part_b.is_leaf = is_leaf;
+  double radius_a = 0.0;
+  double radius_b = 0.0;
+  for (size_t idx = 0; idx < count; ++idx) {
+    const double da = d[idx * count + pa];
+    const double db = d[idx * count + pb];
+    const bool to_a = (idx == pa) || (idx != pb && da <= db);
+    Entry moved = entries[idx];
+    moved.parent_distance = to_a ? da : db;
+    const double reach =
+        (to_a ? da : db) + (is_leaf ? 0.0 : moved.radius);
+    if (to_a) {
+      part_a.entries.push_back(moved);
+      radius_a = std::max(radius_a, reach);
+    } else {
+      part_b.entries.push_back(moved);
+      radius_b = std::max(radius_b, reach);
+    }
+  }
+
+  const ObjectId pivot_a = entries[pa].object;
+  const ObjectId pivot_b = entries[pb].object;
+  nodes_[static_cast<size_t>(node_index)] = std::move(part_a);
+  nodes_.push_back(std::move(part_b));
+  const int32_t new_index = static_cast<int32_t>(nodes_.size()) - 1;
+
+  SplitResult split;
+  // parent_distance is stamped by whoever files these entries.
+  split.replace = Entry{pivot_a, 0.0, radius_a, node_index};
+  split.add = Entry{pivot_b, 0.0, radius_b, new_index};
+  return split;
+}
+
+std::vector<KnnNeighbor> MTree::Range(ObjectId query, double radius,
+                                      const ResolveFn& resolve) const {
+  CHECK_GE(radius, 0.0);
+  std::vector<KnnNeighbor> hits;
+
+  // (node, d(query, node pivot), pivot known?) — the root has no pivot.
+  struct Frame {
+    int32_t node;
+    double d_pivot;
+    bool has_pivot;
+  };
+  std::vector<Frame> stack{{root_, 0.0, false}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+    for (const Entry& e : node.entries) {
+      // Parent-distance pruning: discards without an oracle call.
+      if (frame.has_pivot &&
+          std::abs(frame.d_pivot - e.parent_distance) > radius + e.radius) {
+        continue;
+      }
+      const double d = Dist(resolve, query, e.object);
+      if (node.is_leaf) {
+        if (e.object != query && d <= radius) {
+          hits.push_back(KnnNeighbor{e.object, d});
+        }
+      } else if (d <= radius + e.radius) {
+        stack.push_back(Frame{e.child, d, true});
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+std::vector<KnnNeighbor> MTree::Knn(ObjectId query, uint32_t k,
+                                    const ResolveFn& resolve) const {
+  CHECK_GE(k, 1u);
+  std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, HeapLess> best;
+  double tau = kInfDistance;
+
+  struct Frame {
+    double d_min;  // lower bound on any distance inside this subtree
+    int32_t node;
+    double d_pivot;
+    bool has_pivot;
+  };
+  struct FrameGreater {
+    bool operator()(const Frame& a, const Frame& b) const {
+      if (a.d_min != b.d_min) return a.d_min > b.d_min;
+      return a.node > b.node;
+    }
+  };
+  std::priority_queue<Frame, std::vector<Frame>, FrameGreater> queue;
+  queue.push(Frame{0.0, root_, 0.0, false});
+
+  const auto offer = [&](ObjectId o, double d) {
+    if (o == query) return;
+    const KnnNeighbor candidate{o, d};
+    if (best.size() < k) {
+      best.push(candidate);
+    } else if (HeapLess()(candidate, best.top())) {
+      best.pop();
+      best.push(candidate);
+    }
+    if (best.size() == k) tau = best.top().distance;
+  };
+
+  while (!queue.empty()) {
+    const Frame frame = queue.top();
+    queue.pop();
+    if (frame.d_min > tau) break;  // best-first: nothing closer remains
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+    for (const Entry& e : node.entries) {
+      if (frame.has_pivot &&
+          std::abs(frame.d_pivot - e.parent_distance) - e.radius > tau) {
+        continue;  // pruned without an oracle call
+      }
+      const double d = Dist(resolve, query, e.object);
+      if (node.is_leaf) {
+        offer(e.object, d);
+      } else {
+        const double d_min = std::max(0.0, d - e.radius);
+        if (d_min <= tau) queue.push(Frame{d_min, e.child, d, true});
+      }
+    }
+  }
+
+  std::vector<KnnNeighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+void MTree::CollectSubtree(int32_t node_index,
+                           std::vector<ObjectId>* out) const {
+  const Node& node = nodes_[static_cast<size_t>(node_index)];
+  for (const Entry& e : node.entries) {
+    if (node.is_leaf) {
+      out->push_back(e.object);
+    } else {
+      CollectSubtree(e.child, out);
+    }
+  }
+}
+
+void MTree::ValidateInvariants(ObjectId n, const ResolveFn& resolve) const {
+  // Every object stored exactly once.
+  std::vector<ObjectId> all;
+  CollectSubtree(root_, &all);
+  CHECK_EQ(all.size(), static_cast<size_t>(n));
+  std::set<ObjectId> unique(all.begin(), all.end());
+  CHECK_EQ(unique.size(), static_cast<size_t>(n));
+
+  // Covering radii contain their subtrees; parent distances are exact.
+  struct Frame {
+    int32_t node;
+    ObjectId pivot;
+    bool has_pivot;
+  };
+  std::vector<Frame> stack{{root_, kInvalidObject, false}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+    for (const Entry& e : node.entries) {
+      if (frame.has_pivot) {
+        CHECK_LE(std::abs(e.parent_distance -
+                          Dist(resolve, e.object, frame.pivot)),
+                 1e-9)
+            << "stale parent distance";
+      }
+      if (node.is_leaf) continue;
+      std::vector<ObjectId> members;
+      CollectSubtree(e.child, &members);
+      for (const ObjectId o : members) {
+        CHECK_LE(Dist(resolve, o, e.object), e.radius + 1e-9)
+            << "covering radius violated for pivot " << e.object;
+      }
+      stack.push_back(Frame{e.child, e.object, true});
+    }
+  }
+}
+
+}  // namespace metricprox

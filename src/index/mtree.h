@@ -1,0 +1,96 @@
+#ifndef METRICPROX_INDEX_MTREE_H_
+#define METRICPROX_INDEX_MTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/knn_graph.h"
+#include "bounds/pivots.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+struct MTreeOptions {
+  /// Maximum entries per node before it splits.
+  uint32_t node_capacity = 8;
+};
+
+/// M-tree (Ciaccia, Patella & Zezula, VLDB 1997) — the canonical *database*
+/// index for metric similarity search (related work §6.1), built here as
+/// the strongest classical baseline against the paper's framework.
+///
+/// A balanced tree of covering balls: every routing entry stores a pivot
+/// object, a covering radius bounding its whole subtree, and its distance
+/// to the parent pivot. Searches exploit two triangle-inequality prunings:
+///   1. the *parent-distance* test |d(q,parent) - d(entry,parent)| - r >
+///      radius discards an entry **without any oracle call**, and
+///   2. the covering-ball test d(q,pivot) - r > radius discards its
+///      subtree after one call.
+/// Inserts descend to the closest-fitting leaf and split overflowing nodes
+/// by promoting the farthest entry pair (generalized-hyperplane
+/// partition), propagating splits to the root.
+///
+/// All oracle calls flow through the supplied ResolveFn (route it through
+/// a BoundedResolver to share the framework's cache); results are exact
+/// and deterministic under (distance, id) ordering.
+class MTree {
+ public:
+  /// Bulk-builds by inserting objects 0..n-1 in id order.
+  MTree(ObjectId n, const MTreeOptions& options, const ResolveFn& resolve);
+
+  /// Exact range query (radius inclusive), ascending (distance, id); the
+  /// query object itself is excluded.
+  std::vector<KnnNeighbor> Range(ObjectId query, double radius,
+                                 const ResolveFn& resolve) const;
+
+  /// Exact k nearest neighbors, ascending (distance, id).
+  std::vector<KnnNeighbor> Knn(ObjectId query, uint32_t k,
+                               const ResolveFn& resolve) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  uint32_t height() const { return height_; }
+
+  /// Recomputes every structural invariant with fresh oracle calls:
+  /// covering radii contain their subtrees, parent distances are exact,
+  /// every object appears exactly once. CHECK-fails on violation
+  /// (test-only; O(n log n) calls).
+  void ValidateInvariants(ObjectId n, const ResolveFn& resolve) const;
+
+ private:
+  struct Entry {
+    ObjectId object;          // pivot (routing) or data object (leaf)
+    double parent_distance;   // d(object, owning node's pivot); 0 at root
+    double radius;            // covering radius; 0 for leaf entries
+    int32_t child;            // subtree node; -1 for leaf entries
+  };
+  struct Node {
+    bool is_leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  // Outcome of an insert that overflowed: the caller replaces the child's
+  // routing entry with `replace` and additionally files `add`.
+  struct SplitResult {
+    Entry replace;
+    Entry add;
+  };
+
+  // Inserts `o` into the subtree rooted at `node_index`, whose routing
+  // pivot is `node_pivot` (kInvalidObject at the root, which has none);
+  // returns true and fills `split` when the node overflowed.
+  bool InsertRecursive(int32_t node_index, ObjectId node_pivot, ObjectId o,
+                       const ResolveFn& resolve, SplitResult* split);
+
+  SplitResult SplitNode(int32_t node_index, const ResolveFn& resolve);
+
+  void CollectSubtree(int32_t node_index, std::vector<ObjectId>* out) const;
+
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  uint32_t height_ = 1;
+  uint32_t capacity_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_INDEX_MTREE_H_

@@ -1,0 +1,164 @@
+#include "index/vptree.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+// splitmix64 step for deterministic vantage selection without <random>.
+uint64_t NextRandom(uint64_t* state) {
+  *state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = *state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct HeapLess {
+  bool operator()(const KnnNeighbor& a, const KnnNeighbor& b) const {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+VpTree::VpTree(ObjectId n, const VpTreeOptions& options,
+               const ResolveFn& resolve)
+    : n_(n) {
+  CHECK_GE(n, 2u);
+  CHECK_GE(options.leaf_size, 1u);
+  std::vector<ObjectId> members(n);
+  for (ObjectId o = 0; o < n; ++o) members[o] = o;
+  uint64_t rng_state = options.seed;
+  root_ = Build(std::move(members), options, resolve, &rng_state);
+}
+
+int32_t VpTree::Build(std::vector<ObjectId> members,
+                      const VpTreeOptions& options, const ResolveFn& resolve,
+                      uint64_t* rng_state) {
+  if (members.empty()) return -1;
+
+  const int32_t index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Random vantage point, swapped to the front.
+  const size_t pick = NextRandom(rng_state) % members.size();
+  std::swap(members[0], members[pick]);
+  const ObjectId vantage = members[0];
+  nodes_[index].vantage = vantage;
+
+  if (members.size() <= options.leaf_size) {
+    nodes_[index].bucket.assign(members.begin() + 1, members.end());
+    return index;
+  }
+
+  // Distances from the vantage to the rest; split at the median.
+  std::vector<std::pair<double, ObjectId>> dists;
+  dists.reserve(members.size() - 1);
+  for (size_t m = 1; m < members.size(); ++m) {
+    dists.emplace_back(resolve(vantage, members[m]), members[m]);
+  }
+  const size_t mid = dists.size() / 2;
+  std::nth_element(dists.begin(), dists.begin() + mid, dists.end());
+  const double mu = dists[mid].first;
+
+  std::vector<ObjectId> inside;
+  std::vector<ObjectId> outside;
+  for (const auto& [d, o] : dists) {
+    (d <= mu ? inside : outside).push_back(o);
+  }
+  // Degenerate split (all equidistant): fall back to a leaf so recursion
+  // terminates.
+  if (inside.empty() || outside.empty()) {
+    nodes_[index].bucket.assign(members.begin() + 1, members.end());
+    return index;
+  }
+  nodes_[index].mu = mu;
+  nodes_[index].inside = Build(std::move(inside), options, resolve, rng_state);
+  nodes_[index].outside =
+      Build(std::move(outside), options, resolve, rng_state);
+  return index;
+}
+
+template <typename Emit>
+void VpTree::Visit(int32_t node, ObjectId query, const ResolveFn& resolve,
+                   const double* tau, Emit&& emit) const {
+  if (node < 0) return;
+  const Node& nd = nodes_[static_cast<size_t>(node)];
+
+  double d_vantage = 0.0;
+  if (nd.vantage != query) {
+    d_vantage = resolve(query, nd.vantage);
+    emit(nd.vantage, d_vantage);
+  }
+  for (const ObjectId o : nd.bucket) {
+    if (o != query) emit(o, resolve(query, o));
+  }
+  if (nd.inside < 0 && nd.outside < 0) return;
+
+  // Triangle pruning: the inside ball can hold a tau-near object only if
+  // d(q, vp) - tau <= mu; the outside shell only if d(q, vp) + tau >= mu.
+  // Non-strict comparisons keep exact ties reachable.
+  if (d_vantage <= nd.mu) {
+    Visit(nd.inside, query, resolve, tau, emit);
+    if (d_vantage + *tau >= nd.mu) {
+      Visit(nd.outside, query, resolve, tau, emit);
+    }
+  } else {
+    Visit(nd.outside, query, resolve, tau, emit);
+    if (d_vantage - *tau <= nd.mu) {
+      Visit(nd.inside, query, resolve, tau, emit);
+    }
+  }
+}
+
+std::vector<KnnNeighbor> VpTree::Knn(ObjectId query, uint32_t k,
+                                     const ResolveFn& resolve) const {
+  CHECK_GE(k, 1u);
+  CHECK_LT(query, n_);
+  CHECK_GT(n_, k);
+
+  std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, HeapLess> best;
+  double tau = kInfDistance;
+  Visit(root_, query, resolve, &tau, [&](ObjectId o, double d) {
+    if (best.size() < k) {
+      best.push(KnnNeighbor{o, d});
+    } else if (d < best.top().distance ||
+               (d == best.top().distance && o < best.top().id)) {
+      best.pop();
+      best.push(KnnNeighbor{o, d});
+    }
+    if (best.size() == k) tau = best.top().distance;
+  });
+
+  std::vector<KnnNeighbor> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<KnnNeighbor> VpTree::Range(ObjectId query, double radius,
+                                       const ResolveFn& resolve) const {
+  CHECK_GE(radius, 0.0);
+  CHECK_LT(query, n_);
+  std::vector<KnnNeighbor> hits;
+  const double tau = radius;
+  Visit(root_, query, resolve, &tau, [&](ObjectId o, double d) {
+    if (d <= radius) hits.push_back(KnnNeighbor{o, d});
+  });
+  std::sort(hits.begin(), hits.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,76 @@
+#ifndef METRICPROX_INDEX_VPTREE_H_
+#define METRICPROX_INDEX_VPTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/knn_graph.h"
+#include "bounds/pivots.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+struct VpTreeOptions {
+  /// Subtrees at or below this size become leaves (scanned linearly).
+  uint32_t leaf_size = 8;
+  uint64_t seed = 1;
+};
+
+/// Vantage-point tree (Yianilos 1993) — the classical *index* answer to
+/// expensive metric queries, implemented here as a baseline to contrast
+/// with the paper's plug-in framework (related work §6.1).
+///
+/// Construction partitions each node's objects by the median distance to a
+/// randomly chosen vantage point (inside/outside the median ball), paying
+/// about n log n oracle calls. Queries descend the tree, pruning a branch
+/// when the triangle inequality proves it cannot contain a better
+/// neighbor; every call made during build or search goes through the
+/// supplied ResolveFn, so calls are accounted exactly like the framework's
+/// (route it through a BoundedResolver to share the cache).
+///
+/// Results are exact and deterministic under (distance, id) ordering.
+class VpTree {
+ public:
+  /// Builds over objects 0..n-1. `resolve` performs the oracle calls.
+  VpTree(ObjectId n, const VpTreeOptions& options, const ResolveFn& resolve);
+
+  /// Exact k nearest neighbors of `query` (an object in the tree; itself
+  /// excluded), ascending by (distance, id).
+  std::vector<KnnNeighbor> Knn(ObjectId query, uint32_t k,
+                               const ResolveFn& resolve) const;
+
+  /// Exact range query: all objects within `radius` of `query`
+  /// (inclusive), ascending by (distance, id).
+  std::vector<KnnNeighbor> Range(ObjectId query, double radius,
+                                 const ResolveFn& resolve) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  ObjectId num_objects() const { return n_; }
+
+ private:
+  struct Node {
+    ObjectId vantage = kInvalidObject;
+    double mu = 0.0;        // median distance to the vantage point
+    int32_t inside = -1;    // child index: objects with d(o, vp) <= mu
+    int32_t outside = -1;   // child index: objects with d(o, vp) > mu
+    // Non-empty only for leaves: the members (excluding the vantage).
+    std::vector<ObjectId> bucket;
+  };
+
+  int32_t Build(std::vector<ObjectId> members, const VpTreeOptions& options,
+                const ResolveFn& resolve, uint64_t* rng_state);
+
+  // Best-first exact search shared by Knn (shrinking tau) and Range
+  // (fixed tau); `emit` receives every candidate's exact distance.
+  template <typename Emit>
+  void Visit(int32_t node, ObjectId query, const ResolveFn& resolve,
+             const double* tau, Emit&& emit) const;
+
+  ObjectId n_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_INDEX_VPTREE_H_

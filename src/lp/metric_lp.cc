@@ -1,0 +1,198 @@
+#include "lp/metric_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+MetricFeasibilitySystem::MetricFeasibilitySystem(
+    const PartialDistanceGraph& graph, double max_distance)
+    : graph_(graph), max_distance_(max_distance) {
+  CHECK_GT(max_distance, 0.0);
+  const ObjectId n = graph.num_objects();
+
+  // Assign a variable to each unknown pair; track per-variable boxes.
+  int next = 0;
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      if (!graph.Has(i, j)) var_index_.emplace(EdgeKey(i, j), next++);
+    }
+  }
+  base_.num_vars = next;
+  std::vector<double> lo(next, 0.0);
+  std::vector<double> hi(next, max_distance);
+
+  auto value_of = [&](ObjectId a, ObjectId b) { return graph.Get(a, b); };
+
+  // Triangle constraints over all triples. For a triple with exactly one
+  // unknown edge the three inequalities collapse to a box tightening; with
+  // two or three unknowns they become tableau rows.
+  auto add_row = [&](std::initializer_list<std::pair<int, double>> terms,
+                     double rhs) {
+    std::vector<double> row(base_.num_vars, 0.0);
+    for (const auto& [var, coeff] : terms) row[var] += coeff;
+    base_.a.push_back(std::move(row));
+    base_.b.push_back(rhs);
+  };
+
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      const std::optional<double> dij = value_of(i, j);
+      for (ObjectId k = j + 1; k < n; ++k) {
+        const std::optional<double> dik = value_of(i, k);
+        const std::optional<double> djk = value_of(j, k);
+        const int unknowns = !dij + !dik + !djk;
+        if (unknowns == 0) continue;  // oracle guarantees the metric holds
+        if (unknowns == 1) {
+          // One unknown x, two constants p, q:  |p - q| <= x <= p + q.
+          int var;
+          double p, q;
+          if (!dij) {
+            var = VarOf(i, j);
+            p = *dik;
+            q = *djk;
+          } else if (!dik) {
+            var = VarOf(i, k);
+            p = *dij;
+            q = *djk;
+          } else {
+            var = VarOf(j, k);
+            p = *dij;
+            q = *dik;
+          }
+          lo[var] = std::max(lo[var], std::abs(p - q));
+          hi[var] = std::min(hi[var], p + q);
+          continue;
+        }
+        // Two or three unknowns: emit the three triangle rows
+        //   x_ij - x_ik - x_jk <= 0   (and rotations),
+        // folding any known edge into the rhs.
+        struct Side {
+          std::optional<double> value;
+          int var;
+        };
+        const Side sides[3] = {
+            {dij, dij ? -1 : VarOf(i, j)},
+            {dik, dik ? -1 : VarOf(i, k)},
+            {djk, djk ? -1 : VarOf(j, k)},
+        };
+        for (int longest = 0; longest < 3; ++longest) {
+          std::vector<std::pair<int, double>> terms;
+          double rhs = 0.0;
+          for (int s = 0; s < 3; ++s) {
+            const double coeff = (s == longest) ? 1.0 : -1.0;
+            if (sides[s].value) {
+              rhs -= coeff * *sides[s].value;
+            } else {
+              terms.emplace_back(sides[s].var, coeff);
+            }
+          }
+          std::vector<double> row(base_.num_vars, 0.0);
+          for (const auto& [var, coeff] : terms) row[var] += coeff;
+          base_.a.push_back(std::move(row));
+          base_.b.push_back(rhs);
+        }
+      }
+    }
+  }
+
+  // Presolve: drop triangle rows already implied by the box bounds. A row
+  // a.x <= b is redundant when even the box-extreme assignment (hi for
+  // positive coefficients, lo for negative ones, with the solver's
+  // implicit lo >= 0) satisfies it. Partially resolved graphs tighten many
+  // boxes, so this routinely removes most of the 3*C(n,3) rows and is the
+  // difference between DFT being usable and not.
+  {
+    size_t kept = 0;
+    for (size_t row = 0; row < base_.a.size(); ++row) {
+      double extreme = 0.0;
+      for (int v = 0; v < base_.num_vars; ++v) {
+        const double coeff = base_.a[row][v];
+        if (coeff > 0.0) {
+          extreme += coeff * hi[v];
+        } else if (coeff < 0.0) {
+          extreme += coeff * lo[v];
+        }
+      }
+      if (extreme <= base_.b[row]) continue;  // implied by the boxes
+      if (kept != row) {
+        base_.a[kept] = std::move(base_.a[row]);
+        base_.b[kept] = base_.b[row];
+      }
+      ++kept;
+    }
+    base_.a.resize(kept);
+    base_.b.resize(kept);
+  }
+
+  // Box rows: x <= hi always; -x <= -lo only when the lower bound is
+  // informative (x >= 0 is implicit in the solver).
+  for (int v = 0; v < base_.num_vars; ++v) {
+    add_row({{v, 1.0}}, hi[v]);
+    if (lo[v] > 0.0) add_row({{v, -1.0}}, -lo[v]);
+  }
+}
+
+int MetricFeasibilitySystem::VarOf(ObjectId u, ObjectId v) const {
+  auto it = var_index_.find(EdgeKey(u, v));
+  return it == var_index_.end() ? -1 : it->second;
+}
+
+StatusOr<bool> MetricFeasibilitySystem::FeasibleWith(
+    const std::vector<DistanceTerm>& extra_terms, double rhs) {
+  DenseLp lp = base_;
+  std::vector<double> row(lp.num_vars, 0.0);
+  for (const DistanceTerm& term : extra_terms) {
+    const int var = VarOf(term.u, term.v);
+    if (var >= 0) {
+      row[var] += term.coefficient;
+    } else {
+      const std::optional<double> d = graph_.Get(term.u, term.v);
+      CHECK(d.has_value());
+      rhs -= term.coefficient * *d;
+    }
+  }
+  if (std::all_of(row.begin(), row.end(),
+                  [](double c) { return c == 0.0; })) {
+    // Fully constant constraint: feasibility is just sign of the rhs (the
+    // base system itself is always feasible — the true metric satisfies it).
+    return rhs >= 0.0;
+  }
+  lp.a.push_back(std::move(row));
+  lp.b.push_back(rhs);
+  StatusOr<LpResult> result = solver_.Solve(lp);
+  if (!result.ok()) return result.status();
+  total_pivots_ += result->pivots;
+  return result->kind == LpResult::Kind::kOptimal;
+}
+
+StatusOr<Interval> MetricFeasibilitySystem::LpBounds(ObjectId u, ObjectId v) {
+  const std::optional<double> known = graph_.Get(u, v);
+  if (known) return Interval::Exact(*known);
+  const int var = VarOf(u, v);
+  CHECK_GE(var, 0);
+
+  DenseLp lp = base_;
+  lp.objective.assign(lp.num_vars, 0.0);
+
+  lp.objective[var] = 1.0;  // minimize x
+  StatusOr<LpResult> low = solver_.Solve(lp);
+  if (!low.ok()) return low.status();
+  CHECK(low->kind == LpResult::Kind::kOptimal)
+      << "base metric system must be feasible and bounded";
+  total_pivots_ += low->pivots;
+
+  lp.objective[var] = -1.0;  // maximize x
+  StatusOr<LpResult> high = solver_.Solve(lp);
+  if (!high.ok()) return high.status();
+  CHECK(high->kind == LpResult::Kind::kOptimal);
+  total_pivots_ += high->pivots;
+
+  const double lo = std::max(0.0, low->objective_value);
+  const double hi = std::min(max_distance_, -high->objective_value);
+  return Interval(std::min(lo, hi), std::max(lo, hi));
+}
+
+}  // namespace metricprox

@@ -1,0 +1,67 @@
+#ifndef METRICPROX_LP_METRIC_LP_H_
+#define METRICPROX_LP_METRIC_LP_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+#include "graph/partial_graph.h"
+#include "lp/simplex.h"
+
+namespace metricprox {
+
+/// A linear term `coefficient * dist(u, v)` of a constraint over (possibly
+/// unknown) pairwise distances.
+struct DistanceTerm {
+  ObjectId u;
+  ObjectId v;
+  double coefficient;
+};
+
+/// The paper's DIRECT FEASIBILITY TEST constraint system (Section 2.2):
+/// one variable per *unknown* pair, box constraints [lb, max_distance], and
+/// all triangle inequalities over the n objects. Distances already resolved
+/// in the partial graph are substituted as constants, which removes their
+/// variables and turns one- unknown triangles into tighter box constraints
+/// instead of rows.
+///
+/// The system is a snapshot: rebuild after the graph gains edges.
+class MetricFeasibilitySystem {
+ public:
+  /// `max_distance` is the paper's normalization bound (distances assumed in
+  /// [0, max_distance]); it must upper-bound every true distance.
+  MetricFeasibilitySystem(const PartialDistanceGraph& graph,
+                          double max_distance);
+
+  /// Is the base system plus the extra constraint
+  ///     sum_i terms[i].coefficient * dist(terms[i].u, terms[i].v) <= rhs
+  /// feasible? Known pairs in `terms` fold into the right-hand side.
+  StatusOr<bool> FeasibleWith(const std::vector<DistanceTerm>& extra_terms,
+                              double rhs);
+
+  /// Tightest LP-implied bounds on dist(u, v): minimize / maximize the
+  /// variable over the base polytope. For a known pair returns the exact
+  /// value.
+  StatusOr<Interval> LpBounds(ObjectId u, ObjectId v);
+
+  int num_variables() const { return base_.num_vars; }
+  int num_rows() const { return static_cast<int>(base_.a.size()); }
+  uint64_t total_pivots() const { return total_pivots_; }
+
+ private:
+  // Variable index for the unknown pair, or -1 if the pair is known.
+  int VarOf(ObjectId u, ObjectId v) const;
+
+  const PartialDistanceGraph& graph_;
+  double max_distance_;
+  DenseLp base_;
+  std::unordered_map<EdgeKey, int, EdgeKeyHash> var_index_;
+  SimplexSolver solver_;
+  uint64_t total_pivots_ = 0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_LP_METRIC_LP_H_

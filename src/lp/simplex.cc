@@ -1,0 +1,281 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+// Full-tableau simplex state. Column order: structural | slack | artificial.
+// One extra implicit column holds the right-hand side.
+class Tableau {
+ public:
+  Tableau(const DenseLp& lp, double eps) : eps_(eps) {
+    const int m = static_cast<int>(lp.a.size());
+    const int n = lp.num_vars;
+    num_structural_ = n;
+    num_slack_ = m;
+
+    // Rows with negative rhs get negated and receive an artificial.
+    std::vector<bool> negated(m, false);
+    int num_art = 0;
+    for (int i = 0; i < m; ++i) {
+      if (lp.b[i] < 0) {
+        negated[i] = true;
+        ++num_art;
+      }
+    }
+    num_artificial_ = num_art;
+    const int cols = n + m + num_art;
+    rows_.assign(m, std::vector<double>(cols + 1, 0.0));
+    basis_.resize(m);
+
+    int art_cursor = 0;
+    for (int i = 0; i < m; ++i) {
+      const double sign = negated[i] ? -1.0 : 1.0;
+      for (int j = 0; j < n; ++j) rows_[i][j] = sign * lp.a[i][j];
+      rows_[i][n + i] = sign;  // slack
+      rows_[i][cols] = sign * lp.b[i];
+      if (negated[i]) {
+        const int art_col = n + m + art_cursor++;
+        rows_[i][art_col] = 1.0;
+        basis_[i] = art_col;
+      } else {
+        basis_[i] = n + i;
+      }
+    }
+  }
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_cols() const { return num_structural_ + num_slack_ + num_artificial_; }
+  bool IsArtificial(int col) const {
+    return col >= num_structural_ + num_slack_;
+  }
+  double rhs(int row) const { return rows_[row].back(); }
+  int basis(int row) const { return basis_[row]; }
+
+  /// Installs `costs` (indexed by column; missing = 0) as the objective and
+  /// reduces it against the current basis.
+  void SetObjective(const std::vector<double>& costs) {
+    objective_.assign(num_cols() + 1, 0.0);
+    for (size_t c = 0; c < costs.size(); ++c) objective_[c] = costs[c];
+    for (int i = 0; i < num_rows(); ++i) {
+      const double factor = objective_[basis_[i]];
+      if (factor != 0.0) {
+        for (int c = 0; c <= num_cols(); ++c) {
+          objective_[c] -= factor * rows_[i][c];
+        }
+      }
+    }
+  }
+
+  double objective_value() const { return -objective_.back(); }
+
+  enum class StepOutcome { kOptimal, kUnbounded, kPivoted };
+
+  /// One simplex iteration minimizing the installed objective.
+  /// `allow_artificial_entering` is false in phase 2.
+  StepOutcome Step(bool use_bland, bool allow_artificial_entering) {
+    // Entering column: negative reduced cost.
+    int enter = -1;
+    double best = -eps_;
+    for (int c = 0; c < num_cols(); ++c) {
+      if (!allow_artificial_entering && IsArtificial(c)) continue;
+      const double r = objective_[c];
+      if (r < -eps_) {
+        if (use_bland) {
+          enter = c;
+          break;
+        }
+        if (r < best) {
+          best = r;
+          enter = c;
+        }
+      }
+    }
+    if (enter < 0) return StepOutcome::kOptimal;
+
+    // Ratio test; ties broken by smallest basis column (Bland-compatible).
+    int leave = -1;
+    double best_ratio = 0.0;
+    for (int i = 0; i < num_rows(); ++i) {
+      const double a = rows_[i][enter];
+      if (a > eps_) {
+        const double ratio = rhs(i) / a;
+        if (leave < 0 || ratio < best_ratio - eps_ ||
+            (ratio < best_ratio + eps_ && basis_[i] < basis_[leave])) {
+          leave = i;
+          best_ratio = ratio;
+        }
+      }
+    }
+    if (leave < 0) return StepOutcome::kUnbounded;
+    Pivot(leave, enter);
+    return StepOutcome::kPivoted;
+  }
+
+  /// After phase 1, removes artificials from the basis (pivoting them out on
+  /// any eligible column, or deleting redundant rows).
+  void EvictArtificialsFromBasis() {
+    for (int i = num_rows() - 1; i >= 0; --i) {
+      if (!IsArtificial(basis_[i])) continue;
+      int enter = -1;
+      for (int c = 0; c < num_structural_ + num_slack_; ++c) {
+        if (std::abs(rows_[i][c]) > eps_) {
+          enter = c;
+          break;
+        }
+      }
+      if (enter >= 0) {
+        Pivot(i, enter);
+      } else {
+        // Row is 0 = 0 in the original variables: redundant constraint.
+        rows_.erase(rows_.begin() + i);
+        basis_.erase(basis_.begin() + i);
+      }
+    }
+  }
+
+  /// Extracts the structural part of the current basic solution.
+  std::vector<double> StructuralSolution() const {
+    std::vector<double> x(num_structural_, 0.0);
+    for (int i = 0; i < num_rows(); ++i) {
+      if (basis_[i] < num_structural_) x[basis_[i]] = rhs(i);
+    }
+    return x;
+  }
+
+  int num_structural() const { return num_structural_; }
+  int num_artificial() const { return num_artificial_; }
+
+ private:
+  void Pivot(int leave_row, int enter_col) {
+    std::vector<double>& prow = rows_[leave_row];
+    const double pivot = prow[enter_col];
+    DCHECK_GT(std::abs(pivot), eps_);
+    const double inv = 1.0 / pivot;
+    for (double& v : prow) v *= inv;
+    prow[enter_col] = 1.0;  // exact
+
+    for (int i = 0; i < num_rows(); ++i) {
+      if (i == leave_row) continue;
+      const double factor = rows_[i][enter_col];
+      if (factor == 0.0) continue;
+      std::vector<double>& row = rows_[i];
+      for (int c = 0; c <= num_cols(); ++c) row[c] -= factor * prow[c];
+      row[enter_col] = 0.0;  // exact
+    }
+    const double ofactor = objective_[enter_col];
+    if (ofactor != 0.0) {
+      for (int c = 0; c <= num_cols(); ++c) {
+        objective_[c] -= ofactor * prow[c];
+      }
+      objective_[enter_col] = 0.0;
+    }
+    basis_[leave_row] = enter_col;
+  }
+
+  double eps_;
+  int num_structural_ = 0;
+  int num_slack_ = 0;
+  int num_artificial_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> basis_;
+  std::vector<double> objective_;
+};
+
+}  // namespace
+
+StatusOr<LpResult> SimplexSolver::Solve(const DenseLp& lp) {
+  if (lp.num_vars <= 0) {
+    return Status::InvalidArgument("num_vars must be positive");
+  }
+  if (lp.a.size() != lp.b.size()) {
+    return Status::InvalidArgument("row count mismatch between a and b");
+  }
+  for (const std::vector<double>& row : lp.a) {
+    if (static_cast<int>(row.size()) != lp.num_vars) {
+      return Status::InvalidArgument("constraint row has wrong arity");
+    }
+  }
+  if (!lp.objective.empty() &&
+      static_cast<int>(lp.objective.size()) != lp.num_vars) {
+    return Status::InvalidArgument("objective has wrong arity");
+  }
+
+  Tableau tableau(lp, options_.eps);
+  LpResult result;
+
+  auto run_phase = [&](bool allow_artificial) -> StatusOr<LpResult::Kind> {
+    uint64_t iters = 0;
+    while (true) {
+      if (result.pivots + iters > options_.max_iterations) {
+        return Status::Internal("simplex iteration cap exceeded");
+      }
+      const bool bland = iters > options_.bland_threshold;
+      const Tableau::StepOutcome out = tableau.Step(bland, allow_artificial);
+      if (out == Tableau::StepOutcome::kOptimal) {
+        result.pivots += iters;
+        return LpResult::Kind::kOptimal;
+      }
+      if (out == Tableau::StepOutcome::kUnbounded) {
+        result.pivots += iters;
+        return LpResult::Kind::kUnbounded;
+      }
+      ++iters;
+    }
+  };
+
+  // Phase 1: minimize the sum of artificials (skip if there are none).
+  if (tableau.num_artificial() > 0) {
+    std::vector<double> art_costs(tableau.num_cols(), 0.0);
+    for (int c = 0; c < tableau.num_cols(); ++c) {
+      if (tableau.IsArtificial(c)) art_costs[c] = 1.0;
+    }
+    tableau.SetObjective(art_costs);
+    StatusOr<LpResult::Kind> phase1 = run_phase(/*allow_artificial=*/true);
+    if (!phase1.ok()) return phase1.status();
+    // Sum of nonnegative artificials cannot be unbounded below.
+    CHECK(*phase1 == LpResult::Kind::kOptimal);
+    if (tableau.objective_value() > 1e-7) {
+      result.kind = LpResult::Kind::kInfeasible;
+      return result;
+    }
+    tableau.EvictArtificialsFromBasis();
+  }
+
+  if (lp.objective.empty()) {
+    result.kind = LpResult::Kind::kOptimal;
+    result.objective_value = 0.0;
+    result.x = tableau.StructuralSolution();
+    return result;
+  }
+
+  // Phase 2: the caller's objective.
+  std::vector<double> costs(tableau.num_cols(), 0.0);
+  for (int c = 0; c < lp.num_vars; ++c) costs[c] = lp.objective[c];
+  tableau.SetObjective(costs);
+  StatusOr<LpResult::Kind> phase2 = run_phase(/*allow_artificial=*/false);
+  if (!phase2.ok()) return phase2.status();
+  if (*phase2 == LpResult::Kind::kUnbounded) {
+    result.kind = LpResult::Kind::kUnbounded;
+    return result;
+  }
+  result.kind = LpResult::Kind::kOptimal;
+  result.objective_value = tableau.objective_value();
+  result.x = tableau.StructuralSolution();
+  return result;
+}
+
+StatusOr<bool> SimplexSolver::IsFeasible(const DenseLp& lp) {
+  DenseLp feasibility = lp;
+  feasibility.objective.clear();
+  StatusOr<LpResult> result = Solve(feasibility);
+  if (!result.ok()) return result.status();
+  return result->kind == LpResult::Kind::kOptimal;
+}
+
+}  // namespace metricprox

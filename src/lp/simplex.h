@@ -1,0 +1,74 @@
+#ifndef METRICPROX_LP_SIMPLEX_H_
+#define METRICPROX_LP_SIMPLEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace metricprox {
+
+/// A dense linear program in the form
+///     minimize    c . x
+///     subject to  A x <= b,   x >= 0.
+/// Rows of `a` are the constraint coefficient vectors; `b` may be negative
+/// (the origin need not be feasible). When `objective` is empty the program
+/// is a pure feasibility question.
+struct DenseLp {
+  int num_vars = 0;
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  std::vector<double> objective;  // empty => feasibility only
+};
+
+/// Outcome of solving a DenseLp.
+struct LpResult {
+  enum class Kind { kOptimal, kInfeasible, kUnbounded };
+  Kind kind = Kind::kInfeasible;
+  /// Optimal objective value (valid when kind == kOptimal).
+  double objective_value = 0.0;
+  /// A feasible/optimal assignment (valid when kind == kOptimal).
+  std::vector<double> x;
+  /// Total simplex pivots performed across both phases.
+  uint64_t pivots = 0;
+};
+
+/// Two-phase primal simplex over a dense tableau.
+///
+/// Phase 1 introduces slack variables (A x + s = b) plus artificial
+/// variables for rows with negative right-hand side and minimizes the sum of
+/// artificials; phase 2 optimizes the caller's objective. Pivoting uses
+/// Dantzig's rule and falls back to Bland's rule (which guarantees
+/// termination) once the iteration count passes a degeneracy threshold.
+///
+/// This is the substrate for the paper's DIRECT FEASIBILITY TEST (the role
+/// CPLEX plays in the original evaluation). Intended for the small systems
+/// DFT is practical on — a few thousand rows at most.
+class SimplexSolver {
+ public:
+  struct Options {
+    double eps = 1e-9;
+    /// Iterations of Dantzig pivoting before switching to Bland's rule.
+    uint64_t bland_threshold = 4096;
+    /// Hard iteration cap (returns Internal error if exceeded).
+    uint64_t max_iterations = 2000000;
+  };
+
+  SimplexSolver() : options_(Options{}) {}
+  explicit SimplexSolver(const Options& options) : options_(options) {}
+
+  /// Solves the program. Returns a Status error only on malformed input or
+  /// iteration-cap blowout; infeasibility/unboundedness are ordinary
+  /// LpResult outcomes.
+  StatusOr<LpResult> Solve(const DenseLp& lp);
+
+  /// Convenience: is {A x <= b, x >= 0} non-empty?
+  StatusOr<bool> IsFeasible(const DenseLp& lp);
+
+ private:
+  Options options_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_LP_SIMPLEX_H_

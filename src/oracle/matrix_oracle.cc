@@ -1,0 +1,59 @@
+#include "oracle/matrix_oracle.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+MatrixOracle::MatrixOracle(std::vector<double> matrix, ObjectId n)
+    : matrix_(std::move(matrix)), n_(n) {
+  CHECK_EQ(matrix_.size(), static_cast<size_t>(n) * n);
+}
+
+StatusOr<MatrixOracle> MatrixOracle::Create(std::vector<double> matrix,
+                                            ObjectId n) {
+  if (matrix.size() != static_cast<size_t>(n) * n) {
+    return Status::InvalidArgument("matrix size does not match n*n");
+  }
+  auto at = [&](ObjectId i, ObjectId j) { return matrix[i * n + j]; };
+  for (ObjectId i = 0; i < n; ++i) {
+    if (at(i, i) != 0.0) {
+      return Status::InvalidArgument("nonzero diagonal entry");
+    }
+    for (ObjectId j = i + 1; j < n; ++j) {
+      if (at(i, j) != at(j, i)) {
+        return Status::InvalidArgument("matrix not symmetric");
+      }
+      if (!(at(i, j) > 0.0) || !std::isfinite(at(i, j))) {
+        return Status::InvalidArgument(
+            "off-diagonal distances must be finite and positive");
+      }
+    }
+  }
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      for (ObjectId k = 0; k < n; ++k) {
+        if (k == i || k == j) continue;
+        // Tolerate tiny floating-point slack.
+        if (at(i, j) > at(i, k) + at(k, j) + 1e-12) {
+          std::ostringstream os;
+          os << "triangle inequality violated for (" << i << ", " << j
+             << ") via " << k;
+          return Status::InvalidArgument(os.str());
+        }
+      }
+    }
+  }
+  return MatrixOracle(std::move(matrix), n);
+}
+
+double MatrixOracle::Distance(ObjectId i, ObjectId j) {
+  DCHECK_NE(i, j);
+  DCHECK_LT(i, n_);
+  DCHECK_LT(j, n_);
+  return matrix_[i * n_ + j];
+}
+
+}  // namespace metricprox

@@ -1,0 +1,41 @@
+#ifndef METRICPROX_ORACLE_MATRIX_ORACLE_H_
+#define METRICPROX_ORACLE_MATRIX_ORACLE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Oracle backed by a precomputed symmetric distance matrix — the setting of
+/// the paper's experiments, where "the actual pairwise distances (i.e.,
+/// ground truth) are known" and each lookup is *accounted* as an expensive
+/// call. Also the workhorse of the test suite (arbitrary random metrics).
+class MatrixOracle : public DistanceOracle {
+ public:
+  /// `matrix` is a dense n*n row-major symmetric matrix with zero diagonal.
+  /// Use Create() to validate untrusted input; the constructor only
+  /// DCHECK-validates shape.
+  explicit MatrixOracle(std::vector<double> matrix, ObjectId n);
+
+  /// Validates symmetry, zero diagonal, positivity off the diagonal and the
+  /// triangle inequality (O(n^3); intended for tests and small inputs).
+  static StatusOr<MatrixOracle> Create(std::vector<double> matrix, ObjectId n);
+
+  double Distance(ObjectId i, ObjectId j) override;
+  ObjectId num_objects() const override { return n_; }
+  std::string_view name() const override { return "matrix"; }
+
+  double At(ObjectId i, ObjectId j) const { return matrix_[i * n_ + j]; }
+
+ private:
+  std::vector<double> matrix_;
+  ObjectId n_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_MATRIX_ORACLE_H_

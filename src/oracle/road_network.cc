@@ -1,0 +1,205 @@
+#include "oracle/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/logging.h"
+#include "graph/indexed_heap.h"
+#include "graph/union_find.h"
+
+namespace metricprox {
+
+namespace {
+
+struct RawEdge {
+  uint32_t a;
+  uint32_t b;
+  double weight;
+};
+
+double Euclid(const std::pair<double, double>& p,
+              const std::pair<double, double>& q) {
+  const double dx = p.first - q.first;
+  const double dy = p.second - q.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+RoadNetwork RoadNetwork::Generate(const RoadNetworkConfig& config) {
+  CHECK_GE(config.grid_width, 2u);
+  CHECK_GE(config.grid_height, 2u);
+  CHECK_GT(config.edge_keep_probability, 0.0);
+  CHECK_LE(config.edge_keep_probability, 1.0);
+  CHECK_GE(config.detour_min, 1.0);
+  CHECK_GE(config.detour_max, config.detour_min);
+
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> jitter(-config.jitter,
+                                                config.jitter);
+  std::uniform_real_distribution<double> detour(config.detour_min,
+                                                config.detour_max);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  const uint32_t w = config.grid_width;
+  const uint32_t h = config.grid_height;
+  const uint32_t n = w * h;
+
+  // Highway designation: whole rows/columns travel at highway_factor of
+  // normal cost, so the shortest-path field becomes multi-scale.
+  std::vector<bool> highway_row(h, false);
+  std::vector<bool> highway_col(w, false);
+  if (config.highway_fraction > 0.0) {
+    std::uniform_real_distribution<double> pick(0.0, 1.0);
+    for (uint32_t y = 0; y < h; ++y) {
+      highway_row[y] = pick(rng) < config.highway_fraction;
+    }
+    for (uint32_t x = 0; x < w; ++x) {
+      highway_col[x] = pick(rng) < config.highway_fraction;
+    }
+  }
+
+  RoadNetwork net;
+  net.coordinates_.reserve(n);
+  for (uint32_t y = 0; y < h; ++y) {
+    for (uint32_t x = 0; x < w; ++x) {
+      net.coordinates_.emplace_back(x + jitter(rng), y + jitter(rng));
+    }
+  }
+  auto node_at = [w](uint32_t x, uint32_t y) { return y * w + x; };
+
+  // Enumerate candidate edges; keep each with the configured probability.
+  std::vector<RawEdge> kept;
+  std::vector<RawEdge> dropped;
+  auto consider = [&](uint32_t a, uint32_t b, bool on_highway) {
+    double weight =
+        Euclid(net.coordinates_[a], net.coordinates_[b]) * detour(rng);
+    if (on_highway) weight *= config.highway_factor;
+    RawEdge e{a, b, weight};
+    if (unit(rng) < config.edge_keep_probability) {
+      kept.push_back(e);
+    } else {
+      dropped.push_back(e);
+    }
+  };
+  for (uint32_t y = 0; y < h; ++y) {
+    for (uint32_t x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        consider(node_at(x, y), node_at(x + 1, y), highway_row[y]);
+      }
+      if (y + 1 < h) {
+        consider(node_at(x, y), node_at(x, y + 1), highway_col[x]);
+      }
+      if (config.diagonals && x + 1 < w && y + 1 < h) {
+        consider(node_at(x, y), node_at(x + 1, y + 1), false);
+      }
+    }
+  }
+
+  // Restore connectivity: re-add dropped edges whose endpoints are still in
+  // different components. The full grid is connected, so this terminates
+  // with a single component.
+  UnionFind uf(n);
+  for (const RawEdge& e : kept) uf.Union(e.a, e.b);
+  std::shuffle(dropped.begin(), dropped.end(), rng);
+  for (const RawEdge& e : dropped) {
+    if (uf.num_components() == 1) break;
+    if (uf.Union(e.a, e.b)) kept.push_back(e);
+  }
+  CHECK_EQ(uf.num_components(), 1u) << "grid closure failed";
+
+  // Build CSR (each undirected edge stored in both directions).
+  std::vector<uint32_t> degree(n, 0);
+  for (const RawEdge& e : kept) {
+    ++degree[e.a];
+    ++degree[e.b];
+  }
+  net.offsets_.assign(n + 1, 0);
+  for (uint32_t i = 0; i < n; ++i) {
+    net.offsets_[i + 1] = net.offsets_[i] + degree[i];
+  }
+  net.targets_.resize(net.offsets_[n]);
+  net.weights_.resize(net.offsets_[n]);
+  std::vector<uint32_t> cursor(net.offsets_.begin(), net.offsets_.end() - 1);
+  for (const RawEdge& e : kept) {
+    net.targets_[cursor[e.a]] = e.b;
+    net.weights_[cursor[e.a]++] = e.weight;
+    net.targets_[cursor[e.b]] = e.a;
+    net.weights_[cursor[e.b]++] = e.weight;
+  }
+  net.num_edges_ = static_cast<uint32_t>(kept.size());
+  return net;
+}
+
+std::vector<double> RoadNetwork::ShortestPathsFrom(uint32_t node) const {
+  CHECK_LT(node, num_nodes());
+  std::vector<double> dist(num_nodes(), kInfDistance);
+  dist[node] = 0.0;
+  IndexedMinHeap heap(num_nodes());
+  heap.Push(node, 0.0);
+  while (!heap.empty()) {
+    const double du = heap.TopKey();
+    const uint32_t u = heap.Pop();
+    for (uint32_t k = offsets_[u]; k < offsets_[u + 1]; ++k) {
+      const uint32_t v = targets_[k];
+      const double candidate = du + weights_[k];
+      if (candidate < dist[v]) {
+        dist[v] = candidate;
+        heap.PushOrDecrease(v, candidate);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t RoadNetwork::NearestNode(double x, double y) const {
+  uint32_t best = 0;
+  double best_dist = kInfDistance;
+  for (uint32_t i = 0; i < num_nodes(); ++i) {
+    const double d = Euclid(coordinates_[i], {x, y});
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+RoadNetworkOracle::RoadNetworkOracle(const RoadNetwork* network,
+                                     std::vector<uint32_t> object_nodes)
+    : network_(network), object_nodes_(std::move(object_nodes)) {
+  CHECK(network_ != nullptr);
+  CHECK(!object_nodes_.empty());
+  std::vector<uint32_t> sorted = object_nodes_;
+  std::sort(sorted.begin(), sorted.end());
+  CHECK(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end())
+      << "objects must occupy distinct junctions (metric identity)";
+  CHECK_LT(sorted.back(), network_->num_nodes());
+}
+
+double RoadNetworkOracle::Distance(ObjectId i, ObjectId j) {
+  DCHECK_NE(i, j);
+  DCHECK_LT(i, object_nodes_.size());
+  DCHECK_LT(j, object_nodes_.size());
+  // Always answer from the smaller endpoint's row: Dijkstra from i and
+  // from j sum the same shortest path in opposite orders, which can differ
+  // in the last bit — and a distance oracle must be *exactly* symmetric.
+  const ObjectId src = i < j ? i : j;
+  const ObjectId dst = i < j ? j : i;
+  auto it = row_cache_.find(src);
+  if (it != row_cache_.end()) return it->second[dst];
+
+  const std::vector<double> all =
+      network_->ShortestPathsFrom(object_nodes_[src]);
+  std::vector<double> row(object_nodes_.size());
+  for (size_t k = 0; k < object_nodes_.size(); ++k) {
+    row[k] = all[object_nodes_[k]];
+    DCHECK(std::isfinite(row[k])) << "network not connected";
+  }
+  const double out = row[dst];
+  row_cache_.emplace(src, std::move(row));
+  return out;
+}
+
+}  // namespace metricprox

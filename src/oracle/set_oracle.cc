@@ -1,0 +1,98 @@
+#include "oracle/set_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+double SquaredEuclid(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double acc = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+HausdorffOracle::HausdorffOracle(std::vector<PointSet> sets)
+    : sets_(std::move(sets)) {
+  CHECK(!sets_.empty());
+  CHECK(!sets_[0].empty()) << "empty point set";
+  dimension_ = sets_[0][0].size();
+  for (const PointSet& set : sets_) {
+    CHECK(!set.empty()) << "empty point set";
+    for (const std::vector<double>& p : set) {
+      CHECK_EQ(p.size(), dimension_) << "ragged point set";
+    }
+  }
+}
+
+double HausdorffOracle::DirectedDistance(const PointSet& a,
+                                         const PointSet& b) const {
+  double worst = 0.0;
+  for (const std::vector<double>& pa : a) {
+    double nearest = kInfDistance;
+    for (const std::vector<double>& pb : b) {
+      const double d2 = SquaredEuclid(pa, pb);
+      if (d2 < nearest) nearest = d2;
+      // Early exit: this a is already served better than the current worst.
+      if (nearest <= worst) break;
+    }
+    if (nearest > worst) worst = nearest;
+  }
+  return worst;  // still squared
+}
+
+double HausdorffOracle::Distance(ObjectId i, ObjectId j) {
+  DCHECK_NE(i, j);
+  DCHECK_LT(i, sets_.size());
+  DCHECK_LT(j, sets_.size());
+  const double forward = DirectedDistance(sets_[i], sets_[j]);
+  const double backward = DirectedDistance(sets_[j], sets_[i]);
+  return std::sqrt(forward > backward ? forward : backward);
+}
+
+JaccardOracle::JaccardOracle(std::vector<std::vector<uint32_t>> sets)
+    : sets_(std::move(sets)) {
+  CHECK(!sets_.empty());
+  for (const std::vector<uint32_t>& set : sets_) {
+    CHECK(!set.empty()) << "empty set";
+    CHECK(std::is_sorted(set.begin(), set.end()));
+    CHECK(std::adjacent_find(set.begin(), set.end()) == set.end())
+        << "duplicate element";
+  }
+}
+
+double JaccardOracle::Distance(ObjectId i, ObjectId j) {
+  DCHECK_NE(i, j);
+  DCHECK_LT(i, sets_.size());
+  DCHECK_LT(j, sets_.size());
+  const std::vector<uint32_t>& a = sets_[i];
+  const std::vector<uint32_t>& b = sets_[j];
+  size_t x = 0;
+  size_t y = 0;
+  size_t intersection = 0;
+  while (x < a.size() && y < b.size()) {
+    if (a[x] == b[y]) {
+      ++intersection;
+      ++x;
+      ++y;
+    } else if (a[x] < b[y]) {
+      ++x;
+    } else {
+      ++y;
+    }
+  }
+  const size_t union_size = a.size() + b.size() - intersection;
+  return 1.0 - static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+}  // namespace metricprox

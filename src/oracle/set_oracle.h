@@ -1,0 +1,68 @@
+#ifndef METRICPROX_ORACLE_SET_ORACLE_H_
+#define METRICPROX_ORACLE_SET_ORACLE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/types.h"
+#include "oracle/vector_oracle.h"
+
+namespace metricprox {
+
+/// Hausdorff distance between finite point sets under the Euclidean ground
+/// metric:
+///     H(A, B) = max( max_a min_b ||a-b||,  max_b min_a ||a-b|| ).
+/// A true metric on non-empty compact sets and an expensive one —
+/// O(|A| * |B|) ground-distance evaluations per call — modelling the
+/// image-comparison applications from the paper's introduction
+/// (Huttenlocher et al., "Comparing images using the Hausdorff distance").
+class HausdorffOracle : public DistanceOracle {
+ public:
+  /// Each object is a non-empty point set; all points share one dimension.
+  /// Sets must be pairwise distinct as *sets* for metric identity.
+  explicit HausdorffOracle(std::vector<PointSet> sets);
+
+  double Distance(ObjectId i, ObjectId j) override;
+  ObjectId num_objects() const override {
+    return static_cast<ObjectId>(sets_.size());
+  }
+  std::string_view name() const override { return "hausdorff"; }
+
+  const std::vector<PointSet>& sets() const { return sets_; }
+
+ private:
+  // One-sided h(A, B) = max over a of min over b of ||a - b||.
+  double DirectedDistance(const PointSet& a, const PointSet& b) const;
+
+  std::vector<PointSet> sets_;
+  size_t dimension_;
+};
+
+/// Jaccard distance between finite element-id sets:
+///     J(A, B) = 1 - |A ∩ B| / |A ∪ B|
+/// A metric on distinct sets (the Steinhaus/Tanimoto distance), common in
+/// deduplication and document similarity; intersection is a linear merge
+/// over the sorted elements.
+class JaccardOracle : public DistanceOracle {
+ public:
+  /// Each object is a non-empty set given as a strictly ascending element
+  /// list; sets must be pairwise distinct for metric identity.
+  explicit JaccardOracle(std::vector<std::vector<uint32_t>> sets);
+
+  double Distance(ObjectId i, ObjectId j) override;
+  ObjectId num_objects() const override {
+    return static_cast<ObjectId>(sets_.size());
+  }
+  std::string_view name() const override { return "jaccard"; }
+
+  const std::vector<std::vector<uint32_t>>& sets() const { return sets_; }
+
+ private:
+  std::vector<std::vector<uint32_t>> sets_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_SET_ORACLE_H_

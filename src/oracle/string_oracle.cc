@@ -1,0 +1,38 @@
+#include "oracle/string_oracle.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+LevenshteinOracle::LevenshteinOracle(std::vector<std::string> strings)
+    : strings_(std::move(strings)) {
+  CHECK(!strings_.empty()) << "empty string set";
+}
+
+size_t LevenshteinOracle::EditDistance(std::string_view a,
+                                       std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter row
+  std::vector<size_t> prev(b.size() + 1);
+  std::vector<size_t> cur(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+double LevenshteinOracle::Distance(ObjectId i, ObjectId j) {
+  DCHECK_NE(i, j);
+  DCHECK_LT(i, strings_.size());
+  DCHECK_LT(j, strings_.size());
+  return static_cast<double>(EditDistance(strings_[i], strings_[j]));
+}
+
+}  // namespace metricprox

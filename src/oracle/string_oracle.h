@@ -1,0 +1,42 @@
+#ifndef METRICPROX_ORACLE_STRING_ORACLE_H_
+#define METRICPROX_ORACLE_STRING_ORACLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Levenshtein (unit-cost edit) distance between strings — a genuine metric
+/// and a genuinely expensive oracle (O(|a| * |b|) dynamic program per call).
+/// Models the DNA / protein sequence applications from the paper's intro.
+class LevenshteinOracle : public DistanceOracle {
+ public:
+  /// Takes ownership of the strings. Strings should be pairwise distinct so
+  /// the metric identity axiom holds.
+  explicit LevenshteinOracle(std::vector<std::string> strings);
+
+  double Distance(ObjectId i, ObjectId j) override;
+  ObjectId num_objects() const override {
+    return static_cast<ObjectId>(strings_.size());
+  }
+  std::string_view name() const override { return "levenshtein"; }
+
+  const std::vector<std::string>& strings() const { return strings_; }
+
+  /// Exposed for direct unit testing of the DP.
+  static size_t EditDistance(std::string_view a, std::string_view b);
+
+ private:
+  std::vector<std::string> strings_;
+  // Two-row DP scratch reused across calls.
+  std::vector<size_t> row_;
+  std::vector<size_t> prev_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_STRING_ORACLE_H_

@@ -1,0 +1,95 @@
+#include "oracle/trajectory_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+double PointDistance(const std::pair<double, double>& a,
+                     const std::pair<double, double>& b) {
+  const double dx = a.first - b.first;
+  const double dy = a.second - b.second;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+FrechetOracle::FrechetOracle(std::vector<Trajectory> trajectories)
+    : trajectories_(std::move(trajectories)) {
+  CHECK(!trajectories_.empty());
+  for (const Trajectory& t : trajectories_) {
+    CHECK(!t.empty()) << "empty trajectory";
+  }
+}
+
+double FrechetOracle::DiscreteFrechet(const Trajectory& p,
+                                      const Trajectory& q) {
+  // Two-row DP; row[j] = F(i, j).
+  std::vector<double> prev(q.size());
+  std::vector<double> cur(q.size());
+
+  prev[0] = PointDistance(p[0], q[0]);
+  for (size_t j = 1; j < q.size(); ++j) {
+    prev[j] = std::max(prev[j - 1], PointDistance(p[0], q[j]));
+  }
+  for (size_t i = 1; i < p.size(); ++i) {
+    cur[0] = std::max(prev[0], PointDistance(p[i], q[0]));
+    for (size_t j = 1; j < q.size(); ++j) {
+      const double reach = std::min({prev[j], cur[j - 1], prev[j - 1]});
+      cur[j] = std::max(reach, PointDistance(p[i], q[j]));
+    }
+    std::swap(prev, cur);
+  }
+  return prev[q.size() - 1];
+}
+
+double FrechetOracle::Distance(ObjectId i, ObjectId j) {
+  DCHECK_NE(i, j);
+  DCHECK_LT(i, trajectories_.size());
+  DCHECK_LT(j, trajectories_.size());
+  return DiscreteFrechet(trajectories_[i], trajectories_[j]);
+}
+
+std::vector<Trajectory> RandomWalkTrajectories(ObjectId n, size_t length,
+                                               uint32_t num_families,
+                                               double jitter, uint64_t seed) {
+  CHECK_GE(n, 1u);
+  CHECK_GE(length, 2u);
+  CHECK_GE(num_families, 1u);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> start(0.0, 100.0);
+  std::normal_distribution<double> step(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, jitter);
+
+  std::vector<Trajectory> anchors(num_families);
+  for (Trajectory& anchor : anchors) {
+    double x = start(rng);
+    double y = start(rng);
+    anchor.reserve(length);
+    for (size_t s = 0; s < length; ++s) {
+      anchor.emplace_back(x, y);
+      x += step(rng);
+      y += step(rng);
+    }
+  }
+
+  std::vector<Trajectory> out;
+  out.reserve(n);
+  for (ObjectId i = 0; i < n; ++i) {
+    const Trajectory& anchor = anchors[rng() % num_families];
+    Trajectory t;
+    t.reserve(anchor.size());
+    for (const auto& [x, y] : anchor) {
+      t.emplace_back(x + noise(rng), y + noise(rng));
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,57 @@
+#ifndef METRICPROX_ORACLE_TRAJECTORY_ORACLE_H_
+#define METRICPROX_ORACLE_TRAJECTORY_ORACLE_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// A 2-D polyline (GPS trace, video-object track, handwriting stroke).
+using Trajectory = std::vector<std::pair<double, double>>;
+
+/// Discrete Fréchet distance between trajectories — the "dog leash"
+/// distance over vertex sequences, computed by the classic O(|P| * |Q|)
+/// dynamic program:
+///     F(i, j) = max(||p_i - q_j||,
+///                   min(F(i-1, j), F(i, j-1), F(i-1, j-1))).
+/// Satisfies the triangle inequality (it is the sup-metric over coupled
+/// walks); identity requires trajectories to be pairwise distinct up to
+/// point repetition, which the shipped generators guarantee. Models the
+/// video-database / GPS-trace search applications from the paper's intro.
+class FrechetOracle : public DistanceOracle {
+ public:
+  /// Each trajectory must be non-empty.
+  explicit FrechetOracle(std::vector<Trajectory> trajectories);
+
+  double Distance(ObjectId i, ObjectId j) override;
+  ObjectId num_objects() const override {
+    return static_cast<ObjectId>(trajectories_.size());
+  }
+  std::string_view name() const override { return "discrete-frechet"; }
+
+  const std::vector<Trajectory>& trajectories() const {
+    return trajectories_;
+  }
+
+  /// Exposed for direct unit testing of the DP.
+  static double DiscreteFrechet(const Trajectory& p, const Trajectory& q);
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+/// Random-walk trajectory families: `num_families` anchor walks, each
+/// instance a jittered copy (optionally sub-sampled), so same-family
+/// trajectories are Fréchet-close and cross-family ones far — the cluster
+/// structure proximity workloads need.
+std::vector<Trajectory> RandomWalkTrajectories(ObjectId n, size_t length,
+                                               uint32_t num_families,
+                                               double jitter, uint64_t seed);
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_TRAJECTORY_ORACLE_H_

@@ -1,0 +1,94 @@
+#include "oracle/vector_oracle.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+std::string_view VectorMetricName(VectorMetric metric) {
+  switch (metric) {
+    case VectorMetric::kEuclidean:
+      return "euclidean";
+    case VectorMetric::kManhattan:
+      return "manhattan";
+    case VectorMetric::kChebyshev:
+      return "chebyshev";
+    case VectorMetric::kAngular:
+      return "angular";
+    case VectorMetric::kSquaredEuclidean:
+      return "squared-euclidean";
+  }
+  return "unknown";
+}
+
+double VectorMetricRho(VectorMetric metric) {
+  return metric == VectorMetric::kSquaredEuclidean ? 2.0 : 1.0;
+}
+
+VectorOracle::VectorOracle(PointSet points, VectorMetric metric)
+    : points_(std::move(points)), metric_(metric) {
+  CHECK(!points_.empty()) << "empty point set";
+  dimension_ = points_[0].size();
+  CHECK_GT(dimension_, 0u);
+  for (const std::vector<double>& p : points_) {
+    CHECK_EQ(p.size(), dimension_) << "ragged point set";
+  }
+}
+
+double VectorOracle::Distance(ObjectId i, ObjectId j) {
+  DCHECK_NE(i, j);
+  DCHECK_LT(i, points_.size());
+  DCHECK_LT(j, points_.size());
+  const std::vector<double>& a = points_[i];
+  const std::vector<double>& b = points_[j];
+  double acc = 0.0;
+  switch (metric_) {
+    case VectorMetric::kEuclidean:
+      for (size_t d = 0; d < dimension_; ++d) {
+        const double diff = a[d] - b[d];
+        acc += diff * diff;
+      }
+      return std::sqrt(acc);
+    case VectorMetric::kSquaredEuclidean:
+      for (size_t d = 0; d < dimension_; ++d) {
+        const double diff = a[d] - b[d];
+        acc += diff * diff;
+      }
+      return acc;
+    case VectorMetric::kManhattan:
+      for (size_t d = 0; d < dimension_; ++d) {
+        acc += std::abs(a[d] - b[d]);
+      }
+      return acc;
+    case VectorMetric::kChebyshev:
+      for (size_t d = 0; d < dimension_; ++d) {
+        const double diff = std::abs(a[d] - b[d]);
+        if (diff > acc) acc = diff;
+      }
+      return acc;
+    case VectorMetric::kAngular: {
+      // Geodesic distance on the unit sphere: the angle between the two
+      // directions. Unlike raw "1 - cosine similarity" (which violates the
+      // triangle inequality), the angle is a true metric.
+      double dot = 0.0;
+      double na = 0.0;
+      double nb = 0.0;
+      for (size_t d = 0; d < dimension_; ++d) {
+        dot += a[d] * b[d];
+        na += a[d] * a[d];
+        nb += b[d] * b[d];
+      }
+      DCHECK_GT(na, 0.0) << "angular metric requires nonzero vectors";
+      DCHECK_GT(nb, 0.0) << "angular metric requires nonzero vectors";
+      const double denom = std::sqrt(na * nb);
+      double cosine = denom > 0.0 ? dot / denom : 1.0;
+      cosine = std::min(1.0, std::max(-1.0, cosine));
+      return std::acos(cosine);
+    }
+  }
+  LOG(Fatal) << "unreachable metric kind";
+  return 0.0;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,63 @@
+#ifndef METRICPROX_ORACLE_VECTOR_ORACLE_H_
+#define METRICPROX_ORACLE_VECTOR_ORACLE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/oracle.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// A dense set of equal-dimension points backing the vector-space oracles.
+using PointSet = std::vector<std::vector<double>>;
+
+/// Which L_p-style metric a VectorOracle evaluates.
+enum class VectorMetric {
+  kEuclidean,   // L2
+  kManhattan,   // L1
+  kChebyshev,   // L_inf
+  kAngular,     // geodesic angle on the unit sphere, in [0, pi]
+  /// Squared L2 — NOT a metric, but a rho=2 relaxed semimetric
+  /// ((a+b)^2 <= 2a^2 + 2b^2). Usable only with rho-aware schemes
+  /// (TriBounder with rho=2); see bounds/tri.h.
+  kSquaredEuclidean,
+};
+
+/// Relaxation factor rho for a vector metric (1 for the true metrics,
+/// 2 for squared Euclidean).
+double VectorMetricRho(VectorMetric metric);
+
+std::string_view VectorMetricName(VectorMetric metric);
+
+/// Exact vector-space distances. Although coordinates exist here, the
+/// framework never looks at them: this oracle models datasets like
+/// Flickr1M (256-dim, Euclidean) where evaluating the distance is the
+/// expensive step and the algorithms operate purely in metric-space terms.
+class VectorOracle : public DistanceOracle {
+ public:
+  /// Takes ownership of the points. All points must share one dimension and
+  /// be pairwise distinct (metric identity); verified with CHECKs on the
+  /// dimension and lazily on distance-zero results. The angular metric —
+  /// the proper metrization of cosine similarity — additionally requires
+  /// nonzero, pairwise non-parallel points (it measures directions).
+  VectorOracle(PointSet points, VectorMetric metric);
+
+  double Distance(ObjectId i, ObjectId j) override;
+  ObjectId num_objects() const override {
+    return static_cast<ObjectId>(points_.size());
+  }
+  std::string_view name() const override { return VectorMetricName(metric_); }
+
+  size_t dimension() const { return dimension_; }
+  const PointSet& points() const { return points_; }
+
+ private:
+  PointSet points_;
+  VectorMetric metric_;
+  size_t dimension_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_VECTOR_ORACLE_H_

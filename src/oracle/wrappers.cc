@@ -1,0 +1,55 @@
+#include "oracle/wrappers.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+VerifyingOracle::VerifyingOracle(DistanceOracle* base, uint32_t check_every,
+                                 double tolerance)
+    : base_(base),
+      check_every_(check_every),
+      tolerance_(tolerance),
+      rng_state_(0x9e3779b97f4a7c15ULL) {
+  CHECK(base != nullptr);
+  CHECK_GE(check_every, 1u);
+  CHECK_GE(tolerance, 0.0);
+}
+
+double VerifyingOracle::Distance(ObjectId i, ObjectId j) {
+  const double d = base_->Distance(i, j);
+  CHECK(std::isfinite(d)) << name() << " returned a non-finite distance";
+  CHECK_GE(d, 0.0) << name() << " returned a negative distance for (" << i
+                   << ", " << j << ")";
+  CHECK_GT(d, 0.0) << name() << " returned zero for distinct objects (" << i
+                   << ", " << j << ") — metric identity violated";
+
+  if (++calls_ % check_every_ != 0) return d;
+  ++checks_;
+
+  // Symmetry.
+  const double reverse = base_->Distance(j, i);
+  CHECK_LE(std::abs(d - reverse), tolerance_)
+      << name() << " is asymmetric on (" << i << ", " << j << "): " << d
+      << " vs " << reverse;
+
+  // Triangle inequality through a pseudo-random witness (splitmix64 step).
+  rng_state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = rng_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  const ObjectId k =
+      static_cast<ObjectId>((z ^ (z >> 31)) % base_->num_objects());
+  if (k != i && k != j) {
+    const double via =
+        base_->Distance(i, k) + base_->Distance(k, j);
+    CHECK_LE(d, via + tolerance_)
+        << name() << " violates the triangle inequality: dist(" << i << ","
+        << j << ")=" << d << " > dist(" << i << "," << k << ") + dist(" << k
+        << "," << j << ")=" << via;
+  }
+  return d;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,125 @@
+#ifndef METRICPROX_ORACLE_WRAPPERS_H_
+#define METRICPROX_ORACLE_WRAPPERS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/oracle.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Counts calls to the wrapped oracle. Useful when an oracle is exercised
+/// outside a BoundedResolver (e.g. during LAESA pivot-table construction),
+/// so bootstrap calls are charged like any other call.
+class CountingOracle : public DistanceOracle {
+ public:
+  explicit CountingOracle(DistanceOracle* base) : base_(base) {}
+
+  double Distance(ObjectId i, ObjectId j) override {
+    ++calls_;
+    return base_->Distance(i, j);
+  }
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return base_->name(); }
+
+  uint64_t calls() const { return calls_; }
+  void ResetCalls() { calls_ = 0; }
+
+ private:
+  DistanceOracle* base_;  // not owned
+  uint64_t calls_ = 0;
+};
+
+/// Adds a fixed *virtual* latency per call (the paper's 1.2 s / 2.5 s map-API
+/// costs) without actually sleeping: accumulated simulated seconds are read
+/// back by the experiment harness and added to measured CPU time. This
+/// reproduces the completion-time figures (7d, 8a, 8b) in minutes instead of
+/// days.
+class SimulatedCostOracle : public DistanceOracle {
+ public:
+  SimulatedCostOracle(DistanceOracle* base, double seconds_per_call)
+      : base_(base), seconds_per_call_(seconds_per_call) {}
+
+  double Distance(ObjectId i, ObjectId j) override {
+    simulated_seconds_ += seconds_per_call_;
+    return base_->Distance(i, j);
+  }
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return base_->name(); }
+
+  double simulated_seconds() const { return simulated_seconds_; }
+  double seconds_per_call() const { return seconds_per_call_; }
+  void Reset() { simulated_seconds_ = 0.0; }
+
+ private:
+  DistanceOracle* base_;  // not owned
+  double seconds_per_call_;
+  double simulated_seconds_ = 0.0;
+};
+
+/// Memoizes results of the wrapped oracle. Note that a BoundedResolver
+/// already caches every resolution in its PartialDistanceGraph; this wrapper
+/// exists for components that bypass the resolver (pivot selection, ground
+/// truth computation in tests).
+class CachingOracle : public DistanceOracle {
+ public:
+  explicit CachingOracle(DistanceOracle* base) : base_(base) {}
+
+  double Distance(ObjectId i, ObjectId j) override {
+    const EdgeKey key(i, j);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    const double d = base_->Distance(i, j);
+    cache_.emplace(key, d);
+    return d;
+  }
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return base_->name(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  DistanceOracle* base_;  // not owned
+  std::unordered_map<EdgeKey, double, EdgeKeyHash> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Debug wrapper that spot-checks the metric axioms online: every Kth call
+/// re-evaluates the symmetric direction and a random triangle through the
+/// new pair, CHECK-failing on a violation. Every bound scheme silently
+/// returns wrong answers on non-metric inputs, so wiring a user-provided
+/// oracle through this wrapper in staging catches the #1 integration bug
+/// (asymmetric or non-triangle "distances") at its source.
+class VerifyingOracle : public DistanceOracle {
+ public:
+  /// `check_every` = N means one verification burst per N calls (1 = every
+  /// call). `tolerance` absorbs the oracle's own floating-point noise.
+  VerifyingOracle(DistanceOracle* base, uint32_t check_every = 16,
+                  double tolerance = 1e-9);
+
+  double Distance(ObjectId i, ObjectId j) override;
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return base_->name(); }
+
+  uint64_t checks_performed() const { return checks_; }
+
+ private:
+  DistanceOracle* base_;  // not owned
+  uint32_t check_every_;
+  double tolerance_;
+  uint64_t calls_ = 0;
+  uint64_t checks_ = 0;
+  uint64_t rng_state_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_WRAPPERS_H_

@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/boruvka.h"
+#include "algo/join.h"
+#include "algo/prim.h"
+#include "algo/reference.h"
+#include "bounds/scheme.h"
+#include "data/synthetic.h"
+#include "oracle/string_oracle.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+std::set<EdgeKey> EdgeSet(const MstResult& mst) {
+  std::set<EdgeKey> keys;
+  for (const WeightedEdge& e : mst.edges) keys.insert(EdgeKey(e.u, e.v));
+  return keys;
+}
+
+TEST(BoruvkaTest, MatchesReferenceKruskal) {
+  const ObjectId n = 22;
+  ResolverStack stack = MakeRandomStack(n, 71);
+  const MstResult boruvka = BoruvkaMst(stack.resolver.get());
+  const MstResult reference = ReferenceKruskalMst(stack.oracle.get());
+  ASSERT_EQ(boruvka.edges.size(), static_cast<size_t>(n - 1));
+  EXPECT_NEAR(boruvka.total_weight, reference.total_weight, 1e-9);
+  EXPECT_EQ(EdgeSet(boruvka), EdgeSet(reference));
+}
+
+TEST(BoruvkaTest, TieHeavyIntegerMetricStaysAcyclicAndOptimal) {
+  // Edit distances create many exact weight ties — the case Borůvka's
+  // contraction must survive via the strict total edge order.
+  std::vector<std::string> strings =
+      DnaFamilyStrings(24, 20, /*num_families=*/3, /*mutations=*/2, 55);
+  LevenshteinOracle oracle(strings);
+  PartialDistanceGraph graph(24);
+  BoundedResolver resolver(&oracle, &graph);
+  const MstResult boruvka = BoruvkaMst(&resolver);
+
+  LevenshteinOracle oracle2(strings);
+  const MstResult reference = ReferenceKruskalMst(&oracle2);
+  ASSERT_EQ(boruvka.edges.size(), 23u);
+  EXPECT_NEAR(boruvka.total_weight, reference.total_weight, 1e-9);
+}
+
+class BoruvkaSchemeEquivalenceTest
+    : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(BoruvkaSchemeEquivalenceTest, SameTreeUnderEveryScheme) {
+  const ObjectId n = 18;
+  ResolverStack vanilla = MakeRandomStack(n, 72);
+  const MstResult expected = BoruvkaMst(vanilla.resolver.get());
+
+  ResolverStack plugged = MakeRandomStack(n, 72);
+  SchemeOptions options;
+  auto bounder = MakeAndAttachScheme(GetParam(), plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const MstResult got = BoruvkaMst(plugged.resolver.get());
+  EXPECT_NEAR(got.total_weight, expected.total_weight, 1e-9);
+  EXPECT_EQ(EdgeSet(got), EdgeSet(expected))
+      << "scheme " << SchemeKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, BoruvkaSchemeEquivalenceTest,
+                         ::testing::Values(SchemeKind::kTri,
+                                           SchemeKind::kSplub,
+                                           SchemeKind::kLaesa,
+                                           SchemeKind::kTlaesa));
+
+TEST(BoruvkaTest, TriSavesCallsOnClusteredData) {
+  const ObjectId n = 64;
+  auto make_stack = [&]() {
+    ResolverStack stack;
+    stack.oracle = std::make_unique<VectorOracle>(
+        GaussianMixturePoints(n, 2, 4, 100.0, 1.5, 12),
+        VectorMetric::kEuclidean);
+    stack.graph = std::make_unique<PartialDistanceGraph>(n);
+    stack.resolver = std::make_unique<BoundedResolver>(stack.oracle.get(),
+                                                       stack.graph.get());
+    return stack;
+  };
+  ResolverStack vanilla = make_stack();
+  BoruvkaMst(vanilla.resolver.get());
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = make_stack();
+  BootstrapWithLandmarks(plugged.resolver.get(), 6, 1);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  BoruvkaMst(plugged.resolver.get());
+  EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline);
+}
+
+// ---- SimilarityJoin ----
+
+TEST(SimilarityJoinTest, MatchesBruteForce) {
+  const ObjectId n = 26;
+  ResolverStack stack = MakeRandomStack(n, 73);
+  for (const double radius : {0.0, 0.4, 0.7, 1.0}) {
+    const auto matches = SimilarityJoin(stack.resolver.get(), radius);
+    std::vector<WeightedEdge> brute;
+    for (ObjectId u = 0; u < n; ++u) {
+      for (ObjectId v = u + 1; v < n; ++v) {
+        const double d = stack.oracle->Distance(u, v);
+        if (d <= radius) brute.push_back(WeightedEdge{u, v, d});
+      }
+    }
+    ASSERT_EQ(matches.size(), brute.size()) << "radius " << radius;
+    for (size_t m = 0; m < matches.size(); ++m) {
+      EXPECT_EQ(matches[m], brute[m]);
+    }
+  }
+}
+
+TEST(SimilarityJoinTest, SchemeIndependentMatches) {
+  const ObjectId n = 22;
+  ResolverStack vanilla = MakeRandomStack(n, 74);
+  const auto expected = SimilarityJoin(vanilla.resolver.get(), 0.6);
+
+  for (const SchemeKind kind :
+       {SchemeKind::kTri, SchemeKind::kSplub, SchemeKind::kLaesa}) {
+    ResolverStack plugged = MakeRandomStack(n, 74);
+    SchemeOptions options;
+    auto bounder = MakeAndAttachScheme(kind, plugged.resolver.get(), options);
+    ASSERT_TRUE(bounder.ok());
+    const auto got = SimilarityJoin(plugged.resolver.get(), 0.6);
+    ASSERT_EQ(got.size(), expected.size()) << SchemeKindName(kind);
+    for (size_t m = 0; m < got.size(); ++m) {
+      EXPECT_EQ(got[m], expected[m]);
+    }
+  }
+}
+
+TEST(SimilarityJoinTest, TriSavesCallsOnClusteredData) {
+  const ObjectId n = 64;
+  auto make_stack = [&]() {
+    ResolverStack stack;
+    stack.oracle = std::make_unique<VectorOracle>(
+        GaussianMixturePoints(n, 2, 4, 100.0, 1.5, 13),
+        VectorMetric::kEuclidean);
+    stack.graph = std::make_unique<PartialDistanceGraph>(n);
+    stack.resolver = std::make_unique<BoundedResolver>(stack.oracle.get(),
+                                                       stack.graph.get());
+    return stack;
+  };
+  ResolverStack vanilla = make_stack();
+  SimilarityJoin(vanilla.resolver.get(), 5.0);
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = make_stack();
+  BootstrapWithLandmarks(plugged.resolver.get(), 6, 1);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const uint64_t before = plugged.resolver->stats().oracle_calls;
+  SimilarityJoin(plugged.resolver.get(), 5.0);
+  EXPECT_LT(plugged.resolver->stats().oracle_calls - before, baseline);
+}
+
+TEST(SimilarityJoinTest, ZeroRadiusFindsNothingOnDistinctObjects) {
+  ResolverStack stack = MakeRandomStack(10, 75);
+  EXPECT_TRUE(SimilarityJoin(stack.resolver.get(), 0.0).empty());
+}
+
+}  // namespace
+}  // namespace metricprox

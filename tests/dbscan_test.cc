@@ -1,0 +1,179 @@
+#include "algo/dbscan.h"
+
+#include <deque>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bounds/scheme.h"
+#include "data/synthetic.h"
+#include "oracle/vector_oracle.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+// Straightforward textbook DBSCAN over the raw oracle, as the ground truth.
+DbscanResult ReferenceDbscan(DistanceOracle* oracle,
+                             const DbscanOptions& options) {
+  const ObjectId n = oracle->num_objects();
+  auto neighbors = [&](ObjectId p) {
+    std::vector<ObjectId> out;
+    for (ObjectId v = 0; v < n; ++v) {
+      if (v != p && oracle->Distance(p, v) <= options.eps) out.push_back(v);
+    }
+    return out;
+  };
+
+  DbscanResult result;
+  constexpr int32_t kUnvisited = -2;
+  std::vector<int32_t> state(n, kUnvisited);
+  for (ObjectId p = 0; p < n; ++p) {
+    if (state[p] != kUnvisited) continue;
+    const auto hood = neighbors(p);
+    if (hood.size() + 1 < options.min_pts) {
+      state[p] = DbscanResult::kNoise;
+      continue;
+    }
+    const int32_t cluster = static_cast<int32_t>(result.num_clusters++);
+    state[p] = cluster;
+    std::deque<ObjectId> frontier(hood.begin(), hood.end());
+    while (!frontier.empty()) {
+      const ObjectId q = frontier.front();
+      frontier.pop_front();
+      if (state[q] == DbscanResult::kNoise) state[q] = cluster;
+      if (state[q] != kUnvisited) continue;
+      state[q] = cluster;
+      const auto reach = neighbors(q);
+      if (reach.size() + 1 >= options.min_pts) {
+        for (const ObjectId nb : reach) {
+          if (state[nb] == kUnvisited || state[nb] == DbscanResult::kNoise) {
+            frontier.push_back(nb);
+          }
+        }
+      }
+    }
+  }
+  result.labels.assign(n, DbscanResult::kNoise);
+  for (ObjectId o = 0; o < n; ++o) {
+    if (state[o] != kUnvisited) result.labels[o] = state[o];
+  }
+  return result;
+}
+
+ResolverStack MakeClusteredStack(ObjectId n, uint64_t seed) {
+  ResolverStack stack;
+  stack.oracle = std::make_unique<VectorOracle>(
+      GaussianMixturePoints(n, 2, /*num_clusters=*/4, /*range=*/100.0,
+                            /*spread=*/1.5, seed),
+      VectorMetric::kEuclidean);
+  stack.graph = std::make_unique<PartialDistanceGraph>(n);
+  stack.resolver =
+      std::make_unique<BoundedResolver>(stack.oracle.get(), stack.graph.get());
+  return stack;
+}
+
+TEST(DbscanTest, RecoversPlantedClustersAndNoise) {
+  // Four well-separated Gaussian blobs with tight spread: DBSCAN with a
+  // matching eps must find exactly 4 clusters and little/no noise.
+  ResolverStack stack = MakeClusteredStack(80, 6);
+  DbscanOptions options;
+  options.eps = 8.0;
+  options.min_pts = 4;
+  const DbscanResult result = DbscanCluster(stack.resolver.get(), options);
+  EXPECT_EQ(result.num_clusters, 4u);
+  int noise = 0;
+  for (const int32_t label : result.labels) {
+    if (label == DbscanResult::kNoise) ++noise;
+  }
+  EXPECT_LT(noise, 4);
+}
+
+TEST(DbscanTest, MatchesReferenceImplementation) {
+  for (uint64_t seed : {2ull, 3ull, 4ull}) {
+    ResolverStack stack = MakeRandomStack(40, seed);
+    DbscanOptions options;
+    options.eps = 0.55 + 0.05 * static_cast<double>(seed);
+    options.min_pts = 3;
+    const DbscanResult expected =
+        ReferenceDbscan(stack.oracle.get(), options);
+    const DbscanResult got = DbscanCluster(stack.resolver.get(), options);
+    EXPECT_EQ(got.num_clusters, expected.num_clusters) << "seed " << seed;
+    EXPECT_EQ(got.labels, expected.labels) << "seed " << seed;
+  }
+}
+
+class DbscanSchemeEquivalenceTest
+    : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(DbscanSchemeEquivalenceTest, IdenticalLabelsUnderEveryScheme) {
+  ResolverStack vanilla = MakeClusteredStack(60, 5);
+  DbscanOptions options;
+  options.eps = 7.0;
+  options.min_pts = 4;
+  const DbscanResult expected =
+      DbscanCluster(vanilla.resolver.get(), options);
+
+  ResolverStack plugged = MakeClusteredStack(60, 5);
+  SchemeOptions scheme_options;
+  auto bounder =
+      MakeAndAttachScheme(GetParam(), plugged.resolver.get(), scheme_options);
+  ASSERT_TRUE(bounder.ok());
+  const DbscanResult got = DbscanCluster(plugged.resolver.get(), options);
+  EXPECT_EQ(got.labels, expected.labels)
+      << "scheme " << SchemeKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, DbscanSchemeEquivalenceTest,
+                         ::testing::Values(SchemeKind::kTri,
+                                           SchemeKind::kSplub,
+                                           SchemeKind::kLaesa,
+                                           SchemeKind::kTlaesa,
+                                           SchemeKind::kHybrid));
+
+TEST(DbscanTest, TriSavesCallsOnClusteredData) {
+  ResolverStack vanilla = MakeClusteredStack(96, 6);
+  DbscanOptions options;
+  options.eps = 7.0;
+  options.min_pts = 4;
+  DbscanCluster(vanilla.resolver.get(), options);
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = MakeClusteredStack(96, 6);
+  BootstrapWithLandmarks(plugged.resolver.get(), 7, 1);
+  SchemeOptions scheme_options;
+  auto bounder = MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(),
+                                     scheme_options);
+  ASSERT_TRUE(bounder.ok());
+  DbscanCluster(plugged.resolver.get(), options);
+  EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline / 2)
+      << "range-query workloads should be a best case for triangle pruning";
+}
+
+TEST(DbscanTest, AllNoiseWhenEpsTiny) {
+  ResolverStack stack = MakeRandomStack(20, 7);
+  DbscanOptions options;
+  options.eps = 1e-6;
+  options.min_pts = 3;
+  const DbscanResult result = DbscanCluster(stack.resolver.get(), options);
+  EXPECT_EQ(result.num_clusters, 0u);
+  for (const int32_t label : result.labels) {
+    EXPECT_EQ(label, DbscanResult::kNoise);
+  }
+}
+
+TEST(DbscanTest, OneClusterWhenEpsHuge) {
+  ResolverStack stack = MakeRandomStack(20, 8);
+  DbscanOptions options;
+  options.eps = 10.0;  // metric is normalized to diameter 1
+  options.min_pts = 3;
+  const DbscanResult result = DbscanCluster(stack.resolver.get(), options);
+  EXPECT_EQ(result.num_clusters, 1u);
+  for (const int32_t label : result.labels) EXPECT_EQ(label, 0);
+}
+
+}  // namespace
+}  // namespace metricprox

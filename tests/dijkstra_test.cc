@@ -1,0 +1,96 @@
+#include "graph/dijkstra.h"
+
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/types.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+namespace {
+
+TEST(DijkstraTest, PathThroughIntermediateBeatsNothing) {
+  PartialDistanceGraph g(4);
+  g.Insert(0, 1, 1.0);
+  g.Insert(1, 2, 2.0);
+  g.Insert(0, 2, 5.0);
+
+  const std::vector<double> d = DijkstraSolver::ShortestPaths(g, 0);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 1.0);
+  EXPECT_DOUBLE_EQ(d[2], 3.0);  // 0-1-2 beats the direct 5.0 edge
+  EXPECT_EQ(d[3], kInfDistance);  // unreachable
+}
+
+TEST(DijkstraTest, SourceOnlyGraph) {
+  PartialDistanceGraph g(3);
+  const std::vector<double> d = DijkstraSolver::ShortestPaths(g, 1);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_EQ(d[0], kInfDistance);
+  EXPECT_EQ(d[2], kInfDistance);
+}
+
+TEST(DijkstraTest, ReusableSolverMatchesOneShot) {
+  PartialDistanceGraph g(5);
+  g.Insert(0, 1, 0.3);
+  g.Insert(1, 2, 0.4);
+  g.Insert(2, 3, 0.5);
+  DijkstraSolver solver(5);
+  std::vector<double> out;
+  solver.Solve(g, 0, &out);
+  EXPECT_EQ(out, DijkstraSolver::ShortestPaths(g, 0));
+  solver.Solve(g, 3, &out);  // second use must reset state correctly
+  EXPECT_EQ(out, DijkstraSolver::ShortestPaths(g, 3));
+}
+
+class DijkstraRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DijkstraRandomizedTest, MatchesFloydWarshall) {
+  std::mt19937_64 rng(GetParam());
+  const ObjectId n = 40;
+  PartialDistanceGraph g(n);
+  std::set<std::pair<ObjectId, ObjectId>> used;
+  for (int e = 0; e < 200; ++e) {
+    ObjectId a = static_cast<ObjectId>(rng() % n);
+    ObjectId b = static_cast<ObjectId>(rng() % n);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!used.insert({a, b}).second) continue;
+    g.Insert(a, b, 0.001 * static_cast<double>(rng() % 1000 + 1));
+  }
+
+  // Floyd–Warshall reference.
+  std::vector<double> fw(static_cast<size_t>(n) * n, kInfDistance);
+  for (ObjectId i = 0; i < n; ++i) fw[i * n + i] = 0.0;
+  for (const WeightedEdge& e : g.edges()) {
+    fw[e.u * n + e.v] = std::min(fw[e.u * n + e.v], e.weight);
+    fw[e.v * n + e.u] = fw[e.u * n + e.v];
+  }
+  for (ObjectId k = 0; k < n; ++k) {
+    for (ObjectId i = 0; i < n; ++i) {
+      for (ObjectId j = 0; j < n; ++j) {
+        fw[i * n + j] = std::min(fw[i * n + j], fw[i * n + k] + fw[k * n + j]);
+      }
+    }
+  }
+
+  for (ObjectId s = 0; s < n; ++s) {
+    const std::vector<double> d = DijkstraSolver::ShortestPaths(g, s);
+    for (ObjectId t = 0; t < n; ++t) {
+      if (fw[s * n + t] == kInfDistance) {
+        ASSERT_EQ(d[t], kInfDistance) << "source " << s << " target " << t;
+      } else {
+        ASSERT_NEAR(d[t], fw[s * n + t], 1e-12)
+            << "source " << s << " target " << t;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraRandomizedTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace metricprox

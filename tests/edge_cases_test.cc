@@ -1,0 +1,227 @@
+// Edge cases cutting across modules: degenerate sizes, boundary
+// parameters, and configuration corners the per-module tests don't reach.
+
+#include <gtest/gtest.h>
+
+#include "algo/knn_graph.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "algo/reference.h"
+#include "bounds/scheme.h"
+#include "data/synthetic.h"
+#include "harness/flags.h"
+#include "harness/table.h"
+#include "lp/metric_lp.h"
+#include "lp/simplex.h"
+#include "oracle/road_network.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+// ---- RoadNetwork configuration corners ----
+
+TEST(RoadNetworkEdgeTest, NoDiagonalsStillConnected) {
+  RoadNetworkConfig config;
+  config.grid_width = 10;
+  config.grid_height = 10;
+  config.diagonals = false;
+  config.seed = 3;
+  const RoadNetwork net = RoadNetwork::Generate(config);
+  const std::vector<double> d = net.ShortestPathsFrom(0);
+  for (uint32_t v = 0; v < net.num_nodes(); ++v) {
+    ASSERT_TRUE(std::isfinite(d[v]));
+  }
+}
+
+TEST(RoadNetworkEdgeTest, HighwaysShortenLongHauls) {
+  RoadNetworkConfig base;
+  base.grid_width = 24;
+  base.grid_height = 24;
+  base.seed = 4;
+  RoadNetworkConfig fast = base;
+  fast.highway_fraction = 0.3;
+  fast.highway_factor = 0.2;
+  const RoadNetwork slow_net = RoadNetwork::Generate(base);
+  const RoadNetwork fast_net = RoadNetwork::Generate(fast);
+  // Same topology seed, so compare the mean distance from a corner.
+  const auto mean = [](const std::vector<double>& d) {
+    double acc = 0.0;
+    for (const double v : d) acc += v;
+    return acc / static_cast<double>(d.size());
+  };
+  EXPECT_LT(mean(fast_net.ShortestPathsFrom(0)),
+            mean(slow_net.ShortestPathsFrom(0)));
+}
+
+TEST(RoadNetworkEdgeTest, InvalidConfigDies) {
+  RoadNetworkConfig bad;
+  bad.grid_width = 1;  // below the 2-minimum
+  EXPECT_DEATH({ RoadNetwork::Generate(bad); }, "Check");
+}
+
+// ---- Resolver corners ----
+
+TEST(ResolverEdgeTest, ResetStatsClearsEverything) {
+  ResolverStack stack = MakeRandomStack(8, 201);
+  stack.resolver->Distance(0, 1);
+  stack.resolver->LessThan(2, 3, 0.5);
+  EXPECT_GT(stack.resolver->stats().oracle_calls, 0u);
+  stack.resolver->ResetStats();
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 0u);
+  EXPECT_EQ(stack.resolver->stats().comparisons, 0u);
+  // The graph still remembers the resolved pair (stats are counters only).
+  EXPECT_TRUE(stack.resolver->Known(0, 1));
+}
+
+TEST(ResolverEdgeTest, DetachingBounderRestoresNullBehavior) {
+  ResolverStack stack = MakeRandomStack(8, 202);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, stack.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  stack.resolver->SetBounder(nullptr);
+  const Interval b = stack.resolver->Bounds(0, 1);
+  EXPECT_EQ(b, Interval::Unbounded());
+}
+
+TEST(ResolverEdgeTest, PairLessSharedEndpointsAndSelfPairs) {
+  ResolverStack stack = MakeRandomStack(8, 203);
+  // dist(i,i) = 0 < dist(k,l) for distinct k, l.
+  EXPECT_TRUE(stack.resolver->PairLess(2, 2, 0, 1));
+  EXPECT_FALSE(stack.resolver->PairLess(0, 1, 2, 2));
+  // Identical pairs compare equal: strictly-less is false.
+  stack.resolver->Distance(0, 1);
+  EXPECT_FALSE(stack.resolver->PairLess(0, 1, 1, 0));
+}
+
+// ---- Algorithm boundary parameters ----
+
+TEST(AlgorithmEdgeTest, KnnWithKEqualNMinusOne) {
+  const ObjectId n = 10;
+  ResolverStack stack = MakeRandomStack(n, 204);
+  const KnnGraph g = BuildKnnGraph(stack.resolver.get(), KnnGraphOptions{9});
+  const KnnGraph expected = ReferenceKnnGraph(stack.oracle.get(), 9);
+  for (ObjectId u = 0; u < n; ++u) ASSERT_EQ(g[u], expected[u]);
+}
+
+TEST(AlgorithmEdgeTest, PamWithZeroSwapRoundsIsBuildOnly) {
+  ResolverStack stack = MakeRandomStack(20, 205);
+  PamOptions options;
+  options.num_medoids = 3;
+  options.max_swap_rounds = 0;
+  const ClusteringResult result = PamCluster(stack.resolver.get(), options);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.medoids.size(), 3u);
+  EXPECT_GT(result.total_deviation, 0.0);
+}
+
+TEST(AlgorithmEdgeTest, TwoObjectMst) {
+  ResolverStack stack = MakeRandomStack(2, 206);
+  const MstResult mst = PrimMst(stack.resolver.get());
+  ASSERT_EQ(mst.edges.size(), 1u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, stack.oracle->Distance(0, 1));
+}
+
+// ---- LP corners ----
+
+TEST(LpEdgeTest, NoConstraintsMinimizesAtOrigin) {
+  DenseLp lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 2.0};
+  auto result = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->kind, LpResult::Kind::kOptimal);
+  EXPECT_DOUBLE_EQ(result->objective_value, 0.0);
+}
+
+TEST(LpEdgeTest, NoConstraintsNegativeCostIsUnbounded) {
+  DenseLp lp;
+  lp.num_vars = 1;
+  lp.objective = {-1.0};
+  auto result = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->kind, LpResult::Kind::kUnbounded);
+}
+
+TEST(LpEdgeTest, WrongObjectiveArityRejected) {
+  DenseLp lp;
+  lp.num_vars = 2;
+  lp.a = {{1.0, 1.0}};
+  lp.b = {1.0};
+  lp.objective = {1.0};  // arity 1 != 2
+  EXPECT_FALSE(SimplexSolver().Solve(lp).ok());
+}
+
+TEST(MetricLpEdgeTest, CompleteGraphHasNoVariables) {
+  // Every pair resolved: FeasibleWith degrades to a constant sign test and
+  // never touches the solver.
+  ResolverStack stack = MakeRandomStack(5, 207);
+  for (ObjectId i = 0; i < 5; ++i) {
+    for (ObjectId j = i + 1; j < 5; ++j) stack.resolver->Distance(i, j);
+  }
+  MetricFeasibilitySystem system(*stack.graph, 1.0);
+  EXPECT_EQ(system.num_variables(), 0);
+  const double d01 = stack.oracle->Distance(0, 1);
+  auto yes = system.FeasibleWith({DistanceTerm{0, 1, 1.0}}, d01 + 0.01);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = system.FeasibleWith({DistanceTerm{0, 1, 1.0}}, d01 - 0.01);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+// ---- Harness corners ----
+
+TEST(FlagsEdgeTest, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=1", "--b=yes", "--c=false", "--d=0"};
+  auto flags = Flags::Parse(5, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("a", false));
+  EXPECT_TRUE(flags->GetBool("b", false));
+  EXPECT_FALSE(flags->GetBool("c", true));
+  EXPECT_FALSE(flags->GetBool("d", true));
+}
+
+TEST(FlagsEdgeTest, NegativeNumbers) {
+  const char* argv[] = {"prog", "--n=-3", "--x=-0.5"};
+  auto flags = Flags::Parse(3, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 0), -3);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("x", 0.0), -0.5);
+}
+
+TEST(TablePrinterEdgeTest, EmptyTableRendersHeaderOnly) {
+  TablePrinter table({"a", "bb"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| a | bb |"), std::string::npos);
+  EXPECT_NE(out.find("|---|----|"), std::string::npos);
+}
+
+TEST(TablePrinterEdgeTest, ShortRowPadsMissingCells) {
+  TablePrinter table({"x", "y"});
+  table.NewRow().AddCell("only");
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| only |"), std::string::npos);
+}
+
+// ---- Generators ----
+
+TEST(SyntheticEdgeTest, SingleFamilyDnaStillDistinct) {
+  const auto strings = DnaFamilyStrings(12, 24, 1, 3, 208);
+  std::set<std::string> unique(strings.begin(), strings.end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(SyntheticEdgeTest, MinimumSizeRandomMetric) {
+  const std::vector<double> m = RandomShortestPathMetric(2, 0.5, 209);
+  ASSERT_EQ(m.size(), 4u);
+  EXPECT_DOUBLE_EQ(m[1], m[2]);
+  EXPECT_GT(m[1], 0.0);
+}
+
+}  // namespace
+}  // namespace metricprox

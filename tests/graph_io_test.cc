@@ -1,0 +1,123 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "bounds/resolver.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolveRandomPairs;
+using testing_util::ResolverStack;
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(GraphIoTest, RoundTripPreservesEverything) {
+  ResolverStack stack = MakeRandomStack(20, 31);
+  ResolveRandomPairs(stack.resolver.get(), 40, 1);
+  const std::string path = TempPath("graph.mpg");
+  ASSERT_TRUE(SaveGraph(*stack.graph, path).ok());
+
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_objects(), stack.graph->num_objects());
+  ASSERT_EQ(loaded->num_edges(), stack.graph->num_edges());
+  for (const WeightedEdge& e : stack.graph->edges()) {
+    auto d = loaded->Get(e.u, e.v);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_DOUBLE_EQ(*d, e.weight);  // full precision survives
+  }
+}
+
+TEST_F(GraphIoTest, ResumedRunPaysNothingForOldEdges) {
+  // Checkpoint-resume workflow: resolve, save, reload, wrap a resolver
+  // around the loaded graph — previously paid pairs are cache hits.
+  ResolverStack first = MakeRandomStack(12, 32);
+  ResolveRandomPairs(first.resolver.get(), 20, 2);
+  const std::string path = TempPath("resume.mpg");
+  ASSERT_TRUE(SaveGraph(*first.graph, path).ok());
+  const size_t paid = first.graph->num_edges();
+
+  auto resumed_graph = LoadGraph(path);
+  ASSERT_TRUE(resumed_graph.ok());
+  ResolverStack second = MakeRandomStack(12, 32);  // same metric
+  BoundedResolver resumed(second.oracle.get(), &*resumed_graph);
+  for (const WeightedEdge& e : first.graph->edges()) {
+    resumed.Distance(e.u, e.v);
+  }
+  EXPECT_EQ(resumed.stats().oracle_calls, 0u);
+  EXPECT_EQ(resumed_graph->num_edges(), paid);
+}
+
+TEST_F(GraphIoTest, EmptyGraphRoundTrips) {
+  PartialDistanceGraph graph(5);
+  const std::string path = TempPath("empty.mpg");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_objects(), 5u);
+  EXPECT_EQ(loaded->num_edges(), 0u);
+}
+
+TEST_F(GraphIoTest, MissingFileIsIoError) {
+  auto loaded = LoadGraph(TempPath("nope.mpg"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, BadMagicRejected) {
+  const std::string path = TempPath("magic.mpg");
+  WriteFile(path, "not-a-graph v1 3 0\n");
+  auto loaded = LoadGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(GraphIoTest, UnsupportedVersionRejected) {
+  const std::string path = TempPath("version.mpg");
+  WriteFile(path, "metricprox-graph v9 3 0\n");
+  EXPECT_FALSE(LoadGraph(path).ok());
+}
+
+TEST_F(GraphIoTest, TruncatedEdgeListRejected) {
+  const std::string path = TempPath("truncated.mpg");
+  WriteFile(path, "metricprox-graph v1 4 2\n0 1 0.5\n");
+  auto loaded = LoadGraph(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, OutOfRangeAndDuplicateEdgesRejected) {
+  const std::string bad_id = TempPath("badid.mpg");
+  WriteFile(bad_id, "metricprox-graph v1 3 1\n0 7 0.5\n");
+  EXPECT_FALSE(LoadGraph(bad_id).ok());
+
+  const std::string dup = TempPath("dup.mpg");
+  WriteFile(dup, "metricprox-graph v1 3 2\n0 1 0.5\n1 0 0.5\n");
+  auto loaded = LoadGraph(dup);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, NegativeWeightRejected) {
+  const std::string path = TempPath("negative.mpg");
+  WriteFile(path, "metricprox-graph v1 3 1\n0 1 -0.5\n");
+  EXPECT_FALSE(LoadGraph(path).ok());
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "algo/prim.h"
+#include "data/datasets.h"
+#include "harness/experiment.h"
+#include "harness/flags.h"
+#include "harness/table.h"
+
+namespace metricprox {
+namespace {
+
+// ---- TablePrinter ----
+
+TEST(TablePrinterTest, RendersAlignedColumns) {
+  TablePrinter table({"name", "count"});
+  table.NewRow().AddCell("alpha").AddUint(12);
+  table.NewRow().AddCell("b").AddUint(34567);
+  const std::string out = table.ToString("Title");
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("34567"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericFormatting) {
+  TablePrinter table({"d", "pct", "i"});
+  table.NewRow().AddDouble(3.14159, 3).AddPercent(0.4213).AddInt(-5);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("3.142"), std::string::npos);
+  EXPECT_NE(out.find("42.13"), std::string::npos);
+  EXPECT_NE(out.find("-5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCells) {
+  TablePrinter table({"name", "note"});
+  table.NewRow().AddCell("plain").AddCell("a,b");
+  table.NewRow().AddCell("q\"q").AddUint(7);
+  const std::string csv = table.ToCsv();
+  EXPECT_EQ(csv, "name,note\nplain,\"a,b\"\n\"q\"\"q\",7\n");
+}
+
+TEST(TablePrinterTest, OverflowingRowDies) {
+  TablePrinter table({"only"});
+  table.NewRow().AddCell("x");
+  EXPECT_DEATH(table.AddCell("y"), "overflow");
+}
+
+// ---- Flags ----
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog", "--n=128", "--scheme=tri", "--verbose",
+                        "--rate=0.5"};
+  auto flags = Flags::Parse(5, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 0), 128);
+  EXPECT_EQ(flags->GetString("scheme", ""), "tri");
+  EXPECT_TRUE(flags->GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags->GetDouble("rate", 0.0), 0.5);
+  EXPECT_EQ(flags->GetInt("missing", 7), 7);
+  EXPECT_TRUE(flags->FailOnUnused().ok());
+}
+
+TEST(FlagsTest, RejectsMalformedTokens) {
+  const char* argv[] = {"prog", "nodashes"};
+  EXPECT_FALSE(Flags::Parse(2, argv).ok());
+}
+
+TEST(FlagsTest, FailOnUnusedCatchesTypos) {
+  const char* argv[] = {"prog", "--typo=1"};
+  auto flags = Flags::Parse(2, argv);
+  ASSERT_TRUE(flags.ok());
+  const Status status = flags->FailOnUnused();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("typo"), std::string::npos);
+}
+
+// ---- RunWorkload ----
+
+TEST(RunWorkloadTest, CountsAndChecksumsAreConsistent) {
+  Dataset dataset = MakeRandomMetric(24, 3);
+  WorkloadConfig config;
+  config.scheme = SchemeKind::kNone;
+  const Workload workload = [](BoundedResolver* resolver) {
+    return PrimMst(resolver).total_weight;
+  };
+  const WorkloadResult result = RunWorkload(dataset.oracle.get(), config, workload);
+  EXPECT_EQ(result.total_calls, 24u * 23u / 2u);  // without plug: all pairs
+  EXPECT_EQ(result.construction_calls, 0u);
+  EXPECT_GT(result.value, 0.0);
+  EXPECT_GE(result.completion_seconds, result.wall_seconds);
+}
+
+TEST(RunWorkloadTest, SimulatedLatencyAccumulates) {
+  Dataset dataset = MakeRandomMetric(12, 4);
+  WorkloadConfig config;
+  config.scheme = SchemeKind::kNone;
+  config.oracle_cost_seconds = 0.25;
+  const WorkloadResult result = RunWorkload(
+      dataset.oracle.get(), config,
+      [](BoundedResolver* r) { return PrimMst(r).total_weight; });
+  EXPECT_DOUBLE_EQ(result.stats.simulated_oracle_seconds,
+                   0.25 * static_cast<double>(result.total_calls));
+  EXPECT_NEAR(result.completion_seconds - result.wall_seconds,
+              result.stats.simulated_oracle_seconds, 1e-9);
+}
+
+TEST(RunWorkloadTest, SchemesAgreeOnChecksumAndTriSavesOnStructuredData) {
+  Dataset dataset = MakeSfPoiLike(48, 5);
+  const Workload workload = [](BoundedResolver* resolver) {
+    return PrimMst(resolver).total_weight;
+  };
+  WorkloadConfig vanilla;
+  vanilla.scheme = SchemeKind::kNone;
+  const WorkloadResult base = RunWorkload(dataset.oracle.get(), vanilla, workload);
+
+  WorkloadConfig tri;
+  tri.scheme = SchemeKind::kTri;
+  tri.bootstrap = true;
+  const WorkloadResult plugged = RunWorkload(dataset.oracle.get(), tri, workload);
+
+  EXPECT_NEAR(base.value, plugged.value, 1e-9);
+  EXPECT_GT(plugged.construction_calls, 0u);
+  EXPECT_LT(plugged.total_calls, base.total_calls);
+}
+
+TEST(SaveFractionTest, HandlesEdgeCases) {
+  EXPECT_DOUBLE_EQ(SaveFraction(50, 100), 0.5);
+  EXPECT_DOUBLE_EQ(SaveFraction(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(SaveFraction(150, 100), -0.5);
+  EXPECT_DOUBLE_EQ(SaveFraction(10, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace metricprox

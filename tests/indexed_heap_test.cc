@@ -1,0 +1,120 @@
+#include "graph/indexed_heap.h"
+
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+TEST(IndexedMinHeapTest, PushPopOrders) {
+  IndexedMinHeap heap(10);
+  heap.Push(3, 0.5);
+  heap.Push(1, 0.2);
+  heap.Push(7, 0.9);
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.Top(), 1u);
+  EXPECT_DOUBLE_EQ(heap.TopKey(), 0.2);
+  EXPECT_EQ(heap.Pop(), 1u);
+  EXPECT_EQ(heap.Pop(), 3u);
+  EXPECT_EQ(heap.Pop(), 7u);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMinHeapTest, DecreaseKeyReorders) {
+  IndexedMinHeap heap(4);
+  heap.Push(0, 1.0);
+  heap.Push(1, 2.0);
+  heap.Push(2, 3.0);
+  heap.DecreaseKey(2, 0.5);
+  EXPECT_EQ(heap.Top(), 2u);
+  EXPECT_DOUBLE_EQ(heap.KeyOf(2), 0.5);
+}
+
+TEST(IndexedMinHeapTest, PushOrDecreaseIgnoresWorseKey) {
+  IndexedMinHeap heap(4);
+  heap.Push(0, 1.0);
+  heap.PushOrDecrease(0, 2.0);  // worse: no-op
+  EXPECT_DOUBLE_EQ(heap.KeyOf(0), 1.0);
+  heap.PushOrDecrease(0, 0.25);  // better: decrease
+  EXPECT_DOUBLE_EQ(heap.KeyOf(0), 0.25);
+  heap.PushOrDecrease(3, 0.75);  // absent: insert
+  EXPECT_TRUE(heap.Contains(3));
+}
+
+TEST(IndexedMinHeapTest, TiesBreakBySmallerId) {
+  IndexedMinHeap heap(8);
+  heap.Push(5, 1.0);
+  heap.Push(2, 1.0);
+  heap.Push(7, 1.0);
+  EXPECT_EQ(heap.Pop(), 2u);
+  EXPECT_EQ(heap.Pop(), 5u);
+  EXPECT_EQ(heap.Pop(), 7u);
+}
+
+TEST(IndexedMinHeapTest, ContainsTracksMembership) {
+  IndexedMinHeap heap(4);
+  EXPECT_FALSE(heap.Contains(1));
+  heap.Push(1, 0.1);
+  EXPECT_TRUE(heap.Contains(1));
+  heap.Pop();
+  EXPECT_FALSE(heap.Contains(1));
+}
+
+// Property sweep: random interleavings of push / decrease / pop agree with
+// a reference sorted structure.
+class HeapRandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HeapRandomizedTest, MatchesReferenceOrdering) {
+  std::mt19937_64 rng(GetParam());
+  const uint32_t universe = 200;
+  IndexedMinHeap heap(universe);
+  std::vector<double> key(universe, 0.0);
+  std::vector<bool> present(universe, false);
+
+  auto reference_top = [&]() {
+    uint32_t best = universe;
+    for (uint32_t i = 0; i < universe; ++i) {
+      if (!present[i]) continue;
+      if (best == universe || key[i] < key[best] ||
+          (key[i] == key[best] && i < best)) {
+        best = i;
+      }
+    }
+    return best;
+  };
+
+  std::uniform_real_distribution<double> keys(0.0, 1.0);
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng() % 3);
+    const uint32_t id = static_cast<uint32_t>(rng() % universe);
+    if (op == 0 && !present[id]) {
+      key[id] = keys(rng);
+      present[id] = true;
+      heap.Push(id, key[id]);
+    } else if (op == 1 && present[id]) {
+      const double lower = key[id] * 0.5;
+      key[id] = lower;
+      heap.DecreaseKey(id, lower);
+    } else if (op == 2 && !heap.empty()) {
+      const uint32_t expected = reference_top();
+      const uint32_t got = heap.Pop();
+      ASSERT_EQ(got, expected);
+      present[expected] = false;
+    }
+  }
+  while (!heap.empty()) {
+    const uint32_t expected = reference_top();
+    ASSERT_EQ(heap.Pop(), expected);
+    present[expected] = false;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapRandomizedTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace metricprox

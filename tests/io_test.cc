@@ -1,0 +1,77 @@
+#include "data/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return ::testing::TempDir() + "/" + name;
+  }
+
+  void WriteFile(const std::string& path, const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+  }
+};
+
+TEST_F(IoTest, RoundTripPreservesPoints) {
+  const PointSet points = {{1.5, -2.25, 0.0}, {3.125, 4.0, 1e-7}};
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(SavePointsCsv(path, points).ok());
+  auto loaded = LoadPointsCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded, points);
+}
+
+TEST_F(IoTest, LoadSkipsBlankLines) {
+  const std::string path = TempPath("blank.csv");
+  WriteFile(path, "1,2\n\n3,4\n");
+  auto loaded = LoadPointsCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+}
+
+TEST_F(IoTest, LoadRejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "1,2\n3,4,5\n");
+  auto loaded = LoadPointsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(IoTest, LoadRejectsGarbageFields) {
+  const std::string path = TempPath("garbage.csv");
+  WriteFile(path, "1,two\n");
+  auto loaded = LoadPointsCsv(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("two"), std::string::npos);
+}
+
+TEST_F(IoTest, LoadMissingFileIsIoError) {
+  auto loaded = LoadPointsCsv(TempPath("does-not-exist.csv"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(IoTest, LoadEmptyFileIsInvalid) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  EXPECT_FALSE(LoadPointsCsv(path).ok());
+}
+
+TEST_F(IoTest, LoadLinesSkipsBlanks) {
+  const std::string path = TempPath("lines.txt");
+  WriteFile(path, "ACGT\n\nTTTT\n");
+  auto lines = LoadLines(path);
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(*lines, (std::vector<std::string>{"ACGT", "TTTT"}));
+}
+
+}  // namespace
+}  // namespace metricprox

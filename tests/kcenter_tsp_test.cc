@@ -1,0 +1,113 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/kcenter.h"
+#include "algo/prim.h"
+#include "algo/tsp.h"
+#include "bounds/scheme.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+TEST(KCenterTest, RadiusMatchesBruteForceRecount) {
+  ResolverStack stack = MakeRandomStack(30, 61);
+  const KCenterResult result = KCenterCluster(stack.resolver.get(), 4);
+  ASSERT_EQ(result.centers.size(), 4u);
+  double radius = 0.0;
+  for (ObjectId j = 0; j < 30; ++j) {
+    double best = kInfDistance;
+    for (ObjectId c : result.centers) {
+      best = std::min(best, j == c ? 0.0 : stack.oracle->Distance(j, c));
+    }
+    radius = std::max(radius, best);
+  }
+  EXPECT_NEAR(result.radius, radius, 1e-9);
+}
+
+TEST(KCenterTest, CentersAreDistinct) {
+  ResolverStack stack = MakeRandomStack(25, 62);
+  const KCenterResult result = KCenterCluster(stack.resolver.get(), 6);
+  std::set<ObjectId> unique(result.centers.begin(), result.centers.end());
+  EXPECT_EQ(unique.size(), result.centers.size());
+}
+
+class KCenterSchemeEquivalenceTest
+    : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(KCenterSchemeEquivalenceTest, SameCentersUnderEveryScheme) {
+  const SchemeKind kind = GetParam();
+  ResolverStack vanilla = MakeRandomStack(28, 63);
+  const KCenterResult expected = KCenterCluster(vanilla.resolver.get(), 5);
+
+  ResolverStack plugged = MakeRandomStack(28, 63);
+  SchemeOptions options;
+  auto bounder = MakeAndAttachScheme(kind, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const KCenterResult got = KCenterCluster(plugged.resolver.get(), 5);
+  EXPECT_EQ(got.centers, expected.centers)
+      << "scheme " << SchemeKindName(kind);
+  EXPECT_NEAR(got.radius, expected.radius, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, KCenterSchemeEquivalenceTest,
+                         ::testing::Values(SchemeKind::kTri,
+                                           SchemeKind::kSplub,
+                                           SchemeKind::kLaesa,
+                                           SchemeKind::kTlaesa));
+
+TEST(KCenterTest, SingleCenterIsJustTheSeed) {
+  ResolverStack stack = MakeRandomStack(10, 64);
+  const KCenterResult result = KCenterCluster(stack.resolver.get(), 1, 3);
+  ASSERT_EQ(result.centers.size(), 1u);
+  EXPECT_EQ(result.centers[0], 3u);
+  EXPECT_GT(result.radius, 0.0);
+}
+
+TEST(TspTest, TourIsAPermutation) {
+  ResolverStack stack = MakeRandomStack(21, 65);
+  const TspTour tour = TspTwoApproximation(stack.resolver.get());
+  ASSERT_EQ(tour.order.size(), 21u);
+  std::set<ObjectId> unique(tour.order.begin(), tour.order.end());
+  EXPECT_EQ(unique.size(), 21u);
+}
+
+TEST(TspTest, LengthMatchesRecountAndTwoApproxBound) {
+  ResolverStack stack = MakeRandomStack(18, 66);
+  const TspTour tour = TspTwoApproximation(stack.resolver.get());
+  double recount = 0.0;
+  for (size_t i = 0; i < tour.order.size(); ++i) {
+    recount += stack.oracle->Distance(
+        tour.order[i], tour.order[(i + 1) % tour.order.size()]);
+  }
+  EXPECT_NEAR(tour.length, recount, 1e-9);
+
+  ResolverStack mst_stack = MakeRandomStack(18, 66);
+  const MstResult mst = PrimMst(mst_stack.resolver.get());
+  // Preorder shortcutting over a metric never exceeds twice the MST, and
+  // any tour is at least the MST weight.
+  EXPECT_LE(tour.length, 2.0 * mst.total_weight + 1e-9);
+  EXPECT_GE(tour.length, mst.total_weight - 1e-9);
+}
+
+TEST(TspTest, SchemeDoesNotChangeTheTour) {
+  ResolverStack vanilla = MakeRandomStack(16, 67);
+  const TspTour expected = TspTwoApproximation(vanilla.resolver.get());
+
+  ResolverStack plugged = MakeRandomStack(16, 67);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const TspTour got = TspTwoApproximation(plugged.resolver.get());
+  EXPECT_EQ(got.order, expected.order);
+  EXPECT_NEAR(got.length, expected.length, 1e-9);
+}
+
+}  // namespace
+}  // namespace metricprox

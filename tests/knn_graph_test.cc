@@ -1,0 +1,131 @@
+#include "algo/knn_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/reference.h"
+#include "bounds/scheme.h"
+#include "data/synthetic.h"
+#include "oracle/string_oracle.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+TEST(KnnGraphTest, MatchesReferenceWithoutPlug) {
+  const ObjectId n = 24;
+  ResolverStack stack = MakeRandomStack(n, 51);
+  KnnGraphOptions options;
+  options.k = 4;
+  const KnnGraph got = BuildKnnGraph(stack.resolver.get(), options);
+  const KnnGraph expected = ReferenceKnnGraph(stack.oracle.get(), 4);
+  ASSERT_EQ(got.size(), expected.size());
+  for (ObjectId u = 0; u < n; ++u) {
+    ASSERT_EQ(got[u], expected[u]) << "object " << u;
+  }
+}
+
+TEST(KnnGraphTest, NeighborsSortedAscending) {
+  ResolverStack stack = MakeRandomStack(20, 52);
+  const KnnGraph g = BuildKnnGraph(stack.resolver.get(), KnnGraphOptions{5});
+  for (const auto& nbrs : g) {
+    ASSERT_EQ(nbrs.size(), 5u);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      EXPECT_TRUE(nbrs[i - 1].distance < nbrs[i].distance ||
+                  (nbrs[i - 1].distance == nbrs[i].distance &&
+                   nbrs[i - 1].id < nbrs[i].id));
+    }
+  }
+}
+
+class KnnSchemeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, uint32_t>> {};
+
+TEST_P(KnnSchemeEquivalenceTest, SameGraphUnderEveryScheme) {
+  const auto [kind, k] = GetParam();
+  const ObjectId n = 20;
+  ResolverStack stack = MakeRandomStack(n, 53);
+  const KnnGraph expected = ReferenceKnnGraph(stack.oracle.get(), k);
+
+  ResolverStack plugged = MakeRandomStack(n, 53);
+  SchemeOptions options;
+  auto bounder = MakeAndAttachScheme(kind, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  const KnnGraph got = BuildKnnGraph(plugged.resolver.get(), KnnGraphOptions{k});
+  for (ObjectId u = 0; u < n; ++u) {
+    ASSERT_EQ(got[u], expected[u])
+        << "scheme " << SchemeKindName(kind) << " object " << u;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndK, KnnSchemeEquivalenceTest,
+    ::testing::Combine(::testing::Values(SchemeKind::kNone, SchemeKind::kTri,
+                                         SchemeKind::kSplub,
+                                         SchemeKind::kLaesa,
+                                         SchemeKind::kTlaesa),
+                       ::testing::Values(1u, 3u, 7u)));
+
+TEST(KnnGraphTest, TieHeavyIntegerMetricStillMatchesReference) {
+  // Edit distance produces many exact ties — the hardest case for the
+  // (distance, id) tie-break logic.
+  std::vector<std::string> strings =
+      DnaFamilyStrings(30, 24, /*num_families=*/3, /*mutations=*/2, 99);
+  auto make_oracle = [&]() {
+    return std::make_unique<LevenshteinOracle>(strings);
+  };
+  auto reference_oracle = make_oracle();
+  const KnnGraph expected = ReferenceKnnGraph(reference_oracle.get(), 5);
+
+  for (SchemeKind kind : {SchemeKind::kNone, SchemeKind::kTri,
+                          SchemeKind::kSplub, SchemeKind::kLaesa}) {
+    auto oracle = make_oracle();
+    PartialDistanceGraph graph(30);
+    BoundedResolver resolver(oracle.get(), &graph);
+    SchemeOptions options;
+    auto bounder = MakeAndAttachScheme(kind, &resolver, options);
+    ASSERT_TRUE(bounder.ok());
+    const KnnGraph got = BuildKnnGraph(&resolver, KnnGraphOptions{5});
+    for (ObjectId u = 0; u < 30; ++u) {
+      ASSERT_EQ(got[u], expected[u])
+          << "scheme " << SchemeKindName(kind) << " object " << u;
+    }
+  }
+}
+
+TEST(KnnGraphTest, TriSavesCallsOnClusteredData) {
+  const ObjectId n = 64;
+  auto make_stack = [&]() {
+    ResolverStack stack;
+    stack.oracle = std::make_unique<VectorOracle>(
+        GaussianMixturePoints(n, 2, 4, 100.0, 1.5, 7),
+        VectorMetric::kEuclidean);
+    stack.graph = std::make_unique<PartialDistanceGraph>(n);
+    stack.resolver = std::make_unique<BoundedResolver>(stack.oracle.get(),
+                                                       stack.graph.get());
+    return stack;
+  };
+  ResolverStack vanilla = make_stack();
+  BuildKnnGraph(vanilla.resolver.get(), KnnGraphOptions{5});
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = make_stack();
+  BootstrapWithLandmarks(plugged.resolver.get(), 6, 1);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  BuildKnnGraph(plugged.resolver.get(), KnnGraphOptions{5});
+  EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline);
+}
+
+TEST(KnnGraphTest, RequiresMoreObjectsThanK) {
+  ResolverStack stack = MakeRandomStack(5, 54);
+  EXPECT_DEATH(BuildKnnGraph(stack.resolver.get(), KnnGraphOptions{5}),
+               "more objects");
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,123 @@
+#include "algo/kruskal.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/prim.h"
+#include "algo/reference.h"
+#include "bounds/scheme.h"
+#include "data/synthetic.h"
+#include "graph/union_find.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+std::set<EdgeKey> EdgeSet(const MstResult& mst) {
+  std::set<EdgeKey> keys;
+  for (const WeightedEdge& e : mst.edges) keys.insert(EdgeKey(e.u, e.v));
+  return keys;
+}
+
+TEST(KruskalTest, MatchesReferenceWithoutPlug) {
+  const ObjectId n = 20;
+  ResolverStack stack = MakeRandomStack(n, 12);
+  const MstResult mst = KruskalMst(stack.resolver.get());
+  const MstResult reference = ReferenceKruskalMst(stack.oracle.get());
+  EXPECT_NEAR(mst.total_weight, reference.total_weight, 1e-9);
+  EXPECT_EQ(EdgeSet(mst), EdgeSet(reference));
+}
+
+TEST(KruskalTest, AgreesWithPrimOnWeight) {
+  const ObjectId n = 26;
+  ResolverStack a = MakeRandomStack(n, 13);
+  ResolverStack b = MakeRandomStack(n, 13);
+  EXPECT_NEAR(KruskalMst(a.resolver.get()).total_weight,
+              PrimMst(b.resolver.get()).total_weight, 1e-9);
+}
+
+TEST(KruskalTest, ProducesASpanningForestMerge) {
+  const ObjectId n = 17;
+  ResolverStack stack = MakeRandomStack(n, 14);
+  const MstResult mst = KruskalMst(stack.resolver.get());
+  ASSERT_EQ(mst.edges.size(), static_cast<size_t>(n - 1));
+  UnionFind uf(n);
+  for (const WeightedEdge& e : mst.edges) {
+    EXPECT_TRUE(uf.Union(e.u, e.v));
+    EXPECT_DOUBLE_EQ(e.weight, stack.oracle->Distance(e.u, e.v));
+  }
+}
+
+class KruskalSchemeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, uint64_t>> {};
+
+TEST_P(KruskalSchemeEquivalenceTest, SameTreeUnderEveryScheme) {
+  const auto [kind, seed] = GetParam();
+  const ObjectId n = 16;
+  ResolverStack stack = MakeRandomStack(n, seed);
+  const MstResult reference = ReferenceKruskalMst(stack.oracle.get());
+
+  ResolverStack plugged = MakeRandomStack(n, seed);
+  SchemeOptions options;
+  options.seed = seed;
+  auto bounder = MakeAndAttachScheme(kind, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  const MstResult mst = KruskalMst(plugged.resolver.get());
+  EXPECT_NEAR(mst.total_weight, reference.total_weight, 1e-9);
+  EXPECT_EQ(EdgeSet(mst), EdgeSet(reference))
+      << "scheme " << SchemeKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, KruskalSchemeEquivalenceTest,
+    ::testing::Combine(::testing::Values(SchemeKind::kNone, SchemeKind::kTri,
+                                         SchemeKind::kSplub, SchemeKind::kAdm,
+                                         SchemeKind::kLaesa,
+                                         SchemeKind::kTlaesa),
+                       ::testing::Values(3, 9)));
+
+TEST(KruskalTest, LazySweepNeverResolvesMoreThanAllPairs) {
+  const ObjectId n = 22;
+  ResolverStack stack = MakeRandomStack(n, 15);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, stack.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  KruskalMst(stack.resolver.get());
+  EXPECT_LE(stack.resolver->stats().oracle_calls,
+            static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(KruskalTest, TriSavesCallsOnClusteredData) {
+  const ObjectId n = 64;
+  auto make_stack = [&]() {
+    ResolverStack stack;
+    stack.oracle = std::make_unique<VectorOracle>(
+        GaussianMixturePoints(n, 2, 4, 100.0, 1.5, 6),
+        VectorMetric::kEuclidean);
+    stack.graph = std::make_unique<PartialDistanceGraph>(n);
+    stack.resolver = std::make_unique<BoundedResolver>(stack.oracle.get(),
+                                                       stack.graph.get());
+    return stack;
+  };
+  ResolverStack vanilla = make_stack();
+  const MstResult reference = KruskalMst(vanilla.resolver.get());
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = make_stack();
+  BootstrapWithLandmarks(plugged.resolver.get(), 6, 1);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const MstResult mst = KruskalMst(plugged.resolver.get());
+  EXPECT_NEAR(mst.total_weight, reference.total_weight, 1e-9);
+  EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline);
+}
+
+}  // namespace
+}  // namespace metricprox

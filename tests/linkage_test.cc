@@ -1,0 +1,144 @@
+#include "algo/linkage.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bounds/scheme.h"
+#include "graph/union_find.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+// Naive O(n^3) single-linkage agglomeration straight from the definition:
+// repeatedly merge the two clusters with the minimum inter-point distance.
+std::vector<double> BruteMergeHeights(DistanceOracle* oracle) {
+  const ObjectId n = oracle->num_objects();
+  std::vector<std::set<ObjectId>> clusters(n);
+  for (ObjectId o = 0; o < n; ++o) clusters[o].insert(o);
+
+  std::vector<double> heights;
+  while (clusters.size() > 1) {
+    double best = kInfDistance;
+    size_t bi = 0;
+    size_t bj = 1;
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        for (const ObjectId a : clusters[i]) {
+          for (const ObjectId b : clusters[j]) {
+            const double d = oracle->Distance(a, b);
+            if (d < best) {
+              best = d;
+              bi = i;
+              bj = j;
+            }
+          }
+        }
+      }
+    }
+    heights.push_back(best);
+    clusters[bi].insert(clusters[bj].begin(), clusters[bj].end());
+    clusters.erase(clusters.begin() + bj);
+  }
+  return heights;
+}
+
+TEST(SingleLinkageTest, MergeHeightsMatchNaiveAgglomeration) {
+  const ObjectId n = 14;
+  ResolverStack stack = MakeRandomStack(n, 91);
+  const SingleLinkageResult result =
+      SingleLinkageCluster(stack.resolver.get());
+  ASSERT_EQ(result.merges.size(), static_cast<size_t>(n - 1));
+  const std::vector<double> brute = BruteMergeHeights(stack.oracle.get());
+  for (size_t m = 0; m < brute.size(); ++m) {
+    ASSERT_NEAR(result.merges[m].height, brute[m], 1e-12) << "merge " << m;
+  }
+}
+
+TEST(SingleLinkageTest, MergeHeightsNonDecreasing) {
+  ResolverStack stack = MakeRandomStack(20, 92);
+  const SingleLinkageResult result =
+      SingleLinkageCluster(stack.resolver.get());
+  for (size_t m = 1; m < result.merges.size(); ++m) {
+    ASSERT_GE(result.merges[m].height, result.merges[m - 1].height);
+  }
+}
+
+TEST(SingleLinkageTest, LabelsForKPartitionProperties) {
+  const ObjectId n = 18;
+  ResolverStack stack = MakeRandomStack(n, 93);
+  const SingleLinkageResult result =
+      SingleLinkageCluster(stack.resolver.get());
+
+  for (const uint32_t k : {1u, 2u, 5u, 18u}) {
+    const std::vector<uint32_t> labels = result.LabelsForK(k);
+    ASSERT_EQ(labels.size(), static_cast<size_t>(n));
+    std::set<uint32_t> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), k);
+    // Dense labels 0..k-1, first occurrences in ascending order.
+    uint32_t next = 0;
+    for (const uint32_t label : labels) {
+      ASSERT_LE(label, next);
+      if (label == next) ++next;
+    }
+  }
+}
+
+TEST(SingleLinkageTest, CutIsConsistentWithMerges) {
+  // The k-cluster partition must equal the components of the first n-k
+  // merge edges.
+  const ObjectId n = 16;
+  ResolverStack stack = MakeRandomStack(n, 94);
+  const SingleLinkageResult result =
+      SingleLinkageCluster(stack.resolver.get());
+  const uint32_t k = 4;
+  const std::vector<uint32_t> labels = result.LabelsForK(k);
+  UnionFind uf(n);
+  for (size_t m = 0; m < static_cast<size_t>(n - k); ++m) {
+    uf.Union(result.merges[m].u, result.merges[m].v);
+  }
+  for (ObjectId a = 0; a < n; ++a) {
+    for (ObjectId b = a + 1; b < n; ++b) {
+      ASSERT_EQ(labels[a] == labels[b], uf.Connected(a, b));
+    }
+  }
+}
+
+TEST(SingleLinkageTest, SchemeIndependentDendrogram) {
+  const ObjectId n = 16;
+  ResolverStack vanilla = MakeRandomStack(n, 95);
+  const SingleLinkageResult expected =
+      SingleLinkageCluster(vanilla.resolver.get());
+
+  ResolverStack plugged = MakeRandomStack(n, 95);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const SingleLinkageResult got =
+      SingleLinkageCluster(plugged.resolver.get());
+  ASSERT_EQ(got.merges.size(), expected.merges.size());
+  for (size_t m = 0; m < got.merges.size(); ++m) {
+    EXPECT_EQ(got.merges[m].u, expected.merges[m].u);
+    EXPECT_EQ(got.merges[m].v, expected.merges[m].v);
+    EXPECT_DOUBLE_EQ(got.merges[m].height, expected.merges[m].height);
+  }
+}
+
+TEST(SingleLinkageTest, TrivialSizes) {
+  ResolverStack stack = MakeRandomStack(2, 96);
+  const SingleLinkageResult result =
+      SingleLinkageCluster(stack.resolver.get());
+  ASSERT_EQ(result.merges.size(), 1u);
+  EXPECT_EQ(result.LabelsForK(2), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(result.LabelsForK(1), (std::vector<uint32_t>{0, 0}));
+}
+
+}  // namespace
+}  // namespace metricprox

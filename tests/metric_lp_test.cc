@@ -1,0 +1,126 @@
+#include "lp/metric_lp.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ReferenceBounds;
+using testing_util::ResolveRandomPairs;
+using testing_util::ResolverStack;
+
+TEST(MetricLpTest, PaperRunningExampleBounds) {
+  // Figure 1 / Section 3.1: with dist(1,3) = 0.8 and dist(3,4) = 0.1 known
+  // (distances normalized into [0,1]), the tightest bounds on dist(1,4) are
+  // [0.7, 0.9].
+  PartialDistanceGraph graph(7);
+  graph.Insert(1, 3, 0.8);
+  graph.Insert(3, 4, 0.1);
+  MetricFeasibilitySystem system(graph, 1.0);
+  auto bounds = system.LpBounds(1, 4);
+  ASSERT_TRUE(bounds.ok()) << bounds.status();
+  EXPECT_NEAR(bounds->lo, 0.7, 1e-7);
+  EXPECT_NEAR(bounds->hi, 0.9, 1e-7);
+}
+
+TEST(MetricLpTest, KnownPairReturnsExactBounds) {
+  PartialDistanceGraph graph(4);
+  graph.Insert(0, 1, 0.4);
+  MetricFeasibilitySystem system(graph, 1.0);
+  auto bounds = system.LpBounds(0, 1);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_TRUE(bounds->IsExact());
+  EXPECT_DOUBLE_EQ(bounds->lo, 0.4);
+}
+
+TEST(MetricLpTest, EmptyGraphGivesBoxBounds) {
+  PartialDistanceGraph graph(5);
+  MetricFeasibilitySystem system(graph, 1.0);
+  auto bounds = system.LpBounds(2, 3);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR(bounds->lo, 0.0, 1e-9);
+  EXPECT_NEAR(bounds->hi, 1.0, 1e-9);
+}
+
+TEST(MetricLpTest, FullyConstantExtraConstraintIsSignTest) {
+  PartialDistanceGraph graph(3);
+  graph.Insert(0, 1, 0.5);
+  graph.Insert(1, 2, 0.2);
+  MetricFeasibilitySystem system(graph, 1.0);
+  // 0.5 <= 0.6 holds; 0.5 <= 0.4 does not.
+  auto yes = system.FeasibleWith({DistanceTerm{0, 1, 1.0}}, 0.6);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = system.FeasibleWith({DistanceTerm{0, 1, 1.0}}, 0.4);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+}
+
+TEST(MetricLpTest, FeasibilityConsistentWithGroundTruth) {
+  // The true metric always satisfies the base system, so any extra
+  // constraint satisfied by the truth must be feasible.
+  ResolverStack stack = MakeRandomStack(8, 77);
+  ResolveRandomPairs(stack.resolver.get(), 10, 3);
+  MetricFeasibilitySystem system(*stack.graph, 1.0);
+  std::mt19937_64 rng(9);
+  for (int t = 0; t < 50; ++t) {
+    const ObjectId a = static_cast<ObjectId>(rng() % 8);
+    ObjectId b = static_cast<ObjectId>(rng() % 8);
+    if (a == b) b = (b + 1) % 8;
+    const double truth = stack.oracle->Distance(a, b);
+    auto feasible =
+        system.FeasibleWith({DistanceTerm{a, b, 1.0}}, truth + 1e-9);
+    ASSERT_TRUE(feasible.ok());
+    EXPECT_TRUE(*feasible) << "true assignment declared infeasible";
+  }
+}
+
+// Key structural property (DESIGN.md): for a single unknown edge, the
+// LP-tight bounds coincide with the graph-theoretic tightest bounds
+// (shortest-path TUB, wrap TLB) — the LP only wins on *joint* comparisons.
+class MetricLpVsGraphBoundsTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(MetricLpVsGraphBoundsTest, LpBoundsEqualSplubBounds) {
+  ResolverStack stack = MakeRandomStack(7, GetParam());
+  ResolveRandomPairs(stack.resolver.get(), 8, GetParam() + 1);
+  MetricFeasibilitySystem system(*stack.graph, 1.0);
+  ReferenceBounds reference(*stack.graph);
+
+  const ObjectId n = 7;
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      if (stack.graph->Has(i, j)) continue;
+      auto lp = system.LpBounds(i, j);
+      ASSERT_TRUE(lp.ok());
+      const double tub = std::min(reference.Tub(i, j), 1.0);
+      const double tlb = reference.Tlb(*stack.graph, i, j);
+      EXPECT_NEAR(lp->hi, tub, 1e-7) << "(" << i << "," << j << ")";
+      EXPECT_NEAR(lp->lo, tlb, 1e-7) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricLpVsGraphBoundsTest,
+                         ::testing::Values(21, 42, 63, 84));
+
+TEST(MetricLpTest, SystemCountsShrinkWithKnownEdges) {
+  PartialDistanceGraph empty(6);
+  MetricFeasibilitySystem all_unknown(empty, 1.0);
+  EXPECT_EQ(all_unknown.num_variables(), 15);
+
+  PartialDistanceGraph partial(6);
+  partial.Insert(0, 1, 0.5);
+  partial.Insert(2, 3, 0.5);
+  MetricFeasibilitySystem fewer(partial, 1.0);
+  EXPECT_EQ(fewer.num_variables(), 13);
+  EXPECT_LT(fewer.num_rows(), all_unknown.num_rows());
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,221 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "algo/clarans.h"
+#include "algo/pam.h"
+#include "bounds/scheme.h"
+#include "data/synthetic.h"
+#include "oracle/vector_oracle.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+ResolverStack MakeClusteredStack(ObjectId n, uint64_t seed) {
+  ResolverStack stack;
+  stack.oracle = std::make_unique<VectorOracle>(
+      GaussianMixturePoints(n, 2, /*num_clusters=*/4, /*range=*/100.0,
+                            /*spread=*/2.0, seed),
+      VectorMetric::kEuclidean);
+  stack.graph = std::make_unique<PartialDistanceGraph>(n);
+  stack.resolver =
+      std::make_unique<BoundedResolver>(stack.oracle.get(), stack.graph.get());
+  return stack;
+}
+
+double BruteTotalDeviation(DistanceOracle* oracle,
+                           const std::vector<ObjectId>& medoids) {
+  double td = 0.0;
+  for (ObjectId j = 0; j < oracle->num_objects(); ++j) {
+    double best = kInfDistance;
+    for (ObjectId m : medoids) {
+      best = std::min(best, j == m ? 0.0 : oracle->Distance(j, m));
+    }
+    td += best;
+  }
+  return td;
+}
+
+TEST(PamTest, TotalDeviationMatchesBruteForceRecount) {
+  ResolverStack stack = MakeClusteredStack(40, 1);
+  PamOptions options;
+  options.num_medoids = 4;
+  const ClusteringResult result = PamCluster(stack.resolver.get(), options);
+  ASSERT_EQ(result.medoids.size(), 4u);
+  EXPECT_NEAR(result.total_deviation,
+              BruteTotalDeviation(stack.oracle.get(), result.medoids), 1e-9);
+}
+
+TEST(PamTest, AssignmentPointsToNearestMedoid) {
+  ResolverStack stack = MakeClusteredStack(30, 2);
+  PamOptions options;
+  options.num_medoids = 3;
+  const ClusteringResult result = PamCluster(stack.resolver.get(), options);
+  for (ObjectId j = 0; j < 30; ++j) {
+    const ObjectId assigned = result.medoids[result.assignment[j]];
+    const double d_assigned =
+        j == assigned ? 0.0 : stack.oracle->Distance(j, assigned);
+    for (ObjectId m : result.medoids) {
+      const double dm = j == m ? 0.0 : stack.oracle->Distance(j, m);
+      EXPECT_LE(d_assigned, dm + 1e-9);
+    }
+  }
+}
+
+TEST(PamTest, SwapPhaseReachesALocalOptimum) {
+  ResolverStack stack = MakeClusteredStack(30, 3);
+  PamOptions options;
+  options.num_medoids = 3;
+  const ClusteringResult result = PamCluster(stack.resolver.get(), options);
+  // No single swap may improve the deviation (checked brute force).
+  const double td = result.total_deviation;
+  for (uint32_t out = 0; out < result.medoids.size(); ++out) {
+    for (ObjectId h = 0; h < 30; ++h) {
+      if (std::find(result.medoids.begin(), result.medoids.end(), h) !=
+          result.medoids.end()) {
+        continue;
+      }
+      std::vector<ObjectId> swapped = result.medoids;
+      swapped[out] = h;
+      EXPECT_GE(BruteTotalDeviation(stack.oracle.get(), swapped), td - 1e-9);
+    }
+  }
+}
+
+class PamSchemeEquivalenceTest
+    : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(PamSchemeEquivalenceTest, IdenticalMedoidsUnderEveryScheme) {
+  const SchemeKind kind = GetParam();
+  ResolverStack vanilla = MakeClusteredStack(36, 4);
+  PamOptions options;
+  options.num_medoids = 4;
+  const ClusteringResult expected = PamCluster(vanilla.resolver.get(), options);
+
+  ResolverStack plugged = MakeClusteredStack(36, 4);
+  SchemeOptions scheme_options;
+  auto bounder = MakeAndAttachScheme(kind, plugged.resolver.get(), scheme_options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  const ClusteringResult got = PamCluster(plugged.resolver.get(), options);
+
+  EXPECT_EQ(got.medoids, expected.medoids)
+      << "scheme " << SchemeKindName(kind);
+  EXPECT_NEAR(got.total_deviation, expected.total_deviation, 1e-9);
+  EXPECT_EQ(got.assignment, expected.assignment);
+  EXPECT_EQ(got.iterations, expected.iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PamSchemeEquivalenceTest,
+                         ::testing::Values(SchemeKind::kTri,
+                                           SchemeKind::kSplub,
+                                           SchemeKind::kLaesa,
+                                           SchemeKind::kTlaesa));
+
+TEST(PamTest, TriSavesCallsVsWithoutPlug) {
+  ResolverStack vanilla = MakeClusteredStack(48, 5);
+  PamOptions options;
+  options.num_medoids = 4;
+  PamCluster(vanilla.resolver.get(), options);
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = MakeClusteredStack(48, 5);
+  SchemeOptions scheme_options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), scheme_options);
+  ASSERT_TRUE(bounder.ok());
+  PamCluster(plugged.resolver.get(), options);
+  EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline);
+}
+
+TEST(ClaransTest, DeterministicForFixedSeed) {
+  ResolverStack a = MakeClusteredStack(40, 6);
+  ResolverStack b = MakeClusteredStack(40, 6);
+  ClaransOptions options;
+  options.num_medoids = 4;
+  options.seed = 123;
+  const ClusteringResult ra = ClaransCluster(a.resolver.get(), options);
+  const ClusteringResult rb = ClaransCluster(b.resolver.get(), options);
+  EXPECT_EQ(ra.medoids, rb.medoids);
+  EXPECT_DOUBLE_EQ(ra.total_deviation, rb.total_deviation);
+}
+
+TEST(ClaransTest, TotalDeviationMatchesBruteForce) {
+  ResolverStack stack = MakeClusteredStack(40, 7);
+  ClaransOptions options;
+  options.num_medoids = 4;
+  const ClusteringResult result = ClaransCluster(stack.resolver.get(), options);
+  EXPECT_NEAR(result.total_deviation,
+              BruteTotalDeviation(stack.oracle.get(), result.medoids), 1e-9);
+}
+
+class ClaransSchemeEquivalenceTest
+    : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(ClaransSchemeEquivalenceTest, SameTrajectoryUnderEveryScheme) {
+  const SchemeKind kind = GetParam();
+  ClaransOptions options;
+  options.num_medoids = 4;
+  options.seed = 321;
+  ResolverStack vanilla = MakeClusteredStack(36, 8);
+  const ClusteringResult expected =
+      ClaransCluster(vanilla.resolver.get(), options);
+
+  ResolverStack plugged = MakeClusteredStack(36, 8);
+  SchemeOptions scheme_options;
+  auto bounder = MakeAndAttachScheme(kind, plugged.resolver.get(), scheme_options);
+  ASSERT_TRUE(bounder.ok());
+  const ClusteringResult got = ClaransCluster(plugged.resolver.get(), options);
+  EXPECT_EQ(got.medoids, expected.medoids)
+      << "scheme " << SchemeKindName(kind);
+  EXPECT_NEAR(got.total_deviation, expected.total_deviation, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ClaransSchemeEquivalenceTest,
+                         ::testing::Values(SchemeKind::kTri,
+                                           SchemeKind::kSplub,
+                                           SchemeKind::kLaesa,
+                                           SchemeKind::kTlaesa));
+
+TEST(ClaransTest, TriSavesCallsVsWithoutPlug) {
+  ClaransOptions options;
+  options.num_medoids = 4;
+  ResolverStack vanilla = MakeClusteredStack(48, 9);
+  ClaransCluster(vanilla.resolver.get(), options);
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = MakeClusteredStack(48, 9);
+  SchemeOptions scheme_options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), scheme_options);
+  ASSERT_TRUE(bounder.ok());
+  ClaransCluster(plugged.resolver.get(), options);
+  EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline);
+}
+
+TEST(MedoidCommonTest, SwapDeltaMatchesBruteForceDifference) {
+  ResolverStack stack = MakeClusteredStack(24, 10);
+  const std::vector<ObjectId> medoids = {1, 7, 15};
+  auto table =
+      medoid_internal::ComputeAssignment(stack.resolver.get(), medoids);
+  for (ObjectId h = 0; h < 24; ++h) {
+    if (medoid_internal::IsMedoid(medoids, h)) continue;
+    for (uint32_t out = 0; out < medoids.size(); ++out) {
+      const double delta = medoid_internal::SwapDelta(stack.resolver.get(),
+                                                      medoids, table, out, h);
+      std::vector<ObjectId> swapped = medoids;
+      swapped[out] = h;
+      const double expected =
+          BruteTotalDeviation(stack.oracle.get(), swapped) -
+          BruteTotalDeviation(stack.oracle.get(), medoids);
+      ASSERT_NEAR(delta, expected, 1e-9)
+          << "out=" << out << " h=" << h;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metricprox

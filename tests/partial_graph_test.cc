@@ -1,0 +1,124 @@
+#include "graph/partial_graph.h"
+
+#include <random>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+TEST(PartialGraphTest, EmptyGraphHasNoEdges) {
+  PartialDistanceGraph g(5);
+  EXPECT_EQ(g.num_objects(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.Has(0, 1));
+  EXPECT_FALSE(g.Get(0, 1).has_value());
+  EXPECT_TRUE(g.Neighbors(0).empty());
+}
+
+TEST(PartialGraphTest, InsertIsSymmetric) {
+  PartialDistanceGraph g(4);
+  g.Insert(2, 0, 0.75);
+  EXPECT_TRUE(g.Has(0, 2));
+  EXPECT_TRUE(g.Has(2, 0));
+  EXPECT_DOUBLE_EQ(*g.Get(0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(*g.Get(2, 0), 0.75);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(g.Degree(1), 0u);
+}
+
+TEST(PartialGraphTest, AdjacencySortedById) {
+  PartialDistanceGraph g(6);
+  g.Insert(3, 5, 0.1);
+  g.Insert(3, 1, 0.2);
+  g.Insert(3, 4, 0.3);
+  g.Insert(3, 0, 0.4);
+  const auto& nbrs = g.Neighbors(3);
+  ASSERT_EQ(nbrs.size(), 4u);
+  for (size_t i = 1; i < nbrs.size(); ++i) {
+    EXPECT_LT(nbrs[i - 1].id, nbrs[i].id);
+  }
+}
+
+TEST(PartialGraphTest, EdgesListPreservesInsertionOrder) {
+  PartialDistanceGraph g(4);
+  g.Insert(0, 1, 0.5);
+  g.Insert(2, 3, 0.6);
+  ASSERT_EQ(g.edges().size(), 2u);
+  EXPECT_EQ(g.edges()[0].u, 0u);
+  EXPECT_EQ(g.edges()[1].weight, 0.6);
+}
+
+TEST(PartialGraphTest, DuplicateInsertDies) {
+  PartialDistanceGraph g(3);
+  g.Insert(0, 1, 0.5);
+  EXPECT_DEATH(g.Insert(1, 0, 0.7), "duplicate");
+}
+
+TEST(PartialGraphTest, NegativeDistanceDies) {
+  PartialDistanceGraph g(3);
+  EXPECT_DEATH(g.Insert(0, 1, -0.1), "negative");
+}
+
+TEST(PartialGraphTest, SelfEdgeDies) {
+  PartialDistanceGraph g(3);
+  EXPECT_DEATH(g.Insert(1, 1, 0.5), "self-edge");
+}
+
+TEST(PartialGraphTest, CommonNeighborMergeFindsExactlyTheTriangles) {
+  PartialDistanceGraph g(7);
+  // Common neighbors of (0, 1): 2 and 5. Neighbor 3 only touches 0,
+  // neighbor 4 only touches 1.
+  g.Insert(0, 2, 0.1);
+  g.Insert(1, 2, 0.2);
+  g.Insert(0, 3, 0.3);
+  g.Insert(1, 4, 0.4);
+  g.Insert(0, 5, 0.5);
+  g.Insert(1, 5, 0.6);
+
+  std::set<ObjectId> found;
+  g.ForEachCommonNeighbor(0, 1, [&](ObjectId c, double d0, double d1) {
+    found.insert(c);
+    if (c == 2) {
+      EXPECT_DOUBLE_EQ(d0, 0.1);
+      EXPECT_DOUBLE_EQ(d1, 0.2);
+    } else {
+      EXPECT_DOUBLE_EQ(d0, 0.5);
+      EXPECT_DOUBLE_EQ(d1, 0.6);
+    }
+  });
+  EXPECT_EQ(found, (std::set<ObjectId>{2, 5}));
+}
+
+TEST(PartialGraphTest, CommonNeighborsMatchBruteForceOnRandomGraphs) {
+  std::mt19937_64 rng(7);
+  const ObjectId n = 30;
+  PartialDistanceGraph g(n);
+  std::set<std::pair<ObjectId, ObjectId>> inserted;
+  for (int e = 0; e < 150; ++e) {
+    ObjectId a = static_cast<ObjectId>(rng() % n);
+    ObjectId b = static_cast<ObjectId>(rng() % n);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!inserted.insert({a, b}).second) continue;
+    g.Insert(a, b, 0.01 * static_cast<double>(rng() % 100 + 1));
+  }
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      std::set<ObjectId> merged;
+      g.ForEachCommonNeighbor(i, j,
+                              [&](ObjectId c, double, double) { merged.insert(c); });
+      std::set<ObjectId> brute;
+      for (ObjectId c = 0; c < n; ++c) {
+        if (c != i && c != j && g.Has(i, c) && g.Has(j, c)) brute.insert(c);
+      }
+      ASSERT_EQ(merged, brute) << "pair (" << i << ", " << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,104 @@
+#include "bounds/pivots.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+TEST(PivotsTest, DefaultNumLandmarksIsCeilLog2) {
+  EXPECT_EQ(DefaultNumLandmarks(2), 1u);
+  EXPECT_EQ(DefaultNumLandmarks(3), 2u);
+  EXPECT_EQ(DefaultNumLandmarks(4), 2u);
+  EXPECT_EQ(DefaultNumLandmarks(5), 3u);
+  EXPECT_EQ(DefaultNumLandmarks(1024), 10u);
+  EXPECT_EQ(DefaultNumLandmarks(1025), 11u);
+}
+
+TEST(PivotsTest, SelectsRequestedDistinctPivots) {
+  ResolverStack stack = MakeRandomStack(20, 71);
+  const ResolveFn resolve = [&](ObjectId a, ObjectId b) {
+    return stack.oracle->Distance(a, b);
+  };
+  const PivotTable table = SelectMaxMinPivots(20, 5, resolve, 1);
+  ASSERT_EQ(table.pivots.size(), 5u);
+  ASSERT_EQ(table.dist.size(), 5u);
+  std::set<ObjectId> unique(table.pivots.begin(), table.pivots.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(PivotsTest, TableRowsAreExactDistances) {
+  ResolverStack stack = MakeRandomStack(15, 72);
+  const ResolveFn resolve = [&](ObjectId a, ObjectId b) {
+    return stack.oracle->Distance(a, b);
+  };
+  const PivotTable table = SelectMaxMinPivots(15, 3, resolve, 2);
+  for (size_t p = 0; p < table.pivots.size(); ++p) {
+    for (ObjectId o = 0; o < 15; ++o) {
+      if (o == table.pivots[p]) {
+        EXPECT_DOUBLE_EQ(table.dist[p][o], 0.0);
+      } else {
+        EXPECT_DOUBLE_EQ(table.dist[p][o],
+                         stack.oracle->Distance(table.pivots[p], o));
+      }
+    }
+  }
+}
+
+TEST(PivotsTest, GreedyChoiceMaximizesMinDistance) {
+  ResolverStack stack = MakeRandomStack(18, 73);
+  const ResolveFn resolve = [&](ObjectId a, ObjectId b) {
+    return stack.oracle->Distance(a, b);
+  };
+  const PivotTable table = SelectMaxMinPivots(18, 4, resolve, 3);
+  // Pivot r+1 must maximize min-distance to pivots 0..r among non-pivots.
+  for (size_t r = 0; r + 1 < table.pivots.size(); ++r) {
+    const ObjectId chosen = table.pivots[r + 1];
+    auto min_to_prefix = [&](ObjectId o) {
+      double best = kInfDistance;
+      for (size_t p = 0; p <= r; ++p) {
+        best = std::min(best, o == table.pivots[p]
+                                  ? 0.0
+                                  : stack.oracle->Distance(table.pivots[p], o));
+      }
+      return best;
+    };
+    const double chosen_gap = min_to_prefix(chosen);
+    for (ObjectId o = 0; o < 18; ++o) {
+      bool is_prefix_pivot = false;
+      for (size_t p = 0; p <= r; ++p) {
+        if (table.pivots[p] == o) is_prefix_pivot = true;
+      }
+      if (is_prefix_pivot) continue;
+      EXPECT_LE(min_to_prefix(o), chosen_gap + 1e-12);
+    }
+  }
+}
+
+TEST(PivotsTest, KClampedToN) {
+  ResolverStack stack = MakeRandomStack(4, 74);
+  const ResolveFn resolve = [&](ObjectId a, ObjectId b) {
+    return stack.oracle->Distance(a, b);
+  };
+  const PivotTable table = SelectMaxMinPivots(4, 10, resolve, 4);
+  EXPECT_EQ(table.pivots.size(), 4u);
+}
+
+TEST(PivotsTest, DeterministicForFixedSeed) {
+  ResolverStack stack = MakeRandomStack(16, 75);
+  const ResolveFn resolve = [&](ObjectId a, ObjectId b) {
+    return stack.oracle->Distance(a, b);
+  };
+  const PivotTable a = SelectMaxMinPivots(16, 4, resolve, 5);
+  const PivotTable b = SelectMaxMinPivots(16, 4, resolve, 5);
+  EXPECT_EQ(a.pivots, b.pivots);
+}
+
+}  // namespace
+}  // namespace metricprox

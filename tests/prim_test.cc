@@ -1,0 +1,175 @@
+#include "algo/prim.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/reference.h"
+#include "bounds/scheme.h"
+#include "graph/union_find.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+std::set<EdgeKey> EdgeSet(const MstResult& mst) {
+  std::set<EdgeKey> keys;
+  for (const WeightedEdge& e : mst.edges) keys.insert(EdgeKey(e.u, e.v));
+  return keys;
+}
+
+TEST(PrimTest, TinyHandCheckedTree) {
+  // Path metric on a line 0 - 1 - 2 - 3 with unit steps: the MST is the
+  // path itself with weight 3 (matrix = |i-j| distances).
+  const ObjectId n = 4;
+  std::vector<double> m(n * n, 0.0);
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = 0; j < n; ++j) {
+      m[i * n + j] = std::abs(static_cast<int>(i) - static_cast<int>(j));
+    }
+  }
+  auto oracle = MatrixOracle::Create(std::move(m), n);
+  ASSERT_TRUE(oracle.ok());
+  PartialDistanceGraph graph(n);
+  BoundedResolver resolver(&*oracle, &graph);
+  const MstResult mst = PrimMst(&resolver);
+  ASSERT_EQ(mst.edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(mst.total_weight, 3.0);
+  EXPECT_EQ(EdgeSet(mst),
+            (std::set<EdgeKey>{EdgeKey(0, 1), EdgeKey(1, 2), EdgeKey(2, 3)}));
+}
+
+TEST(PrimTest, WithoutPlugResolvesEveryPair) {
+  const ObjectId n = 16;
+  ResolverStack stack = MakeRandomStack(n, 111);
+  const MstResult mst = PrimMst(stack.resolver.get());
+  EXPECT_EQ(mst.edges.size(), static_cast<size_t>(n - 1));
+  // The "Without Plug" column of Tables 2/3: all n(n-1)/2 oracle calls.
+  EXPECT_EQ(stack.resolver->stats().oracle_calls,
+            static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(PrimTest, ResultIsASpanningTree) {
+  const ObjectId n = 24;
+  ResolverStack stack = MakeRandomStack(n, 222);
+  const MstResult mst = PrimMst(stack.resolver.get());
+  ASSERT_EQ(mst.edges.size(), static_cast<size_t>(n - 1));
+  UnionFind uf(n);
+  for (const WeightedEdge& e : mst.edges) {
+    EXPECT_TRUE(uf.Union(e.u, e.v)) << "cycle in MST";
+    EXPECT_DOUBLE_EQ(e.weight, stack.oracle->Distance(e.u, e.v));
+  }
+  EXPECT_EQ(uf.num_components(), 1u);
+}
+
+// The paper's exactness guarantee: identical output under every scheme.
+class PrimSchemeEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, uint64_t>> {};
+
+TEST_P(PrimSchemeEquivalenceTest, MatchesReferenceUnderScheme) {
+  const auto [kind, seed] = GetParam();
+  const ObjectId n = 18;
+  ResolverStack stack = MakeRandomStack(n, seed);
+  const MstResult reference = ReferencePrimMst(stack.oracle.get());
+
+  ResolverStack plugged = MakeRandomStack(n, seed);  // fresh identical metric
+  SchemeOptions options;
+  options.seed = seed;
+  auto bounder = MakeAndAttachScheme(kind, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  const MstResult mst = PrimMst(plugged.resolver.get());
+
+  EXPECT_NEAR(mst.total_weight, reference.total_weight, 1e-9);
+  EXPECT_EQ(EdgeSet(mst), EdgeSet(reference))
+      << "scheme " << SchemeKindName(kind) << " changed the MST";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, PrimSchemeEquivalenceTest,
+    ::testing::Combine(::testing::Values(SchemeKind::kNone, SchemeKind::kTri,
+                                         SchemeKind::kSplub, SchemeKind::kAdm,
+                                         SchemeKind::kLaesa,
+                                         SchemeKind::kTlaesa),
+                       ::testing::Values(7, 21)));
+
+// Lazy-key Prim issues only PairLess comparisons; output must still match.
+class PrimLazySchemeEquivalenceTest
+    : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(PrimLazySchemeEquivalenceTest, LazyVariantMatchesReference) {
+  const SchemeKind kind = GetParam();
+  const ObjectId n = 16;
+  ResolverStack stack = MakeRandomStack(n, 77);
+  const MstResult reference = ReferencePrimMst(stack.oracle.get());
+
+  ResolverStack plugged = MakeRandomStack(n, 77);
+  SchemeOptions options;
+  auto bounder = MakeAndAttachScheme(kind, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const MstResult mst = PrimMstLazy(plugged.resolver.get());
+  EXPECT_NEAR(mst.total_weight, reference.total_weight, 1e-9);
+  EXPECT_EQ(EdgeSet(mst), EdgeSet(reference))
+      << "scheme " << SchemeKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PrimLazySchemeEquivalenceTest,
+                         ::testing::Values(SchemeKind::kNone, SchemeKind::kTri,
+                                           SchemeKind::kSplub, SchemeKind::kAdm,
+                                           SchemeKind::kAdmClassic,
+                                           SchemeKind::kLaesa,
+                                           SchemeKind::kTlaesa));
+
+TEST(PrimTest, DftSchemeAlsoPreservesTheTree) {
+  // DFT is LP-heavy, so keep this instance tiny but real.
+  const ObjectId n = 8;
+  ResolverStack stack = MakeRandomStack(n, 33);
+  const MstResult reference = ReferencePrimMst(stack.oracle.get());
+  ResolverStack plugged = MakeRandomStack(n, 33);
+  SchemeOptions options;
+  options.max_distance = 1.0;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kDft, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const MstResult mst = PrimMst(plugged.resolver.get());
+  EXPECT_NEAR(mst.total_weight, reference.total_weight, 1e-9);
+  EXPECT_LE(plugged.resolver->stats().oracle_calls,
+            static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(PrimTest, TriWithBootstrapSavesCallsOnClusteredData) {
+  // Clustered 2-D Euclidean data: triangle bounds have real pruning power,
+  // so Tri + bootstrap must beat the unplugged run.
+  const ObjectId n = 64;
+  auto make_stack = [&]() {
+    ResolverStack stack;
+    stack.oracle = std::make_unique<VectorOracle>(
+        GaussianMixturePoints(n, 2, /*num_clusters=*/4, /*range=*/100.0,
+                              /*spread=*/1.5, /*seed=*/5),
+        VectorMetric::kEuclidean);
+    stack.graph = std::make_unique<PartialDistanceGraph>(n);
+    stack.resolver = std::make_unique<BoundedResolver>(stack.oracle.get(),
+                                                       stack.graph.get());
+    return stack;
+  };
+
+  ResolverStack vanilla = make_stack();
+  const MstResult reference = PrimMst(vanilla.resolver.get());
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = make_stack();
+  BootstrapWithLandmarks(plugged.resolver.get(), 6, 1);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const MstResult mst = PrimMst(plugged.resolver.get());
+  EXPECT_NEAR(mst.total_weight, reference.total_weight, 1e-9);
+  EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline)
+      << "Tri+bootstrap must beat the unplugged run on clustered data";
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,160 @@
+// Relaxed triangle inequality support (the paper's Characteristic 1 admits
+// "triangle inequality or relaxed triangle inequality"): squared Euclidean
+// distance is a rho=2 semimetric, and the Tri Scheme parameterized with
+// rho stays valid — so the whole framework, exactness guarantee included,
+// carries over.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "algo/knn_graph.h"
+#include "algo/prim.h"
+#include "algo/reference.h"
+#include "bounds/resolver.h"
+#include "bounds/scheme.h"
+#include "bounds/tri.h"
+#include "data/synthetic.h"
+#include "oracle/vector_oracle.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::ResolverStack;
+
+ResolverStack MakeSquaredStack(ObjectId n, uint64_t seed) {
+  ResolverStack stack;
+  stack.oracle = std::make_unique<VectorOracle>(
+      GaussianMixturePoints(n, 2, /*num_clusters=*/4, /*range=*/10.0,
+                            /*spread=*/0.4, seed),
+      VectorMetric::kSquaredEuclidean);
+  stack.graph = std::make_unique<PartialDistanceGraph>(n);
+  stack.resolver =
+      std::make_unique<BoundedResolver>(stack.oracle.get(), stack.graph.get());
+  return stack;
+}
+
+TEST(SquaredEuclideanTest, IsSquareOfEuclidean) {
+  PointSet points = {{0.0, 0.0}, {3.0, 4.0}};
+  VectorOracle squared(points, VectorMetric::kSquaredEuclidean);
+  VectorOracle plain(points, VectorMetric::kEuclidean);
+  EXPECT_DOUBLE_EQ(squared.Distance(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(plain.Distance(0, 1), 5.0);
+  EXPECT_EQ(squared.name(), "squared-euclidean");
+  EXPECT_DOUBLE_EQ(VectorMetricRho(VectorMetric::kSquaredEuclidean), 2.0);
+  EXPECT_DOUBLE_EQ(VectorMetricRho(VectorMetric::kEuclidean), 1.0);
+}
+
+TEST(SquaredEuclideanTest, ViolatesPlainTriangleButSatisfiesRho2) {
+  // Collinear points 0 - 1 - 2: d(0,2) = 4 > d(0,1) + d(1,2) = 2, but
+  // 4 <= 2 * 2.
+  PointSet points = {{0.0, 0.0}, {1.0, 0.0}, {2.0, 0.0}};
+  VectorOracle oracle(std::move(points), VectorMetric::kSquaredEuclidean);
+  const double d02 = oracle.Distance(0, 2);
+  const double via = oracle.Distance(0, 1) + oracle.Distance(1, 2);
+  EXPECT_GT(d02, via);
+  EXPECT_LE(d02, 2.0 * via);
+}
+
+TEST(RelaxedTriTest, BoundsContainTruthAtRho2) {
+  const ObjectId n = 30;
+  ResolverStack stack = MakeSquaredStack(n, 301);
+  TriBounder tri(stack.graph.get(), /*rho=*/2.0);
+  stack.resolver->SetBounder(&tri);
+  testing_util::ResolveRandomPairs(stack.resolver.get(), 90, 5);
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      const double truth = stack.oracle->Distance(i, j);
+      const Interval b = stack.resolver->Bounds(i, j);
+      ASSERT_LE(b.lo, truth + 1e-9) << "(" << i << "," << j << ")";
+      ASSERT_GE(b.hi, truth - 1e-9) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(RelaxedTriTest, PlainTriBoundsWouldBeWrongAtRho1) {
+  // Sanity for the test above: on the same data, an (incorrect) rho=1
+  // TriBounder produces intervals that miss the truth somewhere — i.e. the
+  // relaxation is load-bearing, not slack.
+  const ObjectId n = 30;
+  ResolverStack stack = MakeSquaredStack(n, 301);
+  TriBounder wrong(stack.graph.get(), /*rho=*/1.0);
+  stack.resolver->SetBounder(&wrong);
+  testing_util::ResolveRandomPairs(stack.resolver.get(), 90, 5);
+  int violations = 0;
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      if (stack.graph->Has(i, j)) continue;
+      const double truth = stack.oracle->Distance(i, j);
+      const Interval b = wrong.Bounds(i, j);
+      if (b.lo > truth + 1e-9 || b.hi < truth - 1e-9) ++violations;
+    }
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(RelaxedTriTest, PrimExactOnSquaredEuclidean) {
+  const ObjectId n = 40;
+  ResolverStack vanilla = MakeSquaredStack(n, 302);
+  const MstResult reference = ReferencePrimMst(vanilla.oracle.get());
+
+  ResolverStack plugged = MakeSquaredStack(n, 302);
+  SchemeOptions options;
+  options.rho = 2.0;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  const MstResult mst = PrimMst(plugged.resolver.get());
+  EXPECT_NEAR(mst.total_weight, reference.total_weight, 1e-9);
+  // Clustered data: even through a rho=2 relaxation the scheme must save.
+  EXPECT_LT(plugged.resolver->stats().oracle_calls,
+            static_cast<uint64_t>(n) * (n - 1) / 2);
+}
+
+TEST(RelaxedTriTest, KnnExactOnSquaredEuclidean) {
+  const ObjectId n = 32;
+  ResolverStack vanilla = MakeSquaredStack(n, 303);
+  const KnnGraph expected = ReferenceKnnGraph(vanilla.oracle.get(), 4);
+
+  ResolverStack plugged = MakeSquaredStack(n, 303);
+  SchemeOptions options;
+  options.rho = 2.0;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const KnnGraph got = BuildKnnGraph(plugged.resolver.get(), KnnGraphOptions{4});
+  for (ObjectId u = 0; u < n; ++u) {
+    ASSERT_EQ(got[u], expected[u]) << "object " << u;
+  }
+}
+
+TEST(RelaxedTriTest, FactoryRejectsRhoForOtherSchemes) {
+  ResolverStack stack = MakeSquaredStack(8, 304);
+  SchemeOptions options;
+  options.rho = 2.0;
+  EXPECT_FALSE(
+      MakeAndAttachScheme(SchemeKind::kSplub, stack.resolver.get(), options)
+          .ok());
+  EXPECT_FALSE(
+      MakeAndAttachScheme(SchemeKind::kLaesa, stack.resolver.get(), options)
+          .ok());
+  options.rho = 0.5;
+  EXPECT_FALSE(
+      MakeAndAttachScheme(SchemeKind::kTri, stack.resolver.get(), options)
+          .ok());
+}
+
+TEST(RelaxedTriTest, RhoOneIsTheClassicScheme) {
+  // With rho = 1 the relaxed formulas reduce exactly to the paper's.
+  PartialDistanceGraph graph(7);
+  graph.Insert(1, 3, 0.8);
+  graph.Insert(3, 4, 0.1);
+  TriBounder tri(&graph, 1.0);
+  const Interval b = tri.Bounds(1, 4);
+  EXPECT_NEAR(b.lo, 0.7, 1e-12);
+  EXPECT_NEAR(b.hi, 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace metricprox

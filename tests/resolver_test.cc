@@ -1,0 +1,177 @@
+#include "bounds/resolver.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "bounds/scheme.h"
+#include "bounds/tri.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolveRandomPairs;
+using testing_util::ResolverStack;
+
+TEST(ResolverTest, DistanceResolvesOnceAndCaches) {
+  ResolverStack stack = MakeRandomStack(6, 1);
+  const double d = stack.resolver->Distance(0, 1);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 1u);
+  EXPECT_TRUE(stack.resolver->Known(0, 1));
+  EXPECT_DOUBLE_EQ(stack.resolver->Distance(1, 0), d);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 1u);  // cache hit
+}
+
+TEST(ResolverTest, SelfDistanceIsZeroWithoutOracle) {
+  ResolverStack stack = MakeRandomStack(6, 2);
+  EXPECT_DOUBLE_EQ(stack.resolver->Distance(3, 3), 0.0);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 0u);
+  EXPECT_TRUE(stack.resolver->Known(3, 3));
+  EXPECT_EQ(stack.resolver->Bounds(3, 3), Interval::Exact(0.0));
+}
+
+TEST(ResolverTest, BoundsExactForKnownPairs) {
+  ResolverStack stack = MakeRandomStack(6, 3);
+  const double d = stack.resolver->Distance(2, 4);
+  const Interval b = stack.resolver->Bounds(2, 4);
+  EXPECT_TRUE(b.IsExact());
+  EXPECT_DOUBLE_EQ(b.lo, d);
+}
+
+TEST(ResolverTest, NoBounderMeansEveryComparisonHitsOracle) {
+  ResolverStack stack = MakeRandomStack(8, 4);
+  const double truth = stack.oracle->Distance(0, 1);
+  EXPECT_EQ(stack.resolver->LessThan(0, 1, truth + 0.1), true);
+  EXPECT_EQ(stack.resolver->stats().decided_by_oracle, 1u);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 1u);
+  // Second identical comparison is served by the cache.
+  EXPECT_EQ(stack.resolver->LessThan(0, 1, truth + 0.1), true);
+  EXPECT_EQ(stack.resolver->stats().decided_by_cache, 1u);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 1u);
+}
+
+TEST(ResolverTest, TriSchemeSavesProvableComparisons) {
+  ResolverStack stack = MakeRandomStack(10, 5);
+  TriBounder tri(stack.graph.get());
+  stack.resolver->SetBounder(&tri);
+  // Resolve two sides of a triangle; the third is then bounded.
+  const double d01 = stack.resolver->Distance(0, 1);
+  const double d02 = stack.resolver->Distance(0, 2);
+  const double ub = d01 + d02;
+  // dist(1,2) <= d01 + d02, so this comparison must be decided by bounds.
+  EXPECT_TRUE(stack.resolver->LessThan(1, 2, ub + 0.001));
+  EXPECT_EQ(stack.resolver->stats().decided_by_bounds, 1u);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 2u);  // no third call
+}
+
+TEST(ResolverTest, StatsComparisonsAddUp) {
+  ResolverStack stack = MakeRandomStack(12, 6);
+  TriBounder tri(stack.graph.get());
+  stack.resolver->SetBounder(&tri);
+  std::mt19937_64 rng(7);
+  for (int t = 0; t < 300; ++t) {
+    const ObjectId i = static_cast<ObjectId>(rng() % 12);
+    const ObjectId j = static_cast<ObjectId>(rng() % 12);
+    if (i == j) continue;
+    stack.resolver->LessThan(i, j, 0.1 * static_cast<double>(rng() % 12));
+  }
+  const ResolverStats& s = stack.resolver->stats();
+  EXPECT_EQ(s.comparisons,
+            s.decided_by_cache + s.decided_by_bounds + s.decided_by_oracle);
+}
+
+// The core exactness property of the whole framework: under every scheme,
+// LessThan and PairLess return the ground-truth comparison outcome.
+class ResolverExactnessTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, uint64_t>> {};
+
+TEST_P(ResolverExactnessTest, ComparisonsMatchGroundTruth) {
+  const auto [kind, seed] = GetParam();
+  // DFT solves one or two dense LPs per undecided comparison and rebuilds
+  // its constraint system after every resolution; a smaller instance keeps
+  // this test meaningful without dominating the suite (especially under
+  // sanitizers).
+  const bool lp_heavy = kind == SchemeKind::kDft;
+  const ObjectId n = lp_heavy ? 10 : 14;
+  const int trials = lp_heavy ? 150 : 400;
+  ResolverStack stack = MakeRandomStack(n, seed);
+  SchemeOptions options;
+  options.seed = seed;
+  options.max_distance = 1.0;
+  auto bounder = MakeAndAttachScheme(kind, stack.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+
+  std::mt19937_64 rng(seed + 1);
+  for (int t = 0; t < trials; ++t) {
+    const ObjectId i = static_cast<ObjectId>(rng() % n);
+    const ObjectId j = static_cast<ObjectId>(rng() % n);
+    const ObjectId k = static_cast<ObjectId>(rng() % n);
+    const ObjectId l = static_cast<ObjectId>(rng() % n);
+    if (i == j || k == l) continue;
+    const double truth_ij = stack.oracle->Distance(i, j);
+    const double truth_kl = stack.oracle->Distance(k, l);
+    if (t % 2 == 0) {
+      const double threshold = 0.05 * static_cast<double>(rng() % 25);
+      ASSERT_EQ(stack.resolver->LessThan(i, j, threshold),
+                truth_ij < threshold)
+          << SchemeKindName(kind) << " LessThan(" << i << "," << j << ","
+          << threshold << ")";
+    } else {
+      ASSERT_EQ(stack.resolver->PairLess(i, j, k, l), truth_ij < truth_kl)
+          << SchemeKindName(kind) << " PairLess(" << i << "," << j << ","
+          << k << "," << l << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ResolverExactnessTest,
+    ::testing::Combine(::testing::Values(SchemeKind::kNone, SchemeKind::kTri,
+                                         SchemeKind::kSplub, SchemeKind::kAdm,
+                                         SchemeKind::kLaesa,
+                                         SchemeKind::kTlaesa,
+                                         SchemeKind::kDft),
+                       ::testing::Values(11, 17)));
+
+TEST(ResolverTest, ProvenGreaterThanNeverCallsOracle) {
+  ResolverStack stack = MakeRandomStack(10, 8);
+  TriBounder tri(stack.graph.get());
+  stack.resolver->SetBounder(&tri);
+  const double d01 = stack.resolver->Distance(0, 1);
+  const double d02 = stack.resolver->Distance(0, 2);
+  const uint64_t calls = stack.resolver->stats().oracle_calls;
+  // Wrap bound: dist(1,2) >= |d01 - d02|; anything below that is proven.
+  const double gap = std::abs(d01 - d02);
+  if (gap > 0.01) {
+    EXPECT_TRUE(stack.resolver->ProvenGreaterThan(1, 2, gap * 0.5));
+    EXPECT_EQ(stack.resolver->stats().decided_by_bounds, 1u);
+  }
+  // An unprovable threshold returns false without resolving.
+  EXPECT_FALSE(stack.resolver->ProvenGreaterThan(1, 2, d01 + d02));
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, calls);
+  // Known pairs answer exactly from the cache.
+  EXPECT_EQ(stack.resolver->ProvenGreaterThan(0, 1, d01 - 0.001), true);
+  EXPECT_EQ(stack.resolver->ProvenGreaterThan(0, 1, d01), false);
+}
+
+TEST(ResolverTest, PairLessWithBothKnownUsesCache) {
+  ResolverStack stack = MakeRandomStack(6, 9);
+  stack.resolver->Distance(0, 1);
+  stack.resolver->Distance(2, 3);
+  const uint64_t calls = stack.resolver->stats().oracle_calls;
+  stack.resolver->PairLess(0, 1, 2, 3);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, calls);
+  EXPECT_EQ(stack.resolver->stats().decided_by_cache, 1u);
+}
+
+TEST(ResolverTest, MismatchedGraphSizeDies) {
+  ResolverStack stack = MakeRandomStack(6, 10);
+  PartialDistanceGraph wrong(7);
+  EXPECT_DEATH({ BoundedResolver r(stack.oracle.get(), &wrong); }, "Check");
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,109 @@
+#include "oracle/road_network.h"
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+RoadNetworkConfig SmallConfig(uint64_t seed) {
+  RoadNetworkConfig config;
+  config.grid_width = 12;
+  config.grid_height = 10;
+  config.seed = seed;
+  return config;
+}
+
+TEST(RoadNetworkTest, GeneratesExpectedNodeCount) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig(1));
+  EXPECT_EQ(net.num_nodes(), 120u);
+  EXPECT_GT(net.num_edges(), 0u);
+}
+
+TEST(RoadNetworkTest, FullyConnectedAfterThinning) {
+  // Aggressive thinning still must yield one component.
+  RoadNetworkConfig config = SmallConfig(3);
+  config.edge_keep_probability = 0.05;
+  const RoadNetwork net = RoadNetwork::Generate(config);
+  const std::vector<double> d = net.ShortestPathsFrom(0);
+  for (uint32_t v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_TRUE(std::isfinite(d[v])) << "node " << v << " unreachable";
+  }
+}
+
+TEST(RoadNetworkTest, ShortestPathsSatisfyMetricAxiomsOnSamples) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig(5));
+  std::mt19937_64 rng(17);
+  // Precompute a few source rows and sample triangles among them.
+  const uint32_t num_sources = 8;
+  std::vector<uint32_t> sources;
+  std::vector<std::vector<double>> rows;
+  for (uint32_t s = 0; s < num_sources; ++s) {
+    const uint32_t node = static_cast<uint32_t>(rng() % net.num_nodes());
+    sources.push_back(node);
+    rows.push_back(net.ShortestPathsFrom(node));
+  }
+  for (uint32_t a = 0; a < num_sources; ++a) {
+    for (uint32_t b = 0; b < num_sources; ++b) {
+      if (sources[a] == sources[b]) continue;
+      const double dab = rows[a][sources[b]];
+      EXPECT_GT(dab, 0.0);
+      EXPECT_NEAR(dab, rows[b][sources[a]], 1e-9);  // symmetry
+      for (uint32_t c = 0; c < num_sources; ++c) {
+        EXPECT_LE(dab, rows[a][sources[c]] + rows[c][sources[b]] + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RoadNetworkTest, DeterministicForFixedSeed) {
+  const RoadNetwork a = RoadNetwork::Generate(SmallConfig(42));
+  const RoadNetwork b = RoadNetwork::Generate(SmallConfig(42));
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.ShortestPathsFrom(7), b.ShortestPathsFrom(7));
+}
+
+TEST(RoadNetworkTest, NearestNodeFindsAnActualMinimizer) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig(9));
+  const uint32_t found = net.NearestNode(3.3, 4.7);
+  const auto& coords = net.coordinates();
+  const auto dist2 = [&](uint32_t v) {
+    const double dx = coords[v].first - 3.3;
+    const double dy = coords[v].second - 4.7;
+    return dx * dx + dy * dy;
+  };
+  for (uint32_t v = 0; v < net.num_nodes(); ++v) {
+    EXPECT_LE(dist2(found), dist2(v) + 1e-12);
+  }
+}
+
+TEST(RoadNetworkOracleTest, ServesSymmetricCachedDistances) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig(11));
+  RoadNetworkOracle oracle(&net, {3, 17, 44, 90});
+  EXPECT_EQ(oracle.num_objects(), 4u);
+  const double d01 = oracle.Distance(0, 1);
+  EXPECT_GT(d01, 0.0);
+  // The reverse lookup must serve from object 0's cached row and agree.
+  EXPECT_DOUBLE_EQ(oracle.Distance(1, 0), d01);
+  // Unrelated pair triggers a new Dijkstra but stays consistent.
+  const double d23 = oracle.Distance(2, 3);
+  EXPECT_DOUBLE_EQ(oracle.Distance(3, 2), d23);
+}
+
+TEST(RoadNetworkOracleTest, DuplicateJunctionsDie) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig(13));
+  EXPECT_DEATH({ RoadNetworkOracle oracle(&net, {5, 9, 5}); }, "distinct");
+}
+
+TEST(RoadNetworkOracleTest, MatchesDirectShortestPath) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig(15));
+  RoadNetworkOracle oracle(&net, {2, 50, 80});
+  const std::vector<double> from2 = net.ShortestPathsFrom(2);
+  EXPECT_DOUBLE_EQ(oracle.Distance(0, 1), from2[50]);
+  EXPECT_DOUBLE_EQ(oracle.Distance(0, 2), from2[80]);
+}
+
+}  // namespace
+}  // namespace metricprox

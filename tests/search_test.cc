@@ -1,0 +1,167 @@
+#include "algo/search.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "algo/reference.h"
+#include "bounds/scheme.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeRandomStack;
+using testing_util::ResolverStack;
+
+TEST(KnnSearchTest, MatchesReferenceGraphRow) {
+  const ObjectId n = 24;
+  ResolverStack stack = MakeRandomStack(n, 81);
+  const KnnGraph expected = ReferenceKnnGraph(stack.oracle.get(), 4);
+  for (ObjectId q = 0; q < n; ++q) {
+    ASSERT_EQ(KnnSearch(stack.resolver.get(), q, 4), expected[q]);
+  }
+}
+
+class KnnSearchSchemeTest : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(KnnSearchSchemeTest, SchemeIndependentResult) {
+  const ObjectId n = 20;
+  ResolverStack stack = MakeRandomStack(n, 82);
+  const KnnGraph expected = ReferenceKnnGraph(stack.oracle.get(), 3);
+
+  ResolverStack plugged = MakeRandomStack(n, 82);
+  SchemeOptions options;
+  auto bounder = MakeAndAttachScheme(GetParam(), plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  for (ObjectId q = 0; q < n; ++q) {
+    ASSERT_EQ(KnnSearch(plugged.resolver.get(), q, 3), expected[q])
+        << SchemeKindName(GetParam()) << " query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, KnnSearchSchemeTest,
+                         ::testing::Values(SchemeKind::kTri,
+                                           SchemeKind::kSplub,
+                                           SchemeKind::kLaesa,
+                                           SchemeKind::kTlaesa));
+
+TEST(RangeSearchTest, MatchesBruteForce) {
+  const ObjectId n = 26;
+  ResolverStack stack = MakeRandomStack(n, 83);
+  for (const double radius : {0.0, 0.3, 0.6, 0.9, 1.5}) {
+    for (ObjectId q = 0; q < n; q += 5) {
+      const auto hits = RangeSearch(stack.resolver.get(), q, radius);
+      std::vector<KnnNeighbor> brute;
+      for (ObjectId v = 0; v < n; ++v) {
+        if (v == q) continue;
+        const double d = stack.oracle->Distance(q, v);
+        if (d <= radius) brute.push_back(KnnNeighbor{v, d});
+      }
+      std::sort(brute.begin(), brute.end(),
+                [](const KnnNeighbor& a, const KnnNeighbor& b) {
+                  if (a.distance != b.distance) return a.distance < b.distance;
+                  return a.id < b.id;
+                });
+      ASSERT_EQ(hits, brute) << "q=" << q << " radius=" << radius;
+    }
+  }
+}
+
+TEST(RangeSearchTest, SchemeSavesCallsOnTightRadius) {
+  const ObjectId n = 40;
+  ResolverStack vanilla = MakeRandomStack(n, 84);
+  RangeSearch(vanilla.resolver.get(), 0, 0.2);
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = MakeRandomStack(n, 84);
+  BootstrapWithLandmarks(plugged.resolver.get(), 5, 1);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const uint64_t before = plugged.resolver->stats().oracle_calls;
+  RangeSearch(plugged.resolver.get(), 0, 0.2);
+  const uint64_t query_calls = plugged.resolver->stats().oracle_calls - before;
+  // The query itself must resolve fewer pairs than the unpruned scan.
+  EXPECT_LT(query_calls, baseline);
+}
+
+TEST(ApproximateDiameterTest, AtLeastHalfTheTrueDiameter) {
+  for (uint64_t seed : {85ull, 86ull, 87ull}) {
+    const ObjectId n = 30;
+    ResolverStack stack = MakeRandomStack(n, seed);
+    const DiameterEstimate est = ApproximateDiameter(stack.resolver.get());
+    double diameter = 0.0;
+    for (ObjectId i = 0; i < n; ++i) {
+      for (ObjectId j = i + 1; j < n; ++j) {
+        diameter = std::max(diameter, stack.oracle->Distance(i, j));
+      }
+    }
+    EXPECT_DOUBLE_EQ(stack.oracle->Distance(est.u, est.v), est.distance);
+    EXPECT_GE(est.distance, diameter / 2.0 - 1e-12);
+    EXPECT_LE(est.distance, diameter + 1e-12);
+  }
+}
+
+TEST(ApproximateDiameterTest, SchemeIndependentResult) {
+  const ObjectId n = 26;
+  ResolverStack vanilla = MakeRandomStack(n, 88);
+  const DiameterEstimate expected = ApproximateDiameter(vanilla.resolver.get());
+
+  ResolverStack plugged = MakeRandomStack(n, 88);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const DiameterEstimate got = ApproximateDiameter(plugged.resolver.get());
+  EXPECT_EQ(got.u, expected.u);
+  EXPECT_EQ(got.v, expected.v);
+  EXPECT_DOUBLE_EQ(got.distance, expected.distance);
+}
+
+TEST(ClosestPairTest, MatchesBruteForce) {
+  for (uint64_t seed : {90ull, 91ull, 92ull}) {
+    const ObjectId n = 30;
+    ResolverStack stack = MakeRandomStack(n, seed);
+    const WeightedEdge got = ClosestPair(stack.resolver.get());
+    WeightedEdge brute{kInvalidObject, kInvalidObject, kInfDistance};
+    for (ObjectId u = 0; u < n; ++u) {
+      for (ObjectId v = u + 1; v < n; ++v) {
+        const double d = stack.oracle->Distance(u, v);
+        if (d < brute.weight) brute = WeightedEdge{u, v, d};
+      }
+    }
+    EXPECT_EQ(got.u, brute.u) << "seed " << seed;
+    EXPECT_EQ(got.v, brute.v) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(got.weight, brute.weight);
+  }
+}
+
+TEST(ClosestPairTest, SchemeIndependentAndSaves) {
+  const ObjectId n = 64;
+  ResolverStack vanilla = MakeRandomStack(n, 93);
+  const WeightedEdge expected = ClosestPair(vanilla.resolver.get());
+  const uint64_t baseline = vanilla.resolver->stats().oracle_calls;
+
+  ResolverStack plugged = MakeRandomStack(n, 93);
+  BootstrapWithLandmarks(plugged.resolver.get(), 6, 1);
+  SchemeOptions options;
+  auto bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, plugged.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok());
+  const WeightedEdge got = ClosestPair(plugged.resolver.get());
+  EXPECT_EQ(got.u, expected.u);
+  EXPECT_EQ(got.v, expected.v);
+  EXPECT_DOUBLE_EQ(got.weight, expected.weight);
+  EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline);
+}
+
+TEST(KnnSearchTest, InvalidArgumentsDie) {
+  ResolverStack stack = MakeRandomStack(6, 89);
+  EXPECT_DEATH(KnnSearch(stack.resolver.get(), 0, 6), "Check");
+  EXPECT_DEATH(RangeSearch(stack.resolver.get(), 0, -1.0), "Check");
+}
+
+}  // namespace
+}  // namespace metricprox

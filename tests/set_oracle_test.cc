@@ -1,0 +1,118 @@
+#include "oracle/set_oracle.h"
+
+#include <random>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+// ---- Hausdorff ----
+
+TEST(HausdorffOracleTest, HandComputedCase) {
+  // A = {(0,0), (1,0)}, B = {(0,1)}:
+  //   h(A,B) = max(1, sqrt(2)) = sqrt(2); h(B,A) = 1  ->  H = sqrt(2).
+  std::vector<PointSet> sets = {
+      {{0.0, 0.0}, {1.0, 0.0}},
+      {{0.0, 1.0}},
+  };
+  HausdorffOracle oracle(std::move(sets));
+  EXPECT_NEAR(oracle.Distance(0, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(oracle.Distance(1, 0), std::sqrt(2.0), 1e-12);
+}
+
+TEST(HausdorffOracleTest, SubsetHasOneSidedZero) {
+  // B subset of A: h(B, A) = 0 but h(A, B) > 0; H takes the max.
+  std::vector<PointSet> sets = {
+      {{0.0, 0.0}, {10.0, 0.0}},
+      {{0.0, 0.0}},
+  };
+  HausdorffOracle oracle(std::move(sets));
+  EXPECT_NEAR(oracle.Distance(0, 1), 10.0, 1e-12);
+}
+
+TEST(HausdorffOracleTest, MetricPropertySweep) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> coord(0.0, 10.0);
+  std::vector<PointSet> sets;
+  for (int s = 0; s < 20; ++s) {
+    PointSet set(2 + rng() % 6, std::vector<double>(2));
+    for (auto& p : set) {
+      p[0] = coord(rng);
+      p[1] = coord(rng);
+    }
+    sets.push_back(std::move(set));
+  }
+  HausdorffOracle oracle(std::move(sets));
+  for (ObjectId i = 0; i < 20; ++i) {
+    for (ObjectId j = 0; j < 20; ++j) {
+      if (i == j) continue;
+      const double dij = oracle.Distance(i, j);
+      ASSERT_GT(dij, 0.0);
+      ASSERT_DOUBLE_EQ(dij, oracle.Distance(j, i));
+      for (ObjectId k = 0; k < 20; ++k) {
+        if (k == i || k == j) continue;
+        ASSERT_LE(dij,
+                  oracle.Distance(i, k) + oracle.Distance(k, j) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(HausdorffOracleTest, RaggedSetsDie) {
+  std::vector<PointSet> ragged = {{{0.0, 0.0}}, {{1.0}}};
+  EXPECT_DEATH({ HausdorffOracle o(std::move(ragged)); }, "ragged");
+}
+
+// ---- Jaccard ----
+
+TEST(JaccardOracleTest, HandComputedCases) {
+  std::vector<std::vector<uint32_t>> sets = {
+      {1, 2, 3},
+      {2, 3, 4},
+      {7, 8},
+      {1, 2, 3, 4},
+  };
+  JaccardOracle oracle(std::move(sets));
+  EXPECT_NEAR(oracle.Distance(0, 1), 1.0 - 2.0 / 4.0, 1e-12);  // {2,3}/{1..4}
+  EXPECT_NEAR(oracle.Distance(0, 2), 1.0, 1e-12);  // disjoint
+  EXPECT_NEAR(oracle.Distance(0, 3), 1.0 - 3.0 / 4.0, 1e-12);
+}
+
+TEST(JaccardOracleTest, MetricPropertySweep) {
+  std::mt19937_64 rng(5);
+  std::vector<std::vector<uint32_t>> sets;
+  std::set<std::vector<uint32_t>> seen;
+  while (sets.size() < 24) {
+    std::vector<uint32_t> set;
+    for (uint32_t e = 0; e < 20; ++e) {
+      if (rng() % 3 == 0) set.push_back(e);
+    }
+    if (set.empty()) continue;
+    if (!seen.insert(set).second) continue;  // identity needs distinct sets
+    sets.push_back(std::move(set));
+  }
+  JaccardOracle oracle(std::move(sets));
+  for (ObjectId i = 0; i < 24; ++i) {
+    for (ObjectId j = i + 1; j < 24; ++j) {
+      const double dij = oracle.Distance(i, j);
+      ASSERT_GT(dij, 0.0);
+      ASSERT_LE(dij, 1.0);
+      ASSERT_DOUBLE_EQ(dij, oracle.Distance(j, i));
+      for (ObjectId k = 0; k < 24; ++k) {
+        if (k == i || k == j) continue;
+        ASSERT_LE(dij,
+                  oracle.Distance(i, k) + oracle.Distance(k, j) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(JaccardOracleTest, UnsortedInputDies) {
+  std::vector<std::vector<uint32_t>> bad = {{3, 1, 2}};
+  EXPECT_DEATH({ JaccardOracle o(std::move(bad)); }, "Check");
+}
+
+}  // namespace
+}  // namespace metricprox

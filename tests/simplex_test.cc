@@ -1,0 +1,165 @@
+#include "lp/simplex.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+TEST(SimplexTest, RejectsMalformedInput) {
+  SimplexSolver solver;
+  DenseLp lp;
+  lp.num_vars = 0;
+  EXPECT_FALSE(solver.Solve(lp).ok());
+
+  lp.num_vars = 2;
+  lp.a = {{1.0}};  // wrong arity
+  lp.b = {1.0};
+  EXPECT_FALSE(solver.Solve(lp).ok());
+
+  lp.a = {{1.0, 1.0}};
+  lp.b = {1.0, 2.0};  // row count mismatch
+  EXPECT_FALSE(solver.Solve(lp).ok());
+}
+
+TEST(SimplexTest, TextbookMaximization) {
+  // max 3x + 5y  s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  ->  optimum 36 at
+  // (2, 6). Minimize the negation.
+  DenseLp lp;
+  lp.num_vars = 2;
+  lp.a = {{1, 0}, {0, 2}, {3, 2}};
+  lp.b = {4, 12, 18};
+  lp.objective = {-3, -5};
+  SimplexSolver solver;
+  auto result = solver.Solve(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->kind, LpResult::Kind::kOptimal);
+  EXPECT_NEAR(result->objective_value, -36.0, 1e-9);
+  EXPECT_NEAR(result->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 6.0, 1e-9);
+}
+
+TEST(SimplexTest, MinimizationWithNegativeRhsNeedsPhase1) {
+  // min x + y  s.t. x + y >= 2 (i.e. -x - y <= -2), x <= 5, y <= 5.
+  DenseLp lp;
+  lp.num_vars = 2;
+  lp.a = {{-1, -1}, {1, 0}, {0, 1}};
+  lp.b = {-2, 5, 5};
+  lp.objective = {1, 1};
+  auto result = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->kind, LpResult::Kind::kOptimal);
+  EXPECT_NEAR(result->objective_value, 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  // x <= 1 and x >= 3 cannot both hold.
+  DenseLp lp;
+  lp.num_vars = 1;
+  lp.a = {{1}, {-1}};
+  lp.b = {1, -3};
+  auto result = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->kind, LpResult::Kind::kInfeasible);
+  auto feasible = SimplexSolver().IsFeasible(lp);
+  ASSERT_TRUE(feasible.ok());
+  EXPECT_FALSE(*feasible);
+}
+
+TEST(SimplexTest, DetectsUnboundedness) {
+  // min -x with only x >= 1: x can grow without bound.
+  DenseLp lp;
+  lp.num_vars = 1;
+  lp.a = {{-1}};
+  lp.b = {-1};
+  lp.objective = {-1};
+  auto result = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->kind, LpResult::Kind::kUnbounded);
+}
+
+TEST(SimplexTest, FeasibilityOnlySolveReturnsAPoint) {
+  DenseLp lp;
+  lp.num_vars = 2;
+  lp.a = {{-1, 0}, {0, -1}, {1, 1}};
+  lp.b = {-0.5, -0.25, 2.0};
+  auto result = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->kind, LpResult::Kind::kOptimal);
+  // The returned point must satisfy every constraint.
+  ASSERT_EQ(result->x.size(), 2u);
+  EXPECT_GE(result->x[0], 0.5 - 1e-9);
+  EXPECT_GE(result->x[1], 0.25 - 1e-9);
+  EXPECT_LE(result->x[0] + result->x[1], 2.0 + 1e-9);
+}
+
+TEST(SimplexTest, DegenerateConstraintsTerminate) {
+  // Multiple redundant copies of the same constraint — classic degeneracy.
+  DenseLp lp;
+  lp.num_vars = 2;
+  lp.a = {{1, 1}, {1, 1}, {1, 1}, {-1, 0}};
+  lp.b = {1, 1, 1, 0};
+  lp.objective = {-1, -1};
+  auto result = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->kind, LpResult::Kind::kOptimal);
+  EXPECT_NEAR(result->objective_value, -1.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityEncodedAsTwoInequalities) {
+  // x + y == 1 (two rows), minimize x -> x = 0, y = 1.
+  DenseLp lp;
+  lp.num_vars = 2;
+  lp.a = {{1, 1}, {-1, -1}};
+  lp.b = {1, -1};
+  lp.objective = {1, 0};
+  auto result = SimplexSolver().Solve(lp);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->kind, LpResult::Kind::kOptimal);
+  EXPECT_NEAR(result->objective_value, 0.0, 1e-9);
+  EXPECT_NEAR(result->x[1], 1.0, 1e-9);
+}
+
+// Property sweep: random box-bounded systems. Feasibility of
+// {l_i <= x_i <= u_i, sum x_i <= s} is decidable by inspection, so we can
+// cross-check the solver's verdict exactly.
+class SimplexRandomBoxTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexRandomBoxTest, BoxPlusBudgetVerdictMatchesClosedForm) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int round = 0; round < 40; ++round) {
+    const int k = 2 + static_cast<int>(rng() % 4);
+    DenseLp lp;
+    lp.num_vars = k;
+    double min_sum = 0.0;
+    for (int v = 0; v < k; ++v) {
+      const double lo = unit(rng);
+      const double hi = lo + unit(rng);
+      std::vector<double> up(k, 0.0);
+      up[v] = 1.0;
+      lp.a.push_back(up);
+      lp.b.push_back(hi);
+      std::vector<double> down(k, 0.0);
+      down[v] = -1.0;
+      lp.a.push_back(down);
+      lp.b.push_back(-lo);
+      min_sum += lo;
+    }
+    const double budget = unit(rng) * 2.0 * static_cast<double>(k);
+    lp.a.push_back(std::vector<double>(k, 1.0));
+    lp.b.push_back(budget);
+
+    auto verdict = SimplexSolver().IsFeasible(lp);
+    ASSERT_TRUE(verdict.ok()) << verdict.status();
+    EXPECT_EQ(*verdict, min_sum <= budget + 1e-9)
+        << "min_sum=" << min_sum << " budget=" << budget;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomBoxTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,80 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kIoError}) {
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  ASSERT_TRUE(v.ok());
+  const std::string out = std::move(v).value();
+  EXPECT_EQ(out, "payload");
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusOrTest, ValueOnErrorDies) {
+  StatusOr<int> v = Status::Internal("boom");
+  EXPECT_DEATH({ (void)v.value(); }, "boom");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::IoError("disk"); };
+  auto wrapper = [&]() -> Status {
+    MP_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIoError);
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper2 = [&]() -> Status {
+    MP_RETURN_IF_ERROR(succeeds());
+    return Status::Unimplemented("reached");
+  };
+  EXPECT_EQ(wrapper2().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,162 @@
+// End-to-end metamorphic stress test: random (dataset, scheme, algorithm)
+// configurations, each asserting the framework's two global invariants —
+//   (1) the plugged run's output equals the unplugged run's, and
+//   (2) the plugged run never makes more oracle calls than all-pairs.
+// This is the broad net behind the per-module tests: any bounder returning
+// an interval that misses the true distance, or any algorithm mishandling
+// a tie, shows up here as a checksum mismatch on some configuration.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algo/clarans.h"
+#include "algo/dbscan.h"
+#include "algo/kcenter.h"
+#include "algo/knn_graph.h"
+#include "algo/kruskal.h"
+#include "algo/linkage.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "algo/search.h"
+#include "bounds/scheme.h"
+#include "data/datasets.h"
+#include "harness/experiment.h"
+
+namespace metricprox {
+namespace {
+
+struct StressCase {
+  const char* dataset;
+  const char* algorithm;
+  SchemeKind scheme;
+  bool bootstrap;
+};
+
+Dataset MakeDataset(const std::string& name, ObjectId n, uint64_t seed) {
+  if (name == "sf") return MakeSfPoiLike(n, seed);
+  if (name == "urbangb") return MakeUrbanGbLike(n, seed);
+  if (name == "flickr") return MakeFlickrLike(n, 64, seed);
+  if (name == "dna") return MakeDnaLike(n, 40, seed);
+  if (name == "clustered") return MakeClusteredEuclidean(n, 3, 4, 0.05, seed);
+  return MakeRandomMetric(n, seed);
+}
+
+Workload MakeWorkload(const std::string& name, uint64_t seed) {
+  if (name == "prim") {
+    return [](BoundedResolver* r) { return PrimMst(r).total_weight; };
+  }
+  if (name == "prim-lazy") {
+    return [](BoundedResolver* r) { return PrimMstLazy(r).total_weight; };
+  }
+  if (name == "kruskal") {
+    return [](BoundedResolver* r) { return KruskalMst(r).total_weight; };
+  }
+  if (name == "knn") {
+    return [](BoundedResolver* r) {
+      double acc = 0.0;
+      for (const auto& row : BuildKnnGraph(r, KnnGraphOptions{3})) {
+        for (const KnnNeighbor& nb : row) acc += nb.distance;
+      }
+      return acc;
+    };
+  }
+  if (name == "pam") {
+    return [](BoundedResolver* r) {
+      PamOptions options;
+      options.num_medoids = 4;
+      const ClusteringResult c = PamCluster(r, options);
+      double acc = c.total_deviation;
+      for (const ObjectId m : c.medoids) acc += m;  // medoid identity too
+      return acc;
+    };
+  }
+  if (name == "clarans") {
+    return [seed](BoundedResolver* r) {
+      ClaransOptions options;
+      options.num_medoids = 4;
+      options.seed = seed;
+      return ClaransCluster(r, options).total_deviation;
+    };
+  }
+  if (name == "kcenter") {
+    return [](BoundedResolver* r) {
+      const KCenterResult c = KCenterCluster(r, 5);
+      double acc = c.radius;
+      for (const ObjectId center : c.centers) acc += center;
+      return acc;
+    };
+  }
+  if (name == "dbscan") {
+    return [](BoundedResolver* r) {
+      DbscanOptions options;
+      options.eps = 0.45;
+      options.min_pts = 3;
+      const DbscanResult c = DbscanCluster(r, options);
+      double acc = c.num_clusters;
+      for (size_t o = 0; o < c.labels.size(); ++o) {
+        acc += static_cast<double>(c.labels[o]) * static_cast<double>(o + 1);
+      }
+      return acc;
+    };
+  }
+  if (name == "linkage") {
+    return [](BoundedResolver* r) {
+      double acc = 0.0;
+      for (const LinkageMerge& m : SingleLinkageCluster(r).merges) {
+        acc += m.height;
+      }
+      return acc;
+    };
+  }
+  // diameter
+  return [](BoundedResolver* r) {
+    const DiameterEstimate d = ApproximateDiameter(r);
+    return d.distance + d.u + d.v;
+  };
+}
+
+class StressTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, const char*, SchemeKind>> {};
+
+TEST_P(StressTest, PluggedEqualsUnpluggedAndNeverOverpays) {
+  const auto [dataset_name, algorithm, scheme] = GetParam();
+  const ObjectId n = 48;
+  const uint64_t seed = 1234;
+  Dataset dataset = MakeDataset(dataset_name, n, seed);
+  const Workload workload = MakeWorkload(algorithm, seed);
+
+  WorkloadConfig vanilla;
+  vanilla.scheme = SchemeKind::kNone;
+  vanilla.seed = seed;
+  const WorkloadResult base =
+      RunWorkload(dataset.oracle.get(), vanilla, workload);
+
+  WorkloadConfig plugged;
+  plugged.scheme = scheme;
+  plugged.bootstrap = (scheme == SchemeKind::kTri);
+  plugged.seed = seed;
+  plugged.max_distance = dataset.max_distance;
+  const WorkloadResult got =
+      RunWorkload(dataset.oracle.get(), plugged, workload);
+
+  EXPECT_NEAR(got.value, base.value, 1e-6 * (1.0 + std::abs(base.value)))
+      << dataset_name << "/" << algorithm << "/" << SchemeKindName(scheme);
+  const uint64_t all_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  EXPECT_LE(got.total_calls, all_pairs);
+  EXPECT_LE(base.total_calls, all_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StressTest,
+    ::testing::Combine(
+        ::testing::Values("sf", "flickr", "dna", "clustered", "random"),
+        ::testing::Values("prim", "prim-lazy", "kruskal", "knn", "pam",
+                          "clarans", "kcenter", "linkage", "dbscan",
+                          "diameter"),
+        ::testing::Values(SchemeKind::kTri, SchemeKind::kLaesa,
+                          SchemeKind::kTlaesa, SchemeKind::kHybrid)));
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,94 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "oracle/matrix_oracle.h"
+
+namespace metricprox {
+namespace {
+
+TEST(SyntheticTest, UniformPointsShapeAndRange) {
+  const PointSet points = UniformPoints(50, 3, 10.0, 1);
+  ASSERT_EQ(points.size(), 50u);
+  for (const auto& p : points) {
+    ASSERT_EQ(p.size(), 3u);
+    for (double c : p) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 10.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, UniformPointsDeterministicPerSeed) {
+  EXPECT_EQ(UniformPoints(10, 2, 1.0, 7), UniformPoints(10, 2, 1.0, 7));
+  EXPECT_NE(UniformPoints(10, 2, 1.0, 7), UniformPoints(10, 2, 1.0, 8));
+}
+
+TEST(SyntheticTest, GaussianMixtureClustersAreTight) {
+  // With tiny spread relative to the range, points concentrate near few
+  // centers: the max nearest-neighbor distance should be much smaller than
+  // the overall diameter.
+  const PointSet points =
+      GaussianMixturePoints(80, 2, 4, /*range=*/100.0, /*spread=*/0.5, 3);
+  double diameter = 0.0;
+  double max_nn = 0.0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    double nn = 1e300;
+    for (size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      const double dx = points[i][0] - points[j][0];
+      const double dy = points[i][1] - points[j][1];
+      const double d = std::sqrt(dx * dx + dy * dy);
+      diameter = std::max(diameter, d);
+      nn = std::min(nn, d);
+    }
+    max_nn = std::max(max_nn, nn);
+  }
+  EXPECT_LT(max_nn * 5.0, diameter);
+}
+
+TEST(SyntheticTest, DnaStringsDistinctAndAlphabetRestricted) {
+  const std::vector<std::string> strings = DnaFamilyStrings(40, 32, 4, 4, 5);
+  ASSERT_EQ(strings.size(), 40u);
+  std::set<std::string> unique(strings.begin(), strings.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (const std::string& s : strings) {
+    EXPECT_GE(s.size(), 4u);
+    for (char c : s) {
+      EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+    }
+  }
+}
+
+TEST(SyntheticTest, RandomShortestPathMetricIsAValidMetric) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    std::vector<double> m = RandomShortestPathMetric(16, 0.9, seed);
+    auto oracle = MatrixOracle::Create(std::move(m), 16);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+  }
+}
+
+TEST(SyntheticTest, RandomMetricNormalizedToUnitDiameter) {
+  const std::vector<double> m = RandomShortestPathMetric(12, 0.9, 4);
+  double max = 0.0;
+  for (double v : m) max = std::max(max, v);
+  EXPECT_DOUBLE_EQ(max, 1.0);
+}
+
+TEST(SyntheticTest, LowRoughnessStaysNearUniform) {
+  // roughness -> 0 gives nearly-equal weights, so closure rarely shortcuts:
+  // all distances should stay within the raw band [1-r, 1+r] normalized.
+  const std::vector<double> m = RandomShortestPathMetric(10, 0.05, 5);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 10; ++j) {
+      if (i == j) continue;
+      EXPECT_GT(m[i * 10 + j], 0.8);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metricprox

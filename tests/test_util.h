@@ -1,0 +1,113 @@
+#ifndef METRICPROX_TESTS_TEST_UTIL_H_
+#define METRICPROX_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "bounds/resolver.h"
+#include "core/oracle.h"
+#include "core/types.h"
+#include "data/synthetic.h"
+#include "graph/partial_graph.h"
+#include "oracle/matrix_oracle.h"
+
+namespace metricprox {
+namespace testing_util {
+
+/// A self-owning oracle + graph + resolver stack for tests.
+struct ResolverStack {
+  std::unique_ptr<DistanceOracle> oracle;
+  std::unique_ptr<PartialDistanceGraph> graph;
+  std::unique_ptr<BoundedResolver> resolver;
+  std::unique_ptr<Bounder> bounder;  // optional, attached when non-null
+};
+
+/// Random shortest-path-closure metric stack of n objects.
+inline ResolverStack MakeRandomStack(ObjectId n, uint64_t seed,
+                                     double roughness = 0.9) {
+  ResolverStack stack;
+  stack.oracle = std::make_unique<MatrixOracle>(
+      RandomShortestPathMetric(n, roughness, seed), n);
+  stack.graph = std::make_unique<PartialDistanceGraph>(n);
+  stack.resolver =
+      std::make_unique<BoundedResolver>(stack.oracle.get(), stack.graph.get());
+  return stack;
+}
+
+/// Full ground-truth matrix read straight from the oracle (bypasses any
+/// resolver accounting).
+inline std::vector<double> GroundTruth(DistanceOracle* oracle) {
+  const ObjectId n = oracle->num_objects();
+  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = 0; j < n; ++j) {
+      if (i != j) d[i * n + j] = oracle->Distance(i, j);
+    }
+  }
+  return d;
+}
+
+/// Resolves `m` distinct random pairs through the resolver (populating the
+/// partial graph the way a proximity algorithm would).
+inline void ResolveRandomPairs(BoundedResolver* resolver, size_t m,
+                               uint64_t seed) {
+  const ObjectId n = resolver->num_objects();
+  std::mt19937_64 rng(seed);
+  size_t resolved = 0;
+  size_t attempts = 0;
+  const size_t max_pairs = static_cast<size_t>(n) * (n - 1) / 2;
+  while (resolved < m && resolved < max_pairs && attempts < 100 * m + 1000) {
+    ++attempts;
+    const ObjectId i = static_cast<ObjectId>(rng() % n);
+    const ObjectId j = static_cast<ObjectId>(rng() % n);
+    if (i == j || resolver->Known(i, j)) continue;
+    resolver->Distance(i, j);
+    ++resolved;
+  }
+}
+
+/// Reference tightest bounds computed independently of every bounder:
+/// Floyd–Warshall over the known edges for TUB, brute-force wrap over every
+/// known edge for TLB.
+struct ReferenceBounds {
+  std::vector<double> sp;  // n*n shortest-path (TUB) matrix
+  ObjectId n;
+
+  explicit ReferenceBounds(const PartialDistanceGraph& graph)
+      : n(graph.num_objects()) {
+    sp.assign(static_cast<size_t>(n) * n, kInfDistance);
+    for (ObjectId i = 0; i < n; ++i) sp[i * n + i] = 0.0;
+    for (const WeightedEdge& e : graph.edges()) {
+      sp[e.u * n + e.v] = std::min(sp[e.u * n + e.v], e.weight);
+      sp[e.v * n + e.u] = sp[e.u * n + e.v];
+    }
+    for (ObjectId k = 0; k < n; ++k) {
+      for (ObjectId i = 0; i < n; ++i) {
+        const double dik = sp[i * n + k];
+        if (dik == kInfDistance) continue;
+        for (ObjectId j = 0; j < n; ++j) {
+          const double via = dik + sp[k * n + j];
+          if (via < sp[i * n + j]) sp[i * n + j] = via;
+        }
+      }
+    }
+  }
+
+  double Tub(ObjectId i, ObjectId j) const { return sp[i * n + j]; }
+
+  double Tlb(const PartialDistanceGraph& graph, ObjectId i,
+             ObjectId j) const {
+    double lb = 0.0;
+    for (const WeightedEdge& e : graph.edges()) {
+      lb = std::max(lb, e.weight - sp[i * n + e.u] - sp[e.v * n + j]);
+      lb = std::max(lb, e.weight - sp[i * n + e.v] - sp[e.u * n + j]);
+    }
+    return std::min(lb, Tub(i, j));
+  }
+};
+
+}  // namespace testing_util
+}  // namespace metricprox
+
+#endif  // METRICPROX_TESTS_TEST_UTIL_H_

@@ -1,0 +1,94 @@
+#include "oracle/trajectory_oracle.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+TEST(FrechetTest, IdenticalTrajectoriesAreAtZero) {
+  const Trajectory t = {{0, 0}, {1, 0}, {2, 1}};
+  EXPECT_DOUBLE_EQ(FrechetOracle::DiscreteFrechet(t, t), 0.0);
+}
+
+TEST(FrechetTest, ParallelSegmentsAtConstantOffset) {
+  // Two horizontal three-point lines, vertical offset 2: the dog leash
+  // never needs to exceed 2.
+  const Trajectory p = {{0, 0}, {1, 0}, {2, 0}};
+  const Trajectory q = {{0, 2}, {1, 2}, {2, 2}};
+  EXPECT_NEAR(FrechetOracle::DiscreteFrechet(p, q), 2.0, 1e-12);
+}
+
+TEST(FrechetTest, OrderMattersUnlikeHausdorff) {
+  // Same point sets, opposite traversal order: the coupling must go
+  // backwards, so the Fréchet distance is the full span, not 0.
+  const Trajectory p = {{0, 0}, {5, 0}};
+  const Trajectory q = {{5, 0}, {0, 0}};
+  EXPECT_NEAR(FrechetOracle::DiscreteFrechet(p, q), 5.0, 1e-12);
+}
+
+TEST(FrechetTest, SymmetricInArguments) {
+  const Trajectory p = {{0, 0}, {1, 2}, {4, 1}, {5, 5}};
+  const Trajectory q = {{0, 1}, {2, 2}, {5, 4}};
+  EXPECT_DOUBLE_EQ(FrechetOracle::DiscreteFrechet(p, q),
+                   FrechetOracle::DiscreteFrechet(q, p));
+}
+
+TEST(FrechetTest, LowerBoundedByEndpointDistances) {
+  // The coupling must pair the first points and the last points.
+  const Trajectory p = {{0, 0}, {1, 1}};
+  const Trajectory q = {{3, 4}, {1, 1}};
+  const double d = FrechetOracle::DiscreteFrechet(p, q);
+  EXPECT_GE(d, 5.0 - 1e-12);  // ||p0 - q0|| = 5
+}
+
+TEST(FrechetOracleTest, MetricPropertySweepOnRandomWalks) {
+  const ObjectId n = 18;
+  FrechetOracle oracle(
+      RandomWalkTrajectories(n, /*length=*/16, /*num_families=*/4,
+                             /*jitter=*/0.3, /*seed=*/7));
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = i + 1; j < n; ++j) {
+      const double dij = oracle.Distance(i, j);
+      ASSERT_GT(dij, 0.0) << "generator produced coincident trajectories";
+      ASSERT_DOUBLE_EQ(dij, oracle.Distance(j, i));
+      for (ObjectId k = 0; k < n; ++k) {
+        if (k == i || k == j) continue;
+        ASSERT_LE(dij, oracle.Distance(i, k) + oracle.Distance(k, j) + 1e-9)
+            << "(" << i << "," << j << ") via " << k;
+      }
+    }
+  }
+}
+
+TEST(RandomWalkTrajectoriesTest, FamiliesAreFrechetClusters) {
+  // Same-family trajectories stay within a few jitter radii; cross-family
+  // distances reflect the separated anchor walks.
+  const std::vector<Trajectory> ts =
+      RandomWalkTrajectories(30, 20, /*num_families=*/3, /*jitter=*/0.1, 11);
+  ASSERT_EQ(ts.size(), 30u);
+  double min_cross = 1e300;
+  double max_within = 0.0;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    for (size_t j = i + 1; j < ts.size(); ++j) {
+      const double d = FrechetOracle::DiscreteFrechet(ts[i], ts[j]);
+      if (d < 2.0) {
+        max_within = std::max(max_within, d);
+      } else {
+        min_cross = std::min(min_cross, d);
+      }
+    }
+  }
+  // With 100-unit-spread anchors vs 0.1 jitter, the two populations are
+  // well separated.
+  EXPECT_LT(max_within * 3.0, min_cross);
+}
+
+TEST(FrechetOracleTest, EmptyTrajectoryDies) {
+  std::vector<Trajectory> bad = {{{0, 0}}, {}};
+  EXPECT_DEATH({ FrechetOracle o(std::move(bad)); }, "empty");
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,79 @@
+#include "core/types.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+TEST(EdgeKeyTest, UnorderedPairNormalization) {
+  const EdgeKey a(3, 7);
+  const EdgeKey b(7, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.lo(), 3u);
+  EXPECT_EQ(a.hi(), 7u);
+}
+
+TEST(EdgeKeyTest, DistinctPairsDiffer) {
+  EXPECT_FALSE(EdgeKey(1, 2) == EdgeKey(1, 3));
+  EXPECT_FALSE(EdgeKey(0, 5) == EdgeKey(1, 5));
+}
+
+TEST(EdgeKeyTest, OrderingIsLexicographicOnNormalizedPair) {
+  EXPECT_LT(EdgeKey(0, 9).packed(), EdgeKey(1, 2).packed());
+  EXPECT_TRUE(EdgeKey(0, 9) < EdgeKey(1, 2));
+}
+
+TEST(EdgeKeyTest, HashSpreadsOverBuckets) {
+  EdgeKeyHash hasher;
+  std::unordered_set<size_t> hashes;
+  for (ObjectId i = 0; i < 40; ++i) {
+    for (ObjectId j = i + 1; j < 40; ++j) {
+      hashes.insert(hasher(EdgeKey(i, j)));
+    }
+  }
+  // All 780 pairs should hash distinctly for a decent mixer.
+  EXPECT_EQ(hashes.size(), 40u * 39u / 2u);
+}
+
+TEST(IntervalTest, ExactAndUnbounded) {
+  const Interval e = Interval::Exact(0.25);
+  EXPECT_TRUE(e.IsExact());
+  EXPECT_EQ(e.width(), 0.0);
+  EXPECT_TRUE(e.Contains(0.25));
+  EXPECT_FALSE(e.Contains(0.2500001));
+
+  const Interval u = Interval::Unbounded();
+  EXPECT_FALSE(u.IsExact());
+  EXPECT_TRUE(u.Contains(1e100));
+  EXPECT_FALSE(u.Contains(-0.1));
+}
+
+TEST(IntervalTest, IntersectionTightens) {
+  const Interval a(0.2, 0.9);
+  const Interval b(0.4, 1.5);
+  const Interval c = a.IntersectedWith(b);
+  EXPECT_DOUBLE_EQ(c.lo, 0.4);
+  EXPECT_DOUBLE_EQ(c.hi, 0.9);
+}
+
+TEST(IntervalTest, DisjointIntersectionDies) {
+  const Interval a(0.0, 0.3);
+  const Interval b(0.5, 0.8);
+  EXPECT_DEATH({ (void)a.IntersectedWith(b); }, "disjoint");
+}
+
+TEST(IntervalTest, SelfEdgeKeyDisallowed) {
+  // EdgeKey(i, i) is a programming error; it must die in debug builds and
+  // is simply undefined in release, so only assert the DCHECK contract when
+  // active.
+#if METRICPROX_DCHECK_ACTIVE
+  EXPECT_DEATH({ EdgeKey key(4, 4); }, "self-edge");
+#else
+  GTEST_SKIP() << "DCHECKs compiled out";
+#endif
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,65 @@
+#include "graph/union_find.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace metricprox {
+namespace {
+
+TEST(UnionFindTest, StartsFullySeparated) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  EXPECT_TRUE(uf.Connected(2, 2));
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_TRUE(uf.Union(0, 3));
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_TRUE(uf.Connected(1, 2));
+}
+
+TEST(UnionFindTest, TransitivityOverChain) {
+  const uint32_t n = 100;
+  UnionFind uf(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+}
+
+TEST(UnionFindTest, RandomizedAgainstNaiveLabels) {
+  std::mt19937_64 rng(99);
+  const uint32_t n = 64;
+  UnionFind uf(n);
+  std::vector<uint32_t> label(n);
+  for (uint32_t i = 0; i < n; ++i) label[i] = i;
+
+  for (int step = 0; step < 500; ++step) {
+    const uint32_t a = static_cast<uint32_t>(rng() % n);
+    const uint32_t b = static_cast<uint32_t>(rng() % n);
+    if (rng() % 2 == 0) {
+      const bool merged = uf.Union(a, b);
+      EXPECT_EQ(merged, label[a] != label[b]);
+      if (label[a] != label[b]) {
+        const uint32_t from = label[b];
+        const uint32_t to = label[a];
+        for (uint32_t i = 0; i < n; ++i) {
+          if (label[i] == from) label[i] = to;
+        }
+      }
+    } else {
+      EXPECT_EQ(uf.Connected(a, b), label[a] == label[b]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metricprox

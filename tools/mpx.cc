@@ -1,0 +1,262 @@
+// mpx — command-line front end for the metricprox library.
+//
+// Run any built-in proximity workload over any built-in dataset, under any
+// bound scheme, with full oracle-call accounting:
+//
+//   mpx mst     --dataset=sf --n=256 --scheme=tri --bootstrap
+//   mpx knn     --dataset=dna --n=200 --k=5 --scheme=laesa
+//   mpx cluster --method=pam --l=10 --dataset=urbangb --scheme=tri
+//   mpx join    --radius=8 --dataset=flickr --scheme=tri --bootstrap
+//   mpx diameter --dataset=random --n=64 --scheme=splub
+//
+// Common flags:
+//   --dataset=sf|urbangb|flickr|dna|clustered|random   (default sf)
+//   --n=<objects>            --seed=<seed>
+//   --scheme=none|tri|splub|adm|adm-classic|laesa|tlaesa|dft|tri+laesa
+//   --bootstrap              resolve a landmark star first (tri/splub/adm)
+//   --landmarks=<k>          0 = ceil(log2 n)
+//   --oracle-cost=<seconds>  simulated per-call latency
+//   --verify                 wrap the oracle in metric-axiom spot checks
+//   --save-graph=<path>      checkpoint resolved distances afterwards
+//   --load-graph=<path>      start from a checkpoint (same dataset/seed!)
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "algo/boruvka.h"
+#include "algo/clarans.h"
+#include "algo/dbscan.h"
+#include "algo/join.h"
+#include "algo/kcenter.h"
+#include "algo/knn_graph.h"
+#include "algo/kruskal.h"
+#include "algo/linkage.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "algo/search.h"
+#include "bounds/pivots.h"
+#include "bounds/resolver.h"
+#include "bounds/scheme.h"
+#include "core/stats.h"
+#include "data/datasets.h"
+#include "graph/graph_io.h"
+#include "harness/flags.h"
+#include "harness/table.h"
+#include "oracle/wrappers.h"
+
+namespace metricprox {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "mpx: %s\n", message.c_str());
+  return 1;
+}
+
+StatusOr<Dataset> MakeDataset(const std::string& name, ObjectId n,
+                              uint64_t seed) {
+  if (name == "sf") return MakeSfPoiLike(n, seed);
+  if (name == "urbangb") return MakeUrbanGbLike(n, seed);
+  if (name == "flickr") return MakeFlickrLike(n, 256, seed);
+  if (name == "dna") return MakeDnaLike(n, 80, seed);
+  if (name == "clustered") {
+    return MakeClusteredEuclidean(n, 3, 6, 0.05, seed);
+  }
+  if (name == "random") return MakeRandomMetric(n, seed);
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+void PrintStats(const BoundedResolver& resolver, ObjectId n,
+                double oracle_cost, double simulated_seconds,
+                double wall_seconds) {
+  const ResolverStats& s = resolver.stats();
+  const uint64_t all_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
+  TablePrinter table({"metric", "value"});
+  table.NewRow().AddCell("oracle calls").AddUint(s.oracle_calls);
+  table.NewRow().AddCell("all-pairs budget").AddUint(all_pairs);
+  table.NewRow().AddCell("calls saved (%)").AddPercent(
+      1.0 - static_cast<double>(s.oracle_calls) /
+                static_cast<double>(all_pairs));
+  table.NewRow().AddCell("comparisons").AddUint(s.comparisons);
+  table.NewRow().AddCell("decided by bounds").AddUint(s.decided_by_bounds);
+  table.NewRow().AddCell("decided by cache").AddUint(s.decided_by_cache);
+  table.NewRow().AddCell("decided by oracle").AddUint(s.decided_by_oracle);
+  table.NewRow().AddCell("scheme CPU (s)").AddDouble(s.bounder_seconds, 4);
+  table.NewRow().AddCell("wall time (s)").AddDouble(wall_seconds, 3);
+  if (oracle_cost > 0) {
+    table.NewRow()
+        .AddCell("simulated oracle time (s)")
+        .AddDouble(simulated_seconds, 1);
+    table.NewRow()
+        .AddCell("completion time (s)")
+        .AddDouble(wall_seconds + simulated_seconds, 1);
+  }
+  table.Print("\nAccounting");
+}
+
+int Run(const std::string& command, const Flags& flags) {
+  const ObjectId n = static_cast<ObjectId>(flags.GetInt("n", 256));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const std::string dataset_name = flags.GetString("dataset", "sf");
+  const std::string scheme_name = flags.GetString("scheme", "tri");
+  const bool bootstrap = flags.GetBool("bootstrap", false);
+  const uint32_t landmarks =
+      static_cast<uint32_t>(flags.GetInt("landmarks", 0));
+  const double oracle_cost = flags.GetDouble("oracle-cost", 0.0);
+  const bool verify = flags.GetBool("verify", false);
+  const std::string save_graph = flags.GetString("save-graph", "");
+  const std::string load_graph = flags.GetString("load-graph", "");
+
+  StatusOr<Dataset> dataset = MakeDataset(dataset_name, n, seed);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  StatusOr<SchemeKind> scheme = ParseSchemeKind(scheme_name);
+  if (!scheme.ok()) return Fail(scheme.status().ToString());
+
+  // Oracle stack: base -> (verify) -> simulated cost.
+  DistanceOracle* oracle = dataset->oracle.get();
+  std::unique_ptr<VerifyingOracle> verifier;
+  if (verify) {
+    verifier = std::make_unique<VerifyingOracle>(oracle, 32);
+    oracle = verifier.get();
+  }
+  SimulatedCostOracle costed(oracle, oracle_cost);
+
+  PartialDistanceGraph graph(n);
+  if (!load_graph.empty()) {
+    StatusOr<PartialDistanceGraph> loaded = LoadGraph(load_graph);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    if (loaded->num_objects() != n) {
+      return Fail("checkpoint has a different object count");
+    }
+    graph = std::move(*loaded);
+    std::printf("resumed %zu resolved distances from %s\n",
+                graph.num_edges(), load_graph.c_str());
+  }
+  BoundedResolver resolver(&costed, &graph);
+  if (bootstrap) {
+    BootstrapWithLandmarks(
+        &resolver, landmarks > 0 ? landmarks : DefaultNumLandmarks(n), seed);
+  }
+  SchemeOptions options;
+  options.num_landmarks = landmarks;
+  options.max_distance = dataset->max_distance;
+  options.seed = seed;
+  auto bounder = MakeAndAttachScheme(*scheme, &resolver, options);
+  if (!bounder.ok()) return Fail(bounder.status().ToString());
+
+  std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu\n",
+              command.c_str(), dataset->name.c_str(), n,
+              SchemeKindName(*scheme).data(), bootstrap ? "+bootstrap" : "",
+              static_cast<unsigned long long>(seed));
+
+  Stopwatch watch;
+  if (command == "mst") {
+    const std::string algorithm = flags.GetString("algorithm", "prim");
+    MstResult mst;
+    if (algorithm == "prim") {
+      mst = PrimMst(&resolver);
+    } else if (algorithm == "kruskal") {
+      mst = KruskalMst(&resolver);
+    } else if (algorithm == "boruvka") {
+      mst = BoruvkaMst(&resolver);
+    } else {
+      return Fail("unknown --algorithm (prim|kruskal|boruvka)");
+    }
+    std::printf("MST: %zu edges, total weight %.6f\n", mst.edges.size(),
+                mst.total_weight);
+  } else if (command == "knn") {
+    const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 5));
+    const KnnGraph knn = BuildKnnGraph(&resolver, KnnGraphOptions{k});
+    double mean = 0.0;
+    for (const auto& row : knn) mean += row.back().distance;
+    std::printf("%u-NN graph built; mean k-th distance %.6f\n", k,
+                mean / static_cast<double>(n));
+  } else if (command == "cluster") {
+    const std::string method = flags.GetString("method", "pam");
+    const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 10));
+    if (method == "pam") {
+      PamOptions pam;
+      pam.num_medoids = l;
+      const ClusteringResult c = PamCluster(&resolver, pam);
+      std::printf("PAM: %u medoids, total deviation %.6f, %u swap rounds\n",
+                  l, c.total_deviation, c.iterations);
+    } else if (method == "clarans") {
+      ClaransOptions clarans;
+      clarans.num_medoids = l;
+      clarans.seed = seed;
+      const ClusteringResult c = ClaransCluster(&resolver, clarans);
+      std::printf("CLARANS: %u medoids, total deviation %.6f\n", l,
+                  c.total_deviation);
+    } else if (method == "kcenter") {
+      const KCenterResult c = KCenterCluster(&resolver, l);
+      std::printf("k-center: %u centers, radius %.6f\n", l, c.radius);
+    } else if (method == "dbscan") {
+      DbscanOptions dbscan;
+      dbscan.eps = flags.GetDouble("eps", 1.0);
+      dbscan.min_pts = static_cast<uint32_t>(flags.GetInt("min-pts", 4));
+      const DbscanResult c = DbscanCluster(&resolver, dbscan);
+      uint32_t noise = 0;
+      for (const int32_t label : c.labels) {
+        if (label == DbscanResult::kNoise) ++noise;
+      }
+      std::printf("DBSCAN(eps=%.3f, minPts=%u): %u clusters, %u noise "
+                  "points\n",
+                  dbscan.eps, dbscan.min_pts, c.num_clusters, noise);
+    } else if (method == "linkage") {
+      const SingleLinkageResult c = SingleLinkageCluster(&resolver);
+      std::printf("single-linkage: %zu merges, heights %.4f .. %.4f\n",
+                  c.merges.size(), c.merges.front().height,
+                  c.merges.back().height);
+    } else {
+      return Fail("unknown --method (pam|clarans|dbscan|kcenter|linkage)");
+    }
+  } else if (command == "join") {
+    const double radius = flags.GetDouble("radius", 1.0);
+    const auto matches = SimilarityJoin(&resolver, radius);
+    std::printf("similarity join (radius %.4f): %zu matching pairs\n",
+                radius, matches.size());
+  } else if (command == "diameter") {
+    const DiameterEstimate d = ApproximateDiameter(&resolver);
+    std::printf("diameter >= %.6f (between objects %u and %u; 2-approx)\n",
+                d.distance, d.u, d.v);
+  } else {
+    return Fail("unknown command: " + command +
+                " (mst|knn|cluster|join|diameter)");
+  }
+  const double wall = watch.ElapsedSeconds();
+
+  if (const Status s = flags.FailOnUnused(); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  PrintStats(resolver, n, oracle_cost, costed.simulated_seconds(), wall);
+  if (verifier != nullptr) {
+    std::printf("metric spot checks passed: %llu\n",
+                static_cast<unsigned long long>(verifier->checks_performed()));
+  }
+  if (!save_graph.empty()) {
+    const Status s = SaveGraph(graph, save_graph);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("checkpointed %zu resolved distances to %s\n",
+                graph.num_edges(), save_graph.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace metricprox
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: mpx <mst|knn|cluster|join|diameter> [--flags]\n"
+                 "run `head -30 tools/mpx.cc` for the flag reference\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  auto flags = metricprox::Flags::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "mpx: %s\n", flags.status().ToString().c_str());
+    return 1;
+  }
+  return metricprox::Run(command, *flags);
+}
