@@ -1,5 +1,7 @@
 #include "algo/boruvka.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "core/logging.h"
@@ -20,6 +22,11 @@ bool KeyLess(ObjectId au, ObjectId av, ObjectId bu, ObjectId bv) {
   return EdgeKey(au, av) < EdgeKey(bu, bv);
 }
 
+// Pairs triaged between two oracle round-trips. Small enough to keep
+// incumbents fresh (stale incumbents admit pairs a sequential scan would
+// have discarded), large enough to amortize a BatchDistance call.
+constexpr size_t kTriageChunk = 64;
+
 }  // namespace
 
 MstResult BoruvkaMst(BoundedResolver* resolver) {
@@ -30,41 +37,91 @@ MstResult BoruvkaMst(BoundedResolver* resolver) {
   result.edges.reserve(n - 1);
 
   UnionFind forest(n);
+  std::vector<IdPair> cross;
+  std::vector<IdPair> to_resolve;
   while (forest.num_components() > 1) {
-    // Per component root: the best outgoing edge found this round.
+    // Per component root: the best outgoing edge found this round, under
+    // the strict (weight, EdgeKey) total order — so the per-round winner
+    // for each component is unique and independent of scan order.
     std::vector<WeightedEdge> best(n,
                                    WeightedEdge{kInvalidObject, kInvalidObject,
                                                 kInfDistance});
+    auto update = [&](ObjectId u, ObjectId v, double d) {
+      for (const uint32_t c : {forest.Find(u), forest.Find(v)}) {
+        WeightedEdge& incumbent = best[c];
+        if (incumbent.u == kInvalidObject ||
+            EdgeLess(d, u, v, incumbent.weight, incumbent.u, incumbent.v)) {
+          incumbent = WeightedEdge{u, v, d};
+        }
+      }
+    };
+
+    // Enumerate this round's cross-component pairs; seed every incumbent
+    // from the cache (free — these distances are already resolved).
+    cross.clear();
     for (ObjectId u = 0; u < n; ++u) {
       const uint32_t cu = forest.Find(u);
       for (ObjectId v = u + 1; v < n; ++v) {
-        const uint32_t cv = forest.Find(v);
-        if (cu == cv) continue;
-        // Try to beat both components' incumbents under (w, key) order,
-        // resolving the distance only when the scheme cannot refute it.
-        for (const uint32_t c : {cu, cv}) {
-          WeightedEdge& incumbent = best[c];
-          if (incumbent.u == kInvalidObject) {
-            const double d = resolver->Distance(u, v);
-            incumbent = WeightedEdge{u, v, d};
-            continue;
-          }
-          bool resolve;
-          if (KeyLess(u, v, incumbent.u, incumbent.v)) {
-            // A tie would also win: only a *strictly greater* distance can
-            // be discarded without resolving.
-            resolve = !resolver->ProvenGreaterThan(u, v, incumbent.weight);
+        if (cu == forest.Find(v)) continue;
+        cross.push_back(IdPair{u, v});
+        if (resolver->Known(u, v)) update(u, v, resolver->Distance(u, v));
+      }
+    }
+
+    // Components still without an incumbent take their first cross pair in
+    // scan order, resolved in one batch (a component cannot triage against
+    // nothing).
+    to_resolve.clear();
+    std::vector<bool> has_seed(n, false);
+    for (const IdPair& p : cross) {
+      const uint32_t cu = forest.Find(p.i);
+      const uint32_t cv = forest.Find(p.j);
+      const bool cu_ok = best[cu].u != kInvalidObject || has_seed[cu];
+      const bool cv_ok = best[cv].u != kInvalidObject || has_seed[cv];
+      if (cu_ok && cv_ok) continue;
+      to_resolve.push_back(p);
+      has_seed[cu] = true;
+      has_seed[cv] = true;
+    }
+    resolver->ResolveAll(to_resolve);
+    for (const IdPair& p : to_resolve) {
+      update(p.i, p.j, resolver->Distance(p.i, p.j));
+    }
+
+    // Chunked triage: within each chunk, try to refute every unresolved
+    // pair against both incumbents using bounds only (the tie rule follows
+    // the (weight, key) order: a key-smaller pair survives ties, so only a
+    // strictly greater distance discards it; a key-greater pair loses
+    // ties, so >= discards). Survivors resolve in one batch, then the
+    // incumbents absorb the chunk's exact distances in scan order.
+    for (size_t begin = 0; begin < cross.size(); begin += kTriageChunk) {
+      const size_t end = std::min(cross.size(), begin + kTriageChunk);
+      to_resolve.clear();
+      for (size_t k = begin; k < end; ++k) {
+        const IdPair p = cross[k];
+        if (resolver->Known(p.i, p.j)) continue;
+        bool needed = false;
+        for (const uint32_t c : {forest.Find(p.i), forest.Find(p.j)}) {
+          const WeightedEdge& incumbent = best[c];
+          if (KeyLess(p.i, p.j, incumbent.u, incumbent.v)) {
+            // A tie would also win: only a *strictly greater* distance
+            // can be discarded without resolving.
+            if (!resolver->ProvenGreaterThan(p.i, p.j, incumbent.weight)) {
+              needed = true;
+            }
           } else {
-            // A tie loses: discard unless strictly smaller is possible.
-            resolve = resolver->LessThan(u, v, incumbent.weight);
-          }
-          if (!resolve) continue;
-          const double d = resolver->Distance(u, v);
-          if (EdgeLess(d, u, v, incumbent.weight, incumbent.u,
-                       incumbent.v)) {
-            incumbent = WeightedEdge{u, v, d};
+            // A tie loses: discard once >= the incumbent is proven.
+            if (!resolver->ProvenGreaterOrEqual(p.i, p.j,
+                                                incumbent.weight)) {
+              needed = true;
+            }
           }
         }
+        if (needed) to_resolve.push_back(p);
+      }
+      resolver->ResolveAll(to_resolve);
+      for (const IdPair& p : to_resolve) {
+        update(p.i, p.j, resolver->Distance(p.i, p.j));
       }
     }
     // Contract: add every component's best edge (skipping the duplicate

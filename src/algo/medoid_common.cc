@@ -20,6 +20,18 @@ AssignmentTable ComputeAssignment(BoundedResolver* resolver,
   table.dist_nearest.assign(n, kInfDistance);
   table.dist_second.assign(n, kInfDistance);
 
+  // Every object-to-medoid distance is needed, so ship the whole j x m grid
+  // to the oracle in one batch (already-cached pairs cost nothing), then run
+  // the nearest / second-nearest bookkeeping on cache reads.
+  std::vector<IdPair> grid;
+  grid.reserve(static_cast<size_t>(n) * medoids.size());
+  for (ObjectId j = 0; j < n; ++j) {
+    for (const ObjectId m : medoids) {
+      grid.push_back(IdPair{j, m});
+    }
+  }
+  resolver->ResolveAll(grid);
+
   for (ObjectId j = 0; j < n; ++j) {
     for (uint32_t m = 0; m < medoids.size(); ++m) {
       const double d = resolver->Distance(j, medoids[m]);  // 0 for j itself
@@ -44,7 +56,30 @@ double SwapDelta(BoundedResolver* resolver,
   DCHECK_LT(out_index, medoids.size());
   DCHECK(!IsMedoid(medoids, h));
   const ObjectId n = resolver->num_objects();
+
+  // One batched sweep decides every per-object comparison (against ds(j)
+  // when j loses its medoid, against dn(j) otherwise); the objects h got
+  // strictly closer to are then resolved in one oracle round-trip.
+  std::vector<IdPair> pairs;
+  std::vector<double> thresholds;
+  pairs.reserve(n);
+  thresholds.reserve(n);
+  for (ObjectId j = 0; j < n; ++j) {
+    if (j == h) continue;
+    pairs.push_back(IdPair{j, h});
+    thresholds.push_back(table.nearest[j] == out_index
+                             ? table.dist_second[j]
+                             : table.dist_nearest[j]);
+  }
+  const std::vector<bool> closer = resolver->FilterLessThan(pairs, thresholds);
+  std::vector<IdPair> winners;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    if (closer[k]) winners.push_back(pairs[k]);
+  }
+  resolver->ResolveAll(winners);
+
   double delta = 0.0;
+  size_t k = 0;
   for (ObjectId j = 0; j < n; ++j) {
     if (j == h) {
       // h becomes a medoid: its old contribution disappears.
@@ -53,17 +88,18 @@ double SwapDelta(BoundedResolver* resolver,
     }
     const double dn = table.dist_nearest[j];
     const double ds = table.dist_second[j];
+    const bool moves_to_h = closer[k++];
     if (table.nearest[j] == out_index) {
       // j loses its medoid: it moves to h or to its old second-nearest.
       // (The outgoing medoid itself falls in this case with dn = 0.)
-      if (resolver->LessThan(j, h, ds)) {
+      if (moves_to_h) {
         delta += resolver->Distance(j, h) - dn;
       } else {
         delta += ds - dn;  // decided without resolving d(j, h)
       }
     } else {
       // j keeps its medoid unless h is strictly closer.
-      if (resolver->LessThan(j, h, dn)) {
+      if (moves_to_h) {
         delta += resolver->Distance(j, h) - dn;
       }
       // else: contributes 0 — the common case the scheme prunes for free.

@@ -19,16 +19,36 @@ MstResult PrimMst(BoundedResolver* resolver) {
 
   ObjectId current = 0;
   in_tree[0] = true;
+  std::vector<IdPair> pairs;
+  std::vector<double> thresholds;
+  std::vector<ObjectId> verts;
+  std::vector<IdPair> winners;
   for (ObjectId round = 1; round < n; ++round) {
-    // Relax every out-of-tree vertex against the newly added one. The
-    // bound scheme earns its keep here: a proven LB(current, v) >= key[v]
-    // skips the oracle entirely.
+    // Relax every out-of-tree vertex against the newly added one, as one
+    // batched sweep: FilterLessThan decides every `d(current, v) < key[v]`
+    // in a single cache + bounder pass (the bound scheme earns its keep
+    // here — a proven LB >= key[v] skips the oracle), and the winners are
+    // then resolved in one oracle round-trip.
+    pairs.clear();
+    thresholds.clear();
+    verts.clear();
     for (ObjectId v = 0; v < n; ++v) {
       if (in_tree[v]) continue;
-      if (resolver->LessThan(current, v, key[v])) {
-        key[v] = resolver->Distance(current, v);
-        parent[v] = current;
-      }
+      pairs.push_back(IdPair{current, v});
+      thresholds.push_back(key[v]);
+      verts.push_back(v);
+    }
+    const std::vector<bool> improves =
+        resolver->FilterLessThan(pairs, thresholds);
+    winners.clear();
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      if (improves[k]) winners.push_back(pairs[k]);
+    }
+    resolver->ResolveAll(winners);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      if (!improves[k]) continue;
+      key[verts[k]] = resolver->Distance(current, verts[k]);
+      parent[verts[k]] = current;
     }
     // Extract the minimum-key vertex (ties toward the smallest id, matching
     // the classical implementation).

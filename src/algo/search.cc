@@ -40,6 +40,12 @@ struct HeapLess {
   }
 };
 
+// Candidates triaged between two oracle round-trips. The running k-th
+// distance only shrinks, so a candidate proven farther at triage time stays
+// discardable after later admits — chunking never costs exactness, it only
+// trades incumbent freshness for batch size.
+constexpr size_t kKnnChunk = 32;
+
 }  // namespace
 
 std::vector<KnnNeighbor> KnnSearch(BoundedResolver* resolver, ObjectId query,
@@ -50,20 +56,45 @@ std::vector<KnnNeighbor> KnnSearch(BoundedResolver* resolver, ObjectId query,
   CHECK_GT(n, k);
   CHECK_LT(query, n);
 
+  const std::vector<Candidate> candidates =
+      CandidatesByLowerBound(resolver, query);
+
+  // Seed the heap with the first k candidates, resolved in one batch.
   std::priority_queue<KnnNeighbor, std::vector<KnnNeighbor>, HeapLess> best;
-  for (const Candidate& c : CandidatesByLowerBound(resolver, query)) {
-    const ObjectId v = c.id;
-    if (best.size() < k) {
-      best.push(KnnNeighbor{v, resolver->Distance(query, v)});
-      continue;
-    }
+  std::vector<IdPair> batch;
+  for (size_t c = 0; c < k; ++c) {
+    batch.push_back(IdPair{query, candidates[c].id});
+  }
+  resolver->ResolveAll(batch);
+  for (size_t c = 0; c < k; ++c) {
+    const ObjectId v = candidates[c].id;
+    best.push(KnnNeighbor{v, resolver->Distance(query, v)});
+  }
+
+  // Chunked rounds over the remaining candidates: a bounds-only sweep
+  // against the current k-th distance, one batched resolution of the
+  // survivors, then sequential admits under the (distance, id) tie rule.
+  std::vector<ObjectId> survivors;
+  for (size_t begin = k; begin < candidates.size(); begin += kKnnChunk) {
+    const size_t end = std::min(candidates.size(), begin + kKnnChunk);
     const double t = best.top().distance;
-    const ObjectId tid = best.top().id;
-    if (resolver->ProvenGreaterThan(query, v, t)) continue;
-    const double d = resolver->Distance(query, v);
-    if (d < t || (d == t && v < tid)) {
-      best.pop();
-      best.push(KnnNeighbor{v, d});
+    batch.clear();
+    survivors.clear();
+    for (size_t c = begin; c < end; ++c) {
+      const ObjectId v = candidates[c].id;
+      if (resolver->ProvenGreaterThan(query, v, t)) continue;
+      batch.push_back(IdPair{query, v});
+      survivors.push_back(v);
+    }
+    resolver->ResolveAll(batch);
+    for (const ObjectId v : survivors) {
+      const double d = resolver->Distance(query, v);
+      const double top = best.top().distance;
+      const ObjectId tid = best.top().id;
+      if (d < top || (d == top && v < tid)) {
+        best.pop();
+        best.push(KnnNeighbor{v, d});
+      }
     }
   }
 
@@ -82,11 +113,20 @@ std::vector<KnnNeighbor> RangeSearch(BoundedResolver* resolver,
   const ObjectId n = resolver->num_objects();
   CHECK_LT(query, n);
 
-  std::vector<KnnNeighbor> hits;
+  // The radius is fixed, so the whole query is one triage sweep plus one
+  // batched resolution of everything not provably outside the ball.
+  std::vector<IdPair> batch;
+  std::vector<ObjectId> survivors;
   for (ObjectId v = 0; v < n; ++v) {
     if (v == query) continue;
     // Provably outside the ball: no oracle call.
     if (resolver->ProvenGreaterThan(query, v, radius)) continue;
+    batch.push_back(IdPair{query, v});
+    survivors.push_back(v);
+  }
+  resolver->ResolveAll(batch);
+  std::vector<KnnNeighbor> hits;
+  for (const ObjectId v : survivors) {
     const double d = resolver->Distance(query, v);
     if (d <= radius) hits.push_back(KnnNeighbor{v, d});
   }

@@ -1,5 +1,8 @@
 #include "bounds/resolver.h"
 
+#include <optional>
+#include <unordered_set>
+
 #include "core/logging.h"
 
 namespace metricprox {
@@ -17,6 +20,8 @@ void BoundedResolver::SetBounder(Bounder* bounder) {
 }
 
 double BoundedResolver::Distance(ObjectId i, ObjectId j) {
+  CHECK_LT(i, graph_->num_objects());
+  CHECK_LT(j, graph_->num_objects());
   if (i == j) return 0.0;
   if (const std::optional<double> cached = graph_->Get(i, j)) {
     return *cached;
@@ -95,6 +100,160 @@ bool BoundedResolver::ProvenGreaterThan(ObjectId i, ObjectId j, double t) {
   // Not proven (either provably <= t or undecidable): the caller resolves.
   ++stats_.decided_by_oracle;
   return false;
+}
+
+bool BoundedResolver::ProvenGreaterOrEqual(ObjectId i, ObjectId j, double t) {
+  ++stats_.comparisons;
+  if (t == kInfDistance) {
+    // No finite metric distance reaches +inf; decided without the scheme
+    // (mirrors the LessThan short-circuit, keeping inf out of DFT's LP).
+    ++stats_.decided_by_bounds;
+    return false;
+  }
+  if (i == j) {
+    ++stats_.decided_by_cache;
+    return 0.0 >= t;
+  }
+  if (const std::optional<double> cached = graph_->Get(i, j)) {
+    ++stats_.decided_by_cache;
+    return *cached >= t;
+  }
+  ++stats_.bound_queries;
+  Stopwatch watch;
+  const std::optional<bool> decided = bounder_->DecideLessThan(i, j, t);
+  stats_.bounder_seconds += watch.ElapsedSeconds();
+  if (decided.has_value() && !*decided) {
+    // dist(i, j) < t is provably false, i.e. dist(i, j) >= t.
+    ++stats_.decided_by_bounds;
+    return true;
+  }
+  // Not proven (either provably < t or undecidable): the caller resolves.
+  ++stats_.decided_by_oracle;
+  return false;
+}
+
+void BoundedResolver::ResolveUnknown(std::span<const IdPair> pairs) {
+  // Dedup sweep: keep the first occurrence of each unresolved unordered
+  // pair, so a pair that appears twice (or as both (i,j) and (j,i)) costs
+  // one oracle call, never two.
+  std::vector<IdPair> unique;
+  unique.reserve(pairs.size());
+  std::unordered_set<EdgeKey, EdgeKeyHash> seen;
+  for (const IdPair& p : pairs) {
+    CHECK_LT(p.i, graph_->num_objects());
+    CHECK_LT(p.j, graph_->num_objects());
+    if (p.i == p.j) continue;
+    if (graph_->Has(p.i, p.j)) continue;
+    if (!seen.insert(EdgeKey(p.i, p.j)).second) continue;
+    unique.push_back(p);
+  }
+  if (unique.empty()) return;
+
+  if (!batch_transport_) {
+    // Scalar transport: the legacy per-pair path, byte for byte (Distance
+    // counts oracle_calls and notifies the bounder edge by edge).
+    for (const IdPair& p : unique) Distance(p.i, p.j);
+    return;
+  }
+
+  // Batch transport: one oracle round-trip, one bulk insert, one bulk
+  // bounder notification.
+  std::vector<double> distances(unique.size());
+  Stopwatch oracle_watch;
+  oracle_->BatchDistance(unique, distances);
+  const double oracle_elapsed = oracle_watch.ElapsedSeconds();
+  stats_.oracle_seconds += oracle_elapsed;
+  stats_.batch_oracle_seconds += oracle_elapsed;
+  stats_.oracle_calls += unique.size();
+  ++stats_.batch_calls;
+  stats_.batch_resolved_pairs += unique.size();
+
+  std::vector<ResolvedEdge> edges(unique.size());
+  for (size_t k = 0; k < unique.size(); ++k) {
+    edges[k] = ResolvedEdge{unique[k].i, unique[k].j, distances[k]};
+  }
+  graph_->InsertEdges(edges);
+  Stopwatch bounder_watch;
+  bounder_->OnEdgesResolved(edges);
+  stats_.bounder_seconds += bounder_watch.ElapsedSeconds();
+}
+
+void BoundedResolver::ResolveAll(std::span<const IdPair> pairs) {
+  ResolveUnknown(pairs);
+}
+
+std::vector<bool> BoundedResolver::FilterLessThan(
+    std::span<const IdPair> pairs, std::span<const double> thresholds) {
+  CHECK_EQ(pairs.size(), thresholds.size());
+  std::vector<bool> out(pairs.size());
+  stats_.comparisons += pairs.size();
+
+  // Cache sweep: answer i == j, already-resolved pairs and the t == +inf
+  // short-circuit; everything else survives into the bounder sweep.
+  std::vector<size_t> sweep;
+  std::vector<IdPair> sweep_pairs;
+  std::vector<double> sweep_thresholds;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const IdPair p = pairs[k];
+    CHECK_LT(p.i, graph_->num_objects());
+    CHECK_LT(p.j, graph_->num_objects());
+    const double t = thresholds[k];
+    if (t == kInfDistance) {
+      ++stats_.decided_by_bounds;
+      out[k] = true;
+      continue;
+    }
+    if (p.i == p.j) {
+      ++stats_.decided_by_cache;
+      out[k] = 0.0 < t;
+      continue;
+    }
+    if (const std::optional<double> cached = graph_->Get(p.i, p.j)) {
+      ++stats_.decided_by_cache;
+      out[k] = *cached < t;
+      continue;
+    }
+    sweep.push_back(k);
+    sweep_pairs.push_back(p);
+    sweep_thresholds.push_back(t);
+  }
+
+  // Bounder sweep: one DecideBatch over every survivor. Decisions are made
+  // before any resolution, so they are independent of the transport.
+  std::vector<std::optional<bool>> decided(sweep.size());
+  if (!sweep.empty()) {
+    stats_.bound_queries += sweep.size();
+    Stopwatch watch;
+    bounder_->DecideBatch(sweep_pairs, sweep_thresholds, decided);
+    stats_.bounder_seconds += watch.ElapsedSeconds();
+  }
+
+  // Ship the undecided remainder in one batch, then read the answers back
+  // from the cache.
+  std::vector<size_t> undecided;
+  std::vector<IdPair> remainder;
+  for (size_t s = 0; s < sweep.size(); ++s) {
+    if (decided[s].has_value()) {
+      ++stats_.decided_by_bounds;
+      out[sweep[s]] = *decided[s];
+    } else {
+      ++stats_.decided_by_oracle;
+      undecided.push_back(s);
+      remainder.push_back(sweep_pairs[s]);
+    }
+  }
+  ResolveUnknown(remainder);
+  for (const size_t s : undecided) {
+    const IdPair p = sweep_pairs[s];
+    out[sweep[s]] = *graph_->Get(p.i, p.j) < sweep_thresholds[s];
+  }
+  return out;
+}
+
+std::vector<bool> BoundedResolver::FilterLessThan(std::span<const IdPair> pairs,
+                                                  double t) {
+  const std::vector<double> thresholds(pairs.size(), t);
+  return FilterLessThan(pairs, thresholds);
 }
 
 bool BoundedResolver::PairLess(ObjectId i, ObjectId j, ObjectId k,

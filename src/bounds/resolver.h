@@ -1,6 +1,9 @@
 #ifndef METRICPROX_BOUNDS_RESOLVER_H_
 #define METRICPROX_BOUNDS_RESOLVER_H_
 
+#include <span>
+#include <vector>
+
 #include "core/bounder.h"
 #include "core/oracle.h"
 #include "core/stats.h"
@@ -65,6 +68,49 @@ class BoundedResolver {
   /// return means "not proven", after which the caller typically resolves.
   bool ProvenGreaterThan(ObjectId i, ObjectId j, double t);
 
+  /// True iff the cache or the scheme *proves* dist(i, j) >= t — never
+  /// calls the oracle. The tie-loses discard form used by Borůvka: an edge
+  /// provably no better than the incumbent (under the (weight, EdgeKey)
+  /// total order) can be skipped without resolution.
+  bool ProvenGreaterOrEqual(ObjectId i, ObjectId j, double t);
+
+  /// ------------------------------------------------------------------
+  /// Batch verbs (the batched resolution pipeline). Each verb performs one
+  /// cache sweep, one bounder sweep and ships the undecided remainder to
+  /// the oracle in a single BatchDistance call (or, with the batch
+  /// transport disabled, a per-pair Distance loop). Decisions are made
+  /// strictly before any resolution within a verb, so the two transports
+  /// see identical bounder state and produce identical answers *and*
+  /// identical oracle_calls — the property the equivalence tests pin down.
+  /// ------------------------------------------------------------------
+
+  /// Ensures every listed pair is resolved (present in the cache), issuing
+  /// at most one oracle call per *unique unresolved* pair: symmetric and
+  /// duplicate pairs are deduplicated, i == j and already-cached pairs are
+  /// skipped, and the rest ship to the oracle through the active transport.
+  /// Does not count comparisons (it is a resolution verb, like Distance).
+  void ResolveAll(std::span<const IdPair> pairs);
+
+  /// Batch of LessThan comparisons: out[k] is the truth of
+  /// `dist(pairs[k]) < thresholds[k]`. Counts one comparison per pair.
+  /// Sweep order: cache (and the t == +inf short-circuit), then one
+  /// DecideBatch over the survivors, then one batched resolution of the
+  /// still-undecided remainder.
+  std::vector<bool> FilterLessThan(std::span<const IdPair> pairs,
+                                   std::span<const double> thresholds);
+
+  /// Convenience form with one shared threshold (range-style filters).
+  std::vector<bool> FilterLessThan(std::span<const IdPair> pairs, double t);
+
+  /// Whether batch verbs ship their undecided remainder through
+  /// DistanceOracle::BatchDistance (true, the default) or through a
+  /// sequential per-pair Distance loop (false). Decisions are unaffected —
+  /// this flips only the transport, so outputs and oracle_calls are
+  /// identical either way; only batch_calls / batch_resolved_pairs /
+  /// batch_oracle_seconds and wall time differ.
+  void SetBatchTransport(bool enabled) { batch_transport_ = enabled; }
+  bool batch_transport() const { return batch_transport_; }
+
   ObjectId num_objects() const { return graph_->num_objects(); }
   PartialDistanceGraph& graph() { return *graph_; }
   const PartialDistanceGraph& graph() const { return *graph_; }
@@ -74,11 +120,17 @@ class BoundedResolver {
   void ResetStats() { stats_.Reset(); }
 
  private:
+  /// Shared tail of the batch verbs: CHECKs id ranges, drops i == j and
+  /// cached pairs, deduplicates symmetric/repeated pairs (first-occurrence
+  /// order), then resolves the remainder through the active transport.
+  void ResolveUnknown(std::span<const IdPair> pairs);
+
   DistanceOracle* oracle_;       // not owned
   PartialDistanceGraph* graph_;  // not owned
   NullBounder null_bounder_;
   Bounder* bounder_;  // not owned; never null (defaults to &null_bounder_)
   ResolverStats stats_;
+  bool batch_transport_ = true;
 };
 
 }  // namespace metricprox

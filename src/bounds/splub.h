@@ -33,7 +33,17 @@ class SplubBounder : public Bounder {
   std::string_view name() const override { return "splub"; }
 
   Interval Bounds(ObjectId i, ObjectId j) override {
-    dijkstra_.Solve(*graph_, i, &sp_i_);
+    // Memoized source row: a batched sweep (FilterLessThan, DecideBatch)
+    // issues many queries sharing one left object against an unchanged
+    // graph, and re-running that Dijkstra would dominate the sweep. Keyed
+    // on (source, num_edges) so any resolution — scalar Insert or batch
+    // InsertEdges — invalidates it; the reused row is bit-identical to a
+    // fresh solve, so decisions are unaffected.
+    if (cached_source_ != i || cached_edges_ != graph_->num_edges()) {
+      dijkstra_.Solve(*graph_, i, &sp_i_);
+      cached_source_ = i;
+      cached_edges_ = graph_->num_edges();
+    }
     dijkstra_.Solve(*graph_, j, &sp_j_);
     const double ub = sp_i_[j];
 
@@ -57,6 +67,8 @@ class SplubBounder : public Bounder {
   DijkstraSolver dijkstra_;
   std::vector<double> sp_i_;
   std::vector<double> sp_j_;
+  ObjectId cached_source_ = kInvalidObject;
+  size_t cached_edges_ = 0;
 };
 
 }  // namespace metricprox

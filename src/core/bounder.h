@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "core/types.h"
@@ -45,6 +46,16 @@ class Bounder {
   /// the shared PartialDistanceGraph (the UPDATE problem).
   virtual void OnEdgeResolved(ObjectId i, ObjectId j, double d) = 0;
 
+  /// Batch form of the UPDATE problem: the resolver inserted all of `edges`
+  /// into the shared graph in one bulk operation. The default forwards each
+  /// edge to OnEdgeResolved; schemes with per-update cost (cache
+  /// invalidation, incremental matrices) override this to amortize — e.g.
+  /// one invalidation per batch instead of one per edge. Overrides must
+  /// leave the scheme in the same state as the per-edge loop would.
+  virtual void OnEdgesResolved(std::span<const ResolvedEdge> edges) {
+    for (const ResolvedEdge& e : edges) OnEdgeResolved(e.u, e.v, e.weight);
+  }
+
   /// Tries to decide `dist(i, j) < t` without the oracle. Returns nullopt
   /// when the scheme cannot decide. The default derives the answer from
   /// Bounds(); DFT overrides this with an LP feasibility test.
@@ -67,6 +78,23 @@ class Bounder {
     if (b.lo > t + margin) return true;
     if (b.hi <= t - margin) return false;
     return std::nullopt;
+  }
+
+  /// Batch form of the BOUNDS problem: tries to decide
+  /// `dist(pairs[k]) < thresholds[k]` for a whole sweep of comparisons at
+  /// once, writing nullopt where the scheme cannot decide. The spans all
+  /// have equal length; every pair is distinct-id, unresolved and in range
+  /// (the resolver pre-filters). The default loops DecideLessThan in order;
+  /// schemes whose query cost has a reusable part (a Dijkstra row, a pivot
+  /// prefetch) override this to amortize it across the sweep. Overrides
+  /// must produce exactly the decisions of the sequential loop, so the
+  /// batched and scalar pipelines stay equivalent.
+  virtual void DecideBatch(std::span<const IdPair> pairs,
+                           std::span<const double> thresholds,
+                           std::span<std::optional<bool>> out) {
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      out[k] = DecideLessThan(pairs[k].i, pairs[k].j, thresholds[k]);
+    }
   }
 
   /// Tries to decide `dist(i, j) < dist(k, l)` without the oracle. The

@@ -1,8 +1,10 @@
 #ifndef METRICPROX_CORE_ORACLE_H_
 #define METRICPROX_CORE_ORACLE_H_
 
+#include <span>
 #include <string_view>
 
+#include "core/logging.h"
 #include "core/types.h"
 
 namespace metricprox {
@@ -29,6 +31,27 @@ class DistanceOracle {
   /// Exact distance between two distinct objects. Requires i != j and both
   /// ids in range.
   virtual double Distance(ObjectId i, ObjectId j) = 0;
+
+  /// Resolves a whole batch of pairs: out[k] = dist(pairs[k]). Requires the
+  /// spans to have equal length and every pair to satisfy the Distance()
+  /// contract (distinct, in range). Pairs must be deduplicated by the caller
+  /// (BoundedResolver does) so one edge is never billed twice in a batch.
+  ///
+  /// This is the amortization point of the batched resolution pipeline: a
+  /// production oracle (map API, edit-distance farm) answers a group of
+  /// independent requests far cheaper than the same requests one at a time.
+  /// The default simply loops Distance(); the shipped oracles override it
+  /// with a parallel implementation (their Distance is pure, so evaluating
+  /// pairs concurrently is safe even though the resolver stays
+  /// single-threaded). Implementations must be bit-identical to the scalar
+  /// path: out[k] == Distance(pairs[k].i, pairs[k].j) exactly.
+  virtual void BatchDistance(std::span<const IdPair> pairs,
+                             std::span<double> out) {
+    CHECK_EQ(pairs.size(), out.size());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      out[k] = Distance(pairs[k].i, pairs[k].j);
+    }
+  }
 
   /// Number of objects in the universe.
   virtual ObjectId num_objects() const = 0;

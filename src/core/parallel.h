@@ -1,0 +1,55 @@
+#ifndef METRICPROX_CORE_PARALLEL_H_
+#define METRICPROX_CORE_PARALLEL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace metricprox {
+
+/// Number of worker threads the parallel oracle paths may use (>= 1).
+/// Overridable per call site for tests; 0 means "ask the hardware".
+inline unsigned ParallelWorkerCount(unsigned requested = 0) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// Runs fn(begin, end) over a partition of [0, n) on up to
+/// ParallelWorkerCount() std::threads. Falls back to one inline call when
+/// the work is too small to amortize thread start-up (n < 2 * grain) or only
+/// one worker is available.
+///
+/// `fn` must be safe to invoke concurrently on disjoint ranges; this is the
+/// contract the oracle BatchDistance overrides rely on (their Distance
+/// implementations are pure). Exceptions are not supported — the library
+/// reports fatal conditions through CHECK, which aborts.
+template <typename Fn>
+void ParallelFor(size_t n, size_t grain, Fn&& fn) {
+  if (n == 0) return;
+  const size_t min_grain = grain > 0 ? grain : 1;
+  const unsigned workers = ParallelWorkerCount();
+  const size_t max_chunks = (n + min_grain - 1) / min_grain;
+  const size_t num_chunks =
+      std::min<size_t>(workers, std::max<size_t>(max_chunks, 1));
+  if (num_chunks <= 1 || n < 2 * min_grain) {
+    fn(size_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_chunks - 1);
+  const size_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (size_t c = 1; c < num_chunks; ++c) {
+    const size_t begin = c * chunk;
+    if (begin >= n) break;
+    const size_t end = std::min(n, begin + chunk);
+    threads.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  fn(size_t{0}, std::min(n, chunk));
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_CORE_PARALLEL_H_

@@ -14,6 +14,11 @@ std::string ResolverStats::ToString() const {
      << " bound_queries=" << bound_queries
      << " bounder_seconds=" << bounder_seconds
      << " oracle_seconds=" << oracle_seconds;
+  if (batch_calls > 0) {
+    os << " batch_calls=" << batch_calls
+       << " batch_resolved_pairs=" << batch_resolved_pairs
+       << " batch_oracle_seconds=" << batch_oracle_seconds;
+  }
   if (simulated_oracle_seconds > 0) {
     os << " simulated_oracle_seconds=" << simulated_oracle_seconds;
   }

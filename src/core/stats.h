@@ -20,15 +20,26 @@ struct ResolverStats {
   uint64_t decided_by_cache = 0;
   /// Comparisons that had to fall back to the oracle.
   uint64_t decided_by_oracle = 0;
-  /// Total comparison requests (LessThan + PairLess).
+  /// Total comparison requests (LessThan + PairLess + the batch verbs,
+  /// one per pair).
   uint64_t comparisons = 0;
   /// Bound-interval queries issued to the plugged-in bounder.
   uint64_t bound_queries = 0;
+  /// BatchDistance invocations shipped to the oracle (each covers >= 1
+  /// pair). The amortization headline: batched algorithms issue the same
+  /// oracle_calls in far fewer round-trips.
+  uint64_t batch_calls = 0;
+  /// Pairs resolved through the batch transport. Each is also counted in
+  /// oracle_calls, so batch_resolved_pairs <= oracle_calls always holds.
+  uint64_t batch_resolved_pairs = 0;
   /// Wall time spent inside the bounder (bounds + updates), in seconds:
   /// the paper's "CPU overhead".
   double bounder_seconds = 0.0;
   /// Wall time spent inside the oracle, in seconds (real, not simulated).
   double oracle_seconds = 0.0;
+  /// Subset of oracle_seconds spent inside BatchDistance calls — the
+  /// wall-time attribution of the batch transport.
+  double batch_oracle_seconds = 0.0;
   /// Simulated oracle latency accumulated by a SimulatedCostOracle, seconds.
   double simulated_oracle_seconds = 0.0;
 
@@ -41,8 +52,11 @@ struct ResolverStats {
     decided_by_oracle += o.decided_by_oracle;
     comparisons += o.comparisons;
     bound_queries += o.bound_queries;
+    batch_calls += o.batch_calls;
+    batch_resolved_pairs += o.batch_resolved_pairs;
     bounder_seconds += o.bounder_seconds;
     oracle_seconds += o.oracle_seconds;
+    batch_oracle_seconds += o.batch_oracle_seconds;
     simulated_oracle_seconds += o.simulated_oracle_seconds;
     return *this;
   }

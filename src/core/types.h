@@ -92,6 +92,17 @@ struct Interval {
   }
 };
 
+/// One (i, j) operand of a batch verb: an object pair whose distance or
+/// comparison outcome is requested. Unlike EdgeKey it is *not* normalized —
+/// callers may pass (i, j) or (j, i), and i == j is allowed (distance 0);
+/// the resolver deduplicates before anything reaches the oracle.
+struct IdPair {
+  ObjectId i = kInvalidObject;
+  ObjectId j = kInvalidObject;
+
+  friend bool operator==(IdPair a, IdPair b) { return a.i == b.i && a.j == b.j; }
+};
+
 /// A resolved edge: unordered pair plus its exact distance.
 struct WeightedEdge {
   ObjectId u = kInvalidObject;
@@ -102,6 +113,10 @@ struct WeightedEdge {
     return a.u == b.u && a.v == b.v && a.weight == b.weight;
   }
 };
+
+/// Alias used by the batch notification path (Bounder::OnEdgesResolved):
+/// a batch of resolutions is just a span of weighted edges.
+using ResolvedEdge = WeightedEdge;
 
 }  // namespace metricprox
 

@@ -30,4 +30,28 @@ void PartialDistanceGraph::Insert(ObjectId i, ObjectId j, double d) {
   edges_.push_back(WeightedEdge{i, j, d});
 }
 
+void PartialDistanceGraph::InsertEdges(std::span<const WeightedEdge> batch) {
+  std::vector<ObjectId> touched;
+  touched.reserve(2 * batch.size());
+  for (const WeightedEdge& e : batch) {
+    CHECK_NE(e.u, e.v) << "self-edge";
+    CHECK_LT(e.u, num_objects());
+    CHECK_LT(e.v, num_objects());
+    CHECK_GE(e.weight, 0.0) << "negative distance from oracle";
+    const bool inserted = edge_map_.emplace(EdgeKey(e.u, e.v), e.weight).second;
+    CHECK(inserted) << "duplicate edge (" << e.u << ", " << e.v << ")";
+    adjacency_[e.u].push_back(Neighbor{e.v, e.weight});
+    adjacency_[e.v].push_back(Neighbor{e.u, e.weight});
+    touched.push_back(e.u);
+    touched.push_back(e.v);
+    edges_.push_back(e);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const ObjectId id : touched) {
+    std::sort(adjacency_[id].begin(), adjacency_[id].end(),
+              [](const Neighbor& a, const Neighbor& b) { return a.id < b.id; });
+  }
+}
+
 }  // namespace metricprox

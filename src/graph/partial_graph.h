@@ -2,6 +2,7 @@
 #define METRICPROX_GRAPH_PARTIAL_GRAPH_H_
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,13 @@ class PartialDistanceGraph {
   /// Records dist(i, j) = d. CHECK-fails on duplicates, self-edges and
   /// negative distances (a metric oracle can never produce them).
   void Insert(ObjectId i, ObjectId j, double d);
+
+  /// Bulk form of Insert for the batch resolution path: records every edge,
+  /// with the same CHECKs, but splices each touched adjacency list once
+  /// instead of once per edge. The final state (sorted adjacency, edge-map
+  /// contents, edges() in span order) is identical to inserting the edges
+  /// one by one.
+  void InsertEdges(std::span<const WeightedEdge> batch);
 
   /// Neighbors of i sorted ascending by id.
   const std::vector<Neighbor>& Neighbors(ObjectId i) const {

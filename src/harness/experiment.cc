@@ -16,6 +16,7 @@ WorkloadResult RunWorkload(DistanceOracle* oracle,
   SimulatedCostOracle costed(oracle, config.oracle_cost_seconds);
   PartialDistanceGraph graph(oracle->num_objects());
   BoundedResolver resolver(&costed, &graph);
+  resolver.SetBatchTransport(config.batch_transport);
 
   WorkloadResult result;
   Stopwatch watch;

@@ -27,6 +27,11 @@ struct WorkloadConfig {
   double max_distance = 1.0;
   /// Relaxed-triangle-inequality factor (Tri Scheme only; see bounds/tri.h).
   double rho = 1.0;
+  /// Whether batch verbs ship undecided remainders through one
+  /// BatchDistance round-trip (true) or a per-pair Distance loop (false).
+  /// Flipping this changes wall time and batch_* counters only — outputs
+  /// and oracle_calls are transport-independent by construction.
+  bool batch_transport = true;
   uint64_t seed = 42;
 };
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 
 namespace metricprox {
 
@@ -54,6 +55,16 @@ double MatrixOracle::Distance(ObjectId i, ObjectId j) {
   DCHECK_LT(i, n_);
   DCHECK_LT(j, n_);
   return matrix_[i * n_ + j];
+}
+
+void MatrixOracle::BatchDistance(std::span<const IdPair> pairs,
+                                 std::span<double> out) {
+  CHECK_EQ(pairs.size(), out.size());
+  ParallelFor(pairs.size(), /*grain=*/65536, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      out[k] = Distance(pairs[k].i, pairs[k].j);
+    }
+  });
 }
 
 }  // namespace metricprox

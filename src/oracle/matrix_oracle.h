@@ -1,6 +1,7 @@
 #ifndef METRICPROX_ORACLE_MATRIX_ORACLE_H_
 #define METRICPROX_ORACLE_MATRIX_ORACLE_H_
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -26,6 +27,10 @@ class MatrixOracle : public DistanceOracle {
   static StatusOr<MatrixOracle> Create(std::vector<double> matrix, ObjectId n);
 
   double Distance(ObjectId i, ObjectId j) override;
+  /// Batch lookup. Matrix reads are nearly free, so the high grain keeps
+  /// small batches inline; only very large sweeps fan out across threads.
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override;
   ObjectId num_objects() const override { return n_; }
   std::string_view name() const override { return "matrix"; }
 

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "graph/indexed_heap.h"
 #include "graph/union_find.h"
 
@@ -178,6 +179,17 @@ RoadNetworkOracle::RoadNetworkOracle(const RoadNetwork* network,
   CHECK_LT(sorted.back(), network_->num_nodes());
 }
 
+std::vector<double> RoadNetworkOracle::BuildRow(ObjectId src) const {
+  const std::vector<double> all =
+      network_->ShortestPathsFrom(object_nodes_[src]);
+  std::vector<double> row(object_nodes_.size());
+  for (size_t k = 0; k < object_nodes_.size(); ++k) {
+    row[k] = all[object_nodes_[k]];
+    DCHECK(std::isfinite(row[k])) << "network not connected";
+  }
+  return row;
+}
+
 double RoadNetworkOracle::Distance(ObjectId i, ObjectId j) {
   DCHECK_NE(i, j);
   DCHECK_LT(i, object_nodes_.size());
@@ -189,17 +201,43 @@ double RoadNetworkOracle::Distance(ObjectId i, ObjectId j) {
   const ObjectId dst = i < j ? j : i;
   auto it = row_cache_.find(src);
   if (it != row_cache_.end()) return it->second[dst];
+  it = row_cache_.emplace(src, BuildRow(src)).first;
+  return it->second[dst];
+}
 
-  const std::vector<double> all =
-      network_->ShortestPathsFrom(object_nodes_[src]);
-  std::vector<double> row(object_nodes_.size());
-  for (size_t k = 0; k < object_nodes_.size(); ++k) {
-    row[k] = all[object_nodes_[k]];
-    DCHECK(std::isfinite(row[k])) << "network not connected";
+void RoadNetworkOracle::BatchDistance(std::span<const IdPair> pairs,
+                                      std::span<double> out) {
+  CHECK_EQ(pairs.size(), out.size());
+  // Missing source rows, in first-occurrence order (min endpoint, matching
+  // Distance's convention so the two paths answer from the same row).
+  std::vector<ObjectId> missing;
+  for (const IdPair& p : pairs) {
+    const ObjectId src = p.i < p.j ? p.i : p.j;
+    if (row_cache_.find(src) != row_cache_.end()) continue;
+    if (std::find(missing.begin(), missing.end(), src) != missing.end()) {
+      continue;
+    }
+    missing.push_back(src);
   }
-  const double out = row[dst];
-  row_cache_.emplace(src, std::move(row));
-  return out;
+
+  // Run the missing routing requests concurrently (BuildRow is const —
+  // only the network and the object table are read), then commit them to
+  // the cache on this thread.
+  std::vector<std::vector<double>> rows(missing.size());
+  ParallelFor(missing.size(), /*grain=*/1, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      rows[k] = BuildRow(missing[k]);
+    }
+  });
+  for (size_t k = 0; k < missing.size(); ++k) {
+    row_cache_.emplace(missing[k], std::move(rows[k]));
+  }
+
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const ObjectId src = pairs[k].i < pairs[k].j ? pairs[k].i : pairs[k].j;
+    const ObjectId dst = pairs[k].i < pairs[k].j ? pairs[k].j : pairs[k].i;
+    out[k] = row_cache_.at(src)[dst];
+  }
 }
 
 }  // namespace metricprox

@@ -2,6 +2,7 @@
 #define METRICPROX_ORACLE_ROAD_NETWORK_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -88,6 +89,14 @@ class RoadNetworkOracle : public DistanceOracle {
                     std::vector<uint32_t> object_nodes);
 
   double Distance(ObjectId i, ObjectId j) override;
+  /// Parallel batch evaluation. Distance() mutates the row cache, so the
+  /// batch path cannot simply fan Distance() out across threads; instead
+  /// it groups the pairs by source row (min endpoint, the same convention
+  /// Distance uses), runs the missing Dijkstras concurrently — the network
+  /// itself is immutable — and commits the rows to the cache sequentially.
+  /// Answers are bit-identical to the scalar path.
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override;
   ObjectId num_objects() const override {
     return static_cast<ObjectId>(object_nodes_.size());
   }
@@ -96,6 +105,11 @@ class RoadNetworkOracle : public DistanceOracle {
   const std::vector<uint32_t>& object_nodes() const { return object_nodes_; }
 
  private:
+  /// One routing request: Dijkstra from object `src`'s junction, remapped
+  /// to object-to-object distances. Const (pure) so batches can run it
+  /// concurrently.
+  std::vector<double> BuildRow(ObjectId src) const;
+
   const RoadNetwork* network_;  // not owned
   std::vector<uint32_t> object_nodes_;
   // source object id -> distances to every object (lazily filled).

@@ -1,8 +1,10 @@
 #include "oracle/string_oracle.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 
 namespace metricprox {
 
@@ -33,6 +35,16 @@ double LevenshteinOracle::Distance(ObjectId i, ObjectId j) {
   DCHECK_LT(i, strings_.size());
   DCHECK_LT(j, strings_.size());
   return static_cast<double>(EditDistance(strings_[i], strings_[j]));
+}
+
+void LevenshteinOracle::BatchDistance(std::span<const IdPair> pairs,
+                                      std::span<double> out) {
+  CHECK_EQ(pairs.size(), out.size());
+  ParallelFor(pairs.size(), /*grain=*/4, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      out[k] = Distance(pairs[k].i, pairs[k].j);
+    }
+  });
 }
 
 }  // namespace metricprox

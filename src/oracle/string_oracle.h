@@ -1,6 +1,7 @@
 #ifndef METRICPROX_ORACLE_STRING_ORACLE_H_
 #define METRICPROX_ORACLE_STRING_ORACLE_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +21,11 @@ class LevenshteinOracle : public DistanceOracle {
   explicit LevenshteinOracle(std::vector<std::string> strings);
 
   double Distance(ObjectId i, ObjectId j) override;
+  /// Parallel batch evaluation: the DP uses per-call scratch, so pairs are
+  /// split across worker threads. The per-call cost is the highest of all
+  /// shipped oracles, so even small batches parallelize profitably.
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override;
   ObjectId num_objects() const override {
     return static_cast<ObjectId>(strings_.size());
   }
@@ -32,9 +38,6 @@ class LevenshteinOracle : public DistanceOracle {
 
  private:
   std::vector<std::string> strings_;
-  // Two-row DP scratch reused across calls.
-  std::vector<size_t> row_;
-  std::vector<size_t> prev_;
 };
 
 }  // namespace metricprox

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 
 namespace metricprox {
 
@@ -89,6 +90,19 @@ double VectorOracle::Distance(ObjectId i, ObjectId j) {
   }
   LOG(Fatal) << "unreachable metric kind";
   return 0.0;
+}
+
+void VectorOracle::BatchDistance(std::span<const IdPair> pairs,
+                                 std::span<double> out) {
+  CHECK_EQ(pairs.size(), out.size());
+  // Grain sized so a chunk covers thousands of coordinate ops even in low
+  // dimension; each Distance() only reads points_, so chunks are
+  // independent.
+  ParallelFor(pairs.size(), /*grain=*/64, [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      out[k] = Distance(pairs[k].i, pairs[k].j);
+    }
+  });
 }
 
 }  // namespace metricprox

@@ -1,6 +1,7 @@
 #ifndef METRICPROX_ORACLE_VECTOR_ORACLE_H_
 #define METRICPROX_ORACLE_VECTOR_ORACLE_H_
 
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -44,6 +45,10 @@ class VectorOracle : public DistanceOracle {
   VectorOracle(PointSet points, VectorMetric metric);
 
   double Distance(ObjectId i, ObjectId j) override;
+  /// Parallel batch evaluation: Distance() is pure, so the pairs are split
+  /// across worker threads. Results are bit-identical to the scalar path.
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override;
   ObjectId num_objects() const override {
     return static_cast<ObjectId>(points_.size());
   }

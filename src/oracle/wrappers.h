@@ -2,6 +2,7 @@
 #define METRICPROX_ORACLE_WRAPPERS_H_
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 
@@ -20,6 +21,13 @@ class CountingOracle : public DistanceOracle {
   double Distance(ObjectId i, ObjectId j) override {
     ++calls_;
     return base_->Distance(i, j);
+  }
+  // Each pair is billed as one call (batching amortizes latency, not
+  // price), and the base keeps its parallel implementation.
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override {
+    calls_ += pairs.size();
+    base_->BatchDistance(pairs, out);
   }
   ObjectId num_objects() const override { return base_->num_objects(); }
   std::string_view name() const override { return base_->name(); }
@@ -45,6 +53,13 @@ class SimulatedCostOracle : public DistanceOracle {
   double Distance(ObjectId i, ObjectId j) override {
     simulated_seconds_ += seconds_per_call_;
     return base_->Distance(i, j);
+  }
+  // Simulated latency stays per pair: the modeled API bills every request
+  // even when shipped in one round-trip, matching oracle_calls accounting.
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override {
+    simulated_seconds_ += seconds_per_call_ * static_cast<double>(pairs.size());
+    base_->BatchDistance(pairs, out);
   }
   ObjectId num_objects() const override { return base_->num_objects(); }
   std::string_view name() const override { return base_->name(); }

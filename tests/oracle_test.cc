@@ -247,5 +247,84 @@ TEST(CachingOracleTest, SecondLookupIsAHit) {
   EXPECT_EQ(cached.hits(), 1u);
 }
 
+// ---- BatchDistance ----
+
+// Every pair, both orientations, plus repeats: the batch entry point must
+// return bit-identical values to the scalar one regardless of the oracle's
+// internal parallel grain.
+std::vector<IdPair> AllOrientedPairs(ObjectId n) {
+  std::vector<IdPair> pairs;
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = 0; j < n; ++j) {
+      if (i != j) pairs.push_back(IdPair{i, j});
+    }
+  }
+  pairs.push_back(IdPair{0, 1});  // duplicate entries are legal
+  return pairs;
+}
+
+void ExpectBatchMatchesScalar(DistanceOracle* oracle) {
+  const std::vector<IdPair> pairs = AllOrientedPairs(oracle->num_objects());
+  std::vector<double> out(pairs.size());
+  oracle->BatchDistance(pairs, out);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    EXPECT_DOUBLE_EQ(out[k], oracle->Distance(pairs[k].i, pairs[k].j))
+        << "pair (" << pairs[k].i << ", " << pairs[k].j << ")";
+  }
+}
+
+TEST(VectorOracleTest, BatchDistanceMatchesScalar) {
+  std::mt19937_64 rng(23);
+  PointSet points(130, std::vector<double>(5));
+  std::uniform_real_distribution<double> coord(-1.0, 1.0);
+  for (auto& p : points) {
+    for (double& x : p) x = coord(rng);
+  }
+  VectorOracle oracle(std::move(points), VectorMetric::kEuclidean);
+  // 130 objects -> well past the parallel grain of 64 pairs.
+  ExpectBatchMatchesScalar(&oracle);
+}
+
+TEST(LevenshteinTest, BatchDistanceMatchesScalar) {
+  std::vector<std::string> strings = {"ACGTACGT", "ACGTTCGT", "TTTTACGT",
+                                      "ACG",      "GGGGGGGG", "ACGTACGA",
+                                      "CCCCACGT", "ACGTCCCC"};
+  LevenshteinOracle oracle(strings);
+  ExpectBatchMatchesScalar(&oracle);
+}
+
+TEST(MatrixOracleTest, BatchDistanceMatchesScalar) {
+  // 4-point metric: unit square with diagonals sqrt(2).
+  const double r2 = std::sqrt(2.0);
+  std::vector<double> m = {0, 1, r2, 1,   //
+                           1, 0, 1,  r2,  //
+                           r2, 1, 0, 1,   //
+                           1, r2, 1, 0};
+  auto result = MatrixOracle::Create(std::move(m), 4);
+  ASSERT_TRUE(result.ok());
+  ExpectBatchMatchesScalar(&*result);
+}
+
+TEST(CountingOracleTest, BatchBillsEveryPair) {
+  VectorOracle base(TinyPoints(), VectorMetric::kEuclidean);
+  CountingOracle counting(&base);
+  const std::vector<IdPair> pairs = {{0, 1}, {1, 2}, {0, 1}};
+  std::vector<double> out(pairs.size());
+  counting.BatchDistance(pairs, out);
+  EXPECT_EQ(counting.calls(), 3u);  // duplicates still count
+  EXPECT_DOUBLE_EQ(out[0], base.Distance(0, 1));
+  EXPECT_DOUBLE_EQ(out[1], base.Distance(1, 2));
+}
+
+TEST(SimulatedCostOracleTest, BatchAccumulatesPerPairLatency) {
+  VectorOracle base(TinyPoints(), VectorMetric::kEuclidean);
+  SimulatedCostOracle costed(&base, 0.5);
+  const std::vector<IdPair> pairs = {{0, 1}, {1, 2}, {0, 2}};
+  std::vector<double> out(pairs.size());
+  costed.BatchDistance(pairs, out);
+  EXPECT_DOUBLE_EQ(costed.simulated_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(out[2], base.Distance(0, 2));
+}
+
 }  // namespace
 }  // namespace metricprox

@@ -68,6 +68,59 @@ TEST(PartialGraphTest, SelfEdgeDies) {
   EXPECT_DEATH(g.Insert(1, 1, 0.5), "self-edge");
 }
 
+TEST(PartialGraphTest, InsertEdgesMatchesSequentialInserts) {
+  std::mt19937_64 rng(11);
+  const ObjectId n = 25;
+  std::vector<WeightedEdge> batch;
+  std::set<std::pair<ObjectId, ObjectId>> used;
+  while (batch.size() < 80) {
+    ObjectId a = static_cast<ObjectId>(rng() % n);
+    ObjectId b = static_cast<ObjectId>(rng() % n);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!used.insert({a, b}).second) continue;
+    batch.push_back(
+        WeightedEdge{a, b, 0.01 * static_cast<double>(rng() % 100 + 1)});
+  }
+
+  PartialDistanceGraph bulk(n);
+  bulk.InsertEdges(batch);
+  PartialDistanceGraph sequential(n);
+  for (const WeightedEdge& e : batch) sequential.Insert(e.u, e.v, e.weight);
+
+  ASSERT_EQ(bulk.num_edges(), sequential.num_edges());
+  for (size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_EQ(bulk.edges()[k], sequential.edges()[k]);
+  }
+  for (ObjectId i = 0; i < n; ++i) {
+    const auto& a = bulk.Neighbors(i);
+    const auto& b = sequential.Neighbors(i);
+    ASSERT_EQ(a.size(), b.size()) << "node " << i;
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_EQ(a[k].id, b[k].id);
+      EXPECT_DOUBLE_EQ(a[k].distance, b[k].distance);
+    }
+    for (ObjectId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      ASSERT_EQ(bulk.Get(i, j), sequential.Get(i, j));
+    }
+  }
+}
+
+TEST(PartialGraphTest, InsertEdgesDuplicateWithinBatchDies) {
+  PartialDistanceGraph g(4);
+  const std::vector<WeightedEdge> batch = {WeightedEdge{0, 1, 0.5},
+                                           WeightedEdge{1, 0, 0.5}};
+  EXPECT_DEATH(g.InsertEdges(batch), "duplicate");
+}
+
+TEST(PartialGraphTest, InsertEdgesDuplicateOfExistingDies) {
+  PartialDistanceGraph g(4);
+  g.Insert(2, 3, 0.25);
+  const std::vector<WeightedEdge> batch = {WeightedEdge{3, 2, 0.25}};
+  EXPECT_DEATH(g.InsertEdges(batch), "duplicate");
+}
+
 TEST(PartialGraphTest, CommonNeighborMergeFindsExactlyTheTriangles) {
   PartialDistanceGraph g(7);
   // Common neighbors of (0, 1): 2 and 5. Neighbor 3 only touches 0,

@@ -173,5 +173,164 @@ TEST(ResolverTest, MismatchedGraphSizeDies) {
   EXPECT_DEATH({ BoundedResolver r(stack.oracle.get(), &wrong); }, "Check");
 }
 
+TEST(ResolverBatchTest, ResolveAllDeduplicatesBeforeTheOracle) {
+  ResolverStack stack = MakeRandomStack(8, 20);
+  // (0,1) four times — twice reversed — plus a self pair: one oracle call.
+  const std::vector<IdPair> pairs = {IdPair{0, 1}, IdPair{1, 0}, IdPair{3, 3},
+                                     IdPair{0, 1}, IdPair{1, 0}};
+  stack.resolver->ResolveAll(pairs);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 1u);
+  EXPECT_EQ(stack.resolver->stats().batch_calls, 1u);
+  EXPECT_EQ(stack.resolver->stats().batch_resolved_pairs, 1u);
+  EXPECT_TRUE(stack.resolver->Known(0, 1));
+  // Already-cached pairs never reach the oracle again (no double billing).
+  stack.resolver->ResolveAll(std::vector<IdPair>{IdPair{1, 0}, IdPair{0, 1}});
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 1u);
+  EXPECT_EQ(stack.resolver->stats().batch_calls, 1u);
+}
+
+TEST(ResolverBatchTest, ResolveAllValuesMatchOracle) {
+  ResolverStack stack = MakeRandomStack(10, 21);
+  std::vector<IdPair> pairs;
+  for (ObjectId i = 0; i < 10; ++i) {
+    for (ObjectId j = i + 1; j < 10; ++j) pairs.push_back(IdPair{i, j});
+  }
+  stack.resolver->ResolveAll(pairs);
+  for (const IdPair& p : pairs) {
+    EXPECT_DOUBLE_EQ(stack.resolver->Distance(p.i, p.j),
+                     stack.oracle->Distance(p.i, p.j));
+  }
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, pairs.size());
+}
+
+TEST(ResolverBatchTest, StatsInvariantsHoldForBatchVerbs) {
+  ResolverStack stack = MakeRandomStack(12, 22);
+  TriBounder tri(stack.graph.get());
+  stack.resolver->SetBounder(&tri);
+  std::mt19937_64 rng(23);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<IdPair> pairs;
+    std::vector<double> thresholds;
+    for (int k = 0; k < 15; ++k) {
+      pairs.push_back(IdPair{static_cast<ObjectId>(rng() % 12),
+                             static_cast<ObjectId>(rng() % 12)});
+      thresholds.push_back(0.1 * static_cast<double>(rng() % 14));
+    }
+    stack.resolver->FilterLessThan(pairs, thresholds);
+    const ResolverStats& s = stack.resolver->stats();
+    // The decided-by partition covers every comparison, batch or scalar...
+    ASSERT_EQ(s.comparisons,
+              s.decided_by_cache + s.decided_by_bounds + s.decided_by_oracle);
+    // ...and each batch-resolved pair is also billed as an oracle call.
+    ASSERT_LE(s.batch_resolved_pairs, s.oracle_calls);
+  }
+  EXPECT_GT(stack.resolver->stats().batch_calls, 0u);
+}
+
+TEST(ResolverBatchTest, FilterLessThanInfThresholdDecidedByBounds) {
+  ResolverStack stack = MakeRandomStack(6, 24);
+  const std::vector<IdPair> pairs = {IdPair{0, 1}};
+  const std::vector<bool> out =
+      stack.resolver->FilterLessThan(pairs, kInfDistance);
+  EXPECT_TRUE(out[0]);
+  EXPECT_EQ(stack.resolver->stats().decided_by_bounds, 1u);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 0u);
+}
+
+TEST(ResolverBatchTest, OutOfRangeIdsDie) {
+  ResolverStack stack = MakeRandomStack(6, 25);
+  EXPECT_DEATH(stack.resolver->Distance(0, 6), "Check");
+  EXPECT_DEATH(
+      stack.resolver->ResolveAll(std::vector<IdPair>{IdPair{0, 6}}),
+      "Check");
+  EXPECT_DEATH(stack.resolver->FilterLessThan(
+                   std::vector<IdPair>{IdPair{6, 0}}, 1.0),
+               "Check");
+}
+
+// Batched comparisons must return ground truth under every scheme — and
+// flipping the transport (one BatchDistance round-trip vs a per-pair
+// Distance loop) must change neither the answers nor a single counter.
+class ResolverBatchExactnessTest
+    : public ::testing::TestWithParam<std::tuple<SchemeKind, bool>> {};
+
+TEST_P(ResolverBatchExactnessTest, FilterLessThanMatchesGroundTruth) {
+  const auto [kind, batch_transport] = GetParam();
+  const ObjectId n = 12;
+  ResolverStack stack = MakeRandomStack(n, 26);
+  SchemeOptions options;
+  options.seed = 26;
+  options.max_distance = 1.0;
+  auto bounder = MakeAndAttachScheme(kind, stack.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  stack.resolver->SetBatchTransport(batch_transport);
+
+  std::mt19937_64 rng(27);
+  for (int round = 0; round < 12; ++round) {
+    std::vector<IdPair> pairs;
+    std::vector<double> thresholds;
+    for (int k = 0; k < 10; ++k) {
+      pairs.push_back(IdPair{static_cast<ObjectId>(rng() % n),
+                             static_cast<ObjectId>(rng() % n)});
+      thresholds.push_back(0.05 * static_cast<double>(rng() % 25));
+    }
+    const std::vector<bool> out =
+        stack.resolver->FilterLessThan(pairs, thresholds);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      const double truth = pairs[k].i == pairs[k].j
+                               ? 0.0
+                               : stack.oracle->Distance(pairs[k].i, pairs[k].j);
+      ASSERT_EQ(out[k], truth < thresholds[k])
+          << SchemeKindName(kind) << " pair (" << pairs[k].i << ","
+          << pairs[k].j << ") vs " << thresholds[k];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ResolverBatchExactnessTest,
+    ::testing::Combine(::testing::Values(SchemeKind::kNone, SchemeKind::kTri,
+                                         SchemeKind::kSplub, SchemeKind::kAdm,
+                                         SchemeKind::kLaesa,
+                                         SchemeKind::kTlaesa,
+                                         SchemeKind::kDft),
+                       ::testing::Bool()));
+
+TEST(ResolverBatchTest, TransportsAgreeOnAnswersAndCounters) {
+  const ObjectId n = 14;
+  auto run = [&](bool batch_transport) {
+    ResolverStack stack = MakeRandomStack(n, 28);
+    TriBounder tri(stack.graph.get());
+    stack.resolver->SetBounder(&tri);
+    stack.resolver->SetBatchTransport(batch_transport);
+    std::vector<std::vector<bool>> outcomes;
+    std::mt19937_64 rng(29);
+    for (int round = 0; round < 15; ++round) {
+      std::vector<IdPair> pairs;
+      std::vector<double> thresholds;
+      for (int k = 0; k < 12; ++k) {
+        pairs.push_back(IdPair{static_cast<ObjectId>(rng() % n),
+                               static_cast<ObjectId>(rng() % n)});
+        thresholds.push_back(0.08 * static_cast<double>(rng() % 16));
+      }
+      outcomes.push_back(stack.resolver->FilterLessThan(pairs, thresholds));
+    }
+    return std::make_pair(outcomes, stack.resolver->stats());
+  };
+  const auto [batched, batched_stats] = run(true);
+  const auto [scalar, scalar_stats] = run(false);
+  EXPECT_EQ(batched, scalar);
+  EXPECT_EQ(batched_stats.oracle_calls, scalar_stats.oracle_calls);
+  EXPECT_EQ(batched_stats.comparisons, scalar_stats.comparisons);
+  EXPECT_EQ(batched_stats.decided_by_bounds, scalar_stats.decided_by_bounds);
+  EXPECT_EQ(batched_stats.decided_by_cache, scalar_stats.decided_by_cache);
+  EXPECT_EQ(batched_stats.decided_by_oracle, scalar_stats.decided_by_oracle);
+  EXPECT_EQ(batched_stats.bound_queries, scalar_stats.bound_queries);
+  // Only the transport-attribution counters may differ.
+  EXPECT_GT(batched_stats.batch_calls, 0u);
+  EXPECT_EQ(scalar_stats.batch_calls, 0u);
+  EXPECT_EQ(scalar_stats.batch_resolved_pairs, 0u);
+}
+
 }  // namespace
 }  // namespace metricprox

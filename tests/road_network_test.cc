@@ -105,5 +105,27 @@ TEST(RoadNetworkOracleTest, MatchesDirectShortestPath) {
   EXPECT_DOUBLE_EQ(oracle.Distance(0, 2), from2[80]);
 }
 
+TEST(RoadNetworkOracleTest, BatchDistanceMatchesScalar) {
+  const RoadNetwork net = RoadNetwork::Generate(SmallConfig(21));
+  // Two oracles over the same network: one answers a single batch (rows
+  // computed by parallel Dijkstras), the other answers scalar calls. The
+  // min(i, j) source convention must make them bit-identical.
+  RoadNetworkOracle batched(&net, {3, 17, 44, 90, 61, 108});
+  RoadNetworkOracle scalar(&net, {3, 17, 44, 90, 61, 108});
+  const ObjectId n = batched.num_objects();
+  std::vector<IdPair> pairs;
+  for (ObjectId i = 0; i < n; ++i) {
+    for (ObjectId j = 0; j < n; ++j) {
+      if (i != j) pairs.push_back(IdPair{i, j});
+    }
+  }
+  std::vector<double> out(pairs.size());
+  batched.BatchDistance(pairs, out);
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    EXPECT_DOUBLE_EQ(out[k], scalar.Distance(pairs[k].i, pairs[k].j))
+        << "pair (" << pairs[k].i << ", " << pairs[k].j << ")";
+  }
+}
+
 }  // namespace
 }  // namespace metricprox

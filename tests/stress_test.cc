@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "algo/boruvka.h"
 #include "algo/clarans.h"
 #include "algo/dbscan.h"
 #include "algo/kcenter.h"
@@ -157,6 +158,130 @@ INSTANTIATE_TEST_SUITE_P(
                           "diameter"),
         ::testing::Values(SchemeKind::kTri, SchemeKind::kLaesa,
                           SchemeKind::kTlaesa, SchemeKind::kHybrid)));
+
+// ---------------------------------------------------------------------------
+// Batch-transport equivalence: the batched pipeline (one BatchDistance
+// round-trip per undecided remainder) and the scalar pipeline (a per-pair
+// Distance loop) must produce byte-identical outputs and identical resolver
+// counters for every algorithm x scheme x seed — the resolver makes every
+// decision before any resolution, so the transport can never influence the
+// result. A single diverging double or counter fails here.
+// ---------------------------------------------------------------------------
+
+struct EquivalenceRun {
+  // Flattened algorithm output: ids and distances in structure order.
+  std::vector<double> blob;
+  ResolverStats stats;
+};
+
+EquivalenceRun RunForEquivalence(const Dataset& dataset,
+                                 const std::string& algorithm,
+                                 SchemeKind scheme, uint64_t seed,
+                                 double max_distance, bool batch_transport) {
+  PartialDistanceGraph graph(dataset.oracle->num_objects());
+  BoundedResolver resolver(dataset.oracle.get(), &graph);
+  resolver.SetBatchTransport(batch_transport);
+  SchemeOptions options;
+  options.seed = seed;
+  options.max_distance = max_distance;
+  StatusOr<std::unique_ptr<Bounder>> bounder =
+      MakeAndAttachScheme(scheme, &resolver, options);
+  CHECK(bounder.ok()) << bounder.status();
+
+  EquivalenceRun run;
+  auto push_edge = [&run](const WeightedEdge& e) {
+    run.blob.push_back(e.u);
+    run.blob.push_back(e.v);
+    run.blob.push_back(e.weight);
+  };
+  if (algorithm == "prim") {
+    for (const WeightedEdge& e : PrimMst(&resolver).edges) push_edge(e);
+  } else if (algorithm == "boruvka") {
+    for (const WeightedEdge& e : BoruvkaMst(&resolver).edges) push_edge(e);
+  } else if (algorithm == "knn") {
+    for (const auto& row : BuildKnnGraph(&resolver, KnnGraphOptions{3})) {
+      for (const KnnNeighbor& nb : row) {
+        run.blob.push_back(nb.id);
+        run.blob.push_back(nb.distance);
+      }
+    }
+  } else {  // pam
+    PamOptions options_pam;
+    options_pam.num_medoids = 4;
+    const ClusteringResult c = PamCluster(&resolver, options_pam);
+    for (const ObjectId m : c.medoids) run.blob.push_back(m);
+    for (const uint32_t a : c.assignment) run.blob.push_back(a);
+    run.blob.push_back(c.total_deviation);
+    run.blob.push_back(c.iterations);
+  }
+  run.stats = resolver.stats();
+  return run;
+}
+
+class BatchEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, const char*, SchemeKind, uint64_t>> {};
+
+TEST_P(BatchEquivalenceTest, TransportsProduceIdenticalOutputsAndCalls) {
+  const auto [dataset_name, algorithm, scheme, seed] = GetParam();
+  const ObjectId n = 40;
+  Dataset dataset = MakeDataset(dataset_name, n, seed);
+
+  const EquivalenceRun batched = RunForEquivalence(
+      dataset, algorithm, scheme, seed, dataset.max_distance, true);
+  const EquivalenceRun scalar = RunForEquivalence(
+      dataset, algorithm, scheme, seed, dataset.max_distance, false);
+
+  // Byte-identical structures (exact double equality, element by element).
+  EXPECT_EQ(batched.blob, scalar.blob)
+      << dataset_name << "/" << algorithm << "/" << SchemeKindName(scheme);
+  // Identical decision accounting: same oracle_calls, same comparison
+  // partition, same bound queries. Only batch_* attribution may differ.
+  EXPECT_EQ(batched.stats.oracle_calls, scalar.stats.oracle_calls);
+  EXPECT_EQ(batched.stats.comparisons, scalar.stats.comparisons);
+  EXPECT_EQ(batched.stats.decided_by_bounds, scalar.stats.decided_by_bounds);
+  EXPECT_EQ(batched.stats.decided_by_cache, scalar.stats.decided_by_cache);
+  EXPECT_EQ(batched.stats.decided_by_oracle, scalar.stats.decided_by_oracle);
+  EXPECT_EQ(batched.stats.bound_queries, scalar.stats.bound_queries);
+  EXPECT_EQ(scalar.stats.batch_calls, 0u);
+  EXPECT_LE(batched.stats.batch_resolved_pairs, batched.stats.oracle_calls);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, BatchEquivalenceTest,
+    ::testing::Combine(::testing::Values("sf", "dna", "random"),
+                       ::testing::Values("prim", "boruvka", "knn", "pam"),
+                       ::testing::Values(SchemeKind::kTri, SchemeKind::kLaesa,
+                                         SchemeKind::kTlaesa,
+                                         SchemeKind::kHybrid),
+                       ::testing::Values(1234u, 99u)));
+
+// On road-network data the whole point of batching is amortization: a
+// Dijkstra row answers many pairs, so shipping the undecided remainder as
+// one BatchDistance must take >= 4x fewer oracle round-trips than the
+// scalar path's one-call-per-pair — without spending a single extra call.
+TEST(BatchRoundTripTest, BatchedPrimAmortizesRoadNetworkRoundTrips) {
+  const ObjectId n = 48;
+  const uint64_t seed = 1234;
+  for (const SchemeKind scheme : {SchemeKind::kNone, SchemeKind::kTri}) {
+    Dataset dataset = MakeDataset("sf", n, seed);
+    const EquivalenceRun batched = RunForEquivalence(
+        dataset, "prim", scheme, seed, dataset.max_distance, true);
+    const EquivalenceRun scalar = RunForEquivalence(
+        dataset, "prim", scheme, seed, dataset.max_distance, false);
+
+    // No call regression: the batched transport spends exactly the calls
+    // the scalar transport would have.
+    EXPECT_EQ(batched.stats.oracle_calls, scalar.stats.oracle_calls);
+    // Scalar issues one round-trip per oracle call; batched must need at
+    // least 4x fewer round-trips for the same pairs.
+    ASSERT_GT(batched.stats.batch_calls, 0u);
+    EXPECT_LE(batched.stats.batch_calls * 4, scalar.stats.oracle_calls)
+        << SchemeKindName(scheme);
+    EXPECT_EQ(batched.stats.batch_resolved_pairs, batched.stats.oracle_calls)
+        << "every Prim resolution should flow through the batch path";
+  }
+}
 
 }  // namespace
 }  // namespace metricprox
