@@ -1,7 +1,9 @@
 #include "bounds/resolver.h"
 
+#include <cstdlib>
 #include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "core/logging.h"
 
@@ -19,6 +21,32 @@ void BoundedResolver::SetBounder(Bounder* bounder) {
   bounder_ = bounder != nullptr ? bounder : &null_bounder_;
 }
 
+void BoundedResolver::FailTransport(Status status, uint64_t failed_pairs) {
+  stats_.oracle_failures += failed_pairs;
+  oracle_status_ = status;
+  if (fallible_depth_ > 0) {
+    throw internal::OracleTransportError{std::move(status)};
+  }
+  CHECK(false) << "oracle transport failed outside RunFallible: "
+               << oracle_status_;
+  std::abort();  // unreachable; keeps [[noreturn]] honest for the compiler
+}
+
+StatusOr<double> BoundedResolver::RunFallible(
+    const std::function<double(BoundedResolver*)>& body) {
+  CHECK(body != nullptr);
+  oracle_status_ = Status::OK();
+  ++fallible_depth_;
+  try {
+    const double value = body(this);
+    --fallible_depth_;
+    return value;
+  } catch (const internal::OracleTransportError& error) {
+    --fallible_depth_;
+    return error.status;
+  }
+}
+
 double BoundedResolver::Distance(ObjectId i, ObjectId j) {
   CHECK_LT(i, graph_->num_objects());
   CHECK_LT(j, graph_->num_objects());
@@ -27,8 +55,10 @@ double BoundedResolver::Distance(ObjectId i, ObjectId j) {
     return *cached;
   }
   Stopwatch oracle_watch;
-  const double d = oracle_->Distance(i, j);
+  StatusOr<double> resolved = oracle_->TryDistance(i, j);
   stats_.oracle_seconds += oracle_watch.ElapsedSeconds();
+  if (!resolved.ok()) FailTransport(resolved.status(), /*failed_pairs=*/1);
+  const double d = resolved.value();
   ++stats_.oracle_calls;
 
   graph_->Insert(i, j, d);
@@ -97,8 +127,10 @@ bool BoundedResolver::ProvenGreaterThan(ObjectId i, ObjectId j, double t) {
     ++stats_.decided_by_bounds;
     return true;
   }
-  // Not proven (either provably <= t or undecidable): the caller resolves.
-  ++stats_.decided_by_oracle;
+  // Not proven (either provably <= t or undecidable). No oracle call happens
+  // here — the caller typically resolves next, and *that* comparison is the
+  // one charged to the oracle.
+  ++stats_.undecided;
   return false;
 }
 
@@ -127,8 +159,9 @@ bool BoundedResolver::ProvenGreaterOrEqual(ObjectId i, ObjectId j, double t) {
     ++stats_.decided_by_bounds;
     return true;
   }
-  // Not proven (either provably < t or undecidable): the caller resolves.
-  ++stats_.decided_by_oracle;
+  // Not proven (either provably < t or undecidable). As in
+  // ProvenGreaterThan, nothing reached the oracle on this path.
+  ++stats_.undecided;
   return false;
 }
 
@@ -159,11 +192,23 @@ void BoundedResolver::ResolveUnknown(std::span<const IdPair> pairs) {
   // Batch transport: one oracle round-trip, one bulk insert, one bulk
   // bounder notification.
   std::vector<double> distances(unique.size());
+  std::vector<Status> statuses(unique.size());
   Stopwatch oracle_watch;
-  oracle_->BatchDistance(unique, distances);
+  const Status batch_status =
+      oracle_->TryBatchDistance(unique, distances, statuses);
   const double oracle_elapsed = oracle_watch.ElapsedSeconds();
   stats_.oracle_seconds += oracle_elapsed;
   stats_.batch_oracle_seconds += oracle_elapsed;
+  if (!batch_status.ok()) {
+    // The run is aborting: even the pairs that did succeed are dropped, so
+    // a later re-run pays for them again. Charging a failure per failed
+    // pair (not per batch) keeps the counter comparable across transports.
+    uint64_t failed = 0;
+    for (const Status& s : statuses) {
+      if (!s.ok()) ++failed;
+    }
+    FailTransport(batch_status, failed);
+  }
   stats_.oracle_calls += unique.size();
   ++stats_.batch_calls;
   stats_.batch_resolved_pairs += unique.size();
@@ -229,17 +274,26 @@ std::vector<bool> BoundedResolver::FilterLessThan(
   }
 
   // Ship the undecided remainder in one batch, then read the answers back
-  // from the cache.
+  // from the cache. Attribution mirrors the scalar LessThan loop: only the
+  // first occurrence of an unordered pair actually triggers a resolution
+  // (ResolveUnknown dedups); a repeat — duplicate or symmetric — would have
+  // hit the cache in the scalar loop, so it is charged to the cache here.
   std::vector<size_t> undecided;
   std::vector<IdPair> remainder;
+  std::unordered_set<EdgeKey, EdgeKeyHash> charged;
   for (size_t s = 0; s < sweep.size(); ++s) {
     if (decided[s].has_value()) {
       ++stats_.decided_by_bounds;
       out[sweep[s]] = *decided[s];
     } else {
-      ++stats_.decided_by_oracle;
+      const IdPair p = sweep_pairs[s];
+      if (charged.insert(EdgeKey(p.i, p.j)).second) {
+        ++stats_.decided_by_oracle;
+      } else {
+        ++stats_.decided_by_cache;
+      }
       undecided.push_back(s);
-      remainder.push_back(sweep_pairs[s]);
+      remainder.push_back(p);
     }
   }
   ResolveUnknown(remainder);

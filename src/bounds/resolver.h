@@ -1,16 +1,30 @@
 #ifndef METRICPROX_BOUNDS_RESOLVER_H_
 #define METRICPROX_BOUNDS_RESOLVER_H_
 
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "core/bounder.h"
 #include "core/oracle.h"
 #include "core/stats.h"
+#include "core/status.h"
 #include "core/types.h"
 #include "graph/partial_graph.h"
 
 namespace metricprox {
+
+namespace internal {
+
+/// Unwind vehicle for BoundedResolver::RunFallible: thrown by the resolver
+/// when the oracle transport fails permanently inside a fallible scope, and
+/// caught by RunFallible, which converts it back into a Status. Never
+/// escapes the library — the public API stays exception-free.
+struct OracleTransportError {
+  Status status;
+};
+
+}  // namespace internal
 
 /// The unified framework's engine: proximity algorithms issue distance
 /// *comparisons* here instead of calling the oracle, and the resolver
@@ -116,6 +130,23 @@ class BoundedResolver {
   const PartialDistanceGraph& graph() const { return *graph_; }
   DistanceOracle& oracle() { return *oracle_; }
 
+  /// Failure-aware entry point: runs `body` (any code that issues
+  /// comparisons against this resolver) and returns either its value or the
+  /// Status of the oracle failure that stopped it. The resolver always
+  /// resolves through the fallible oracle verbs; *outside* a RunFallible
+  /// scope an exhausted oracle CHECK-aborts (the legacy contract for callers
+  /// that never opted into failure handling), while *inside* one the run
+  /// unwinds here and surfaces the Status instead. After a failure the
+  /// partial graph keeps every edge resolved before the failing call, so a
+  /// caller may repair the oracle and re-run against the same resolver
+  /// without repaying them.
+  StatusOr<double> RunFallible(
+      const std::function<double(BoundedResolver*)>& body);
+
+  /// Status of the oracle failure that aborted the last RunFallible (OK if
+  /// it completed).
+  const Status& oracle_status() const { return oracle_status_; }
+
   const ResolverStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
@@ -125,12 +156,20 @@ class BoundedResolver {
   /// order), then resolves the remainder through the active transport.
   void ResolveUnknown(std::span<const IdPair> pairs);
 
+  /// Terminates the current resolution because the oracle transport failed
+  /// permanently for `failed_pairs` pairs: records the failure in the stats,
+  /// then throws internal::OracleTransportError inside a RunFallible scope
+  /// or CHECK-aborts outside one.
+  [[noreturn]] void FailTransport(Status status, uint64_t failed_pairs);
+
   DistanceOracle* oracle_;       // not owned
   PartialDistanceGraph* graph_;  // not owned
   NullBounder null_bounder_;
   Bounder* bounder_;  // not owned; never null (defaults to &null_bounder_)
   ResolverStats stats_;
   bool batch_transport_ = true;
+  int fallible_depth_ = 0;
+  Status oracle_status_;
 };
 
 }  // namespace metricprox

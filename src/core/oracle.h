@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "core/logging.h"
+#include "core/status.h"
 #include "core/types.h"
 
 namespace metricprox {
@@ -53,11 +54,50 @@ class DistanceOracle {
     }
   }
 
+  /// Fallible variant of Distance(). Infallible oracles (everything local:
+  /// matrices, vectors, strings) inherit this adapter, which never fails;
+  /// middleware that models or survives remote failure (FaultInjectingOracle,
+  /// RetryingOracle) overrides it. Callers that cannot tolerate failure keep
+  /// using Distance(); BoundedResolver routes through the Try verbs so a
+  /// failure can surface as a Status instead of aborting.
+  virtual StatusOr<double> TryDistance(ObjectId i, ObjectId j) {
+    return Distance(i, j);
+  }
+
+  /// Fallible variant of BatchDistance() with per-pair outcomes:
+  /// out[k] is meaningful iff statuses[k].ok(). Returns OK iff every pair
+  /// succeeded; otherwise returns the first non-OK per-pair status so
+  /// callers that don't need pair granularity still get a real error.
+  /// Successful entries must be bit-identical to Distance(pairs[k]) — the
+  /// partial results are what make partial-batch retry (re-shipping only
+  /// the failed pairs) possible without spending duplicate oracle calls.
+  /// The default adapter delegates to BatchDistance() and reports all-OK.
+  virtual Status TryBatchDistance(std::span<const IdPair> pairs,
+                                  std::span<double> out,
+                                  std::span<Status> statuses) {
+    CHECK_EQ(pairs.size(), out.size());
+    CHECK_EQ(pairs.size(), statuses.size());
+    BatchDistance(pairs, out);
+    for (size_t k = 0; k < pairs.size(); ++k) statuses[k] = Status::OK();
+    return Status::OK();
+  }
+
   /// Number of objects in the universe.
   virtual ObjectId num_objects() const = 0;
 
   /// Short identifier for reports, e.g. "euclidean" or "road-network".
   virtual std::string_view name() const = 0;
+
+  /// Worker-thread budget for parallel BatchDistance overrides. 0 (default)
+  /// defers to METRICPROX_THREADS and then the hardware. Virtual so wrappers
+  /// forward the knob to the oracle they decorate — setting it anywhere in a
+  /// middleware stack reaches the implementation that actually spawns
+  /// threads.
+  virtual void set_batch_workers(unsigned workers) { batch_workers_ = workers; }
+  virtual unsigned batch_workers() const { return batch_workers_; }
+
+ private:
+  unsigned batch_workers_ = 0;
 };
 
 }  // namespace metricprox

@@ -3,33 +3,54 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 namespace metricprox {
 
+namespace internal {
+
+/// METRICPROX_THREADS, parsed once per process. 0 means "unset / invalid":
+/// fall through to the hardware. Lets CI and shared machines cap the worker
+/// pool without recompiling or plumbing a flag through every layer.
+inline unsigned EnvThreadCap() {
+  static const unsigned cap = [] {
+    const char* env = std::getenv("METRICPROX_THREADS");
+    if (env == nullptr) return 0u;
+    const long parsed = std::strtol(env, nullptr, 10);
+    return parsed > 0 ? static_cast<unsigned>(parsed) : 0u;
+  }();
+  return cap;
+}
+
+}  // namespace internal
+
 /// Number of worker threads the parallel oracle paths may use (>= 1).
-/// Overridable per call site for tests; 0 means "ask the hardware".
+/// Precedence: explicit `requested` > METRICPROX_THREADS > hardware.
 inline unsigned ParallelWorkerCount(unsigned requested = 0) {
   if (requested > 0) return requested;
+  const unsigned env = internal::EnvThreadCap();
+  if (env > 0) return env;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
 }
 
 /// Runs fn(begin, end) over a partition of [0, n) on up to
-/// ParallelWorkerCount() std::threads. Falls back to one inline call when
-/// the work is too small to amortize thread start-up (n < 2 * grain) or only
-/// one worker is available.
+/// ParallelWorkerCount(requested_workers) std::threads. Falls back to one
+/// inline call when the work is too small to amortize thread start-up
+/// (n < 2 * grain) or only one worker is available.
 ///
 /// `fn` must be safe to invoke concurrently on disjoint ranges; this is the
 /// contract the oracle BatchDistance overrides rely on (their Distance
 /// implementations are pure). Exceptions are not supported — the library
 /// reports fatal conditions through CHECK, which aborts.
 template <typename Fn>
-void ParallelFor(size_t n, size_t grain, Fn&& fn) {
+void ParallelFor(size_t n, size_t grain, Fn&& fn,
+                 unsigned requested_workers = 0) {
   if (n == 0) return;
   const size_t min_grain = grain > 0 ? grain : 1;
-  const unsigned workers = ParallelWorkerCount();
+  const unsigned workers = ParallelWorkerCount(requested_workers);
   const size_t max_chunks = (n + min_grain - 1) / min_grain;
   const size_t num_chunks =
       std::min<size_t>(workers, std::max<size_t>(max_chunks, 1));

@@ -11,6 +11,7 @@ std::string ResolverStats::ToString() const {
      << " decided_by_bounds=" << decided_by_bounds
      << " decided_by_cache=" << decided_by_cache
      << " decided_by_oracle=" << decided_by_oracle
+     << " undecided=" << undecided
      << " bound_queries=" << bound_queries
      << " bounder_seconds=" << bounder_seconds
      << " oracle_seconds=" << oracle_seconds;
@@ -21,6 +22,12 @@ std::string ResolverStats::ToString() const {
   }
   if (simulated_oracle_seconds > 0) {
     os << " simulated_oracle_seconds=" << simulated_oracle_seconds;
+  }
+  if (oracle_retries > 0 || oracle_timeouts > 0 || oracle_failures > 0) {
+    os << " oracle_retries=" << oracle_retries
+       << " oracle_timeouts=" << oracle_timeouts
+       << " oracle_failures=" << oracle_failures
+       << " retry_backoff_seconds=" << retry_backoff_seconds;
   }
   return os.str();
 }

@@ -20,6 +20,12 @@ struct ResolverStats {
   uint64_t decided_by_cache = 0;
   /// Comparisons that had to fall back to the oracle.
   uint64_t decided_by_oracle = 0;
+  /// Comparisons the resolver could neither prove nor disprove without a
+  /// resolution the caller did not request (the one-sided proof verbs
+  /// ProvenGreaterThan / ProvenGreaterOrEqual returning "not proven"). No
+  /// oracle call happens on these paths; they used to be misattributed to
+  /// decided_by_oracle.
+  uint64_t undecided = 0;
   /// Total comparison requests (LessThan + PairLess + the batch verbs,
   /// one per pair).
   uint64_t comparisons = 0;
@@ -42,6 +48,17 @@ struct ResolverStats {
   double batch_oracle_seconds = 0.0;
   /// Simulated oracle latency accumulated by a SimulatedCostOracle, seconds.
   double simulated_oracle_seconds = 0.0;
+  /// Oracle attempts re-shipped by a RetryingOracle after a transient
+  /// failure (counted per pair, not per batch round-trip).
+  uint64_t oracle_retries = 0;
+  /// Per-call timeouts observed at the oracle layer (DeadlineExceeded from
+  /// a single attempt, before any retry).
+  uint64_t oracle_timeouts = 0;
+  /// Pair resolutions that failed permanently (retries exhausted or the
+  /// overall deadline expired) and surfaced as a Status to the caller.
+  uint64_t oracle_failures = 0;
+  /// Wall time spent sleeping in retry backoff, in seconds.
+  double retry_backoff_seconds = 0.0;
 
   void Reset() { *this = ResolverStats(); }
 
@@ -50,6 +67,7 @@ struct ResolverStats {
     decided_by_bounds += o.decided_by_bounds;
     decided_by_cache += o.decided_by_cache;
     decided_by_oracle += o.decided_by_oracle;
+    undecided += o.undecided;
     comparisons += o.comparisons;
     bound_queries += o.bound_queries;
     batch_calls += o.batch_calls;
@@ -58,6 +76,10 @@ struct ResolverStats {
     oracle_seconds += o.oracle_seconds;
     batch_oracle_seconds += o.batch_oracle_seconds;
     simulated_oracle_seconds += o.simulated_oracle_seconds;
+    oracle_retries += o.oracle_retries;
+    oracle_timeouts += o.oracle_timeouts;
+    oracle_failures += o.oracle_failures;
+    retry_backoff_seconds += o.retry_backoff_seconds;
     return *this;
   }
 

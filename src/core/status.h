@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIoError,
+  kUnavailable,        // transient failure; the caller may retry
+  kDeadlineExceeded,   // a per-call timeout or an overall deadline expired
 };
 
 /// Returns a short human-readable name for a code, e.g. "InvalidArgument".
@@ -64,6 +66,12 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

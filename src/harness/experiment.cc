@@ -1,5 +1,9 @@
 #include "harness/experiment.h"
 
+#include <memory>
+#include <optional>
+#include <utility>
+
 #include "bounds/pivots.h"
 #include "core/logging.h"
 #include "graph/partial_graph.h"
@@ -10,39 +14,81 @@ namespace metricprox {
 WorkloadResult RunWorkload(DistanceOracle* oracle,
                            const WorkloadConfig& config,
                            const Workload& workload) {
+  StatusOr<WorkloadResult> result = TryRunWorkload(oracle, config, workload);
+  CHECK(result.ok()) << "workload failed: " << result.status();
+  return *std::move(result);
+}
+
+StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
+                                        const WorkloadConfig& config,
+                                        const Workload& workload) {
   CHECK(oracle != nullptr);
   CHECK(workload != nullptr);
 
+  // Middleware stack, bottom to top. The simulated-cost layer sits below
+  // the fault injector so that only attempts reaching the "real" oracle are
+  // billed; retry sits on top so it sees every injected fault.
   SimulatedCostOracle costed(oracle, config.oracle_cost_seconds);
+  DistanceOracle* top = &costed;
+  std::optional<FaultInjectingOracle> faulty;
+  if (config.inject_faults) {
+    faulty.emplace(top, config.fault);
+    top = &*faulty;
+  }
+  std::optional<RetryingOracle> retrying;
+  if (config.enable_retry) {
+    retrying.emplace(top, config.retry);
+    top = &*retrying;
+  }
+
   PartialDistanceGraph graph(oracle->num_objects());
-  BoundedResolver resolver(&costed, &graph);
+  BoundedResolver resolver(top, &graph);
   resolver.SetBatchTransport(config.batch_transport);
 
   WorkloadResult result;
   Stopwatch watch;
 
-  if (config.bootstrap) {
-    const uint32_t landmarks = config.num_landmarks > 0
-                                   ? config.num_landmarks
-                                   : DefaultNumLandmarks(oracle->num_objects());
-    BootstrapWithLandmarks(&resolver, landmarks, config.seed);
-  }
+  // Bootstrap, scheme construction and the workload all issue oracle calls
+  // through the resolver, so all three run inside the fallible scope; a
+  // permanently failed oracle unwinds to the StatusOr below no matter when
+  // it dies. The bounder must outlive the scope (the resolver holds a raw
+  // pointer), hence the keepalive.
+  std::unique_ptr<Bounder> bounder_keepalive;
+  Status scheme_status = Status::OK();
+  StatusOr<double> value =
+      resolver.RunFallible([&](BoundedResolver* r) -> double {
+        if (config.bootstrap) {
+          const uint32_t landmarks =
+              config.num_landmarks > 0
+                  ? config.num_landmarks
+                  : DefaultNumLandmarks(oracle->num_objects());
+          BootstrapWithLandmarks(r, landmarks, config.seed);
+        }
 
-  SchemeOptions scheme_options;
-  scheme_options.num_landmarks = config.num_landmarks;
-  scheme_options.max_distance = config.max_distance;
-  scheme_options.rho = config.rho;
-  scheme_options.seed = config.seed;
-  StatusOr<std::unique_ptr<Bounder>> bounder =
-      MakeAndAttachScheme(config.scheme, &resolver, scheme_options);
-  CHECK(bounder.ok()) << bounder.status();
+        SchemeOptions scheme_options;
+        scheme_options.num_landmarks = config.num_landmarks;
+        scheme_options.max_distance = config.max_distance;
+        scheme_options.rho = config.rho;
+        scheme_options.seed = config.seed;
+        StatusOr<std::unique_ptr<Bounder>> bounder =
+            MakeAndAttachScheme(config.scheme, r, scheme_options);
+        if (!bounder.ok()) {
+          scheme_status = bounder.status();
+          return 0.0;
+        }
+        bounder_keepalive = std::move(bounder).value();
 
-  result.construction_calls = resolver.stats().oracle_calls;
-  result.value = workload(&resolver);
+        result.construction_calls = r->stats().oracle_calls;
+        return workload(r);
+      });
+  MP_RETURN_IF_ERROR(scheme_status);
+  if (!value.ok()) return value.status();
+  result.value = *value;
 
   result.wall_seconds = watch.ElapsedSeconds();
   result.stats = resolver.stats();
   result.stats.simulated_oracle_seconds = costed.simulated_seconds();
+  if (retrying.has_value()) retrying->AccumulateStats(&result.stats);
   result.total_calls = result.stats.oracle_calls;
   result.completion_seconds =
       result.wall_seconds + costed.simulated_seconds();

@@ -9,6 +9,9 @@
 #include "bounds/scheme.h"
 #include "core/oracle.h"
 #include "core/stats.h"
+#include "core/status.h"
+#include "oracle/fault_injection.h"
+#include "oracle/retry.h"
 
 namespace metricprox {
 
@@ -33,6 +36,14 @@ struct WorkloadConfig {
   /// and oracle_calls are transport-independent by construction.
   bool batch_transport = true;
   uint64_t seed = 42;
+  /// Stack a FaultInjectingOracle (chaos testing) between the simulated
+  /// cost layer and the resolver, configured by `fault`.
+  bool inject_faults = false;
+  FaultInjectionOptions fault;
+  /// Stack a RetryingOracle above the (possibly faulty) oracle, configured
+  /// by `retry`. Retry counters are merged into the result's stats.
+  bool enable_retry = false;
+  RetryOptions retry;
 };
 
 /// A proximity algorithm run against a resolver; returns a checksum
@@ -60,6 +71,17 @@ struct WorkloadResult {
 WorkloadResult RunWorkload(DistanceOracle* oracle,
                            const WorkloadConfig& config,
                            const Workload& workload);
+
+/// Failure-aware variant: the full middleware stack is
+///   oracle -> SimulatedCostOracle -> [FaultInjectingOracle] ->
+///   [RetryingOracle] -> resolver,
+/// and bootstrap, scheme construction and the workload all run inside
+/// BoundedResolver::RunFallible — an oracle whose retries or deadline are
+/// exhausted surfaces here as a non-OK Status instead of aborting the
+/// process. RunWorkload is this with a CHECK on the result.
+StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
+                                        const WorkloadConfig& config,
+                                        const Workload& workload);
 
 /// Fraction of calls saved by `ours` relative to `baseline`
 /// (the tables' "Save (%)" columns, as a fraction).

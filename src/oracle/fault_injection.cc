@@ -1,0 +1,100 @@
+#include "oracle/fault_injection.h"
+
+#include <vector>
+
+#include "core/logging.h"
+
+namespace metricprox {
+namespace {
+
+// splitmix64 finalizer — the same mixer as EdgeKeyHash, reused here to map
+// (seed, pair, attempt) to an independent uniform deviate per attempt.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from a mixed 64-bit state.
+double UnitUniform(uint64_t x) {
+  return static_cast<double>(Mix(x) >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kFailureSalt = 0x7f4a7c15f39cc060ULL;
+constexpr uint64_t kSpikeSalt = 0x9e6c586e6a9e35d5ULL;
+
+}  // namespace
+
+Status FaultInjectingOracle::FateFor(EdgeKey key) {
+  const uint32_t attempt = attempt_index_[key.packed()]++;
+  uint32_t& consecutive = consecutive_failures_[key.packed()];
+  if (options_.max_consecutive_failures > 0 &&
+      consecutive >= options_.max_consecutive_failures) {
+    // Transience guarantee: the fault model never starves a retrying caller.
+    consecutive = 0;
+    return Status::OK();
+  }
+  const uint64_t h =
+      Mix(options_.seed ^ Mix(key.packed())) ^
+      (static_cast<uint64_t>(attempt) + 1) * 0xd1342543de82ef95ULL;
+  if (UnitUniform(h ^ kSpikeSalt) < options_.spike_rate) {
+    ++injected_spikes_;
+    injected_spike_seconds_ += options_.spike_seconds;
+    if (options_.per_call_timeout_seconds > 0.0 &&
+        options_.spike_seconds >= options_.per_call_timeout_seconds) {
+      ++injected_timeouts_;
+      ++consecutive;
+      return Status::DeadlineExceeded(
+          "injected latency spike exceeded the per-call timeout");
+    }
+  }
+  if (UnitUniform(h ^ kFailureSalt) < options_.failure_rate) {
+    ++injected_failures_;
+    ++consecutive;
+    return Status::Unavailable("injected transient failure");
+  }
+  consecutive = 0;
+  return Status::OK();
+}
+
+StatusOr<double> FaultInjectingOracle::TryDistance(ObjectId i, ObjectId j) {
+  Status fate = FateFor(EdgeKey(i, j));
+  if (!fate.ok()) return fate;
+  return base_->TryDistance(i, j);
+}
+
+Status FaultInjectingOracle::TryBatchDistance(std::span<const IdPair> pairs,
+                                              std::span<double> out,
+                                              std::span<Status> statuses) {
+  CHECK_EQ(pairs.size(), out.size());
+  CHECK_EQ(pairs.size(), statuses.size());
+  // Decide every fate up front on the calling thread, then ship the
+  // surviving subset through the base in one (still parallel) batch.
+  std::vector<size_t> shipped;
+  std::vector<IdPair> ship_pairs;
+  shipped.reserve(pairs.size());
+  ship_pairs.reserve(pairs.size());
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    statuses[k] = FateFor(EdgeKey(pairs[k].i, pairs[k].j));
+    if (statuses[k].ok()) {
+      shipped.push_back(k);
+      ship_pairs.push_back(pairs[k]);
+    }
+  }
+  if (!ship_pairs.empty()) {
+    std::vector<double> ship_out(ship_pairs.size());
+    std::vector<Status> ship_statuses(ship_pairs.size());
+    base_->TryBatchDistance(ship_pairs, ship_out, ship_statuses);
+    for (size_t s = 0; s < shipped.size(); ++s) {
+      statuses[shipped[s]] = ship_statuses[s];
+      if (ship_statuses[s].ok()) out[shipped[s]] = ship_out[s];
+    }
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace metricprox

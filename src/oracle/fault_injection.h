@@ -1,0 +1,100 @@
+#ifndef METRICPROX_ORACLE_FAULT_INJECTION_H_
+#define METRICPROX_ORACLE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/oracle.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Knobs of the deterministic fault model. All probabilities are in [0, 1].
+struct FaultInjectionOptions {
+  /// Probability that a given attempt fails with kUnavailable (a transient
+  /// transport error: connection reset, 503, ...).
+  double failure_rate = 0.0;
+  /// Probability that a given attempt incurs a *virtual* latency spike of
+  /// spike_seconds (tail latency of a remote oracle). Spikes are accounted,
+  /// not slept, so chaos tests stay fast.
+  double spike_rate = 0.0;
+  /// Virtual duration of one latency spike.
+  double spike_seconds = 0.0;
+  /// Per-attempt timeout: a spiked attempt whose spike_seconds reaches this
+  /// budget fails with kDeadlineExceeded instead of merely being slow.
+  /// 0 disables the timeout.
+  double per_call_timeout_seconds = 0.0;
+  /// Transience guarantee: after this many consecutive failures of the same
+  /// pair the next attempt is forced to succeed, so a retrying caller always
+  /// makes progress. 0 means unbounded — a pair can fail forever, which is
+  /// how deadline-exhaustion paths are exercised.
+  uint32_t max_consecutive_failures = 3;
+  /// Seed of the fault pattern. The fate of attempt k of pair (i, j) is a
+  /// pure function of (seed, EdgeKey(i, j), k): two runs with the same seed
+  /// see the same faults in the same places regardless of batch shapes.
+  uint64_t seed = 0;
+};
+
+/// Test/chaos middleware that makes the fallible verbs of a reliable oracle
+/// fail on purpose. Stacks between the real oracle and a RetryingOracle:
+///
+///   base -> SimulatedCostOracle -> FaultInjectingOracle -> RetryingOracle
+///
+/// Only TryDistance / TryBatchDistance inject faults; the infallible verbs
+/// delegate untouched, since they have no channel to report a failure (and
+/// CHECK-aborting a chaos run would defeat its purpose). Fault fates are
+/// decided on the calling thread before the surviving subset is shipped to
+/// the base oracle, so the base keeps its parallel BatchDistance and the
+/// bookkeeping needs no synchronization (the resolver drives all Try verbs
+/// from one thread).
+class FaultInjectingOracle : public DistanceOracle {
+ public:
+  FaultInjectingOracle(DistanceOracle* base,
+                       const FaultInjectionOptions& options)
+      : base_(base), options_(options) {}
+
+  double Distance(ObjectId i, ObjectId j) override {
+    return base_->Distance(i, j);
+  }
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override {
+    base_->BatchDistance(pairs, out);
+  }
+
+  StatusOr<double> TryDistance(ObjectId i, ObjectId j) override;
+  Status TryBatchDistance(std::span<const IdPair> pairs, std::span<double> out,
+                          std::span<Status> statuses) override;
+
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return base_->name(); }
+  void set_batch_workers(unsigned workers) override {
+    base_->set_batch_workers(workers);
+  }
+  unsigned batch_workers() const override { return base_->batch_workers(); }
+
+  uint64_t injected_failures() const { return injected_failures_; }
+  uint64_t injected_timeouts() const { return injected_timeouts_; }
+  uint64_t injected_spikes() const { return injected_spikes_; }
+  double injected_spike_seconds() const { return injected_spike_seconds_; }
+
+ private:
+  /// Decides the fate of the next attempt of `key` and advances the per-pair
+  /// attempt / consecutive-failure bookkeeping.
+  Status FateFor(EdgeKey key);
+
+  DistanceOracle* base_;  // not owned
+  FaultInjectionOptions options_;
+  std::unordered_map<uint64_t, uint32_t> attempt_index_;
+  std::unordered_map<uint64_t, uint32_t> consecutive_failures_;
+  uint64_t injected_failures_ = 0;
+  uint64_t injected_timeouts_ = 0;
+  uint64_t injected_spikes_ = 0;
+  double injected_spike_seconds_ = 0.0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_FAULT_INJECTION_H_

@@ -1,0 +1,175 @@
+#include "oracle/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace metricprox {
+namespace {
+
+// splitmix64 finalizer (same mixer as EdgeKeyHash) driving the jitter
+// sequence.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double UnitUniform(uint64_t x) {
+  return static_cast<double>(Mix(x) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double RetryingOracle::NextBackoffSeconds(uint32_t round) {
+  double backoff = options_.initial_backoff_seconds;
+  for (uint32_t r = 0; r < round && backoff < options_.max_backoff_seconds;
+       ++r) {
+    backoff *= options_.backoff_multiplier;
+  }
+  backoff = std::min(backoff, options_.max_backoff_seconds);
+  if (options_.jitter > 0.0) {
+    const double u = UnitUniform(options_.seed ^ ++jitter_counter_);
+    backoff *= 1.0 + options_.jitter * (2.0 * u - 1.0);
+    backoff = std::min(backoff, options_.max_backoff_seconds);
+  }
+  return std::max(backoff, 0.0);
+}
+
+void RetryingOracle::Backoff(double seconds) {
+  if (seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  stats_.backoff_seconds += seconds;
+}
+
+StatusOr<double> RetryingOracle::TryDistance(ObjectId i, ObjectId j) {
+  const uint32_t max_attempts = std::max<uint32_t>(options_.max_attempts, 1);
+  Stopwatch deadline_watch;
+  Status last;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const double sleep = NextBackoffSeconds(attempt - 1);
+      if (options_.deadline_seconds > 0.0 &&
+          deadline_watch.ElapsedSeconds() + sleep >
+              options_.deadline_seconds) {
+        ++stats_.failures;
+        return Status::DeadlineExceeded("retry deadline exhausted after " +
+                                        std::string(last.ToString()));
+      }
+      Backoff(sleep);
+      ++stats_.retries;
+    }
+    ++stats_.attempts;
+    StatusOr<double> result = base_->TryDistance(i, j);
+    if (result.ok()) return result;
+    last = result.status();
+    if (last.code() == StatusCode::kDeadlineExceeded) ++stats_.timeouts;
+    if (!IsRetryableStatus(last)) break;
+  }
+  ++stats_.failures;
+  return Status(last.code(), "retries exhausted: " + last.message());
+}
+
+Status RetryingOracle::TryBatchDistance(std::span<const IdPair> pairs,
+                                        std::span<double> out,
+                                        std::span<Status> statuses) {
+  CHECK_EQ(pairs.size(), out.size());
+  CHECK_EQ(pairs.size(), statuses.size());
+  const uint32_t max_attempts = std::max<uint32_t>(options_.max_attempts, 1);
+  Stopwatch deadline_watch;
+
+  // Indices still awaiting a successful answer. Each round re-ships only
+  // these (partial-batch retry); answered pairs keep their round-one result.
+  std::vector<size_t> active(pairs.size());
+  std::iota(active.begin(), active.end(), size_t{0});
+
+  std::vector<IdPair> round_pairs;
+  std::vector<double> round_out;
+  std::vector<Status> round_statuses;
+  for (uint32_t round = 0; !active.empty(); ++round) {
+    if (round > 0) {
+      const double sleep = NextBackoffSeconds(round - 1);
+      if (options_.deadline_seconds > 0.0 &&
+          deadline_watch.ElapsedSeconds() + sleep >
+              options_.deadline_seconds) {
+        for (const size_t k : active) {
+          statuses[k] = Status::DeadlineExceeded(
+              "retry deadline exhausted after " + statuses[k].ToString());
+        }
+        stats_.failures += active.size();
+        break;
+      }
+      Backoff(sleep);
+      stats_.retries += active.size();
+    }
+
+    round_pairs.clear();
+    for (const size_t k : active) round_pairs.push_back(pairs[k]);
+    round_out.assign(round_pairs.size(), 0.0);
+    round_statuses.assign(round_pairs.size(), Status::OK());
+    stats_.attempts += round_pairs.size();
+    base_->TryBatchDistance(round_pairs, round_out, round_statuses);
+
+    std::vector<size_t> still_failing;
+    for (size_t s = 0; s < active.size(); ++s) {
+      const size_t k = active[s];
+      statuses[k] = round_statuses[s];
+      if (round_statuses[s].ok()) {
+        out[k] = round_out[s];
+        continue;
+      }
+      if (round_statuses[s].code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.timeouts;
+      }
+      if (IsRetryableStatus(round_statuses[s])) {
+        still_failing.push_back(k);
+      } else {
+        ++stats_.failures;  // permanent: not worth another round
+      }
+    }
+    active = std::move(still_failing);
+    if (!active.empty() && round + 1 >= max_attempts) {
+      for (const size_t k : active) {
+        statuses[k] = Status(statuses[k].code(),
+                             "retries exhausted: " + statuses[k].message());
+      }
+      stats_.failures += active.size();
+      break;
+    }
+  }
+
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+double RetryingOracle::Distance(ObjectId i, ObjectId j) {
+  StatusOr<double> result = TryDistance(i, j);
+  CHECK(result.ok()) << "oracle failed with retries exhausted on pair (" << i
+                     << ", " << j << "): " << result.status();
+  return result.value();
+}
+
+void RetryingOracle::BatchDistance(std::span<const IdPair> pairs,
+                                   std::span<double> out) {
+  std::vector<Status> statuses(pairs.size());
+  const Status status = TryBatchDistance(pairs, out, statuses);
+  CHECK(status.ok()) << "batch oracle failed with retries exhausted: "
+                     << status;
+}
+
+void RetryingOracle::AccumulateStats(ResolverStats* stats) const {
+  CHECK(stats != nullptr);
+  stats->oracle_retries += stats_.retries;
+  stats->oracle_timeouts += stats_.timeouts;
+  stats->retry_backoff_seconds += stats_.backoff_seconds;
+}
+
+}  // namespace metricprox

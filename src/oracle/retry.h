@@ -1,0 +1,107 @@
+#ifndef METRICPROX_ORACLE_RETRY_H_
+#define METRICPROX_ORACLE_RETRY_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/oracle.h"
+#include "core/stats.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Retry policy of a RetryingOracle.
+struct RetryOptions {
+  /// Total attempts per pair, first try included (1 = never retry).
+  uint32_t max_attempts = 4;
+  /// Backoff slept before retry round r is
+  /// min(initial * multiplier^r, max_backoff), scaled by a deterministic
+  /// jitter factor in [1 - jitter, 1 + jitter].
+  double initial_backoff_seconds = 1e-4;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 1e-2;
+  double jitter = 0.5;
+  /// Overall wall-clock budget of one top-level Try verb, backoff included.
+  /// When the next backoff would overrun it, the remaining pairs fail with
+  /// kDeadlineExceeded instead of sleeping. 0 disables the deadline.
+  double deadline_seconds = 0.0;
+  /// Seed of the jitter sequence (kept deterministic for reproducible runs).
+  uint64_t seed = 0;
+};
+
+/// Counters of a RetryingOracle, merged into ResolverStats after a run.
+struct RetryStats {
+  /// Pair attempts shipped to the base oracle (first tries + retries).
+  uint64_t attempts = 0;
+  /// Pair attempts that were re-ships after a transient failure.
+  uint64_t retries = 0;
+  /// Per-attempt kDeadlineExceeded outcomes observed from the base.
+  uint64_t timeouts = 0;
+  /// Pairs that failed permanently (non-retryable error, retry budget
+  /// exhausted, or the overall deadline expired).
+  uint64_t failures = 0;
+  /// Wall time spent sleeping in backoff.
+  double backoff_seconds = 0.0;
+};
+
+/// True for codes worth retrying: transient unavailability and timeouts.
+inline bool IsRetryableStatus(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kDeadlineExceeded;
+}
+
+/// Reliability middleware: retries transient failures of the wrapped
+/// oracle's fallible verbs with capped exponential backoff and jitter,
+/// under an overall deadline. The batch verb retries *partially* — only the
+/// pairs that failed are re-shipped, so successful answers from an earlier
+/// round are never bought twice and PR 1's one-call-per-unique-pair
+/// accounting survives faults unchanged.
+///
+/// The infallible verbs route through the retry loop too and CHECK-fail on
+/// exhaustion, preserving the legacy abort contract for callers that never
+/// opted into failure handling.
+class RetryingOracle : public DistanceOracle {
+ public:
+  RetryingOracle(DistanceOracle* base, const RetryOptions& options)
+      : base_(base), options_(options) {}
+
+  double Distance(ObjectId i, ObjectId j) override;
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override;
+
+  StatusOr<double> TryDistance(ObjectId i, ObjectId j) override;
+  Status TryBatchDistance(std::span<const IdPair> pairs, std::span<double> out,
+                          std::span<Status> statuses) override;
+
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return base_->name(); }
+  void set_batch_workers(unsigned workers) override {
+    base_->set_batch_workers(workers);
+  }
+  unsigned batch_workers() const override { return base_->batch_workers(); }
+
+  const RetryStats& retry_stats() const { return stats_; }
+  void ResetRetryStats() { stats_ = RetryStats(); }
+
+  /// Merges the retry counters into a run's ResolverStats (the harness and
+  /// the CLI call this once per workload).
+  void AccumulateStats(ResolverStats* stats) const;
+
+ private:
+  /// Jittered, capped backoff for retry round `round` (0-based). Advances
+  /// the deterministic jitter sequence.
+  double NextBackoffSeconds(uint32_t round);
+  /// Sleeps and bills the backoff.
+  void Backoff(double seconds);
+
+  DistanceOracle* base_;  // not owned
+  RetryOptions options_;
+  RetryStats stats_;
+  uint64_t jitter_counter_ = 0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_RETRY_H_

@@ -228,7 +228,7 @@ void RoadNetworkOracle::BatchDistance(std::span<const IdPair> pairs,
     for (size_t k = begin; k < end; ++k) {
       rows[k] = BuildRow(missing[k]);
     }
-  });
+  }, batch_workers());
   for (size_t k = 0; k < missing.size(); ++k) {
     row_cache_.emplace(missing[k], std::move(rows[k]));
   }

@@ -102,7 +102,7 @@ void VectorOracle::BatchDistance(std::span<const IdPair> pairs,
     for (size_t k = begin; k < end; ++k) {
       out[k] = Distance(pairs[k].i, pairs[k].j);
     }
-  });
+  }, batch_workers());
 }
 
 }  // namespace metricprox

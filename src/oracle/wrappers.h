@@ -29,8 +29,22 @@ class CountingOracle : public DistanceOracle {
     calls_ += pairs.size();
     base_->BatchDistance(pairs, out);
   }
+  // The fallible verbs bill the same way: one call per attempted pair.
+  StatusOr<double> TryDistance(ObjectId i, ObjectId j) override {
+    ++calls_;
+    return base_->TryDistance(i, j);
+  }
+  Status TryBatchDistance(std::span<const IdPair> pairs, std::span<double> out,
+                          std::span<Status> statuses) override {
+    calls_ += pairs.size();
+    return base_->TryBatchDistance(pairs, out, statuses);
+  }
   ObjectId num_objects() const override { return base_->num_objects(); }
   std::string_view name() const override { return base_->name(); }
+  void set_batch_workers(unsigned workers) override {
+    base_->set_batch_workers(workers);
+  }
+  unsigned batch_workers() const override { return base_->batch_workers(); }
 
   uint64_t calls() const { return calls_; }
   void ResetCalls() { calls_ = 0; }
@@ -61,8 +75,23 @@ class SimulatedCostOracle : public DistanceOracle {
     simulated_seconds_ += seconds_per_call_ * static_cast<double>(pairs.size());
     base_->BatchDistance(pairs, out);
   }
+  // Fallible verbs bill per attempted pair too: the modeled API charges for
+  // a request whether or not the answer arrives.
+  StatusOr<double> TryDistance(ObjectId i, ObjectId j) override {
+    simulated_seconds_ += seconds_per_call_;
+    return base_->TryDistance(i, j);
+  }
+  Status TryBatchDistance(std::span<const IdPair> pairs, std::span<double> out,
+                          std::span<Status> statuses) override {
+    simulated_seconds_ += seconds_per_call_ * static_cast<double>(pairs.size());
+    return base_->TryBatchDistance(pairs, out, statuses);
+  }
   ObjectId num_objects() const override { return base_->num_objects(); }
   std::string_view name() const override { return base_->name(); }
+  void set_batch_workers(unsigned workers) override {
+    base_->set_batch_workers(workers);
+  }
+  unsigned batch_workers() const override { return base_->batch_workers(); }
 
   double simulated_seconds() const { return simulated_seconds_; }
   double seconds_per_call() const { return seconds_per_call_; }
@@ -96,6 +125,10 @@ class CachingOracle : public DistanceOracle {
   }
   ObjectId num_objects() const override { return base_->num_objects(); }
   std::string_view name() const override { return base_->name(); }
+  void set_batch_workers(unsigned workers) override {
+    base_->set_batch_workers(workers);
+  }
+  unsigned batch_workers() const override { return base_->batch_workers(); }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -123,6 +156,10 @@ class VerifyingOracle : public DistanceOracle {
   double Distance(ObjectId i, ObjectId j) override;
   ObjectId num_objects() const override { return base_->num_objects(); }
   std::string_view name() const override { return base_->name(); }
+  void set_batch_workers(unsigned workers) override {
+    base_->set_batch_workers(workers);
+  }
+  unsigned batch_workers() const override { return base_->batch_workers(); }
 
   uint64_t checks_performed() const { return checks_; }
 

@@ -1,6 +1,7 @@
 #include <cmath>
 #include <memory>
 #include <random>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -80,6 +81,29 @@ TEST(SplubBounderTest, LowerBoundWrapsLongEdgeOverPaths) {
   graph.Insert(1, 3, 0.1);
   SplubBounder splub(&graph);
   EXPECT_NEAR(splub.Bounds(2, 3).lo, 0.7, 1e-12);
+}
+
+TEST(SplubBounderTest, BulkInsertEdgesInvalidatesMemoizedSourceRow) {
+  PartialDistanceGraph graph(5);
+  graph.Insert(0, 2, 0.4);
+  graph.Insert(2, 1, 0.4);
+  SplubBounder splub(&graph);
+  // Warm the memoized source row for source 0: sp(0, 1) = 0.8 via 0-2-1.
+  EXPECT_NEAR(splub.Bounds(0, 1).hi, 0.8, 1e-12);
+  // Bulk-insert a 0-3-1 shortcut of length 0.2 through InsertEdges — the
+  // batch pipeline's path, which bumps num_edges without touching the
+  // bounder. The (source, num_edges) memo key must treat that as stale;
+  // a bounder that kept the old row would report 0.8 and over-bound.
+  const std::vector<ResolvedEdge> shortcut = {ResolvedEdge{0, 3, 0.1},
+                                              ResolvedEdge{3, 1, 0.1}};
+  graph.InsertEdges(shortcut);
+  const Interval after = splub.Bounds(0, 1);
+  EXPECT_NEAR(after.hi, 0.2, 1e-12);
+  // And the recomputed row is bit-identical to a cold solve.
+  SplubBounder fresh(&graph);
+  const Interval reference = fresh.Bounds(0, 1);
+  EXPECT_EQ(after.lo, reference.lo);
+  EXPECT_EQ(after.hi, reference.hi);
 }
 
 // ---- Cross-scheme properties on random metric instances ----

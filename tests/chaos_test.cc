@@ -1,0 +1,235 @@
+// Chaos stress test: every algorithm x scheme configuration is run three
+// times — fault-free, and under >= 10% injected transient faults with a
+// retry layer, once per transport — and all three runs must produce
+// byte-identical outputs and identical oracle_calls. Faults live strictly
+// below the resolver, so retrying a failed attempt may cost wall time and
+// retry counters but can never change a decision, an answer, or the
+// one-call-per-unique-pair accounting.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/boruvka.h"
+#include "algo/knn_graph.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "bounds/resolver.h"
+#include "bounds/scheme.h"
+#include "data/datasets.h"
+#include "graph/partial_graph.h"
+#include "harness/experiment.h"
+#include "oracle/fault_injection.h"
+#include "oracle/retry.h"
+
+namespace metricprox {
+namespace {
+
+Dataset MakeDataset(const std::string& name, ObjectId n, uint64_t seed) {
+  if (name == "sf") return MakeSfPoiLike(n, seed);
+  if (name == "dna") return MakeDnaLike(n, 40, seed);
+  return MakeRandomMetric(n, seed);
+}
+
+FaultInjectionOptions ChaosFaults(uint64_t seed) {
+  FaultInjectionOptions fault;
+  fault.failure_rate = 0.15;  // >= 10% of attempts fail transiently
+  fault.max_consecutive_failures = 2;
+  fault.seed = seed ^ 0xfau;
+  return fault;
+}
+
+RetryOptions ChaosRetry(uint64_t seed) {
+  RetryOptions retry;
+  retry.max_attempts = 5;  // > max_consecutive_failures: success guaranteed
+  retry.initial_backoff_seconds = 1e-7;
+  retry.max_backoff_seconds = 1e-6;
+  retry.seed = seed;
+  return retry;
+}
+
+struct ChaosRun {
+  std::vector<double> blob;  // flattened algorithm output
+  ResolverStats stats;
+  Status status = Status::OK();
+};
+
+ChaosRun RunMaybeFaulted(const Dataset& dataset, const std::string& algorithm,
+                         SchemeKind scheme, uint64_t seed, double max_distance,
+                         bool inject_faults, bool batch_transport) {
+  DistanceOracle* top = dataset.oracle.get();
+  std::optional<FaultInjectingOracle> faulty;
+  std::optional<RetryingOracle> retrying;
+  if (inject_faults) {
+    faulty.emplace(top, ChaosFaults(seed));
+    retrying.emplace(&*faulty, ChaosRetry(seed));
+    top = &*retrying;
+  }
+
+  PartialDistanceGraph graph(dataset.oracle->num_objects());
+  BoundedResolver resolver(top, &graph);
+  resolver.SetBatchTransport(batch_transport);
+
+  ChaosRun run;
+  auto push_edge = [&run](const WeightedEdge& e) {
+    run.blob.push_back(e.u);
+    run.blob.push_back(e.v);
+    run.blob.push_back(e.weight);
+  };
+  std::unique_ptr<Bounder> bounder_keepalive;
+  const StatusOr<double> outcome =
+      resolver.RunFallible([&](BoundedResolver* r) -> double {
+        SchemeOptions options;
+        options.seed = seed;
+        options.max_distance = max_distance;
+        StatusOr<std::unique_ptr<Bounder>> bounder =
+            MakeAndAttachScheme(scheme, r, options);
+        CHECK(bounder.ok()) << bounder.status();
+        bounder_keepalive = std::move(bounder).value();
+
+        if (algorithm == "prim") {
+          for (const WeightedEdge& e : PrimMst(r).edges) push_edge(e);
+        } else if (algorithm == "boruvka") {
+          for (const WeightedEdge& e : BoruvkaMst(r).edges) push_edge(e);
+        } else if (algorithm == "knn") {
+          for (const auto& row : BuildKnnGraph(r, KnnGraphOptions{3})) {
+            for (const KnnNeighbor& nb : row) {
+              run.blob.push_back(nb.id);
+              run.blob.push_back(nb.distance);
+            }
+          }
+        } else {  // pam
+          PamOptions options_pam;
+          options_pam.num_medoids = 4;
+          const ClusteringResult c = PamCluster(r, options_pam);
+          for (const ObjectId m : c.medoids) run.blob.push_back(m);
+          for (const uint32_t a : c.assignment) run.blob.push_back(a);
+          run.blob.push_back(c.total_deviation);
+        }
+        return 0.0;
+      });
+  run.status = outcome.ok() ? Status::OK() : outcome.status();
+  run.stats = resolver.stats();
+  if (retrying.has_value()) retrying->AccumulateStats(&run.stats);
+  return run;
+}
+
+class ChaosEquivalenceTest
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, const char*, SchemeKind>> {};
+
+TEST_P(ChaosEquivalenceTest, FaultsNeverChangeOutputsOrCallCounts) {
+  const auto [dataset_name, algorithm, scheme] = GetParam();
+  const ObjectId n = 36;
+  const uint64_t seed = 1234;
+  Dataset dataset = MakeDataset(dataset_name, n, seed);
+
+  const ChaosRun clean = RunMaybeFaulted(dataset, algorithm, scheme, seed,
+                                         dataset.max_distance,
+                                         /*inject_faults=*/false,
+                                         /*batch_transport=*/true);
+  const ChaosRun chaotic_batched = RunMaybeFaulted(
+      dataset, algorithm, scheme, seed, dataset.max_distance,
+      /*inject_faults=*/true, /*batch_transport=*/true);
+  const ChaosRun chaotic_scalar = RunMaybeFaulted(
+      dataset, algorithm, scheme, seed, dataset.max_distance,
+      /*inject_faults=*/true, /*batch_transport=*/false);
+
+  ASSERT_TRUE(clean.status.ok());
+  ASSERT_TRUE(chaotic_batched.status.ok()) << chaotic_batched.status;
+  ASSERT_TRUE(chaotic_scalar.status.ok()) << chaotic_scalar.status;
+
+  // Byte-identical outputs, element by element.
+  EXPECT_EQ(clean.blob, chaotic_batched.blob)
+      << dataset_name << "/" << algorithm << "/" << SchemeKindName(scheme);
+  EXPECT_EQ(clean.blob, chaotic_scalar.blob);
+
+  // Identical decision accounting in all three runs: the fault layer can
+  // cost retries, never extra oracle calls or different decisions.
+  for (const ChaosRun* run : {&chaotic_batched, &chaotic_scalar}) {
+    EXPECT_EQ(run->stats.oracle_calls, clean.stats.oracle_calls);
+    EXPECT_EQ(run->stats.comparisons, clean.stats.comparisons);
+    EXPECT_EQ(run->stats.decided_by_cache, clean.stats.decided_by_cache);
+    EXPECT_EQ(run->stats.decided_by_bounds, clean.stats.decided_by_bounds);
+    EXPECT_EQ(run->stats.decided_by_oracle, clean.stats.decided_by_oracle);
+    EXPECT_EQ(run->stats.undecided, clean.stats.undecided);
+    EXPECT_EQ(run->stats.oracle_failures, 0u);
+  }
+  EXPECT_EQ(clean.stats.oracle_retries, 0u);
+  // The chaos actually bit: at 15% failure rate some attempts were retried.
+  EXPECT_GT(chaotic_batched.stats.oracle_retries +
+                chaotic_scalar.stats.oracle_retries,
+            0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ChaosEquivalenceTest,
+    ::testing::Combine(::testing::Values("sf", "dna", "random"),
+                       ::testing::Values("prim", "boruvka", "knn", "pam"),
+                       ::testing::Values(SchemeKind::kTri, SchemeKind::kLaesa,
+                                         SchemeKind::kHybrid)));
+
+// The harness-level variant: TryRunWorkload under chaos equals RunWorkload
+// without it, and the merged stats expose the retry traffic.
+TEST(ChaosHarnessTest, TryRunWorkloadSurvivesFaultsWithEqualChecksum) {
+  const ObjectId n = 32;
+  const uint64_t seed = 77;
+  Dataset dataset = MakeDataset("random", n, seed);
+  const Workload workload = [](BoundedResolver* r) {
+    return PrimMst(r).total_weight;
+  };
+
+  WorkloadConfig clean;
+  clean.scheme = SchemeKind::kLaesa;
+  clean.seed = seed;
+  const WorkloadResult base = RunWorkload(dataset.oracle.get(), clean, workload);
+
+  WorkloadConfig chaos = clean;
+  chaos.inject_faults = true;
+  chaos.fault = ChaosFaults(seed);
+  chaos.enable_retry = true;
+  chaos.retry = ChaosRetry(seed);
+  const StatusOr<WorkloadResult> got =
+      TryRunWorkload(dataset.oracle.get(), chaos, workload);
+
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(got->value, base.value);
+  EXPECT_EQ(got->total_calls, base.total_calls);
+  EXPECT_GT(got->stats.oracle_retries, 0u);
+  EXPECT_GT(got->stats.retry_backoff_seconds, 0.0);
+  EXPECT_EQ(got->stats.oracle_failures, 0u);
+}
+
+// A permanently dead oracle under a finite deadline must surface as a
+// non-OK Status from the harness — not a process abort.
+TEST(ChaosHarnessTest, ExhaustedDeadlineReturnsStatusInsteadOfAborting) {
+  const ObjectId n = 16;
+  const uint64_t seed = 5;
+  Dataset dataset = MakeDataset("random", n, seed);
+  const Workload workload = [](BoundedResolver* r) {
+    return PrimMst(r).total_weight;
+  };
+
+  WorkloadConfig config;
+  config.scheme = SchemeKind::kNone;
+  config.seed = seed;
+  config.inject_faults = true;
+  config.fault.failure_rate = 1.0;
+  config.fault.max_consecutive_failures = 0;  // permanent outage
+  config.enable_retry = true;
+  config.retry.max_attempts = 100;
+  config.retry.initial_backoff_seconds = 1e-3;
+  config.retry.deadline_seconds = 1e-4;  // always shorter than one backoff
+
+  const StatusOr<WorkloadResult> got =
+      TryRunWorkload(dataset.oracle.get(), config, workload);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace metricprox

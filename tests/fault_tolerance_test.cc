@@ -1,0 +1,566 @@
+// Unit tests for the fault-tolerance middleware: the fallible oracle verbs,
+// the deterministic fault injector, the retrying wrapper (including partial-
+// batch re-ship), and the resolver's failure-aware entry point.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bounds/resolver.h"
+#include "core/oracle.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "data/synthetic.h"
+#include "graph/partial_graph.h"
+#include "oracle/fault_injection.h"
+#include "oracle/matrix_oracle.h"
+#include "oracle/retry.h"
+#include "oracle/wrappers.h"
+
+namespace metricprox {
+namespace {
+
+MatrixOracle MakeMatrix(ObjectId n, uint64_t seed) {
+  return MatrixOracle(RandomShortestPathMetric(n, 0.9, seed), n);
+}
+
+// ---- Default Try adapters on an infallible oracle ----
+
+TEST(TryVerbTest, DefaultTryDistanceNeverFailsAndMatchesDistance) {
+  MatrixOracle oracle = MakeMatrix(8, 7);
+  for (ObjectId i = 0; i < 8; ++i) {
+    for (ObjectId j = i + 1; j < 8; ++j) {
+      StatusOr<double> got = oracle.TryDistance(i, j);
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, oracle.Distance(i, j));
+    }
+  }
+}
+
+TEST(TryVerbTest, DefaultTryBatchDistanceReportsAllOk) {
+  MatrixOracle oracle = MakeMatrix(8, 7);
+  const std::vector<IdPair> pairs = {{0, 1}, {2, 5}, {6, 3}};
+  std::vector<double> out(pairs.size(), -1.0);
+  std::vector<Status> statuses(pairs.size());
+  ASSERT_TRUE(oracle.TryBatchDistance(pairs, out, statuses).ok());
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    EXPECT_TRUE(statuses[k].ok());
+    EXPECT_EQ(out[k], oracle.Distance(pairs[k].i, pairs[k].j));
+  }
+}
+
+// ---- FaultInjectingOracle ----
+
+TEST(FaultInjectionTest, SameSeedSameCallSequenceSameFaultPattern) {
+  MatrixOracle base = MakeMatrix(10, 3);
+  FaultInjectionOptions options;
+  options.failure_rate = 0.5;
+  options.max_consecutive_failures = 3;
+  options.seed = 99;
+  FaultInjectingOracle a(&base, options);
+  FaultInjectingOracle b(&base, options);
+
+  uint64_t failures_seen = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (ObjectId i = 0; i < 10; ++i) {
+      for (ObjectId j = i + 1; j < 10; ++j) {
+        const StatusOr<double> ra = a.TryDistance(i, j);
+        const StatusOr<double> rb = b.TryDistance(i, j);
+        ASSERT_EQ(ra.ok(), rb.ok()) << "pair (" << i << ", " << j << ")";
+        if (ra.ok()) {
+          EXPECT_EQ(*ra, *rb);
+        } else {
+          EXPECT_EQ(ra.status().code(), rb.status().code());
+          ++failures_seen;
+        }
+      }
+    }
+  }
+  EXPECT_GT(failures_seen, 0u);
+  EXPECT_EQ(a.injected_failures(), b.injected_failures());
+}
+
+TEST(FaultInjectionTest, DifferentSeedsProduceDifferentPatterns) {
+  MatrixOracle base = MakeMatrix(10, 3);
+  FaultInjectionOptions options;
+  options.failure_rate = 0.5;
+  options.seed = 1;
+  FaultInjectingOracle a(&base, options);
+  options.seed = 2;
+  FaultInjectingOracle b(&base, options);
+
+  bool diverged = false;
+  for (ObjectId i = 0; i < 10 && !diverged; ++i) {
+    for (ObjectId j = i + 1; j < 10 && !diverged; ++j) {
+      diverged = a.TryDistance(i, j).ok() != b.TryDistance(i, j).ok();
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectionTest, TransienceCapForcesPeriodicSuccess) {
+  MatrixOracle base = MakeMatrix(4, 3);
+  FaultInjectionOptions options;
+  options.failure_rate = 1.0;  // every uncapped attempt fails...
+  options.max_consecutive_failures = 3;  // ...but never 4 in a row
+  FaultInjectingOracle faulty(&base, options);
+
+  // Pattern per pair must be F F F OK, repeating.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int k = 0; k < 3; ++k) {
+      const StatusOr<double> r = faulty.TryDistance(0, 1);
+      ASSERT_FALSE(r.ok()) << "cycle " << cycle << " attempt " << k;
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    }
+    EXPECT_TRUE(faulty.TryDistance(0, 1).ok()) << "cycle " << cycle;
+  }
+  EXPECT_EQ(faulty.injected_failures(), 9u);
+}
+
+TEST(FaultInjectionTest, ZeroCapMeansPermanentOutage) {
+  MatrixOracle base = MakeMatrix(4, 3);
+  FaultInjectionOptions options;
+  options.failure_rate = 1.0;
+  options.max_consecutive_failures = 0;  // unbounded: fails forever
+  FaultInjectingOracle faulty(&base, options);
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_FALSE(faulty.TryDistance(0, 1).ok());
+  }
+  EXPECT_EQ(faulty.injected_failures(), 10u);
+}
+
+TEST(FaultInjectionTest, SpikeOverTimeoutBecomesDeadlineExceeded) {
+  MatrixOracle base = MakeMatrix(4, 3);
+  FaultInjectionOptions options;
+  options.spike_rate = 1.0;
+  options.spike_seconds = 2.0;
+  options.per_call_timeout_seconds = 1.0;
+  FaultInjectingOracle faulty(&base, options);
+
+  const StatusOr<double> r = faulty.TryDistance(0, 1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(faulty.injected_spikes(), 1u);
+  EXPECT_EQ(faulty.injected_timeouts(), 1u);
+  EXPECT_DOUBLE_EQ(faulty.injected_spike_seconds(), 2.0);
+}
+
+TEST(FaultInjectionTest, SpikeUnderTimeoutIsBilledButSucceeds) {
+  MatrixOracle base = MakeMatrix(4, 3);
+  FaultInjectionOptions options;
+  options.spike_rate = 1.0;
+  options.spike_seconds = 0.5;
+  options.per_call_timeout_seconds = 1.0;  // spike fits inside the budget
+  FaultInjectingOracle faulty(&base, options);
+
+  EXPECT_TRUE(faulty.TryDistance(0, 1).ok());
+  EXPECT_EQ(faulty.injected_spikes(), 1u);
+  EXPECT_EQ(faulty.injected_timeouts(), 0u);
+  EXPECT_DOUBLE_EQ(faulty.injected_spike_seconds(), 0.5);
+}
+
+TEST(FaultInjectionTest, BatchFatesMatchScalarFates) {
+  // The fate of attempt k of a pair is transport-independent: shipping the
+  // same pairs through TryBatchDistance must fail exactly where a scalar
+  // loop with the same per-pair attempt history would.
+  MatrixOracle base = MakeMatrix(8, 3);
+  FaultInjectionOptions options;
+  options.failure_rate = 0.4;
+  options.seed = 17;
+  FaultInjectingOracle scalar_side(&base, options);
+  FaultInjectingOracle batch_side(&base, options);
+
+  std::vector<IdPair> pairs;
+  for (ObjectId i = 0; i < 8; ++i) {
+    for (ObjectId j = i + 1; j < 8; ++j) pairs.push_back({i, j});
+  }
+  for (int round = 0; round < 4; ++round) {
+    std::vector<double> out(pairs.size(), -1.0);
+    std::vector<Status> statuses(pairs.size());
+    batch_side.TryBatchDistance(pairs, out, statuses);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      const StatusOr<double> r =
+          scalar_side.TryDistance(pairs[k].i, pairs[k].j);
+      ASSERT_EQ(r.ok(), statuses[k].ok()) << "round " << round << " k " << k;
+      if (r.ok()) {
+        EXPECT_EQ(out[k], *r);
+      }
+    }
+  }
+}
+
+// ---- RetryingOracle ----
+
+TEST(RetryTest, TransientFailuresAreRetriedToSuccess) {
+  MatrixOracle base = MakeMatrix(12, 5);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 0.5;
+  fault.max_consecutive_failures = 2;  // < max_attempts, so success is sure
+  fault.seed = 21;
+  FaultInjectingOracle faulty(&base, fault);
+  RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_seconds = 1e-7;
+  retry.max_backoff_seconds = 1e-6;
+  RetryingOracle retrying(&faulty, retry);
+
+  for (ObjectId i = 0; i < 12; ++i) {
+    for (ObjectId j = i + 1; j < 12; ++j) {
+      const StatusOr<double> got = retrying.TryDistance(i, j);
+      ASSERT_TRUE(got.ok()) << "pair (" << i << ", " << j << ")";
+      EXPECT_EQ(*got, base.Distance(i, j));
+    }
+  }
+  EXPECT_GT(retrying.retry_stats().retries, 0u);
+  EXPECT_EQ(retrying.retry_stats().failures, 0u);
+  EXPECT_EQ(retrying.retry_stats().attempts,
+            66u + retrying.retry_stats().retries);
+}
+
+TEST(RetryTest, RetriesExhaustedKeepsCodeAndAnnotatesMessage) {
+  MatrixOracle base = MakeMatrix(4, 5);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 0;  // permanent outage
+  FaultInjectingOracle faulty(&base, fault);
+  RetryOptions retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_seconds = 1e-7;
+  retry.max_backoff_seconds = 1e-6;
+  RetryingOracle retrying(&faulty, retry);
+
+  const StatusOr<double> got = retrying.TryDistance(0, 1);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(got.status().message().find("retries exhausted"),
+            std::string::npos);
+  EXPECT_EQ(retrying.retry_stats().attempts, 3u);
+  EXPECT_EQ(retrying.retry_stats().retries, 2u);
+  EXPECT_EQ(retrying.retry_stats().failures, 1u);
+}
+
+TEST(RetryTest, DeadlineShortCircuitsBackoff) {
+  MatrixOracle base = MakeMatrix(4, 5);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 0;
+  FaultInjectingOracle faulty(&base, fault);
+  RetryOptions retry;
+  retry.max_attempts = 100;
+  retry.initial_backoff_seconds = 1e-3;  // every backoff overruns...
+  retry.deadline_seconds = 1e-4;         // ...this budget immediately
+  RetryingOracle retrying(&faulty, retry);
+
+  const StatusOr<double> got = retrying.TryDistance(0, 1);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(got.status().message().find("retry deadline exhausted"),
+            std::string::npos);
+  EXPECT_EQ(retrying.retry_stats().failures, 1u);
+  // No retry was ever shipped: the deadline fired before the first backoff.
+  EXPECT_EQ(retrying.retry_stats().retries, 0u);
+}
+
+TEST(RetryTest, BatchDeadlineFailsAllRemainingPairs) {
+  MatrixOracle base = MakeMatrix(6, 5);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 0;
+  FaultInjectingOracle faulty(&base, fault);
+  RetryOptions retry;
+  retry.max_attempts = 100;
+  retry.initial_backoff_seconds = 1e-3;
+  retry.deadline_seconds = 1e-4;
+  RetryingOracle retrying(&faulty, retry);
+
+  const std::vector<IdPair> pairs = {{0, 1}, {2, 3}};
+  std::vector<double> out(pairs.size(), 0.0);
+  std::vector<Status> statuses(pairs.size());
+  const Status overall = retrying.TryBatchDistance(pairs, out, statuses);
+  ASSERT_FALSE(overall.ok());
+  EXPECT_EQ(overall.code(), StatusCode::kDeadlineExceeded);
+  for (const Status& s : statuses) {
+    EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_EQ(retrying.retry_stats().failures, 2u);
+}
+
+TEST(RetryTest, PerAttemptTimeoutsAreCountedAndRetried) {
+  MatrixOracle base = MakeMatrix(4, 5);
+  FaultInjectionOptions fault;
+  fault.spike_rate = 1.0;
+  fault.spike_seconds = 2.0;
+  fault.per_call_timeout_seconds = 1.0;  // every uncapped attempt times out
+  fault.max_consecutive_failures = 2;
+  FaultInjectingOracle faulty(&base, fault);
+  RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_seconds = 1e-7;
+  retry.max_backoff_seconds = 1e-6;
+  RetryingOracle retrying(&faulty, retry);
+
+  const StatusOr<double> got = retrying.TryDistance(0, 1);
+  ASSERT_TRUE(got.ok());  // third attempt is forced through by the cap
+  EXPECT_EQ(retrying.retry_stats().timeouts, 2u);
+  EXPECT_EQ(retrying.retry_stats().retries, 2u);
+}
+
+// Records every batch the retrying wrapper ships and fails one chosen pair
+// exactly once — the probe for partial-batch retry.
+class FlakyOnceRecordingOracle : public DistanceOracle {
+ public:
+  FlakyOnceRecordingOracle(DistanceOracle* base, IdPair flaky)
+      : base_(base), flaky_(flaky) {}
+
+  double Distance(ObjectId i, ObjectId j) override {
+    return base_->Distance(i, j);
+  }
+  Status TryBatchDistance(std::span<const IdPair> pairs, std::span<double> out,
+                          std::span<Status> statuses) override {
+    shipments_.emplace_back(pairs.begin(), pairs.end());
+    Status overall = Status::OK();
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      if (!tripped_ && pairs[k].i == flaky_.i && pairs[k].j == flaky_.j) {
+        tripped_ = true;
+        statuses[k] = Status::Unavailable("flaky pair");
+        overall = statuses[k];
+        continue;
+      }
+      out[k] = base_->Distance(pairs[k].i, pairs[k].j);
+      statuses[k] = Status::OK();
+    }
+    return overall;
+  }
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return "flaky-once"; }
+
+  const std::vector<std::vector<IdPair>>& shipments() const {
+    return shipments_;
+  }
+
+ private:
+  DistanceOracle* base_;  // not owned
+  IdPair flaky_;
+  bool tripped_ = false;
+  std::vector<std::vector<IdPair>> shipments_;
+};
+
+TEST(RetryTest, PartialBatchRetryReshipsOnlyTheFailedPair) {
+  MatrixOracle base = MakeMatrix(8, 5);
+  FlakyOnceRecordingOracle flaky(&base, IdPair{2, 5});
+  RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_seconds = 1e-7;
+  retry.max_backoff_seconds = 1e-6;
+  RetryingOracle retrying(&flaky, retry);
+
+  const std::vector<IdPair> pairs = {{0, 1}, {2, 5}, {6, 3}, {4, 7}};
+  std::vector<double> out(pairs.size(), -1.0);
+  std::vector<Status> statuses(pairs.size());
+  ASSERT_TRUE(retrying.TryBatchDistance(pairs, out, statuses).ok());
+
+  // Round one shipped all four pairs; round two re-shipped only the flaky
+  // one — the three answered pairs were never bought twice.
+  ASSERT_EQ(flaky.shipments().size(), 2u);
+  EXPECT_EQ(flaky.shipments()[0].size(), 4u);
+  ASSERT_EQ(flaky.shipments()[1].size(), 1u);
+  EXPECT_EQ(flaky.shipments()[1][0].i, 2u);
+  EXPECT_EQ(flaky.shipments()[1][0].j, 5u);
+
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    EXPECT_TRUE(statuses[k].ok());
+    EXPECT_EQ(out[k], base.Distance(pairs[k].i, pairs[k].j));
+  }
+  EXPECT_EQ(retrying.retry_stats().retries, 1u);
+  EXPECT_EQ(retrying.retry_stats().attempts, 5u);
+  EXPECT_EQ(retrying.retry_stats().failures, 0u);
+}
+
+TEST(RetryTest, AccumulateStatsMergesRetryCountersNotFailures) {
+  MatrixOracle base = MakeMatrix(4, 5);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 2;
+  FaultInjectingOracle faulty(&base, fault);
+  RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_seconds = 1e-7;
+  retry.max_backoff_seconds = 1e-6;
+  RetryingOracle retrying(&faulty, retry);
+  ASSERT_TRUE(retrying.TryDistance(0, 1).ok());
+
+  ResolverStats stats;
+  retrying.AccumulateStats(&stats);
+  EXPECT_EQ(stats.oracle_retries, retrying.retry_stats().retries);
+  EXPECT_EQ(stats.oracle_timeouts, retrying.retry_stats().timeouts);
+  EXPECT_DOUBLE_EQ(stats.retry_backoff_seconds,
+                   retrying.retry_stats().backoff_seconds);
+  // oracle_failures is owned by the resolver's transport-failure path.
+  EXPECT_EQ(stats.oracle_failures, 0u);
+}
+
+// ---- Wrapper forwarding of the fallible verbs and the workers knob ----
+
+TEST(WrapperForwardingTest, CountingOracleBillsFailedAttempts) {
+  MatrixOracle base = MakeMatrix(6, 5);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 0;
+  FaultInjectingOracle faulty(&base, fault);
+  CountingOracle counting(&faulty);
+
+  EXPECT_FALSE(counting.TryDistance(0, 1).ok());
+  EXPECT_EQ(counting.calls(), 1u);
+
+  const std::vector<IdPair> pairs = {{0, 1}, {2, 3}, {4, 5}};
+  std::vector<double> out(pairs.size());
+  std::vector<Status> statuses(pairs.size());
+  EXPECT_FALSE(counting.TryBatchDistance(pairs, out, statuses).ok());
+  EXPECT_EQ(counting.calls(), 4u);
+}
+
+TEST(WrapperForwardingTest, SimulatedCostBillsFailedAttempts) {
+  MatrixOracle base = MakeMatrix(6, 5);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 0;
+  FaultInjectingOracle faulty(&base, fault);
+  SimulatedCostOracle costed(&faulty, 1.5);
+
+  EXPECT_FALSE(costed.TryDistance(0, 1).ok());
+  const std::vector<IdPair> pairs = {{0, 1}, {2, 3}};
+  std::vector<double> out(pairs.size());
+  std::vector<Status> statuses(pairs.size());
+  EXPECT_FALSE(costed.TryBatchDistance(pairs, out, statuses).ok());
+  EXPECT_DOUBLE_EQ(costed.simulated_seconds(), 1.5 * 3);
+}
+
+TEST(WrapperForwardingTest, BatchWorkersKnobReachesTheBaseOracle) {
+  MatrixOracle base = MakeMatrix(6, 5);
+  CountingOracle counting(&base);
+  FaultInjectionOptions fault;
+  FaultInjectingOracle faulty(&counting, fault);
+  RetryingOracle retrying(&faulty, RetryOptions{});
+
+  retrying.set_batch_workers(3);
+  EXPECT_EQ(base.batch_workers(), 3u);
+  EXPECT_EQ(retrying.batch_workers(), 3u);
+  EXPECT_EQ(faulty.batch_workers(), 3u);
+}
+
+// ---- BoundedResolver failure path ----
+
+TEST(ResolverFallibleTest, PermanentOutageSurfacesAsStatusInsideScope) {
+  MatrixOracle base = MakeMatrix(8, 9);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 0;
+  FaultInjectingOracle faulty(&base, fault);
+  PartialDistanceGraph graph(8);
+  BoundedResolver resolver(&faulty, &graph);
+
+  const StatusOr<double> got = resolver.RunFallible(
+      [](BoundedResolver* r) { return r->Distance(0, 1); });
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(resolver.oracle_status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(resolver.stats().oracle_failures, 1u);
+}
+
+TEST(ResolverFallibleTest, BatchOutageCountsEveryFailedPair) {
+  MatrixOracle base = MakeMatrix(8, 9);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 0;
+  FaultInjectingOracle faulty(&base, fault);
+  PartialDistanceGraph graph(8);
+  BoundedResolver resolver(&faulty, &graph);
+
+  const std::vector<IdPair> pairs = {{0, 1}, {2, 3}, {4, 5}};
+  const StatusOr<double> got =
+      resolver.RunFallible([&pairs](BoundedResolver* r) {
+        r->ResolveAll(pairs);
+        return 0.0;
+      });
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(resolver.stats().oracle_failures, 3u);
+}
+
+TEST(ResolverFallibleTest, RecoversAfterFailureWithoutRepayingEdges) {
+  MatrixOracle base = MakeMatrix(8, 9);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 2;
+  FaultInjectingOracle faulty(&base, fault);
+  PartialDistanceGraph graph(8);
+  BoundedResolver resolver(&faulty, &graph);
+
+  // First run: (0, 1) resolves on the pair's forced-success attempt only if
+  // retried; without a retry layer the first injected failure kills it.
+  StatusOr<double> got = resolver.RunFallible(
+      [](BoundedResolver* r) { return r->Distance(0, 1); });
+  ASSERT_FALSE(got.ok());
+  // Re-running against the same resolver eventually lands on the forced
+  // success (attempt 3 of the pair) and the edge persists.
+  got = resolver.RunFallible(
+      [](BoundedResolver* r) { return r->Distance(0, 1); });
+  ASSERT_FALSE(got.ok());
+  got = resolver.RunFallible(
+      [](BoundedResolver* r) { return r->Distance(0, 1); });
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, base.Distance(0, 1));
+  EXPECT_TRUE(resolver.oracle_status().ok());
+  EXPECT_TRUE(resolver.Known(0, 1));
+  // A fourth run reads the cache: no oracle traffic, value unchanged.
+  const uint64_t calls_before = resolver.stats().oracle_calls;
+  got = resolver.RunFallible(
+      [](BoundedResolver* r) { return r->Distance(0, 1); });
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(resolver.stats().oracle_calls, calls_before);
+}
+
+TEST(ResolverFallibleTest, RetryLayerHidesTransientFaultsEntirely) {
+  MatrixOracle base = MakeMatrix(8, 9);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 0.5;
+  fault.max_consecutive_failures = 2;
+  fault.seed = 13;
+  FaultInjectingOracle faulty(&base, fault);
+  RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_seconds = 1e-7;
+  retry.max_backoff_seconds = 1e-6;
+  RetryingOracle retrying(&faulty, retry);
+  PartialDistanceGraph graph(8);
+  BoundedResolver resolver(&retrying, &graph);
+
+  const StatusOr<double> got =
+      resolver.RunFallible([](BoundedResolver* r) {
+        double acc = 0.0;
+        for (ObjectId i = 0; i < 8; ++i) {
+          for (ObjectId j = i + 1; j < 8; ++j) acc += r->Distance(i, j);
+        }
+        return acc;
+      });
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(resolver.stats().oracle_failures, 0u);
+  EXPECT_EQ(resolver.stats().oracle_calls, 28u);
+}
+
+TEST(ResolverFallibleDeathTest, OutageOutsideRunFallibleAborts) {
+  MatrixOracle base = MakeMatrix(8, 9);
+  FaultInjectionOptions fault;
+  fault.failure_rate = 1.0;
+  fault.max_consecutive_failures = 0;
+  FaultInjectingOracle faulty(&base, fault);
+  PartialDistanceGraph graph(8);
+  BoundedResolver resolver(&faulty, &graph);
+  EXPECT_DEATH((void)resolver.Distance(0, 1),
+               "oracle transport failed outside RunFallible");
+}
+
+}  // namespace
+}  // namespace metricprox

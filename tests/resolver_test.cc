@@ -1,6 +1,7 @@
 #include "bounds/resolver.h"
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include <gtest/gtest.h>
@@ -76,11 +77,27 @@ TEST(ResolverTest, StatsComparisonsAddUp) {
     const ObjectId i = static_cast<ObjectId>(rng() % 12);
     const ObjectId j = static_cast<ObjectId>(rng() % 12);
     if (i == j) continue;
-    stack.resolver->LessThan(i, j, 0.1 * static_cast<double>(rng() % 12));
+    const double threshold = 0.1 * static_cast<double>(rng() % 12);
+    // Mix the two-sided comparison with the one-sided proof verbs so the
+    // partition below also covers the undecided bucket.
+    switch (t % 3) {
+      case 0:
+        stack.resolver->LessThan(i, j, threshold);
+        break;
+      case 1:
+        stack.resolver->ProvenGreaterThan(i, j, threshold);
+        break;
+      default:
+        stack.resolver->ProvenGreaterOrEqual(i, j, threshold);
+        break;
+    }
   }
   const ResolverStats& s = stack.resolver->stats();
-  EXPECT_EQ(s.comparisons,
-            s.decided_by_cache + s.decided_by_bounds + s.decided_by_oracle);
+  EXPECT_EQ(s.comparisons, s.decided_by_cache + s.decided_by_bounds +
+                               s.decided_by_oracle + s.undecided);
+  // Every comparison charged to the oracle really reached it: with no
+  // batching in play here, decided_by_oracle can never exceed oracle_calls.
+  EXPECT_LE(s.decided_by_oracle, s.oracle_calls);
 }
 
 // The core exactness property of the whole framework: under every scheme,
@@ -157,6 +174,24 @@ TEST(ResolverTest, ProvenGreaterThanNeverCallsOracle) {
   EXPECT_EQ(stack.resolver->ProvenGreaterThan(0, 1, d01), false);
 }
 
+TEST(ResolverTest, ProvenVerbsChargeUndecidedNotOracle) {
+  ResolverStack stack = MakeRandomStack(10, 8);
+  TriBounder tri(stack.graph.get());
+  stack.resolver->SetBounder(&tri);
+  const double d01 = stack.resolver->Distance(0, 1);
+  const double d02 = stack.resolver->Distance(0, 2);
+  stack.resolver->ResetStats();
+  // Unprovable thresholds: both verbs fail to prove the discard without an
+  // oracle call — that is an *undecided* comparison, not an oracle one.
+  EXPECT_FALSE(stack.resolver->ProvenGreaterThan(1, 2, d01 + d02));
+  EXPECT_FALSE(stack.resolver->ProvenGreaterOrEqual(1, 2, d01 + d02));
+  const ResolverStats& s = stack.resolver->stats();
+  EXPECT_EQ(s.undecided, 2u);
+  EXPECT_EQ(s.decided_by_oracle, 0u);
+  EXPECT_EQ(s.oracle_calls, 0u);
+  EXPECT_EQ(s.comparisons, 2u);
+}
+
 TEST(ResolverTest, PairLessWithBothKnownUsesCache) {
   ResolverStack stack = MakeRandomStack(6, 9);
   stack.resolver->Distance(0, 1);
@@ -219,8 +254,8 @@ TEST(ResolverBatchTest, StatsInvariantsHoldForBatchVerbs) {
     stack.resolver->FilterLessThan(pairs, thresholds);
     const ResolverStats& s = stack.resolver->stats();
     // The decided-by partition covers every comparison, batch or scalar...
-    ASSERT_EQ(s.comparisons,
-              s.decided_by_cache + s.decided_by_bounds + s.decided_by_oracle);
+    ASSERT_EQ(s.comparisons, s.decided_by_cache + s.decided_by_bounds +
+                                 s.decided_by_oracle + s.undecided);
     // ...and each batch-resolved pair is also billed as an oracle call.
     ASSERT_LE(s.batch_resolved_pairs, s.oracle_calls);
   }
@@ -235,6 +270,55 @@ TEST(ResolverBatchTest, FilterLessThanInfThresholdDecidedByBounds) {
   EXPECT_TRUE(out[0]);
   EXPECT_EQ(stack.resolver->stats().decided_by_bounds, 1u);
   EXPECT_EQ(stack.resolver->stats().oracle_calls, 0u);
+}
+
+TEST(ResolverBatchTest, FilterLessThanDuplicateAndSymmetricPairsBillOnce) {
+  ResolverStack stack = MakeRandomStack(8, 30);
+  const double truth = stack.oracle->Distance(0, 1);
+  // The same unordered pair three times — once reversed — in one batch:
+  // exactly one resolution happens, so exactly one comparison may be
+  // attributed to the oracle; the repeats are answered by the cache the
+  // scalar loop would have hit.
+  const std::vector<IdPair> pairs = {IdPair{0, 1}, IdPair{1, 0}, IdPair{0, 1}};
+  const std::vector<bool> out =
+      stack.resolver->FilterLessThan(pairs, truth + 0.1);
+  EXPECT_EQ(out, std::vector<bool>({true, true, true}));
+  const ResolverStats& s = stack.resolver->stats();
+  EXPECT_EQ(s.oracle_calls, 1u);
+  EXPECT_EQ(s.decided_by_oracle, 1u);
+  EXPECT_EQ(s.decided_by_cache, 2u);
+  EXPECT_EQ(s.comparisons, 3u);
+  EXPECT_EQ(s.comparisons, s.decided_by_cache + s.decided_by_bounds +
+                               s.decided_by_oracle + s.undecided);
+}
+
+TEST(ResolverBatchTest, FilterLessThanNanThresholdIsAlwaysFalse) {
+  ResolverStack stack = MakeRandomStack(8, 31);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // No comparison against NaN holds, including the self pair's 0 < NaN.
+  const std::vector<IdPair> pairs = {IdPair{0, 1}, IdPair{2, 2}, IdPair{3, 4}};
+  for (const bool batch_transport : {true, false}) {
+    stack.resolver->SetBatchTransport(batch_transport);
+    const std::vector<bool> out = stack.resolver->FilterLessThan(pairs, nan);
+    EXPECT_EQ(out, std::vector<bool>({false, false, false}));
+  }
+}
+
+TEST(ResolverBatchTest, FilterLessThanNegativeAndZeroThresholds) {
+  ResolverStack stack = MakeRandomStack(8, 32);
+  // Metric distances are positive for distinct objects and zero for self
+  // pairs, so nothing is below a zero or negative threshold.
+  const std::vector<IdPair> pairs = {IdPair{0, 1}, IdPair{2, 2}, IdPair{3, 4}};
+  EXPECT_EQ(stack.resolver->FilterLessThan(pairs, 0.0),
+            std::vector<bool>({false, false, false}));
+  EXPECT_EQ(stack.resolver->FilterLessThan(pairs, -1.0),
+            std::vector<bool>({false, false, false}));
+  // The verb still answers exactly, not heuristically: a threshold above a
+  // resolved distance flips back to true.
+  const double truth = stack.oracle->Distance(0, 1);
+  EXPECT_EQ(stack.resolver->FilterLessThan(
+                std::vector<IdPair>{IdPair{0, 1}}, truth + 1.0),
+            std::vector<bool>({true}));
 }
 
 TEST(ResolverBatchTest, OutOfRangeIdsDie) {

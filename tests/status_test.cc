@@ -25,9 +25,19 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kFailedPrecondition,
         StatusCode::kUnimplemented, StatusCode::kInternal,
-        StatusCode::kIoError}) {
+        StatusCode::kIoError, StatusCode::kUnavailable,
+        StatusCode::kDeadlineExceeded}) {
     EXPECT_NE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, RetryableCodesCarryCodeAndMessage) {
+  const Status u = Status::Unavailable("flaky transport");
+  EXPECT_EQ(u.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(u.ToString(), "Unavailable: flaky transport");
+  const Status d = Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: too slow");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -19,6 +19,20 @@
 //   --verify                 wrap the oracle in metric-axiom spot checks
 //   --save-graph=<path>      checkpoint resolved distances afterwards
 //   --load-graph=<path>      start from a checkpoint (same dataset/seed!)
+//   --threads=<k>            cap parallel batch workers (0 = env/hardware)
+//
+// Fault tolerance (stacked as oracle -> faults -> retry -> resolver):
+//   --retry-attempts=<k>     enable retries: attempts per pair (1 = no retry)
+//   --retry-backoff=<s>      initial backoff        (default 1e-4)
+//   --retry-max-backoff=<s>  backoff cap            (default 1e-2)
+//   --retry-deadline=<s>     overall deadline per verb (0 = none)
+//   --fault-rate=<p>         inject transient failures with probability p
+//   --fault-spike-rate=<p>   inject virtual latency spikes
+//   --fault-spike-seconds=<s> spike duration
+//   --fault-timeout=<s>      per-call timeout (spike >= timeout fails)
+//   --fault-consecutive=<k>  force success after k consecutive failures of
+//                            one pair (0 = never: a permanent outage)
+//   --fault-seed=<seed>      seed of the deterministic fault pattern
 
 #include <cstdio>
 #include <memory>
@@ -43,6 +57,8 @@
 #include "graph/graph_io.h"
 #include "harness/flags.h"
 #include "harness/table.h"
+#include "oracle/fault_injection.h"
+#include "oracle/retry.h"
 #include "oracle/wrappers.h"
 
 namespace metricprox {
@@ -66,10 +82,8 @@ StatusOr<Dataset> MakeDataset(const std::string& name, ObjectId n,
   return Status::InvalidArgument("unknown dataset: " + name);
 }
 
-void PrintStats(const BoundedResolver& resolver, ObjectId n,
-                double oracle_cost, double simulated_seconds,
-                double wall_seconds) {
-  const ResolverStats& s = resolver.stats();
+void PrintStats(const ResolverStats& s, ObjectId n, double oracle_cost,
+                double simulated_seconds, double wall_seconds) {
   const uint64_t all_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
   TablePrinter table({"metric", "value"});
   table.NewRow().AddCell("oracle calls").AddUint(s.oracle_calls);
@@ -81,6 +95,16 @@ void PrintStats(const BoundedResolver& resolver, ObjectId n,
   table.NewRow().AddCell("decided by bounds").AddUint(s.decided_by_bounds);
   table.NewRow().AddCell("decided by cache").AddUint(s.decided_by_cache);
   table.NewRow().AddCell("decided by oracle").AddUint(s.decided_by_oracle);
+  table.NewRow().AddCell("undecided (proof verbs)").AddUint(s.undecided);
+  if (s.oracle_retries > 0 || s.oracle_timeouts > 0 ||
+      s.oracle_failures > 0) {
+    table.NewRow().AddCell("oracle retries").AddUint(s.oracle_retries);
+    table.NewRow().AddCell("oracle timeouts").AddUint(s.oracle_timeouts);
+    table.NewRow().AddCell("oracle failures").AddUint(s.oracle_failures);
+    table.NewRow()
+        .AddCell("retry backoff (s)")
+        .AddDouble(s.retry_backoff_seconds, 4);
+  }
   table.NewRow().AddCell("scheme CPU (s)").AddDouble(s.bounder_seconds, 4);
   table.NewRow().AddCell("wall time (s)").AddDouble(wall_seconds, 3);
   if (oracle_cost > 0) {
@@ -94,6 +118,9 @@ void PrintStats(const BoundedResolver& resolver, ObjectId n,
   table.Print("\nAccounting");
 }
 
+int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
+               uint64_t seed, BoundedResolver* resolver_ptr);
+
 int Run(const std::string& command, const Flags& flags) {
   const ObjectId n = static_cast<ObjectId>(flags.GetInt("n", 256));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
@@ -106,13 +133,40 @@ int Run(const std::string& command, const Flags& flags) {
   const bool verify = flags.GetBool("verify", false);
   const std::string save_graph = flags.GetString("save-graph", "");
   const std::string load_graph = flags.GetString("load-graph", "");
+  const unsigned threads =
+      static_cast<unsigned>(flags.GetInt("threads", 0));
+
+  RetryOptions retry;
+  const int retry_attempts =
+      static_cast<int>(flags.GetInt("retry-attempts", 0));
+  retry.max_attempts = retry_attempts > 0
+                           ? static_cast<uint32_t>(retry_attempts)
+                           : retry.max_attempts;
+  retry.initial_backoff_seconds =
+      flags.GetDouble("retry-backoff", retry.initial_backoff_seconds);
+  retry.max_backoff_seconds =
+      flags.GetDouble("retry-max-backoff", retry.max_backoff_seconds);
+  retry.deadline_seconds = flags.GetDouble("retry-deadline", 0.0);
+  retry.seed = seed;
+
+  FaultInjectionOptions fault;
+  fault.failure_rate = flags.GetDouble("fault-rate", 0.0);
+  fault.spike_rate = flags.GetDouble("fault-spike-rate", 0.0);
+  fault.spike_seconds = flags.GetDouble("fault-spike-seconds", 0.0);
+  fault.per_call_timeout_seconds = flags.GetDouble("fault-timeout", 0.0);
+  fault.max_consecutive_failures = static_cast<uint32_t>(flags.GetInt(
+      "fault-consecutive", fault.max_consecutive_failures));
+  fault.seed = static_cast<uint64_t>(
+      flags.GetInt("fault-seed", static_cast<int>(seed % 1000000)));
+  const bool inject_faults =
+      fault.failure_rate > 0.0 || fault.spike_rate > 0.0;
 
   StatusOr<Dataset> dataset = MakeDataset(dataset_name, n, seed);
   if (!dataset.ok()) return Fail(dataset.status().ToString());
   StatusOr<SchemeKind> scheme = ParseSchemeKind(scheme_name);
   if (!scheme.ok()) return Fail(scheme.status().ToString());
 
-  // Oracle stack: base -> (verify) -> simulated cost.
+  // Oracle stack: base -> (verify) -> simulated cost -> (faults) -> (retry).
   DistanceOracle* oracle = dataset->oracle.get();
   std::unique_ptr<VerifyingOracle> verifier;
   if (verify) {
@@ -120,6 +174,18 @@ int Run(const std::string& command, const Flags& flags) {
     oracle = verifier.get();
   }
   SimulatedCostOracle costed(oracle, oracle_cost);
+  DistanceOracle* top = &costed;
+  std::unique_ptr<FaultInjectingOracle> faulty;
+  if (inject_faults) {
+    faulty = std::make_unique<FaultInjectingOracle>(top, fault);
+    top = faulty.get();
+  }
+  std::unique_ptr<RetryingOracle> retrying;
+  if (retry_attempts > 0) {
+    retrying = std::make_unique<RetryingOracle>(top, retry);
+    top = retrying.get();
+  }
+  if (threads > 0) top->set_batch_workers(threads);
 
   PartialDistanceGraph graph(n);
   if (!load_graph.empty()) {
@@ -132,24 +198,79 @@ int Run(const std::string& command, const Flags& flags) {
     std::printf("resumed %zu resolved distances from %s\n",
                 graph.num_edges(), load_graph.c_str());
   }
-  BoundedResolver resolver(&costed, &graph);
-  if (bootstrap) {
-    BootstrapWithLandmarks(
-        &resolver, landmarks > 0 ? landmarks : DefaultNumLandmarks(n), seed);
-  }
-  SchemeOptions options;
-  options.num_landmarks = landmarks;
-  options.max_distance = dataset->max_distance;
-  options.seed = seed;
-  auto bounder = MakeAndAttachScheme(*scheme, &resolver, options);
-  if (!bounder.ok()) return Fail(bounder.status().ToString());
+  BoundedResolver resolver(top, &graph);
 
   std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu\n",
               command.c_str(), dataset->name.c_str(), n,
               SchemeKindName(*scheme).data(), bootstrap ? "+bootstrap" : "",
               static_cast<unsigned long long>(seed));
 
+  // Everything that can reach the oracle — bootstrap, scheme construction
+  // and the command itself — runs inside the fallible scope, so an oracle
+  // whose retries or deadline are exhausted produces an error exit instead
+  // of an abort.
   Stopwatch watch;
+  int exit_code = 0;
+  std::unique_ptr<Bounder> bounder_keepalive;
+  const StatusOr<double> outcome = resolver.RunFallible([&](
+      BoundedResolver*) -> double {
+    if (bootstrap) {
+      BootstrapWithLandmarks(
+          &resolver, landmarks > 0 ? landmarks : DefaultNumLandmarks(n),
+          seed);
+    }
+    SchemeOptions options;
+    options.num_landmarks = landmarks;
+    options.max_distance = dataset->max_distance;
+    options.seed = seed;
+    auto bounder = MakeAndAttachScheme(*scheme, &resolver, options);
+    if (!bounder.ok()) {
+      exit_code = Fail(bounder.status().ToString());
+      return 0.0;
+    }
+    bounder_keepalive = std::move(bounder).value();
+
+    watch.Restart();
+    exit_code = RunCommand(command, flags, n, seed, &resolver);
+    return 0.0;
+  });
+  if (!outcome.ok()) {
+    return Fail("oracle transport failed: " + outcome.status().ToString());
+  }
+  if (exit_code != 0) return exit_code;
+  const double wall = watch.ElapsedSeconds();
+
+  if (const Status s = flags.FailOnUnused(); !s.ok()) {
+    return Fail(s.ToString());
+  }
+  ResolverStats stats = resolver.stats();
+  if (retrying != nullptr) retrying->AccumulateStats(&stats);
+  PrintStats(stats, n, oracle_cost, costed.simulated_seconds(), wall);
+  if (faulty != nullptr) {
+    std::printf(
+        "injected faults: %llu failures, %llu spikes, %llu timeouts\n",
+        static_cast<unsigned long long>(faulty->injected_failures()),
+        static_cast<unsigned long long>(faulty->injected_spikes()),
+        static_cast<unsigned long long>(faulty->injected_timeouts()));
+  }
+  if (verifier != nullptr) {
+    std::printf("metric spot checks passed: %llu\n",
+                static_cast<unsigned long long>(verifier->checks_performed()));
+  }
+  if (!save_graph.empty()) {
+    const Status s = SaveGraph(graph, save_graph);
+    if (!s.ok()) return Fail(s.ToString());
+    std::printf("checkpointed %zu resolved distances to %s\n",
+                graph.num_edges(), save_graph.c_str());
+  }
+  return 0;
+}
+
+/// The command dispatch, extracted so Run() can execute it inside the
+/// resolver's fallible scope. Returns a process exit code.
+int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
+               uint64_t seed, BoundedResolver* resolver_ptr) {
+  BoundedResolver& resolver = *resolver_ptr;
   if (command == "mst") {
     const std::string algorithm = flags.GetString("algorithm", "prim");
     MstResult mst;
@@ -222,22 +343,6 @@ int Run(const std::string& command, const Flags& flags) {
   } else {
     return Fail("unknown command: " + command +
                 " (mst|knn|cluster|join|diameter)");
-  }
-  const double wall = watch.ElapsedSeconds();
-
-  if (const Status s = flags.FailOnUnused(); !s.ok()) {
-    return Fail(s.ToString());
-  }
-  PrintStats(resolver, n, oracle_cost, costed.simulated_seconds(), wall);
-  if (verifier != nullptr) {
-    std::printf("metric spot checks passed: %llu\n",
-                static_cast<unsigned long long>(verifier->checks_performed()));
-  }
-  if (!save_graph.empty()) {
-    const Status s = SaveGraph(graph, save_graph);
-    if (!s.ok()) return Fail(s.ToString());
-    std::printf("checkpointed %zu resolved distances to %s\n",
-                graph.num_edges(), save_graph.c_str());
   }
   return 0;
 }
