@@ -29,6 +29,14 @@ std::string ResolverStats::ToString() const {
        << " oracle_failures=" << oracle_failures
        << " retry_backoff_seconds=" << retry_backoff_seconds;
   }
+  if (store_hits > 0 || store_misses > 0 || store_loaded_edges > 0 ||
+      wal_appends > 0 || compactions > 0) {
+    os << " store_hits=" << store_hits
+       << " store_misses=" << store_misses
+       << " store_loaded_edges=" << store_loaded_edges
+       << " wal_appends=" << wal_appends
+       << " compactions=" << compactions;
+  }
   return os.str();
 }
 

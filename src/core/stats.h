@@ -59,6 +59,18 @@ struct ResolverStats {
   uint64_t oracle_failures = 0;
   /// Wall time spent sleeping in retry backoff, in seconds.
   double retry_backoff_seconds = 0.0;
+  /// Pairs answered by the persistent distance store at the oracle layer
+  /// (a PersistentOracle hit: the inner oracle was never touched).
+  uint64_t store_hits = 0;
+  /// Pairs the store could not answer and shipped to the inner oracle.
+  uint64_t store_misses = 0;
+  /// Edges bulk-loaded from the store into the partial graph before the
+  /// run (cross-run warm start). Each starts as a resolver cache hit.
+  uint64_t store_loaded_edges = 0;
+  /// Freshly resolved distances appended to the store's write-ahead log.
+  uint64_t wal_appends = 0;
+  /// Store compactions (snapshot rewrites) performed during the run.
+  uint64_t compactions = 0;
 
   void Reset() { *this = ResolverStats(); }
 
@@ -80,6 +92,11 @@ struct ResolverStats {
     oracle_timeouts += o.oracle_timeouts;
     oracle_failures += o.oracle_failures;
     retry_backoff_seconds += o.retry_backoff_seconds;
+    store_hits += o.store_hits;
+    store_misses += o.store_misses;
+    store_loaded_edges += o.store_loaded_edges;
+    wal_appends += o.wal_appends;
+    compactions += o.compactions;
     return *this;
   }
 

@@ -38,8 +38,16 @@ void PartialDistanceGraph::InsertEdges(std::span<const WeightedEdge> batch) {
     CHECK_LT(e.u, num_objects());
     CHECK_LT(e.v, num_objects());
     CHECK_GE(e.weight, 0.0) << "negative distance from oracle";
-    const bool inserted = edge_map_.emplace(EdgeKey(e.u, e.v), e.weight).second;
-    CHECK(inserted) << "duplicate edge (" << e.u << ", " << e.v << ")";
+    const auto [it, inserted] = edge_map_.emplace(EdgeKey(e.u, e.v), e.weight);
+    if (!inserted) {
+      // Exact duplicates are no-ops so a warm-start bulk load composes with
+      // edges the graph already holds (checkpoint resume, repeated loads).
+      // A *conflicting* distance still dies: two values for one pair means
+      // the edges come from different metric spaces.
+      CHECK_EQ(it->second, e.weight)
+          << "conflicting duplicate edge (" << e.u << ", " << e.v << ")";
+      continue;
+    }
     adjacency_[e.u].push_back(Neighbor{e.v, e.weight});
     adjacency_[e.v].push_back(Neighbor{e.u, e.weight});
     touched.push_back(e.u);

@@ -54,11 +54,15 @@ class PartialDistanceGraph {
   /// negative distances (a metric oracle can never produce them).
   void Insert(ObjectId i, ObjectId j, double d);
 
-  /// Bulk form of Insert for the batch resolution path: records every edge,
-  /// with the same CHECKs, but splices each touched adjacency list once
-  /// instead of once per edge. The final state (sorted adjacency, edge-map
-  /// contents, edges() in span order) is identical to inserting the edges
-  /// one by one.
+  /// Bulk form of Insert for the batch resolution path and the store's
+  /// warm start: records every edge, but splices each touched adjacency
+  /// list once instead of once per edge. Unlike Insert, an exact duplicate
+  /// (same pair, same distance) — against the graph or within the batch —
+  /// is skipped silently, so a warm-start load followed by a resolver
+  /// insert of an already-known edge is a no-op; a duplicate with a
+  /// *different* distance still CHECK-fails. For duplicate-free batches the
+  /// final state (sorted adjacency, edge-map contents, edges() in span
+  /// order) is identical to inserting the edges one by one.
   void InsertEdges(std::span<const WeightedEdge> batch);
 
   /// Neighbors of i sorted ascending by id.

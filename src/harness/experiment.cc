@@ -8,6 +8,7 @@
 #include "core/logging.h"
 #include "graph/partial_graph.h"
 #include "oracle/wrappers.h"
+#include "store/persistent_oracle.h"
 
 namespace metricprox {
 
@@ -40,8 +41,21 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
     retrying.emplace(top, config.retry);
     top = &*retrying;
   }
+  // The persistence layer tops the stack: a store hit skips simulated cost,
+  // injected faults and retries alike — it is not an oracle call at all.
+  std::optional<PersistentOracle> persistent;
+  if (config.store != nullptr) {
+    persistent.emplace(top, config.store);
+    top = &*persistent;
+  }
 
   PartialDistanceGraph graph(oracle->num_objects());
+  uint64_t warm_loaded = 0;
+  if (config.store != nullptr && config.store_warm_start) {
+    const std::vector<WeightedEdge> warm = config.store->Edges();
+    graph.InsertEdges(warm);
+    warm_loaded = warm.size();
+  }
   BoundedResolver resolver(top, &graph);
   resolver.SetBatchTransport(config.batch_transport);
 
@@ -89,6 +103,8 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
   result.stats = resolver.stats();
   result.stats.simulated_oracle_seconds = costed.simulated_seconds();
   if (retrying.has_value()) retrying->AccumulateStats(&result.stats);
+  result.stats.store_loaded_edges = warm_loaded;
+  if (persistent.has_value()) persistent->AccumulateStats(&result.stats);
   result.total_calls = result.stats.oracle_calls;
   result.completion_seconds =
       result.wall_seconds + costed.simulated_seconds();

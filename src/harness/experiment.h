@@ -12,6 +12,7 @@
 #include "core/status.h"
 #include "oracle/fault_injection.h"
 #include "oracle/retry.h"
+#include "store/distance_store.h"
 
 namespace metricprox {
 
@@ -44,6 +45,16 @@ struct WorkloadConfig {
   /// by `retry`. Retry counters are merged into the result's stats.
   bool enable_retry = false;
   RetryOptions retry;
+  /// Durable distance store shared across runs and workloads (not owned;
+  /// open it with a fingerprint pinning the dataset). When set, a
+  /// PersistentOracle tops the middleware stack, so every resolution is
+  /// answered from the store when possible and logged to its WAL otherwise.
+  /// Store counters are merged into the result's stats.
+  DistanceStore* store = nullptr;
+  /// Bulk-load the store's edges into the partial graph before bootstrap
+  /// and scheme construction (cross-run warm start): SPLUB/Tri bounds start
+  /// tight and previously paid pairs are resolver cache hits.
+  bool store_warm_start = true;
 };
 
 /// A proximity algorithm run against a resolver; returns a checksum

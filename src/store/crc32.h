@@ -1,0 +1,44 @@
+#ifndef METRICPROX_STORE_CRC32_H_
+#define METRICPROX_STORE_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace metricprox {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range. Used by the
+/// distance-store file formats to detect torn or corrupted records; the table
+/// is built at compile time so the store has no dependency on zlib.
+namespace internal_crc32 {
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t n = 0; n < 256; ++n) {
+    uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace internal_crc32
+
+/// CRC of `size` bytes starting at `data`. `seed` allows incremental use:
+/// Crc32(b, nb, Crc32(a, na)) == Crc32(concat(a, b)).
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    c = internal_crc32::kTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_STORE_CRC32_H_

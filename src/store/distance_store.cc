@@ -1,0 +1,461 @@
+#include "store/distance_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/logging.h"
+#include "store/crc32.h"
+
+namespace metricprox {
+
+namespace {
+
+// On-disk layout (host byte order; the store is a local cache, not a wire
+// format). WAL: 24-byte header then 20-byte records, each self-checksummed.
+// Snapshot: 32-byte header, 16-byte records sorted by EdgeKey, trailing
+// CRC32 over the whole record region.
+constexpr char kWalMagic[8] = {'m', 'p', 'x', 'w', 'a', 'l', '1', '\n'};
+constexpr char kSnapMagic[8] = {'m', 'p', 'x', 's', 'n', 'a', 'p', '\n'};
+constexpr size_t kWalHeaderSize = 24;
+constexpr size_t kWalRecordSize = 20;
+constexpr size_t kSnapHeaderSize = 32;
+constexpr size_t kSnapRecordSize = 16;
+
+void PutU32(char* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutU64(char* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+void PutF64(char* p, double v) { std::memcpy(p, &v, sizeof(v)); }
+uint32_t GetU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+uint64_t GetU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+double GetF64(const char* p) {
+  double v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// header := magic[8] | num_objects u32 | identity_hash u64 | crc u32,
+/// where crc covers the 12 fingerprint bytes. Shared by both files (the
+/// snapshot header adds an edge count before its crc).
+void EncodeWalHeader(const StoreFingerprint& fp, char out[kWalHeaderSize]) {
+  std::memcpy(out, kWalMagic, sizeof(kWalMagic));
+  PutU32(out + 8, fp.num_objects);
+  PutU64(out + 12, fp.identity_hash);
+  PutU32(out + 20, Crc32(out + 8, 12));
+}
+
+void EncodeWalRecord(const WeightedEdge& e, char out[kWalRecordSize]) {
+  PutU32(out, e.u);
+  PutU32(out + 4, e.v);
+  PutF64(out + 8, e.weight);
+  PutU32(out + 16, Crc32(out, 16));
+}
+
+Status ReadWholeFile(const std::string& path, std::vector<char>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0 && !in.read(out->data(), size)) {
+    return Status::IoError("cannot read " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("write failed: ") +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// fsync of the directory holding `path`, so a just-renamed file survives a
+/// crash of the directory metadata too. Best effort: some filesystems reject
+/// directory fsync; that is not worth failing a compaction over.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+StoreFingerprint MakeStoreFingerprint(std::string_view identity,
+                                      ObjectId num_objects) {
+  // FNV-1a over the identity bytes, then a splitmix64 finalizer mixing in
+  // the object count, so "n=12" / "n=120" style near-collisions cannot
+  // produce equal hashes with equal counts by accident.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : identity) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  uint64_t x = h ^ (0x9e3779b97f4a7c15ULL + num_objects);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return StoreFingerprint{num_objects, x};
+}
+
+StatusOr<std::unique_ptr<DistanceStore>> DistanceStore::Open(
+    std::string base_path, const StoreFingerprint& fingerprint,
+    const StoreOptions& options) {
+  if (fingerprint.num_objects == 0) {
+    return Status::InvalidArgument("store fingerprint has zero objects");
+  }
+  std::unique_ptr<DistanceStore> store(
+      new DistanceStore(std::move(base_path), fingerprint, options));
+  const bool snap_exists =
+      std::filesystem::exists(SnapshotPath(store->base_path_));
+  const bool wal_exists = std::filesystem::exists(WalPath(store->base_path_));
+  if (options.read_only && !snap_exists && !wal_exists) {
+    return Status::NotFound("no store at " + store->base_path_ +
+                            " (.snap/.wal missing)");
+  }
+  if (snap_exists) MP_RETURN_IF_ERROR(store->LoadSnapshot());
+  if (wal_exists) MP_RETURN_IF_ERROR(store->ReplayWal());
+  if (!options.read_only) MP_RETURN_IF_ERROR(store->OpenWalForAppend());
+  return store;
+}
+
+Status DistanceStore::LoadSnapshot() {
+  const std::string path = SnapshotPath(base_path_);
+  std::vector<char> bytes;
+  MP_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+  if (bytes.size() < kSnapHeaderSize) {
+    return Status::InvalidArgument(path + ": snapshot shorter than header");
+  }
+  if (std::memcmp(bytes.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a metricprox snapshot");
+  }
+  const StoreFingerprint fp{GetU32(bytes.data() + 8), GetU64(bytes.data() + 12)};
+  const uint64_t count = GetU64(bytes.data() + 20);
+  if (GetU32(bytes.data() + 28) != Crc32(bytes.data() + 8, 20)) {
+    return Status::InvalidArgument(path + ": snapshot header CRC mismatch");
+  }
+  if (fp != fingerprint_) {
+    std::ostringstream os;
+    os << path << ": fingerprint mismatch (store has n=" << fp.num_objects
+       << " hash=" << fp.identity_hash << ", caller expects n="
+       << fingerprint_.num_objects << " hash=" << fingerprint_.identity_hash
+       << ") — refusing to mix metric spaces";
+    return Status::FailedPrecondition(os.str());
+  }
+  const size_t body = count * kSnapRecordSize;
+  if (bytes.size() != kSnapHeaderSize + body + sizeof(uint32_t)) {
+    return Status::InvalidArgument(path + ": snapshot size does not match " +
+                                   "its edge count");
+  }
+  const char* records = bytes.data() + kSnapHeaderSize;
+  if (GetU32(records + body) != Crc32(records, body)) {
+    return Status::InvalidArgument(path + ": snapshot body CRC mismatch");
+  }
+  edges_.reserve(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    const char* r = records + k * kSnapRecordSize;
+    const ObjectId u = GetU32(r);
+    const ObjectId v = GetU32(r + 4);
+    const double d = GetF64(r + 8);
+    if (u >= v || v >= fingerprint_.num_objects || !(d >= 0.0) ||
+        !std::isfinite(d)) {
+      return Status::InvalidArgument(path + ": invalid snapshot record");
+    }
+    if (!edges_.emplace(EdgeKey(u, v), d).second) {
+      return Status::InvalidArgument(path + ": duplicate snapshot record");
+    }
+  }
+  snapshot_edges_ = count;
+  return Status::OK();
+}
+
+Status DistanceStore::ReplayWal() {
+  const std::string path = WalPath(base_path_);
+  std::vector<char> bytes;
+  MP_RETURN_IF_ERROR(ReadWholeFile(path, &bytes));
+
+  if (bytes.size() < kWalHeaderSize) {
+    // A crash during the very first header write. There is nothing to
+    // salvage; a writable open starts the WAL over, a read-only open just
+    // reports the torn bytes.
+    counters_.torn_bytes_discarded += bytes.size();
+    if (!options_.read_only && !bytes.empty()) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, 0, ec);
+      if (ec) return Status::IoError(path + ": cannot reset torn header");
+    }
+    return Status::OK();
+  }
+  if (std::memcmp(bytes.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not a metricprox WAL");
+  }
+  if (GetU32(bytes.data() + 20) != Crc32(bytes.data() + 8, 12)) {
+    return Status::InvalidArgument(path + ": WAL header CRC mismatch");
+  }
+  const StoreFingerprint fp{GetU32(bytes.data() + 8), GetU64(bytes.data() + 12)};
+  if (fp != fingerprint_) {
+    std::ostringstream os;
+    os << path << ": fingerprint mismatch (store has n=" << fp.num_objects
+       << " hash=" << fp.identity_hash << ", caller expects n="
+       << fingerprint_.num_objects << " hash=" << fingerprint_.identity_hash
+       << ") — refusing to mix metric spaces";
+    return Status::FailedPrecondition(os.str());
+  }
+
+  // Replay the valid record prefix; the first short or CRC-failing record
+  // marks the torn tail left by a crash mid-append.
+  size_t offset = kWalHeaderSize;
+  while (offset + kWalRecordSize <= bytes.size()) {
+    const char* r = bytes.data() + offset;
+    if (GetU32(r + 16) != Crc32(r, 16)) break;
+    const ObjectId u = GetU32(r);
+    const ObjectId v = GetU32(r + 4);
+    const double d = GetF64(r + 8);
+    if (u == v || u >= fingerprint_.num_objects ||
+        v >= fingerprint_.num_objects || !(d >= 0.0) || !std::isfinite(d)) {
+      return Status::InvalidArgument(path + ": invalid WAL record");
+    }
+    const auto [it, inserted] = edges_.emplace(EdgeKey(u, v), d);
+    if (!inserted && it->second != d) {
+      return Status::InvalidArgument(path + ": conflicting WAL record");
+    }
+    ++counters_.recovered_records;
+    offset += kWalRecordSize;
+  }
+  if (offset < bytes.size()) {
+    counters_.torn_bytes_discarded += bytes.size() - offset;
+    if (!options_.read_only) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, offset, ec);
+      if (ec) return Status::IoError(path + ": cannot truncate torn tail");
+    }
+  }
+  wal_record_count_ = counters_.recovered_records;
+  return Status::OK();
+}
+
+Status DistanceStore::OpenWalForAppend() {
+  const std::string path = WalPath(base_path_);
+  wal_fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (wal_fd_ < 0) {
+    return Status::IoError("cannot open " + path + " for append: " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(wal_fd_, &st) != 0) {
+    return Status::IoError("cannot stat " + path);
+  }
+  if (st.st_size == 0) {
+    char header[kWalHeaderSize];
+    EncodeWalHeader(fingerprint_, header);
+    MP_RETURN_IF_ERROR(WriteAll(wal_fd_, header, sizeof(header)));
+    if (::fsync(wal_fd_) != 0) {
+      return Status::IoError("fsync failed for " + path);
+    }
+  }
+  return Status::OK();
+}
+
+Status DistanceStore::Record(ObjectId i, ObjectId j, double d) {
+  CHECK(!closed_) << "Record() on a closed store";
+  CHECK_NE(i, j) << "self-edge";
+  CHECK_LT(i, fingerprint_.num_objects);
+  CHECK_LT(j, fingerprint_.num_objects);
+  if (!(d >= 0.0) || !std::isfinite(d)) {
+    return Status::InvalidArgument("refusing to store non-metric distance");
+  }
+  if (options_.read_only) return Status::OK();
+  const EdgeKey key(i, j);
+  const auto [it, inserted] = edges_.emplace(key, d);
+  if (!inserted) {
+    // Exact duplicates are free (the caller may re-resolve a pair the store
+    // already holds); a *different* distance for a stored pair means the
+    // fingerprint failed to pin down the metric space.
+    if (it->second != d) {
+      return Status::FailedPrecondition(
+          "distance conflicts with the stored value for this pair — "
+          "the store belongs to a different metric space");
+    }
+    return Status::OK();
+  }
+  char record[kWalRecordSize];
+  EncodeWalRecord(WeightedEdge{key.lo(), key.hi(), d}, record);
+  const Status written = WriteAll(wal_fd_, record, sizeof(record));
+  if (!written.ok()) {
+    edges_.erase(key);  // keep map and WAL consistent
+    return written;
+  }
+  ++counters_.wal_appends;
+  ++wal_record_count_;
+  if (options_.fsync_every > 0 &&
+      ++appends_since_fsync_ >= options_.fsync_every) {
+    MP_RETURN_IF_ERROR(Flush());
+  }
+  return Status::OK();
+}
+
+Status DistanceStore::Flush() {
+  if (options_.read_only || wal_fd_ < 0) return Status::OK();
+  appends_since_fsync_ = 0;
+  if (::fsync(wal_fd_) != 0) {
+    return Status::IoError("fsync failed for " + WalPath(base_path_));
+  }
+  return Status::OK();
+}
+
+Status DistanceStore::Compact() {
+  CHECK(!closed_) << "Compact() on a closed store";
+  if (options_.read_only) {
+    return Status::FailedPrecondition("cannot compact a read-only store");
+  }
+  const std::string snap = SnapshotPath(base_path_);
+  const std::string tmp = snap + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + tmp + ": " + std::strerror(errno));
+  }
+  const std::vector<WeightedEdge> sorted = Edges();
+  // Header, then the sorted record region, then its CRC. Buffered in one
+  // vector so the CRC and the write are a single pass.
+  std::vector<char> bytes(kSnapHeaderSize + sorted.size() * kSnapRecordSize +
+                          sizeof(uint32_t));
+  std::memcpy(bytes.data(), kSnapMagic, sizeof(kSnapMagic));
+  PutU32(bytes.data() + 8, fingerprint_.num_objects);
+  PutU64(bytes.data() + 12, fingerprint_.identity_hash);
+  PutU64(bytes.data() + 20, sorted.size());
+  PutU32(bytes.data() + 28, Crc32(bytes.data() + 8, 20));
+  char* records = bytes.data() + kSnapHeaderSize;
+  for (size_t k = 0; k < sorted.size(); ++k) {
+    char* r = records + k * kSnapRecordSize;
+    PutU32(r, sorted[k].u);
+    PutU32(r + 4, sorted[k].v);
+    PutF64(r + 8, sorted[k].weight);
+  }
+  const size_t body = sorted.size() * kSnapRecordSize;
+  PutU32(records + body, Crc32(records, body));
+
+  Status status = WriteAll(fd, bytes.data(), bytes.size());
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IoError("fsync failed for " + tmp);
+  }
+  ::close(fd);
+  if (!status.ok()) return status;
+  if (std::rename(tmp.c_str(), snap.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " over " + snap);
+  }
+  SyncParentDir(snap);
+
+  // Only now — with every edge durable in the snapshot — is it safe to drop
+  // the WAL records. O_APPEND repositions the next write at the new end.
+  if (::ftruncate(wal_fd_, static_cast<off_t>(kWalHeaderSize)) != 0) {
+    return Status::IoError("cannot truncate " + WalPath(base_path_));
+  }
+  if (::fsync(wal_fd_) != 0) {
+    return Status::IoError("fsync failed for " + WalPath(base_path_));
+  }
+  snapshot_edges_ = sorted.size();
+  wal_record_count_ = 0;
+  appends_since_fsync_ = 0;
+  ++counters_.compactions;
+  return Status::OK();
+}
+
+Status DistanceStore::Close() {
+  if (closed_) return Status::OK();
+  Status status = Status::OK();
+  if (!options_.read_only && wal_fd_ >= 0) {
+    if (options_.compact_on_close && wal_record_count_ > 0) {
+      status = Compact();
+    } else {
+      status = Flush();
+    }
+    ::close(wal_fd_);
+    wal_fd_ = -1;
+  }
+  closed_ = true;
+  return status;
+}
+
+DistanceStore::~DistanceStore() { Close(); }
+
+std::vector<WeightedEdge> DistanceStore::Edges() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, d] : edges_) {
+    out.push_back(WeightedEdge{key.lo(), key.hi(), d});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return EdgeKey(a.u, a.v) < EdgeKey(b.u, b.v);
+            });
+  return out;
+}
+
+StatusOr<StoreFingerprint> DistanceStore::ReadFingerprint(
+    const std::string& base_path) {
+  for (const std::string& path :
+       {SnapshotPath(base_path), WalPath(base_path)}) {
+    if (!std::filesystem::exists(path)) continue;
+    std::ifstream in(path, std::ios::binary);
+    char header[kWalHeaderSize];  // both headers start magic + fingerprint
+    if (!in.read(header, sizeof(header))) continue;
+    const bool is_snap = std::memcmp(header, kSnapMagic, 8) == 0;
+    const bool is_wal = std::memcmp(header, kWalMagic, 8) == 0;
+    if (!is_snap && !is_wal) {
+      return Status::InvalidArgument(path + ": not a metricprox store file");
+    }
+    return StoreFingerprint{GetU32(header + 8), GetU64(header + 12)};
+  }
+  return Status::NotFound("no store at " + base_path + " (.snap/.wal missing)");
+}
+
+StatusOr<StoreScanResult> DistanceStore::Scan(const std::string& base_path) {
+  StatusOr<StoreFingerprint> fp = ReadFingerprint(base_path);
+  if (!fp.ok()) return fp.status();
+  StoreOptions options;
+  options.read_only = true;
+  StatusOr<std::unique_ptr<DistanceStore>> store =
+      Open(base_path, *fp, options);
+  if (!store.ok()) return store.status();
+  StoreScanResult result;
+  result.fingerprint = *fp;
+  result.has_snapshot = std::filesystem::exists(SnapshotPath(base_path));
+  result.has_wal = std::filesystem::exists(WalPath(base_path));
+  result.snapshot_edges = (*store)->snapshot_edges_;
+  result.wal_records = (*store)->counters_.recovered_records;
+  result.unique_edges = (*store)->edges_.size();
+  result.torn_tail_bytes = (*store)->counters_.torn_bytes_discarded;
+  return result;
+}
+
+}  // namespace metricprox

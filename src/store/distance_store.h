@@ -1,0 +1,204 @@
+#ifndef METRICPROX_STORE_DISTANCE_STORE_H_
+#define METRICPROX_STORE_DISTANCE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Identity of the metric space a store caches distances for. Every store
+/// file carries one; Open() refuses a store whose fingerprint differs from
+/// the caller's, so a stale store can never poison a different metric space
+/// (wrong dataset, wrong seed, wrong oracle — all change the hash).
+struct StoreFingerprint {
+  ObjectId num_objects = 0;
+  /// Hash of a caller-chosen identity string (see MakeStoreFingerprint).
+  uint64_t identity_hash = 0;
+
+  friend bool operator==(const StoreFingerprint& a, const StoreFingerprint& b) {
+    return a.num_objects == b.num_objects &&
+           a.identity_hash == b.identity_hash;
+  }
+  friend bool operator!=(const StoreFingerprint& a, const StoreFingerprint& b) {
+    return !(a == b);
+  }
+};
+
+/// Builds a fingerprint from an identity string and the object count. The
+/// identity must pin down everything that determines the distances: the
+/// oracle's name alone is NOT enough (two Euclidean datasets with the same n
+/// but different points share it) — include the dataset name, its generator
+/// seed and any parameters, e.g. "dataset=sf;n=256;seed=42;oracle=road".
+StoreFingerprint MakeStoreFingerprint(std::string_view identity,
+                                      ObjectId num_objects);
+
+struct StoreOptions {
+  /// Answer lookups but never write: Record() becomes a no-op, recovery
+  /// never truncates a torn WAL tail, and Close() does not compact.
+  bool read_only = false;
+  /// WAL records buffered between fsyncs. 1 syncs every append (maximum
+  /// durability), larger values batch the fsync cost; 0 never syncs
+  /// explicitly (the OS flushes eventually — fine for tests and benches).
+  size_t fsync_every = 256;
+  /// Compact (write a snapshot, truncate the WAL) on Close() when the WAL
+  /// holds any records. Tests disable this to exercise WAL replay.
+  bool compact_on_close = true;
+};
+
+/// Session counters of one open store (all zeroed at Open()).
+struct StoreCounters {
+  /// Records appended to the WAL this session.
+  uint64_t wal_appends = 0;
+  /// Snapshot rewrites (explicit Compact() calls plus the one in Close()).
+  uint64_t compactions = 0;
+  /// WAL records replayed at Open() (the valid prefix).
+  uint64_t recovered_records = 0;
+  /// Bytes of torn WAL tail discarded at Open() (0 on a clean shutdown).
+  uint64_t torn_bytes_discarded = 0;
+};
+
+/// Summary of an on-disk store produced by DistanceStore::Scan without
+/// knowing its fingerprint in advance (the `mpx store` verbs).
+struct StoreScanResult {
+  StoreFingerprint fingerprint;
+  bool has_snapshot = false;
+  bool has_wal = false;
+  uint64_t snapshot_edges = 0;
+  uint64_t wal_records = 0;
+  /// Distinct edges across snapshot + WAL (the warm-start payload).
+  uint64_t unique_edges = 0;
+  /// Torn WAL tail detected (recoverable: Open() truncates it).
+  uint64_t torn_tail_bytes = 0;
+};
+
+/// A durable, crash-safe store of oracle-resolved distances, shared across
+/// runs and across workloads over the same dataset.
+///
+/// On disk a store is two files derived from one base path:
+///   <base>.snap  — sorted snapshot: header + fixed 16-byte edge records
+///                  in EdgeKey order + trailing CRC32, replaced atomically
+///                  (write temp, fsync, rename) by Compact();
+///   <base>.wal   — append-only write-ahead log: header + fixed 20-byte
+///                  records, each carrying its own CRC32; appended (and
+///                  periodically fsynced) by Record().
+///
+/// Crash-safety invariants:
+///   * a crash mid-append leaves a torn tail; Open() replays the valid
+///     prefix, truncates the tail, and keeps every fully-written record;
+///   * the snapshot is only ever replaced by an atomic rename, so readers
+///     see the old or the new snapshot, never a partial one;
+///   * the WAL is truncated only AFTER the snapshot rename lands, so an
+///     edge is always in at least one of the two files (records replayed
+///     from both are deduplicated).
+///
+/// Lookups are answered from an in-memory EdgeKey -> distance map built at
+/// Open(); the files are never read on the hot path. Not thread-safe: the
+/// resolver drives all oracle verbs from one thread (see core/oracle.h).
+class DistanceStore {
+ public:
+  /// Opens (or, when writable, creates) the store at `base_path`.
+  /// Fails with FailedPrecondition if the on-disk fingerprint differs from
+  /// `fingerprint`, InvalidArgument on a corrupt snapshot or WAL header, and
+  /// NotFound when read-only and neither file exists.
+  static StatusOr<std::unique_ptr<DistanceStore>> Open(
+      std::string base_path, const StoreFingerprint& fingerprint,
+      const StoreOptions& options = {});
+
+  /// Fingerprint recorded in an existing store (snapshot preferred, WAL
+  /// otherwise) without opening it. NotFound if neither file exists.
+  static StatusOr<StoreFingerprint> ReadFingerprint(
+      const std::string& base_path);
+
+  /// Validates an existing store end to end — snapshot magic/CRC, WAL
+  /// header, per-record CRCs — and reports its shape. Never modifies files.
+  static StatusOr<StoreScanResult> Scan(const std::string& base_path);
+
+  ~DistanceStore();
+
+  DistanceStore(const DistanceStore&) = delete;
+  DistanceStore& operator=(const DistanceStore&) = delete;
+
+  /// The stored distance, or nullopt if (i, j) has never been recorded.
+  std::optional<double> Lookup(ObjectId i, ObjectId j) const {
+    auto it = edges_.find(EdgeKey(i, j));
+    if (it == edges_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(ObjectId i, ObjectId j) const {
+    return edges_.find(EdgeKey(i, j)) != edges_.end();
+  }
+
+  /// Appends dist(i, j) = d to the WAL. A no-op (returning OK) when the pair
+  /// is already stored or the store is read-only. CHECK-fails on self-edges
+  /// and out-of-range ids; rejects non-finite or negative distances.
+  Status Record(ObjectId i, ObjectId j, double d);
+
+  /// Forces buffered WAL appends to disk (fsync).
+  Status Flush();
+
+  /// Rewrites the snapshot from the in-memory map (temp + fsync + atomic
+  /// rename), then truncates the WAL back to its header. FailedPrecondition
+  /// on a read-only store.
+  Status Compact();
+
+  /// Compacts (if configured and the WAL holds records), flushes and closes
+  /// the WAL. Idempotent; the destructor calls it and ignores the Status.
+  Status Close();
+
+  /// All stored edges with u < v, sorted by (u, v) — the deterministic
+  /// warm-start payload for PartialDistanceGraph::InsertEdges.
+  std::vector<WeightedEdge> Edges() const;
+
+  size_t size() const { return edges_.size(); }
+  const StoreFingerprint& fingerprint() const { return fingerprint_; }
+  const StoreCounters& counters() const { return counters_; }
+  bool read_only() const { return options_.read_only; }
+  const std::string& base_path() const { return base_path_; }
+
+  static std::string SnapshotPath(const std::string& base_path) {
+    return base_path + ".snap";
+  }
+  static std::string WalPath(const std::string& base_path) {
+    return base_path + ".wal";
+  }
+
+ private:
+  DistanceStore(std::string base_path, const StoreFingerprint& fingerprint,
+                const StoreOptions& options)
+      : base_path_(std::move(base_path)),
+        fingerprint_(fingerprint),
+        options_(options) {}
+
+  /// Loads <base>.snap if present. Sets snapshot_edges_.
+  Status LoadSnapshot();
+  /// Replays <base>.wal if present, truncating a torn tail when writable.
+  Status ReplayWal();
+  /// Opens the WAL for appending, writing a fresh header if the file is new.
+  Status OpenWalForAppend();
+
+  std::string base_path_;
+  StoreFingerprint fingerprint_;
+  StoreOptions options_;
+  std::unordered_map<EdgeKey, double, EdgeKeyHash> edges_;
+  StoreCounters counters_;
+  uint64_t snapshot_edges_ = 0;
+  /// Records currently sitting in the WAL file (replayed + appended since
+  /// the last compaction); Close() compacts only when this is non-zero.
+  uint64_t wal_record_count_ = 0;
+  size_t appends_since_fsync_ = 0;
+  int wal_fd_ = -1;
+  bool closed_ = false;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_STORE_DISTANCE_STORE_H_

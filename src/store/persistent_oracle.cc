@@ -1,0 +1,120 @@
+#include "store/persistent_oracle.h"
+
+#include <optional>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+PersistentOracle::PersistentOracle(DistanceOracle* base, DistanceStore* store)
+    : base_(base), store_(store) {
+  CHECK(base != nullptr);
+  CHECK(store != nullptr);
+  CHECK_EQ(store->fingerprint().num_objects, base->num_objects())
+      << "store fingerprint does not match the oracle's universe";
+}
+
+void PersistentOracle::RecordToStore(ObjectId i, ObjectId j, double d) {
+  if (store_->read_only()) return;
+  const Status s = store_->Record(i, j, d);
+  if (s.ok()) {
+    ++appends_;
+  } else {
+    ++write_failures_;
+    if (store_status_.ok()) store_status_ = s;
+  }
+}
+
+double PersistentOracle::Distance(ObjectId i, ObjectId j) {
+  if (const std::optional<double> hit = store_->Lookup(i, j)) {
+    ++hits_;
+    return *hit;
+  }
+  ++misses_;
+  const double d = base_->Distance(i, j);
+  RecordToStore(i, j, d);
+  return d;
+}
+
+void PersistentOracle::BatchDistance(std::span<const IdPair> pairs,
+                                     std::span<double> out) {
+  CHECK_EQ(pairs.size(), out.size());
+  // Hit/miss split on the calling thread; only the residual miss-batch
+  // ships, so the base keeps its parallel implementation for real work.
+  std::vector<size_t> miss_slots;
+  std::vector<IdPair> misses;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    if (const std::optional<double> hit = store_->Lookup(pairs[k].i, pairs[k].j)) {
+      ++hits_;
+      out[k] = *hit;
+    } else {
+      miss_slots.push_back(k);
+      misses.push_back(pairs[k]);
+    }
+  }
+  if (misses.empty()) return;
+  misses_ += misses.size();
+  std::vector<double> resolved(misses.size());
+  base_->BatchDistance(misses, resolved);
+  for (size_t m = 0; m < misses.size(); ++m) {
+    out[miss_slots[m]] = resolved[m];
+    RecordToStore(misses[m].i, misses[m].j, resolved[m]);
+  }
+}
+
+StatusOr<double> PersistentOracle::TryDistance(ObjectId i, ObjectId j) {
+  if (const std::optional<double> hit = store_->Lookup(i, j)) {
+    ++hits_;
+    return *hit;
+  }
+  ++misses_;
+  StatusOr<double> resolved = base_->TryDistance(i, j);
+  if (resolved.ok()) RecordToStore(i, j, resolved.value());
+  return resolved;
+}
+
+Status PersistentOracle::TryBatchDistance(std::span<const IdPair> pairs,
+                                          std::span<double> out,
+                                          std::span<Status> statuses) {
+  CHECK_EQ(pairs.size(), out.size());
+  CHECK_EQ(pairs.size(), statuses.size());
+  std::vector<size_t> miss_slots;
+  std::vector<IdPair> misses;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    if (const std::optional<double> hit = store_->Lookup(pairs[k].i, pairs[k].j)) {
+      ++hits_;
+      out[k] = *hit;
+      statuses[k] = Status::OK();
+    } else {
+      miss_slots.push_back(k);
+      misses.push_back(pairs[k]);
+    }
+  }
+  if (misses.empty()) return Status::OK();
+  misses_ += misses.size();
+  std::vector<double> resolved(misses.size());
+  std::vector<Status> miss_statuses(misses.size());
+  const Status batch_status =
+      base_->TryBatchDistance(misses, resolved, miss_statuses);
+  for (size_t m = 0; m < misses.size(); ++m) {
+    statuses[miss_slots[m]] = miss_statuses[m];
+    if (miss_statuses[m].ok()) {
+      out[miss_slots[m]] = resolved[m];
+      // Partial successes are persisted even when the batch as a whole
+      // failed: a retrying caller re-ships only the failed pairs, and a
+      // crashed run replays these from the WAL for free.
+      RecordToStore(misses[m].i, misses[m].j, resolved[m]);
+    }
+  }
+  return batch_status;
+}
+
+void PersistentOracle::AccumulateStats(ResolverStats* stats) const {
+  CHECK(stats != nullptr);
+  stats->store_hits += hits_;
+  stats->store_misses += misses_;
+  stats->wal_appends += appends_;
+}
+
+}  // namespace metricprox

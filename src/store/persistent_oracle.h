@@ -1,0 +1,87 @@
+#ifndef METRICPROX_STORE_PERSISTENT_ORACLE_H_
+#define METRICPROX_STORE_PERSISTENT_ORACLE_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/oracle.h"
+#include "core/stats.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "store/distance_store.h"
+
+namespace metricprox {
+
+/// Persistence middleware: answers from a DistanceStore before touching the
+/// inner oracle, and logs every freshly resolved distance to the store's WAL
+/// after. Stacks on TOP of the reliability middleware,
+///
+///   base -> SimulatedCostOracle -> [FaultInjectingOracle] ->
+///   [RetryingOracle] -> PersistentOracle -> resolver,
+///
+/// so a store hit skips the whole stack — no simulated latency, no injected
+/// fault, no retry — exactly like a distance that was never requested. The
+/// batch verbs split each batch into store hits and a residual miss-batch;
+/// only the residual ships to the inner oracle, so cross-run amortization
+/// composes with PR 1's one-call-per-unique-pair accounting.
+///
+/// Store write failures (full disk, revoked permissions) degrade the store
+/// to a cache, they do not poison the run: the distance is still returned,
+/// the failure is counted, and the first error Status is kept for reporting.
+class PersistentOracle : public DistanceOracle {
+ public:
+  /// Neither pointer is owned. The store's fingerprint must describe the
+  /// same universe as the oracle (object counts are CHECKed).
+  PersistentOracle(DistanceOracle* base, DistanceStore* store);
+
+  double Distance(ObjectId i, ObjectId j) override;
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override;
+  StatusOr<double> TryDistance(ObjectId i, ObjectId j) override;
+  Status TryBatchDistance(std::span<const IdPair> pairs, std::span<double> out,
+                          std::span<Status> statuses) override;
+
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return base_->name(); }
+  void set_batch_workers(unsigned workers) override {
+    base_->set_batch_workers(workers);
+  }
+  unsigned batch_workers() const override { return base_->batch_workers(); }
+
+  /// Pairs answered from the store without touching the inner oracle.
+  uint64_t store_hits() const { return hits_; }
+  /// Pairs that had to be resolved by the inner oracle.
+  uint64_t store_misses() const { return misses_; }
+  /// Misses successfully appended to the store's WAL by this wrapper.
+  uint64_t wal_appends() const { return appends_; }
+  /// Store writes that failed (the store kept serving as a cache).
+  uint64_t store_write_failures() const { return write_failures_; }
+  /// First store write failure, OK if none.
+  const Status& store_status() const { return store_status_; }
+
+  void ResetCounters() {
+    hits_ = misses_ = appends_ = write_failures_ = 0;
+    store_status_ = Status::OK();
+  }
+
+  /// Merges the persistence counters into a run's ResolverStats (the
+  /// harness and the CLI call this once per workload).
+  void AccumulateStats(ResolverStats* stats) const;
+
+ private:
+  /// Logs a resolved distance, downgrading write errors to counters.
+  void RecordToStore(ObjectId i, ObjectId j, double d);
+
+  DistanceOracle* base_;  // not owned
+  DistanceStore* store_;  // not owned
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t write_failures_ = 0;
+  Status store_status_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_STORE_PERSISTENT_ORACLE_H_

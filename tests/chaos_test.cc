@@ -7,6 +7,7 @@
 // one-call-per-unique-pair accounting.
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <optional>
 #include <string>
@@ -25,6 +26,7 @@
 #include "harness/experiment.h"
 #include "oracle/fault_injection.h"
 #include "oracle/retry.h"
+#include "store/distance_store.h"
 
 namespace metricprox {
 namespace {
@@ -229,6 +231,69 @@ TEST(ChaosHarnessTest, ExhaustedDeadlineReturnsStatusInsteadOfAborting) {
       TryRunWorkload(dataset.oracle.get(), config, workload);
   ASSERT_FALSE(got.ok());
   EXPECT_EQ(got.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// Persistence under chaos: populating a store through >= 10% injected
+// faults, then re-running warm under the same faults, must reproduce the
+// clean storeless checksum byte for byte — and the warm run never reaches
+// the oracle at all, so there is nothing left for the faults to bite.
+TEST(ChaosHarnessTest, WarmStoreUnderFaultsKeepsOutputsByteIdentical) {
+  const ObjectId n = 32;
+  const uint64_t seed = 91;
+  Dataset dataset = MakeDataset("sf", n, seed);
+  const Workload workload = [](BoundedResolver* r) {
+    return PrimMst(r).total_weight;
+  };
+
+  WorkloadConfig clean;
+  clean.scheme = SchemeKind::kTri;
+  clean.seed = seed;
+  const WorkloadResult base =
+      RunWorkload(dataset.oracle.get(), clean, workload);
+
+  const std::string path = ::testing::TempDir() + "/chaos_store";
+  std::filesystem::remove(DistanceStore::SnapshotPath(path));
+  std::filesystem::remove(DistanceStore::WalPath(path));
+  const StoreFingerprint fp = MakeStoreFingerprint("chaos-warm", n);
+
+  WorkloadConfig chaos = clean;
+  chaos.inject_faults = true;
+  chaos.fault = ChaosFaults(seed);
+  chaos.enable_retry = true;
+  chaos.retry = ChaosRetry(seed);
+
+  // Cold run under faults populates the store through the retry layer.
+  {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(path, fp);
+    ASSERT_TRUE(store.ok()) << store.status();
+    chaos.store = store->get();
+    const StatusOr<WorkloadResult> cold =
+        TryRunWorkload(dataset.oracle.get(), chaos, workload);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+    EXPECT_EQ(cold->value, base.value);
+    EXPECT_EQ(cold->total_calls, base.total_calls);
+    EXPECT_EQ(cold->stats.wal_appends, base.total_calls);
+    EXPECT_GT(cold->stats.oracle_retries, 0u);
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+
+  // Warm run under the same fault pattern: identical checksum, zero oracle
+  // calls, zero retries — the store absorbed the whole workload.
+  {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(path, fp);
+    ASSERT_TRUE(store.ok()) << store.status();
+    chaos.store = store->get();
+    const StatusOr<WorkloadResult> warm =
+        TryRunWorkload(dataset.oracle.get(), chaos, workload);
+    ASSERT_TRUE(warm.ok()) << warm.status();
+    EXPECT_EQ(warm->value, base.value);
+    EXPECT_EQ(warm->total_calls, 0u);
+    EXPECT_EQ(warm->stats.store_loaded_edges, base.total_calls);
+    EXPECT_EQ(warm->stats.oracle_retries, 0u);
+    ASSERT_TRUE((*store)->Close().ok());
+  }
 }
 
 }  // namespace

@@ -107,18 +107,58 @@ TEST(PartialGraphTest, InsertEdgesMatchesSequentialInserts) {
   }
 }
 
-TEST(PartialGraphTest, InsertEdgesDuplicateWithinBatchDies) {
+TEST(PartialGraphTest, InsertEdgesExactDuplicateWithinBatchIsNoOp) {
   PartialDistanceGraph g(4);
   const std::vector<WeightedEdge> batch = {WeightedEdge{0, 1, 0.5},
                                            WeightedEdge{1, 0, 0.5}};
-  EXPECT_DEATH(g.InsertEdges(batch), "duplicate");
+  g.InsertEdges(batch);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Get(0, 1), 0.5);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
 }
 
-TEST(PartialGraphTest, InsertEdgesDuplicateOfExistingDies) {
+TEST(PartialGraphTest, InsertEdgesExactDuplicateOfExistingIsNoOp) {
   PartialDistanceGraph g(4);
   g.Insert(2, 3, 0.25);
-  const std::vector<WeightedEdge> batch = {WeightedEdge{3, 2, 0.25}};
-  EXPECT_DEATH(g.InsertEdges(batch), "duplicate");
+  const std::vector<WeightedEdge> batch = {WeightedEdge{3, 2, 0.25},
+                                           WeightedEdge{0, 2, 0.75}};
+  g.InsertEdges(batch);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Get(2, 3), 0.25);
+  EXPECT_EQ(g.Get(0, 2), 0.75);
+  // The adjacency list stays sorted and duplicate-free after the skip.
+  ASSERT_EQ(g.Degree(2), 2u);
+  EXPECT_EQ(g.Neighbors(2)[0].id, 0u);
+  EXPECT_EQ(g.Neighbors(2)[1].id, 3u);
+}
+
+TEST(PartialGraphTest, InsertEdgesRepeatedBulkLoadIsIdempotent) {
+  // The store warm-start path loads the same edge set at every run; the
+  // second load must leave the graph bit-for-bit unchanged.
+  PartialDistanceGraph g(5);
+  const std::vector<WeightedEdge> batch = {WeightedEdge{0, 1, 1.0},
+                                           WeightedEdge{1, 2, 2.0},
+                                           WeightedEdge{3, 4, 0.5}};
+  g.InsertEdges(batch);
+  g.InsertEdges(batch);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.edges().size(), 3u);
+  EXPECT_EQ(g.Degree(1), 2u);
+}
+
+TEST(PartialGraphTest, InsertEdgesConflictingDuplicateDies) {
+  PartialDistanceGraph g(4);
+  g.Insert(2, 3, 0.25);
+  const std::vector<WeightedEdge> batch = {WeightedEdge{3, 2, 0.75}};
+  EXPECT_DEATH(g.InsertEdges(batch), "conflicting duplicate");
+}
+
+TEST(PartialGraphTest, InsertEdgesConflictingWithinBatchDies) {
+  PartialDistanceGraph g(4);
+  const std::vector<WeightedEdge> batch = {WeightedEdge{0, 1, 0.5},
+                                           WeightedEdge{1, 0, 0.6}};
+  EXPECT_DEATH(g.InsertEdges(batch), "conflicting duplicate");
 }
 
 TEST(PartialGraphTest, CommonNeighborMergeFindsExactlyTheTriangles) {

@@ -1,0 +1,431 @@
+// Durability tests for the persistent distance store: WAL round-trips,
+// compaction, torn-write recovery, fingerprint isolation, the
+// PersistentOracle middleware, and cross-run warm starts through the
+// harness. File-system effects are confined to ::testing::TempDir().
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/prim.h"
+#include "core/oracle.h"
+#include "core/status.h"
+#include "data/datasets.h"
+#include "harness/experiment.h"
+#include "store/distance_store.h"
+#include "store/persistent_oracle.h"
+
+namespace metricprox {
+namespace {
+
+/// A fresh store base path in the test temp dir with no files behind it.
+std::string StorePath(const std::string& name) {
+  const std::string base = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove(DistanceStore::SnapshotPath(base));
+  std::filesystem::remove(DistanceStore::WalPath(base));
+  return base;
+}
+
+std::unique_ptr<DistanceStore> MustOpen(const std::string& base,
+                                        const StoreFingerprint& fp,
+                                        const StoreOptions& options = {}) {
+  StatusOr<std::unique_ptr<DistanceStore>> store =
+      DistanceStore::Open(base, fp, options);
+  CHECK(store.ok()) << store.status();
+  return std::move(store).value();
+}
+
+uint64_t FileSize(const std::string& path) {
+  return static_cast<uint64_t>(std::filesystem::file_size(path));
+}
+
+/// Counts every call that reaches the base oracle, so tests can assert
+/// which pairs the store absorbed.
+class CountingOracle : public DistanceOracle {
+ public:
+  explicit CountingOracle(DistanceOracle* base) : base_(base) {}
+
+  double Distance(ObjectId i, ObjectId j) override {
+    ++calls_;
+    return base_->Distance(i, j);
+  }
+  void BatchDistance(std::span<const IdPair> pairs,
+                     std::span<double> out) override {
+    calls_ += pairs.size();
+    base_->BatchDistance(pairs, out);
+  }
+
+  ObjectId num_objects() const override { return base_->num_objects(); }
+  std::string_view name() const override { return "counting"; }
+
+  uint64_t calls() const { return calls_; }
+
+ private:
+  DistanceOracle* base_;  // not owned
+  uint64_t calls_ = 0;
+};
+
+TEST(StoreFingerprintTest, IdentityAndCountBothMatter) {
+  const StoreFingerprint a = MakeStoreFingerprint("dataset=sf;seed=1", 100);
+  EXPECT_EQ(a, MakeStoreFingerprint("dataset=sf;seed=1", 100));
+  EXPECT_NE(a, MakeStoreFingerprint("dataset=sf;seed=2", 100));
+  EXPECT_NE(a, MakeStoreFingerprint("dataset=sf;seed=1", 101));
+  EXPECT_NE(a.identity_hash,
+            MakeStoreFingerprint("dataset=sf;seed=2", 100).identity_hash);
+}
+
+TEST(DistanceStoreTest, RoundTripThroughCompaction) {
+  const std::string base = StorePath("round_trip");
+  const StoreFingerprint fp = MakeStoreFingerprint("round-trip", 10);
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp);
+    ASSERT_TRUE(store->Record(0, 1, 1.5).ok());
+    ASSERT_TRUE(store->Record(3, 2, 0.25).ok());
+    ASSERT_TRUE(store->Record(7, 9, 4.0).ok());
+    EXPECT_EQ(store->size(), 3u);
+    ASSERT_TRUE(store->Close().ok());  // compacts into the snapshot
+  }
+  EXPECT_TRUE(std::filesystem::exists(DistanceStore::SnapshotPath(base)));
+
+  std::unique_ptr<DistanceStore> reopened = MustOpen(base, fp);
+  EXPECT_EQ(reopened->size(), 3u);
+  EXPECT_EQ(reopened->Lookup(0, 1), 1.5);
+  EXPECT_EQ(reopened->Lookup(2, 3), 0.25);  // symmetric key
+  EXPECT_EQ(reopened->Lookup(9, 7), 4.0);
+  EXPECT_FALSE(reopened->Lookup(0, 2).has_value());
+
+  // Edges() is the deterministic warm-start payload: u < v, sorted.
+  const std::vector<WeightedEdge> edges = reopened->Edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].u, 0u);
+  EXPECT_EQ(edges[0].v, 1u);
+  EXPECT_EQ(edges[1].u, 2u);
+  EXPECT_EQ(edges[1].v, 3u);
+  EXPECT_EQ(edges[2].u, 7u);
+  EXPECT_EQ(edges[2].v, 9u);
+}
+
+TEST(DistanceStoreTest, WalReplayWithoutSnapshot) {
+  const std::string base = StorePath("wal_replay");
+  const StoreFingerprint fp = MakeStoreFingerprint("wal-replay", 8);
+  StoreOptions no_compact;
+  no_compact.compact_on_close = false;
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp, no_compact);
+    ASSERT_TRUE(store->Record(1, 2, 3.0).ok());
+    ASSERT_TRUE(store->Record(4, 5, 6.0).ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  EXPECT_FALSE(std::filesystem::exists(DistanceStore::SnapshotPath(base)));
+
+  std::unique_ptr<DistanceStore> reopened = MustOpen(base, fp, no_compact);
+  EXPECT_EQ(reopened->size(), 2u);
+  EXPECT_EQ(reopened->Lookup(1, 2), 3.0);
+  EXPECT_EQ(reopened->Lookup(4, 5), 6.0);
+  EXPECT_EQ(reopened->counters().recovered_records, 2u);
+  EXPECT_EQ(reopened->counters().torn_bytes_discarded, 0u);
+}
+
+TEST(DistanceStoreTest, CompactFoldsWalIntoSnapshot) {
+  const std::string base = StorePath("compact");
+  const StoreFingerprint fp = MakeStoreFingerprint("compact", 6);
+  std::unique_ptr<DistanceStore> store = MustOpen(base, fp);
+  ASSERT_TRUE(store->Record(0, 1, 1.0).ok());
+  ASSERT_TRUE(store->Record(2, 3, 2.0).ok());
+  ASSERT_TRUE(store->Compact().ok());
+  EXPECT_EQ(store->counters().compactions, 1u);
+
+  StatusOr<StoreScanResult> scan = DistanceStore::Scan(base);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_TRUE(scan->has_snapshot);
+  EXPECT_EQ(scan->snapshot_edges, 2u);
+  EXPECT_EQ(scan->wal_records, 0u);  // WAL truncated back to its header
+  EXPECT_EQ(scan->unique_edges, 2u);
+
+  // Appends after a compaction land in the (now empty) WAL and survive.
+  ASSERT_TRUE(store->Record(4, 5, 3.0).ok());
+  ASSERT_TRUE(store->Close().ok());
+  std::unique_ptr<DistanceStore> reopened = MustOpen(base, fp);
+  EXPECT_EQ(reopened->size(), 3u);
+  EXPECT_EQ(reopened->Lookup(4, 5), 3.0);
+}
+
+TEST(DistanceStoreTest, TornTailIsTruncatedAndValidPrefixKept) {
+  const std::string base = StorePath("torn");
+  const StoreFingerprint fp = MakeStoreFingerprint("torn", 8);
+  StoreOptions no_compact;
+  no_compact.compact_on_close = false;
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp, no_compact);
+    ASSERT_TRUE(store->Record(0, 1, 1.0).ok());
+    ASSERT_TRUE(store->Record(2, 3, 2.0).ok());
+    ASSERT_TRUE(store->Record(4, 5, 3.0).ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+
+  // Simulate a crash mid-append: cut the last record in half.
+  const std::string wal = DistanceStore::WalPath(base);
+  const uint64_t intact = FileSize(wal);
+  std::filesystem::resize_file(wal, intact - 7);
+
+  // A read-only scan reports the tear without repairing it.
+  StatusOr<StoreScanResult> scan = DistanceStore::Scan(base);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->wal_records, 2u);
+  EXPECT_EQ(scan->torn_tail_bytes, 13u);  // 20-byte record minus the 7 cut
+  EXPECT_EQ(FileSize(wal), intact - 7);
+
+  // A writable open replays the valid prefix and truncates the tail.
+  std::unique_ptr<DistanceStore> store = MustOpen(base, fp, no_compact);
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(store->Lookup(0, 1), 1.0);
+  EXPECT_EQ(store->Lookup(2, 3), 2.0);
+  EXPECT_FALSE(store->Lookup(4, 5).has_value());
+  EXPECT_EQ(store->counters().recovered_records, 2u);
+  EXPECT_EQ(store->counters().torn_bytes_discarded, 13u);
+
+  // The store is appendable again right where the tear was.
+  ASSERT_TRUE(store->Record(4, 5, 3.5).ok());
+  ASSERT_TRUE(store->Close().ok());
+  std::unique_ptr<DistanceStore> reopened = MustOpen(base, fp, no_compact);
+  EXPECT_EQ(reopened->size(), 3u);
+  EXPECT_EQ(reopened->Lookup(4, 5), 3.5);
+}
+
+TEST(DistanceStoreTest, CorruptedRecordBodyStopsReplayAtTheFlip) {
+  const std::string base = StorePath("bitflip");
+  const StoreFingerprint fp = MakeStoreFingerprint("bitflip", 8);
+  StoreOptions no_compact;
+  no_compact.compact_on_close = false;
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp, no_compact);
+    ASSERT_TRUE(store->Record(0, 1, 1.0).ok());
+    ASSERT_TRUE(store->Record(2, 3, 2.0).ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // Flip one byte inside the second record's payload: its CRC now fails,
+  // so replay keeps the first record and discards everything after.
+  const std::string wal = DistanceStore::WalPath(base);
+  {
+    std::fstream f(wal, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(24 + 20 + 8);  // header + record 0 + into record 1's distance
+    char byte = 0x7f;
+    f.write(&byte, 1);
+  }
+  std::unique_ptr<DistanceStore> store = MustOpen(base, fp, no_compact);
+  EXPECT_EQ(store->size(), 1u);
+  EXPECT_EQ(store->Lookup(0, 1), 1.0);
+  EXPECT_EQ(store->counters().torn_bytes_discarded, 20u);
+}
+
+TEST(DistanceStoreTest, FingerprintMismatchIsRejected) {
+  const std::string base = StorePath("mismatch");
+  const StoreFingerprint fp = MakeStoreFingerprint("dataset=a", 16);
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp);
+    ASSERT_TRUE(store->Record(0, 1, 1.0).ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  // Wrong identity, wrong count, or both: every combination is refused.
+  for (const StoreFingerprint& wrong :
+       {MakeStoreFingerprint("dataset=b", 16),
+        MakeStoreFingerprint("dataset=a", 17)}) {
+    StatusOr<std::unique_ptr<DistanceStore>> opened =
+        DistanceStore::Open(base, wrong);
+    ASSERT_FALSE(opened.ok());
+    EXPECT_EQ(opened.status().code(), StatusCode::kFailedPrecondition);
+  }
+  // ReadFingerprint recovers the true identity from the files alone.
+  StatusOr<StoreFingerprint> read = DistanceStore::ReadFingerprint(base);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, fp);
+}
+
+TEST(DistanceStoreTest, ReadOnlyModeNeverWrites) {
+  const std::string base = StorePath("readonly");
+  const StoreFingerprint fp = MakeStoreFingerprint("readonly", 8);
+  StoreOptions no_compact;
+  no_compact.compact_on_close = false;
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp, no_compact);
+    ASSERT_TRUE(store->Record(0, 1, 1.0).ok());
+    ASSERT_TRUE(store->Close().ok());
+  }
+  const uint64_t wal_size = FileSize(DistanceStore::WalPath(base));
+
+  StoreOptions read_only;
+  read_only.read_only = true;
+  std::unique_ptr<DistanceStore> store = MustOpen(base, fp, read_only);
+  EXPECT_TRUE(store->read_only());
+  EXPECT_EQ(store->Lookup(0, 1), 1.0);
+  EXPECT_TRUE(store->Record(2, 3, 2.0).ok());  // silently dropped
+  EXPECT_FALSE(store->Lookup(2, 3).has_value());
+  EXPECT_EQ(store->Compact().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store->Close().ok());
+  EXPECT_EQ(FileSize(DistanceStore::WalPath(base)), wal_size);
+  EXPECT_FALSE(std::filesystem::exists(DistanceStore::SnapshotPath(base)));
+}
+
+TEST(DistanceStoreTest, ReadOnlyOpenOfMissingStoreIsNotFound) {
+  const std::string base = StorePath("missing");
+  StoreOptions read_only;
+  read_only.read_only = true;
+  StatusOr<std::unique_ptr<DistanceStore>> opened =
+      DistanceStore::Open(base, MakeStoreFingerprint("missing", 4), read_only);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DistanceStoreTest, RecordValidatesDistances) {
+  const std::string base = StorePath("validate");
+  std::unique_ptr<DistanceStore> store =
+      MustOpen(base, MakeStoreFingerprint("validate", 8));
+  EXPECT_EQ(store->Record(0, 1, -1.0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store
+                ->Record(0, 1, std::numeric_limits<double>::quiet_NaN())
+                .code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(store->Record(0, 1, 2.0).ok());
+  EXPECT_TRUE(store->Record(1, 0, 2.0).ok());  // exact duplicate: no-op
+  EXPECT_EQ(store->counters().wal_appends, 1u);
+  // A different distance for a stored pair means a different metric space.
+  EXPECT_EQ(store->Record(0, 1, 2.5).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST(PersistentOracleTest, HitsSkipTheBaseOracleAcrossSessions) {
+  Dataset dataset = MakeRandomMetric(12, 7);
+  CountingOracle counting(dataset.oracle.get());
+  const std::string base = StorePath("middleware");
+  const StoreFingerprint fp = MakeStoreFingerprint("middleware", 12);
+
+  double first = 0.0;
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp);
+    PersistentOracle oracle(&counting, store.get());
+    first = oracle.Distance(3, 4);
+    EXPECT_EQ(counting.calls(), 1u);
+    EXPECT_EQ(oracle.Distance(4, 3), first);  // store hit, symmetric key
+    EXPECT_EQ(counting.calls(), 1u);
+    EXPECT_EQ(oracle.store_hits(), 1u);
+    EXPECT_EQ(oracle.store_misses(), 1u);
+    EXPECT_EQ(oracle.wal_appends(), 1u);
+    EXPECT_EQ(oracle.store_write_failures(), 0u);
+    ASSERT_TRUE(store->Close().ok());
+  }
+
+  // A new session over the same files answers without the base oracle.
+  std::unique_ptr<DistanceStore> store = MustOpen(base, fp);
+  PersistentOracle oracle(&counting, store.get());
+  EXPECT_EQ(oracle.Distance(3, 4), first);
+  EXPECT_EQ(counting.calls(), 1u);
+  EXPECT_EQ(oracle.store_hits(), 1u);
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST(PersistentOracleTest, BatchSplitsIntoHitsAndResidualMisses) {
+  Dataset dataset = MakeRandomMetric(12, 9);
+  CountingOracle counting(dataset.oracle.get());
+  const std::string base = StorePath("batch_split");
+  std::unique_ptr<DistanceStore> store =
+      MustOpen(base, MakeStoreFingerprint("batch-split", 12));
+  PersistentOracle oracle(&counting, store.get());
+
+  const double d01 = oracle.Distance(0, 1);
+  ASSERT_EQ(counting.calls(), 1u);
+
+  const std::vector<IdPair> pairs = {IdPair{0, 1}, IdPair{2, 3}, IdPair{4, 5}};
+  std::vector<double> out(pairs.size());
+  oracle.BatchDistance(pairs, out);
+  // Only the two unseen pairs reached the base; the hit came from the store.
+  EXPECT_EQ(counting.calls(), 3u);
+  EXPECT_EQ(out[0], d01);
+  EXPECT_EQ(out[1], dataset.oracle->Distance(2, 3));
+  EXPECT_EQ(out[2], dataset.oracle->Distance(4, 5));
+  EXPECT_EQ(oracle.store_hits(), 1u);
+  EXPECT_EQ(oracle.store_misses(), 3u);
+
+  // The fallible batch takes the same split path.
+  std::vector<double> out2(pairs.size());
+  std::vector<Status> statuses(pairs.size());
+  ASSERT_TRUE(oracle.TryBatchDistance(pairs, out2, statuses).ok());
+  EXPECT_EQ(out2, out);
+  EXPECT_EQ(counting.calls(), 3u);  // all three were hits this time
+
+  ResolverStats stats;
+  oracle.AccumulateStats(&stats);
+  EXPECT_EQ(stats.store_hits, 4u);
+  EXPECT_EQ(stats.store_misses, 3u);
+  EXPECT_EQ(stats.wal_appends, 3u);
+  ASSERT_TRUE(store->Close().ok());
+}
+
+TEST(StoreHarnessTest, SecondRunAnswersEntirelyFromTheStore) {
+  const ObjectId n = 28;
+  const uint64_t seed = 11;
+  Dataset dataset = MakeRandomMetric(n, seed);
+  const Workload workload = [](BoundedResolver* r) {
+    return PrimMst(r).total_weight;
+  };
+  const std::string base = StorePath("harness_warm");
+  const StoreFingerprint fp = MakeStoreFingerprint("harness-warm", n);
+
+  WorkloadConfig config;
+  config.scheme = SchemeKind::kTri;
+  config.seed = seed;
+
+  double cold_value = 0.0;
+  uint64_t cold_calls = 0;
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp);
+    config.store = store.get();
+    const WorkloadResult cold =
+        RunWorkload(dataset.oracle.get(), config, workload);
+    cold_value = cold.value;
+    cold_calls = cold.total_calls;
+    EXPECT_GT(cold_calls, 0u);
+    EXPECT_EQ(cold.stats.store_hits, 0u);
+    EXPECT_EQ(cold.stats.store_misses, cold_calls);
+    EXPECT_EQ(cold.stats.wal_appends, cold_calls);
+    EXPECT_EQ(cold.stats.store_loaded_edges, 0u);
+    ASSERT_TRUE(store->Close().ok());
+  }
+
+  // Warm start: every previously paid pair is a resolver cache hit, so the
+  // second run makes ZERO oracle calls and produces the same checksum.
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp);
+    config.store = store.get();
+    const WorkloadResult warm =
+        RunWorkload(dataset.oracle.get(), config, workload);
+    EXPECT_EQ(warm.value, cold_value);
+    EXPECT_EQ(warm.total_calls, 0u);
+    EXPECT_EQ(warm.stats.store_loaded_edges, cold_calls);
+    ASSERT_TRUE(store->Close().ok());
+  }
+
+  // Without warm start the store still absorbs every miss at the oracle
+  // layer: same checksum, zero wal appends, all hits.
+  {
+    std::unique_ptr<DistanceStore> store = MustOpen(base, fp);
+    config.store = store.get();
+    config.store_warm_start = false;
+    const WorkloadResult cached =
+        RunWorkload(dataset.oracle.get(), config, workload);
+    EXPECT_EQ(cached.value, cold_value);
+    EXPECT_EQ(cached.stats.store_hits, cold_calls);
+    EXPECT_EQ(cached.stats.store_misses, 0u);
+    EXPECT_EQ(cached.stats.wal_appends, 0u);
+    ASSERT_TRUE(store->Close().ok());
+  }
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -33,9 +33,24 @@
 //   --fault-consecutive=<k>  force success after k consecutive failures of
 //                            one pair (0 = never: a permanent outage)
 //   --fault-seed=<seed>      seed of the deterministic fault pattern
+//
+// Persistence (durable cross-run distance store; docs/ARCHITECTURE.md):
+//   --store=<path>           record every resolved edge to <path>.wal and
+//                            warm-start from <path>.snap + <path>.wal; the
+//                            store is fingerprinted by dataset/n/seed/oracle
+//   --store-readonly         answer from the store, never write to it
+//   --store-no-warm-start    skip the bulk graph load (store stays purely
+//                            an oracle-layer cache)
+//
+// Store maintenance (no dataset needed):
+//   mpx store info    --store=<path>    shape, fingerprint, torn-tail bytes
+//   mpx store verify  --store=<path>    validate headers and CRCs end to end
+//   mpx store compact --store=<path>    fold the WAL into the snapshot
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "algo/boruvka.h"
@@ -60,6 +75,8 @@
 #include "oracle/fault_injection.h"
 #include "oracle/retry.h"
 #include "oracle/wrappers.h"
+#include "store/distance_store.h"
+#include "store/persistent_oracle.h"
 
 namespace metricprox {
 namespace {
@@ -67,6 +84,43 @@ namespace {
 int Fail(const std::string& message) {
   std::fprintf(stderr, "mpx: %s\n", message.c_str());
   return 1;
+}
+
+/// Flag sanity checks, applied before any value is cast to an unsigned or
+/// handed to the middleware: a negative or NaN rate used to wrap silently
+/// or poison every probability comparison downstream.
+Status RequireFinite(const char* flag, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    return Status::InvalidArgument(std::string(flag) +
+                                   " must be a finite number");
+  }
+  return Status::OK();
+}
+
+Status RequireNonNegative(const char* flag, double v) {
+  MP_RETURN_IF_ERROR(RequireFinite(flag, v));
+  if (v < 0.0) {
+    return Status::InvalidArgument(std::string(flag) +
+                                   " must be non-negative");
+  }
+  return Status::OK();
+}
+
+Status RequireProbability(const char* flag, double v) {
+  MP_RETURN_IF_ERROR(RequireNonNegative(flag, v));
+  if (v > 1.0) {
+    return Status::InvalidArgument(std::string(flag) +
+                                   " is a probability and must be <= 1");
+  }
+  return Status::OK();
+}
+
+Status RequireNonNegativeInt(const char* flag, int64_t v) {
+  if (v < 0) {
+    return Status::InvalidArgument(std::string(flag) +
+                                   " must be non-negative");
+  }
+  return Status::OK();
 }
 
 StatusOr<Dataset> MakeDataset(const std::string& name, ObjectId n,
@@ -83,7 +137,8 @@ StatusOr<Dataset> MakeDataset(const std::string& name, ObjectId n,
 }
 
 void PrintStats(const ResolverStats& s, ObjectId n, double oracle_cost,
-                double simulated_seconds, double wall_seconds) {
+                double simulated_seconds, double wall_seconds,
+                bool have_store) {
   const uint64_t all_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
   TablePrinter table({"metric", "value"});
   table.NewRow().AddCell("oracle calls").AddUint(s.oracle_calls);
@@ -105,6 +160,14 @@ void PrintStats(const ResolverStats& s, ObjectId n, double oracle_cost,
         .AddCell("retry backoff (s)")
         .AddDouble(s.retry_backoff_seconds, 4);
   }
+  if (have_store) {
+    table.NewRow().AddCell("store hits").AddUint(s.store_hits);
+    table.NewRow().AddCell("store misses").AddUint(s.store_misses);
+    table.NewRow()
+        .AddCell("warm-start edges")
+        .AddUint(s.store_loaded_edges);
+    table.NewRow().AddCell("wal appends").AddUint(s.wal_appends);
+  }
   table.NewRow().AddCell("scheme CPU (s)").AddDouble(s.bounder_seconds, 4);
   table.NewRow().AddCell("wall time (s)").AddDouble(wall_seconds, 3);
   if (oracle_cost > 0) {
@@ -122,23 +185,22 @@ int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
                uint64_t seed, BoundedResolver* resolver_ptr);
 
 int Run(const std::string& command, const Flags& flags) {
-  const ObjectId n = static_cast<ObjectId>(flags.GetInt("n", 256));
+  const int64_t n_raw = flags.GetInt("n", 256);
+  if (n_raw < 2) return Fail("--n must be at least 2");
+  const ObjectId n = static_cast<ObjectId>(n_raw);
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const std::string dataset_name = flags.GetString("dataset", "sf");
   const std::string scheme_name = flags.GetString("scheme", "tri");
   const bool bootstrap = flags.GetBool("bootstrap", false);
-  const uint32_t landmarks =
-      static_cast<uint32_t>(flags.GetInt("landmarks", 0));
+  const int64_t landmarks_raw = flags.GetInt("landmarks", 0);
   const double oracle_cost = flags.GetDouble("oracle-cost", 0.0);
   const bool verify = flags.GetBool("verify", false);
   const std::string save_graph = flags.GetString("save-graph", "");
   const std::string load_graph = flags.GetString("load-graph", "");
-  const unsigned threads =
-      static_cast<unsigned>(flags.GetInt("threads", 0));
+  const int64_t threads_raw = flags.GetInt("threads", 0);
 
   RetryOptions retry;
-  const int retry_attempts =
-      static_cast<int>(flags.GetInt("retry-attempts", 0));
+  const int64_t retry_attempts = flags.GetInt("retry-attempts", 0);
   retry.max_attempts = retry_attempts > 0
                            ? static_cast<uint32_t>(retry_attempts)
                            : retry.max_attempts;
@@ -154,10 +216,46 @@ int Run(const std::string& command, const Flags& flags) {
   fault.spike_rate = flags.GetDouble("fault-spike-rate", 0.0);
   fault.spike_seconds = flags.GetDouble("fault-spike-seconds", 0.0);
   fault.per_call_timeout_seconds = flags.GetDouble("fault-timeout", 0.0);
-  fault.max_consecutive_failures = static_cast<uint32_t>(flags.GetInt(
-      "fault-consecutive", fault.max_consecutive_failures));
+  const int64_t fault_consecutive = flags.GetInt(
+      "fault-consecutive", fault.max_consecutive_failures);
   fault.seed = static_cast<uint64_t>(
       flags.GetInt("fault-seed", static_cast<int>(seed % 1000000)));
+
+  const std::string store_path = flags.GetString("store", "");
+  const bool store_readonly = flags.GetBool("store-readonly", false);
+  const bool store_no_warm_start = flags.GetBool("store-no-warm-start", false);
+
+  // Reject malformed numerics and inconsistent combos before anything is
+  // cast, stacked or opened — a bad flag must never silently misbehave.
+  for (const Status& s : {
+           RequireNonNegativeInt("--landmarks", landmarks_raw),
+           RequireNonNegativeInt("--threads", threads_raw),
+           RequireNonNegativeInt("--retry-attempts", retry_attempts),
+           RequireNonNegativeInt("--fault-consecutive", fault_consecutive),
+           RequireNonNegative("--oracle-cost", oracle_cost),
+           RequireNonNegative("--retry-backoff",
+                              retry.initial_backoff_seconds),
+           RequireNonNegative("--retry-max-backoff",
+                              retry.max_backoff_seconds),
+           RequireNonNegative("--retry-deadline", retry.deadline_seconds),
+           RequireProbability("--fault-rate", fault.failure_rate),
+           RequireProbability("--fault-spike-rate", fault.spike_rate),
+           RequireNonNegative("--fault-spike-seconds", fault.spike_seconds),
+           RequireNonNegative("--fault-timeout",
+                              fault.per_call_timeout_seconds),
+       }) {
+    if (!s.ok()) return Fail(s.ToString());
+  }
+  if (store_readonly && store_path.empty()) {
+    return Fail("--store-readonly requires --store=<path>");
+  }
+  if (store_no_warm_start && store_path.empty()) {
+    return Fail("--store-no-warm-start requires --store=<path>");
+  }
+
+  const uint32_t landmarks = static_cast<uint32_t>(landmarks_raw);
+  const unsigned threads = static_cast<unsigned>(threads_raw);
+  fault.max_consecutive_failures = static_cast<uint32_t>(fault_consecutive);
   const bool inject_faults =
       fault.failure_rate > 0.0 || fault.spike_rate > 0.0;
 
@@ -185,6 +283,24 @@ int Run(const std::string& command, const Flags& flags) {
     retrying = std::make_unique<RetryingOracle>(top, retry);
     top = retrying.get();
   }
+  // The persistence layer tops the stack: a store hit skips simulated cost,
+  // injected faults and retries alike.
+  std::unique_ptr<DistanceStore> store;
+  std::unique_ptr<PersistentOracle> persistent;
+  if (!store_path.empty()) {
+    std::ostringstream identity;
+    identity << "dataset=" << dataset->name << ";n=" << n << ";seed=" << seed
+             << ";oracle=" << dataset->oracle->name();
+    const StoreFingerprint fp = MakeStoreFingerprint(identity.str(), n);
+    StoreOptions store_options;
+    store_options.read_only = store_readonly;
+    StatusOr<std::unique_ptr<DistanceStore>> opened =
+        DistanceStore::Open(store_path, fp, store_options);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    store = std::move(*opened);
+    persistent = std::make_unique<PersistentOracle>(top, store.get());
+    top = persistent.get();
+  }
   if (threads > 0) top->set_batch_workers(threads);
 
   PartialDistanceGraph graph(n);
@@ -197,6 +313,17 @@ int Run(const std::string& command, const Flags& flags) {
     graph = std::move(*loaded);
     std::printf("resumed %zu resolved distances from %s\n",
                 graph.num_edges(), load_graph.c_str());
+  }
+  uint64_t warm_loaded = 0;
+  if (store != nullptr && !store_no_warm_start) {
+    const std::vector<WeightedEdge> warm = store->Edges();
+    graph.InsertEdges(warm);
+    warm_loaded = warm.size();
+    if (warm_loaded > 0) {
+      std::printf("warm start: %llu stored distances from %s\n",
+                  static_cast<unsigned long long>(warm_loaded),
+                  store_path.c_str());
+    }
   }
   BoundedResolver resolver(top, &graph);
 
@@ -245,7 +372,10 @@ int Run(const std::string& command, const Flags& flags) {
   }
   ResolverStats stats = resolver.stats();
   if (retrying != nullptr) retrying->AccumulateStats(&stats);
-  PrintStats(stats, n, oracle_cost, costed.simulated_seconds(), wall);
+  stats.store_loaded_edges = warm_loaded;
+  if (persistent != nullptr) persistent->AccumulateStats(&stats);
+  PrintStats(stats, n, oracle_cost, costed.simulated_seconds(), wall,
+             store != nullptr);
   if (faulty != nullptr) {
     std::printf(
         "injected faults: %llu failures, %llu spikes, %llu timeouts\n",
@@ -263,7 +393,91 @@ int Run(const std::string& command, const Flags& flags) {
     std::printf("checkpointed %zu resolved distances to %s\n",
                 graph.num_edges(), save_graph.c_str());
   }
+  if (store != nullptr) {
+    if (persistent->store_write_failures() > 0) {
+      std::fprintf(stderr,
+                   "mpx: warning: %llu store writes failed (%s); the store "
+                   "served as a cache only\n",
+                   static_cast<unsigned long long>(
+                       persistent->store_write_failures()),
+                   persistent->store_status().ToString().c_str());
+    }
+    const size_t durable = store->size();
+    const Status s = store->Close();
+    if (!s.ok()) return Fail("store close failed: " + s.ToString());
+    std::printf("store: %zu distances durable at %s%s\n", durable,
+                store_path.c_str(), store_readonly ? " (read-only)" : "");
+  }
   return 0;
+}
+
+/// The `mpx store <info|verify|compact>` maintenance verbs. They read the
+/// fingerprint from the files themselves, so no dataset flags are needed.
+int RunStore(const std::string& verb, const Flags& flags) {
+  const std::string store_path = flags.GetString("store", "");
+  if (store_path.empty()) {
+    return Fail("mpx store " + verb + " requires --store=<path>");
+  }
+  if (const Status s = flags.FailOnUnused(); !s.ok()) {
+    return Fail(s.ToString());
+  }
+
+  if (verb == "info" || verb == "verify") {
+    StatusOr<StoreScanResult> scan = DistanceStore::Scan(store_path);
+    if (!scan.ok()) {
+      if (verb == "verify") {
+        return Fail("store verify FAILED: " + scan.status().ToString());
+      }
+      return Fail(scan.status().ToString());
+    }
+    TablePrinter table({"field", "value"});
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016llx",
+                  static_cast<unsigned long long>(
+                      scan->fingerprint.identity_hash));
+    table.NewRow().AddCell("identity hash").AddCell(hash);
+    table.NewRow().AddCell("objects").AddUint(scan->fingerprint.num_objects);
+    table.NewRow()
+        .AddCell("snapshot edges")
+        .AddUint(scan->has_snapshot ? scan->snapshot_edges : 0);
+    table.NewRow()
+        .AddCell("wal records")
+        .AddUint(scan->has_wal ? scan->wal_records : 0);
+    table.NewRow().AddCell("unique edges").AddUint(scan->unique_edges);
+    table.NewRow().AddCell("torn tail bytes").AddUint(scan->torn_tail_bytes);
+    table.Print("Store " + store_path);
+    if (verb == "verify") {
+      if (scan->torn_tail_bytes > 0) {
+        std::printf("store verify PASSED with a torn WAL tail of %llu bytes "
+                    "(recoverable: the next writable open truncates it)\n",
+                    static_cast<unsigned long long>(scan->torn_tail_bytes));
+      } else {
+        std::printf("store verify PASSED\n");
+      }
+    }
+    return 0;
+  }
+
+  if (verb == "compact") {
+    StatusOr<StoreFingerprint> fp = DistanceStore::ReadFingerprint(store_path);
+    if (!fp.ok()) return Fail(fp.status().ToString());
+    StatusOr<std::unique_ptr<DistanceStore>> opened =
+        DistanceStore::Open(store_path, *fp);
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    DistanceStore& store = **opened;
+    const size_t edges = store.size();
+    if (const Status s = store.Compact(); !s.ok()) {
+      return Fail("compaction failed: " + s.ToString());
+    }
+    if (const Status s = store.Close(); !s.ok()) {
+      return Fail("store close failed: " + s.ToString());
+    }
+    std::printf("compacted %zu edges into %s\n", edges,
+                DistanceStore::SnapshotPath(store_path).c_str());
+    return 0;
+  }
+
+  return Fail("unknown store verb: " + verb + " (info|verify|compact)");
 }
 
 /// The command dispatch, extracted so Run() can execute it inside the
@@ -354,10 +568,25 @@ int main(int argc, char** argv) {
   if (argc < 2 || argv[1][0] == '-') {
     std::fprintf(stderr,
                  "usage: mpx <mst|knn|cluster|join|diameter> [--flags]\n"
-                 "run `head -30 tools/mpx.cc` for the flag reference\n");
+                 "       mpx store <info|verify|compact> --store=<path>\n"
+                 "run `head -48 tools/mpx.cc` for the flag reference\n");
     return 1;
   }
   const std::string command = argv[1];
+  if (command == "store") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::fprintf(stderr,
+                   "usage: mpx store <info|verify|compact> --store=<path>\n");
+      return 1;
+    }
+    const std::string verb = argv[2];
+    auto flags = metricprox::Flags::Parse(argc - 2, argv + 2);
+    if (!flags.ok()) {
+      std::fprintf(stderr, "mpx: %s\n", flags.status().ToString().c_str());
+      return 1;
+    }
+    return metricprox::RunStore(verb, *flags);
+  }
   auto flags = metricprox::Flags::Parse(argc - 1, argv + 1);
   if (!flags.ok()) {
     std::fprintf(stderr, "mpx: %s\n", flags.status().ToString().c_str());
