@@ -1,5 +1,6 @@
 #include "bounds/dft.h"
 
+#include "check/certificate.h"
 #include "core/logging.h"
 
 namespace metricprox {
@@ -22,49 +23,85 @@ Interval DftBounder::Bounds(ObjectId i, ObjectId j) {
 
 std::optional<bool> DftBounder::DecideLessThan(ObjectId i, ObjectId j,
                                                double t) {
-  MetricFeasibilitySystem& system = System();
-  // Can dist(i,j) >= t?  (x_ij >= t  <=>  -x_ij <= -t)
-  StatusOr<bool> can_be_ge =
-      system.FeasibleWith({DistanceTerm{i, j, -1.0}}, -t);
-  CHECK(can_be_ge.ok()) << can_be_ge.status();
-  if (!*can_be_ge) return true;  // every completion has dist < t
-  // Can dist(i,j) <= t?
-  StatusOr<bool> can_be_le =
-      system.FeasibleWith({DistanceTerm{i, j, 1.0}}, t);
-  CHECK(can_be_le.ok()) << can_be_le.status();
-  if (!*can_be_le) return false;  // every completion has dist > t
-  return std::nullopt;
+  return DecideLessThanCertified(i, j, t, nullptr);
 }
 
 std::optional<bool> DftBounder::DecideGreaterThan(ObjectId i, ObjectId j,
                                                   double t) {
-  MetricFeasibilitySystem& system = System();
-  // Can dist(i,j) <= t?
-  StatusOr<bool> can_be_le =
-      system.FeasibleWith({DistanceTerm{i, j, 1.0}}, t);
-  CHECK(can_be_le.ok()) << can_be_le.status();
-  if (!*can_be_le) return true;  // every completion has dist > t
-  // Can dist(i,j) >= t?
-  StatusOr<bool> can_be_ge =
-      system.FeasibleWith({DistanceTerm{i, j, -1.0}}, -t);
-  CHECK(can_be_ge.ok()) << can_be_ge.status();
-  if (!*can_be_ge) return false;  // every completion has dist < t
-  return std::nullopt;
+  return DecideGreaterThanCertified(i, j, t, nullptr);
 }
 
 std::optional<bool> DftBounder::DecidePairLess(ObjectId i, ObjectId j,
                                                ObjectId k, ObjectId l) {
+  return DecidePairLessCertified(i, j, k, l, nullptr);
+}
+
+std::optional<bool> DftBounder::DecideLessThanCertified(
+    ObjectId i, ObjectId j, double t, BoundCertificate* cert) {
   MetricFeasibilitySystem& system = System();
+  FarkasCertificate* farkas = cert != nullptr ? &cert->farkas : nullptr;
+  // Can dist(i,j) >= t?  (x_ij >= t  <=>  -x_ij <= -t)
+  StatusOr<bool> can_be_ge =
+      system.FeasibleWith({DistanceTerm{i, j, -1.0}}, -t, farkas);
+  CHECK(can_be_ge.ok()) << can_be_ge.status();
+  if (!*can_be_ge) {  // every completion has dist < t
+    if (cert != nullptr) cert->kind = BoundCertificate::Kind::kFarkas;
+    return true;
+  }
+  // Can dist(i,j) <= t?
+  StatusOr<bool> can_be_le =
+      system.FeasibleWith({DistanceTerm{i, j, 1.0}}, t, farkas);
+  CHECK(can_be_le.ok()) << can_be_le.status();
+  if (!*can_be_le) {  // every completion has dist > t
+    if (cert != nullptr) cert->kind = BoundCertificate::Kind::kFarkas;
+    return false;
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> DftBounder::DecideGreaterThanCertified(
+    ObjectId i, ObjectId j, double t, BoundCertificate* cert) {
+  MetricFeasibilitySystem& system = System();
+  FarkasCertificate* farkas = cert != nullptr ? &cert->farkas : nullptr;
+  // Can dist(i,j) <= t?
+  StatusOr<bool> can_be_le =
+      system.FeasibleWith({DistanceTerm{i, j, 1.0}}, t, farkas);
+  CHECK(can_be_le.ok()) << can_be_le.status();
+  if (!*can_be_le) {  // every completion has dist > t
+    if (cert != nullptr) cert->kind = BoundCertificate::Kind::kFarkas;
+    return true;
+  }
+  // Can dist(i,j) >= t?
+  StatusOr<bool> can_be_ge =
+      system.FeasibleWith({DistanceTerm{i, j, -1.0}}, -t, farkas);
+  CHECK(can_be_ge.ok()) << can_be_ge.status();
+  if (!*can_be_ge) {  // every completion has dist < t
+    if (cert != nullptr) cert->kind = BoundCertificate::Kind::kFarkas;
+    return false;
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> DftBounder::DecidePairLessCertified(
+    ObjectId i, ObjectId j, ObjectId k, ObjectId l, BoundCertificate* cert) {
+  MetricFeasibilitySystem& system = System();
+  FarkasCertificate* farkas = cert != nullptr ? &cert->farkas : nullptr;
   // Can dist(i,j) >= dist(k,l)?  (x_kl - x_ij <= 0)
   StatusOr<bool> can_be_ge = system.FeasibleWith(
-      {DistanceTerm{k, l, 1.0}, DistanceTerm{i, j, -1.0}}, 0.0);
+      {DistanceTerm{k, l, 1.0}, DistanceTerm{i, j, -1.0}}, 0.0, farkas);
   CHECK(can_be_ge.ok()) << can_be_ge.status();
-  if (!*can_be_ge) return true;
+  if (!*can_be_ge) {
+    if (cert != nullptr) cert->kind = BoundCertificate::Kind::kFarkas;
+    return true;
+  }
   // Can dist(i,j) <= dist(k,l)?
   StatusOr<bool> can_be_le = system.FeasibleWith(
-      {DistanceTerm{i, j, 1.0}, DistanceTerm{k, l, -1.0}}, 0.0);
+      {DistanceTerm{i, j, 1.0}, DistanceTerm{k, l, -1.0}}, 0.0, farkas);
   CHECK(can_be_le.ok()) << can_be_le.status();
-  if (!*can_be_le) return false;
+  if (!*can_be_le) {
+    if (cert != nullptr) cert->kind = BoundCertificate::Kind::kFarkas;
+    return false;
+  }
   return std::nullopt;
 }
 

@@ -52,6 +52,19 @@ class DftBounder : public Bounder {
   std::optional<bool> DecidePairLess(ObjectId i, ObjectId j, ObjectId k,
                                      ObjectId l) override;
 
+  /// Certified forms: identical LP solves and identical decisions; when a
+  /// comparison is decided (some completion set found infeasible), the
+  /// Farkas multipliers of that very solve are captured into `cert`. The
+  /// plain verbs above delegate here with cert == nullptr, so audited and
+  /// unaudited runs pivot identically.
+  std::optional<bool> DecideLessThanCertified(
+      ObjectId i, ObjectId j, double t, BoundCertificate* cert) override;
+  std::optional<bool> DecideGreaterThanCertified(
+      ObjectId i, ObjectId j, double t, BoundCertificate* cert) override;
+  std::optional<bool> DecidePairLessCertified(
+      ObjectId i, ObjectId j, ObjectId k, ObjectId l,
+      BoundCertificate* cert) override;
+
   /// Total simplex pivots spent so far (CPU-cost proxy for reports).
   uint64_t total_pivots() const {
     return pivots_ + (system_ ? system_->total_pivots() : 0);

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <utility>
 
+#include "check/certificate.h"
 #include "core/bounder.h"
 #include "core/types.h"
 
@@ -46,6 +47,30 @@ class HybridBounder : public Bounder {
   void OnEdgeResolved(ObjectId i, ObjectId j, double d) override {
     first_->OnEdgeResolved(i, j, d);
     second_->OnEdgeResolved(i, j, d);
+  }
+
+  /// Certifiable only when both children are: the intersection mirrors
+  /// Bounds() exactly (same ternaries, same tie-breaks), carrying over the
+  /// winning child's witness per side. With one uncertifiable child we
+  /// report no certificate at all rather than a witness for looser bounds —
+  /// a hybrid-decided comparison must be provable at the hybrid's own
+  /// tightness or any verification failure would be spurious.
+  bool CertifyBounds(ObjectId i, ObjectId j,
+                     BoundCertificate* cert) override {
+    BoundCertificate ca, cb;
+    if (!first_->CertifyBounds(i, j, &ca)) return false;
+    if (!second_->CertifyBounds(i, j, &cb)) return false;
+    const BoundCertificate& lo = ca.lb > cb.lb ? ca : cb;
+    const BoundCertificate& up = ca.ub < cb.ub ? ca : cb;
+    cert->kind = BoundCertificate::Kind::kInterval;
+    cert->lb = lo.lb;
+    cert->ub = up.ub;
+    if (cert->lb > cert->ub) cert->lb = cert->ub;
+    cert->has_upper = up.has_upper;
+    cert->upper = up.upper;
+    cert->has_lower = lo.has_lower;
+    cert->lower = lo.lower;
+    return true;
   }
 
  private:

@@ -4,9 +4,10 @@
 #include <memory>
 #include <string_view>
 
+#include "bounds/pivots.h"
+#include "check/certificate.h"
 #include "core/bounder.h"
 #include "core/types.h"
-#include "bounds/pivots.h"
 
 namespace metricprox {
 
@@ -47,6 +48,74 @@ class LaesaBounder : public Bounder {
   }
 
   void OnEdgeResolved(ObjectId, ObjectId, double) override {}
+
+  /// Same scan as Bounds() with argbest pivots: the winning pivot p yields
+  /// the path i-p-j (upper) or the wrap of the longer pivot edge (lower).
+  /// Pivot rows are resolved through the shared resolver at build time, so
+  /// the witness edges are present in the partial graph. A degenerate
+  /// witness pivot (p == i or p == j) collapses to the direct edge; it can
+  /// only win when the pair itself is resolved, which the resolver
+  /// short-circuits before consulting any bounder.
+  bool CertifyBounds(ObjectId i, ObjectId j,
+                     BoundCertificate* cert) override {
+    double lb = 0.0;
+    double ub = kInfDistance;
+    ObjectId ub_p = kInvalidObject;
+    ObjectId lb_p = kInvalidObject;
+    bool lb_is_i = true;  // true when the winning gap was d(p,i) - d(p,j)
+    for (size_t r = 0; r < table_.dist.size(); ++r) {
+      const std::vector<double>& row = table_.dist[r];
+      const double di = row[i];
+      const double dj = row[j];
+      const double gap = di > dj ? di - dj : dj - di;
+      if (gap > lb) {
+        lb = gap;
+        lb_p = table_.pivots[r];
+        lb_is_i = di > dj;
+      }
+      const double sum = di + dj;
+      if (sum < ub) {
+        ub = sum;
+        ub_p = table_.pivots[r];
+      }
+    }
+    if (lb > ub) lb = ub;
+    cert->kind = BoundCertificate::Kind::kInterval;
+    cert->lb = lb;
+    cert->ub = ub;
+    cert->has_upper = ub_p != kInvalidObject;
+    if (cert->has_upper) {
+      if (ub_p == i || ub_p == j) {
+        cert->upper.nodes = {i, j};
+      } else {
+        cert->upper.nodes = {i, ub_p, j};
+      }
+      cert->upper.rho = 1.0;
+    }
+    cert->has_lower = lb_p != kInvalidObject;
+    if (cert->has_lower) {
+      cert->lower.rho = 1.0;
+      if (lb_p == i || lb_p == j) {
+        cert->lower.u = i;
+        cert->lower.v = j;
+        cert->lower.path_iu = {i};
+        cert->lower.path_vj = {j};
+      } else if (lb_is_i) {
+        // d(p,i) - d(p,j): wrap the edge (i, p), pay the path p-j.
+        cert->lower.u = i;
+        cert->lower.v = lb_p;
+        cert->lower.path_iu = {i};
+        cert->lower.path_vj = {lb_p, j};
+      } else {
+        // d(p,j) - d(p,i): wrap the edge (p, j), pay the path i-p.
+        cert->lower.u = lb_p;
+        cert->lower.v = j;
+        cert->lower.path_iu = {i, lb_p};
+        cert->lower.path_vj = {j};
+      }
+    }
+    return true;
+  }
 
   uint32_t num_pivots() const {
     return static_cast<uint32_t>(table_.pivots.size());

@@ -1,9 +1,11 @@
 #ifndef METRICPROX_BOUNDS_SPLUB_H_
 #define METRICPROX_BOUNDS_SPLUB_H_
 
+#include <algorithm>
 #include <string_view>
 #include <vector>
 
+#include "check/certificate.h"
 #include "core/bounder.h"
 #include "core/types.h"
 #include "graph/dijkstra.h"
@@ -62,7 +64,74 @@ class SplubBounder : public Bounder {
 
   void OnEdgeResolved(ObjectId, ObjectId, double) override {}
 
+  /// Re-runs the two Dijkstras with parent tracking into local buffers (the
+  /// memoized source row is untouched, so auditing cannot change any later
+  /// decision) and extracts the shortest-path tree paths as witnesses. The
+  /// recomputed interval matches Bounds() bit-for-bit: the memoized row is
+  /// itself bit-identical to a fresh solve.
+  bool CertifyBounds(ObjectId i, ObjectId j,
+                     BoundCertificate* cert) override {
+    std::vector<double> spi, spj;
+    std::vector<ObjectId> par_i, par_j;
+    dijkstra_.Solve(*graph_, i, &spi, &par_i);
+    dijkstra_.Solve(*graph_, j, &spj, &par_j);
+    const double ub = spi[j];
+
+    double lb = 0.0;
+    ObjectId best_u = kInvalidObject;
+    ObjectId best_v = kInvalidObject;
+    for (const WeightedEdge& e : graph_->edges()) {
+      const double via_uv = e.weight - spi[e.u] - spj[e.v];
+      const double via_vu = e.weight - spi[e.v] - spj[e.u];
+      if (via_uv > lb) {
+        lb = via_uv;
+        best_u = e.u;
+        best_v = e.v;
+      }
+      if (via_vu > lb) {
+        lb = via_vu;
+        best_u = e.v;
+        best_v = e.u;
+      }
+    }
+    if (lb > ub) lb = ub;
+
+    cert->kind = BoundCertificate::Kind::kInterval;
+    cert->lb = lb;
+    cert->ub = ub;
+    cert->has_upper = ub < kInfDistance;
+    if (cert->has_upper) {
+      // Walk the source-i tree from j back to i, then reverse to i..j.
+      cert->upper.nodes = TreeWalk(par_i, i, j);
+      std::reverse(cert->upper.nodes.begin(), cert->upper.nodes.end());
+      cert->upper.rho = 1.0;
+    }
+    cert->has_lower = best_u != kInvalidObject;
+    if (cert->has_lower) {
+      cert->lower.u = best_u;
+      cert->lower.v = best_v;
+      cert->lower.path_iu = TreeWalk(par_i, i, best_u);
+      std::reverse(cert->lower.path_iu.begin(), cert->lower.path_iu.end());
+      // The source-j tree walk best_v .. j is already in witness order.
+      cert->lower.path_vj = TreeWalk(par_j, j, best_v);
+      cert->lower.rho = 1.0;
+    }
+    return true;
+  }
+
  private:
+  /// Nodes from `from` up the shortest-path tree to `source`, inclusive,
+  /// in walk order (from .. source).
+  static std::vector<ObjectId> TreeWalk(const std::vector<ObjectId>& parent,
+                                        ObjectId source, ObjectId from) {
+    std::vector<ObjectId> path;
+    for (ObjectId x = from; x != kInvalidObject; x = parent[x]) {
+      path.push_back(x);
+      if (x == source) break;
+    }
+    return path;
+  }
+
   const PartialDistanceGraph* graph_;  // not owned
   DijkstraSolver dijkstra_;
   std::vector<double> sp_i_;

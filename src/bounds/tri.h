@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "check/certificate.h"
 #include "core/bounder.h"
 #include "core/types.h"
 #include "graph/partial_graph.h"
@@ -62,6 +63,63 @@ class TriBounder : public Bounder {
   }
 
   void OnEdgeResolved(ObjectId, ObjectId, double) override {}
+
+  /// Same merge as Bounds() with argbest tracking: the interval is
+  /// reproduced bit-for-bit, and the best triangle becomes the witness —
+  /// the 2-edge path i-c-j for the upper bound, the better-oriented wrap of
+  /// one triangle side for the lower bound.
+  bool CertifyBounds(ObjectId i, ObjectId j,
+                     BoundCertificate* cert) override {
+    double lb = 0.0;
+    double ub = kInfDistance;
+    ObjectId ub_c = kInvalidObject;
+    ObjectId lb_c = kInvalidObject;
+    bool lb_is_ij = true;
+    const double inv_rho = 1.0 / rho_;
+    graph_->ForEachCommonNeighbor(
+        i, j, [&](ObjectId c, double di, double dj) {
+          const double gap_ij = di * inv_rho - dj;
+          const double gap_ji = dj * inv_rho - di;
+          const double gap = gap_ij > gap_ji ? gap_ij : gap_ji;
+          if (gap > lb) {
+            lb = gap;
+            lb_c = c;
+            lb_is_ij = gap_ij > gap_ji;
+          }
+          const double sum = rho_ * (di + dj);
+          if (sum < ub) {
+            ub = sum;
+            ub_c = c;
+          }
+        });
+    if (lb > ub) lb = ub;
+    cert->kind = BoundCertificate::Kind::kInterval;
+    cert->lb = lb;
+    cert->ub = ub;
+    cert->has_upper = ub_c != kInvalidObject;
+    if (cert->has_upper) {
+      cert->upper.nodes = {i, ub_c, j};
+      cert->upper.rho = rho_;
+    }
+    cert->has_lower = lb_c != kInvalidObject;
+    if (cert->has_lower) {
+      cert->lower.rho = rho_;
+      if (lb_is_ij) {
+        // gap_ij = d(i,c)/rho - d(j,c): wrap the edge (i, c).
+        cert->lower.u = i;
+        cert->lower.v = lb_c;
+        cert->lower.path_iu = {i};
+        cert->lower.path_vj = {lb_c, j};
+      } else {
+        // gap_ji = d(c,j)/rho - d(i,c): wrap the edge (c, j).
+        cert->lower.u = lb_c;
+        cert->lower.v = j;
+        cert->lower.path_iu = {i, lb_c};
+        cert->lower.path_vj = {j};
+      }
+    }
+    return true;
+  }
 
   double rho() const { return rho_; }
 

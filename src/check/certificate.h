@@ -1,0 +1,155 @@
+#ifndef METRICPROX_CHECK_CERTIFICATE_H_
+#define METRICPROX_CHECK_CERTIFICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace metricprox {
+
+/// Witness for an upper bound on dist(i, j): a path of *resolved* edges
+/// from i to j. Its value is
+///     rho * sum of the edge weights (left to right),
+/// valid by (relaxed) triangle inequality. `nodes` lists the path including
+/// both endpoints, so it has at least 2 entries. With rho > 1 the
+/// relaxation composes only once, so the path may have at most 2 edges
+/// (the Tri Scheme shape); rho = 1 allows any length (SPLUB shortest
+/// paths).
+struct PathWitness {
+  std::vector<ObjectId> nodes;
+  double rho = 1.0;
+};
+
+/// Witness for a lower bound on dist(i, j): a resolved edge (u, v) "wrapped"
+/// by two resolved paths i..u and v..j (the paper's Equation 4). Its value
+/// is
+///     d(u, v) / rho - len(path_iu) - len(path_vj),
+/// valid because any completion satisfies
+///     d(u, v) <= rho * (len(i..u) + dist(i, j) + len(v..j))  [rho = 1]
+/// and, for rho > 1, the single-application Tri shapes (at most one edge
+/// across both paths combined). `path_iu` runs i..u inclusive (a single
+/// node when i == u), `path_vj` runs v..j inclusive.
+struct WrapWitness {
+  ObjectId u = kInvalidObject;
+  ObjectId v = kInvalidObject;
+  std::vector<ObjectId> path_iu;
+  std::vector<ObjectId> path_vj;
+  double rho = 1.0;
+};
+
+/// One row of a Farkas infeasibility witness: a valid metric inequality
+/// together with its nonnegative multiplier. The verifier re-derives the
+/// row's coefficients and right-hand side purely from the kind, the object
+/// ids and the resolved distances — nothing about the LP is trusted.
+struct FarkasRow {
+  enum class Kind : uint8_t {
+    /// x_ab <= x_ac + x_cb (triangle inequality through c).
+    kTriangle,
+    /// x_ab <= d(a,c) + d(c,b) when c is valid (a box tightened by a
+    /// one-unknown triangle), else x_ab <= max_distance (the normalization
+    /// bound).
+    kBoxUpper,
+    /// -x_ab <= -|d(a,c) - d(c,b)| (lower box from a one-unknown triangle;
+    /// c must be valid).
+    kBoxLower,
+  };
+
+  Kind kind = Kind::kTriangle;
+  ObjectId a = kInvalidObject;
+  ObjectId b = kInvalidObject;
+  ObjectId c = kInvalidObject;
+  /// Farkas multiplier, >= 0.
+  double weight = 0.0;
+};
+
+/// Farkas witness that a metric constraint system plus one extra "claim"
+/// row is infeasible: nonnegative multipliers over valid metric
+/// inequalities (`rows`) plus a strictly positive multiplier on the claim
+/// row, whose weighted sum is violated by *every* point of the variable
+/// box [0, max_distance]^V. The claim row itself is reconstructed by the
+/// verifier from the DecisionRecord, so a certificate cannot smuggle in a
+/// different claim than the decision it backs.
+struct FarkasCertificate {
+  std::vector<FarkasRow> rows;
+  double claim_weight = 0.0;
+};
+
+/// A self-contained proof that a bound-decided comparison is consistent
+/// with the exact distances. Interval certificates carry constructive
+/// witnesses; Farkas certificates carry an LP infeasibility combination
+/// (the DFT scheme). `lb`/`ub` are the claimed bound values, kept for
+/// diagnostics only — the verifier recomputes everything from the
+/// witnesses and the resolved edges.
+struct BoundCertificate {
+  enum class Kind : uint8_t { kNone, kInterval, kFarkas };
+
+  Kind kind = Kind::kNone;
+
+  // kInterval:
+  double lb = 0.0;
+  double ub = kInfDistance;
+  bool has_upper = false;
+  PathWitness upper;
+  bool has_lower = false;
+  WrapWitness lower;
+
+  // kFarkas:
+  FarkasCertificate farkas;
+};
+
+/// Which comparison verb a bound decision answered.
+enum class DecisionVerb : uint8_t {
+  kLessThan,     // dist(i, j) < threshold
+  kGreaterThan,  // dist(i, j) > threshold
+  kPairLess,     // dist(i, j) < dist(k, l)
+};
+
+/// One bound-decided comparison, as observed at the Bounder interface.
+struct DecisionRecord {
+  DecisionVerb verb = DecisionVerb::kLessThan;
+  bool outcome = false;
+  ObjectId i = kInvalidObject;
+  ObjectId j = kInvalidObject;
+  /// Second pair, kPairLess only.
+  ObjectId k = kInvalidObject;
+  ObjectId l = kInvalidObject;
+  /// Threshold, kLessThan / kGreaterThan only.
+  double threshold = 0.0;
+};
+
+/// A decision plus the certificate(s) backing it. Farkas certificates prove
+/// the joint claim in `cert_ij` alone; interval kPairLess decisions need
+/// one certificate per pair.
+struct CertifiedDecision {
+  DecisionRecord decision;
+  BoundCertificate cert_ij;
+  BoundCertificate cert_kl;
+};
+
+/// Counters of the audit pipeline. `emitted == verified + failed`;
+/// `uncertified` counts decisions by schemes without certification support
+/// (ADM, TLAESA) — those are still exercised by the decision-parity half of
+/// the audit, just not independently re-proved.
+struct CertificationStats {
+  uint64_t emitted = 0;
+  uint64_t verified = 0;
+  uint64_t failed = 0;
+  uint64_t uncertified = 0;
+  /// Human-readable detail of the first failed certificate (empty if none).
+  std::string first_failure;
+
+  CertificationStats& operator+=(const CertificationStats& o) {
+    emitted += o.emitted;
+    verified += o.verified;
+    failed += o.failed;
+    uncertified += o.uncertified;
+    if (first_failure.empty()) first_failure = o.first_failure;
+    return *this;
+  }
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_CHECK_CERTIFICATE_H_

@@ -1,0 +1,144 @@
+#include "check/certify.h"
+
+#include <sstream>
+#include <utility>
+
+#include "bounds/resolver.h"
+
+namespace metricprox {
+
+namespace {
+
+const char* VerbName(DecisionVerb verb) {
+  switch (verb) {
+    case DecisionVerb::kLessThan:
+      return "LessThan";
+    case DecisionVerb::kGreaterThan:
+      return "GreaterThan";
+    case DecisionVerb::kPairLess:
+      return "PairLess";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::optional<bool> CertifyingBounder::DecideLessThan(ObjectId i, ObjectId j,
+                                                      double t) {
+  BoundCertificate cert;
+  const std::optional<bool> decided =
+      inner_->DecideLessThanCertified(i, j, t, &cert);
+  if (decided.has_value()) {
+    DecisionRecord dec;
+    dec.verb = DecisionVerb::kLessThan;
+    dec.outcome = *decided;
+    dec.i = i;
+    dec.j = j;
+    dec.threshold = t;
+    Record(dec, std::move(cert));
+  }
+  return decided;
+}
+
+std::optional<bool> CertifyingBounder::DecideGreaterThan(ObjectId i,
+                                                         ObjectId j,
+                                                         double t) {
+  BoundCertificate cert;
+  const std::optional<bool> decided =
+      inner_->DecideGreaterThanCertified(i, j, t, &cert);
+  if (decided.has_value()) {
+    DecisionRecord dec;
+    dec.verb = DecisionVerb::kGreaterThan;
+    dec.outcome = *decided;
+    dec.i = i;
+    dec.j = j;
+    dec.threshold = t;
+    Record(dec, std::move(cert));
+  }
+  return decided;
+}
+
+std::optional<bool> CertifyingBounder::DecidePairLess(ObjectId i, ObjectId j,
+                                                      ObjectId k, ObjectId l) {
+  BoundCertificate cert;
+  const std::optional<bool> decided =
+      inner_->DecidePairLessCertified(i, j, k, l, &cert);
+  if (decided.has_value()) {
+    DecisionRecord dec;
+    dec.verb = DecisionVerb::kPairLess;
+    dec.outcome = *decided;
+    dec.i = i;
+    dec.j = j;
+    dec.k = k;
+    dec.l = l;
+    Record(dec, std::move(cert));
+  }
+  return decided;
+}
+
+void CertifyingBounder::DecideBatch(std::span<const IdPair> pairs,
+                                    std::span<const double> thresholds,
+                                    std::span<std::optional<bool>> out) {
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    out[k] = DecideLessThan(pairs[k].i, pairs[k].j, thresholds[k]);
+  }
+}
+
+void CertifyingBounder::Record(const DecisionRecord& decision,
+                               BoundCertificate&& from_verb) {
+  CertifiedDecision cd;
+  cd.decision = decision;
+  if (from_verb.kind != BoundCertificate::Kind::kNone) {
+    // The certified verb produced a proof of the whole decision (DFT's
+    // Farkas path, or a scheme that chooses to certify inline).
+    cd.cert_ij = std::move(from_verb);
+  } else {
+    // Interval scheme: re-derive the bounds with witnesses. CertifyBounds
+    // reproduces Bounds() bit-for-bit, so the witnesses justify exactly the
+    // interval the decision was made from.
+    if (!inner_->CertifyBounds(decision.i, decision.j, &cd.cert_ij)) {
+      ++stats_.uncertified;
+      return;
+    }
+    if (decision.verb == DecisionVerb::kPairLess &&
+        !inner_->CertifyBounds(decision.k, decision.l, &cd.cert_kl)) {
+      ++stats_.uncertified;
+      return;
+    }
+  }
+  ++stats_.emitted;
+  const Status status = verifier_.Check(cd);
+  if (status.ok()) {
+    ++stats_.verified;
+  } else {
+    ++stats_.failed;
+    if (stats_.first_failure.empty()) {
+      std::ostringstream os;
+      os << inner_->name() << " " << VerbName(decision.verb) << "("
+         << decision.i << "," << decision.j;
+      if (decision.verb == DecisionVerb::kPairLess) {
+        os << ";" << decision.k << "," << decision.l;
+      } else {
+        os << ";t=" << decision.threshold;
+      }
+      os << ")=" << (decision.outcome ? "true" : "false") << ": "
+         << status.message();
+      stats_.first_failure = os.str();
+    }
+  }
+  if (keep_log_) log_.push_back(std::move(cd));
+}
+
+CertifyingResolver::CertifyingResolver(BoundedResolver* resolver,
+                                       double max_distance)
+    : resolver_(resolver),
+      shim_(&resolver->bounder(), &resolver->graph(),
+            Verifier::Options{max_distance}) {
+  resolver_->SetBounder(&shim_);
+}
+
+CertifyingResolver::~CertifyingResolver() {
+  resolver_->SetBounder(shim_.inner());
+}
+
+}  // namespace metricprox

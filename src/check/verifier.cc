@@ -1,0 +1,348 @@
+#include "check/verifier.h"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace metricprox {
+
+namespace {
+
+std::string PairStr(ObjectId a, ObjectId b) {
+  std::ostringstream os;
+  os << "(" << a << "," << b << ")";
+  return os.str();
+}
+
+Status ImplicationFailure(const char* need, double witness, double against) {
+  std::ostringstream os;
+  os << "certificate does not imply the decision: need " << need
+     << " but witness value " << witness << " vs " << against;
+  return Status::Internal(os.str());
+}
+
+}  // namespace
+
+StatusOr<double> Verifier::KnownDistance(ObjectId a, ObjectId b) const {
+  const ObjectId n = graph_->num_objects();
+  if (a >= n || b >= n) {
+    return Status::InvalidArgument("certificate references out-of-range pair " +
+                                   PairStr(a, b));
+  }
+  if (a == b) {
+    return Status::InvalidArgument("certificate references self-pair " +
+                                   PairStr(a, b));
+  }
+  const std::optional<double> d = graph_->Get(a, b);
+  if (!d.has_value()) {
+    return Status::FailedPrecondition(
+        "certificate references unresolved pair " + PairStr(a, b));
+  }
+  return *d;
+}
+
+StatusOr<double> Verifier::PathValue(const PathWitness& w, ObjectId i,
+                                     ObjectId j) const {
+  if (w.nodes.size() < 2) {
+    return Status::InvalidArgument("path witness has fewer than 2 nodes");
+  }
+  if (w.nodes.front() != i || w.nodes.back() != j) {
+    return Status::InvalidArgument("path witness endpoints " +
+                                   PairStr(w.nodes.front(), w.nodes.back()) +
+                                   " do not match pair " + PairStr(i, j));
+  }
+  if (w.rho < 1.0) {
+    return Status::InvalidArgument("path witness has rho < 1");
+  }
+  // A relaxed inequality composes only once, so rho > 1 admits only the
+  // 2-edge Tri shape (see bounds/tri.h).
+  if (w.rho > 1.0 && w.nodes.size() > 3) {
+    return Status::InvalidArgument(
+        "relaxed-metric path witness has more than 2 edges");
+  }
+  double sum = 0.0;
+  for (size_t s = 0; s + 1 < w.nodes.size(); ++s) {
+    StatusOr<double> d = KnownDistance(w.nodes[s], w.nodes[s + 1]);
+    if (!d.ok()) return d.status();
+    sum += *d;
+  }
+  return w.rho * sum;
+}
+
+StatusOr<double> Verifier::WrapValue(const WrapWitness& w, ObjectId i,
+                                     ObjectId j) const {
+  if (w.path_iu.empty() || w.path_vj.empty()) {
+    return Status::InvalidArgument("wrap witness has an empty path");
+  }
+  if (w.path_iu.front() != i || w.path_iu.back() != w.u) {
+    return Status::InvalidArgument("wrap witness i..u path endpoints wrong");
+  }
+  if (w.path_vj.front() != w.v || w.path_vj.back() != j) {
+    return Status::InvalidArgument("wrap witness v..j path endpoints wrong");
+  }
+  if (w.rho < 1.0) {
+    return Status::InvalidArgument("wrap witness has rho < 1");
+  }
+  const size_t wrap_edges =
+      (w.path_iu.size() - 1) + (w.path_vj.size() - 1);
+  if (w.rho > 1.0 && wrap_edges > 1) {
+    return Status::InvalidArgument(
+        "relaxed-metric wrap witness has more than 1 path edge");
+  }
+  StatusOr<double> duv = KnownDistance(w.u, w.v);
+  if (!duv.ok()) return duv.status();
+  double len_iu = 0.0;
+  for (size_t s = 0; s + 1 < w.path_iu.size(); ++s) {
+    StatusOr<double> d = KnownDistance(w.path_iu[s], w.path_iu[s + 1]);
+    if (!d.ok()) return d.status();
+    len_iu += *d;
+  }
+  double len_vj = 0.0;
+  for (size_t s = 0; s + 1 < w.path_vj.size(); ++s) {
+    StatusOr<double> d = KnownDistance(w.path_vj[s], w.path_vj[s + 1]);
+    if (!d.ok()) return d.status();
+    len_vj += *d;
+  }
+  return *duv / w.rho - len_iu - len_vj;
+}
+
+StatusOr<double> Verifier::UpperValue(const BoundCertificate& cert, ObjectId i,
+                                      ObjectId j) const {
+  if (cert.kind != BoundCertificate::Kind::kInterval) {
+    return Status::InvalidArgument("not an interval certificate");
+  }
+  if (!cert.has_upper) return kInfDistance;
+  return PathValue(cert.upper, i, j);
+}
+
+StatusOr<double> Verifier::LowerValue(const BoundCertificate& cert, ObjectId i,
+                                      ObjectId j) const {
+  if (cert.kind != BoundCertificate::Kind::kInterval) {
+    return Status::InvalidArgument("not an interval certificate");
+  }
+  if (!cert.has_lower) return 0.0;  // 0 is always a valid lower bound
+  return WrapValue(cert.lower, i, j);
+}
+
+Status Verifier::Check(const CertifiedDecision& cd) const {
+  switch (cd.cert_ij.kind) {
+    case BoundCertificate::Kind::kFarkas:
+      return CheckFarkas(cd.decision, cd.cert_ij.farkas);
+    case BoundCertificate::Kind::kInterval:
+      return CheckInterval(cd);
+    case BoundCertificate::Kind::kNone:
+      return Status::InvalidArgument("decision carries no certificate");
+  }
+  return Status::Internal("unknown certificate kind");
+}
+
+Status Verifier::CheckInterval(const CertifiedDecision& cd) const {
+  const DecisionRecord& dec = cd.decision;
+  switch (dec.verb) {
+    case DecisionVerb::kLessThan: {
+      if (dec.outcome) {
+        StatusOr<double> ub = UpperValue(cd.cert_ij, dec.i, dec.j);
+        if (!ub.ok()) return ub.status();
+        if (!(*ub < dec.threshold)) {
+          return ImplicationFailure("ub < t for LessThan=true", *ub,
+                                    dec.threshold);
+        }
+      } else {
+        StatusOr<double> lb = LowerValue(cd.cert_ij, dec.i, dec.j);
+        if (!lb.ok()) return lb.status();
+        if (!(*lb >= dec.threshold)) {
+          return ImplicationFailure("lb >= t for LessThan=false", *lb,
+                                    dec.threshold);
+        }
+      }
+      return Status::OK();
+    }
+    case DecisionVerb::kGreaterThan: {
+      if (dec.outcome) {
+        StatusOr<double> lb = LowerValue(cd.cert_ij, dec.i, dec.j);
+        if (!lb.ok()) return lb.status();
+        if (!(*lb > dec.threshold)) {
+          return ImplicationFailure("lb > t for GreaterThan=true", *lb,
+                                    dec.threshold);
+        }
+      } else {
+        StatusOr<double> ub = UpperValue(cd.cert_ij, dec.i, dec.j);
+        if (!ub.ok()) return ub.status();
+        if (!(*ub <= dec.threshold)) {
+          return ImplicationFailure("ub <= t for GreaterThan=false", *ub,
+                                    dec.threshold);
+        }
+      }
+      return Status::OK();
+    }
+    case DecisionVerb::kPairLess: {
+      if (cd.cert_kl.kind != BoundCertificate::Kind::kInterval) {
+        return Status::InvalidArgument(
+            "pair-less decision lacks a certificate for its second pair");
+      }
+      if (dec.outcome) {
+        StatusOr<double> ub = UpperValue(cd.cert_ij, dec.i, dec.j);
+        if (!ub.ok()) return ub.status();
+        StatusOr<double> lb = LowerValue(cd.cert_kl, dec.k, dec.l);
+        if (!lb.ok()) return lb.status();
+        if (!(*ub < *lb)) {
+          return ImplicationFailure("ub(i,j) < lb(k,l) for PairLess=true",
+                                    *ub, *lb);
+        }
+      } else {
+        StatusOr<double> lb = LowerValue(cd.cert_ij, dec.i, dec.j);
+        if (!lb.ok()) return lb.status();
+        StatusOr<double> ub = UpperValue(cd.cert_kl, dec.k, dec.l);
+        if (!ub.ok()) return ub.status();
+        if (!(*lb >= *ub)) {
+          return ImplicationFailure("lb(i,j) >= ub(k,l) for PairLess=false",
+                                    *lb, *ub);
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown decision verb");
+}
+
+Status Verifier::CheckFarkas(const DecisionRecord& dec,
+                             const FarkasCertificate& cert) const {
+  if (!(cert.claim_weight > 0.0)) {
+    return Status::InvalidArgument(
+        "farkas certificate must put positive weight on the claim row");
+  }
+  const ObjectId n = graph_->num_objects();
+  // Combined inequality sum_r w_r * (row_r) <= rhs: coefficients per still-
+  // unresolved pair; resolved pairs fold into the right-hand side.
+  std::unordered_map<uint64_t, double> coefs;
+  double rhs = 0.0;
+  double weight_sum = cert.claim_weight;
+
+  auto add_term = [&](ObjectId a, ObjectId b, double coef) -> Status {
+    if (a >= n || b >= n || a == b) {
+      return Status::InvalidArgument("farkas row references invalid pair " +
+                                     PairStr(a, b));
+    }
+    const std::optional<double> d = graph_->Get(a, b);
+    if (d.has_value()) {
+      rhs -= coef * *d;
+    } else {
+      coefs[EdgeKey(a, b).packed()] += coef;
+    }
+    return Status::OK();
+  };
+
+  for (const FarkasRow& row : cert.rows) {
+    if (row.weight < 0.0) {
+      return Status::InvalidArgument("negative farkas multiplier");
+    }
+    if (row.weight == 0.0) continue;
+    weight_sum += row.weight;
+    switch (row.kind) {
+      case FarkasRow::Kind::kTriangle: {
+        // x_ab - x_ac - x_cb <= 0: valid for ANY three distinct objects —
+        // the verifier does not care whether the LP actually had this row.
+        if (row.c == row.a || row.c == row.b || row.c >= n) {
+          return Status::InvalidArgument("farkas triangle row has bad via");
+        }
+        MP_RETURN_IF_ERROR(add_term(row.a, row.b, row.weight));
+        MP_RETURN_IF_ERROR(add_term(row.a, row.c, -row.weight));
+        MP_RETURN_IF_ERROR(add_term(row.c, row.b, -row.weight));
+        break;
+      }
+      case FarkasRow::Kind::kBoxUpper: {
+        MP_RETURN_IF_ERROR(add_term(row.a, row.b, row.weight));
+        if (row.c == kInvalidObject) {
+          rhs += row.weight * options_.max_distance;
+        } else {
+          StatusOr<double> dac = KnownDistance(row.a, row.c);
+          if (!dac.ok()) return dac.status();
+          StatusOr<double> dcb = KnownDistance(row.c, row.b);
+          if (!dcb.ok()) return dcb.status();
+          rhs += row.weight * (*dac + *dcb);
+        }
+        break;
+      }
+      case FarkasRow::Kind::kBoxLower: {
+        if (row.c == kInvalidObject) {
+          return Status::InvalidArgument("farkas lower-box row lacks a via");
+        }
+        MP_RETURN_IF_ERROR(add_term(row.a, row.b, -row.weight));
+        StatusOr<double> dac = KnownDistance(row.a, row.c);
+        if (!dac.ok()) return dac.status();
+        StatusOr<double> dcb = KnownDistance(row.c, row.b);
+        if (!dcb.ok()) return dcb.status();
+        rhs += row.weight * (-std::abs(*dac - *dcb));
+        break;
+      }
+    }
+  }
+
+  // The claim row is rebuilt from the decision record — mirroring exactly
+  // the constraints DftBounder ships to FeasibleWith — so a certificate
+  // cannot claim a different comparison than the one decided.
+  struct ClaimTerm {
+    ObjectId a, b;
+    double coef;
+  };
+  std::vector<ClaimTerm> claim;
+  double claim_rhs = 0.0;
+  switch (dec.verb) {
+    case DecisionVerb::kLessThan:
+      // true: refuted "x_ij >= t" i.e. -x_ij <= -t; false: "x_ij <= t".
+      claim.push_back({dec.i, dec.j, dec.outcome ? -1.0 : 1.0});
+      claim_rhs = dec.outcome ? -dec.threshold : dec.threshold;
+      break;
+    case DecisionVerb::kGreaterThan:
+      // true: refuted "x_ij <= t"; false: refuted "x_ij >= t".
+      claim.push_back({dec.i, dec.j, dec.outcome ? 1.0 : -1.0});
+      claim_rhs = dec.outcome ? dec.threshold : -dec.threshold;
+      break;
+    case DecisionVerb::kPairLess:
+      if (dec.outcome) {
+        // Refuted "x_kl - x_ij <= 0".
+        claim.push_back({dec.k, dec.l, 1.0});
+        claim.push_back({dec.i, dec.j, -1.0});
+      } else {
+        // Refuted "x_ij - x_kl <= 0".
+        claim.push_back({dec.i, dec.j, 1.0});
+        claim.push_back({dec.k, dec.l, -1.0});
+      }
+      claim_rhs = 0.0;
+      break;
+  }
+  for (const ClaimTerm& t : claim) {
+    if (t.a >= n || t.b >= n || t.a == t.b) {
+      return Status::InvalidArgument("decision references invalid pair " +
+                                     PairStr(t.a, t.b));
+    }
+    if (graph_->Has(t.a, t.b)) {
+      return Status::FailedPrecondition(
+          "farkas certificate checked after claim pair " + PairStr(t.a, t.b) +
+          " was resolved; verify certificates online");
+    }
+    coefs[EdgeKey(t.a, t.b).packed()] += cert.claim_weight * t.coef;
+  }
+  rhs += cert.claim_weight * claim_rhs;
+
+  // Minimize the combined LHS over the distance box [0, max_distance]^V:
+  // positive coefficients bottom out at x = 0, negative ones at
+  // x = max_distance. Coefficients below the solver's reduced-cost dust are
+  // treated as exactly zero (documented fp tolerance of the audit).
+  const double coef_tol = 1e-8 * (1.0 + weight_sum);
+  double min_lhs = 0.0;
+  for (const auto& [key, coef] : coefs) {
+    (void)key;
+    if (coef < -coef_tol) min_lhs += coef * options_.max_distance;
+  }
+  const double slack_tol = 1e-9 * (1.0 + std::abs(rhs));
+  if (min_lhs > rhs + slack_tol) return Status::OK();
+  std::ostringstream os;
+  os << "farkas combination is not box-infeasible: min LHS " << min_lhs
+     << " vs rhs " << rhs;
+  return Status::Internal(os.str());
+}
+
+}  // namespace metricprox

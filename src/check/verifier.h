@@ -1,0 +1,64 @@
+#ifndef METRICPROX_CHECK_VERIFIER_H_
+#define METRICPROX_CHECK_VERIFIER_H_
+
+#include "check/certificate.h"
+#include "core/status.h"
+#include "graph/partial_graph.h"
+
+namespace metricprox {
+
+/// Independent re-checker of bound certificates: replays every witness
+/// against the resolved edge set of a PartialDistanceGraph and confirms
+/// that the claimed decision follows from known distances and arithmetic
+/// alone. Nothing about the Bounder implementations is trusted — a broken
+/// scheme cannot produce a certificate that passes, because the verifier
+/// recomputes every path length, wrap value and Farkas combination itself.
+///
+/// Certificates must be checked against the decision-time edge set, i.e.
+/// online, before the resolver performs further resolutions (the
+/// CertifyingBounder does exactly that). The graph is append-only and
+/// values are immutable, so path/wrap witnesses also verify against any
+/// later superset; only Farkas claim rows require the claim pairs to still
+/// be unresolved.
+class Verifier {
+ public:
+  struct Options {
+    /// Upper bound on every true distance (the DFT normalization bound);
+    /// used only by Farkas box rows.
+    double max_distance = 1.0;
+  };
+
+  Verifier(const PartialDistanceGraph* graph, const Options& options)
+      : graph_(graph), options_(options) {}
+
+  /// OK iff the certificate is structurally valid against the graph AND its
+  /// recomputed witness values imply the recorded decision.
+  Status Check(const CertifiedDecision& cd) const;
+
+  /// Recomputed witness upper bound on dist(i, j): the rho-scaled length of
+  /// the path witness, or +inf when the certificate carries none.
+  StatusOr<double> UpperValue(const BoundCertificate& cert, ObjectId i,
+                              ObjectId j) const;
+
+  /// Recomputed witness lower bound on dist(i, j): the wrap value, or 0
+  /// (always valid) when the certificate carries none.
+  StatusOr<double> LowerValue(const BoundCertificate& cert, ObjectId i,
+                              ObjectId j) const;
+
+ private:
+  StatusOr<double> PathValue(const PathWitness& w, ObjectId i,
+                             ObjectId j) const;
+  StatusOr<double> WrapValue(const WrapWitness& w, ObjectId i,
+                             ObjectId j) const;
+  Status CheckInterval(const CertifiedDecision& cd) const;
+  Status CheckFarkas(const DecisionRecord& decision,
+                     const FarkasCertificate& cert) const;
+  StatusOr<double> KnownDistance(ObjectId a, ObjectId b) const;
+
+  const PartialDistanceGraph* graph_;  // not owned
+  Options options_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_CHECK_VERIFIER_H_

@@ -11,6 +11,10 @@
 
 namespace metricprox {
 
+// Defined in check/certificate.h; the certified verbs below never touch it,
+// so core stays independent of the certification subsystem.
+struct BoundCertificate;
+
 /// Safety margin for bound-based decisions. Bound intervals are computed
 /// with a handful of floating-point additions, so they can stray a few ulps
 /// outside the true mathematical interval; deciding a comparison only when
@@ -111,6 +115,44 @@ class Bounder {
     if (ij.hi < kl.lo - margin) return true;
     if (ij.lo >= kl.hi + margin) return false;
     return std::nullopt;
+  }
+
+  /// ------------------------------------------------------------------
+  /// Certification channel (the audit pipeline; see check/certify.h).
+  /// A scheme that can *prove* its bounds re-derives them together with
+  /// constructive witnesses — a resolved-edge path for the upper bound, a
+  /// wrapped edge for the lower bound — so a Verifier can confirm every
+  /// bound-decided comparison using only known distances and arithmetic.
+  /// ------------------------------------------------------------------
+
+  /// Fills `cert` with an interval certificate whose witnesses reproduce
+  /// Bounds(i, j). Returns false when the scheme has no certification
+  /// support (the default); decisions by such a scheme are counted as
+  /// `uncertified` by the audit, never as failures.
+  virtual bool CertifyBounds(ObjectId /*i*/, ObjectId /*j*/,
+                             BoundCertificate* /*cert*/) {
+    return false;
+  }
+
+  /// Certified decision verbs: identical decisions to the plain verbs (the
+  /// audit's output-parity guarantee hinges on this), optionally filling
+  /// `cert` when the decision itself carries a proof the interval channel
+  /// cannot express. The defaults delegate to the plain verbs and leave
+  /// `cert` untouched — interval schemes are instead certified post hoc
+  /// through CertifyBounds. DFT overrides these to capture the Farkas
+  /// multipliers of the very LP solve that made the decision.
+  virtual std::optional<bool> DecideLessThanCertified(
+      ObjectId i, ObjectId j, double t, BoundCertificate* /*cert*/) {
+    return DecideLessThan(i, j, t);
+  }
+  virtual std::optional<bool> DecideGreaterThanCertified(
+      ObjectId i, ObjectId j, double t, BoundCertificate* /*cert*/) {
+    return DecideGreaterThan(i, j, t);
+  }
+  virtual std::optional<bool> DecidePairLessCertified(
+      ObjectId i, ObjectId j, ObjectId k, ObjectId l,
+      BoundCertificate* /*cert*/) {
+    return DecidePairLess(i, j, k, l);
   }
 };
 

@@ -37,6 +37,12 @@ std::string ResolverStats::ToString() const {
        << " wal_appends=" << wal_appends
        << " compactions=" << compactions;
   }
+  if (certs_emitted > 0 || certs_uncertified > 0) {
+    os << " certs_emitted=" << certs_emitted
+       << " certs_verified=" << certs_verified
+       << " certs_failed=" << certs_failed
+       << " certs_uncertified=" << certs_uncertified;
+  }
   return os.str();
 }
 

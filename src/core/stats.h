@@ -71,6 +71,17 @@ struct ResolverStats {
   uint64_t wal_appends = 0;
   /// Store compactions (snapshot rewrites) performed during the run.
   uint64_t compactions = 0;
+  /// Bound certificates emitted by the audit shim (certs_emitted ==
+  /// certs_verified + certs_failed always holds).
+  uint64_t certs_emitted = 0;
+  /// Certificates the independent Verifier confirmed.
+  uint64_t certs_verified = 0;
+  /// Certificates that failed verification — any nonzero value is a bug in
+  /// a bound scheme (or the verifier) and fails `--audit` runs.
+  uint64_t certs_failed = 0;
+  /// Bound-decided comparisons whose scheme has no certification support
+  /// (e.g. ADM/TLAESA); counted separately, never as failures.
+  uint64_t certs_uncertified = 0;
 
   void Reset() { *this = ResolverStats(); }
 
@@ -97,6 +108,10 @@ struct ResolverStats {
     store_loaded_edges += o.store_loaded_edges;
     wal_appends += o.wal_appends;
     compactions += o.compactions;
+    certs_emitted += o.certs_emitted;
+    certs_verified += o.certs_verified;
+    certs_failed += o.certs_failed;
+    certs_uncertified += o.certs_uncertified;
     return *this;
   }
 

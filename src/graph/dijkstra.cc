@@ -11,10 +11,17 @@ DijkstraSolver::DijkstraSolver(ObjectId num_objects)
 
 void DijkstraSolver::Solve(const PartialDistanceGraph& graph, ObjectId source,
                            std::vector<double>* out) {
+  Solve(graph, source, out, nullptr);
+}
+
+void DijkstraSolver::Solve(const PartialDistanceGraph& graph, ObjectId source,
+                           std::vector<double>* out,
+                           std::vector<ObjectId>* parent) {
   CHECK_EQ(graph.num_objects(), num_objects_);
   CHECK_LT(source, num_objects_);
   out->assign(num_objects_, kInfDistance);
   (*out)[source] = 0.0;
+  if (parent != nullptr) parent->assign(num_objects_, kInvalidObject);
 
   IndexedMinHeap heap(num_objects_);
   heap.Push(source, 0.0);
@@ -27,6 +34,7 @@ void DijkstraSolver::Solve(const PartialDistanceGraph& graph, ObjectId source,
       const double candidate = du + nb.distance;
       if (candidate < (*out)[nb.id]) {
         (*out)[nb.id] = candidate;
+        if (parent != nullptr) (*parent)[nb.id] = u;
         heap.PushOrDecrease(nb.id, candidate);
       }
     }

@@ -23,6 +23,14 @@ class DijkstraSolver {
   void Solve(const PartialDistanceGraph& graph, ObjectId source,
              std::vector<double>* out);
 
+  /// Variant that also records the shortest-path tree: parent[v] is the
+  /// predecessor of v on the found path (kInvalidObject for the source and
+  /// for unreachable nodes). Distances are identical to the plain Solve —
+  /// same relaxations in the same order — so certificate extraction can
+  /// use this without perturbing any memoized decision state.
+  void Solve(const PartialDistanceGraph& graph, ObjectId source,
+             std::vector<double>* out, std::vector<ObjectId>* parent);
+
   /// One-shot convenience.
   static std::vector<double> ShortestPaths(const PartialDistanceGraph& graph,
                                            ObjectId source);

@@ -1,10 +1,12 @@
 #include "harness/experiment.h"
 
+#include <bit>
 #include <memory>
 #include <optional>
 #include <utility>
 
 #include "bounds/pivots.h"
+#include "check/certify.h"
 #include "core/logging.h"
 #include "graph/partial_graph.h"
 #include "oracle/wrappers.h"
@@ -68,6 +70,7 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
   // it dies. The bounder must outlive the scope (the resolver holds a raw
   // pointer), hence the keepalive.
   std::unique_ptr<Bounder> bounder_keepalive;
+  std::optional<CertifyingResolver> certifying;
   Status scheme_status = Status::OK();
   StatusOr<double> value =
       resolver.RunFallible([&](BoundedResolver* r) -> double {
@@ -92,6 +95,11 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
         }
         bounder_keepalive = std::move(bounder).value();
 
+        // Audit shim wraps whatever scheme was just attached; construction
+        // (pivot tables, bootstrap) is pure resolution, so wrapping after
+        // it changes nothing about what gets certified.
+        if (config.audit) certifying.emplace(r, config.max_distance);
+
         result.construction_calls = r->stats().oracle_calls;
         return workload(r);
       });
@@ -101,6 +109,13 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
 
   result.wall_seconds = watch.ElapsedSeconds();
   result.stats = resolver.stats();
+  if (certifying.has_value()) {
+    result.certification = certifying->stats();
+    result.stats.certs_emitted = result.certification.emitted;
+    result.stats.certs_verified = result.certification.verified;
+    result.stats.certs_failed = result.certification.failed;
+    result.stats.certs_uncertified = result.certification.uncertified;
+  }
   result.stats.simulated_oracle_seconds = costed.simulated_seconds();
   if (retrying.has_value()) retrying->AccumulateStats(&result.stats);
   result.stats.store_loaded_edges = warm_loaded;
@@ -109,6 +124,37 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
   result.completion_seconds =
       result.wall_seconds + costed.simulated_seconds();
   return result;
+}
+
+StatusOr<AuditReport> AuditWorkload(DistanceOracle* oracle,
+                                    const WorkloadConfig& config,
+                                    const Workload& workload) {
+  if (config.store != nullptr) {
+    return Status::InvalidArgument(
+        "audit cannot run with a distance store attached: the unaudited "
+        "pass would warm the store and the audited pass would replay it "
+        "with zero oracle calls, voiding the A-B comparison");
+  }
+  WorkloadConfig bare = config;
+  bare.audit = false;
+  WorkloadConfig with_audit = config;
+  with_audit.audit = true;
+
+  StatusOr<WorkloadResult> unaudited = TryRunWorkload(oracle, bare, workload);
+  if (!unaudited.ok()) return unaudited.status();
+  StatusOr<WorkloadResult> audited =
+      TryRunWorkload(oracle, with_audit, workload);
+  if (!audited.ok()) return audited.status();
+
+  AuditReport report;
+  report.certification = audited->certification;
+  report.outputs_identical = std::bit_cast<uint64_t>(unaudited->value) ==
+                             std::bit_cast<uint64_t>(audited->value);
+  report.calls_identical =
+      unaudited->stats.oracle_calls == audited->stats.oracle_calls;
+  report.unaudited = *std::move(unaudited);
+  report.audited = *std::move(audited);
+  return report;
 }
 
 double SaveFraction(uint64_t ours, uint64_t baseline) {

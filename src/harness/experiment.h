@@ -7,6 +7,7 @@
 
 #include "bounds/resolver.h"
 #include "bounds/scheme.h"
+#include "check/certificate.h"
 #include "core/oracle.h"
 #include "core/stats.h"
 #include "core/status.h"
@@ -55,6 +56,13 @@ struct WorkloadConfig {
   /// and scheme construction (cross-run warm start): SPLUB/Tri bounds start
   /// tight and previously paid pairs are resolver cache hits.
   bool store_warm_start = true;
+  /// Run with certification on: a CertifyingBounder wraps the scheme, every
+  /// bound-decided comparison emits a certificate, and an independent
+  /// Verifier cross-checks it against the decision-time edge set. Outputs
+  /// and oracle_calls are unchanged by construction (the shim forwards all
+  /// decisions verbatim); the certification counters land in
+  /// WorkloadResult::certification and the certs_* stats.
+  bool audit = false;
 };
 
 /// A proximity algorithm run against a resolver; returns a checksum
@@ -73,6 +81,8 @@ struct WorkloadResult {
   double completion_seconds = 0.0;
   /// The workload's checksum.
   double value = 0.0;
+  /// Audit counters (all zero unless config.audit was set).
+  CertificationStats certification;
 };
 
 /// Wires oracle -> simulated-cost wrapper -> graph -> resolver -> scheme,
@@ -93,6 +103,35 @@ WorkloadResult RunWorkload(DistanceOracle* oracle,
 StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
                                         const WorkloadConfig& config,
                                         const Workload& workload);
+
+/// Outcome of an audited/unaudited A-B run of one workload (see
+/// AuditWorkload). `passed()` is the property the paper's exactness theorem
+/// promises and `--audit` asserts: certification changes nothing observable
+/// and every bound decision is independently provable.
+struct AuditReport {
+  WorkloadResult unaudited;
+  WorkloadResult audited;
+  /// The audited run's certification counters.
+  CertificationStats certification;
+  /// Checksums are bit-identical (compared as raw doubles, not within
+  /// a tolerance).
+  bool outputs_identical = false;
+  /// oracle_calls are identical — the shim decided exactly what the bare
+  /// scheme decided.
+  bool calls_identical = false;
+
+  bool passed() const {
+    return outputs_identical && calls_identical && certification.failed == 0;
+  }
+};
+
+/// Runs the workload twice from a fresh graph — once bare, once with
+/// certification on — and cross-checks the two runs. Rejects configs with a
+/// distance store: the first pass would warm the store and the second would
+/// replay it with zero oracle calls, voiding the comparison.
+StatusOr<AuditReport> AuditWorkload(DistanceOracle* oracle,
+                                    const WorkloadConfig& config,
+                                    const Workload& workload);
 
 /// Fraction of calls saved by `ours` relative to `baseline`
 /// (the tables' "Save (%)" columns, as a fraction).

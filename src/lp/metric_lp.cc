@@ -15,14 +15,22 @@ MetricFeasibilitySystem::MetricFeasibilitySystem(
 
   // Assign a variable to each unknown pair; track per-variable boxes.
   int next = 0;
+  std::vector<EdgeKey> var_pair;
   for (ObjectId i = 0; i < n; ++i) {
     for (ObjectId j = i + 1; j < n; ++j) {
-      if (!graph.Has(i, j)) var_index_.emplace(EdgeKey(i, j), next++);
+      if (!graph.Has(i, j)) {
+        var_index_.emplace(EdgeKey(i, j), next++);
+        var_pair.emplace_back(i, j);
+      }
     }
   }
   base_.num_vars = next;
   std::vector<double> lo(next, 0.0);
   std::vector<double> hi(next, max_distance);
+  // Third vertex of the one-unknown triangle that produced each box bound
+  // (kInvalidObject = untightened), so box rows are certifiable.
+  std::vector<ObjectId> lo_wit(next, kInvalidObject);
+  std::vector<ObjectId> hi_wit(next, kInvalidObject);
 
   auto value_of = [&](ObjectId a, ObjectId b) { return graph.Get(a, b); };
 
@@ -30,11 +38,12 @@ MetricFeasibilitySystem::MetricFeasibilitySystem(
   // unknown edge the three inequalities collapse to a box tightening; with
   // two or three unknowns they become tableau rows.
   auto add_row = [&](std::initializer_list<std::pair<int, double>> terms,
-                     double rhs) {
+                     double rhs, const FarkasRow& desc) {
     std::vector<double> row(base_.num_vars, 0.0);
     for (const auto& [var, coeff] : terms) row[var] += coeff;
     base_.a.push_back(std::move(row));
     base_.b.push_back(rhs);
+    row_desc_.push_back(desc);
   };
 
   for (ObjectId i = 0; i < n; ++i) {
@@ -49,21 +58,33 @@ MetricFeasibilitySystem::MetricFeasibilitySystem(
           // One unknown x, two constants p, q:  |p - q| <= x <= p + q.
           int var;
           double p, q;
+          ObjectId via;
           if (!dij) {
             var = VarOf(i, j);
             p = *dik;
             q = *djk;
+            via = k;
           } else if (!dik) {
             var = VarOf(i, k);
             p = *dij;
             q = *djk;
+            via = j;
           } else {
             var = VarOf(j, k);
             p = *dij;
             q = *dik;
+            via = i;
           }
-          lo[var] = std::max(lo[var], std::abs(p - q));
-          hi[var] = std::min(hi[var], p + q);
+          const double tighter_lo = std::abs(p - q);
+          if (tighter_lo > lo[var]) {
+            lo[var] = tighter_lo;
+            lo_wit[var] = via;
+          }
+          const double tighter_hi = p + q;
+          if (tighter_hi < hi[var]) {
+            hi[var] = tighter_hi;
+            hi_wit[var] = via;
+          }
           continue;
         }
         // Two or three unknowns: emit the three triangle rows
@@ -78,6 +99,9 @@ MetricFeasibilitySystem::MetricFeasibilitySystem(
             {dik, dik ? -1 : VarOf(i, k)},
             {djk, djk ? -1 : VarOf(j, k)},
         };
+        // The certifiable identity of each row: longest side (a, b) through
+        // the remaining vertex c, i.e. x_ab <= x_ac + x_cb.
+        const ObjectId tri_abc[3][3] = {{i, j, k}, {i, k, j}, {j, k, i}};
         for (int longest = 0; longest < 3; ++longest) {
           std::vector<std::pair<int, double>> terms;
           double rhs = 0.0;
@@ -93,6 +117,10 @@ MetricFeasibilitySystem::MetricFeasibilitySystem(
           for (const auto& [var, coeff] : terms) row[var] += coeff;
           base_.a.push_back(std::move(row));
           base_.b.push_back(rhs);
+          row_desc_.push_back(FarkasRow{FarkasRow::Kind::kTriangle,
+                                        tri_abc[longest][0],
+                                        tri_abc[longest][1],
+                                        tri_abc[longest][2], 0.0});
         }
       }
     }
@@ -120,18 +148,26 @@ MetricFeasibilitySystem::MetricFeasibilitySystem(
       if (kept != row) {
         base_.a[kept] = std::move(base_.a[row]);
         base_.b[kept] = base_.b[row];
+        row_desc_[kept] = row_desc_[row];
       }
       ++kept;
     }
     base_.a.resize(kept);
     base_.b.resize(kept);
+    row_desc_.resize(kept);
   }
 
   // Box rows: x <= hi always; -x <= -lo only when the lower bound is
   // informative (x >= 0 is implicit in the solver).
   for (int v = 0; v < base_.num_vars; ++v) {
-    add_row({{v, 1.0}}, hi[v]);
-    if (lo[v] > 0.0) add_row({{v, -1.0}}, -lo[v]);
+    const ObjectId a = var_pair[v].lo();
+    const ObjectId b = var_pair[v].hi();
+    add_row({{v, 1.0}}, hi[v],
+            FarkasRow{FarkasRow::Kind::kBoxUpper, a, b, hi_wit[v], 0.0});
+    if (lo[v] > 0.0) {
+      add_row({{v, -1.0}}, -lo[v],
+              FarkasRow{FarkasRow::Kind::kBoxLower, a, b, lo_wit[v], 0.0});
+    }
   }
 }
 
@@ -141,7 +177,8 @@ int MetricFeasibilitySystem::VarOf(ObjectId u, ObjectId v) const {
 }
 
 StatusOr<bool> MetricFeasibilitySystem::FeasibleWith(
-    const std::vector<DistanceTerm>& extra_terms, double rhs) {
+    const std::vector<DistanceTerm>& extra_terms, double rhs,
+    FarkasCertificate* cert) {
   DenseLp lp = base_;
   std::vector<double> row(lp.num_vars, 0.0);
   for (const DistanceTerm& term : extra_terms) {
@@ -158,6 +195,12 @@ StatusOr<bool> MetricFeasibilitySystem::FeasibleWith(
                   [](double c) { return c == 0.0; })) {
     // Fully constant constraint: feasibility is just sign of the rhs (the
     // base system itself is always feasible — the true metric satisfies it).
+    if (rhs < 0.0 && cert != nullptr) {
+      // The claim row alone is violated by constants; the certificate is
+      // "multiply the claim by 1, use no base rows".
+      cert->rows.clear();
+      cert->claim_weight = 1.0;
+    }
     return rhs >= 0.0;
   }
   lp.a.push_back(std::move(row));
@@ -165,7 +208,22 @@ StatusOr<bool> MetricFeasibilitySystem::FeasibleWith(
   StatusOr<LpResult> result = solver_.Solve(lp);
   if (!result.ok()) return result.status();
   total_pivots_ += result->pivots;
-  return result->kind == LpResult::Kind::kOptimal;
+  const bool feasible = result->kind == LpResult::Kind::kOptimal;
+  if (!feasible && cert != nullptr) {
+    // The solver's per-row Farkas multipliers map 1:1 onto the base-row
+    // descriptors plus the claim row appended last.
+    CHECK_EQ(result->farkas.size(), row_desc_.size() + 1);
+    cert->rows.clear();
+    for (size_t r = 0; r < row_desc_.size(); ++r) {
+      const double weight = result->farkas[r];
+      if (weight <= 0.0) continue;
+      FarkasRow with_weight = row_desc_[r];
+      with_weight.weight = weight;
+      cert->rows.push_back(with_weight);
+    }
+    cert->claim_weight = result->farkas.back();
+  }
+  return feasible;
 }
 
 StatusOr<Interval> MetricFeasibilitySystem::LpBounds(ObjectId u, ObjectId v) {

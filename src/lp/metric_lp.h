@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "check/certificate.h"
 #include "core/status.h"
 #include "core/types.h"
 #include "graph/partial_graph.h"
@@ -38,8 +39,16 @@ class MetricFeasibilitySystem {
   /// Is the base system plus the extra constraint
   ///     sum_i terms[i].coefficient * dist(terms[i].u, terms[i].v) <= rhs
   /// feasible? Known pairs in `terms` fold into the right-hand side.
+  ///
+  /// When `cert` is non-null and the answer is "infeasible", fills it with
+  /// a Farkas witness: every base row carries a self-describing metric-
+  /// inequality descriptor (see FarkasRow), so the weighted rows plus
+  /// `claim_weight` times the extra constraint can be re-derived and
+  /// re-combined by a Verifier from the resolved distances alone. Passing
+  /// `cert` never changes the pivot sequence or the answer — extraction
+  /// only reads the final phase-1 reduced costs.
   StatusOr<bool> FeasibleWith(const std::vector<DistanceTerm>& extra_terms,
-                              double rhs);
+                              double rhs, FarkasCertificate* cert = nullptr);
 
   /// Tightest LP-implied bounds on dist(u, v): minimize / maximize the
   /// variable over the base polytope. For a known pair returns the exact
@@ -58,6 +67,10 @@ class MetricFeasibilitySystem {
   double max_distance_;
   DenseLp base_;
   std::unordered_map<EdgeKey, int, EdgeKeyHash> var_index_;
+  /// Metric-inequality descriptor of each base row, parallel to base_.a
+  /// (weights unused here; filled when a row enters a certificate).
+  /// Maintained through presolve so Farkas multipliers map 1:1.
+  std::vector<FarkasRow> row_desc_;
   SimplexSolver solver_;
   uint64_t total_pivots_ = 0;
 };

@@ -151,6 +151,19 @@ class Tableau {
   int num_structural() const { return num_structural_; }
   int num_artificial() const { return num_artificial_; }
 
+  /// Reduced cost of the slack column of original row `i` under the current
+  /// objective. At the phase-1 optimum this is the Farkas multiplier of row
+  /// i: with dual ŷ = c_B B⁻¹ on the (sign-normalized) tableau rows and
+  /// u_i = -sign_i ŷ_i, the termination criterion rc >= -eps gives
+  ///   u_i            = rc(slack_i)      >= -eps   (nonnegativity)
+  ///   (uᵀA)_j        = rc(structural_j) >= -eps   (combination >= 0)
+  ///   uᵀb = -ŷᵀb̂    = -(phase-1 sum of artificials) < 0.
+  /// Valid only before any row eviction — the infeasible exit happens
+  /// before EvictArtificialsFromBasis, so row order still matches input.
+  double SlackReducedCost(int i) const {
+    return objective_[num_structural_ + i];
+  }
+
  private:
   void Pivot(int leave_row, int enter_col) {
     std::vector<double>& prow = rows_[leave_row];
@@ -242,6 +255,12 @@ StatusOr<LpResult> SimplexSolver::Solve(const DenseLp& lp) {
     CHECK(*phase1 == LpResult::Kind::kOptimal);
     if (tableau.objective_value() > 1e-7) {
       result.kind = LpResult::Kind::kInfeasible;
+      result.farkas.resize(lp.a.size());
+      for (size_t i = 0; i < lp.a.size(); ++i) {
+        // Clamp the up-to-eps negative dust so callers get a true y >= 0.
+        result.farkas[i] =
+            std::max(0.0, tableau.SlackReducedCost(static_cast<int>(i)));
+      }
       return result;
     }
     tableau.EvictArtificialsFromBasis();

@@ -29,6 +29,12 @@ struct LpResult {
   double objective_value = 0.0;
   /// A feasible/optimal assignment (valid when kind == kOptimal).
   std::vector<double> x;
+  /// When kind == kInfeasible: one multiplier per input row — a Farkas
+  /// witness of infeasibility. y >= 0, yᵀA >= 0 componentwise (both up to
+  /// the solver eps) and yᵀb = -(phase-1 optimum) < 0, so the nonnegative
+  /// combination yᵀ(Ax) <= yᵀb of the rows is violated by every x >= 0.
+  /// Extracted for free from the phase-1 reduced costs (see simplex.cc).
+  std::vector<double> farkas;
   /// Total simplex pivots performed across both phases.
   uint64_t pivots = 0;
 };

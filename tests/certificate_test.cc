@@ -1,0 +1,480 @@
+// Tests for the certification subsystem (src/check): Verifier unit tests on
+// hand-built witnesses (valid and corrupted), CertifyingBounder log
+// inspection, and the audit acceptance matrix — kNN-graph, Prim, Borůvka and
+// PAM audited under Tri, SPLUB and DFT with 100% of bound-decided
+// comparisons verified and byte-identical outputs.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/boruvka.h"
+#include "algo/knn_graph.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "bounds/scheme.h"
+#include "check/certify.h"
+#include "check/verifier.h"
+#include "graph/partial_graph.h"
+#include "harness/experiment.h"
+#include "oracle/matrix_oracle.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::kAllMetricFamilies;
+using testing_util::MakeFamilyStack;
+using testing_util::MetricFamily;
+using testing_util::MetricFamilyName;
+using testing_util::ResolverStack;
+
+// ---------------------------------------------------------------------------
+// Verifier unit tests on a tiny hand-built graph. Resolved edges:
+// (0,1)=0.4, (1,2)=0.3, (2,3)=0.5; pairs (0,2), (0,3), (1,3) unresolved.
+// ---------------------------------------------------------------------------
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest() : graph_(4), verifier_(&graph_, {.max_distance = 1.0}) {
+    graph_.Insert(0, 1, 0.4);
+    graph_.Insert(1, 2, 0.3);
+    graph_.Insert(2, 3, 0.5);
+  }
+
+  static BoundCertificate IntervalCert() {
+    BoundCertificate cert;
+    cert.kind = BoundCertificate::Kind::kInterval;
+    return cert;
+  }
+
+  PartialDistanceGraph graph_;
+  Verifier verifier_;
+};
+
+TEST_F(VerifierTest, PathWitnessValueIsRhoTimesEdgeSum) {
+  BoundCertificate cert = IntervalCert();
+  cert.has_upper = true;
+  cert.upper.nodes = {0, 1, 2};
+  StatusOr<double> ub = verifier_.UpperValue(cert, 0, 2);
+  ASSERT_TRUE(ub.ok()) << ub.status();
+  EXPECT_DOUBLE_EQ(*ub, 0.7);
+
+  cert.upper.rho = 1.5;
+  ub = verifier_.UpperValue(cert, 0, 2);
+  ASSERT_TRUE(ub.ok()) << ub.status();
+  EXPECT_DOUBLE_EQ(*ub, 1.5 * 0.7);
+}
+
+TEST_F(VerifierTest, MissingWitnessesGiveTrivialBounds) {
+  const BoundCertificate cert = IntervalCert();
+  StatusOr<double> ub = verifier_.UpperValue(cert, 0, 2);
+  ASSERT_TRUE(ub.ok());
+  EXPECT_EQ(*ub, kInfDistance);
+  StatusOr<double> lb = verifier_.LowerValue(cert, 0, 2);
+  ASSERT_TRUE(lb.ok());
+  EXPECT_EQ(*lb, 0.0);
+}
+
+TEST_F(VerifierTest, PathThroughUnresolvedEdgeIsFailedPrecondition) {
+  BoundCertificate cert = IntervalCert();
+  cert.has_upper = true;
+  cert.upper.nodes = {0, 3, 2};  // (0,3) never resolved
+  const StatusOr<double> ub = verifier_.UpperValue(cert, 0, 2);
+  ASSERT_FALSE(ub.ok());
+  EXPECT_EQ(ub.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VerifierTest, PathWithWrongEndpointsIsInvalid) {
+  BoundCertificate cert = IntervalCert();
+  cert.has_upper = true;
+  cert.upper.nodes = {1, 2};  // claims pair (0,2)
+  const StatusOr<double> ub = verifier_.UpperValue(cert, 0, 2);
+  ASSERT_FALSE(ub.ok());
+  EXPECT_EQ(ub.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerifierTest, RelaxedPathWithThreeEdgesIsInvalid) {
+  BoundCertificate cert = IntervalCert();
+  cert.has_upper = true;
+  cert.upper.nodes = {0, 1, 2, 3};  // all edges resolved, but rho > 1
+  cert.upper.rho = 2.0;
+  const StatusOr<double> ub = verifier_.UpperValue(cert, 0, 3);
+  ASSERT_FALSE(ub.ok());
+  EXPECT_EQ(ub.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerifierTest, WrapWitnessValueIsEdgeMinusPaths) {
+  // lb on d(0,2) via edge (0,1): d(0,1) - len(1..2) = 0.4 - 0.3 = 0.1.
+  BoundCertificate cert = IntervalCert();
+  cert.has_lower = true;
+  cert.lower.u = 0;
+  cert.lower.v = 1;
+  cert.lower.path_iu = {0};
+  cert.lower.path_vj = {1, 2};
+  const StatusOr<double> lb = verifier_.LowerValue(cert, 0, 2);
+  ASSERT_TRUE(lb.ok()) << lb.status();
+  EXPECT_DOUBLE_EQ(*lb, 0.1);
+}
+
+TEST_F(VerifierTest, WrapWithWrongPathEndpointsIsInvalid) {
+  BoundCertificate cert = IntervalCert();
+  cert.has_lower = true;
+  cert.lower.u = 0;
+  cert.lower.v = 1;
+  cert.lower.path_iu = {0};
+  cert.lower.path_vj = {2};  // must start at v == 1
+  const StatusOr<double> lb = verifier_.LowerValue(cert, 0, 2);
+  ASSERT_FALSE(lb.ok());
+  EXPECT_EQ(lb.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerifierTest, IntervalDecisionAcceptedWhenWitnessImpliesIt) {
+  CertifiedDecision cd;
+  cd.decision = {DecisionVerb::kLessThan, true, 0, 2, kInvalidObject,
+                 kInvalidObject, 0.8};
+  cd.cert_ij = IntervalCert();
+  cd.cert_ij.has_upper = true;
+  cd.cert_ij.upper.nodes = {0, 1, 2};  // ub 0.7 < 0.8
+  EXPECT_TRUE(verifier_.Check(cd).ok());
+}
+
+TEST_F(VerifierTest, IntervalDecisionRejectedWhenWitnessTooLoose) {
+  CertifiedDecision cd;
+  cd.decision = {DecisionVerb::kLessThan, true, 0, 2, kInvalidObject,
+                 kInvalidObject, 0.6};
+  cd.cert_ij = IntervalCert();
+  cd.cert_ij.has_upper = true;
+  cd.cert_ij.upper.nodes = {0, 1, 2};  // ub 0.7, not < 0.6
+  const Status status = verifier_.Check(cd);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST_F(VerifierTest, PairLessNeedsBothCertificates) {
+  CertifiedDecision cd;
+  cd.decision = {DecisionVerb::kPairLess, true, 0, 2, 1, 3, 0.0};
+  cd.cert_ij = IntervalCert();
+  cd.cert_ij.has_upper = true;
+  cd.cert_ij.upper.nodes = {0, 1, 2};
+  // cert_kl left kNone.
+  const Status status = verifier_.Check(cd);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerifierTest, FarkasBoxUpperProvesLessThan) {
+  // x_02 <= d(0,1) + d(1,2) = 0.7, claim refutes x_02 >= 0.8: the weighted
+  // sum is 0 <= -0.1, violated everywhere in the box.
+  CertifiedDecision cd;
+  cd.decision = {DecisionVerb::kLessThan, true, 0, 2, kInvalidObject,
+                 kInvalidObject, 0.8};
+  cd.cert_ij.kind = BoundCertificate::Kind::kFarkas;
+  cd.cert_ij.farkas.claim_weight = 1.0;
+  cd.cert_ij.farkas.rows = {
+      {FarkasRow::Kind::kBoxUpper, 0, 2, 1, 1.0},
+  };
+  EXPECT_TRUE(verifier_.Check(cd).ok()) << verifier_.Check(cd);
+}
+
+TEST_F(VerifierTest, FarkasRejectsNonInfeasibleCombination) {
+  // Same row but the claim refutes x_02 >= 0.6 — x_02 = 0.65 satisfies
+  // both, so the combination is not box-infeasible.
+  CertifiedDecision cd;
+  cd.decision = {DecisionVerb::kLessThan, true, 0, 2, kInvalidObject,
+                 kInvalidObject, 0.6};
+  cd.cert_ij.kind = BoundCertificate::Kind::kFarkas;
+  cd.cert_ij.farkas.claim_weight = 1.0;
+  cd.cert_ij.farkas.rows = {
+      {FarkasRow::Kind::kBoxUpper, 0, 2, 1, 1.0},
+  };
+  const Status status = verifier_.Check(cd);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST_F(VerifierTest, FarkasRejectsZeroClaimWeightAndNegativeMultipliers) {
+  CertifiedDecision cd;
+  cd.decision = {DecisionVerb::kLessThan, true, 0, 2, kInvalidObject,
+                 kInvalidObject, 0.8};
+  cd.cert_ij.kind = BoundCertificate::Kind::kFarkas;
+  cd.cert_ij.farkas.rows = {
+      {FarkasRow::Kind::kBoxUpper, 0, 2, 1, 1.0},
+  };
+  cd.cert_ij.farkas.claim_weight = 0.0;
+  EXPECT_EQ(verifier_.Check(cd).code(), StatusCode::kInvalidArgument);
+
+  cd.cert_ij.farkas.claim_weight = 1.0;
+  cd.cert_ij.farkas.rows[0].weight = -1.0;
+  EXPECT_EQ(verifier_.Check(cd).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VerifierTest, FarkasRejectsClaimOnResolvedPair) {
+  // Deciding a pair that is already resolved cannot be a bound decision;
+  // checking such a certificate late (after resolution) must be flagged.
+  CertifiedDecision cd;
+  cd.decision = {DecisionVerb::kLessThan, true, 0, 1, kInvalidObject,
+                 kInvalidObject, 0.8};
+  cd.cert_ij.kind = BoundCertificate::Kind::kFarkas;
+  cd.cert_ij.farkas.claim_weight = 1.0;
+  cd.cert_ij.farkas.rows = {
+      {FarkasRow::Kind::kBoxUpper, 0, 1, 2, 1.0},
+  };
+  EXPECT_EQ(verifier_.Check(cd).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VerifierTest, DecisionWithoutCertificateIsInvalid) {
+  CertifiedDecision cd;
+  cd.decision = {DecisionVerb::kLessThan, true, 0, 2, kInvalidObject,
+                 kInvalidObject, 0.8};
+  EXPECT_EQ(verifier_.Check(cd).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// CertifyingBounder: the shim certifies real decisions and keeps a log.
+// ---------------------------------------------------------------------------
+
+TEST(CertifyingBounderTest, LogsVerifiedIntervalCertificates) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 16, 3);
+  SchemeOptions options;
+  StatusOr<std::unique_ptr<Bounder>> bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, stack.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  stack.bounder = std::move(bounder).value();
+
+  stack.resolver->Distance(0, 1);
+  stack.resolver->Distance(1, 2);
+
+  CertifyingResolver certifying(stack.resolver.get(), /*max_distance=*/1.0);
+  certifying.shim().set_keep_log(true);
+
+  // Distances are normalized into (0, 1], and ub(0,2) <= d(0,1) + d(1,2)
+  // <= 2, so this comparison is always bound-decided true.
+  EXPECT_TRUE(stack.resolver->LessThan(0, 2, 3.0));
+
+  const CertificationStats& stats = certifying.stats();
+  EXPECT_EQ(stats.emitted, 1u);
+  EXPECT_EQ(stats.verified, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.uncertified, 0u);
+
+  ASSERT_EQ(certifying.shim().log().size(), 1u);
+  const CertifiedDecision& cd = certifying.shim().log()[0];
+  EXPECT_EQ(cd.decision.verb, DecisionVerb::kLessThan);
+  EXPECT_TRUE(cd.decision.outcome);
+  EXPECT_EQ(cd.cert_ij.kind, BoundCertificate::Kind::kInterval);
+  EXPECT_TRUE(cd.cert_ij.has_upper);
+}
+
+TEST(CertifyingBounderTest, LogsVerifiedPairLessCertificates) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 16, 7);
+  SchemeOptions options;
+  StatusOr<std::unique_ptr<Bounder>> bounder =
+      MakeAndAttachScheme(SchemeKind::kSplub, stack.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  stack.bounder = std::move(bounder).value();
+  testing_util::ResolveRandomPairs(stack.resolver.get(), 60, 19);
+
+  CertifyingResolver certifying(stack.resolver.get(), /*max_distance=*/1.0);
+  certifying.shim().set_keep_log(true);
+
+  // Sweep pair-vs-pair comparisons where BOTH pairs are unresolved at call
+  // time — the only shape the resolver routes to DecidePairLess — until
+  // SPLUB separates some intervals. Each bound-decided PairLess must log
+  // one certificate per pair, both independently verified.
+  const ObjectId n = 16;
+  const PartialDistanceGraph* graph = stack.graph.get();
+  size_t pair_less_logged = 0;
+  for (ObjectId i = 0; i < n && pair_less_logged == 0; ++i) {
+    for (ObjectId j = i + 1; j < n && pair_less_logged == 0; ++j) {
+      if (graph->Has(i, j)) continue;
+      for (ObjectId k = 0; k < n && pair_less_logged == 0; ++k) {
+        for (ObjectId l = k + 1; l < n; ++l) {
+          if ((k == i && l == j) || graph->Has(k, l)) continue;
+          stack.resolver->PairLess(i, j, k, l);
+          for (const CertifiedDecision& cd : certifying.shim().log()) {
+            if (cd.decision.verb == DecisionVerb::kPairLess) {
+              ++pair_less_logged;
+              EXPECT_EQ(cd.cert_ij.kind, BoundCertificate::Kind::kInterval);
+              EXPECT_EQ(cd.cert_kl.kind, BoundCertificate::Kind::kInterval);
+            }
+          }
+          // An undecided comparison resolves (i, j) via the oracle; move on
+          // to the next left pair in that case.
+          if (graph->Has(i, j)) break;
+        }
+      }
+    }
+  }
+  const CertificationStats& stats = certifying.stats();
+  ASSERT_GT(pair_less_logged, 0u) << "no PairLess comparison was bound-decided";
+  EXPECT_EQ(stats.verified, stats.emitted);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(CertifyingBounderTest, RestoresInnerBounderOnDestruction) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 12, 5);
+  SchemeOptions options;
+  StatusOr<std::unique_ptr<Bounder>> bounder =
+      MakeAndAttachScheme(SchemeKind::kTri, stack.resolver.get(), options);
+  ASSERT_TRUE(bounder.ok()) << bounder.status();
+  stack.bounder = std::move(bounder).value();
+
+  {
+    CertifyingResolver certifying(stack.resolver.get(), 1.0);
+    EXPECT_EQ(certifying.shim().inner(), stack.bounder.get());
+  }
+  // After the shim is gone the resolver must keep working against the
+  // original scheme (a dangling shim pointer would crash here).
+  stack.resolver->Distance(0, 1);
+  EXPECT_TRUE(stack.resolver->LessThan(0, 1, 2.0));
+}
+
+// ---------------------------------------------------------------------------
+// Audit acceptance matrix: kNN-graph, Prim, Borůvka and PAM audited under
+// Tri, SPLUB and DFT. Every cell must verify 100% of its bound-decided
+// comparisons with byte-identical outputs and identical oracle_calls.
+// DFT solves one or two dense LPs per decision, so its cells run on small n.
+// ---------------------------------------------------------------------------
+
+struct NamedWorkload {
+  const char* name;
+  Workload fn;
+};
+
+std::vector<NamedWorkload> AcceptanceWorkloads() {
+  return {
+      {"knn", [](BoundedResolver* r) {
+         const KnnGraph g = BuildKnnGraph(r, {.k = 3});
+         double sum = 0.0;
+         for (const auto& neighbors : g) {
+           for (const KnnNeighbor& nb : neighbors) sum += nb.distance;
+         }
+         return sum;
+       }},
+      {"prim", [](BoundedResolver* r) { return PrimMst(r).total_weight; }},
+      {"boruvka",
+       [](BoundedResolver* r) { return BoruvkaMst(r).total_weight; }},
+      {"pam", [](BoundedResolver* r) {
+         return PamCluster(r, {.num_medoids = 3}).total_deviation;
+       }},
+  };
+}
+
+void RunAcceptanceCell(SchemeKind scheme, bool bootstrap, ObjectId n,
+                       uint64_t seed, const NamedWorkload& workload) {
+  SCOPED_TRACE(::testing::Message()
+               << SchemeKindName(scheme) << "/" << workload.name << " n=" << n
+               << " seed=" << seed);
+  const std::vector<double> metric =
+      testing_util::FamilyMetric(MetricFamily::kUniform, n, seed);
+  MatrixOracle oracle(metric, n);
+
+  WorkloadConfig config;
+  config.scheme = scheme;
+  config.bootstrap = bootstrap;
+  config.seed = seed;
+
+  const StatusOr<AuditReport> report =
+      AuditWorkload(&oracle, config, workload.fn);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->outputs_identical);
+  EXPECT_TRUE(report->calls_identical);
+  EXPECT_EQ(report->certification.failed, 0u)
+      << report->certification.first_failure;
+  EXPECT_EQ(report->certification.uncertified, 0u);
+  EXPECT_GT(report->certification.emitted, 0u);
+  EXPECT_EQ(report->certification.verified, report->certification.emitted);
+  EXPECT_TRUE(report->passed());
+}
+
+TEST(AuditAcceptanceTest, TriVerifiesAllWorkloads) {
+  for (const NamedWorkload& w : AcceptanceWorkloads()) {
+    RunAcceptanceCell(SchemeKind::kTri, /*bootstrap=*/true, 32, 11, w);
+  }
+}
+
+TEST(AuditAcceptanceTest, SplubVerifiesAllWorkloads) {
+  for (const NamedWorkload& w : AcceptanceWorkloads()) {
+    RunAcceptanceCell(SchemeKind::kSplub, /*bootstrap=*/true, 32, 11, w);
+  }
+}
+
+TEST(AuditAcceptanceTest, DftVerifiesAllWorkloads) {
+  // No bootstrap: landmark rows would inflate every LP. PAM runs at the
+  // smallest n (its SWAP phase is the LP-heaviest of the four workloads).
+  for (const NamedWorkload& w : AcceptanceWorkloads()) {
+    const ObjectId n = std::string_view(w.name) == "pam" ? 10 : 12;
+    RunAcceptanceCell(SchemeKind::kDft, /*bootstrap=*/false, n, 11, w);
+  }
+}
+
+TEST(AuditAcceptanceTest, AuditHoldsAcrossMetricFamilies) {
+  // The cheap schemes also audit cleanly on the clustered and
+  // near-degenerate families (exact ties are the dangerous regime for
+  // strict-inequality certificates).
+  const Workload prim = [](BoundedResolver* r) {
+    return PrimMst(r).total_weight;
+  };
+  for (MetricFamily family : kAllMetricFamilies) {
+    for (SchemeKind scheme : {SchemeKind::kTri, SchemeKind::kSplub}) {
+      SCOPED_TRACE(::testing::Message() << MetricFamilyName(family) << "/"
+                                        << SchemeKindName(scheme));
+      const std::vector<double> metric =
+          testing_util::FamilyMetric(family, 28, 23);
+      MatrixOracle oracle(metric, 28);
+      WorkloadConfig config;
+      config.scheme = scheme;
+      config.bootstrap = true;
+      const StatusOr<AuditReport> report =
+          AuditWorkload(&oracle, config, prim);
+      ASSERT_TRUE(report.ok()) << report.status();
+      EXPECT_TRUE(report->passed())
+          << report->certification.first_failure;
+      // Near-degenerate metrics can be all ties: the schemes then decide
+      // nothing and the audit legitimately emits zero certificates. The
+      // structured families must produce real decisions.
+      if (family != MetricFamily::kNearDegenerate) {
+        EXPECT_GT(report->certification.emitted, 0u);
+      }
+    }
+  }
+}
+
+TEST(AuditAcceptanceTest, UncertifiableSchemeCountsNotFails) {
+  // ADM has no certification support: its decisions land in `uncertified`,
+  // and the decision-parity half of the audit still passes.
+  const Workload prim = [](BoundedResolver* r) {
+    return PrimMst(r).total_weight;
+  };
+  const std::vector<double> metric =
+      testing_util::FamilyMetric(MetricFamily::kUniform, 24, 7);
+  MatrixOracle oracle(metric, 24);
+  WorkloadConfig config;
+  config.scheme = SchemeKind::kAdm;
+  config.bootstrap = true;
+  const StatusOr<AuditReport> report = AuditWorkload(&oracle, config, prim);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->passed());
+  EXPECT_EQ(report->certification.emitted, 0u);
+  EXPECT_GT(report->certification.uncertified, 0u);
+}
+
+TEST(AuditAcceptanceTest, RejectsConfigsWithAStore) {
+  // A store would let the audited pass replay the unaudited pass's edges
+  // with zero oracle calls, voiding the A-B comparison.
+  const std::vector<double> metric =
+      testing_util::FamilyMetric(MetricFamily::kUniform, 8, 1);
+  MatrixOracle oracle(metric, 8);
+  WorkloadConfig config;
+  config.store = reinterpret_cast<DistanceStore*>(0x1);  // never dereferenced
+  const StatusOr<AuditReport> report = AuditWorkload(
+      &oracle, config, [](BoundedResolver* r) { return PrimMst(r).total_weight; });
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,245 @@
+// Differential scheme-tightness tests: on the same resolved edge set the
+// schemes form a decision hierarchy — whatever Tri decides, SPLUB decides
+// the same way (its shortest paths subsume Tri's 2-hop paths), and whatever
+// SPLUB decides, DFT decides the same way (the LP contains every path and
+// wrap constraint). And no scheme, ever, decides against ground truth.
+//
+// Thresholds are kept >= 1e-3 away from every attainable interval bound and
+// from the true distance: DFT's simplex works with ~1e-7 feasibility
+// tolerances, so dominance at thresholds inside that band is not a property
+// the paper promises (the decision margin sends those to the oracle).
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bounds/adm.h"
+#include "bounds/dft.h"
+#include "bounds/laesa.h"
+#include "bounds/pivots.h"
+#include "bounds/scheme.h"
+#include "bounds/splub.h"
+#include "bounds/tri.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::GroundTruth;
+using testing_util::MakeFamilyStack;
+using testing_util::MetricFamily;
+using testing_util::ResolveRandomPairs;
+using testing_util::ResolverStack;
+
+/// One prepared comparison scenario: a stack with a partially resolved
+/// graph plus every bounder built over the same edge set.
+struct Scenario {
+  ResolverStack stack;
+  PivotTable table;
+  std::unique_ptr<TriBounder> tri;
+  std::unique_ptr<SplubBounder> splub;
+  std::unique_ptr<AdmBounder> adm;
+  std::unique_ptr<LaesaBounder> laesa;
+  std::unique_ptr<DftBounder> dft;
+  std::vector<double> truth;
+};
+
+Scenario MakeScenario(ObjectId n, uint64_t seed, size_t extra_pairs) {
+  Scenario s;
+  s.stack = MakeFamilyStack(MetricFamily::kUniform, n, seed);
+  BoundedResolver* r = s.stack.resolver.get();
+  // Landmark rows plus scattered extra pairs — the edge sets proximity
+  // algorithms actually produce.
+  s.table = SelectMaxMinPivots(
+      n, 3, [r](ObjectId a, ObjectId b) { return r->Distance(a, b); }, seed);
+  ResolveRandomPairs(r, extra_pairs, seed + 1);
+  const PartialDistanceGraph* graph = s.stack.graph.get();
+  s.tri = std::make_unique<TriBounder>(graph);
+  s.splub = std::make_unique<SplubBounder>(graph);
+  s.adm = std::make_unique<AdmBounder>(graph);
+  s.laesa = std::make_unique<LaesaBounder>(s.table);
+  s.dft = std::make_unique<DftBounder>(graph, 1.0);
+  s.truth = GroundTruth(s.stack.oracle.get());
+  return s;
+}
+
+/// Thresholds to probe for pair (i, j): a coarse global grid, minus any
+/// value within `gap` of an attainable bound or of the true distance.
+std::vector<double> SafeThresholds(const Scenario& s, ObjectId i, ObjectId j,
+                                   double gap = 1e-3) {
+  const ObjectId n = s.stack.graph->num_objects();
+  std::vector<double> anchors = {s.truth[i * n + j]};
+  for (Bounder* b :
+       {static_cast<Bounder*>(s.tri.get()), static_cast<Bounder*>(s.splub.get()),
+        static_cast<Bounder*>(s.adm.get()),
+        static_cast<Bounder*>(s.laesa.get())}) {
+    const Interval bounds = b->Bounds(i, j);
+    anchors.push_back(bounds.lo);
+    if (bounds.hi != kInfDistance) anchors.push_back(bounds.hi);
+  }
+  std::vector<double> out;
+  for (double t = 0.1; t < 1.35; t += 0.155) {
+    bool safe = true;
+    for (double a : anchors) {
+      if (std::abs(t - a) < gap) safe = false;
+    }
+    if (safe) out.push_back(t);
+  }
+  return out;
+}
+
+/// Unresolved pairs of the scenario's graph, in id order.
+std::vector<IdPair> UnresolvedPairs(const Scenario& s, size_t limit) {
+  std::vector<IdPair> pairs;
+  const ObjectId n = s.stack.graph->num_objects();
+  for (ObjectId i = 0; i < n && pairs.size() < limit; ++i) {
+    for (ObjectId j = i + 1; j < n && pairs.size() < limit; ++j) {
+      if (!s.stack.graph->Has(i, j)) pairs.push_back({i, j});
+    }
+  }
+  return pairs;
+}
+
+void ExpectDominates(const std::optional<bool>& weaker,
+                     const std::optional<bool>& stronger, const char* label,
+                     ObjectId i, ObjectId j, double t) {
+  if (!weaker.has_value()) return;
+  ASSERT_TRUE(stronger.has_value())
+      << label << " undecided where the weaker scheme decided: pair (" << i
+      << "," << j << ") t=" << t;
+  EXPECT_EQ(*stronger, *weaker)
+      << label << " contradicts the weaker scheme: pair (" << i << "," << j
+      << ") t=" << t;
+}
+
+TEST(SchemeDominanceTest, TriSubsetOfSplubOnLessAndGreater) {
+  for (uint64_t seed : {1ull, 5ull, 9ull}) {
+    Scenario s = MakeScenario(20, seed, 30);
+    for (const IdPair& p : UnresolvedPairs(s, 60)) {
+      for (double t : SafeThresholds(s, p.i, p.j)) {
+        ExpectDominates(s.tri->DecideLessThan(p.i, p.j, t),
+                        s.splub->DecideLessThan(p.i, p.j, t), "splub(<)",
+                        p.i, p.j, t);
+        ExpectDominates(s.tri->DecideGreaterThan(p.i, p.j, t),
+                        s.splub->DecideGreaterThan(p.i, p.j, t), "splub(>)",
+                        p.i, p.j, t);
+      }
+    }
+  }
+}
+
+TEST(SchemeDominanceTest, SplubSubsetOfDftOnLessAndGreater) {
+  // DFT decisions are LP solves, so this runs on a smaller instance.
+  Scenario s = MakeScenario(12, 3, 15);
+  for (const IdPair& p : UnresolvedPairs(s, 14)) {
+    for (double t : SafeThresholds(s, p.i, p.j)) {
+      ExpectDominates(s.splub->DecideLessThan(p.i, p.j, t),
+                      s.dft->DecideLessThan(p.i, p.j, t), "dft(<)", p.i, p.j,
+                      t);
+      ExpectDominates(s.splub->DecideGreaterThan(p.i, p.j, t),
+                      s.dft->DecideGreaterThan(p.i, p.j, t), "dft(>)", p.i,
+                      p.j, t);
+    }
+  }
+}
+
+TEST(SchemeDominanceTest, SplubIntervalsContainTriIntervals) {
+  // The interval form of dominance, checked densely (no thresholds needed):
+  // SPLUB's interval nests inside Tri's on every unresolved pair.
+  for (uint64_t seed : {2ull, 6ull}) {
+    Scenario s = MakeScenario(24, seed, 40);
+    for (const IdPair& p : UnresolvedPairs(s, 1000)) {
+      const Interval tri = s.tri->Bounds(p.i, p.j);
+      const Interval splub = s.splub->Bounds(p.i, p.j);
+      EXPECT_GE(splub.lo, tri.lo - 1e-12) << p.i << "," << p.j;
+      EXPECT_LE(splub.hi, tri.hi + 1e-12) << p.i << "," << p.j;
+    }
+  }
+}
+
+TEST(SchemeDominanceTest, NoSchemeContradictsGroundTruth) {
+  for (uint64_t seed : {4ull, 8ull}) {
+    Scenario s = MakeScenario(18, seed, 25);
+    const ObjectId n = s.stack.graph->num_objects();
+    struct Named {
+      const char* name;
+      Bounder* bounder;
+    };
+    const Named schemes[] = {
+        {"tri", s.tri.get()},     {"splub", s.splub.get()},
+        {"adm", s.adm.get()},     {"laesa", s.laesa.get()},
+    };
+    for (const IdPair& p : UnresolvedPairs(s, 40)) {
+      const double d = s.truth[p.i * n + p.j];
+      for (double t : SafeThresholds(s, p.i, p.j)) {
+        for (const Named& scheme : schemes) {
+          const std::optional<bool> less =
+              scheme.bounder->DecideLessThan(p.i, p.j, t);
+          if (less.has_value()) {
+            EXPECT_EQ(*less, d < t)
+                << scheme.name << " pair (" << p.i << "," << p.j
+                << ") t=" << t << " true d=" << d;
+          }
+          const std::optional<bool> greater =
+              scheme.bounder->DecideGreaterThan(p.i, p.j, t);
+          if (greater.has_value()) {
+            EXPECT_EQ(*greater, d > t)
+                << scheme.name << " pair (" << p.i << "," << p.j
+                << ") t=" << t << " true d=" << d;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SchemeDominanceTest, DftDoesNotContradictGroundTruth) {
+  Scenario s = MakeScenario(12, 7, 15);
+  const ObjectId n = s.stack.graph->num_objects();
+  for (const IdPair& p : UnresolvedPairs(s, 12)) {
+    const double d = s.truth[p.i * n + p.j];
+    for (double t : SafeThresholds(s, p.i, p.j)) {
+      const std::optional<bool> less = s.dft->DecideLessThan(p.i, p.j, t);
+      if (less.has_value()) {
+        EXPECT_EQ(*less, d < t) << "dft pair (" << p.i << "," << p.j
+                                << ") t=" << t << " true d=" << d;
+      }
+    }
+  }
+}
+
+TEST(SchemeDominanceTest, DftPairLessAgreesWithSplubAndTruth) {
+  Scenario s = MakeScenario(12, 11, 15);
+  const ObjectId n = s.stack.graph->num_objects();
+  const std::vector<IdPair> pairs = UnresolvedPairs(s, 8);
+  for (size_t a = 0; a < pairs.size(); ++a) {
+    for (size_t b = a + 1; b < pairs.size(); ++b) {
+      const IdPair& ij = pairs[a];
+      const IdPair& kl = pairs[b];
+      const double dij = s.truth[ij.i * n + ij.j];
+      const double dkl = s.truth[kl.i * n + kl.j];
+      // Stay out of the LP tolerance band around equality.
+      if (std::abs(dij - dkl) < 1e-3) continue;
+      const std::optional<bool> splub =
+          s.splub->DecidePairLess(ij.i, ij.j, kl.i, kl.j);
+      const std::optional<bool> dft =
+          s.dft->DecidePairLess(ij.i, ij.j, kl.i, kl.j);
+      if (dft.has_value()) {
+        EXPECT_EQ(*dft, dij < dkl)
+            << "(" << ij.i << "," << ij.j << ") vs (" << kl.i << "," << kl.j
+            << ")";
+      }
+      if (splub.has_value()) {
+        ASSERT_TRUE(dft.has_value())
+            << "dft undecided where splub decided: (" << ij.i << "," << ij.j
+            << ") vs (" << kl.i << "," << kl.j << ")";
+        EXPECT_EQ(*dft, *splub);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,316 @@
+// Deterministic fuzz tests for DistanceStore's WAL recovery: seeded
+// truncations, bit flips and record splices applied to a real WAL file.
+// The contract under any corruption is
+//   * Open() never crashes — it returns OK or a clean Status;
+//   * a recovered store never serves a wrong edge (every surviving record
+//     matches the generating metric exactly);
+//   * truncation and in-record corruption recover exactly the longest valid
+//     record prefix;
+//   * snapshot corruption is a clean, explicit error.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/logging.h"
+#include "core/status.h"
+#include "store/distance_store.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::FamilyMetric;
+using testing_util::MetricFamily;
+
+constexpr ObjectId kN = 16;
+constexpr size_t kWalHeaderSize = 24;  // mirrors store/distance_store.cc
+constexpr size_t kWalRecordSize = 20;
+
+// ctest runs every test case as its own process of this binary, in
+// parallel — paths must be unique per case, not just per binary.
+std::string FreshPath(const std::string& name) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string base = ::testing::TempDir() + "/" + name + "_" +
+                           (info ? info->name() : "setup");
+  std::filesystem::remove(DistanceStore::SnapshotPath(base));
+  std::filesystem::remove(DistanceStore::WalPath(base));
+  return base;
+}
+
+std::vector<char> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The shared fuzz corpus: a WAL holding `kRecords` appends, in a known
+/// order, from a known metric.
+class WalFuzzTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRecords = 40;
+
+  WalFuzzTest()
+      : truth_(FamilyMetric(MetricFamily::kUniform, kN, 3)),
+        fp_(MakeStoreFingerprint("fuzz;n=16;seed=3", kN)) {
+    const std::string base = FreshPath("walfuzz_corpus");
+    StoreOptions options;
+    options.compact_on_close = false;  // keep every record in the WAL
+    options.fsync_every = 0;
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(base, fp_, options);
+    CHECK(store.ok()) << store.status();
+    for (ObjectId i = 0; i < kN && edges_.size() < kRecords; ++i) {
+      for (ObjectId j = i + 1; j < kN && edges_.size() < kRecords; ++j) {
+        CHECK((*store)->Record(i, j, truth_[i * kN + j]).ok());
+        edges_.push_back({i, j, truth_[i * kN + j]});
+      }
+    }
+    CHECK((*store)->Close().ok());
+    wal_bytes_ = ReadFile(DistanceStore::WalPath(base));
+    CHECK_EQ(wal_bytes_.size(), kWalHeaderSize + kRecords * kWalRecordSize);
+  }
+
+  /// Opens a store over `bytes` written as a fresh WAL (no snapshot).
+  StatusOr<std::unique_ptr<DistanceStore>> OpenMutated(
+      const std::vector<char>& bytes, bool read_only) {
+    const std::string base = FreshPath("walfuzz_case");
+    WriteFile(DistanceStore::WalPath(base), bytes);
+    StoreOptions options;
+    options.read_only = read_only;
+    options.compact_on_close = false;
+    return DistanceStore::Open(base, fp_, options);
+  }
+
+  /// Asserts the corruption contract on one mutated WAL image. Returns the
+  /// number of recovered edges when Open succeeded, or -1 on a clean error.
+  int CheckContract(const std::vector<char>& bytes, bool read_only) {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        OpenMutated(bytes, read_only);
+    if (!store.ok()) {
+      // Clean, typed failure — never a crash, never an OK store with bad
+      // data. IoError never applies here (the file exists and is readable).
+      EXPECT_TRUE(store.status().code() == StatusCode::kInvalidArgument ||
+                  store.status().code() == StatusCode::kFailedPrecondition)
+          << store.status();
+      return -1;
+    }
+    for (const WeightedEdge& e : (*store)->Edges()) {
+      EXPECT_EQ(e.weight, truth_[e.u * kN + e.v])
+          << "wrong edge (" << e.u << "," << e.v << ") served after recovery";
+    }
+    return static_cast<int>((*store)->size());
+  }
+
+  std::vector<double> truth_;
+  StoreFingerprint fp_;
+  std::vector<WeightedEdge> edges_;
+  std::vector<char> wal_bytes_;
+};
+
+TEST_F(WalFuzzTest, TruncationRecoversLongestValidPrefix) {
+  // Every truncation length, including mid-header and mid-record cuts.
+  for (size_t len = 0; len <= wal_bytes_.size(); ++len) {
+    std::vector<char> cut(wal_bytes_.begin(), wal_bytes_.begin() + len);
+    const bool read_only = (len % 2) == 0;  // alternate both open modes
+    const int recovered = CheckContract(cut, read_only);
+    if (len < kWalHeaderSize) {
+      // Torn header: salvaged as an empty store, not an error.
+      ASSERT_EQ(recovered, 0) << "len=" << len;
+      continue;
+    }
+    const int full = static_cast<int>((len - kWalHeaderSize) / kWalRecordSize);
+    ASSERT_EQ(recovered, full) << "len=" << len;
+  }
+}
+
+TEST_F(WalFuzzTest, TruncatedTailIsRepairedAndReopensClean) {
+  // A writable open truncates the torn tail; the next open must see a
+  // pristine WAL with the same prefix and zero torn bytes.
+  const size_t cut_len = kWalHeaderSize + 7 * kWalRecordSize + 11;
+  const std::string base = FreshPath("walfuzz_repair");
+  WriteFile(DistanceStore::WalPath(base),
+            std::vector<char>(wal_bytes_.begin(), wal_bytes_.begin() + cut_len));
+  StoreOptions options;
+  options.compact_on_close = false;
+  {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(base, fp_, options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    EXPECT_EQ((*store)->size(), 7u);
+    EXPECT_EQ((*store)->counters().torn_bytes_discarded, 11u);
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  EXPECT_EQ(std::filesystem::file_size(DistanceStore::WalPath(base)),
+            kWalHeaderSize + 7 * kWalRecordSize);
+  StatusOr<std::unique_ptr<DistanceStore>> again =
+      DistanceStore::Open(base, fp_, options);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ((*again)->size(), 7u);
+  EXPECT_EQ((*again)->counters().torn_bytes_discarded, 0u);
+}
+
+TEST_F(WalFuzzTest, SingleBitFlipsNeverServeWrongEdges) {
+  // CRC32 detects every single-bit error, so a flip either breaks the
+  // header (clean error) or marks its record as the start of the torn tail
+  // (prefix recovery). Seeded positions cover header, body and CRC bytes.
+  std::mt19937_64 rng(2024);
+  for (int iter = 0; iter < 120; ++iter) {
+    const size_t pos = rng() % wal_bytes_.size();
+    const int bit = static_cast<int>(rng() % 8);
+    std::vector<char> flipped = wal_bytes_;
+    flipped[pos] = static_cast<char>(flipped[pos] ^ (1 << bit));
+    const int recovered = CheckContract(flipped, /*read_only=*/true);
+    if (pos < kWalHeaderSize) {
+      EXPECT_EQ(recovered, -1) << "header flip at " << pos << " not rejected";
+    } else {
+      const int hit = static_cast<int>((pos - kWalHeaderSize) / kWalRecordSize);
+      EXPECT_EQ(recovered, hit)
+          << "flip at byte " << pos << " bit " << bit << " of record " << hit;
+    }
+  }
+}
+
+TEST_F(WalFuzzTest, RandomByteSplicesNeverCrashNorServeWrongEdges) {
+  // Insert, delete or overwrite a random run of bytes at a random offset.
+  // Whatever happens, the contract holds: clean status or truth-only edges.
+  std::mt19937_64 rng(77);
+  for (int iter = 0; iter < 150; ++iter) {
+    std::vector<char> bytes = wal_bytes_;
+    const size_t pos = kWalHeaderSize + rng() % (bytes.size() - kWalHeaderSize);
+    const size_t len = 1 + rng() % 24;
+    switch (rng() % 3) {
+      case 0: {  // insert garbage
+        std::vector<char> junk(len);
+        for (char& c : junk) c = static_cast<char>(rng());
+        bytes.insert(bytes.begin() + pos, junk.begin(), junk.end());
+        break;
+      }
+      case 1:  // delete a run
+        bytes.erase(bytes.begin() + pos,
+                    bytes.begin() + std::min(bytes.size(), pos + len));
+        break;
+      default:  // overwrite in place
+        for (size_t b = pos; b < std::min(bytes.size(), pos + len); ++b) {
+          bytes[b] = static_cast<char>(rng());
+        }
+        break;
+    }
+    CheckContract(bytes, (iter % 2) == 0);
+  }
+}
+
+TEST_F(WalFuzzTest, DuplicateRecordSpliceIsIdempotent) {
+  // Re-inserting a copy of an existing record at a record boundary keeps
+  // every CRC aligned and valid; replay dedups it and recovers everything.
+  std::vector<char> bytes = wal_bytes_;
+  const size_t src = kWalHeaderSize + 4 * kWalRecordSize;
+  const std::vector<char> record(bytes.begin() + src,
+                                 bytes.begin() + src + kWalRecordSize);
+  const size_t dst = kWalHeaderSize + 20 * kWalRecordSize;
+  bytes.insert(bytes.begin() + dst, record.begin(), record.end());
+  const int recovered = CheckContract(bytes, /*read_only=*/true);
+  EXPECT_EQ(recovered, static_cast<int>(kRecords));
+}
+
+TEST_F(WalFuzzTest, ConflictingRecordSpliceIsACleanError) {
+  // Splice in records from a *different* metric with the same fingerprint:
+  // their CRCs are valid, but the first pair that collides with a different
+  // distance must be rejected, not silently accepted.
+  const std::string base = FreshPath("walfuzz_conflict");
+  const std::vector<double> other = FamilyMetric(MetricFamily::kUniform, kN, 4);
+  StoreOptions options;
+  options.compact_on_close = false;
+  {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(base, fp_, options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->Record(0, 1, other[0 * kN + 1]).ok());
+    ASSERT_TRUE((*store)->Close().ok());
+  }
+  const std::vector<char> other_wal = ReadFile(DistanceStore::WalPath(base));
+  std::vector<char> spliced = wal_bytes_;
+  spliced.insert(spliced.end(), other_wal.begin() + kWalHeaderSize,
+                 other_wal.end());
+  StatusOr<std::unique_ptr<DistanceStore>> store =
+      OpenMutated(spliced, /*read_only=*/true);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WalFuzzTest, ForeignFingerprintIsRefused) {
+  const std::string base = FreshPath("walfuzz_foreign");
+  WriteFile(DistanceStore::WalPath(base), wal_bytes_);
+  StoreOptions options;
+  options.read_only = true;
+  const StatusOr<std::unique_ptr<DistanceStore>> store = DistanceStore::Open(
+      base, MakeStoreFingerprint("fuzz;n=16;seed=4", kN), options);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotFuzzTest, CorruptedSnapshotsAreCleanErrors) {
+  // Build a compacted store (snapshot + empty WAL), then corrupt the
+  // snapshot: flips and truncations must surface as InvalidArgument, never
+  // as an OK store over damaged data.
+  const std::vector<double> truth = FamilyMetric(MetricFamily::kUniform, kN, 9);
+  const StoreFingerprint fp = MakeStoreFingerprint("snapfuzz;n=16;seed=9", kN);
+  const std::string base = FreshPath("snapfuzz_corpus");
+  {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(base, fp, {});
+    ASSERT_TRUE(store.ok()) << store.status();
+    for (ObjectId i = 0; i < kN; ++i) {
+      for (ObjectId j = i + 1; j < kN && j < i + 4; ++j) {
+        ASSERT_TRUE((*store)->Record(i, j, truth[i * kN + j]).ok());
+      }
+    }
+    ASSERT_TRUE((*store)->Close().ok());  // compacts into the snapshot
+  }
+  const std::vector<char> snap = ReadFile(DistanceStore::SnapshotPath(base));
+  ASSERT_GT(snap.size(), 32u);
+
+  std::mt19937_64 rng(5);
+  const std::string case_base = FreshPath("snapfuzz_case");
+  StoreOptions read_only;
+  read_only.read_only = true;
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<char> bytes = snap;
+    if (iter % 2 == 0) {
+      const size_t pos = rng() % bytes.size();
+      bytes[pos] = static_cast<char>(bytes[pos] ^ (1 << (rng() % 8)));
+    } else {
+      bytes.resize(rng() % bytes.size());
+    }
+    std::filesystem::remove(DistanceStore::WalPath(case_base));
+    WriteFile(DistanceStore::SnapshotPath(case_base), bytes);
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(case_base, fp, read_only);
+    if (store.ok()) {
+      // Only possible if the mutation left the snapshot fully valid — then
+      // every edge must still match the truth.
+      for (const WeightedEdge& e : (*store)->Edges()) {
+        ASSERT_EQ(e.weight, truth[e.u * kN + e.v]);
+      }
+    } else {
+      EXPECT_TRUE(store.status().code() == StatusCode::kInvalidArgument ||
+                  store.status().code() == StatusCode::kFailedPrecondition ||
+                  store.status().code() == StatusCode::kNotFound)
+          << store.status();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,14 +1,25 @@
 #include "data/synthetic.h"
 
 #include <cmath>
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
 
 #include "oracle/matrix_oracle.h"
+#include "tests/test_util.h"
 
 namespace metricprox {
 namespace {
+
+using testing_util::FamilyMetric;
+using testing_util::kAllMetricFamilies;
+using testing_util::MetricFamily;
+using testing_util::MetricFamilyName;
+
+// ---------------------------------------------------------------------------
+// Generator shape checks (cheap invariants of the point/string generators).
+// ---------------------------------------------------------------------------
 
 TEST(SyntheticTest, UniformPointsShapeAndRange) {
   const PointSet points = UniformPoints(50, 3, 10.0, 1);
@@ -63,21 +74,6 @@ TEST(SyntheticTest, DnaStringsDistinctAndAlphabetRestricted) {
   }
 }
 
-TEST(SyntheticTest, RandomShortestPathMetricIsAValidMetric) {
-  for (uint64_t seed : {1ull, 2ull, 3ull}) {
-    std::vector<double> m = RandomShortestPathMetric(16, 0.9, seed);
-    auto oracle = MatrixOracle::Create(std::move(m), 16);
-    ASSERT_TRUE(oracle.ok()) << oracle.status();
-  }
-}
-
-TEST(SyntheticTest, RandomMetricNormalizedToUnitDiameter) {
-  const std::vector<double> m = RandomShortestPathMetric(12, 0.9, 4);
-  double max = 0.0;
-  for (double v : m) max = std::max(max, v);
-  EXPECT_DOUBLE_EQ(max, 1.0);
-}
-
 TEST(SyntheticTest, LowRoughnessStaysNearUniform) {
   // roughness -> 0 gives nearly-equal weights, so closure rarely shortcuts:
   // all distances should stay within the raw band [1-r, 1+r] normalized.
@@ -87,6 +83,124 @@ TEST(SyntheticTest, LowRoughnessStaysNearUniform) {
       if (i == j) continue;
       EXPECT_GT(m[i * 10 + j], 0.8);
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests over the metric families: each property is checked for
+// every (family, seed) combination, not a single hand-picked instance.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kSeeds[] = {1, 2, 3, 17, 99};
+constexpr ObjectId kPropertyN = 14;
+
+TEST(MetricFamilyProperty, IsAValidMetric) {
+  // MatrixOracle::Create validates symmetry, identity, positivity and the
+  // triangle inequality; a non-OK status names the violated axiom.
+  for (MetricFamily family : kAllMetricFamilies) {
+    for (uint64_t seed : kSeeds) {
+      std::vector<double> m = FamilyMetric(family, kPropertyN, seed);
+      auto oracle = MatrixOracle::Create(std::move(m), kPropertyN);
+      ASSERT_TRUE(oracle.ok()) << MetricFamilyName(family) << " seed " << seed
+                               << ": " << oracle.status();
+    }
+  }
+}
+
+TEST(MetricFamilyProperty, TriangleInequalityExplicit) {
+  // Belt and braces: re-check the axiom with an explicit triple loop so the
+  // property does not depend on MatrixOracle's validator.
+  const ObjectId n = kPropertyN;
+  for (MetricFamily family : kAllMetricFamilies) {
+    for (uint64_t seed : kSeeds) {
+      const std::vector<double> m = FamilyMetric(family, n, seed);
+      for (ObjectId i = 0; i < n; ++i) {
+        for (ObjectId j = 0; j < n; ++j) {
+          for (ObjectId k = 0; k < n; ++k) {
+            ASSERT_LE(m[i * n + j], m[i * n + k] + m[k * n + j] + 1e-12)
+                << MetricFamilyName(family) << " seed " << seed << " triple ("
+                << i << "," << j << "," << k << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MetricFamilyProperty, UnitDiameterAndPositive) {
+  const ObjectId n = kPropertyN;
+  for (MetricFamily family : kAllMetricFamilies) {
+    for (uint64_t seed : kSeeds) {
+      const std::vector<double> m = FamilyMetric(family, n, seed);
+      double diameter = 0.0;
+      for (ObjectId i = 0; i < n; ++i) {
+        for (ObjectId j = 0; j < n; ++j) {
+          if (i == j) {
+            ASSERT_EQ(m[i * n + j], 0.0);
+          } else {
+            ASSERT_GT(m[i * n + j], 0.0)
+                << MetricFamilyName(family) << " seed " << seed;
+          }
+          diameter = std::max(diameter, m[i * n + j]);
+        }
+      }
+      EXPECT_DOUBLE_EQ(diameter, 1.0)
+          << MetricFamilyName(family) << " seed " << seed;
+    }
+  }
+}
+
+TEST(MetricFamilyProperty, DeterministicPerSeedDistinctAcrossSeeds) {
+  for (MetricFamily family : kAllMetricFamilies) {
+    EXPECT_EQ(FamilyMetric(family, kPropertyN, 7),
+              FamilyMetric(family, kPropertyN, 7))
+        << MetricFamilyName(family);
+    EXPECT_NE(FamilyMetric(family, kPropertyN, 7),
+              FamilyMetric(family, kPropertyN, 8))
+        << MetricFamilyName(family);
+  }
+}
+
+TEST(MetricFamilyProperty, ClusteredFamilyHasBlockStructure) {
+  // Intra-cluster distances (i % k == j % k, matching the generator's
+  // assignment) must sit well below inter-cluster ones on every seed.
+  const ObjectId n = 24;
+  const ObjectId k = std::max<ObjectId>(2, n / 6);
+  for (uint64_t seed : kSeeds) {
+    const std::vector<double> m =
+        FamilyMetric(MetricFamily::kClustered, n, seed);
+    double max_intra = 0.0;
+    double min_inter = 1e300;
+    for (ObjectId i = 0; i < n; ++i) {
+      for (ObjectId j = i + 1; j < n; ++j) {
+        if (i % k == j % k) {
+          max_intra = std::max(max_intra, m[i * n + j]);
+        } else {
+          min_inter = std::min(min_inter, m[i * n + j]);
+        }
+      }
+    }
+    EXPECT_LT(max_intra * 2.0, min_inter) << "seed " << seed;
+  }
+}
+
+TEST(MetricFamilyProperty, NearDegenerateFamilyHasManyExactTies) {
+  // The quantized generator should produce many pairs of pairs at exactly
+  // the same distance — the regime the family exists to stress.
+  const ObjectId n = kPropertyN;
+  for (uint64_t seed : kSeeds) {
+    const std::vector<double> m =
+        FamilyMetric(MetricFamily::kNearDegenerate, n, seed);
+    std::map<double, int> counts;
+    for (ObjectId i = 0; i < n; ++i) {
+      for (ObjectId j = i + 1; j < n; ++j) ++counts[m[i * n + j]];
+    }
+    int tied_pairs = 0;
+    for (const auto& [value, count] : counts) {
+      if (count > 1) tied_pairs += count;
+    }
+    const int total_pairs = n * (n - 1) / 2;
+    EXPECT_GT(tied_pairs * 2, total_pairs) << "seed " << seed;
   }
 }
 

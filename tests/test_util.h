@@ -1,6 +1,7 @@
 #ifndef METRICPROX_TESTS_TEST_UTIL_H_
 #define METRICPROX_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <memory>
 #include <random>
 #include <vector>
@@ -29,6 +30,114 @@ inline ResolverStack MakeRandomStack(ObjectId n, uint64_t seed,
   ResolverStack stack;
   stack.oracle = std::make_unique<MatrixOracle>(
       RandomShortestPathMetric(n, roughness, seed), n);
+  stack.graph = std::make_unique<PartialDistanceGraph>(n);
+  stack.resolver =
+      std::make_unique<BoundedResolver>(stack.oracle.get(), stack.graph.get());
+  return stack;
+}
+
+/// Families of random metrics for property-based tests. Every family goes
+/// through a shortest-path closure, so the output is always a valid metric,
+/// normalized to unit diameter. The families stress different regimes:
+///   kUniform        — i.i.d. rough weights; generic position, few ties.
+///   kClustered      — tight blocks far apart; the structure LAESA-style
+///                     pivots and clustering workloads exploit.
+///   kNearDegenerate — quantized near-equal weights; many exact ties and
+///                     razor-thin decision margins.
+enum class MetricFamily { kUniform, kClustered, kNearDegenerate };
+
+inline constexpr MetricFamily kAllMetricFamilies[] = {
+    MetricFamily::kUniform,
+    MetricFamily::kClustered,
+    MetricFamily::kNearDegenerate,
+};
+
+inline const char* MetricFamilyName(MetricFamily family) {
+  switch (family) {
+    case MetricFamily::kUniform:
+      return "uniform";
+    case MetricFamily::kClustered:
+      return "clustered";
+    case MetricFamily::kNearDegenerate:
+      return "near-degenerate";
+  }
+  return "?";
+}
+
+/// In-place Floyd–Warshall closure followed by unit-diameter normalization.
+/// Turns any symmetric, positively weighted complete graph into a metric
+/// (closure only shortens, so positivity survives).
+inline void CloseAndNormalizeMetric(std::vector<double>* d, ObjectId n) {
+  std::vector<double>& m = *d;
+  for (ObjectId k = 0; k < n; ++k) {
+    for (ObjectId i = 0; i < n; ++i) {
+      const double dik = m[i * n + k];
+      for (ObjectId j = 0; j < n; ++j) {
+        const double via = dik + m[k * n + j];
+        if (via < m[i * n + j]) m[i * n + j] = via;
+      }
+    }
+  }
+  double diameter = 0.0;
+  for (double v : m) diameter = std::max(diameter, v);
+  for (double& v : m) v /= diameter;
+}
+
+/// Dense n*n metric from one of the three families, deterministic per
+/// (family, n, seed).
+inline std::vector<double> FamilyMetric(MetricFamily family, ObjectId n,
+                                        uint64_t seed) {
+  switch (family) {
+    case MetricFamily::kUniform:
+      return RandomShortestPathMetric(n, 0.9, seed);
+    case MetricFamily::kClustered: {
+      // Points fall into ~n/6 tight clusters; intra-cluster raw weights are
+      // an order of magnitude below inter-cluster ones, and the closure
+      // preserves that gap (an inter path must cross between clusters).
+      const ObjectId k = std::max<ObjectId>(2, n / 6);
+      std::mt19937_64 rng(seed);
+      std::uniform_real_distribution<double> intra(0.02, 0.08);
+      std::uniform_real_distribution<double> inter(0.8, 1.2);
+      std::vector<ObjectId> cluster(n);
+      for (ObjectId i = 0; i < n; ++i) cluster[i] = i % k;
+      std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+      for (ObjectId i = 0; i < n; ++i) {
+        for (ObjectId j = i + 1; j < n; ++j) {
+          const double w =
+              cluster[i] == cluster[j] ? intra(rng) : inter(rng);
+          d[i * n + j] = w;
+          d[j * n + i] = w;
+        }
+      }
+      CloseAndNormalizeMetric(&d, n);
+      return d;
+    }
+    case MetricFamily::kNearDegenerate: {
+      // Raw weights quantized to a 0.01 grid in [0.90, 1.10]: lots of exact
+      // ties and near-zero comparison margins, the regime where sloppy
+      // tie-breaking or epsilon misuse in bound schemes shows up.
+      std::mt19937_64 rng(seed);
+      std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+      for (ObjectId i = 0; i < n; ++i) {
+        for (ObjectId j = i + 1; j < n; ++j) {
+          const double w = 0.90 + 0.01 * static_cast<double>(rng() % 21);
+          d[i * n + j] = w;
+          d[j * n + i] = w;
+        }
+      }
+      CloseAndNormalizeMetric(&d, n);
+      return d;
+    }
+  }
+  return {};
+}
+
+/// ResolverStack over a family metric (the property-test workhorse).
+inline ResolverStack MakeFamilyStack(MetricFamily family, ObjectId n,
+                                     uint64_t seed) {
+  ResolverStack stack;
+  stack.oracle =
+      std::make_unique<MatrixOracle>(FamilyMetric(family, n, seed), n);
   stack.graph = std::make_unique<PartialDistanceGraph>(n);
   stack.resolver =
       std::make_unique<BoundedResolver>(stack.oracle.get(), stack.graph.get());

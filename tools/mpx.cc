@@ -17,6 +17,11 @@
 //   --landmarks=<k>          0 = ceil(log2 n)
 //   --oracle-cost=<seconds>  simulated per-call latency
 //   --verify                 wrap the oracle in metric-axiom spot checks
+//   --audit                  run twice — bare, then with decision
+//                            certification on — and assert byte-identical
+//                            outputs, identical oracle calls and zero failed
+//                            certificates (docs/ARCHITECTURE.md,
+//                            "Verification & audit mode")
 //   --save-graph=<path>      checkpoint resolved distances afterwards
 //   --load-graph=<path>      start from a checkpoint (same dataset/seed!)
 //   --threads=<k>            cap parallel batch workers (0 = env/hardware)
@@ -47,9 +52,11 @@
 //   mpx store verify  --store=<path>    validate headers and CRCs end to end
 //   mpx store compact --store=<path>    fold the WAL into the snapshot
 
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -67,6 +74,7 @@
 #include "bounds/pivots.h"
 #include "bounds/resolver.h"
 #include "bounds/scheme.h"
+#include "check/certify.h"
 #include "core/stats.h"
 #include "data/datasets.h"
 #include "graph/graph_io.h"
@@ -160,6 +168,12 @@ void PrintStats(const ResolverStats& s, ObjectId n, double oracle_cost,
         .AddCell("retry backoff (s)")
         .AddDouble(s.retry_backoff_seconds, 4);
   }
+  if (s.certs_emitted > 0 || s.certs_uncertified > 0) {
+    table.NewRow().AddCell("certs emitted").AddUint(s.certs_emitted);
+    table.NewRow().AddCell("certs verified").AddUint(s.certs_verified);
+    table.NewRow().AddCell("certs failed").AddUint(s.certs_failed);
+    table.NewRow().AddCell("certs uncertified").AddUint(s.certs_uncertified);
+  }
   if (have_store) {
     table.NewRow().AddCell("store hits").AddUint(s.store_hits);
     table.NewRow().AddCell("store misses").AddUint(s.store_misses);
@@ -182,7 +196,8 @@ void PrintStats(const ResolverStats& s, ObjectId n, double oracle_cost,
 }
 
 int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
-               uint64_t seed, BoundedResolver* resolver_ptr);
+               uint64_t seed, BoundedResolver* resolver_ptr, bool quiet,
+               double* checksum);
 
 int Run(const std::string& command, const Flags& flags) {
   const int64_t n_raw = flags.GetInt("n", 256);
@@ -195,6 +210,7 @@ int Run(const std::string& command, const Flags& flags) {
   const int64_t landmarks_raw = flags.GetInt("landmarks", 0);
   const double oracle_cost = flags.GetDouble("oracle-cost", 0.0);
   const bool verify = flags.GetBool("verify", false);
+  const bool audit = flags.GetBool("audit", false);
   const std::string save_graph = flags.GetString("save-graph", "");
   const std::string load_graph = flags.GetString("load-graph", "");
   const int64_t threads_raw = flags.GetInt("threads", 0);
@@ -252,6 +268,12 @@ int Run(const std::string& command, const Flags& flags) {
   if (store_no_warm_start && store_path.empty()) {
     return Fail("--store-no-warm-start requires --store=<path>");
   }
+  if (audit && !store_path.empty()) {
+    return Fail(
+        "--audit cannot be combined with --store: the unaudited pass would "
+        "warm the store and the audited pass would replay it with zero "
+        "oracle calls, voiding the A-B comparison");
+  }
 
   const uint32_t landmarks = static_cast<uint32_t>(landmarks_raw);
   const unsigned threads = static_cast<unsigned>(threads_raw);
@@ -303,74 +325,159 @@ int Run(const std::string& command, const Flags& flags) {
   }
   if (threads > 0) top->set_batch_workers(threads);
 
-  PartialDistanceGraph graph(n);
-  if (!load_graph.empty()) {
-    StatusOr<PartialDistanceGraph> loaded = LoadGraph(load_graph);
-    if (!loaded.ok()) return Fail(loaded.status().ToString());
-    if (loaded->num_objects() != n) {
-      return Fail("checkpoint has a different object count");
-    }
-    graph = std::move(*loaded);
-    std::printf("resumed %zu resolved distances from %s\n",
-                graph.num_edges(), load_graph.c_str());
-  }
-  uint64_t warm_loaded = 0;
-  if (store != nullptr && !store_no_warm_start) {
-    const std::vector<WeightedEdge> warm = store->Edges();
-    graph.InsertEdges(warm);
-    warm_loaded = warm.size();
-    if (warm_loaded > 0) {
-      std::printf("warm start: %llu stored distances from %s\n",
-                  static_cast<unsigned long long>(warm_loaded),
-                  store_path.c_str());
-    }
-  }
-  BoundedResolver resolver(top, &graph);
-
-  std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu\n",
+  std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu%s\n",
               command.c_str(), dataset->name.c_str(), n,
               SchemeKindName(*scheme).data(), bootstrap ? "+bootstrap" : "",
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed),
+              audit ? " audit=on" : "");
 
-  // Everything that can reach the oracle — bootstrap, scheme construction
-  // and the command itself — runs inside the fallible scope, so an oracle
-  // whose retries or deadline are exhausted produces an error exit instead
-  // of an abort.
-  Stopwatch watch;
-  int exit_code = 0;
-  std::unique_ptr<Bounder> bounder_keepalive;
-  const StatusOr<double> outcome = resolver.RunFallible([&](
-      BoundedResolver*) -> double {
-    if (bootstrap) {
-      BootstrapWithLandmarks(
-          &resolver, landmarks > 0 ? landmarks : DefaultNumLandmarks(n),
-          seed);
+  uint64_t warm_loaded = 0;
+  // One full execution of the command from a fresh graph. Everything that
+  // can reach the oracle — bootstrap, scheme construction and the command
+  // itself — runs inside the fallible scope, so an oracle whose retries or
+  // deadline are exhausted produces an error exit instead of an abort.
+  // With `with_cert`, a CertifyingResolver wraps the scheme for the
+  // duration of the command.
+  const auto execute_pass =
+      [&](bool with_cert, bool quiet, PartialDistanceGraph* graph_out,
+          ResolverStats* stats_out, CertificationStats* cert_out,
+          double* checksum_out, double* wall_out) -> int {
+    PartialDistanceGraph graph(n);
+    if (!load_graph.empty()) {
+      StatusOr<PartialDistanceGraph> loaded = LoadGraph(load_graph);
+      if (!loaded.ok()) return Fail(loaded.status().ToString());
+      if (loaded->num_objects() != n) {
+        return Fail("checkpoint has a different object count");
+      }
+      graph = std::move(*loaded);
+      if (!quiet) {
+        std::printf("resumed %zu resolved distances from %s\n",
+                    graph.num_edges(), load_graph.c_str());
+      }
     }
-    SchemeOptions options;
-    options.num_landmarks = landmarks;
-    options.max_distance = dataset->max_distance;
-    options.seed = seed;
-    auto bounder = MakeAndAttachScheme(*scheme, &resolver, options);
-    if (!bounder.ok()) {
-      exit_code = Fail(bounder.status().ToString());
+    if (store != nullptr && !store_no_warm_start) {
+      const std::vector<WeightedEdge> warm = store->Edges();
+      graph.InsertEdges(warm);
+      warm_loaded = warm.size();
+      if (warm_loaded > 0 && !quiet) {
+        std::printf("warm start: %llu stored distances from %s\n",
+                    static_cast<unsigned long long>(warm_loaded),
+                    store_path.c_str());
+      }
+    }
+    BoundedResolver resolver(top, &graph);
+
+    Stopwatch watch;
+    int exit_code = 0;
+    std::unique_ptr<Bounder> bounder_keepalive;
+    std::optional<CertifyingResolver> certifying;
+    const StatusOr<double> outcome = resolver.RunFallible([&](
+        BoundedResolver*) -> double {
+      if (bootstrap) {
+        BootstrapWithLandmarks(
+            &resolver, landmarks > 0 ? landmarks : DefaultNumLandmarks(n),
+            seed);
+      }
+      SchemeOptions options;
+      options.num_landmarks = landmarks;
+      options.max_distance = dataset->max_distance;
+      options.seed = seed;
+      auto bounder = MakeAndAttachScheme(*scheme, &resolver, options);
+      if (!bounder.ok()) {
+        exit_code = Fail(bounder.status().ToString());
+        return 0.0;
+      }
+      bounder_keepalive = std::move(bounder).value();
+      if (with_cert) certifying.emplace(&resolver, dataset->max_distance);
+
+      watch.Restart();
+      exit_code = RunCommand(command, flags, n, seed, &resolver, quiet,
+                             checksum_out);
       return 0.0;
+    });
+    if (!outcome.ok()) {
+      return Fail("oracle transport failed: " + outcome.status().ToString());
     }
-    bounder_keepalive = std::move(bounder).value();
+    if (exit_code != 0) return exit_code;
+    *wall_out = watch.ElapsedSeconds();
+    *stats_out = resolver.stats();
+    if (certifying.has_value()) *cert_out = certifying->stats();
+    *graph_out = std::move(graph);
+    return 0;
+  };
 
-    watch.Restart();
-    exit_code = RunCommand(command, flags, n, seed, &resolver);
-    return 0.0;
-  });
-  if (!outcome.ok()) {
-    return Fail("oracle transport failed: " + outcome.status().ToString());
+  PartialDistanceGraph graph(n);  // the (final) pass's graph, for --save-graph
+  ResolverStats stats;
+  CertificationStats certification;
+  double checksum = 0.0;
+  double wall = 0.0;
+  if (audit) {
+    ResolverStats bare_stats;
+    CertificationStats bare_certs;
+    double bare_checksum = 0.0;
+    double bare_wall = 0.0;
+    PartialDistanceGraph bare_graph(n);
+    int rc = execute_pass(/*with_cert=*/false, /*quiet=*/true, &bare_graph,
+                          &bare_stats, &bare_certs, &bare_checksum,
+                          &bare_wall);
+    if (rc != 0) return rc;
+    rc = execute_pass(/*with_cert=*/true, /*quiet=*/false, &graph, &stats,
+                      &certification, &checksum, &wall);
+    if (rc != 0) return rc;
+
+    // Byte-level comparison: the audit asserts bit-identical outputs, not
+    // outputs within a tolerance.
+    const bool outputs_identical = std::bit_cast<uint64_t>(bare_checksum) ==
+                                   std::bit_cast<uint64_t>(checksum);
+    const bool calls_identical =
+        bare_stats.oracle_calls == stats.oracle_calls;
+    TablePrinter audit_table({"metric", "unaudited", "audited"});
+    {
+      char a[64], b[64];
+      std::snprintf(a, sizeof(a), "%.17g", bare_checksum);
+      std::snprintf(b, sizeof(b), "%.17g", checksum);
+      audit_table.NewRow().AddCell("output checksum").AddCell(a).AddCell(b);
+    }
+    audit_table.NewRow()
+        .AddCell("oracle calls")
+        .AddUint(bare_stats.oracle_calls)
+        .AddUint(stats.oracle_calls);
+    audit_table.Print("\nAudit");
+    std::printf(
+        "certs_emitted=%llu certs_verified=%llu certs_failed=%llu "
+        "certs_uncertified=%llu\n",
+        static_cast<unsigned long long>(certification.emitted),
+        static_cast<unsigned long long>(certification.verified),
+        static_cast<unsigned long long>(certification.failed),
+        static_cast<unsigned long long>(certification.uncertified));
+    if (!certification.first_failure.empty()) {
+      std::printf("first failed certificate: %s\n",
+                  certification.first_failure.c_str());
+    }
+    if (!outputs_identical || !calls_identical ||
+        certification.failed > 0) {
+      std::string why;
+      if (!outputs_identical) why += " outputs differ;";
+      if (!calls_identical) why += " oracle calls differ;";
+      if (certification.failed > 0) why += " certificates failed;";
+      return Fail("audit FAILED:" + why);
+    }
+    std::printf(
+        "audit PASSED: outputs byte-identical, oracle calls identical, "
+        "all emitted certificates verified\n");
+    stats.certs_emitted = certification.emitted;
+    stats.certs_verified = certification.verified;
+    stats.certs_failed = certification.failed;
+    stats.certs_uncertified = certification.uncertified;
+  } else {
+    int rc = execute_pass(/*with_cert=*/false, /*quiet=*/false, &graph,
+                          &stats, &certification, &checksum, &wall);
+    if (rc != 0) return rc;
   }
-  if (exit_code != 0) return exit_code;
-  const double wall = watch.ElapsedSeconds();
 
   if (const Status s = flags.FailOnUnused(); !s.ok()) {
     return Fail(s.ToString());
   }
-  ResolverStats stats = resolver.stats();
   if (retrying != nullptr) retrying->AccumulateStats(&stats);
   stats.store_loaded_edges = warm_loaded;
   if (persistent != nullptr) persistent->AccumulateStats(&stats);
@@ -481,9 +588,13 @@ int RunStore(const std::string& verb, const Flags& flags) {
 }
 
 /// The command dispatch, extracted so Run() can execute it inside the
-/// resolver's fallible scope. Returns a process exit code.
+/// resolver's fallible scope (twice under --audit). Returns a process exit
+/// code; `*checksum` receives the command's headline value (MST weight,
+/// mean k-th distance, ...) for the audit's byte-identity comparison, and
+/// `quiet` suppresses the result lines on the audit's baseline pass.
 int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
-               uint64_t seed, BoundedResolver* resolver_ptr) {
+               uint64_t seed, BoundedResolver* resolver_ptr, bool quiet,
+               double* checksum) {
   BoundedResolver& resolver = *resolver_ptr;
   if (command == "mst") {
     const std::string algorithm = flags.GetString("algorithm", "prim");
@@ -497,15 +608,21 @@ int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
     } else {
       return Fail("unknown --algorithm (prim|kruskal|boruvka)");
     }
-    std::printf("MST: %zu edges, total weight %.6f\n", mst.edges.size(),
-                mst.total_weight);
+    *checksum = mst.total_weight;
+    if (!quiet) {
+      std::printf("MST: %zu edges, total weight %.6f\n", mst.edges.size(),
+                  mst.total_weight);
+    }
   } else if (command == "knn") {
     const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 5));
     const KnnGraph knn = BuildKnnGraph(&resolver, KnnGraphOptions{k});
     double mean = 0.0;
     for (const auto& row : knn) mean += row.back().distance;
-    std::printf("%u-NN graph built; mean k-th distance %.6f\n", k,
-                mean / static_cast<double>(n));
+    *checksum = mean / static_cast<double>(n);
+    if (!quiet) {
+      std::printf("%u-NN graph built; mean k-th distance %.6f\n", k,
+                  mean / static_cast<double>(n));
+    }
   } else if (command == "cluster") {
     const std::string method = flags.GetString("method", "pam");
     const uint32_t l = static_cast<uint32_t>(flags.GetInt("l", 10));
@@ -513,18 +630,28 @@ int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
       PamOptions pam;
       pam.num_medoids = l;
       const ClusteringResult c = PamCluster(&resolver, pam);
-      std::printf("PAM: %u medoids, total deviation %.6f, %u swap rounds\n",
-                  l, c.total_deviation, c.iterations);
+      *checksum = c.total_deviation;
+      if (!quiet) {
+        std::printf("PAM: %u medoids, total deviation %.6f, %u swap "
+                    "rounds\n",
+                    l, c.total_deviation, c.iterations);
+      }
     } else if (method == "clarans") {
       ClaransOptions clarans;
       clarans.num_medoids = l;
       clarans.seed = seed;
       const ClusteringResult c = ClaransCluster(&resolver, clarans);
-      std::printf("CLARANS: %u medoids, total deviation %.6f\n", l,
-                  c.total_deviation);
+      *checksum = c.total_deviation;
+      if (!quiet) {
+        std::printf("CLARANS: %u medoids, total deviation %.6f\n", l,
+                    c.total_deviation);
+      }
     } else if (method == "kcenter") {
       const KCenterResult c = KCenterCluster(&resolver, l);
-      std::printf("k-center: %u centers, radius %.6f\n", l, c.radius);
+      *checksum = c.radius;
+      if (!quiet) {
+        std::printf("k-center: %u centers, radius %.6f\n", l, c.radius);
+      }
     } else if (method == "dbscan") {
       DbscanOptions dbscan;
       dbscan.eps = flags.GetDouble("eps", 1.0);
@@ -534,26 +661,41 @@ int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
       for (const int32_t label : c.labels) {
         if (label == DbscanResult::kNoise) ++noise;
       }
-      std::printf("DBSCAN(eps=%.3f, minPts=%u): %u clusters, %u noise "
-                  "points\n",
-                  dbscan.eps, dbscan.min_pts, c.num_clusters, noise);
+      *checksum = static_cast<double>(c.num_clusters) * 1e6 +
+                  static_cast<double>(noise);
+      if (!quiet) {
+        std::printf("DBSCAN(eps=%.3f, minPts=%u): %u clusters, %u noise "
+                    "points\n",
+                    dbscan.eps, dbscan.min_pts, c.num_clusters, noise);
+      }
     } else if (method == "linkage") {
       const SingleLinkageResult c = SingleLinkageCluster(&resolver);
-      std::printf("single-linkage: %zu merges, heights %.4f .. %.4f\n",
-                  c.merges.size(), c.merges.front().height,
-                  c.merges.back().height);
+      double height_sum = 0.0;
+      for (const auto& merge : c.merges) height_sum += merge.height;
+      *checksum = height_sum;
+      if (!quiet) {
+        std::printf("single-linkage: %zu merges, heights %.4f .. %.4f\n",
+                    c.merges.size(), c.merges.front().height,
+                    c.merges.back().height);
+      }
     } else {
       return Fail("unknown --method (pam|clarans|dbscan|kcenter|linkage)");
     }
   } else if (command == "join") {
     const double radius = flags.GetDouble("radius", 1.0);
     const auto matches = SimilarityJoin(&resolver, radius);
-    std::printf("similarity join (radius %.4f): %zu matching pairs\n",
-                radius, matches.size());
+    *checksum = static_cast<double>(matches.size());
+    if (!quiet) {
+      std::printf("similarity join (radius %.4f): %zu matching pairs\n",
+                  radius, matches.size());
+    }
   } else if (command == "diameter") {
     const DiameterEstimate d = ApproximateDiameter(&resolver);
-    std::printf("diameter >= %.6f (between objects %u and %u; 2-approx)\n",
-                d.distance, d.u, d.v);
+    *checksum = d.distance;
+    if (!quiet) {
+      std::printf("diameter >= %.6f (between objects %u and %u; 2-approx)\n",
+                  d.distance, d.u, d.v);
+    }
   } else {
     return Fail("unknown command: " + command +
                 " (mst|knn|cluster|join|diameter)");
