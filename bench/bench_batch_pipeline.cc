@@ -56,6 +56,7 @@ void RunTable(const std::string& title,
       {"laesa", SchemeKind::kLaesa, false},
   };
   const Workload workload = metricprox::benchutil::PrimWorkload();
+  metricprox::benchutil::BenchJson json(title);
   for (const ObjectId n : sizes) {
     Dataset dataset = make_dataset(n, seed);
     for (const Cell& cell : cells) {
@@ -90,8 +91,18 @@ void RunTable(const std::string& title,
                   cell.label, static_cast<unsigned long long>(calls),
                   static_cast<unsigned long long>(trips), amortize,
                   scalar.wall_seconds, batched.wall_seconds, speedup);
+      json.NewRow()
+          .Add("n", static_cast<uint64_t>(n))
+          .Add("scheme", std::string(cell.label))
+          .Add("calls", calls)
+          .Add("round_trips", trips)
+          .Add("amortize", amortize)
+          .Add("scalar_seconds", scalar.wall_seconds)
+          .Add("batch_seconds", batched.wall_seconds)
+          .Add("speedup", speedup);
     }
   }
+  json.Write();
 }
 
 }  // namespace

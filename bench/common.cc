@@ -1,7 +1,9 @@
 #include "bench/common.h"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "algo/clarans.h"
 #include "bounds/pivots.h"
@@ -11,6 +13,7 @@
 #include "algo/pam.h"
 #include "algo/prim.h"
 #include "core/logging.h"
+#include "obs/trace.h"
 
 namespace metricprox {
 namespace benchutil {
@@ -97,6 +100,95 @@ void CheckSameResult(double a, double b, const std::string& context) {
       << "exactness violated in " << context << ": " << a << " vs " << b;
 }
 
+BenchJson::BenchJson(std::string title) : title_(std::move(title)) {
+  // Slug: lowercase alphanumerics, every other run of characters -> one '_'.
+  bool pending_sep = false;
+  for (const char c : title_) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      if (pending_sep && !slug_.empty()) slug_.push_back('_');
+      pending_sep = false;
+      slug_.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      pending_sep = true;
+    }
+  }
+  if (slug_.empty()) slug_ = "bench";
+}
+
+BenchJson& BenchJson::NewRow() {
+  rows_.emplace_back();
+  return *this;
+}
+
+BenchJson& BenchJson::Add(const std::string& key, uint64_t value) {
+  CHECK(!rows_.empty()) << "Add before NewRow";
+  std::string member;
+  obsjson::AppendString(&member, key);
+  member += ':';
+  member += std::to_string(value);
+  rows_.back().push_back(std::move(member));
+  return *this;
+}
+
+BenchJson& BenchJson::Add(const std::string& key, double value) {
+  CHECK(!rows_.empty()) << "Add before NewRow";
+  std::string member;
+  obsjson::AppendString(&member, key);
+  member += ':';
+  obsjson::AppendDouble(&member, value);
+  rows_.back().push_back(std::move(member));
+  return *this;
+}
+
+BenchJson& BenchJson::Add(const std::string& key, const std::string& value) {
+  CHECK(!rows_.empty()) << "Add before NewRow";
+  std::string member;
+  obsjson::AppendString(&member, key);
+  member += ':';
+  obsjson::AppendString(&member, value);
+  rows_.back().push_back(std::move(member));
+  return *this;
+}
+
+std::string BenchJson::ToJson() const {
+  std::string out = "{\"schema\":\"metricprox-bench\",\"schema_version\":1,";
+  out += "\"bench\":";
+  obsjson::AppendString(&out, title_);
+  out += ",\"rows\":[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r > 0) out += ',';
+    out += '{';
+    for (size_t m = 0; m < rows_[r].size(); ++m) {
+      if (m > 0) out += ',';
+      out += rows_[r][m];
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BenchJson::Write() const {
+  const char* dir = std::getenv("METRICPROX_BENCH_JSON_DIR");
+  if (dir == nullptr || dir[0] == '\0') return "";
+  const std::string path = std::string(dir) + "/BENCH_" + slug_ + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return "";
+  }
+  const std::string json = ToJson() + "\n";
+  const bool ok = std::fwrite(json.data(), 1, json.size(), file) ==
+                  json.size();
+  if (std::fclose(file) != 0 || !ok) {
+    std::fprintf(stderr, "bench: short write to %s\n", path.c_str());
+    return "";
+  }
+  std::printf("bench json: %s\n", path.c_str());
+  return path;
+}
+
 void RunCallCountSweep(
     const std::string& title,
     const std::function<Dataset(ObjectId, uint64_t)>& make_dataset,
@@ -105,6 +197,7 @@ void RunCallCountSweep(
   TablePrinter table({"n", "# pairs", "Without Plug", "Tri Scheme",
                       "save vs w/o (%)", "LAESA", "save (%)", "TLAESA",
                       "save (%)"});
+  BenchJson json(title);
   for (const ObjectId n : sizes) {
     Dataset dataset = make_dataset(n, seed);
     const Workload workload = make_workload(n);
@@ -132,9 +225,23 @@ void RunCallCountSweep(
         .AddPercent(SaveFraction(tri.total_calls, laesa.total_calls))
         .AddUint(tlaesa.total_calls)
         .AddPercent(SaveFraction(tri.total_calls, tlaesa.total_calls));
+    json.NewRow()
+        .Add("n", static_cast<uint64_t>(n))
+        .Add("pairs", PairCount(n))
+        .Add("without_plug_calls", without.total_calls)
+        .Add("tri_calls", tri.total_calls)
+        .Add("laesa_calls", laesa.total_calls)
+        .Add("tlaesa_calls", tlaesa.total_calls)
+        .Add("save_vs_without",
+             SaveFraction(tri.total_calls, without.total_calls))
+        .Add("save_vs_laesa",
+             SaveFraction(tri.total_calls, laesa.total_calls))
+        .Add("save_vs_tlaesa",
+             SaveFraction(tri.total_calls, tlaesa.total_calls));
   }
   table.Print(title);
   std::printf("\n");
+  json.Write();
 }
 
 BestBaselineResult RunBestLandmarkBaseline(DistanceOracle* oracle,
@@ -170,6 +277,7 @@ void RunPrimOracleCallTable(
   TablePrinter table({"# of Edges", "Without Plug", "TS-NB", "Bootstrap",
                       "Tri Scheme (k)", "LAESA (k)", "Save (%)", "TLAESA (k)",
                       "Save (%)"});
+  BenchJson json(title);
   const Workload workload = PrimWorkload();
   for (const ObjectId n : sizes) {
     Dataset dataset = make_dataset(n, seed);
@@ -214,8 +322,26 @@ void RunPrimOracleCallTable(
         .AddCell(with_k(tlaesa.result, tlaesa.num_landmarks))
         .AddPercent(
             SaveFraction(tri.total_calls, tlaesa.result.total_calls));
+    json.NewRow()
+        .Add("n", static_cast<uint64_t>(n))
+        .Add("pairs", PairCount(n))
+        .Add("without_plug_calls", without.total_calls)
+        .Add("ts_nb_calls", ts_nb.total_calls)
+        .Add("bootstrap_calls", tri.construction_calls)
+        .Add("tri_calls", tri.total_calls)
+        .Add("tri_landmarks", static_cast<uint64_t>(landmarks))
+        .Add("laesa_calls", laesa.result.total_calls)
+        .Add("laesa_landmarks", static_cast<uint64_t>(laesa.num_landmarks))
+        .Add("save_vs_laesa",
+             SaveFraction(tri.total_calls, laesa.result.total_calls))
+        .Add("tlaesa_calls", tlaesa.result.total_calls)
+        .Add("tlaesa_landmarks",
+             static_cast<uint64_t>(tlaesa.num_landmarks))
+        .Add("save_vs_tlaesa",
+             SaveFraction(tri.total_calls, tlaesa.result.total_calls));
   }
   table.Print(title);
+  json.Write();
 }
 
 }  // namespace benchutil

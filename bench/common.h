@@ -70,6 +70,36 @@ void RunPrimOracleCallTable(
     const std::function<Dataset(ObjectId, uint64_t)>& make_dataset,
     const std::vector<ObjectId>& sizes, uint64_t seed);
 
+/// Machine-readable companion to the printed tables: collects labelled
+/// key/value rows and, when the METRICPROX_BENCH_JSON_DIR environment
+/// variable names a directory, writes them as BENCH_<slug>.json there so
+/// call-count trajectories can be tracked run over run. Without the
+/// variable Write() is a no-op, so interactive bench runs stay file-free.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string title);
+
+  /// Starts a new row (one measured configuration / table line).
+  BenchJson& NewRow();
+  BenchJson& Add(const std::string& key, uint64_t value);
+  BenchJson& Add(const std::string& key, double value);
+  BenchJson& Add(const std::string& key, const std::string& value);
+
+  /// Single JSON document: {"schema":"metricprox-bench",...,"rows":[...]}.
+  std::string ToJson() const;
+
+  /// Writes BENCH_<slug>.json under $METRICPROX_BENCH_JSON_DIR and returns
+  /// the path, or returns "" when the variable is unset. Failures are
+  /// reported on stderr but never fail the bench.
+  std::string Write() const;
+
+ private:
+  std::string title_;
+  std::string slug_;
+  /// Each row is a list of pre-encoded `"key":value` JSON members.
+  std::vector<std::vector<std::string>> rows_;
+};
+
 }  // namespace benchutil
 }  // namespace metricprox
 

@@ -56,10 +56,21 @@ double BoundedResolver::Distance(ObjectId i, ObjectId j) {
   }
   Stopwatch oracle_watch;
   StatusOr<double> resolved = oracle_->TryDistance(i, j);
-  stats_.oracle_seconds += oracle_watch.ElapsedSeconds();
+  const double oracle_elapsed = oracle_watch.ElapsedSeconds();
+  stats_.oracle_seconds += oracle_elapsed;
   if (!resolved.ok()) FailTransport(resolved.status(), /*failed_pairs=*/1);
   const double d = resolved.value();
   ++stats_.oracle_calls;
+  if (telemetry_ != nullptr) {
+    telemetry_->oracle_latency_seconds.Record(oracle_elapsed);
+    TraceEvent event;
+    event.kind = TraceEventKind::kOracleCall;
+    event.i = i;
+    event.j = j;
+    event.value = d;
+    event.seconds = oracle_elapsed;
+    telemetry_->Emit(event);
+  }
 
   graph_->Insert(i, j, d);
   Stopwatch bounder_watch;
@@ -82,19 +93,23 @@ Interval BoundedResolver::Bounds(ObjectId i, ObjectId j) {
 
 bool BoundedResolver::LessThan(ObjectId i, ObjectId j, double t) {
   ++stats_.comparisons;
+  Trace(TraceEventKind::kComparison, i, j, t);
   if (t == kInfDistance) {
     // Any finite metric distance is below +inf; deciding here keeps an
     // infinite right-hand side out of scheme internals (notably DFT's LP).
     // Applied uniformly across schemes so call accounting stays comparable.
     ++stats_.decided_by_bounds;
+    Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return true;
   }
   if (i == j) {
     ++stats_.decided_by_cache;
+    Trace(TraceEventKind::kDecidedByCache, i, j, t);
     return 0.0 < t;
   }
   if (const std::optional<double> cached = graph_->Get(i, j)) {
     ++stats_.decided_by_cache;
+    Trace(TraceEventKind::kDecidedByCache, i, j, t);
     return *cached < t;
   }
   ++stats_.bound_queries;
@@ -103,20 +118,28 @@ bool BoundedResolver::LessThan(ObjectId i, ObjectId j, double t) {
   stats_.bounder_seconds += watch.ElapsedSeconds();
   if (decided.has_value()) {
     ++stats_.decided_by_bounds;
+    Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return *decided;
   }
   ++stats_.decided_by_oracle;
+  // The gap probe must run before Distance(): afterwards the interval
+  // collapses to the exact value.
+  ProbeBoundGap(i, j, t);
+  Trace(TraceEventKind::kDecidedByOracle, i, j, t);
   return Distance(i, j) < t;
 }
 
 bool BoundedResolver::ProvenGreaterThan(ObjectId i, ObjectId j, double t) {
   ++stats_.comparisons;
+  Trace(TraceEventKind::kComparison, i, j, t);
   if (i == j) {
     ++stats_.decided_by_cache;
+    Trace(TraceEventKind::kDecidedByCache, i, j, t);
     return 0.0 > t;
   }
   if (const std::optional<double> cached = graph_->Get(i, j)) {
     ++stats_.decided_by_cache;
+    Trace(TraceEventKind::kDecidedByCache, i, j, t);
     return *cached > t;
   }
   ++stats_.bound_queries;
@@ -125,29 +148,36 @@ bool BoundedResolver::ProvenGreaterThan(ObjectId i, ObjectId j, double t) {
   stats_.bounder_seconds += watch.ElapsedSeconds();
   if (decided.has_value() && *decided) {
     ++stats_.decided_by_bounds;
+    Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return true;
   }
   // Not proven (either provably <= t or undecidable). No oracle call happens
   // here — the caller typically resolves next, and *that* comparison is the
   // one charged to the oracle.
   ++stats_.undecided;
+  ProbeBoundGap(i, j, t);
+  Trace(TraceEventKind::kUndecided, i, j, t);
   return false;
 }
 
 bool BoundedResolver::ProvenGreaterOrEqual(ObjectId i, ObjectId j, double t) {
   ++stats_.comparisons;
+  Trace(TraceEventKind::kComparison, i, j, t);
   if (t == kInfDistance) {
     // No finite metric distance reaches +inf; decided without the scheme
     // (mirrors the LessThan short-circuit, keeping inf out of DFT's LP).
     ++stats_.decided_by_bounds;
+    Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return false;
   }
   if (i == j) {
     ++stats_.decided_by_cache;
+    Trace(TraceEventKind::kDecidedByCache, i, j, t);
     return 0.0 >= t;
   }
   if (const std::optional<double> cached = graph_->Get(i, j)) {
     ++stats_.decided_by_cache;
+    Trace(TraceEventKind::kDecidedByCache, i, j, t);
     return *cached >= t;
   }
   ++stats_.bound_queries;
@@ -157,11 +187,14 @@ bool BoundedResolver::ProvenGreaterOrEqual(ObjectId i, ObjectId j, double t) {
   if (decided.has_value() && !*decided) {
     // dist(i, j) < t is provably false, i.e. dist(i, j) >= t.
     ++stats_.decided_by_bounds;
+    Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return true;
   }
   // Not proven (either provably < t or undecidable). As in
   // ProvenGreaterThan, nothing reached the oracle on this path.
   ++stats_.undecided;
+  ProbeBoundGap(i, j, t);
+  Trace(TraceEventKind::kUndecided, i, j, t);
   return false;
 }
 
@@ -181,6 +214,12 @@ void BoundedResolver::ResolveUnknown(std::span<const IdPair> pairs) {
     unique.push_back(p);
   }
   if (unique.empty()) return;
+  if (telemetry_ != nullptr) {
+    // Recorded under both transports: this histogram measures the
+    // algorithm's batching structure (unique unresolved pairs per verb),
+    // not the wire protocol.
+    telemetry_->batch_size.Record(static_cast<double>(unique.size()));
+  }
 
   if (!batch_transport_) {
     // Scalar transport: the legacy per-pair path, byte for byte (Distance
@@ -212,6 +251,16 @@ void BoundedResolver::ResolveUnknown(std::span<const IdPair> pairs) {
   stats_.oracle_calls += unique.size();
   ++stats_.batch_calls;
   stats_.batch_resolved_pairs += unique.size();
+  if (telemetry_ != nullptr) {
+    // One latency sample per round-trip (the scalar transport samples per
+    // pair inside Distance() instead).
+    telemetry_->oracle_latency_seconds.Record(oracle_elapsed);
+    TraceEvent event;
+    event.kind = TraceEventKind::kBatchShipped;
+    event.count = unique.size();
+    event.seconds = oracle_elapsed;
+    telemetry_->Emit(event);
+  }
 
   std::vector<ResolvedEdge> edges(unique.size());
   for (size_t k = 0; k < unique.size(); ++k) {
@@ -243,18 +292,22 @@ std::vector<bool> BoundedResolver::FilterLessThan(
     CHECK_LT(p.i, graph_->num_objects());
     CHECK_LT(p.j, graph_->num_objects());
     const double t = thresholds[k];
+    Trace(TraceEventKind::kComparison, p.i, p.j, t);
     if (t == kInfDistance) {
       ++stats_.decided_by_bounds;
+      Trace(TraceEventKind::kDecidedByBounds, p.i, p.j, t);
       out[k] = true;
       continue;
     }
     if (p.i == p.j) {
       ++stats_.decided_by_cache;
+      Trace(TraceEventKind::kDecidedByCache, p.i, p.j, t);
       out[k] = 0.0 < t;
       continue;
     }
     if (const std::optional<double> cached = graph_->Get(p.i, p.j)) {
       ++stats_.decided_by_cache;
+      Trace(TraceEventKind::kDecidedByCache, p.i, p.j, t);
       out[k] = *cached < t;
       continue;
     }
@@ -284,13 +337,21 @@ std::vector<bool> BoundedResolver::FilterLessThan(
   for (size_t s = 0; s < sweep.size(); ++s) {
     if (decided[s].has_value()) {
       ++stats_.decided_by_bounds;
+      Trace(TraceEventKind::kDecidedByBounds, sweep_pairs[s].i,
+            sweep_pairs[s].j, sweep_thresholds[s]);
       out[sweep[s]] = *decided[s];
     } else {
       const IdPair p = sweep_pairs[s];
       if (charged.insert(EdgeKey(p.i, p.j)).second) {
         ++stats_.decided_by_oracle;
+        // Probe before ResolveUnknown below collapses the interval.
+        ProbeBoundGap(p.i, p.j, sweep_thresholds[s]);
+        Trace(TraceEventKind::kDecidedByOracle, p.i, p.j,
+              sweep_thresholds[s]);
       } else {
         ++stats_.decided_by_cache;
+        Trace(TraceEventKind::kDecidedByCache, p.i, p.j,
+              sweep_thresholds[s]);
       }
       undecided.push_back(s);
       remainder.push_back(p);
@@ -313,12 +374,16 @@ std::vector<bool> BoundedResolver::FilterLessThan(std::span<const IdPair> pairs,
 bool BoundedResolver::PairLess(ObjectId i, ObjectId j, ObjectId k,
                                ObjectId l) {
   ++stats_.comparisons;
+  // The event carries the left pair; the comparison has no scalar
+  // threshold, so that field stays unset.
+  Trace(TraceEventKind::kComparison, i, j, TraceEvent::kUnset);
   const std::optional<double> dij =
       (i == j) ? std::optional<double>(0.0) : graph_->Get(i, j);
   const std::optional<double> dkl =
       (k == l) ? std::optional<double>(0.0) : graph_->Get(k, l);
   if (dij && dkl) {
     ++stats_.decided_by_cache;
+    Trace(TraceEventKind::kDecidedByCache, i, j, TraceEvent::kUnset);
     return *dij < *dkl;
   }
 
@@ -340,12 +405,43 @@ bool BoundedResolver::PairLess(ObjectId i, ObjectId j, ObjectId k,
   }
   if (decided.has_value()) {
     ++stats_.decided_by_bounds;
+    Trace(TraceEventKind::kDecidedByBounds, i, j, TraceEvent::kUnset);
     return *decided;
   }
   ++stats_.decided_by_oracle;
+  Trace(TraceEventKind::kDecidedByOracle, i, j, TraceEvent::kUnset);
   const double a = dij ? *dij : Distance(i, j);
   const double b = dkl ? *dkl : Distance(k, l);
   return a < b;
+}
+
+void BoundedResolver::TraceSlow(TraceEventKind kind, ObjectId i, ObjectId j,
+                                double threshold) {
+  TraceEvent event;
+  event.kind = kind;
+  event.i = i;
+  event.j = j;
+  event.threshold = threshold;
+  telemetry_->Emit(event);
+}
+
+void BoundedResolver::ProbeBoundGapSlow(ObjectId i, ObjectId j, double t) {
+  // Stats-neutral observation of the interval the scheme held at the
+  // moment a comparison fell through: the bounder is read directly, so
+  // bound_queries and bounder_seconds do not move, and reading bounds
+  // never resolves anything, so oracle_calls cannot move either — a
+  // telemetry-enabled run keeps counters identical to a disabled one
+  // (pinned by the trace equivalence test).
+  const Interval bounds = bounder_->Bounds(i, j);
+  telemetry_->bound_gap.Record(RelativeBoundGap(bounds));
+  TraceEvent event;
+  event.kind = TraceEventKind::kBoundInterval;
+  event.i = i;
+  event.j = j;
+  event.lb = bounds.lo;
+  event.ub = bounds.hi;
+  event.threshold = t;
+  telemetry_->Emit(event);
 }
 
 }  // namespace metricprox

@@ -11,6 +11,7 @@
 #include "core/status.h"
 #include "core/types.h"
 #include "graph/partial_graph.h"
+#include "obs/telemetry.h"
 
 namespace metricprox {
 
@@ -150,6 +151,15 @@ class BoundedResolver {
   const ResolverStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Attaches (or with nullptr, detaches) the telemetry bundle. Telemetry
+  /// observes decisions without participating in them: it never issues an
+  /// oracle call, never touches a stat counter, and with no bundle
+  /// attached every instrumentation site reduces to one null check — so a
+  /// traced run and an untraced run produce byte-identical outputs and
+  /// identical counters (pinned by the trace equivalence test).
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+  Telemetry* telemetry() const { return telemetry_; }
+
  private:
   /// Shared tail of the batch verbs: CHECKs id ranges, drops i == j and
   /// cached pairs, deduplicates symmetric/repeated pairs (first-occurrence
@@ -162,11 +172,24 @@ class BoundedResolver {
   /// or CHECK-aborts outside one.
   [[noreturn]] void FailTransport(Status status, uint64_t failed_pairs);
 
+  /// Telemetry fast paths: the inline wrappers cost one predictable branch
+  /// when telemetry is detached; the Slow variants do the actual work.
+  void Trace(TraceEventKind kind, ObjectId i, ObjectId j, double threshold) {
+    if (telemetry_ != nullptr) TraceSlow(kind, i, j, threshold);
+  }
+  void ProbeBoundGap(ObjectId i, ObjectId j, double threshold) {
+    if (telemetry_ != nullptr) ProbeBoundGapSlow(i, j, threshold);
+  }
+  void TraceSlow(TraceEventKind kind, ObjectId i, ObjectId j,
+                 double threshold);
+  void ProbeBoundGapSlow(ObjectId i, ObjectId j, double threshold);
+
   DistanceOracle* oracle_;       // not owned
   PartialDistanceGraph* graph_;  // not owned
   NullBounder null_bounder_;
   Bounder* bounder_;  // not owned; never null (defaults to &null_bounder_)
   ResolverStats stats_;
+  Telemetry* telemetry_ = nullptr;  // not owned; nullptr = telemetry off
   bool batch_transport_ = true;
   int fallible_depth_ = 0;
   Status oracle_status_;

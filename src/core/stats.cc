@@ -6,44 +6,24 @@ namespace metricprox {
 
 std::string ResolverStats::ToString() const {
   std::ostringstream os;
-  os << "oracle_calls=" << oracle_calls
-     << " comparisons=" << comparisons
-     << " decided_by_bounds=" << decided_by_bounds
-     << " decided_by_cache=" << decided_by_cache
-     << " decided_by_oracle=" << decided_by_oracle
-     << " undecided=" << undecided
-     << " bound_queries=" << bound_queries
-     << " bounder_seconds=" << bounder_seconds
-     << " oracle_seconds=" << oracle_seconds;
-  if (batch_calls > 0) {
-    os << " batch_calls=" << batch_calls
-       << " batch_resolved_pairs=" << batch_resolved_pairs
-       << " batch_oracle_seconds=" << batch_oracle_seconds;
-  }
-  if (simulated_oracle_seconds > 0) {
-    os << " simulated_oracle_seconds=" << simulated_oracle_seconds;
-  }
-  if (oracle_retries > 0 || oracle_timeouts > 0 || oracle_failures > 0) {
-    os << " oracle_retries=" << oracle_retries
-       << " oracle_timeouts=" << oracle_timeouts
-       << " oracle_failures=" << oracle_failures
-       << " retry_backoff_seconds=" << retry_backoff_seconds;
-  }
-  if (store_hits > 0 || store_misses > 0 || store_loaded_edges > 0 ||
-      wal_appends > 0 || compactions > 0) {
-    os << " store_hits=" << store_hits
-       << " store_misses=" << store_misses
-       << " store_loaded_edges=" << store_loaded_edges
-       << " wal_appends=" << wal_appends
-       << " compactions=" << compactions;
-  }
-  if (certs_emitted > 0 || certs_uncertified > 0) {
-    os << " certs_emitted=" << certs_emitted
-       << " certs_verified=" << certs_verified
-       << " certs_failed=" << certs_failed
-       << " certs_uncertified=" << certs_uncertified;
-  }
+  bool first = true;
+  const auto emit = [&](std::string_view name, const auto& value) {
+    if (!first) os << ' ';
+    first = false;
+    os << name << '=' << value;
+  };
+#define METRICPROX_STATS_PRINT_FIELD(type, name) emit(#name, name);
+  METRICPROX_RESOLVER_STATS_FIELDS(METRICPROX_STATS_PRINT_FIELD)
+#undef METRICPROX_STATS_PRINT_FIELD
   return os.str();
+}
+
+std::vector<std::string_view> ResolverStatsFieldNames() {
+  return {
+#define METRICPROX_STATS_NAME_FIELD(type, name) #name,
+      METRICPROX_RESOLVER_STATS_FIELDS(METRICPROX_STATS_NAME_FIELD)
+#undef METRICPROX_STATS_NAME_FIELD
+  };
 }
 
 }  // namespace metricprox

@@ -2,122 +2,124 @@
 #define METRICPROX_CORE_STATS_H_
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace metricprox {
 
-/// Counters collected by a BoundedResolver while a proximity algorithm runs.
-///
-/// `oracle_calls` is the headline metric of the paper; `decided_by_bounds`
-/// counts comparisons resolved without touching the oracle (the "save-ups").
+// The single source of truth for every ResolverStats field. The struct
+// declaration, Reset, operator+=, ToString, the field count, the field
+// name list and the RunReport JSON object (obs/report.cc) are all
+// generated from this list, so adding a counter is exactly one line here
+// — it can no longer be added to the struct but forgotten in the
+// aggregation or the serializers. telemetry_test pins the JSON report to
+// exactly one key per entry.
+//
+// Field semantics:
+//   oracle_calls        calls that reached the distance oracle — the
+//                       paper's headline metric.
+//   decided_by_bounds   comparisons answered purely from bounds (each
+//                       avoided >= 1 oracle call: the "save-ups").
+//   decided_by_cache    comparisons answered because the edge was already
+//                       resolved earlier.
+//   decided_by_oracle   comparisons that had to fall back to the oracle.
+//   undecided           comparisons the resolver could neither prove nor
+//                       disprove without a resolution the caller did not
+//                       request (the one-sided proof verbs returning "not
+//                       proven"); no oracle call happens on these paths.
+//   comparisons         total comparison requests (LessThan + PairLess +
+//                       the batch verbs, one per pair).
+//   bound_queries       bound-interval queries issued to the bounder.
+//   batch_calls         BatchDistance invocations shipped to the oracle
+//                       (each covers >= 1 pair).
+//   batch_resolved_pairs pairs resolved through the batch transport; each
+//                       is also in oracle_calls, so batch_resolved_pairs
+//                       <= oracle_calls always holds.
+//   bounder_seconds     wall time inside the bounder — the paper's "CPU
+//                       overhead".
+//   oracle_seconds      wall time inside the oracle (real, not simulated).
+//   batch_oracle_seconds subset of oracle_seconds spent in BatchDistance.
+//   simulated_oracle_seconds simulated latency from SimulatedCostOracle.
+//   oracle_retries      attempts re-shipped by RetryingOracle after a
+//                       transient failure (per pair, not per round-trip).
+//   oracle_timeouts     per-call timeouts observed at the oracle layer.
+//   oracle_failures     pair resolutions that failed permanently.
+//   retry_backoff_seconds wall time sleeping in retry backoff.
+//   store_hits          pairs answered by the persistent distance store.
+//   store_misses        pairs the store shipped to the inner oracle.
+//   store_loaded_edges  edges bulk-loaded for the cross-run warm start.
+//   wal_appends         fresh distances appended to the write-ahead log.
+//   compactions         store snapshot rewrites performed during the run.
+//   certs_emitted       bound certificates emitted by the audit shim
+//                       (== certs_verified + certs_failed always).
+//   certs_verified      certificates the independent Verifier confirmed.
+//   certs_failed        certificates that failed verification — nonzero
+//                       is a bug in a bound scheme (or the verifier).
+//   certs_uncertified   bound decisions whose scheme has no certification
+//                       support; counted separately, never as failures.
+#define METRICPROX_RESOLVER_STATS_FIELDS(X) \
+  X(uint64_t, oracle_calls)                 \
+  X(uint64_t, decided_by_bounds)            \
+  X(uint64_t, decided_by_cache)             \
+  X(uint64_t, decided_by_oracle)            \
+  X(uint64_t, undecided)                    \
+  X(uint64_t, comparisons)                  \
+  X(uint64_t, bound_queries)                \
+  X(uint64_t, batch_calls)                  \
+  X(uint64_t, batch_resolved_pairs)         \
+  X(double, bounder_seconds)                \
+  X(double, oracle_seconds)                 \
+  X(double, batch_oracle_seconds)           \
+  X(double, simulated_oracle_seconds)       \
+  X(uint64_t, oracle_retries)               \
+  X(uint64_t, oracle_timeouts)              \
+  X(uint64_t, oracle_failures)              \
+  X(double, retry_backoff_seconds)          \
+  X(uint64_t, store_hits)                   \
+  X(uint64_t, store_misses)                 \
+  X(uint64_t, store_loaded_edges)           \
+  X(uint64_t, wal_appends)                  \
+  X(uint64_t, compactions)                  \
+  X(uint64_t, certs_emitted)                \
+  X(uint64_t, certs_verified)               \
+  X(uint64_t, certs_failed)                 \
+  X(uint64_t, certs_uncertified)
+
+/// Counters collected by a BoundedResolver while a proximity algorithm
+/// runs. See the X-macro above for per-field semantics; `oracle_calls` is
+/// the headline metric of the paper and `decided_by_bounds` counts the
+/// comparisons resolved without touching the oracle.
 struct ResolverStats {
-  /// Calls that reached the distance oracle.
-  uint64_t oracle_calls = 0;
-  /// Comparisons answered purely from bounds (each avoided >= 1 oracle call).
-  uint64_t decided_by_bounds = 0;
-  /// Comparisons answered because the edge was already resolved earlier.
-  uint64_t decided_by_cache = 0;
-  /// Comparisons that had to fall back to the oracle.
-  uint64_t decided_by_oracle = 0;
-  /// Comparisons the resolver could neither prove nor disprove without a
-  /// resolution the caller did not request (the one-sided proof verbs
-  /// ProvenGreaterThan / ProvenGreaterOrEqual returning "not proven"). No
-  /// oracle call happens on these paths; they used to be misattributed to
-  /// decided_by_oracle.
-  uint64_t undecided = 0;
-  /// Total comparison requests (LessThan + PairLess + the batch verbs,
-  /// one per pair).
-  uint64_t comparisons = 0;
-  /// Bound-interval queries issued to the plugged-in bounder.
-  uint64_t bound_queries = 0;
-  /// BatchDistance invocations shipped to the oracle (each covers >= 1
-  /// pair). The amortization headline: batched algorithms issue the same
-  /// oracle_calls in far fewer round-trips.
-  uint64_t batch_calls = 0;
-  /// Pairs resolved through the batch transport. Each is also counted in
-  /// oracle_calls, so batch_resolved_pairs <= oracle_calls always holds.
-  uint64_t batch_resolved_pairs = 0;
-  /// Wall time spent inside the bounder (bounds + updates), in seconds:
-  /// the paper's "CPU overhead".
-  double bounder_seconds = 0.0;
-  /// Wall time spent inside the oracle, in seconds (real, not simulated).
-  double oracle_seconds = 0.0;
-  /// Subset of oracle_seconds spent inside BatchDistance calls — the
-  /// wall-time attribution of the batch transport.
-  double batch_oracle_seconds = 0.0;
-  /// Simulated oracle latency accumulated by a SimulatedCostOracle, seconds.
-  double simulated_oracle_seconds = 0.0;
-  /// Oracle attempts re-shipped by a RetryingOracle after a transient
-  /// failure (counted per pair, not per batch round-trip).
-  uint64_t oracle_retries = 0;
-  /// Per-call timeouts observed at the oracle layer (DeadlineExceeded from
-  /// a single attempt, before any retry).
-  uint64_t oracle_timeouts = 0;
-  /// Pair resolutions that failed permanently (retries exhausted or the
-  /// overall deadline expired) and surfaced as a Status to the caller.
-  uint64_t oracle_failures = 0;
-  /// Wall time spent sleeping in retry backoff, in seconds.
-  double retry_backoff_seconds = 0.0;
-  /// Pairs answered by the persistent distance store at the oracle layer
-  /// (a PersistentOracle hit: the inner oracle was never touched).
-  uint64_t store_hits = 0;
-  /// Pairs the store could not answer and shipped to the inner oracle.
-  uint64_t store_misses = 0;
-  /// Edges bulk-loaded from the store into the partial graph before the
-  /// run (cross-run warm start). Each starts as a resolver cache hit.
-  uint64_t store_loaded_edges = 0;
-  /// Freshly resolved distances appended to the store's write-ahead log.
-  uint64_t wal_appends = 0;
-  /// Store compactions (snapshot rewrites) performed during the run.
-  uint64_t compactions = 0;
-  /// Bound certificates emitted by the audit shim (certs_emitted ==
-  /// certs_verified + certs_failed always holds).
-  uint64_t certs_emitted = 0;
-  /// Certificates the independent Verifier confirmed.
-  uint64_t certs_verified = 0;
-  /// Certificates that failed verification — any nonzero value is a bug in
-  /// a bound scheme (or the verifier) and fails `--audit` runs.
-  uint64_t certs_failed = 0;
-  /// Bound-decided comparisons whose scheme has no certification support
-  /// (e.g. ADM/TLAESA); counted separately, never as failures.
-  uint64_t certs_uncertified = 0;
+#define METRICPROX_STATS_DECLARE_FIELD(type, name) type name{};
+  METRICPROX_RESOLVER_STATS_FIELDS(METRICPROX_STATS_DECLARE_FIELD)
+#undef METRICPROX_STATS_DECLARE_FIELD
 
   void Reset() { *this = ResolverStats(); }
 
   ResolverStats& operator+=(const ResolverStats& o) {
-    oracle_calls += o.oracle_calls;
-    decided_by_bounds += o.decided_by_bounds;
-    decided_by_cache += o.decided_by_cache;
-    decided_by_oracle += o.decided_by_oracle;
-    undecided += o.undecided;
-    comparisons += o.comparisons;
-    bound_queries += o.bound_queries;
-    batch_calls += o.batch_calls;
-    batch_resolved_pairs += o.batch_resolved_pairs;
-    bounder_seconds += o.bounder_seconds;
-    oracle_seconds += o.oracle_seconds;
-    batch_oracle_seconds += o.batch_oracle_seconds;
-    simulated_oracle_seconds += o.simulated_oracle_seconds;
-    oracle_retries += o.oracle_retries;
-    oracle_timeouts += o.oracle_timeouts;
-    oracle_failures += o.oracle_failures;
-    retry_backoff_seconds += o.retry_backoff_seconds;
-    store_hits += o.store_hits;
-    store_misses += o.store_misses;
-    store_loaded_edges += o.store_loaded_edges;
-    wal_appends += o.wal_appends;
-    compactions += o.compactions;
-    certs_emitted += o.certs_emitted;
-    certs_verified += o.certs_verified;
-    certs_failed += o.certs_failed;
-    certs_uncertified += o.certs_uncertified;
+#define METRICPROX_STATS_ADD_FIELD(type, name) name += o.name;
+    METRICPROX_RESOLVER_STATS_FIELDS(METRICPROX_STATS_ADD_FIELD)
+#undef METRICPROX_STATS_ADD_FIELD
     return *this;
   }
 
-  /// Multi-line human-readable dump (for examples and debugging).
+  /// Single-line `name=value` dump of every field, in declaration order
+  /// (for examples and debugging).
   std::string ToString() const;
 };
+
+/// Number of ResolverStats fields — one per X-macro entry.
+inline constexpr size_t kResolverStatsFieldCount =
+#define METRICPROX_STATS_COUNT_FIELD(type, name) +1
+    0 METRICPROX_RESOLVER_STATS_FIELDS(METRICPROX_STATS_COUNT_FIELD);
+#undef METRICPROX_STATS_COUNT_FIELD
+
+/// Field names in declaration order; the JSON report's `stats` object
+/// carries exactly these keys.
+std::vector<std::string_view> ResolverStatsFieldNames();
 
 /// Monotonic stopwatch used for the fine-grained stat timers.
 class Stopwatch {

@@ -32,6 +32,7 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
   // the fault injector so that only attempts reaching the "real" oracle are
   // billed; retry sits on top so it sees every injected fault.
   SimulatedCostOracle costed(oracle, config.oracle_cost_seconds);
+  costed.SetTelemetry(config.telemetry);
   DistanceOracle* top = &costed;
   std::optional<FaultInjectingOracle> faulty;
   if (config.inject_faults) {
@@ -41,6 +42,7 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
   std::optional<RetryingOracle> retrying;
   if (config.enable_retry) {
     retrying.emplace(top, config.retry);
+    retrying->SetTelemetry(config.telemetry);
     top = &*retrying;
   }
   // The persistence layer tops the stack: a store hit skips simulated cost,
@@ -48,6 +50,7 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
   std::optional<PersistentOracle> persistent;
   if (config.store != nullptr) {
     persistent.emplace(top, config.store);
+    persistent->SetTelemetry(config.telemetry);
     top = &*persistent;
   }
 
@@ -60,6 +63,7 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
   }
   BoundedResolver resolver(top, &graph);
   resolver.SetBatchTransport(config.batch_transport);
+  resolver.SetTelemetry(config.telemetry);
 
   WorkloadResult result;
   Stopwatch watch;

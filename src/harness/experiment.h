@@ -11,6 +11,7 @@
 #include "core/oracle.h"
 #include "core/stats.h"
 #include "core/status.h"
+#include "obs/telemetry.h"
 #include "oracle/fault_injection.h"
 #include "oracle/retry.h"
 #include "store/distance_store.h"
@@ -63,6 +64,13 @@ struct WorkloadConfig {
   /// decisions verbatim); the certification counters land in
   /// WorkloadResult::certification and the certs_* stats.
   bool audit = false;
+  /// Telemetry bundle (not owned) threaded through the resolver and every
+  /// middleware layer this run constructs: decision/bound/retry/store events
+  /// flow to its sink, and its histograms collect oracle latency, simulated
+  /// cost, batch sizes and bound gaps. Pure observation — outputs and all
+  /// decision counters are unchanged. Note the caller's `store` keeps its
+  /// own telemetry attachment (the store outlives this run).
+  Telemetry* telemetry = nullptr;
 };
 
 /// A proximity algorithm run against a resolver; returns a checksum

@@ -1,0 +1,99 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace metricprox {
+
+namespace {
+constexpr size_t kUnderflowBucket = 0;
+constexpr size_t kOverflowBucket = Histogram::kNumBuckets - 1;
+}  // namespace
+
+size_t Histogram::BucketIndex(double value) {
+  // Zero, negatives and sub-2^-64 samples share the underflow bucket; the
+  // comparison is written so NaN (filtered by Record) would also land here
+  // instead of indexing out of bounds.
+  if (!(value > 0.0)) return kUnderflowBucket;
+  if (std::isinf(value)) return kOverflowBucket;
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = mantissa * 2^exp
+  const int octave = (exp - 1) - kMinExponent;      // value is in [2^(exp-1), 2^exp)
+  if (octave < 0) return kUnderflowBucket;
+  if (octave >= static_cast<int>(kNumOctaves)) return kOverflowBucket;
+  // mantissa is in [0.5, 1); spread it uniformly over the sub-buckets.
+  auto sub = static_cast<size_t>((mantissa - 0.5) * 2.0 * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + static_cast<size_t>(octave) * kSubBuckets + sub;
+}
+
+double Histogram::BucketRepresentative(size_t bucket) const {
+  // The extreme buckets have no meaningful midpoint; report the exact
+  // extremes seen instead.
+  if (bucket == kUnderflowBucket) return min_;
+  if (bucket == kOverflowBucket) return max_;
+  const size_t octave = (bucket - 1) / kSubBuckets;
+  const size_t sub = (bucket - 1) % kSubBuckets;
+  const int exp = static_cast<int>(octave) + kMinExponent;
+  const double mid_mantissa =
+      0.5 + 0.5 * (static_cast<double>(sub) + 0.5) / kSubBuckets;
+  return std::ldexp(mid_mantissa, exp + 1);  // mid_mantissa * 2^(exp+1)
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketIndex(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  for (size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the sample the quantile falls on (1-based, nearest-rank rule).
+  const auto rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= rank) {
+      return std::clamp(BucketRepresentative(b), min_, max_);
+    }
+  }
+  return max_;
+}
+
+Histogram::Summary Histogram::Summarize() const {
+  Summary s;
+  s.count = count_;
+  s.min = min();
+  s.max = max();
+  s.sum = sum();
+  s.mean = mean();
+  s.p50 = Quantile(0.50);
+  s.p90 = Quantile(0.90);
+  s.p99 = Quantile(0.99);
+  return s;
+}
+
+}  // namespace metricprox

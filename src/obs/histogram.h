@@ -1,0 +1,87 @@
+#ifndef METRICPROX_OBS_HISTOGRAM_H_
+#define METRICPROX_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace metricprox {
+
+/// Fixed-bucket log-scale histogram for positive measurements (latencies,
+/// batch sizes, relative bound gaps).
+///
+/// Bucket layout: each power-of-two octave [2^e, 2^(e+1)) is split into
+/// kSubBuckets equal-width sub-buckets, for exponents covering
+/// [2^-64, 2^64) — wide enough for nanosecond latencies and billion-pair
+/// batch sizes alike, with relative error bounded by 1/kSubBuckets per
+/// octave. One underflow bucket catches zero, negatives and anything below
+/// 2^-64; one overflow bucket catches +inf and anything at or above 2^64.
+/// NaN samples are dropped.
+///
+/// The layout is identical for every instance, so worker-local histograms
+/// merge with plain bucket addition (Merge below) — the same reduction
+/// pattern the batch transport already uses for worker-local rows in
+/// core/parallel.h. Merging is associative and commutative on bucket
+/// counts, count, sum, min and max.
+///
+/// Quantiles walk the cumulative bucket counts and return the bucket's
+/// geometric midpoint clamped into [min, max], so a single-sample histogram
+/// reports that sample exactly and an empty histogram reports 0.0 — never
+/// NaN.
+class Histogram {
+ public:
+  static constexpr size_t kSubBuckets = 4;
+  static constexpr int kMinExponent = -64;  // first octave is [2^-64, 2^-63)
+  static constexpr int kMaxExponent = 63;   // last octave is [2^63, 2^64)
+  static constexpr size_t kNumOctaves =
+      static_cast<size_t>(kMaxExponent - kMinExponent + 1);
+  /// Underflow + octave sub-buckets + overflow.
+  static constexpr size_t kNumBuckets = kNumOctaves * kSubBuckets + 2;
+
+  /// Adds one sample. NaN is dropped; zero/negative land in underflow.
+  void Record(double value);
+
+  /// Adds another histogram's samples into this one (bucket-wise).
+  void Merge(const Histogram& other);
+
+  /// Value at quantile q in [0, 1] (clamped). Empty histogram: 0.0.
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  /// Smallest / largest recorded sample (exact, not bucketed). 0.0 if empty.
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// Sum of all recorded samples (exact). 0.0 if empty.
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Point-in-time digest, safe to keep after the histogram is gone.
+  struct Summary {
+    uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  Summary Summarize() const;
+
+ private:
+  static size_t BucketIndex(double value);
+  /// Representative value reported for a bucket, before min/max clamping.
+  double BucketRepresentative(size_t bucket) const;
+
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_OBS_HISTOGRAM_H_

@@ -1,0 +1,272 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace metricprox {
+
+namespace {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FormatUint(uint64_t value) { return std::to_string(value); }
+
+void AppendKey(std::string* out, bool* first, const char* name) {
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(name);
+  out->append("\":");
+}
+
+void AppendField(std::string* out, bool* first, const char* name,
+                 uint64_t value) {
+  AppendKey(out, first, name);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+
+void AppendField(std::string* out, bool* first, const char* name,
+                 double value) {
+  AppendKey(out, first, name);
+  obsjson::AppendDouble(out, value);
+}
+
+void AppendField(std::string* out, bool* first, const char* name,
+                 const std::string& value) {
+  AppendKey(out, first, name);
+  obsjson::AppendString(out, value);
+}
+
+void AppendField(std::string* out, bool* first, const char* name,
+                 bool value) {
+  AppendKey(out, first, name);
+  out->append(value ? "true" : "false");
+}
+
+void AppendHistogram(std::string* out, bool* first, const char* name,
+                     const Histogram::Summary& s) {
+  AppendKey(out, first, name);
+  out->push_back('{');
+  bool inner = true;
+  AppendField(out, &inner, "count", s.count);
+  AppendField(out, &inner, "min", s.min);
+  AppendField(out, &inner, "max", s.max);
+  AppendField(out, &inner, "sum", s.sum);
+  AppendField(out, &inner, "mean", s.mean);
+  AppendField(out, &inner, "p50", s.p50);
+  AppendField(out, &inner, "p90", s.p90);
+  AppendField(out, &inner, "p99", s.p99);
+  out->push_back('}');
+}
+
+}  // namespace
+
+RunReport::RunReport(RunInfo info, const ResolverStats& stats,
+                     const Telemetry* telemetry)
+    : info_(std::move(info)), stats_(stats) {
+  if (telemetry != nullptr) {
+    has_telemetry_ = true;
+    oracle_latency_ = telemetry->oracle_latency_seconds.Summarize();
+    simulated_cost_ = telemetry->simulated_cost_seconds.Summarize();
+    batch_size_ = telemetry->batch_size.Summarize();
+    bound_gap_ = telemetry->bound_gap.Summarize();
+    if (info_.trace_id.empty()) info_.trace_id = telemetry->trace_id;
+  }
+}
+
+uint64_t RunReport::AllPairs() const {
+  if (info_.n < 2) return 0;
+  return static_cast<uint64_t>(info_.n) * (info_.n - 1) / 2;
+}
+
+double RunReport::CallsSavedFraction() const {
+  const uint64_t all_pairs = AllPairs();
+  if (all_pairs == 0) return 0.0;
+  return 1.0 - static_cast<double>(stats_.oracle_calls) /
+                   static_cast<double>(all_pairs);
+}
+
+std::string RunReport::ToText() const {
+  const ResolverStats& s = stats_;
+  struct Row {
+    std::string label;
+    std::string value;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"oracle calls", FormatUint(s.oracle_calls)});
+  rows.push_back({"all-pairs budget", FormatUint(AllPairs())});
+  rows.push_back(
+      {"calls saved (%)", FormatDouble(CallsSavedFraction() * 100.0, 2)});
+  rows.push_back({"comparisons", FormatUint(s.comparisons)});
+  rows.push_back({"decided by bounds", FormatUint(s.decided_by_bounds)});
+  rows.push_back({"decided by cache", FormatUint(s.decided_by_cache)});
+  rows.push_back({"decided by oracle", FormatUint(s.decided_by_oracle)});
+  rows.push_back({"undecided (proof verbs)", FormatUint(s.undecided)});
+  if (s.oracle_retries > 0 || s.oracle_timeouts > 0 ||
+      s.oracle_failures > 0) {
+    rows.push_back({"oracle retries", FormatUint(s.oracle_retries)});
+    rows.push_back({"oracle timeouts", FormatUint(s.oracle_timeouts)});
+    rows.push_back({"oracle failures", FormatUint(s.oracle_failures)});
+    rows.push_back(
+        {"retry backoff (s)", FormatDouble(s.retry_backoff_seconds, 4)});
+  }
+  if (s.certs_emitted > 0 || s.certs_uncertified > 0) {
+    rows.push_back({"certs emitted", FormatUint(s.certs_emitted)});
+    rows.push_back({"certs verified", FormatUint(s.certs_verified)});
+    rows.push_back({"certs failed", FormatUint(s.certs_failed)});
+    rows.push_back({"certs uncertified", FormatUint(s.certs_uncertified)});
+  }
+  if (info_.have_store) {
+    rows.push_back({"store hits", FormatUint(s.store_hits)});
+    rows.push_back({"store misses", FormatUint(s.store_misses)});
+    rows.push_back({"warm-start edges", FormatUint(s.store_loaded_edges)});
+    rows.push_back({"wal appends", FormatUint(s.wal_appends)});
+  }
+  if (has_telemetry_ && oracle_latency_.count > 0) {
+    rows.push_back(
+        {"oracle latency p50 (s)", FormatDouble(oracle_latency_.p50, 6)});
+    rows.push_back(
+        {"oracle latency p90 (s)", FormatDouble(oracle_latency_.p90, 6)});
+    rows.push_back(
+        {"oracle latency p99 (s)", FormatDouble(oracle_latency_.p99, 6)});
+  }
+  if (has_telemetry_ && batch_size_.count > 0) {
+    rows.push_back({"batch size p50", FormatDouble(batch_size_.p50, 1)});
+    rows.push_back({"batch size p99", FormatDouble(batch_size_.p99, 1)});
+    rows.push_back({"batch size max", FormatDouble(batch_size_.max, 0)});
+  }
+  if (has_telemetry_ && bound_gap_.count > 0) {
+    rows.push_back({"bound gap p50", FormatDouble(bound_gap_.p50, 4)});
+    rows.push_back({"bound gap p90", FormatDouble(bound_gap_.p90, 4)});
+    rows.push_back({"bound gap p99", FormatDouble(bound_gap_.p99, 4)});
+  }
+  rows.push_back({"scheme CPU (s)", FormatDouble(s.bounder_seconds, 4)});
+  rows.push_back({"wall time (s)", FormatDouble(info_.wall_seconds, 3)});
+  if (info_.oracle_cost_seconds > 0) {
+    rows.push_back({"simulated oracle time (s)",
+                    FormatDouble(s.simulated_oracle_seconds, 1)});
+    rows.push_back(
+        {"completion time (s)",
+         FormatDouble(info_.wall_seconds + s.simulated_oracle_seconds, 1)});
+  }
+
+  // TablePrinter-compatible rendering: right-aligned cells, pipe borders,
+  // a header row and a dash separator under it.
+  size_t label_width = std::string("metric").size();
+  size_t value_width = std::string("value").size();
+  for (const Row& row : rows) {
+    label_width = std::max(label_width, row.label.size());
+    value_width = std::max(value_width, row.value.size());
+  }
+  std::string out = "\nAccounting\n";
+  const auto emit = [&](const std::string& label, const std::string& value) {
+    out.append("| ");
+    out.append(label_width - label.size(), ' ');
+    out.append(label);
+    out.append(" | ");
+    out.append(value_width - value.size(), ' ');
+    out.append(value);
+    out.append(" |\n");
+  };
+  emit("metric", "value");
+  out.push_back('|');
+  out.append(label_width + 2, '-');
+  out.push_back('|');
+  out.append(value_width + 2, '-');
+  out.append("|\n");
+  for (const Row& row : rows) emit(row.label, row.value);
+  return out;
+}
+
+std::string RunReport::ToJson() const {
+  std::string out;
+  out.reserve(2048);
+  out.push_back('{');
+  bool first = true;
+  AppendField(&out, &first, "schema", std::string("metricprox-run-report"));
+  AppendField(&out, &first, "schema_version",
+              static_cast<uint64_t>(kSchemaVersion));
+
+  AppendKey(&out, &first, "run");
+  {
+    out.push_back('{');
+    bool inner = true;
+    AppendField(&out, &inner, "tool", info_.tool);
+    AppendField(&out, &inner, "command", info_.command);
+    AppendField(&out, &inner, "dataset", info_.dataset);
+    AppendField(&out, &inner, "scheme", info_.scheme);
+    AppendField(&out, &inner, "n", static_cast<uint64_t>(info_.n));
+    AppendField(&out, &inner, "seed", info_.seed);
+    AppendField(&out, &inner, "trace_id", info_.trace_id);
+    AppendField(&out, &inner, "have_store", info_.have_store);
+    AppendField(&out, &inner, "audit", info_.audit);
+    out.push_back('}');
+  }
+
+  AppendKey(&out, &first, "timing");
+  {
+    out.push_back('{');
+    bool inner = true;
+    AppendField(&out, &inner, "wall_seconds", info_.wall_seconds);
+    AppendField(&out, &inner, "oracle_cost_seconds",
+                info_.oracle_cost_seconds);
+    AppendField(&out, &inner, "completion_seconds",
+                info_.wall_seconds + stats_.simulated_oracle_seconds);
+    out.push_back('}');
+  }
+
+  // One key per X-macro field, in declaration order. telemetry_test pins
+  // this object to exactly kResolverStatsFieldCount keys, so a new counter
+  // cannot be added without showing up here.
+  AppendKey(&out, &first, "stats");
+  {
+    out.push_back('{');
+    bool inner = true;
+#define METRICPROX_STATS_JSON_FIELD(type, name) \
+  AppendField(&out, &inner, #name, stats_.name);
+    METRICPROX_RESOLVER_STATS_FIELDS(METRICPROX_STATS_JSON_FIELD)
+#undef METRICPROX_STATS_JSON_FIELD
+    out.push_back('}');
+  }
+
+  AppendKey(&out, &first, "derived");
+  {
+    out.push_back('{');
+    bool inner = true;
+    AppendField(&out, &inner, "all_pairs", AllPairs());
+    AppendField(&out, &inner, "calls_saved_fraction", CallsSavedFraction());
+    out.push_back('}');
+  }
+
+  AppendKey(&out, &first, "telemetry");
+  {
+    out.push_back('{');
+    bool inner = true;
+    AppendField(&out, &inner, "enabled", has_telemetry_);
+    AppendKey(&out, &inner, "histograms");
+    {
+      out.push_back('{');
+      bool h = true;
+      AppendHistogram(&out, &h, "oracle_latency_seconds", oracle_latency_);
+      AppendHistogram(&out, &h, "simulated_cost_seconds", simulated_cost_);
+      AppendHistogram(&out, &h, "batch_size", batch_size_);
+      AppendHistogram(&out, &h, "bound_gap", bound_gap_);
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,78 @@
+#ifndef METRICPROX_OBS_REPORT_H_
+#define METRICPROX_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/types.h"
+#include "obs/histogram.h"
+#include "obs/telemetry.h"
+
+namespace metricprox {
+
+/// Run-level metadata that is not a resolver counter: what ran, over what,
+/// and how long it took.
+struct RunInfo {
+  std::string tool = "mpx";
+  std::string command;
+  std::string dataset;
+  std::string scheme;
+  ObjectId n = 0;
+  uint64_t seed = 0;
+  std::string trace_id;
+  bool have_store = false;
+  bool audit = false;
+  /// Simulated per-call oracle cost (the --oracle-cost flag); gates the
+  /// completion-time rows exactly like the old printf block did.
+  double oracle_cost_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// One run's accounting, renderable as a human table or as versioned JSON.
+///
+/// Both renderers read the same captured ResolverStats (whose fields come
+/// from the METRICPROX_RESOLVER_STATS_FIELDS X-macro), so the human and
+/// machine outputs cannot disagree: the JSON `stats` object carries exactly
+/// one key per X-macro field — pinned by telemetry_test — and the text
+/// table is a curated view over the same struct.
+///
+/// The text renderer reproduces the TablePrinter pipe format
+/// (`| label | value |`, right-aligned) so downstream `awk -F'|'` parsers
+/// of the mpx "Accounting" block keep working unchanged.
+class RunReport {
+ public:
+  static constexpr int kSchemaVersion = 1;
+
+  /// Captures everything by value; `telemetry` may be nullptr (histogram
+  /// summaries then report zero counts and the JSON says enabled=false).
+  RunReport(RunInfo info, const ResolverStats& stats,
+            const Telemetry* telemetry);
+
+  /// The "Accounting" table, including the leading "\nAccounting" title
+  /// and trailing newline, ready for fputs.
+  std::string ToText() const;
+
+  /// Versioned single-object JSON document (no trailing newline).
+  std::string ToJson() const;
+
+  const RunInfo& info() const { return info_; }
+  const ResolverStats& stats() const { return stats_; }
+
+ private:
+  uint64_t AllPairs() const;
+  double CallsSavedFraction() const;
+
+  RunInfo info_;
+  ResolverStats stats_;
+  bool has_telemetry_ = false;
+  Histogram::Summary oracle_latency_;
+  Histogram::Summary simulated_cost_;
+  Histogram::Summary batch_size_;
+  Histogram::Summary bound_gap_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_OBS_REPORT_H_

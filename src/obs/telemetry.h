@@ -1,0 +1,84 @@
+#ifndef METRICPROX_OBS_TELEMETRY_H_
+#define METRICPROX_OBS_TELEMETRY_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "core/stats.h"
+#include "core/types.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+
+namespace metricprox {
+
+/// The per-run telemetry bundle: a trace sink plus the standard histograms.
+///
+/// Instrumented layers (BoundedResolver, the oracle middleware stack,
+/// DistanceStore) hold a raw `Telemetry*` that defaults to nullptr; every
+/// instrumentation site sits behind a single pointer check, so a run with
+/// no telemetry attached does no extra work beyond that branch — and, by
+/// construction, issues zero extra oracle calls either way (probes only
+/// read bounds, never resolve). The traced-vs-untraced equivalence test
+/// pins both properties.
+///
+/// Histograms fill whenever a Telemetry is attached, even with no sink
+/// (the `--stats-json` without `--trace` case). Events only flow when a
+/// sink is set.
+///
+/// Thread-safety: Emit is safe from batch-transport worker threads (the
+/// sequence counter is atomic and sinks lock internally). The histograms
+/// are not internally synchronized — layers record into them only from
+/// the calling thread, mirroring how ResolverStats is maintained; code
+/// running on workers should use worker-local Histogram instances and
+/// Merge them (see core/parallel.h for the worker model).
+struct Telemetry {
+  /// Destination for trace events; not owned; nullptr disables tracing.
+  TraceSink* sink = nullptr;
+  /// Identifier stamped into the trace header and the run report.
+  std::string trace_id = "run";
+
+  /// Wall-clock latency of each scalar oracle resolution and each batch
+  /// round-trip, in seconds.
+  Histogram oracle_latency_seconds;
+  /// Simulated per-pair cost accrued by SimulatedCostOracle, in seconds.
+  Histogram simulated_cost_seconds;
+  /// Unique unresolved pairs per resolver batch (both transports: this
+  /// measures the algorithm's batching structure, not the wire).
+  Histogram batch_size;
+  /// Relative bound gap (ub - lb) / ub observed at the moment a comparison
+  /// fell through to the oracle (or a proof verb gave up) — the paper's
+  /// bound-tightness story as a distribution.
+  Histogram bound_gap;
+
+  /// Stamps the sequence number and monotonic timestamp, then forwards to
+  /// the sink. No-op without a sink.
+  void Emit(TraceEvent event) {
+    if (sink == nullptr) return;
+    event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    event.t_ns = static_cast<uint64_t>(clock_.ElapsedSeconds() * 1e9);
+    sink->Emit(event);
+  }
+
+  bool tracing() const { return sink != nullptr; }
+
+ private:
+  Stopwatch clock_;
+  std::atomic<uint64_t> seq_{0};
+};
+
+/// Relative width of a bound interval against the threshold-free scale of
+/// its own upper bound, clamped into [0, 1]. Uninformative intervals
+/// (infinite or non-positive upper bound) report 1.0 — "the bounds said
+/// nothing".
+inline double RelativeBoundGap(const Interval& bounds) {
+  if (!std::isfinite(bounds.hi) || bounds.hi <= 0.0) return 1.0;
+  const double lb = std::max(bounds.lo, 0.0);
+  return std::clamp((bounds.hi - lb) / bounds.hi, 0.0, 1.0);
+}
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_OBS_TELEMETRY_H_

@@ -1,0 +1,220 @@
+#include "obs/trace.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstring>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kComparison: return "comparison";
+    case TraceEventKind::kDecidedByCache: return "decided_by_cache";
+    case TraceEventKind::kDecidedByBounds: return "decided_by_bounds";
+    case TraceEventKind::kDecidedByOracle: return "decided_by_oracle";
+    case TraceEventKind::kUndecided: return "undecided";
+    case TraceEventKind::kBoundInterval: return "bound_interval";
+    case TraceEventKind::kOracleCall: return "oracle_call";
+    case TraceEventKind::kBatchShipped: return "batch_shipped";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kBackoff: return "backoff";
+    case TraceEventKind::kStoreHit: return "store_hit";
+    case TraceEventKind::kWalAppend: return "wal_append";
+    case TraceEventKind::kCompaction: return "compaction";
+  }
+  return "unknown";
+}
+
+namespace obsjson {
+
+void AppendString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips any double; shorter representations are preferred
+  // automatically when exact.
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+namespace {
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+}  // namespace
+
+}  // namespace obsjson
+
+std::string TraceEventToJson(const TraceEvent& event) {
+  std::string out;
+  out.reserve(160);
+  out.append("{\"seq\":");
+  obsjson::AppendUint(&out, event.seq);
+  out.append(",\"t_ns\":");
+  obsjson::AppendUint(&out, event.t_ns);
+  out.append(",\"kind\":");
+  obsjson::AppendString(&out, TraceEventKindName(event.kind));
+  const auto field = [&out](const char* name, double value) {
+    if (std::isnan(value)) return;
+    out.push_back(',');
+    out.push_back('"');
+    out.append(name);
+    out.append("\":");
+    obsjson::AppendDouble(&out, value);
+  };
+  if (event.i != kInvalidObject) {
+    out.append(",\"i\":");
+    obsjson::AppendUint(&out, event.i);
+  }
+  if (event.j != kInvalidObject) {
+    out.append(",\"j\":");
+    obsjson::AppendUint(&out, event.j);
+  }
+  field("lb", event.lb);
+  field("ub", event.ub);
+  field("threshold", event.threshold);
+  field("value", event.value);
+  field("seconds", event.seconds);
+  if (event.count > 0) {
+    out.append(",\"count\":");
+    obsjson::AppendUint(&out, event.count);
+  }
+  out.push_back('}');
+  return out;
+}
+
+RingBufferTraceSink::RingBufferTraceSink(size_t capacity)
+    : capacity_(capacity) {
+  CHECK(capacity > 0) << "ring buffer capacity must be positive";
+  ring_.reserve(capacity);
+}
+
+void RingBufferTraceSink::Emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++emitted_;
+}
+
+std::vector<TraceEvent> RingBufferTraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (size_t k = 0; k < ring_.size(); ++k) {
+    out.push_back(ring_[(next_ + k) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t RingBufferTraceSink::emitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+uint64_t RingBufferTraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_ > capacity_ ? emitted_ - capacity_ : 0;
+}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path,
+                               const std::string& trace_id, uint64_t limit)
+    : limit_(limit) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open trace file " + path + ": " +
+                              std::strerror(errno));
+    return;
+  }
+  std::string header =
+      "{\"schema\":\"metricprox-trace\",\"schema_version\":1,\"trace_id\":";
+  obsjson::AppendString(&header, trace_id);
+  header.append("}\n");
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    status_ = Status::IoError("cannot write trace header to " + path);
+  }
+}
+
+JsonlTraceSink::~JsonlTraceSink() { Close(); }
+
+void JsonlTraceSink::Emit(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr || !status_.ok()) return;
+  if (limit_ > 0 && written_ >= limit_) {  // limit 0 = unlimited
+    ++dropped_;
+    return;
+  }
+  std::string line = TraceEventToJson(event);
+  line.push_back('\n');
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    status_ = Status::IoError("short write on trace file");
+    return;
+  }
+  ++written_;
+}
+
+Status JsonlTraceSink::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return status_;
+  if (status_.ok()) {
+    std::string footer = "{\"trace_footer\":true,\"events_written\":";
+    obsjson::AppendUint(&footer, written_);
+    footer.append(",\"events_dropped\":");
+    obsjson::AppendUint(&footer, dropped_);
+    footer.append("}\n");
+    if (std::fwrite(footer.data(), 1, footer.size(), file_) !=
+        footer.size()) {
+      status_ = Status::IoError("short write on trace footer");
+    }
+  }
+  if (std::fclose(file_) != 0 && status_.ok()) {
+    status_ = Status::IoError("close failed on trace file");
+  }
+  file_ = nullptr;
+  return status_;
+}
+
+uint64_t JsonlTraceSink::written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+uint64_t JsonlTraceSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,142 @@
+#ifndef METRICPROX_OBS_TRACE_H_
+#define METRICPROX_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// What happened. One enumerator per observable action on the distance
+/// path; the JSONL schema in tools/schema/trace_schema.json lists the same
+/// names and CI validates emitted traces against it.
+enum class TraceEventKind : uint8_t {
+  kComparison,       // a comparison verb was asked (LessThan/PairLess/proofs)
+  kDecidedByCache,   // answered from already-resolved edges
+  kDecidedByBounds,  // answered by the bound scheme, no oracle touched
+  kDecidedByOracle,  // fell through to a resolution
+  kUndecided,        // one-sided proof verb returned "not proven"
+  kBoundInterval,    // bound interval [lb, ub] at the moment of fallthrough
+  kOracleCall,       // one resolved distance, with observed latency
+  kBatchShipped,     // a batch round-trip left for the oracle
+  kRetry,            // retry middleware re-shipped pair(s)
+  kBackoff,          // retry middleware slept between attempts
+  kStoreHit,         // persistent store answered, inner oracle untouched
+  kWalAppend,        // fresh distance appended to the write-ahead log
+  kCompaction,       // store snapshot rewritten, WAL truncated
+};
+
+/// Stable wire name ("decided_by_bounds", "oracle_call", ...).
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+/// One telemetry event. Fields that do not apply to a kind stay at their
+/// defaults and are omitted from the JSONL encoding (NaN doubles,
+/// kInvalidObject ids, zero count).
+struct TraceEvent {
+  static constexpr double kUnset = std::numeric_limits<double>::quiet_NaN();
+
+  TraceEventKind kind = TraceEventKind::kComparison;
+  uint64_t seq = 0;   // per-run sequence number, assigned by Telemetry::Emit
+  uint64_t t_ns = 0;  // monotonic nanoseconds since telemetry start
+  ObjectId i = kInvalidObject;
+  ObjectId j = kInvalidObject;
+  double lb = kUnset;         // lower bound (kBoundInterval)
+  double ub = kUnset;         // upper bound (kBoundInterval)
+  double threshold = kUnset;  // comparison threshold, when there is one
+  double value = kUnset;      // resolved distance (kOracleCall, kStoreHit)
+  double seconds = kUnset;    // latency / backoff duration
+  uint64_t count = 0;         // batch size / retried pairs / compacted edges
+};
+
+/// One JSON object, no trailing newline. Non-finite doubles are emitted as
+/// null so the output stays strict JSON.
+std::string TraceEventToJson(const TraceEvent& event);
+
+/// Where events go. Implementations must tolerate concurrent Emit calls:
+/// the batch transport resolves pairs on worker threads.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const TraceEvent& event) = 0;
+};
+
+/// Discards everything. Useful for overhead measurements where the
+/// histograms should fill but no trace should be kept.
+class NullTraceSink final : public TraceSink {
+ public:
+  void Emit(const TraceEvent&) override {}
+};
+
+/// Keeps the most recent `capacity` events in memory; older events are
+/// overwritten and counted as dropped. Snapshot() returns oldest-first.
+class RingBufferTraceSink final : public TraceSink {
+ public:
+  explicit RingBufferTraceSink(size_t capacity);
+
+  void Emit(const TraceEvent& event) override;
+
+  std::vector<TraceEvent> Snapshot() const;
+  uint64_t emitted() const;
+  /// Events overwritten before anyone looked at them.
+  uint64_t dropped() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;        // slot the next event lands in
+  uint64_t emitted_ = 0;
+};
+
+/// Streams events to a file as JSON Lines: one header object, one object
+/// per event, one footer object written by Close(). Events past `limit`
+/// are counted as dropped instead of written, bounding trace size on long
+/// runs; limit 0 means unlimited.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// Opens `path` for writing and emits the header line. Check status()
+  /// before use; Emit on a failed sink is a no-op.
+  JsonlTraceSink(const std::string& path, const std::string& trace_id,
+                 uint64_t limit);
+  ~JsonlTraceSink() override;
+
+  JsonlTraceSink(const JsonlTraceSink&) = delete;
+  JsonlTraceSink& operator=(const JsonlTraceSink&) = delete;
+
+  void Emit(const TraceEvent& event) override;
+
+  /// Writes the footer (events written/dropped) and closes the file.
+  /// Idempotent; returns the first error encountered over the sink's life.
+  Status Close();
+
+  const Status& status() const { return status_; }
+  uint64_t written() const;
+  uint64_t dropped() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  Status status_;
+  uint64_t limit_;
+  uint64_t written_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+namespace obsjson {
+/// Appends `s` as a double-quoted JSON string with escaping.
+void AppendString(std::string* out, std::string_view s);
+/// Appends a JSON number; non-finite values become null (strict JSON has
+/// no NaN/Infinity literals).
+void AppendDouble(std::string* out, double value);
+}  // namespace obsjson
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_OBS_TRACE_H_

@@ -46,6 +46,12 @@ void RetryingOracle::Backoff(double seconds) {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   }
   stats_.backoff_seconds += seconds;
+  if (telemetry_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kBackoff;
+    event.seconds = seconds;
+    telemetry_->Emit(event);
+  }
 }
 
 StatusOr<double> RetryingOracle::TryDistance(ObjectId i, ObjectId j) {
@@ -64,6 +70,14 @@ StatusOr<double> RetryingOracle::TryDistance(ObjectId i, ObjectId j) {
       }
       Backoff(sleep);
       ++stats_.retries;
+      if (telemetry_ != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::kRetry;
+        event.i = i;
+        event.j = j;
+        event.count = attempt;  // retry round, 1-based
+        telemetry_->Emit(event);
+      }
     }
     ++stats_.attempts;
     StatusOr<double> result = base_->TryDistance(i, j);
@@ -107,6 +121,12 @@ Status RetryingOracle::TryBatchDistance(std::span<const IdPair> pairs,
       }
       Backoff(sleep);
       stats_.retries += active.size();
+      if (telemetry_ != nullptr) {
+        TraceEvent event;
+        event.kind = TraceEventKind::kRetry;
+        event.count = active.size();  // pairs re-shipped this round
+        telemetry_->Emit(event);
+      }
     }
 
     round_pairs.clear();

@@ -9,6 +9,7 @@
 #include "core/stats.h"
 #include "core/status.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 namespace metricprox {
 
@@ -89,6 +90,10 @@ class RetryingOracle : public DistanceOracle {
   /// the CLI call this once per workload).
   void AccumulateStats(ResolverStats* stats) const;
 
+  /// Attaches (or with nullptr, detaches) telemetry: retry and backoff
+  /// events. Pure observation — retry behavior and counters are unchanged.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
   /// Jittered, capped backoff for retry round `round` (0-based). Advances
   /// the deterministic jitter sequence.
@@ -99,6 +104,7 @@ class RetryingOracle : public DistanceOracle {
   DistanceOracle* base_;  // not owned
   RetryOptions options_;
   RetryStats stats_;
+  Telemetry* telemetry_ = nullptr;  // not owned; nullptr = telemetry off
   uint64_t jitter_counter_ = 0;
 };
 

@@ -8,6 +8,7 @@
 
 #include "core/oracle.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 namespace metricprox {
 
@@ -66,6 +67,7 @@ class SimulatedCostOracle : public DistanceOracle {
 
   double Distance(ObjectId i, ObjectId j) override {
     simulated_seconds_ += seconds_per_call_;
+    RecordCost(1);
     return base_->Distance(i, j);
   }
   // Simulated latency stays per pair: the modeled API bills every request
@@ -73,17 +75,20 @@ class SimulatedCostOracle : public DistanceOracle {
   void BatchDistance(std::span<const IdPair> pairs,
                      std::span<double> out) override {
     simulated_seconds_ += seconds_per_call_ * static_cast<double>(pairs.size());
+    RecordCost(pairs.size());
     base_->BatchDistance(pairs, out);
   }
   // Fallible verbs bill per attempted pair too: the modeled API charges for
   // a request whether or not the answer arrives.
   StatusOr<double> TryDistance(ObjectId i, ObjectId j) override {
     simulated_seconds_ += seconds_per_call_;
+    RecordCost(1);
     return base_->TryDistance(i, j);
   }
   Status TryBatchDistance(std::span<const IdPair> pairs, std::span<double> out,
                           std::span<Status> statuses) override {
     simulated_seconds_ += seconds_per_call_ * static_cast<double>(pairs.size());
+    RecordCost(pairs.size());
     return base_->TryBatchDistance(pairs, out, statuses);
   }
   ObjectId num_objects() const override { return base_->num_objects(); }
@@ -97,10 +102,22 @@ class SimulatedCostOracle : public DistanceOracle {
   double seconds_per_call() const { return seconds_per_call_; }
   void Reset() { simulated_seconds_ = 0.0; }
 
+  /// Attaches (or with nullptr, detaches) telemetry: the per-pair simulated
+  /// cost feeds the simulated_cost_seconds histogram.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
+  void RecordCost(size_t pairs) {
+    if (telemetry_ == nullptr || seconds_per_call_ <= 0.0) return;
+    for (size_t k = 0; k < pairs; ++k) {
+      telemetry_->simulated_cost_seconds.Record(seconds_per_call_);
+    }
+  }
+
   DistanceOracle* base_;  // not owned
   double seconds_per_call_;
   double simulated_seconds_ = 0.0;
+  Telemetry* telemetry_ = nullptr;  // not owned; nullptr = telemetry off
 };
 
 /// Memoizes results of the wrapped oracle. Note that a BoundedResolver

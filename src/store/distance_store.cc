@@ -387,6 +387,12 @@ Status DistanceStore::Compact() {
   wal_record_count_ = 0;
   appends_since_fsync_ = 0;
   ++counters_.compactions;
+  if (telemetry_ != nullptr) {
+    TraceEvent event;
+    event.kind = TraceEventKind::kCompaction;
+    event.count = sorted.size();  // edges now durable in the snapshot
+    telemetry_->Emit(event);
+  }
   return Status::OK();
 }
 

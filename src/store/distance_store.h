@@ -11,6 +11,7 @@
 
 #include "core/status.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 
 namespace metricprox {
 
@@ -158,6 +159,10 @@ class DistanceStore {
   /// warm-start payload for PartialDistanceGraph::InsertEdges.
   std::vector<WeightedEdge> Edges() const;
 
+  /// Attaches (or with nullptr, detaches) telemetry: compaction events.
+  /// Pure observation.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
   size_t size() const { return edges_.size(); }
   const StoreFingerprint& fingerprint() const { return fingerprint_; }
   const StoreCounters& counters() const { return counters_; }
@@ -188,6 +193,7 @@ class DistanceStore {
   std::string base_path_;
   StoreFingerprint fingerprint_;
   StoreOptions options_;
+  Telemetry* telemetry_ = nullptr;  // not owned; nullptr = telemetry off
   std::unordered_map<EdgeKey, double, EdgeKeyHash> edges_;
   StoreCounters counters_;
   uint64_t snapshot_edges_ = 0;

@@ -15,11 +15,29 @@ PersistentOracle::PersistentOracle(DistanceOracle* base, DistanceStore* store)
       << "store fingerprint does not match the oracle's universe";
 }
 
+void PersistentOracle::TraceHit(ObjectId i, ObjectId j, double d) {
+  if (telemetry_ == nullptr) return;
+  TraceEvent event;
+  event.kind = TraceEventKind::kStoreHit;
+  event.i = i;
+  event.j = j;
+  event.value = d;
+  telemetry_->Emit(event);
+}
+
 void PersistentOracle::RecordToStore(ObjectId i, ObjectId j, double d) {
   if (store_->read_only()) return;
   const Status s = store_->Record(i, j, d);
   if (s.ok()) {
     ++appends_;
+    if (telemetry_ != nullptr) {
+      TraceEvent event;
+      event.kind = TraceEventKind::kWalAppend;
+      event.i = i;
+      event.j = j;
+      event.value = d;
+      telemetry_->Emit(event);
+    }
   } else {
     ++write_failures_;
     if (store_status_.ok()) store_status_ = s;
@@ -29,6 +47,7 @@ void PersistentOracle::RecordToStore(ObjectId i, ObjectId j, double d) {
 double PersistentOracle::Distance(ObjectId i, ObjectId j) {
   if (const std::optional<double> hit = store_->Lookup(i, j)) {
     ++hits_;
+    TraceHit(i, j, *hit);
     return *hit;
   }
   ++misses_;
@@ -47,6 +66,7 @@ void PersistentOracle::BatchDistance(std::span<const IdPair> pairs,
   for (size_t k = 0; k < pairs.size(); ++k) {
     if (const std::optional<double> hit = store_->Lookup(pairs[k].i, pairs[k].j)) {
       ++hits_;
+      TraceHit(pairs[k].i, pairs[k].j, *hit);
       out[k] = *hit;
     } else {
       miss_slots.push_back(k);
@@ -66,6 +86,7 @@ void PersistentOracle::BatchDistance(std::span<const IdPair> pairs,
 StatusOr<double> PersistentOracle::TryDistance(ObjectId i, ObjectId j) {
   if (const std::optional<double> hit = store_->Lookup(i, j)) {
     ++hits_;
+    TraceHit(i, j, *hit);
     return *hit;
   }
   ++misses_;
@@ -84,6 +105,7 @@ Status PersistentOracle::TryBatchDistance(std::span<const IdPair> pairs,
   for (size_t k = 0; k < pairs.size(); ++k) {
     if (const std::optional<double> hit = store_->Lookup(pairs[k].i, pairs[k].j)) {
       ++hits_;
+      TraceHit(pairs[k].i, pairs[k].j, *hit);
       out[k] = *hit;
       statuses[k] = Status::OK();
     } else {

@@ -9,6 +9,7 @@
 #include "core/stats.h"
 #include "core/status.h"
 #include "core/types.h"
+#include "obs/telemetry.h"
 #include "store/distance_store.h"
 
 namespace metricprox {
@@ -69,12 +70,20 @@ class PersistentOracle : public DistanceOracle {
   /// harness and the CLI call this once per workload).
   void AccumulateStats(ResolverStats* stats) const;
 
+  /// Attaches (or with nullptr, detaches) telemetry: store-hit and
+  /// WAL-append events. Pure observation.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
  private:
   /// Logs a resolved distance, downgrading write errors to counters.
   void RecordToStore(ObjectId i, ObjectId j, double d);
 
+  /// Emits a kStoreHit event (telemetry attached only).
+  void TraceHit(ObjectId i, ObjectId j, double d);
+
   DistanceOracle* base_;  // not owned
   DistanceStore* store_;  // not owned
+  Telemetry* telemetry_ = nullptr;  // not owned; nullptr = telemetry off
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t appends_ = 0;

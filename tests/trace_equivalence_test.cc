@@ -1,0 +1,223 @@
+// Traced-vs-untraced equivalence: attaching the full telemetry bundle (ring
+// sink + histograms) to a run must change nothing observable — outputs are
+// byte-identical and every decision counter matches, under both transports,
+// across the audit matrix of algorithms x schemes. Telemetry only watches
+// the distance path; gap probes read bounds without resolving, so even
+// bound_queries and bounder_seconds-adjacent counters stay equal. As a
+// bonus the ring snapshot is cross-checked against the counters: the trace
+// is not just harmless, it is a faithful transcript of the decisions.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/boruvka.h"
+#include "algo/knn_graph.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "bounds/resolver.h"
+#include "bounds/scheme.h"
+#include "core/logging.h"
+#include "data/datasets.h"
+#include "graph/partial_graph.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace metricprox {
+namespace {
+
+struct RunOutput {
+  std::vector<double> blob;  // flattened algorithm output
+  ResolverStats stats;
+};
+
+RunOutput RunOnce(const Dataset& dataset, const std::string& algorithm,
+                  SchemeKind scheme, uint64_t seed, bool batch_transport,
+                  Telemetry* telemetry) {
+  PartialDistanceGraph graph(dataset.oracle->num_objects());
+  BoundedResolver resolver(dataset.oracle.get(), &graph);
+  resolver.SetBatchTransport(batch_transport);
+  resolver.SetTelemetry(telemetry);
+
+  RunOutput run;
+  auto push_edge = [&run](const WeightedEdge& e) {
+    run.blob.push_back(e.u);
+    run.blob.push_back(e.v);
+    run.blob.push_back(e.weight);
+  };
+  std::unique_ptr<Bounder> bounder_keepalive;
+  const StatusOr<double> outcome =
+      resolver.RunFallible([&](BoundedResolver* r) -> double {
+        SchemeOptions options;
+        options.seed = seed;
+        options.max_distance = dataset.max_distance;
+        StatusOr<std::unique_ptr<Bounder>> bounder =
+            MakeAndAttachScheme(scheme, r, options);
+        CHECK(bounder.ok()) << bounder.status();
+        bounder_keepalive = std::move(bounder).value();
+
+        if (algorithm == "prim") {
+          for (const WeightedEdge& e : PrimMst(r).edges) push_edge(e);
+        } else if (algorithm == "boruvka") {
+          for (const WeightedEdge& e : BoruvkaMst(r).edges) push_edge(e);
+        } else if (algorithm == "knn") {
+          for (const auto& row : BuildKnnGraph(r, KnnGraphOptions{3})) {
+            for (const KnnNeighbor& nb : row) {
+              run.blob.push_back(nb.id);
+              run.blob.push_back(nb.distance);
+            }
+          }
+        } else {  // pam
+          PamOptions options_pam;
+          options_pam.num_medoids = 4;
+          const ClusteringResult c = PamCluster(r, options_pam);
+          for (const ObjectId m : c.medoids) run.blob.push_back(m);
+          for (const uint32_t a : c.assignment) run.blob.push_back(a);
+          run.blob.push_back(c.total_deviation);
+        }
+        return 0.0;
+      });
+  CHECK(outcome.ok()) << outcome.status();
+  run.stats = resolver.stats();
+  return run;
+}
+
+uint64_t CountKind(const std::vector<TraceEvent>& events,
+                   TraceEventKind kind) {
+  uint64_t n = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+void ExpectIdentical(const RunOutput& bare, const RunOutput& traced,
+                     const std::string& context) {
+  // Byte-identical outputs: compare the raw doubles, not within tolerance.
+  ASSERT_EQ(bare.blob.size(), traced.blob.size()) << context;
+  for (size_t k = 0; k < bare.blob.size(); ++k) {
+    EXPECT_EQ(bare.blob[k], traced.blob[k]) << context << " blob[" << k << "]";
+  }
+  const ResolverStats& a = bare.stats;
+  const ResolverStats& b = traced.stats;
+  EXPECT_EQ(a.oracle_calls, b.oracle_calls) << context;
+  EXPECT_EQ(a.comparisons, b.comparisons) << context;
+  EXPECT_EQ(a.decided_by_bounds, b.decided_by_bounds) << context;
+  EXPECT_EQ(a.decided_by_cache, b.decided_by_cache) << context;
+  EXPECT_EQ(a.decided_by_oracle, b.decided_by_oracle) << context;
+  EXPECT_EQ(a.undecided, b.undecided) << context;
+  // Gap probes bypass the resolver's Bounds() verb, so the bound-query
+  // accounting is equal too — telemetry never shows up in the counters.
+  EXPECT_EQ(a.bound_queries, b.bound_queries) << context;
+  EXPECT_EQ(a.batch_calls, b.batch_calls) << context;
+  EXPECT_EQ(a.batch_resolved_pairs, b.batch_resolved_pairs) << context;
+}
+
+void ExpectFaithfulTrace(const RunOutput& traced,
+                         const std::vector<TraceEvent>& events,
+                         bool batch_transport, const std::string& context) {
+  const ResolverStats& s = traced.stats;
+  EXPECT_EQ(CountKind(events, TraceEventKind::kComparison), s.comparisons)
+      << context;
+  EXPECT_EQ(CountKind(events, TraceEventKind::kDecidedByBounds),
+            s.decided_by_bounds)
+      << context;
+  EXPECT_EQ(CountKind(events, TraceEventKind::kDecidedByCache),
+            s.decided_by_cache)
+      << context;
+  EXPECT_EQ(CountKind(events, TraceEventKind::kDecidedByOracle),
+            s.decided_by_oracle)
+      << context;
+  EXPECT_EQ(CountKind(events, TraceEventKind::kUndecided), s.undecided)
+      << context;
+  EXPECT_EQ(CountKind(events, TraceEventKind::kBatchShipped), s.batch_calls)
+      << context;
+  // Every oracle resolution is on the wire exactly once: per pair via
+  // oracle_call on the scalar path, rolled into batch_shipped.count on the
+  // batch path.
+  uint64_t resolved = CountKind(events, TraceEventKind::kOracleCall);
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kBatchShipped) resolved += e.count;
+  }
+  EXPECT_EQ(resolved, s.oracle_calls) << context;
+  if (!batch_transport) {
+    EXPECT_EQ(CountKind(events, TraceEventKind::kOracleCall), s.oracle_calls)
+        << context;
+  }
+}
+
+Dataset MakeNamedDataset(const std::string& name, ObjectId n, uint64_t seed) {
+  if (name == "sf") return MakeSfPoiLike(n, seed);
+  if (name == "dna") return MakeDnaLike(n, 40, seed);
+  return MakeRandomMetric(n, seed);
+}
+
+class TraceEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+TEST_P(TraceEquivalenceTest, TracedRunIsByteIdentical) {
+  const std::string dataset_name = std::get<0>(GetParam());
+  const std::string algorithm = std::get<1>(GetParam());
+  const uint64_t seed = 42;
+  const ObjectId n = dataset_name == "sf" ? 48
+                     : dataset_name == "dna" ? 32
+                                             : 36;
+  const Dataset dataset = MakeNamedDataset(dataset_name, n, seed);
+  // DFT solves dense LPs per undecided comparison and rebuilds its
+  // constraint system after every resolution, so its audit-matrix leg runs
+  // on a shrunken instance (same sizing as certificate_test's DFT cell).
+  const Dataset small = MakeNamedDataset(
+      dataset_name, algorithm == "pam" ? 10 : 12, seed);
+
+  for (const SchemeKind scheme :
+       {SchemeKind::kTri, SchemeKind::kSplub, SchemeKind::kDft}) {
+    const Dataset& data = scheme == SchemeKind::kDft ? small : dataset;
+    for (const bool batch_transport : {false, true}) {
+      const std::string context =
+          dataset_name + "/" + algorithm + "/" +
+          std::string(SchemeKindName(scheme)) +
+          (batch_transport ? "/batch" : "/serial");
+
+      const RunOutput bare = RunOnce(data, algorithm, scheme, seed,
+                                     batch_transport, nullptr);
+
+      RingBufferTraceSink sink(1u << 20);
+      Telemetry telemetry;
+      telemetry.sink = &sink;
+      telemetry.trace_id = context;
+      const RunOutput traced = RunOnce(data, algorithm, scheme, seed,
+                                       batch_transport, &telemetry);
+
+      ExpectIdentical(bare, traced, context);
+      ASSERT_EQ(sink.dropped(), 0u) << context << ": grow the ring";
+      const std::vector<TraceEvent> events = sink.Snapshot();
+      EXPECT_GT(events.size(), 0u) << context;
+      ExpectFaithfulTrace(traced, events, batch_transport, context);
+      // Sequence numbers are gap-free in emission order.
+      for (size_t k = 0; k < events.size(); ++k) {
+        ASSERT_EQ(events[k].seq, k) << context;
+      }
+      // Histograms filled alongside the events.
+      EXPECT_GT(telemetry.bound_gap.count(), 0u) << context;
+      EXPECT_GT(telemetry.oracle_latency_seconds.count(), 0u) << context;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AuditMatrix, TraceEquivalenceTest,
+    ::testing::Combine(::testing::Values("sf", "random", "dna"),
+                       ::testing::Values("prim", "boruvka", "knn", "pam")),
+    [](const ::testing::TestParamInfo<TraceEquivalenceTest::ParamType>&
+           info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace metricprox

@@ -51,6 +51,15 @@
 //   mpx store info    --store=<path>    shape, fingerprint, torn-tail bytes
 //   mpx store verify  --store=<path>    validate headers and CRCs end to end
 //   mpx store compact --store=<path>    fold the WAL into the snapshot
+//
+// Telemetry (docs/ARCHITECTURE.md, "Telemetry & tracing"; off by default,
+// and when off the run is byte-identical to a build without it):
+//   --stats-json=<path>      write the run report as versioned JSON
+//                            (tools/schema/run_report_schema.json)
+//   --trace=<path>           stream decision/bound/oracle/store events as
+//                            JSONL (tools/schema/trace_schema.json)
+//   --trace-limit=<k>        keep at most k events (0 = unlimited); the
+//                            footer reports how many were dropped
 
 #include <bit>
 #include <cmath>
@@ -80,6 +89,9 @@
 #include "graph/graph_io.h"
 #include "harness/flags.h"
 #include "harness/table.h"
+#include "obs/report.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "oracle/fault_injection.h"
 #include "oracle/retry.h"
 #include "oracle/wrappers.h"
@@ -144,55 +156,21 @@ StatusOr<Dataset> MakeDataset(const std::string& name, ObjectId n,
   return Status::InvalidArgument("unknown dataset: " + name);
 }
 
-void PrintStats(const ResolverStats& s, ObjectId n, double oracle_cost,
-                double simulated_seconds, double wall_seconds,
-                bool have_store) {
-  const uint64_t all_pairs = static_cast<uint64_t>(n) * (n - 1) / 2;
-  TablePrinter table({"metric", "value"});
-  table.NewRow().AddCell("oracle calls").AddUint(s.oracle_calls);
-  table.NewRow().AddCell("all-pairs budget").AddUint(all_pairs);
-  table.NewRow().AddCell("calls saved (%)").AddPercent(
-      1.0 - static_cast<double>(s.oracle_calls) /
-                static_cast<double>(all_pairs));
-  table.NewRow().AddCell("comparisons").AddUint(s.comparisons);
-  table.NewRow().AddCell("decided by bounds").AddUint(s.decided_by_bounds);
-  table.NewRow().AddCell("decided by cache").AddUint(s.decided_by_cache);
-  table.NewRow().AddCell("decided by oracle").AddUint(s.decided_by_oracle);
-  table.NewRow().AddCell("undecided (proof verbs)").AddUint(s.undecided);
-  if (s.oracle_retries > 0 || s.oracle_timeouts > 0 ||
-      s.oracle_failures > 0) {
-    table.NewRow().AddCell("oracle retries").AddUint(s.oracle_retries);
-    table.NewRow().AddCell("oracle timeouts").AddUint(s.oracle_timeouts);
-    table.NewRow().AddCell("oracle failures").AddUint(s.oracle_failures);
-    table.NewRow()
-        .AddCell("retry backoff (s)")
-        .AddDouble(s.retry_backoff_seconds, 4);
+/// Writes `contents` to `path` (overwriting), surfacing the first error.
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
   }
-  if (s.certs_emitted > 0 || s.certs_uncertified > 0) {
-    table.NewRow().AddCell("certs emitted").AddUint(s.certs_emitted);
-    table.NewRow().AddCell("certs verified").AddUint(s.certs_verified);
-    table.NewRow().AddCell("certs failed").AddUint(s.certs_failed);
-    table.NewRow().AddCell("certs uncertified").AddUint(s.certs_uncertified);
+  Status status;
+  if (std::fwrite(contents.data(), 1, contents.size(), file) !=
+      contents.size()) {
+    status = Status::IoError("short write to " + path);
   }
-  if (have_store) {
-    table.NewRow().AddCell("store hits").AddUint(s.store_hits);
-    table.NewRow().AddCell("store misses").AddUint(s.store_misses);
-    table.NewRow()
-        .AddCell("warm-start edges")
-        .AddUint(s.store_loaded_edges);
-    table.NewRow().AddCell("wal appends").AddUint(s.wal_appends);
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = Status::IoError("close failed for " + path);
   }
-  table.NewRow().AddCell("scheme CPU (s)").AddDouble(s.bounder_seconds, 4);
-  table.NewRow().AddCell("wall time (s)").AddDouble(wall_seconds, 3);
-  if (oracle_cost > 0) {
-    table.NewRow()
-        .AddCell("simulated oracle time (s)")
-        .AddDouble(simulated_seconds, 1);
-    table.NewRow()
-        .AddCell("completion time (s)")
-        .AddDouble(wall_seconds + simulated_seconds, 1);
-  }
-  table.Print("\nAccounting");
+  return status;
 }
 
 int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
@@ -241,6 +219,10 @@ int Run(const std::string& command, const Flags& flags) {
   const bool store_readonly = flags.GetBool("store-readonly", false);
   const bool store_no_warm_start = flags.GetBool("store-no-warm-start", false);
 
+  const std::string stats_json = flags.GetString("stats-json", "");
+  const std::string trace_path = flags.GetString("trace", "");
+  const int64_t trace_limit = flags.GetInt("trace-limit", 0);
+
   // Reject malformed numerics and inconsistent combos before anything is
   // cast, stacked or opened — a bad flag must never silently misbehave.
   for (const Status& s : {
@@ -248,6 +230,7 @@ int Run(const std::string& command, const Flags& flags) {
            RequireNonNegativeInt("--threads", threads_raw),
            RequireNonNegativeInt("--retry-attempts", retry_attempts),
            RequireNonNegativeInt("--fault-consecutive", fault_consecutive),
+           RequireNonNegativeInt("--trace-limit", trace_limit),
            RequireNonNegative("--oracle-cost", oracle_cost),
            RequireNonNegative("--retry-backoff",
                               retry.initial_backoff_seconds),
@@ -264,6 +247,9 @@ int Run(const std::string& command, const Flags& flags) {
   }
   if (store_readonly && store_path.empty()) {
     return Fail("--store-readonly requires --store=<path>");
+  }
+  if (trace_limit > 0 && trace_path.empty()) {
+    return Fail("--trace-limit requires --trace=<path>");
   }
   if (store_no_warm_start && store_path.empty()) {
     return Fail("--store-no-warm-start requires --store=<path>");
@@ -325,6 +311,38 @@ int Run(const std::string& command, const Flags& flags) {
   }
   if (threads > 0) top->set_batch_workers(threads);
 
+  // Telemetry bundle: histograms fill whenever the bundle is attached (so
+  // --stats-json alone gets quantiles); events flow only when --trace adds
+  // a sink. Attachment happens via attach_telemetry below — under --audit,
+  // only before the final (reported) pass, so the A-B baseline stays bare.
+  std::ostringstream trace_id_stream;
+  trace_id_stream << "mpx-" << command << "-" << dataset_name << "-n" << n
+                  << "-seed" << seed;
+  const std::string trace_id = trace_id_stream.str();
+  std::optional<Telemetry> telemetry;
+  std::unique_ptr<JsonlTraceSink> trace_sink;
+  if (!stats_json.empty() || !trace_path.empty()) {
+    telemetry.emplace();
+    telemetry->trace_id = trace_id;
+    if (!trace_path.empty()) {
+      trace_sink = std::make_unique<JsonlTraceSink>(
+          trace_path, trace_id, static_cast<uint64_t>(trace_limit));
+      if (!trace_sink->status().ok()) {
+        return Fail("cannot open --trace file: " +
+                    trace_sink->status().ToString());
+      }
+      telemetry->sink = trace_sink.get();
+    }
+  }
+  Telemetry* const telemetry_ptr =
+      telemetry.has_value() ? &*telemetry : nullptr;
+  const auto attach_telemetry = [&] {
+    costed.SetTelemetry(telemetry_ptr);
+    if (retrying != nullptr) retrying->SetTelemetry(telemetry_ptr);
+    if (persistent != nullptr) persistent->SetTelemetry(telemetry_ptr);
+    if (store != nullptr) store->SetTelemetry(telemetry_ptr);
+  };
+
   std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu%s\n",
               command.c_str(), dataset->name.c_str(), n,
               SchemeKindName(*scheme).data(), bootstrap ? "+bootstrap" : "",
@@ -339,9 +357,10 @@ int Run(const std::string& command, const Flags& flags) {
   // With `with_cert`, a CertifyingResolver wraps the scheme for the
   // duration of the command.
   const auto execute_pass =
-      [&](bool with_cert, bool quiet, PartialDistanceGraph* graph_out,
-          ResolverStats* stats_out, CertificationStats* cert_out,
-          double* checksum_out, double* wall_out) -> int {
+      [&](Telemetry* pass_telemetry, bool with_cert, bool quiet,
+          PartialDistanceGraph* graph_out, ResolverStats* stats_out,
+          CertificationStats* cert_out, double* checksum_out,
+          double* wall_out) -> int {
     PartialDistanceGraph graph(n);
     if (!load_graph.empty()) {
       StatusOr<PartialDistanceGraph> loaded = LoadGraph(load_graph);
@@ -366,6 +385,7 @@ int Run(const std::string& command, const Flags& flags) {
       }
     }
     BoundedResolver resolver(top, &graph);
+    resolver.SetTelemetry(pass_telemetry);
 
     Stopwatch watch;
     int exit_code = 0;
@@ -417,12 +437,13 @@ int Run(const std::string& command, const Flags& flags) {
     double bare_checksum = 0.0;
     double bare_wall = 0.0;
     PartialDistanceGraph bare_graph(n);
-    int rc = execute_pass(/*with_cert=*/false, /*quiet=*/true, &bare_graph,
-                          &bare_stats, &bare_certs, &bare_checksum,
-                          &bare_wall);
+    int rc = execute_pass(/*pass_telemetry=*/nullptr, /*with_cert=*/false,
+                          /*quiet=*/true, &bare_graph, &bare_stats,
+                          &bare_certs, &bare_checksum, &bare_wall);
     if (rc != 0) return rc;
-    rc = execute_pass(/*with_cert=*/true, /*quiet=*/false, &graph, &stats,
-                      &certification, &checksum, &wall);
+    attach_telemetry();
+    rc = execute_pass(telemetry_ptr, /*with_cert=*/true, /*quiet=*/false,
+                      &graph, &stats, &certification, &checksum, &wall);
     if (rc != 0) return rc;
 
     // Byte-level comparison: the audit asserts bit-identical outputs, not
@@ -470,8 +491,10 @@ int Run(const std::string& command, const Flags& flags) {
     stats.certs_failed = certification.failed;
     stats.certs_uncertified = certification.uncertified;
   } else {
-    int rc = execute_pass(/*with_cert=*/false, /*quiet=*/false, &graph,
-                          &stats, &certification, &checksum, &wall);
+    attach_telemetry();
+    int rc = execute_pass(telemetry_ptr, /*with_cert=*/false,
+                          /*quiet=*/false, &graph, &stats, &certification,
+                          &checksum, &wall);
     if (rc != 0) return rc;
   }
 
@@ -481,8 +504,39 @@ int Run(const std::string& command, const Flags& flags) {
   if (retrying != nullptr) retrying->AccumulateStats(&stats);
   stats.store_loaded_edges = warm_loaded;
   if (persistent != nullptr) persistent->AccumulateStats(&stats);
-  PrintStats(stats, n, oracle_cost, costed.simulated_seconds(), wall,
-             store != nullptr);
+  stats.simulated_oracle_seconds = costed.simulated_seconds();
+
+  RunInfo run_info;
+  run_info.command = command;
+  run_info.dataset = dataset->name;
+  run_info.scheme = std::string(SchemeKindName(*scheme));
+  run_info.n = n;
+  run_info.seed = seed;
+  run_info.trace_id = trace_id;
+  run_info.have_store = store != nullptr;
+  run_info.audit = audit;
+  run_info.oracle_cost_seconds = oracle_cost;
+  run_info.wall_seconds = wall;
+  const RunReport report(run_info, stats, telemetry_ptr);
+  std::fputs(report.ToText().c_str(), stdout);
+  if (!stats_json.empty()) {
+    if (const Status s = WriteFile(stats_json, report.ToJson() + "\n");
+        !s.ok()) {
+      return Fail("stats-json write failed: " + s.ToString());
+    }
+    std::printf("stats: JSON report written to %s\n", stats_json.c_str());
+  }
+  if (trace_sink != nullptr) {
+    const uint64_t trace_written = trace_sink->written();
+    const uint64_t trace_dropped = trace_sink->dropped();
+    if (const Status s = trace_sink->Close(); !s.ok()) {
+      return Fail("trace write failed: " + s.ToString());
+    }
+    std::printf("trace: %llu events written to %s (%llu dropped)\n",
+                static_cast<unsigned long long>(trace_written),
+                trace_path.c_str(),
+                static_cast<unsigned long long>(trace_dropped));
+  }
   if (faulty != nullptr) {
     std::printf(
         "injected faults: %llu failures, %llu spikes, %llu timeouts\n",

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Validate mpx telemetry artifacts against their checked-in schemas.
+
+Stdlib only (no jsonschema dependency): implements exactly the JSON-Schema
+subset the schemas in tools/schema/ use — type (string or list of strings),
+required, properties, additionalProperties (boolean), enum, const,
+minimum, maximum, and $ref into the document's $defs.
+
+Usage:
+  validate_telemetry.py report <stats.json>   # mpx --stats-json output
+  validate_telemetry.py trace  <trace.jsonl>  # mpx --trace output
+  validate_telemetry.py bench  <BENCH_*.json> # bench BenchJson output
+
+Beyond per-object schema checks, `trace` mode verifies the stream shape
+(header first, footer last), strictly increasing seq values, and that the
+footer's events_written equals the number of event lines.
+
+Exit status 0 = valid; 1 = validation failure (details on stderr).
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "schema")
+
+
+class ValidationError(Exception):
+    pass
+
+
+def _type_ok(value, type_name):
+    if type_name == "object":
+        return isinstance(value, dict)
+    if type_name == "array":
+        return isinstance(value, list)
+    if type_name == "string":
+        return isinstance(value, str)
+    if type_name == "boolean":
+        return isinstance(value, bool)
+    if type_name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "null":
+        return value is None
+    raise ValidationError(f"schema uses unsupported type {type_name!r}")
+
+
+def validate(value, schema, root, path="$"):
+    """Validates `value` against `schema`; `root` resolves $ref into $defs."""
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        prefix = "#/$defs/"
+        if not ref.startswith(prefix):
+            raise ValidationError(f"{path}: unsupported $ref {ref!r}")
+        name = ref[len(prefix):]
+        if name not in root.get("$defs", {}):
+            raise ValidationError(f"{path}: unknown $defs entry {name!r}")
+        return validate(value, root["$defs"][name], root, path)
+
+    if "const" in schema and value != schema["const"]:
+        raise ValidationError(
+            f"{path}: expected {schema['const']!r}, got {value!r}")
+    if "enum" in schema and value not in schema["enum"]:
+        raise ValidationError(f"{path}: {value!r} not in enum")
+
+    if "type" in schema:
+        types = schema["type"]
+        if isinstance(types, str):
+            types = [types]
+        if not any(_type_ok(value, t) for t in types):
+            raise ValidationError(
+                f"{path}: expected type {types}, got {type(value).__name__}")
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            raise ValidationError(
+                f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            raise ValidationError(
+                f"{path}: {value} > maximum {schema['maximum']}")
+
+    if isinstance(value, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                raise ValidationError(f"{path}: missing required key {key!r}")
+        if schema.get("additionalProperties", True) is False:
+            extra = sorted(set(value) - set(props))
+            if extra:
+                raise ValidationError(f"{path}: unexpected keys {extra}")
+        for key, subschema in props.items():
+            if key in value:
+                validate(value[key], subschema, root, f"{path}.{key}")
+
+
+def load_schema(name):
+    with open(os.path.join(SCHEMA_DIR, name), encoding="utf-8") as f:
+        return json.load(f)
+
+
+def validate_report(path):
+    schema = load_schema("run_report_schema.json")
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+    validate(report, schema, schema)
+
+    # Cross-field invariants the schema language cannot express.
+    stats = report["stats"]
+    decided = (stats["decided_by_bounds"] + stats["decided_by_cache"] +
+               stats["decided_by_oracle"] + stats["undecided"])
+    if decided != stats["comparisons"]:
+        raise ValidationError(
+            f"stats: decisions {decided} != comparisons "
+            f"{stats['comparisons']}")
+    hists = report["telemetry"]["histograms"]
+    if not report["telemetry"]["enabled"]:
+        for name, hist in hists.items():
+            if hist["count"] != 0:
+                raise ValidationError(
+                    f"telemetry disabled but {name}.count != 0")
+    for name, hist in hists.items():
+        if hist["count"] > 0 and not (
+                hist["min"] <= hist["p50"] <= hist["p90"] <= hist["p99"]
+                <= hist["max"]):
+            raise ValidationError(f"{name}: quantiles out of order")
+    print(f"report OK: {path} "
+          f"(oracle_calls={stats['oracle_calls']}, "
+          f"telemetry={'on' if report['telemetry']['enabled'] else 'off'})")
+
+
+def validate_trace(path):
+    schema = load_schema("trace_schema.json")
+    with open(path, encoding="utf-8") as f:
+        lines = [line for line in f.read().splitlines() if line]
+    if len(lines) < 2:
+        raise ValidationError("trace needs at least a header and a footer")
+    objects = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            objects.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"line {number}: not JSON: {e}") from e
+
+    validate(objects[0], {"$ref": "#/$defs/header"}, schema, "header")
+    validate(objects[-1], {"$ref": "#/$defs/footer"}, schema, "footer")
+    events = objects[1:-1]
+    last_seq = -1
+    for k, event in enumerate(events):
+        validate(event, {"$ref": "#/$defs/event"}, schema, f"event[{k}]")
+        if event["seq"] <= last_seq:
+            raise ValidationError(
+                f"event[{k}]: seq {event['seq']} not increasing "
+                f"(previous {last_seq})")
+        last_seq = event["seq"]
+
+    footer = objects[-1]
+    if footer["events_written"] != len(events):
+        raise ValidationError(
+            f"footer says events_written={footer['events_written']}, "
+            f"file has {len(events)} event lines")
+    kinds = sorted({e["kind"] for e in events})
+    print(f"trace OK: {path} ({len(events)} events, "
+          f"{footer['events_dropped']} dropped, kinds: {', '.join(kinds)})")
+
+
+def validate_bench(path):
+    with open(path, encoding="utf-8") as f:
+        bench = json.load(f)
+    schema = {
+        "type": "object",
+        "required": ["schema", "schema_version", "bench", "rows"],
+        "additionalProperties": False,
+        "properties": {
+            "schema": {"const": "metricprox-bench"},
+            "schema_version": {"const": 1},
+            "bench": {"type": "string"},
+            "rows": {"type": "array"},
+        },
+    }
+    validate(bench, schema, schema)
+    if not bench["rows"]:
+        raise ValidationError("bench JSON has no rows")
+    for k, row in enumerate(bench["rows"]):
+        if not isinstance(row, dict) or not row:
+            raise ValidationError(f"rows[{k}]: not a non-empty object")
+    print(f"bench OK: {path} ({len(bench['rows'])} rows)")
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("report", "trace", "bench"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        {"report": validate_report,
+         "trace": validate_trace,
+         "bench": validate_bench}[argv[1]](argv[2])
+    except ValidationError as e:
+        print(f"validate_telemetry: {argv[2]}: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
