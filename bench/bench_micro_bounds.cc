@@ -1,13 +1,21 @@
 // Google-benchmark microbenchmarks for the per-operation costs behind
 // Figure 3c: a single bound query / update under each scheme, plus the
-// graph and Dijkstra substrate operations they decompose into.
+// graph and Dijkstra substrate operations they decompose into — and a
+// per-kernel scalar-vs-dispatched A/B (pivot-scan, tri-merge reduction,
+// batch-distance) emitted through BenchJson so the SIMD dispatch layer's
+// payoff is tracked run over run.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
 #include <memory>
 #include <random>
 
+#include "bench/common.h"
 #include "bounds/adm.h"
+#include "core/simd.h"
 #include "bounds/laesa.h"
 #include "bounds/pivots.h"
 #include "bounds/splub.h"
@@ -163,6 +171,131 @@ void BM_DijkstraOverPartialGraph(benchmark::State& state) {
 BENCHMARK(BM_DijkstraOverPartialGraph);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch A/B: the same operands through the scalar reference and
+// the dispatched (hardware-best) kernel, best-of-R wall time per call.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Sized like a generous LAESA configuration / a well-resolved Tri
+// neighborhood — big enough that vector width matters, small enough to stay
+// realistic for the n=256 fixture above.
+constexpr size_t kKernelLen = 48;
+constexpr size_t kKernelRows = 64;
+constexpr int kKernelRounds = 7;
+
+double BestOfNs(int iters_per_round, const std::function<void()>& body) {
+  double best = 1e300;
+  for (int round = 0; round < kKernelRounds; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int it = 0; it < iters_per_round; ++it) body();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count() /
+        iters_per_round;
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+void EmitKernelSpeedups() {
+  const simd::Tier tier = simd::DetectedTier();
+  const simd::KernelTable& scalar = simd::KernelsForTier(simd::Tier::kScalar);
+  const simd::KernelTable& dispatched = simd::KernelsForTier(tier);
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(0.0, 2.0);
+
+  // Shared operand pool: kKernelRows rows of kKernelLen doubles.
+  std::vector<std::vector<double>> rows(kKernelRows);
+  for (auto& row : rows) {
+    row.resize(kKernelLen);
+    for (double& v : row) v = dist(rng);
+  }
+
+  benchutil::BenchJson json("Micro kernel dispatch");
+  std::printf("\nKernel dispatch (scalar vs %s, len=%zu)\n",
+              std::string(simd::TierName(tier)).c_str(), kKernelLen);
+
+  const auto emit = [&](const char* kernel, double scalar_ns,
+                        double dispatched_ns) {
+    const double speedup = scalar_ns / dispatched_ns;
+    json.NewRow()
+        .Add("kernel", std::string(kernel))
+        .Add("tier", std::string(simd::TierName(tier)))
+        .Add("scalar_ns", scalar_ns)
+        .Add("dispatched_ns", dispatched_ns)
+        .Add("speedup", speedup);
+    std::printf("  %-16s scalar %8.1f ns   dispatched %8.1f ns   %.2fx\n",
+                kernel, scalar_ns, dispatched_ns, speedup);
+  };
+
+  {
+    size_t k = 0;
+    double sink = 0.0;
+    const auto run = [&](const simd::KernelTable& table) {
+      const Interval iv =
+          table.pivot_scan(rows[k % kKernelRows].data(),
+                           rows[(k + 1) % kKernelRows].data(), kKernelLen);
+      sink += iv.lo;
+      ++k;
+    };
+    const double s = BestOfNs(20000, [&] { run(scalar); });
+    const double d = BestOfNs(20000, [&] { run(dispatched); });
+    benchmark::DoNotOptimize(sink);
+    emit("pivot_scan", s, d);
+  }
+
+  {
+    size_t k = 0;
+    double sink = 0.0;
+    const double rho = 2.0;
+    const auto run = [&](const simd::KernelTable& table) {
+      const Interval iv = table.tri_reduce(
+          rows[k % kKernelRows].data(), rows[(k + 1) % kKernelRows].data(),
+          kKernelLen, rho, 1.0 / rho);
+      sink += iv.hi;
+      ++k;
+    };
+    const double s = BestOfNs(20000, [&] { run(scalar); });
+    const double d = BestOfNs(20000, [&] { run(dispatched); });
+    benchmark::DoNotOptimize(sink);
+    emit("tri_merge", s, d);
+  }
+
+  {
+    constexpr size_t kDim = 4;
+    constexpr size_t kPairs = 256;
+    std::vector<double> points(static_cast<size_t>(kN) * kDim);
+    for (double& v : points) v = dist(rng);
+    std::vector<IdPair> pairs(kPairs);
+    for (IdPair& p : pairs) {
+      p.i = static_cast<ObjectId>(rng() % kN);
+      p.j = static_cast<ObjectId>(rng() % kN);
+    }
+    std::vector<double> out(kPairs);
+    const auto run = [&](const simd::KernelTable& table) {
+      table.batch_distance(points.data(), kDim, pairs.data(), kPairs,
+                           out.data(), simd::DistanceKind::kL2);
+    };
+    const double s = BestOfNs(200, [&] { run(scalar); }) / kPairs;
+    const double d = BestOfNs(200, [&] { run(dispatched); }) / kPairs;
+    benchmark::DoNotOptimize(out.data());
+    emit("batch_distance", s, d);
+  }
+
+  json.Write();
+}
+
+}  // namespace
 }  // namespace metricprox
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  metricprox::EmitKernelSpeedups();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include "bounds/pivots.h"
 #include "check/certificate.h"
 #include "core/bounder.h"
+#include "core/simd.h"
 #include "core/types.h"
 
 namespace metricprox {
@@ -32,19 +33,13 @@ class LaesaBounder : public Bounder {
 
   std::string_view name() const override { return "laesa"; }
 
+  /// One dispatched pivot-scan kernel call over the two contiguous object
+  /// rows (bit-identical to the historical scalar sweep on every tier; see
+  /// core/simd.h).
   Interval Bounds(ObjectId i, ObjectId j) override {
-    double lb = 0.0;
-    double ub = kInfDistance;
-    for (const std::vector<double>& row : table_.dist) {
-      const double di = row[i];
-      const double dj = row[j];
-      const double gap = di > dj ? di - dj : dj - di;
-      if (gap > lb) lb = gap;
-      const double sum = di + dj;
-      if (sum < ub) ub = sum;
-    }
-    if (lb > ub) lb = ub;
-    return Interval(lb, ub);
+    return simd::ActiveKernels().pivot_scan(table_.ObjectRow(i).data(),
+                                            table_.ObjectRow(j).data(),
+                                            table_.num_pivots());
   }
 
   void OnEdgeResolved(ObjectId, ObjectId, double) override {}
@@ -63,20 +58,19 @@ class LaesaBounder : public Bounder {
     ObjectId ub_p = kInvalidObject;
     ObjectId lb_p = kInvalidObject;
     bool lb_is_i = true;  // true when the winning gap was d(p,i) - d(p,j)
-    for (size_t r = 0; r < table_.dist.size(); ++r) {
-      const std::vector<double>& row = table_.dist[r];
-      const double di = row[i];
-      const double dj = row[j];
+    for (uint32_t r = 0; r < table_.num_pivots(); ++r) {
+      const double di = table_.At(r, i);
+      const double dj = table_.At(r, j);
       const double gap = di > dj ? di - dj : dj - di;
       if (gap > lb) {
         lb = gap;
-        lb_p = table_.pivots[r];
+        lb_p = table_.pivot(r);
         lb_is_i = di > dj;
       }
       const double sum = di + dj;
       if (sum < ub) {
         ub = sum;
-        ub_p = table_.pivots[r];
+        ub_p = table_.pivot(r);
       }
     }
     if (lb > ub) lb = ub;
@@ -117,9 +111,7 @@ class LaesaBounder : public Bounder {
     return true;
   }
 
-  uint32_t num_pivots() const {
-    return static_cast<uint32_t>(table_.pivots.size());
-  }
+  uint32_t num_pivots() const { return table_.num_pivots(); }
   const PivotTable& table() const { return table_; }
 
  private:

@@ -19,9 +19,7 @@ PivotTable SelectMaxMinPivots(ObjectId n, uint32_t k, const ResolveFn& resolve,
   CHECK_GE(k, 1u);
   if (k > n) k = n;
 
-  PivotTable table;
-  table.pivots.reserve(k);
-  table.dist.reserve(k);
+  PivotTable table(n, k);
 
   std::mt19937_64 rng(seed);
   ObjectId pivot = static_cast<ObjectId>(rng() % n);
@@ -32,14 +30,13 @@ PivotTable SelectMaxMinPivots(ObjectId n, uint32_t k, const ResolveFn& resolve,
 
   for (uint32_t round = 0; round < k; ++round) {
     chosen[pivot] = true;
-    table.pivots.push_back(pivot);
-    std::vector<double> row(n, 0.0);
+    table.SetPivot(round, pivot);
     for (ObjectId o = 0; o < n; ++o) {
       if (o == pivot) continue;
-      row[o] = resolve(pivot, o);
-      if (row[o] < min_to_chosen[o]) min_to_chosen[o] = row[o];
+      const double d = resolve(pivot, o);
+      table.Set(round, o, d);
+      if (d < min_to_chosen[o]) min_to_chosen[o] = d;
     }
-    table.dist.push_back(std::move(row));
     if (round + 1 == k) break;
 
     // Farthest-first: next pivot maximizes the min distance to chosen ones.

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/types.h"
@@ -15,17 +16,79 @@ namespace metricprox {
 /// resolved edges land in the shared partial graph.
 using ResolveFn = std::function<double(ObjectId, ObjectId)>;
 
-/// A landmark table: `dist[p][o]` is the exact distance between `pivots[p]`
-/// and object `o`.
-struct PivotTable {
-  std::vector<ObjectId> pivots;
-  std::vector<std::vector<double>> dist;
+/// A landmark table: the exact distances between k pivots and all n
+/// objects, stored as one flat row-major matrix with one row per *object*
+/// and stride k — so ObjectRow(o) is the contiguous k-vector of o's pivot
+/// distances that the dispatched pivot-scan kernel (core/simd.h) streams.
+/// The whole table is a single allocation sized up front (the old
+/// vector<vector> layout paid one heap block per pivot and scattered the
+/// per-object reads across all of them).
+class PivotTable {
+ public:
+  PivotTable() = default;
+
+  /// An all-zero k x n table awaiting Set() calls (the shape is fixed here
+  /// so construction can pre-reserve the one flat block).
+  PivotTable(ObjectId num_objects, uint32_t num_pivots)
+      : pivots_(num_pivots, kInvalidObject),
+        flat_(static_cast<size_t>(num_objects) * num_pivots, 0.0),
+        num_objects_(num_objects) {}
+
+  uint32_t num_pivots() const {
+    return static_cast<uint32_t>(pivots_.size());
+  }
+  ObjectId num_objects() const { return num_objects_; }
+  /// Doubles between consecutive object rows (== num_pivots()).
+  size_t stride() const { return pivots_.size(); }
+  bool empty() const { return pivots_.empty(); }
+
+  /// The object id serving as pivot p.
+  ObjectId pivot(uint32_t p) const {
+    DCHECK_LT(p, pivots_.size());
+    return pivots_[p];
+  }
+  std::span<const ObjectId> pivots() const { return pivots_; }
+
+  void SetPivot(uint32_t p, ObjectId id) {
+    DCHECK_LT(p, pivots_.size());
+    pivots_[p] = id;
+  }
+
+  /// Bounds-checked in debug builds (DCHECK): dist(pivot p, object o).
+  double At(uint32_t p, ObjectId o) const {
+    DCHECK_LT(p, pivots_.size());
+    DCHECK_LT(o, num_objects_);
+    return flat_[static_cast<size_t>(o) * stride() + p];
+  }
+
+  void Set(uint32_t p, ObjectId o, double d) {
+    DCHECK_LT(p, pivots_.size());
+    DCHECK_LT(o, num_objects_);
+    flat_[static_cast<size_t>(o) * stride() + p] = d;
+  }
+
+  /// Object o's pivot distances as one contiguous row — the kernel operand.
+  std::span<const double> ObjectRow(ObjectId o) const {
+    DCHECK_LT(o, num_objects_);
+    return std::span<const double>(
+        flat_.data() + static_cast<size_t>(o) * stride(), stride());
+  }
+
+  /// The whole matrix, object-major (tests and serializers only).
+  std::span<const double> flat() const { return flat_; }
+
+ private:
+  std::vector<ObjectId> pivots_;
+  std::vector<double> flat_;  // flat_[o * stride() + p] = dist(pivot p, o)
+  ObjectId num_objects_ = 0;
 };
 
 /// Greedy max-min (farthest-first) pivot selection as in LAESA's linear
 /// preprocessing: the first pivot is seeded-random; each next pivot
 /// maximizes its minimum distance to the already-chosen ones. Costs exactly
-/// k * (n - 1) resolve calls minus pairs shared between pivots.
+/// k * (n - 1) resolve calls minus pairs shared between pivots. The table
+/// is built directly into its final flat layout — no per-round
+/// allocations.
 PivotTable SelectMaxMinPivots(ObjectId n, uint32_t k,
                               const ResolveFn& resolve, uint64_t seed);
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/logging.h"
+#include "core/simd.h"
 
 namespace metricprox {
 
@@ -15,6 +16,11 @@ BoundedResolver::BoundedResolver(DistanceOracle* oracle,
   CHECK(oracle != nullptr);
   CHECK(graph != nullptr);
   CHECK_EQ(oracle->num_objects(), graph->num_objects());
+  StampKernelDispatch();
+}
+
+void BoundedResolver::StampKernelDispatch() {
+  stats_.kernel_dispatch = static_cast<uint64_t>(simd::ActiveTier());
 }
 
 void BoundedResolver::SetBounder(Bounder* bounder) {

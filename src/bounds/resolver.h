@@ -149,7 +149,10 @@ class BoundedResolver {
   const Status& oracle_status() const { return oracle_status_; }
 
   const ResolverStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  void ResetStats() {
+    stats_.Reset();
+    StampKernelDispatch();
+  }
 
   /// Attaches (or with nullptr, detaches) the telemetry bundle. Telemetry
   /// observes decisions without participating in them: it never issues an
@@ -161,6 +164,10 @@ class BoundedResolver {
   Telemetry* telemetry() const { return telemetry_; }
 
  private:
+  /// Records the active simd::Tier in stats_.kernel_dispatch so run reports
+  /// carry the kernel tier that actually executed (see stats.h).
+  void StampKernelDispatch();
+
   /// Shared tail of the batch verbs: CHECKs id ranges, drops i == j and
   /// cached pairs, deduplicates symmetric/repeated pairs (first-occurrence
   /// order), then resolves the remainder through the active transport.

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "core/logging.h"
+#include "core/simd.h"
 
 namespace metricprox {
 
@@ -141,17 +142,17 @@ std::unique_ptr<TlaesaBounder> TlaesaBounder::Build(ObjectId n,
 }
 
 Interval TlaesaBounder::Bounds(ObjectId i, ObjectId j) {
-  double lb = 0.0;
-  double ub = kInfDistance;
-  // Base prototypes: every pair can use the full landmark table.
-  for (const std::vector<double>& row : base_.dist) {
-    const double di = row[i];
-    const double dj = row[j];
-    const double gap = di > dj ? di - dj : dj - di;
-    if (gap > lb) lb = gap;
-    const double sum = di + dj;
-    if (sum < ub) ub = sum;
-  }
+  // Base prototypes: every pair can use the full landmark table — one
+  // dispatched pivot-scan kernel call over the two contiguous object rows.
+  // The kernel clamps lb to ub before returning while the historical loop
+  // clamped once at the very end, but the results are value-identical:
+  // lb only grows and ub only shrinks afterwards, so whenever the early
+  // clamp fires the pair was already destined for the (ub, ub) outcome.
+  const Interval base = simd::ActiveKernels().pivot_scan(
+      base_.ObjectRow(i).data(), base_.ObjectRow(j).data(),
+      base_.num_pivots());
+  double lb = base.lo;
+  double ub = base.hi;
 
   const std::vector<PathEntry>& pi = paths_[i];
   const std::vector<PathEntry>& pj = paths_[j];

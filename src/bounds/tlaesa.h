@@ -58,9 +58,7 @@ class TlaesaBounder : public Bounder {
   /// Number of (object, ancestor-representative) distances stored by the
   /// tree (excludes the base-prototype table).
   size_t table_entries() const { return table_entries_; }
-  uint32_t num_base_pivots() const {
-    return static_cast<uint32_t>(base_.pivots.size());
-  }
+  uint32_t num_base_pivots() const { return base_.num_pivots(); }
 
  private:
   struct PathEntry {

@@ -5,6 +5,7 @@
 
 #include "check/certificate.h"
 #include "core/bounder.h"
+#include "core/simd.h"
 #include "core/types.h"
 #include "graph/partial_graph.h"
 
@@ -43,23 +44,15 @@ class TriBounder : public Bounder {
 
   std::string_view name() const override { return "tri"; }
 
+  /// Merge-intersects the two SoA adjacency columns and reduces the matched
+  /// triangles through the dispatched tri-reduce kernel (bit-identical to
+  /// the historical lambda walk on every tier; see core/simd.h).
   Interval Bounds(ObjectId i, ObjectId j) override {
-    double lb = 0.0;
-    double ub = kInfDistance;
-    const double inv_rho = 1.0 / rho_;
-    graph_->ForEachCommonNeighbor(
-        i, j, [&](ObjectId, double di, double dj) {
-          const double gap_ij = di * inv_rho - dj;
-          const double gap_ji = dj * inv_rho - di;
-          const double gap = gap_ij > gap_ji ? gap_ij : gap_ji;
-          if (gap > lb) lb = gap;
-          const double sum = rho_ * (di + dj);
-          if (sum < ub) ub = sum;
-        });
-    // A maximally tight triangle can make lb exceed ub by floating-point
-    // noise only; clamp defensively.
-    if (lb > ub) lb = ub;
-    return Interval(lb, ub);
+    const PartialDistanceGraph::AdjacencyColumns a = graph_->AdjacencyView(i);
+    const PartialDistanceGraph::AdjacencyColumns b = graph_->AdjacencyView(j);
+    return simd::TriMergeBounds(a.ids.data(), a.distances.data(),
+                                a.ids.size(), b.ids.data(),
+                                b.distances.data(), b.ids.size(), rho_);
   }
 
   void OnEdgeResolved(ObjectId, ObjectId, double) override {}

@@ -60,6 +60,12 @@ namespace metricprox {
 //                       is a bug in a bound scheme (or the verifier).
 //   certs_uncertified   bound decisions whose scheme has no certification
 //                       support; counted separately, never as failures.
+//   kernel_dispatch     configuration gauge, not a counter: the simd::Tier
+//                       id (0 scalar, 1 sse2, 2 avx2) of the bound kernels
+//                       active when the resolver was constructed or its
+//                       stats last reset. Under operator+= it sums like
+//                       every field, so only aggregate stats across runs
+//                       of one tier (run reports always cover one).
 #define METRICPROX_RESOLVER_STATS_FIELDS(X) \
   X(uint64_t, oracle_calls)                 \
   X(uint64_t, decided_by_bounds)            \
@@ -86,7 +92,8 @@ namespace metricprox {
   X(uint64_t, certs_emitted)                \
   X(uint64_t, certs_verified)               \
   X(uint64_t, certs_failed)                 \
-  X(uint64_t, certs_uncertified)
+  X(uint64_t, certs_uncertified)            \
+  X(uint64_t, kernel_dispatch)
 
 /// Counters collected by a BoundedResolver while a proximity algorithm
 /// runs. See the X-macro above for per-field semantics; `oracle_calls` is

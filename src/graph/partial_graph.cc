@@ -6,14 +6,20 @@ namespace metricprox {
 
 namespace {
 
+/// Splices (id, d) into the AoS list and the SoA columns at the same rank,
+/// keeping all three sorted by id in lockstep.
 void InsertSorted(std::vector<PartialDistanceGraph::Neighbor>* list,
+                  std::vector<ObjectId>* ids, std::vector<double>* dists,
                   ObjectId id, double d) {
   auto it = std::lower_bound(
       list->begin(), list->end(), id,
       [](const PartialDistanceGraph::Neighbor& n, ObjectId key) {
         return n.id < key;
       });
+  const size_t rank = static_cast<size_t>(it - list->begin());
   list->insert(it, PartialDistanceGraph::Neighbor{id, d});
+  ids->insert(ids->begin() + rank, id);
+  dists->insert(dists->begin() + rank, d);
 }
 
 }  // namespace
@@ -25,8 +31,8 @@ void PartialDistanceGraph::Insert(ObjectId i, ObjectId j, double d) {
   CHECK_GE(d, 0.0) << "negative distance from oracle";
   const bool inserted = edge_map_.emplace(EdgeKey(i, j), d).second;
   CHECK(inserted) << "duplicate edge (" << i << ", " << j << ")";
-  InsertSorted(&adjacency_[i], j, d);
-  InsertSorted(&adjacency_[j], i, d);
+  InsertSorted(&adjacency_[i], &csr_ids_[i], &csr_dist_[i], j, d);
+  InsertSorted(&adjacency_[j], &csr_ids_[j], &csr_dist_[j], i, d);
   edges_.push_back(WeightedEdge{i, j, d});
 }
 
@@ -59,6 +65,19 @@ void PartialDistanceGraph::InsertEdges(std::span<const WeightedEdge> batch) {
   for (const ObjectId id : touched) {
     std::sort(adjacency_[id].begin(), adjacency_[id].end(),
               [](const Neighbor& a, const Neighbor& b) { return a.id < b.id; });
+    RebuildColumns(id);
+  }
+}
+
+void PartialDistanceGraph::RebuildColumns(ObjectId i) {
+  const std::vector<Neighbor>& list = adjacency_[i];
+  std::vector<ObjectId>& ids = csr_ids_[i];
+  std::vector<double>& dists = csr_dist_[i];
+  ids.resize(list.size());
+  dists.resize(list.size());
+  for (size_t k = 0; k < list.size(); ++k) {
+    ids[k] = list[k].id;
+    dists[k] = list[k].distance;
   }
 }
 

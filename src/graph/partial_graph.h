@@ -20,10 +20,14 @@ namespace metricprox {
 ///    intersect two lists with a linear merge (the role played by the
 ///    balanced BSTs in the paper; a flat sorted array gives the same
 ///    O(deg_i + deg_j) intersection with better constants);
+///  * a CSR-style SoA mirror of those lists — per-node contiguous
+///    (neighbor_ids[], distances[]) column pairs, maintained incrementally
+///    on every insert — so the bound kernels (core/simd.h) can stream ids
+///    and distances separately instead of striding over Neighbor structs;
 ///  * an append-only edge list for SPLUB's scan over known edges.
 ///
-/// Insertion cost is O(deg) for the sorted-vector splice plus O(1) amortized
-/// hashing; all bench workloads are read-dominated.
+/// Insertion cost is O(deg) for the sorted-vector splices plus O(1)
+/// amortized hashing; all bench workloads are read-dominated.
 class PartialDistanceGraph {
  public:
   struct Neighbor {
@@ -31,8 +35,18 @@ class PartialDistanceGraph {
     double distance;
   };
 
+  /// One node's adjacency in SoA form: ids[k] and distances[k] describe the
+  /// k-th resolved neighbor, sorted ascending by id. Spans point into the
+  /// graph's own columns and are invalidated by any insert.
+  struct AdjacencyColumns {
+    std::span<const ObjectId> ids;
+    std::span<const double> distances;
+  };
+
   explicit PartialDistanceGraph(ObjectId num_objects)
-      : adjacency_(num_objects) {}
+      : adjacency_(num_objects),
+        csr_ids_(num_objects),
+        csr_dist_(num_objects) {}
 
   ObjectId num_objects() const {
     return static_cast<ObjectId>(adjacency_.size());
@@ -74,6 +88,16 @@ class PartialDistanceGraph {
   /// Number of resolved edges incident to i.
   size_t Degree(ObjectId i) const { return Neighbors(i).size(); }
 
+  /// SoA view of Neighbors(i): the same neighbors in the same (ascending-id)
+  /// order, as two parallel contiguous columns. This is the layout the
+  /// dispatched bound kernels consume; the invariant that it mirrors
+  /// Neighbors() exactly across every insert path is pinned by
+  /// partial_graph_test.
+  AdjacencyColumns AdjacencyView(ObjectId i) const {
+    DCHECK_LT(i, csr_ids_.size());
+    return AdjacencyColumns{csr_ids_[i], csr_dist_[i]};
+  }
+
   /// All resolved edges in insertion order.
   const std::vector<WeightedEdge>& edges() const { return edges_; }
 
@@ -100,7 +124,17 @@ class PartialDistanceGraph {
   }
 
  private:
+  /// Re-derives node i's SoA columns from its (already sorted) AoS list.
+  /// O(deg) copy — the same cost as the sort or splice that preceded it.
+  void RebuildColumns(ObjectId i);
+
   std::vector<std::vector<Neighbor>> adjacency_;
+  // SoA mirror of adjacency_ (see AdjacencyView). Kept alongside the AoS
+  // lists rather than replacing them: Dijkstra-style consumers want the
+  // (id, distance) pairs interleaved, the kernels want them separated, and
+  // the duplication is bounded by the resolved-edge count.
+  std::vector<std::vector<ObjectId>> csr_ids_;
+  std::vector<std::vector<double>> csr_dist_;
   std::unordered_map<EdgeKey, double, EdgeKeyHash> edge_map_;
   std::vector<WeightedEdge> edges_;
 };

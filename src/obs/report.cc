@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "core/simd.h"
 #include "obs/trace.h"
 
 namespace metricprox {
@@ -111,6 +112,10 @@ std::string RunReport::ToText() const {
   rows.push_back({"decided by cache", FormatUint(s.decided_by_cache)});
   rows.push_back({"decided by oracle", FormatUint(s.decided_by_oracle)});
   rows.push_back({"undecided (proof verbs)", FormatUint(s.undecided)});
+  rows.push_back(
+      {"kernel dispatch",
+       std::string(simd::TierName(static_cast<simd::Tier>(
+           s.kernel_dispatch <= 2 ? s.kernel_dispatch : 0)))});
   if (s.oracle_retries > 0 || s.oracle_timeouts > 0 ||
       s.oracle_failures > 0) {
     rows.push_back({"oracle retries", FormatUint(s.oracle_retries)});

@@ -1,11 +1,36 @@
 #include "oracle/vector_oracle.h"
 
 #include <cmath>
+#include <optional>
 
 #include "core/logging.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 
 namespace metricprox {
+
+namespace {
+
+/// The kernel DistanceKind for a metric, or nullopt for metrics that stay
+/// on the scalar path (angular: the acos/clamp sequence has no bit-exact
+/// vector form worth maintaining).
+std::optional<simd::DistanceKind> KernelKind(VectorMetric metric) {
+  switch (metric) {
+    case VectorMetric::kEuclidean:
+      return simd::DistanceKind::kL2;
+    case VectorMetric::kSquaredEuclidean:
+      return simd::DistanceKind::kSquaredL2;
+    case VectorMetric::kManhattan:
+      return simd::DistanceKind::kL1;
+    case VectorMetric::kChebyshev:
+      return simd::DistanceKind::kLinf;
+    case VectorMetric::kAngular:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 std::string_view VectorMetricName(VectorMetric metric) {
   switch (metric) {
@@ -34,6 +59,10 @@ VectorOracle::VectorOracle(PointSet points, VectorMetric metric)
   CHECK_GT(dimension_, 0u);
   for (const std::vector<double>& p : points_) {
     CHECK_EQ(p.size(), dimension_) << "ragged point set";
+  }
+  flat_points_.reserve(points_.size() * dimension_);
+  for (const std::vector<double>& p : points_) {
+    flat_points_.insert(flat_points_.end(), p.begin(), p.end());
   }
 }
 
@@ -95,10 +124,19 @@ double VectorOracle::Distance(ObjectId i, ObjectId j) {
 void VectorOracle::BatchDistance(std::span<const IdPair> pairs,
                                  std::span<double> out) {
   CHECK_EQ(pairs.size(), out.size());
+  const std::optional<simd::DistanceKind> kind = KernelKind(metric_);
   // Grain sized so a chunk covers thousands of coordinate ops even in low
-  // dimension; each Distance() only reads points_, so chunks are
-  // independent.
+  // dimension; chunks only read points, so they are independent. Inside a
+  // chunk the dispatched batch-distance kernel evaluates one pair per SIMD
+  // lane over the flat matrix; each lane accumulates dimensions in scalar
+  // order, so results are bit-identical to Distance() on every tier.
   ParallelFor(pairs.size(), /*grain=*/64, [&](size_t begin, size_t end) {
+    if (kind.has_value()) {
+      simd::ActiveKernels().batch_distance(flat_points_.data(), dimension_,
+                                           pairs.data() + begin, end - begin,
+                                           out.data() + begin, *kind);
+      return;
+    }
     for (size_t k = begin; k < end; ++k) {
       out[k] = Distance(pairs[k].i, pairs[k].j);
     }

@@ -61,6 +61,11 @@ class VectorOracle : public DistanceOracle {
   PointSet points_;
   VectorMetric metric_;
   size_t dimension_;
+  /// Row-major n x dimension copy of the points, built once at
+  /// construction: the batch path feeds it to the dispatched
+  /// batch-distance kernel (core/simd.h), which wants every coordinate in
+  /// one contiguous block instead of one heap allocation per point.
+  std::vector<double> flat_points_;
 };
 
 }  // namespace metricprox

@@ -247,8 +247,8 @@ TEST(LaesaBounderTest, PivotRowsGiveClassicPivotBounds) {
       double lb = 0.0;
       double ub = kInfDistance;
       for (uint32_t p = 0; p < 3; ++p) {
-        lb = std::max(lb, std::abs(table.dist[p][i] - table.dist[p][j]));
-        ub = std::min(ub, table.dist[p][i] + table.dist[p][j]);
+        lb = std::max(lb, std::abs(table.At(p, i) - table.At(p, j)));
+        ub = std::min(ub, table.At(p, i) + table.At(p, j));
       }
       const Interval b = laesa->Bounds(i, j);
       EXPECT_DOUBLE_EQ(b.lo, std::min(lb, ub));

@@ -161,6 +161,117 @@ TEST(PartialGraphTest, InsertEdgesConflictingWithinBatchDies) {
   EXPECT_DEATH(g.InsertEdges(batch), "conflicting duplicate");
 }
 
+// The CSR-style SoA mirror (AdjacencyView) must agree with the AoS
+// adjacency (Neighbors) after every mutation path: it is the operand the
+// SIMD tri-kernel reads, so a divergence would silently change bounds.
+void ExpectViewConsistent(const PartialDistanceGraph& g) {
+  for (ObjectId i = 0; i < g.num_objects(); ++i) {
+    const PartialDistanceGraph::AdjacencyColumns view = g.AdjacencyView(i);
+    const auto& nbrs = g.Neighbors(i);
+    ASSERT_EQ(view.ids.size(), nbrs.size()) << "node " << i;
+    ASSERT_EQ(view.distances.size(), nbrs.size()) << "node " << i;
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      EXPECT_EQ(view.ids[k], nbrs[k].id) << "node " << i << " slot " << k;
+      // Bitwise: the columns are copies of the same doubles, not recomputed.
+      EXPECT_EQ(view.distances[k], nbrs[k].distance)
+          << "node " << i << " slot " << k;
+    }
+    // Strictly ascending ids — the merge-intersection kernel requires it.
+    for (size_t k = 1; k < view.ids.size(); ++k) {
+      EXPECT_LT(view.ids[k - 1], view.ids[k]) << "node " << i;
+    }
+  }
+}
+
+TEST(PartialGraphTest, AdjacencyViewEmptyForIsolatedNodes) {
+  PartialDistanceGraph g(3);
+  for (ObjectId i = 0; i < 3; ++i) {
+    const auto view = g.AdjacencyView(i);
+    EXPECT_TRUE(view.ids.empty());
+    EXPECT_TRUE(view.distances.empty());
+  }
+  g.Insert(0, 2, 0.5);
+  EXPECT_TRUE(g.AdjacencyView(1).ids.empty());
+  ASSERT_EQ(g.AdjacencyView(0).ids.size(), 1u);
+  EXPECT_EQ(g.AdjacencyView(0).ids[0], 2u);
+  EXPECT_EQ(g.AdjacencyView(0).distances[0], 0.5);
+  ASSERT_EQ(g.AdjacencyView(2).ids.size(), 1u);
+  EXPECT_EQ(g.AdjacencyView(2).ids[0], 0u);
+}
+
+TEST(PartialGraphTest, AdjacencyViewConsistentAfterInterleavedMutations) {
+  // Interleave single inserts with bulk loads the way resolver + warm-start
+  // do in a real run, checking the mirror after every step.
+  std::mt19937_64 rng(23);
+  const ObjectId n = 20;
+  PartialDistanceGraph g(n);
+  std::set<std::pair<ObjectId, ObjectId>> used;
+  std::vector<WeightedEdge> pending;
+  for (int step = 0; step < 120; ++step) {
+    ObjectId a = static_cast<ObjectId>(rng() % n);
+    ObjectId b = static_cast<ObjectId>(rng() % n);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!used.insert({a, b}).second) continue;
+    const double d = 0.01 * static_cast<double>(rng() % 100 + 1);
+    if (rng() % 2 == 0) {
+      g.Insert(a, b, d);
+    } else {
+      pending.push_back(WeightedEdge{a, b, d});
+      if (pending.size() == 5) {
+        g.InsertEdges(pending);
+        pending.clear();
+      }
+    }
+    if (step % 10 == 0) ExpectViewConsistent(g);
+  }
+  if (!pending.empty()) g.InsertEdges(pending);
+  ExpectViewConsistent(g);
+}
+
+TEST(PartialGraphTest, AdjacencyViewConsistentThroughDuplicateSkip) {
+  // The exact-duplicate skip path in InsertEdges must leave the mirror
+  // untouched, including when the duplicate shares a batch with new edges.
+  PartialDistanceGraph g(5);
+  g.Insert(1, 3, 0.25);
+  const std::vector<WeightedEdge> batch = {
+      WeightedEdge{3, 1, 0.25}, WeightedEdge{1, 0, 0.5},
+      WeightedEdge{0, 1, 0.5}};
+  g.InsertEdges(batch);
+  EXPECT_EQ(g.num_edges(), 2u);
+  ExpectViewConsistent(g);
+  ASSERT_EQ(g.AdjacencyView(1).ids.size(), 2u);
+  EXPECT_EQ(g.AdjacencyView(1).ids[0], 0u);
+  EXPECT_EQ(g.AdjacencyView(1).ids[1], 3u);
+}
+
+TEST(PartialGraphTest, AdjacencyViewConsistentAfterWarmStartReload) {
+  // Store warm start bulk-loads the same edges every run; the second load
+  // must leave the mirror bit-for-bit unchanged.
+  const std::vector<WeightedEdge> batch = {WeightedEdge{0, 1, 1.0},
+                                           WeightedEdge{1, 2, 2.0},
+                                           WeightedEdge{3, 4, 0.5}};
+  PartialDistanceGraph g(5);
+  g.InsertEdges(batch);
+  std::vector<std::vector<ObjectId>> ids_before(5);
+  std::vector<std::vector<double>> dist_before(5);
+  for (ObjectId i = 0; i < 5; ++i) {
+    const auto view = g.AdjacencyView(i);
+    ids_before[i].assign(view.ids.begin(), view.ids.end());
+    dist_before[i].assign(view.distances.begin(), view.distances.end());
+  }
+  g.InsertEdges(batch);
+  ExpectViewConsistent(g);
+  for (ObjectId i = 0; i < 5; ++i) {
+    const auto view = g.AdjacencyView(i);
+    ASSERT_EQ(view.ids.size(), ids_before[i].size());
+    for (size_t k = 0; k < view.ids.size(); ++k) {
+      EXPECT_EQ(view.ids[k], ids_before[i][k]);
+      EXPECT_EQ(view.distances[k], dist_before[i][k]);
+    }
+  }
+}
+
 TEST(PartialGraphTest, CommonNeighborMergeFindsExactlyTheTriangles) {
   PartialDistanceGraph g(7);
   // Common neighbors of (0, 1): 2 and 5. Neighbor 3 only touches 0,

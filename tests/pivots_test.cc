@@ -27,9 +27,10 @@ TEST(PivotsTest, SelectsRequestedDistinctPivots) {
     return stack.oracle->Distance(a, b);
   };
   const PivotTable table = SelectMaxMinPivots(20, 5, resolve, 1);
-  ASSERT_EQ(table.pivots.size(), 5u);
-  ASSERT_EQ(table.dist.size(), 5u);
-  std::set<ObjectId> unique(table.pivots.begin(), table.pivots.end());
+  ASSERT_EQ(table.num_pivots(), 5u);
+  ASSERT_EQ(table.flat().size(), 5u * 20u);
+  ASSERT_EQ(table.stride(), 5u);
+  std::set<ObjectId> unique(table.pivots().begin(), table.pivots().end());
   EXPECT_EQ(unique.size(), 5u);
 }
 
@@ -39,13 +40,13 @@ TEST(PivotsTest, TableRowsAreExactDistances) {
     return stack.oracle->Distance(a, b);
   };
   const PivotTable table = SelectMaxMinPivots(15, 3, resolve, 2);
-  for (size_t p = 0; p < table.pivots.size(); ++p) {
+  for (uint32_t p = 0; p < table.num_pivots(); ++p) {
     for (ObjectId o = 0; o < 15; ++o) {
-      if (o == table.pivots[p]) {
-        EXPECT_DOUBLE_EQ(table.dist[p][o], 0.0);
+      if (o == table.pivot(p)) {
+        EXPECT_DOUBLE_EQ(table.At(p, o), 0.0);
       } else {
-        EXPECT_DOUBLE_EQ(table.dist[p][o],
-                         stack.oracle->Distance(table.pivots[p], o));
+        EXPECT_DOUBLE_EQ(table.At(p, o),
+                         stack.oracle->Distance(table.pivot(p), o));
       }
     }
   }
@@ -58,22 +59,22 @@ TEST(PivotsTest, GreedyChoiceMaximizesMinDistance) {
   };
   const PivotTable table = SelectMaxMinPivots(18, 4, resolve, 3);
   // Pivot r+1 must maximize min-distance to pivots 0..r among non-pivots.
-  for (size_t r = 0; r + 1 < table.pivots.size(); ++r) {
-    const ObjectId chosen = table.pivots[r + 1];
+  for (uint32_t r = 0; r + 1 < table.num_pivots(); ++r) {
+    const ObjectId chosen = table.pivot(r + 1);
     auto min_to_prefix = [&](ObjectId o) {
       double best = kInfDistance;
-      for (size_t p = 0; p <= r; ++p) {
-        best = std::min(best, o == table.pivots[p]
+      for (uint32_t p = 0; p <= r; ++p) {
+        best = std::min(best, o == table.pivot(p)
                                   ? 0.0
-                                  : stack.oracle->Distance(table.pivots[p], o));
+                                  : stack.oracle->Distance(table.pivot(p), o));
       }
       return best;
     };
     const double chosen_gap = min_to_prefix(chosen);
     for (ObjectId o = 0; o < 18; ++o) {
       bool is_prefix_pivot = false;
-      for (size_t p = 0; p <= r; ++p) {
-        if (table.pivots[p] == o) is_prefix_pivot = true;
+      for (uint32_t p = 0; p <= r; ++p) {
+        if (table.pivot(p) == o) is_prefix_pivot = true;
       }
       if (is_prefix_pivot) continue;
       EXPECT_LE(min_to_prefix(o), chosen_gap + 1e-12);
@@ -87,7 +88,7 @@ TEST(PivotsTest, KClampedToN) {
     return stack.oracle->Distance(a, b);
   };
   const PivotTable table = SelectMaxMinPivots(4, 10, resolve, 4);
-  EXPECT_EQ(table.pivots.size(), 4u);
+  EXPECT_EQ(table.num_pivots(), 4u);
 }
 
 TEST(PivotsTest, DeterministicForFixedSeed) {
@@ -97,7 +98,10 @@ TEST(PivotsTest, DeterministicForFixedSeed) {
   };
   const PivotTable a = SelectMaxMinPivots(16, 4, resolve, 5);
   const PivotTable b = SelectMaxMinPivots(16, 4, resolve, 5);
-  EXPECT_EQ(a.pivots, b.pivots);
+  ASSERT_EQ(a.num_pivots(), b.num_pivots());
+  for (uint32_t p = 0; p < a.num_pivots(); ++p) {
+    EXPECT_EQ(a.pivot(p), b.pivot(p));
+  }
 }
 
 }  // namespace

@@ -25,6 +25,11 @@
 //   --save-graph=<path>      checkpoint resolved distances afterwards
 //   --load-graph=<path>      start from a checkpoint (same dataset/seed!)
 //   --threads=<k>            cap parallel batch workers (0 = env/hardware)
+//   --simd=scalar|sse2|avx2|auto  pin the bound-kernel tier (default: the
+//                            METRICPROX_SIMD env var, else the CPU probe;
+//                            a tier above the hardware's degrades with a
+//                            warning). The executed tier lands in the run
+//                            report as kernel_dispatch.
 //
 // Fault tolerance (stacked as oracle -> faults -> retry -> resolver):
 //   --retry-attempts=<k>     enable retries: attempts per pair (1 = no retry)
@@ -84,6 +89,7 @@
 #include "bounds/resolver.h"
 #include "bounds/scheme.h"
 #include "check/certify.h"
+#include "core/simd.h"
 #include "core/stats.h"
 #include "data/datasets.h"
 #include "graph/graph_io.h"
@@ -222,6 +228,7 @@ int Run(const std::string& command, const Flags& flags) {
   const std::string stats_json = flags.GetString("stats-json", "");
   const std::string trace_path = flags.GetString("trace", "");
   const int64_t trace_limit = flags.GetInt("trace-limit", 0);
+  const std::string simd_flag = flags.GetString("simd", "");
 
   // Reject malformed numerics and inconsistent combos before anything is
   // cast, stacked or opened — a bad flag must never silently misbehave.
@@ -259,6 +266,23 @@ int Run(const std::string& command, const Flags& flags) {
         "--audit cannot be combined with --store: the unaudited pass would "
         "warm the store and the audited pass would replay it with zero "
         "oracle calls, voiding the A-B comparison");
+  }
+  // Pin the kernel tier before any resolver exists so the stamped
+  // kernel_dispatch matches what actually executes.
+  if (!simd_flag.empty()) {
+    if (simd_flag == "auto") {
+      simd::SetTier(simd::DetectedTier());
+    } else {
+      const StatusOr<simd::Tier> tier = simd::ParseTier(simd_flag);
+      if (!tier.ok()) return Fail("--simd: " + tier.status().ToString());
+      const simd::Tier applied = simd::SetTier(*tier);
+      if (applied != *tier) {
+        std::fprintf(stderr,
+                     "mpx: --simd=%s not supported by this CPU; using %s\n",
+                     simd_flag.c_str(),
+                     std::string(simd::TierName(applied)).c_str());
+      }
+    }
   }
 
   const uint32_t landmarks = static_cast<uint32_t>(landmarks_raw);

@@ -185,7 +185,37 @@ def validate_bench(path):
     for k, row in enumerate(bench["rows"]):
         if not isinstance(row, dict) or not row:
             raise ValidationError(f"rows[{k}]: not a non-empty object")
+        if "kernel" in row:
+            validate_kernel_row(row, k)
     print(f"bench OK: {path} ({len(bench['rows'])} rows)")
+
+
+# Rows emitted by bench_micro_bounds' kernel-dispatch A/B. The speedup is
+# recomputed from the timings so a hand-edited JSON can't claim a win the
+# measurements don't support.
+KERNEL_ROW_SCHEMA = {
+    "type": "object",
+    "required": ["kernel", "tier", "scalar_ns", "dispatched_ns", "speedup"],
+    "additionalProperties": False,
+    "properties": {
+        "kernel": {"enum": ["pivot_scan", "tri_merge", "batch_distance"]},
+        "tier": {"enum": ["scalar", "sse2", "avx2"]},
+        "scalar_ns": {"type": "number", "minimum": 0},
+        "dispatched_ns": {"type": "number", "minimum": 0},
+        "speedup": {"type": "number", "minimum": 0},
+    },
+}
+
+
+def validate_kernel_row(row, k):
+    validate(row, KERNEL_ROW_SCHEMA, KERNEL_ROW_SCHEMA,
+             path=f"rows[{k}]")
+    if row["dispatched_ns"] > 0:
+        expected = row["scalar_ns"] / row["dispatched_ns"]
+        if abs(row["speedup"] - expected) > 1e-6 * max(1.0, expected):
+            raise ValidationError(
+                f"rows[{k}]: speedup {row['speedup']} does not match "
+                f"scalar_ns/dispatched_ns = {expected}")
 
 
 def main(argv):
