@@ -1,6 +1,7 @@
 #include "algo/reference.h"
 
 #include <algorithm>
+#include <deque>
 #include <vector>
 
 #include "core/logging.h"
@@ -94,6 +95,79 @@ KnnGraph ReferenceKnnGraph(DistanceOracle* oracle, uint32_t k) {
     graph[u].assign(all.begin(), all.begin() + k);
   }
   return graph;
+}
+
+std::vector<KnnNeighbor> ReferenceRangeSearch(DistanceOracle* oracle,
+                                              ObjectId query, double radius) {
+  CHECK(oracle != nullptr);
+  const ObjectId n = oracle->num_objects();
+  CHECK_LT(query, n);
+  std::vector<KnnNeighbor> hits;
+  for (ObjectId v = 0; v < n; ++v) {
+    if (v == query) continue;
+    const double d = oracle->Distance(query, v);
+    // Inclusive boundary: d == radius is a hit, the pinned tie rule.
+    if (d <= radius) hits.push_back(KnnNeighbor{v, d});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const KnnNeighbor& a, const KnnNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.id < b.id;
+            });
+  return hits;
+}
+
+DbscanResult ReferenceDbscan(DistanceOracle* oracle,
+                             const DbscanOptions& options) {
+  CHECK(oracle != nullptr);
+  CHECK_GE(options.eps, 0.0);
+  CHECK_GE(options.min_pts, 1u);
+  const ObjectId n = oracle->num_objects();
+
+  DbscanResult result;
+  result.labels.assign(n, DbscanResult::kNoise);
+  constexpr int32_t kUnvisited = -2;
+  std::vector<int32_t> state(n, kUnvisited);
+
+  for (ObjectId p = 0; p < n; ++p) {
+    if (state[p] != kUnvisited) continue;
+    const std::vector<KnnNeighbor> neighborhood =
+        ReferenceRangeSearch(oracle, p, options.eps);
+    if (neighborhood.size() + 1 < options.min_pts) {
+      state[p] = DbscanResult::kNoise;
+      continue;
+    }
+
+    const int32_t cluster = static_cast<int32_t>(result.num_clusters++);
+    state[p] = cluster;
+    std::deque<ObjectId> frontier;
+    for (const KnnNeighbor& nb : neighborhood) frontier.push_back(nb.id);
+
+    while (!frontier.empty()) {
+      const ObjectId q = frontier.front();
+      frontier.pop_front();
+      if (state[q] == DbscanResult::kNoise) {
+        state[q] = cluster;  // former noise becomes a border point
+      }
+      if (state[q] != kUnvisited) continue;
+      state[q] = cluster;
+      const std::vector<KnnNeighbor> reach =
+          ReferenceRangeSearch(oracle, q, options.eps);
+      if (reach.size() + 1 >= options.min_pts) {
+        for (const KnnNeighbor& nb : reach) {
+          if (state[nb.id] == kUnvisited ||
+              state[nb.id] == DbscanResult::kNoise) {
+            frontier.push_back(nb.id);
+          }
+        }
+      }
+    }
+  }
+
+  for (ObjectId o = 0; o < n; ++o) {
+    result.labels[o] = state[o] == kUnvisited ? DbscanResult::kNoise : state[o];
+  }
+  return result;
 }
 
 }  // namespace metricprox

@@ -2,7 +2,9 @@
 #define METRICPROX_ALGO_REFERENCE_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "algo/dbscan.h"
 #include "algo/knn_graph.h"
 #include "algo/mst.h"
 #include "core/oracle.h"
@@ -25,6 +27,21 @@ MstResult ReferenceKruskalMst(DistanceOracle* oracle);
 
 /// Brute-force k-NN graph under (distance, id) ordering.
 KnnGraph ReferenceKnnGraph(DistanceOracle* oracle, uint32_t k);
+
+/// Brute-force range query with the pinned tie semantics of RangeSearch:
+/// the radius is INCLUSIVE (d == radius is a hit), results ascending by
+/// (distance, id). The differential tests drive both paths over
+/// exact-tie-producing metrics to prove boundary points classify
+/// identically.
+std::vector<KnnNeighbor> ReferenceRangeSearch(DistanceOracle* oracle,
+                                              ObjectId query, double radius);
+
+/// Oracle-only DBSCAN, structurally identical to DbscanCluster (same
+/// ascending-id expansion, same inclusive-eps neighborhoods, same
+/// border-point tie rule), so labels — not just cluster counts — must match
+/// the framework path exactly.
+DbscanResult ReferenceDbscan(DistanceOracle* oracle,
+                             const DbscanOptions& options);
 
 }  // namespace metricprox
 

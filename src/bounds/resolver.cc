@@ -1,7 +1,10 @@
 #include "bounds/resolver.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <optional>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
@@ -25,6 +28,49 @@ void BoundedResolver::StampKernelDispatch() {
 
 void BoundedResolver::SetBounder(Bounder* bounder) {
   bounder_ = bounder != nullptr ? bounder : &null_bounder_;
+}
+
+void BoundedResolver::SetPolicy(const ResolutionPolicy& policy) {
+  CHECK(std::isfinite(policy.eps)) << "eps must be finite";
+  CHECK_GE(policy.eps, 0.0) << "eps must be non-negative";
+  CHECK_LT(policy.eps, 1.0) << "eps must be below 1";
+  policy_ = policy;
+  budget_spent_ = 0;
+}
+
+Interval BoundedResolver::SlackBounds(ObjectId i, ObjectId j) {
+  ++stats_.bound_queries;
+  Stopwatch watch;
+  const Interval bounds = bounder_->Bounds(i, j);
+  stats_.bounder_seconds += watch.ElapsedSeconds();
+  return bounds;
+}
+
+bool BoundedResolver::DecideBySlack(ObjectId i, ObjectId j, double t,
+                                    const Interval& b, double gap,
+                                    bool forced) {
+  ++stats_.decided_by_slack;
+  if (forced) ++stats_.budget_exhausted;
+  if (telemetry_ != nullptr) telemetry_->slack_realized_error.Record(gap);
+  Trace(TraceEventKind::kDecidedBySlack, i, j, t);
+  const bool outcome = SlackMidpoint(b) < t;
+  Stopwatch watch;
+  bounder_->ObserveSlackLessThan(i, j, t, b, policy_.eps, outcome);
+  stats_.bounder_seconds += watch.ElapsedSeconds();
+  return outcome;
+}
+
+void BoundedResolver::FailBudget(uint64_t requested) {
+  oracle_status_ = Status::ResourceExhausted(
+      "oracle budget exhausted: " + std::to_string(budget_spent_) + "/" +
+      std::to_string(policy_.oracle_budget) + " calls spent, " +
+      std::to_string(requested) + " more needed with no slack fallback");
+  if (fallible_depth_ > 0) {
+    throw internal::OracleTransportError{oracle_status_};
+  }
+  CHECK(false) << "oracle budget exhausted outside RunFallible: "
+               << oracle_status_;
+  std::abort();  // unreachable; keeps [[noreturn]] honest for the compiler
 }
 
 void BoundedResolver::FailTransport(Status status, uint64_t failed_pairs) {
@@ -60,6 +106,7 @@ double BoundedResolver::Distance(ObjectId i, ObjectId j) {
   if (const std::optional<double> cached = graph_->Get(i, j)) {
     return *cached;
   }
+  if (BudgetActive() && BudgetRemaining() == 0) FailBudget(1);
   Stopwatch oracle_watch;
   StatusOr<double> resolved = oracle_->TryDistance(i, j);
   const double oracle_elapsed = oracle_watch.ElapsedSeconds();
@@ -67,6 +114,7 @@ double BoundedResolver::Distance(ObjectId i, ObjectId j) {
   if (!resolved.ok()) FailTransport(resolved.status(), /*failed_pairs=*/1);
   const double d = resolved.value();
   ++stats_.oracle_calls;
+  ++budget_spent_;
   if (telemetry_ != nullptr) {
     telemetry_->oracle_latency_seconds.Record(oracle_elapsed);
     TraceEvent event;
@@ -126,6 +174,17 @@ bool BoundedResolver::LessThan(ObjectId i, ObjectId j, double t) {
     ++stats_.decided_by_bounds;
     Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return *decided;
+  }
+  if (PolicyActive()) {
+    const Interval b = SlackBounds(i, j);
+    const double gap = SlackRelativeGap(b);
+    if (SlackActive() && gap <= policy_.eps) {
+      return DecideBySlack(i, j, t, b, gap, /*forced=*/false);
+    }
+    if (BudgetActive() && BudgetRemaining() == 0) {
+      if (!std::isfinite(b.hi)) FailBudget(1);
+      return DecideBySlack(i, j, t, b, gap, /*forced=*/true);
+    }
   }
   ++stats_.decided_by_oracle;
   // The gap probe must run before Distance(): afterwards the interval
@@ -220,6 +279,12 @@ void BoundedResolver::ResolveUnknown(std::span<const IdPair> pairs) {
     unique.push_back(p);
   }
   if (unique.empty()) return;
+  // Resolution verbs are all-or-nothing under a budget: there is no slack
+  // fallback for a caller that demanded exact distances. (FilterLessThan
+  // pre-partitions its remainder to fit, so it never trips this.)
+  if (BudgetActive() && unique.size() > BudgetRemaining()) {
+    FailBudget(unique.size());
+  }
   if (telemetry_ != nullptr) {
     // Recorded under both transports: this histogram measures the
     // algorithm's batching structure (unique unresolved pairs per verb),
@@ -255,6 +320,7 @@ void BoundedResolver::ResolveUnknown(std::span<const IdPair> pairs) {
     FailTransport(batch_status, failed);
   }
   stats_.oracle_calls += unique.size();
+  budget_spent_ += unique.size();
   ++stats_.batch_calls;
   stats_.batch_resolved_pairs += unique.size();
   if (telemetry_ != nullptr) {
@@ -340,26 +406,108 @@ std::vector<bool> BoundedResolver::FilterLessThan(
   std::vector<size_t> undecided;
   std::vector<IdPair> remainder;
   std::unordered_set<EdgeKey, EdgeKeyHash> charged;
-  for (size_t s = 0; s < sweep.size(); ++s) {
-    if (decided[s].has_value()) {
-      ++stats_.decided_by_bounds;
-      Trace(TraceEventKind::kDecidedByBounds, sweep_pairs[s].i,
-            sweep_pairs[s].j, sweep_thresholds[s]);
-      out[sweep[s]] = *decided[s];
-    } else {
+  if (!PolicyActive()) {
+    for (size_t s = 0; s < sweep.size(); ++s) {
+      if (decided[s].has_value()) {
+        ++stats_.decided_by_bounds;
+        Trace(TraceEventKind::kDecidedByBounds, sweep_pairs[s].i,
+              sweep_pairs[s].j, sweep_thresholds[s]);
+        out[sweep[s]] = *decided[s];
+      } else {
+        const IdPair p = sweep_pairs[s];
+        if (charged.insert(EdgeKey(p.i, p.j)).second) {
+          ++stats_.decided_by_oracle;
+          // Probe before ResolveUnknown below collapses the interval.
+          ProbeBoundGap(p.i, p.j, sweep_thresholds[s]);
+          Trace(TraceEventKind::kDecidedByOracle, p.i, p.j,
+                sweep_thresholds[s]);
+        } else {
+          ++stats_.decided_by_cache;
+          Trace(TraceEventKind::kDecidedByCache, p.i, p.j,
+                sweep_thresholds[s]);
+        }
+        undecided.push_back(s);
+        remainder.push_back(p);
+      }
+    }
+  } else {
+    // Approximate mode. Slack-decide every survivor whose interval gap is
+    // within eps; then, under a budget, ship only as many *unique* pairs
+    // as the remaining budget covers — widest gap first, since a wide
+    // interval gains the most information per oracle call — and settle the
+    // starved rest by forced slack. Each comparison is attributed exactly
+    // once (slack, oracle, or cache), so the counter invariant holds even
+    // when the budget runs out partway through the batch.
+    struct Pending {
+      size_t s;
+      Interval b;
+      double gap;
+    };
+    std::vector<Pending> pending;
+    for (size_t s = 0; s < sweep.size(); ++s) {
+      if (decided[s].has_value()) {
+        ++stats_.decided_by_bounds;
+        Trace(TraceEventKind::kDecidedByBounds, sweep_pairs[s].i,
+              sweep_pairs[s].j, sweep_thresholds[s]);
+        out[sweep[s]] = *decided[s];
+        continue;
+      }
       const IdPair p = sweep_pairs[s];
+      // No resolution happens during this sweep, so repeats of a pair see
+      // the same interval and slack-decide identically.
+      const Interval b = SlackBounds(p.i, p.j);
+      const double gap = SlackRelativeGap(b);
+      if (SlackActive() && gap <= policy_.eps) {
+        out[sweep[s]] = DecideBySlack(p.i, p.j, sweep_thresholds[s], b, gap,
+                                      /*forced=*/false);
+        continue;
+      }
+      pending.push_back({s, b, gap});
+    }
+    std::unordered_set<EdgeKey, EdgeKeyHash> starved;
+    if (BudgetActive()) {
+      // Budget partition over the unique pending pairs (duplicates of a
+      // shipped pair read the cache, costing nothing extra).
+      struct Rep {
+        EdgeKey key;
+        double gap;
+      };
+      std::vector<Rep> reps;
+      std::unordered_set<EdgeKey, EdgeKeyHash> seen;
+      for (const Pending& w : pending) {
+        const EdgeKey key(sweep_pairs[w.s].i, sweep_pairs[w.s].j);
+        if (seen.insert(key).second) reps.push_back({key, w.gap});
+      }
+      const uint64_t capacity = BudgetRemaining();
+      if (reps.size() > capacity) {
+        // Stable, so equal gaps keep first-occurrence order and the
+        // partition is deterministic.
+        std::stable_sort(
+            reps.begin(), reps.end(),
+            [](const Rep& a, const Rep& b) { return a.gap > b.gap; });
+        for (size_t r = capacity; r < reps.size(); ++r) {
+          starved.insert(reps[r].key);
+        }
+      }
+    }
+    for (const Pending& w : pending) {
+      const IdPair p = sweep_pairs[w.s];
+      const double t = sweep_thresholds[w.s];
+      if (starved.count(EdgeKey(p.i, p.j)) != 0) {
+        if (!std::isfinite(w.b.hi)) FailBudget(1);
+        out[sweep[w.s]] =
+            DecideBySlack(p.i, p.j, t, w.b, w.gap, /*forced=*/true);
+        continue;
+      }
       if (charged.insert(EdgeKey(p.i, p.j)).second) {
         ++stats_.decided_by_oracle;
-        // Probe before ResolveUnknown below collapses the interval.
-        ProbeBoundGap(p.i, p.j, sweep_thresholds[s]);
-        Trace(TraceEventKind::kDecidedByOracle, p.i, p.j,
-              sweep_thresholds[s]);
+        ProbeBoundGap(p.i, p.j, t);
+        Trace(TraceEventKind::kDecidedByOracle, p.i, p.j, t);
       } else {
         ++stats_.decided_by_cache;
-        Trace(TraceEventKind::kDecidedByCache, p.i, p.j,
-              sweep_thresholds[s]);
+        Trace(TraceEventKind::kDecidedByCache, p.i, p.j, t);
       }
-      undecided.push_back(s);
+      undecided.push_back(w.s);
       remainder.push_back(p);
     }
   }
@@ -413,6 +561,40 @@ bool BoundedResolver::PairLess(ObjectId i, ObjectId j, ObjectId k,
     ++stats_.decided_by_bounds;
     Trace(TraceEventKind::kDecidedByBounds, i, j, TraceEvent::kUnset);
     return *decided;
+  }
+  if (PolicyActive()) {
+    const Interval bij = dij ? Interval::Exact(*dij) : SlackBounds(i, j);
+    const Interval bkl = dkl ? Interval::Exact(*dkl) : SlackBounds(k, l);
+    // The realized error of a slack pair decision is the worse of the two
+    // relative gaps (a cached side is exact: gap 0).
+    const double gap =
+        std::max(SlackRelativeGap(bij), SlackRelativeGap(bkl));
+    bool forced = false;
+    bool by_slack = SlackActive() && gap <= policy_.eps;
+    if (!by_slack && BudgetActive()) {
+      const uint64_t needed = (dij ? 0u : 1u) + (dkl ? 0u : 1u);
+      if (BudgetRemaining() < needed) {
+        if (!std::isfinite(bij.hi) || !std::isfinite(bkl.hi)) {
+          FailBudget(needed);
+        }
+        by_slack = true;
+        forced = true;
+      }
+    }
+    if (by_slack) {
+      ++stats_.decided_by_slack;
+      if (forced) ++stats_.budget_exhausted;
+      if (telemetry_ != nullptr) {
+        telemetry_->slack_realized_error.Record(gap);
+      }
+      Trace(TraceEventKind::kDecidedBySlack, i, j, TraceEvent::kUnset);
+      const bool outcome = SlackMidpoint(bij) < SlackMidpoint(bkl);
+      Stopwatch watch;
+      bounder_->ObserveSlackPairLess(i, j, k, l, bij, bkl, policy_.eps,
+                                     outcome);
+      stats_.bounder_seconds += watch.ElapsedSeconds();
+      return outcome;
+    }
   }
   ++stats_.decided_by_oracle;
   Trace(TraceEventKind::kDecidedByOracle, i, j, TraceEvent::kUnset);

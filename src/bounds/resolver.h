@@ -27,6 +27,31 @@ struct OracleTransportError {
 
 }  // namespace internal
 
+/// Approximate-resolution policy (ROADMAP item 4). With `eps > 0`, a
+/// comparison verb (LessThan / PairLess / FilterLessThan) may settle
+/// against the interval midpoint — without an oracle call — whenever the
+/// bound interval's relative gap (SlackRelativeGap) is <= eps; every such
+/// decision is counted in decided_by_slack and is consistent with *some*
+/// distance within eps relative slack of the true one. With
+/// `oracle_budget > 0`, at most that many pair resolutions may reach the
+/// oracle: FilterLessThan ships the widest-gap pairs first (a wide
+/// interval gains the most information per call), comparisons past the cap
+/// are forced to slack (counted in budget_exhausted; their realized error
+/// may exceed eps), and resolutions with no slack fallback surface
+/// Status::ResourceExhausted through RunFallible. The default policy
+/// (eps = 0, no budget) is the exact mode: every code path stays
+/// byte-identical to a resolver without a policy. Proof verbs
+/// (ProvenGreaterThan / ProvenGreaterOrEqual) are never slack-decided —
+/// they are one-sided and already conservative — so eps alone cannot
+/// change their callers' outputs; the budget still applies to every
+/// resolution.
+struct ResolutionPolicy {
+  double eps = 0.0;            // relative slack; must be finite, in [0, 1)
+  uint64_t oracle_budget = 0;  // max oracle pair resolutions; 0 = unlimited
+
+  bool exact() const { return eps == 0.0 && oracle_budget == 0; }
+};
+
 /// The unified framework's engine: proximity algorithms issue distance
 /// *comparisons* here instead of calling the oracle, and the resolver
 /// decides each one as cheaply as possible —
@@ -56,6 +81,16 @@ class BoundedResolver {
   /// this resolver's stats.
   void SetBounder(Bounder* bounder);
   Bounder& bounder() { return *bounder_; }
+
+  /// Installs the approximate-resolution policy and resets the budget
+  /// spend. CHECKs eps is finite and in [0, 1). Setting the default
+  /// (exact) policy restores exact resolution.
+  void SetPolicy(const ResolutionPolicy& policy);
+  const ResolutionPolicy& policy() const { return policy_; }
+
+  /// Oracle pair resolutions charged against the budget since the last
+  /// SetPolicy (maintained whether or not a cap is set).
+  uint64_t budget_spent() const { return budget_spent_; }
 
   /// Exact distance; 0 for i == j. Calls the oracle only if the pair is not
   /// yet resolved, inserting the edge and notifying the bounder.
@@ -179,6 +214,35 @@ class BoundedResolver {
   /// or CHECK-aborts outside one.
   [[noreturn]] void FailTransport(Status status, uint64_t failed_pairs);
 
+  /// Approximate-mode helpers (all inert under the default exact policy).
+  bool SlackActive() const { return policy_.eps > 0.0; }
+  bool BudgetActive() const { return policy_.oracle_budget > 0; }
+  bool PolicyActive() const { return SlackActive() || BudgetActive(); }
+  uint64_t BudgetRemaining() const {
+    return policy_.oracle_budget > budget_spent_
+               ? policy_.oracle_budget - budget_spent_
+               : 0;
+  }
+  /// The surrogate value a slack decision compares in place of the exact
+  /// distance: the midpoint of the (non-negative part of the) interval.
+  static double SlackMidpoint(const Interval& b) {
+    return 0.5 * (std::max(b.lo, 0.0) + b.hi);
+  }
+  /// Counted bounder read used by the slack paths (unlike ProbeBoundGap,
+  /// which is stats-neutral: here the interval feeds the decision).
+  Interval SlackBounds(ObjectId i, ObjectId j);
+  /// Settles `dist(i, j) < t` by slack against interval `b` with relative
+  /// gap `gap`: counts decided_by_slack (plus budget_exhausted when
+  /// `forced`), records the realized error, traces, and reports the
+  /// decision to the bounder's slack observation channel.
+  bool DecideBySlack(ObjectId i, ObjectId j, double t, const Interval& b,
+                     double gap, bool forced);
+  /// Terminates the current resolution because the oracle budget cannot
+  /// cover `requested` more pair resolutions: surfaces
+  /// Status::ResourceExhausted through RunFallible (CHECK-aborts outside a
+  /// fallible scope). Not an oracle failure — oracle_failures stays put.
+  [[noreturn]] void FailBudget(uint64_t requested);
+
   /// Telemetry fast paths: the inline wrappers cost one predictable branch
   /// when telemetry is detached; the Slow variants do the actual work.
   void Trace(TraceEventKind kind, ObjectId i, ObjectId j, double threshold) {
@@ -197,6 +261,8 @@ class BoundedResolver {
   Bounder* bounder_;  // not owned; never null (defaults to &null_bounder_)
   ResolverStats stats_;
   Telemetry* telemetry_ = nullptr;  // not owned; nullptr = telemetry off
+  ResolutionPolicy policy_;         // default = exact mode
+  uint64_t budget_spent_ = 0;
   bool batch_transport_ = true;
   int fallible_depth_ = 0;
   Status oracle_status_;

@@ -76,18 +76,35 @@ struct FarkasCertificate {
   double claim_weight = 0.0;
 };
 
+/// Witness for an approximate (slack) decision under a ResolutionPolicy:
+/// the bound interval the comparison was settled against, the policy's eps
+/// and the advertised relative error (the interval's relative gap at
+/// decision time). The verifier recomputes the gap from `lo`/`hi`, confirms
+/// the advertised error, and re-derives the midpoint outcome; when the
+/// enclosing certificate also carries path/wrap witnesses, those prove the
+/// true distance really lies in [lo, hi]. `advertised_error` may exceed
+/// `eps` only for budget-forced decisions.
+struct SlackWitness {
+  double lo = 0.0;
+  double hi = kInfDistance;
+  double eps = 0.0;
+  double advertised_error = 0.0;
+};
+
 /// A self-contained proof that a bound-decided comparison is consistent
 /// with the exact distances. Interval certificates carry constructive
 /// witnesses; Farkas certificates carry an LP infeasibility combination
-/// (the DFT scheme). `lb`/`ub` are the claimed bound values, kept for
-/// diagnostics only — the verifier recomputes everything from the
+/// (the DFT scheme); slack certificates bound the error of an approximate
+/// decision (and reuse the interval witnesses to prove containment when
+/// the scheme can produce them). `lb`/`ub` are the claimed bound values,
+/// kept for diagnostics only — the verifier recomputes everything from the
 /// witnesses and the resolved edges.
 struct BoundCertificate {
-  enum class Kind : uint8_t { kNone, kInterval, kFarkas };
+  enum class Kind : uint8_t { kNone, kInterval, kFarkas, kSlack };
 
   Kind kind = Kind::kNone;
 
-  // kInterval:
+  // kInterval (and, for containment, kSlack):
   double lb = 0.0;
   double ub = kInfDistance;
   bool has_upper = false;
@@ -97,6 +114,9 @@ struct BoundCertificate {
 
   // kFarkas:
   FarkasCertificate farkas;
+
+  // kSlack:
+  SlackWitness slack;
 };
 
 /// Which comparison verb a bound decision answered.

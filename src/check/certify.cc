@@ -106,6 +106,11 @@ void CertifyingBounder::Record(const DecisionRecord& decision,
       return;
     }
   }
+  Finish(std::move(cd));
+}
+
+void CertifyingBounder::Finish(CertifiedDecision&& cd) {
+  const DecisionRecord& decision = cd.decision;
   ++stats_.emitted;
   const Status status = verifier_.Check(cd);
   if (status.ok()) {
@@ -127,6 +132,71 @@ void CertifyingBounder::Record(const DecisionRecord& decision,
     }
   }
   if (keep_log_) log_.push_back(std::move(cd));
+}
+
+BoundCertificate CertifyingBounder::MakeSlackCert(ObjectId i, ObjectId j,
+                                                  const Interval& b,
+                                                  double eps) {
+  BoundCertificate cert;
+  cert.kind = BoundCertificate::Kind::kSlack;
+  cert.lb = b.lo;
+  cert.ub = b.hi;
+  cert.slack = SlackWitness{b.lo, b.hi, eps, SlackRelativeGap(b)};
+  if (i == j) return cert;  // exact self-pair; nothing to witness
+  if (b.IsExact() && graph_->Get(i, j) == std::optional<double>(b.hi)) {
+    // Exact side read from the cache: the resolved edge itself is both the
+    // upper witness (the 1-edge path) and the lower witness (the edge
+    // wrapped by two trivial paths).
+    cert.has_upper = true;
+    cert.upper = PathWitness{{i, j}, 1.0};
+    cert.has_lower = true;
+    cert.lower = WrapWitness{i, j, {i}, {j}, 1.0};
+    return cert;
+  }
+  BoundCertificate interval_cert;
+  if (inner_->CertifyBounds(i, j, &interval_cert)) {
+    // Graft the containment witnesses: CertifyBounds reproduces Bounds()
+    // bit-for-bit, so they justify exactly the recorded interval. Schemes
+    // without certification support leave the slack certificate
+    // witness-less; the verifier then checks its arithmetic alone.
+    cert.has_upper = interval_cert.has_upper;
+    cert.upper = std::move(interval_cert.upper);
+    cert.has_lower = interval_cert.has_lower;
+    cert.lower = std::move(interval_cert.lower);
+  }
+  return cert;
+}
+
+void CertifyingBounder::ObserveSlackLessThan(ObjectId i, ObjectId j, double t,
+                                             const Interval& bounds,
+                                             double eps, bool outcome) {
+  CertifiedDecision cd;
+  cd.decision.verb = DecisionVerb::kLessThan;
+  cd.decision.outcome = outcome;
+  cd.decision.i = i;
+  cd.decision.j = j;
+  cd.decision.threshold = t;
+  cd.cert_ij = MakeSlackCert(i, j, bounds, eps);
+  Finish(std::move(cd));
+  inner_->ObserveSlackLessThan(i, j, t, bounds, eps, outcome);
+}
+
+void CertifyingBounder::ObserveSlackPairLess(ObjectId i, ObjectId j,
+                                             ObjectId k, ObjectId l,
+                                             const Interval& bij,
+                                             const Interval& bkl, double eps,
+                                             bool outcome) {
+  CertifiedDecision cd;
+  cd.decision.verb = DecisionVerb::kPairLess;
+  cd.decision.outcome = outcome;
+  cd.decision.i = i;
+  cd.decision.j = j;
+  cd.decision.k = k;
+  cd.decision.l = l;
+  cd.cert_ij = MakeSlackCert(i, j, bij, eps);
+  cd.cert_kl = MakeSlackCert(k, l, bkl, eps);
+  Finish(std::move(cd));
+  inner_->ObserveSlackPairLess(i, j, k, l, bij, bkl, eps, outcome);
 }
 
 CertifyingResolver::CertifyingResolver(BoundedResolver* resolver,

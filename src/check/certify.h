@@ -33,6 +33,7 @@ class CertifyingBounder : public Bounder {
   CertifyingBounder(Bounder* inner, const PartialDistanceGraph* graph,
                     const Verifier::Options& options)
       : inner_(inner),
+        graph_(graph),
         verifier_(graph, options),
         name_(std::string(inner->name()) + "+audit") {}
 
@@ -76,13 +77,33 @@ class CertifyingBounder : public Bounder {
                    std::span<const double> thresholds,
                    std::span<std::optional<bool>> out) override;
 
+  /// Approximate-mode interception: every slack decision the resolver
+  /// reports is wrapped in a kSlack certificate (with containment
+  /// witnesses grafted from CertifyBounds when the scheme supports them),
+  /// verified on the spot, and forwarded to the inner scheme.
+  void ObserveSlackLessThan(ObjectId i, ObjectId j, double t,
+                            const Interval& bounds, double eps,
+                            bool outcome) override;
+  void ObserveSlackPairLess(ObjectId i, ObjectId j, ObjectId k, ObjectId l,
+                            const Interval& bij, const Interval& bkl,
+                            double eps, bool outcome) override;
+
  private:
   /// Completes certification of a decided comparison: fills interval
   /// certificates via CertifyBounds when the certified verb left none,
   /// verifies, and bumps the counters.
   void Record(const DecisionRecord& decision, BoundCertificate&& from_verb);
 
-  Bounder* inner_;  // not owned
+  /// Verifies an assembled certified decision and bumps the counters (the
+  /// shared tail of Record and the slack observation hooks).
+  void Finish(CertifiedDecision&& cd);
+
+  /// Builds the kSlack certificate for one side of a slack decision.
+  BoundCertificate MakeSlackCert(ObjectId i, ObjectId j, const Interval& b,
+                                 double eps);
+
+  Bounder* inner_;                     // not owned
+  const PartialDistanceGraph* graph_;  // not owned
   Verifier verifier_;
   std::string name_;
   CertificationStats stats_;

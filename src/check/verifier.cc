@@ -1,10 +1,13 @@
 #include "check/verifier.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
+
+#include "core/bounder.h"
 
 namespace metricprox {
 
@@ -132,6 +135,8 @@ Status Verifier::Check(const CertifiedDecision& cd) const {
       return CheckFarkas(cd.decision, cd.cert_ij.farkas);
     case BoundCertificate::Kind::kInterval:
       return CheckInterval(cd);
+    case BoundCertificate::Kind::kSlack:
+      return CheckSlack(cd);
     case BoundCertificate::Kind::kNone:
       return Status::InvalidArgument("decision carries no certificate");
   }
@@ -203,6 +208,83 @@ Status Verifier::CheckInterval(const CertifiedDecision& cd) const {
       }
       return Status::OK();
     }
+  }
+  return Status::Internal("unknown decision verb");
+}
+
+StatusOr<double> Verifier::CheckSlackCert(const BoundCertificate& cert,
+                                          ObjectId i, ObjectId j) const {
+  if (cert.kind != BoundCertificate::Kind::kSlack) {
+    return Status::InvalidArgument("not a slack certificate");
+  }
+  const SlackWitness& w = cert.slack;
+  if (!(w.hi >= w.lo) || !std::isfinite(w.hi)) {
+    return Status::InvalidArgument(
+        "slack witness interval is not lo <= hi < inf");
+  }
+  if (!(w.eps >= 0.0) || !(w.eps < 1.0)) {
+    return Status::InvalidArgument("slack witness eps outside [0, 1)");
+  }
+  // The advertised error must cover the gap recomputed from the interval
+  // itself (it exceeds eps only on budget-forced decisions; the audit layer
+  // separately checks realized error <= eps when the budget never bit).
+  const double gap = SlackRelativeGap(Interval(w.lo, w.hi));
+  if (gap > w.advertised_error + 1e-12 * (1.0 + gap)) {
+    return ImplicationFailure("advertised error >= recomputed gap",
+                              w.advertised_error, gap);
+  }
+  // When the scheme produced constructive witnesses, they must prove the
+  // true distance really lies in [lo, hi]; witness-less slack certificates
+  // (schemes without CertifyBounds support) pass on arithmetic alone.
+  if (cert.has_upper) {
+    StatusOr<double> ub = PathValue(cert.upper, i, j);
+    if (!ub.ok()) return ub.status();
+    if (!(*ub <= w.hi + 1e-9 * (1.0 + std::abs(w.hi)))) {
+      return ImplicationFailure("witness ub <= slack hi", *ub, w.hi);
+    }
+  }
+  if (cert.has_lower) {
+    StatusOr<double> lb = WrapValue(cert.lower, i, j);
+    if (!lb.ok()) return lb.status();
+    if (!(*lb >= w.lo - 1e-9 * (1.0 + std::abs(w.lo)))) {
+      return ImplicationFailure("witness lb >= slack lo", *lb, w.lo);
+    }
+  }
+  // The surrogate the resolver compared: bitwise-identical recomputation of
+  // BoundedResolver::SlackMidpoint over the recorded interval.
+  return 0.5 * (std::max(w.lo, 0.0) + w.hi);
+}
+
+Status Verifier::CheckSlack(const CertifiedDecision& cd) const {
+  const DecisionRecord& dec = cd.decision;
+  StatusOr<double> mid_ij = CheckSlackCert(cd.cert_ij, dec.i, dec.j);
+  if (!mid_ij.ok()) return mid_ij.status();
+  switch (dec.verb) {
+    case DecisionVerb::kLessThan: {
+      if (dec.outcome != (*mid_ij < dec.threshold)) {
+        return ImplicationFailure("outcome == (midpoint < t)", *mid_ij,
+                                  dec.threshold);
+      }
+      return Status::OK();
+    }
+    case DecisionVerb::kPairLess: {
+      if (cd.cert_kl.kind != BoundCertificate::Kind::kSlack) {
+        return Status::InvalidArgument(
+            "slack pair-less decision lacks a slack certificate for its "
+            "second pair");
+      }
+      StatusOr<double> mid_kl = CheckSlackCert(cd.cert_kl, dec.k, dec.l);
+      if (!mid_kl.ok()) return mid_kl.status();
+      if (dec.outcome != (*mid_ij < *mid_kl)) {
+        return ImplicationFailure("outcome == (mid(i,j) < mid(k,l))",
+                                  *mid_ij, *mid_kl);
+      }
+      return Status::OK();
+    }
+    case DecisionVerb::kGreaterThan:
+      // Proof verbs are never slack-decided by design.
+      return Status::InvalidArgument(
+          "slack certificates never back a GreaterThan proof verb");
   }
   return Status::Internal("unknown decision verb");
 }

@@ -53,6 +53,11 @@ class Verifier {
   Status CheckInterval(const CertifiedDecision& cd) const;
   Status CheckFarkas(const DecisionRecord& decision,
                      const FarkasCertificate& cert) const;
+  Status CheckSlack(const CertifiedDecision& cd) const;
+  /// Structural + containment checks shared by both sides of a slack
+  /// decision; returns the certified interval midpoint on success.
+  StatusOr<double> CheckSlackCert(const BoundCertificate& cert, ObjectId i,
+                                  ObjectId j) const;
   StatusOr<double> KnownDistance(ObjectId a, ObjectId b) const;
 
   const PartialDistanceGraph* graph_;  // not owned

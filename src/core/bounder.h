@@ -25,6 +25,18 @@ inline double BoundDecisionMargin(double scale) {
   return 1e-12 * (1.0 + std::abs(scale));
 }
 
+/// Relative width of a bound interval, the quantity the approximate mode's
+/// slack decisions certify: (ub - max(lb, 0)) / ub, clamped to [0, 1].
+/// Degenerate (exact) intervals report 0 even at value 0; unbounded or
+/// otherwise unusable intervals report the maximal gap 1.
+inline double SlackRelativeGap(const Interval& b) {
+  if (!std::isfinite(b.hi)) return 1.0;
+  if (b.lo == b.hi) return 0.0;
+  if (b.hi <= 0.0) return 1.0;
+  const double lb = std::max(b.lo, 0.0);
+  return std::clamp((b.hi - lb) / b.hi, 0.0, 1.0);
+}
+
 /// A bound scheme: the pluggable component that answers "what do the
 /// already-resolved distances imply about this unknown distance?".
 ///
@@ -154,6 +166,24 @@ class Bounder {
       BoundCertificate* /*cert*/) {
     return DecidePairLess(i, j, k, l);
   }
+
+  /// ------------------------------------------------------------------
+  /// Approximate-mode observation channel. When a ResolutionPolicy lets
+  /// the resolver settle a comparison by slack (interval gap <= eps, or a
+  /// budget-forced fallback), it reports the decision here so the audit
+  /// shim can emit a slack certificate. The defaults do nothing; plain
+  /// schemes never need to override these. `bounds` is the interval the
+  /// decision was taken against (Interval::Exact(d) for a cached side of
+  /// a pair comparison).
+  /// ------------------------------------------------------------------
+  virtual void ObserveSlackLessThan(ObjectId /*i*/, ObjectId /*j*/,
+                                    double /*t*/, const Interval& /*bounds*/,
+                                    double /*eps*/, bool /*outcome*/) {}
+  virtual void ObserveSlackPairLess(ObjectId /*i*/, ObjectId /*j*/,
+                                    ObjectId /*k*/, ObjectId /*l*/,
+                                    const Interval& /*bij*/,
+                                    const Interval& /*bkl*/, double /*eps*/,
+                                    bool /*outcome*/) {}
 };
 
 /// The no-op scheme backing the "without plug" baselines: every bound is

@@ -30,6 +30,14 @@ namespace metricprox {
 //                       disprove without a resolution the caller did not
 //                       request (the one-sided proof verbs returning "not
 //                       proven"); no oracle call happens on these paths.
+//   decided_by_slack    comparisons answered approximately under a
+//                       ResolutionPolicy: the bound interval's relative gap
+//                       was within eps (or the budget forced the decision),
+//                       so the comparison was settled against the interval
+//                       midpoint without an oracle call.
+//   budget_exhausted    subset of decided_by_slack forced by an exhausted
+//                       oracle budget; the realized error of these may
+//                       exceed eps (always <= decided_by_slack).
 //   comparisons         total comparison requests (LessThan + PairLess +
 //                       the batch verbs, one per pair).
 //   bound_queries       bound-interval queries issued to the bounder.
@@ -72,6 +80,8 @@ namespace metricprox {
   X(uint64_t, decided_by_cache)             \
   X(uint64_t, decided_by_oracle)            \
   X(uint64_t, undecided)                    \
+  X(uint64_t, decided_by_slack)             \
+  X(uint64_t, budget_exhausted)             \
   X(uint64_t, comparisons)                  \
   X(uint64_t, bound_queries)                \
   X(uint64_t, batch_calls)                  \

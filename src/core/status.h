@@ -24,6 +24,8 @@ enum class StatusCode {
   kIoError,
   kUnavailable,        // transient failure; the caller may retry
   kDeadlineExceeded,   // a per-call timeout or an overall deadline expired
+  kResourceExhausted,  // a hard resource cap (e.g. an oracle-call budget)
+                       // was exhausted before the operation could finish
 };
 
 /// Returns a short human-readable name for a code, e.g. "InvalidArgument".
@@ -72,6 +74,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -104,6 +104,12 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
         // it changes nothing about what gets certified.
         if (config.audit) certifying.emplace(r, config.max_distance);
 
+        // The approximate policy goes live only now: construction calls
+        // stay exact and are not charged against the budget.
+        if (config.eps > 0.0 || config.oracle_budget > 0) {
+          r->SetPolicy(ResolutionPolicy{config.eps, config.oracle_budget});
+        }
+
         result.construction_calls = r->stats().oracle_calls;
         return workload(r);
       });

@@ -71,6 +71,13 @@ struct WorkloadConfig {
   /// decision counters are unchanged. Note the caller's `store` keeps its
   /// own telemetry attachment (the store outlives this run).
   Telemetry* telemetry = nullptr;
+  /// Approximate-resolution slack (ResolutionPolicy::eps). 0 keeps the run
+  /// exact and byte-identical to a policy-free resolver.
+  double eps = 0.0;
+  /// Hard oracle-call budget (ResolutionPolicy::oracle_budget); 0 means
+  /// unlimited. The policy is installed after scheme construction and
+  /// bootstrap, so construction-time calls are not charged against it.
+  uint64_t oracle_budget = 0;
 };
 
 /// A proximity algorithm run against a resolver; returns a checksum

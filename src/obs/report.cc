@@ -80,6 +80,7 @@ RunReport::RunReport(RunInfo info, const ResolverStats& stats,
     simulated_cost_ = telemetry->simulated_cost_seconds.Summarize();
     batch_size_ = telemetry->batch_size.Summarize();
     bound_gap_ = telemetry->bound_gap.Summarize();
+    slack_error_ = telemetry->slack_realized_error.Summarize();
     if (info_.trace_id.empty()) info_.trace_id = telemetry->trace_id;
   }
 }
@@ -112,6 +113,10 @@ std::string RunReport::ToText() const {
   rows.push_back({"decided by cache", FormatUint(s.decided_by_cache)});
   rows.push_back({"decided by oracle", FormatUint(s.decided_by_oracle)});
   rows.push_back({"undecided (proof verbs)", FormatUint(s.undecided)});
+  if (s.decided_by_slack > 0 || s.budget_exhausted > 0) {
+    rows.push_back({"decided by slack", FormatUint(s.decided_by_slack)});
+    rows.push_back({"budget exhausted", FormatUint(s.budget_exhausted)});
+  }
   rows.push_back(
       {"kernel dispatch",
        std::string(simd::TierName(static_cast<simd::Tier>(
@@ -153,6 +158,12 @@ std::string RunReport::ToText() const {
     rows.push_back({"bound gap p50", FormatDouble(bound_gap_.p50, 4)});
     rows.push_back({"bound gap p90", FormatDouble(bound_gap_.p90, 4)});
     rows.push_back({"bound gap p99", FormatDouble(bound_gap_.p99, 4)});
+  }
+  if (has_telemetry_ && slack_error_.count > 0) {
+    rows.push_back({"slack error p50", FormatDouble(slack_error_.p50, 4)});
+    rows.push_back({"slack error p90", FormatDouble(slack_error_.p90, 4)});
+    rows.push_back({"slack error p99", FormatDouble(slack_error_.p99, 4)});
+    rows.push_back({"slack error max", FormatDouble(slack_error_.max, 4)});
   }
   rows.push_back({"scheme CPU (s)", FormatDouble(s.bounder_seconds, 4)});
   rows.push_back({"wall time (s)", FormatDouble(info_.wall_seconds, 3)});
@@ -265,6 +276,7 @@ std::string RunReport::ToJson() const {
       AppendHistogram(&out, &h, "simulated_cost_seconds", simulated_cost_);
       AppendHistogram(&out, &h, "batch_size", batch_size_);
       AppendHistogram(&out, &h, "bound_gap", bound_gap_);
+      AppendHistogram(&out, &h, "slack_realized_error", slack_error_);
       out.push_back('}');
     }
     out.push_back('}');

@@ -71,6 +71,7 @@ class RunReport {
   Histogram::Summary simulated_cost_;
   Histogram::Summary batch_size_;
   Histogram::Summary bound_gap_;
+  Histogram::Summary slack_error_;
 };
 
 }  // namespace metricprox

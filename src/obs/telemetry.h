@@ -52,6 +52,10 @@ struct Telemetry {
   /// fell through to the oracle (or a proof verb gave up) — the paper's
   /// bound-tightness story as a distribution.
   Histogram bound_gap;
+  /// Realized relative error of each slack-decided comparison under an
+  /// approximate ResolutionPolicy: the interval's relative gap at decision
+  /// time. Bounded by eps except for budget-forced decisions.
+  Histogram slack_realized_error;
 
   /// Stamps the sequence number and monotonic timestamp, then forwards to
   /// the sink. No-op without a sink.

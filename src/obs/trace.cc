@@ -24,6 +24,7 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kStoreHit: return "store_hit";
     case TraceEventKind::kWalAppend: return "wal_append";
     case TraceEventKind::kCompaction: return "compaction";
+    case TraceEventKind::kDecidedBySlack: return "decided_by_slack";
   }
   return "unknown";
 }

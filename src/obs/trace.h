@@ -31,6 +31,7 @@ enum class TraceEventKind : uint8_t {
   kStoreHit,         // persistent store answered, inner oracle untouched
   kWalAppend,        // fresh distance appended to the write-ahead log
   kCompaction,       // store snapshot rewritten, WAL truncated
+  kDecidedBySlack,   // settled approximately under a ResolutionPolicy
 };
 
 /// Stable wire name ("decided_by_bounds", "oracle_call", ...).

@@ -1,0 +1,467 @@
+// Tests for the approximate-resolution policy (ResolutionPolicy): slack
+// decisions, hard oracle budgets, the counter invariant
+//   decided_by_bounds + cache + oracle + slack + undecided == comparisons,
+// exact-mode byte-identity, the eps metamorphic contract, and slack
+// certificates end to end.
+
+#include <bit>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/boruvka.h"
+#include "algo/knn_graph.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "bounds/pivots.h"
+#include "bounds/resolver.h"
+#include "bounds/scheme.h"
+#include "check/certify.h"
+#include "check/verifier.h"
+#include "core/bounder.h"
+#include "harness/experiment.h"
+#include "obs/telemetry.h"
+#include "oracle/matrix_oracle.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::FamilyMetric;
+using testing_util::MakeFamilyStack;
+using testing_util::MetricFamily;
+using testing_util::ResolverStack;
+
+uint64_t DecidedTotal(const ResolverStats& s) {
+  return s.decided_by_bounds + s.decided_by_cache + s.decided_by_oracle +
+         s.decided_by_slack + s.undecided;
+}
+
+// ---------------------------------------------------------------------------
+// SlackRelativeGap arithmetic.
+// ---------------------------------------------------------------------------
+
+TEST(SlackRelativeGapTest, Arithmetic) {
+  EXPECT_EQ(SlackRelativeGap(Interval::Unbounded()), 1.0);
+  EXPECT_EQ(SlackRelativeGap(Interval::Exact(0.3)), 0.0);
+  EXPECT_EQ(SlackRelativeGap(Interval::Exact(0.0)), 0.0);  // lo == hi wins
+  EXPECT_DOUBLE_EQ(SlackRelativeGap(Interval(0.9, 1.0)), 0.1 / 1.0);
+  EXPECT_DOUBLE_EQ(SlackRelativeGap(Interval(0.0, 0.5)), 1.0);
+  // Negative lower bounds clamp to 0 before the gap is taken.
+  EXPECT_DOUBLE_EQ(SlackRelativeGap(Interval(-0.2, 0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(SlackRelativeGap(Interval(0.25, 0.5)), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Exact mode: installing the default policy must be byte-identical to never
+// installing one — same checksums (compared as raw bits), same counters.
+// ---------------------------------------------------------------------------
+
+struct WorkloadCase {
+  const char* name;
+  Workload run;
+};
+
+std::vector<WorkloadCase> AllWorkloads() {
+  return {
+      {"prim",
+       [](BoundedResolver* r) { return PrimMst(r).total_weight; }},
+      {"boruvka",
+       [](BoundedResolver* r) { return BoruvkaMst(r).total_weight; }},
+      {"knn",
+       [](BoundedResolver* r) {
+         const KnnGraph g = BuildKnnGraph(r, KnnGraphOptions{3});
+         double mean = 0.0;
+         for (const auto& row : g) mean += row.back().distance;
+         return mean / static_cast<double>(g.size());
+       }},
+      {"pam",
+       [](BoundedResolver* r) {
+         PamOptions o;
+         o.num_medoids = 3;
+         return PamCluster(r, o).total_deviation;
+       }},
+  };
+}
+
+struct ManualRun {
+  double value = 0.0;
+  ResolverStats stats;
+};
+
+ManualRun RunManual(SchemeKind scheme, const Workload& workload,
+                    bool install_policy, const ResolutionPolicy& policy) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 36, 7);
+  ManualRun run;
+  std::unique_ptr<Bounder> keepalive;
+  const StatusOr<double> value =
+      stack.resolver->RunFallible([&](BoundedResolver* r) -> double {
+        BootstrapWithLandmarks(r, 6, 7);
+        SchemeOptions options;
+        auto bounder = MakeAndAttachScheme(scheme, r, options);
+        CHECK(bounder.ok()) << bounder.status();
+        keepalive = std::move(bounder).value();
+        if (install_policy) r->SetPolicy(policy);
+        return workload(r);
+      });
+  CHECK(value.ok()) << value.status();
+  run.value = *value;
+  run.stats = stack.resolver->stats();
+  return run;
+}
+
+TEST(ExactPolicyTest, DefaultPolicyIsByteIdenticalToNoPolicy) {
+  for (const SchemeKind scheme :
+       {SchemeKind::kTri, SchemeKind::kSplub, SchemeKind::kLaesa}) {
+    for (const WorkloadCase& w : AllWorkloads()) {
+      const ManualRun bare =
+          RunManual(scheme, w.run, /*install_policy=*/false, {});
+      const ManualRun exact =
+          RunManual(scheme, w.run, /*install_policy=*/true,
+                    ResolutionPolicy{0.0, 0});
+      const std::string label = std::string(SchemeKindName(scheme)) + "/" +
+                                w.name;
+      EXPECT_EQ(std::bit_cast<uint64_t>(bare.value),
+                std::bit_cast<uint64_t>(exact.value))
+          << label;
+      EXPECT_EQ(bare.stats.oracle_calls, exact.stats.oracle_calls) << label;
+      EXPECT_EQ(bare.stats.comparisons, exact.stats.comparisons) << label;
+      EXPECT_EQ(bare.stats.decided_by_bounds, exact.stats.decided_by_bounds)
+          << label;
+      EXPECT_EQ(bare.stats.decided_by_cache, exact.stats.decided_by_cache)
+          << label;
+      EXPECT_EQ(bare.stats.decided_by_oracle, exact.stats.decided_by_oracle)
+          << label;
+      EXPECT_EQ(bare.stats.undecided, exact.stats.undecided) << label;
+      EXPECT_EQ(bare.stats.bound_queries, exact.stats.bound_queries) << label;
+      EXPECT_EQ(exact.stats.decided_by_slack, 0u) << label;
+      EXPECT_EQ(exact.stats.budget_exhausted, 0u) << label;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic contract over eps: exact runs never slack-decide; approximate
+// runs never spend more oracle calls than the exact run; realized error
+// stays within eps whenever no budget forced a decision; and the counter
+// invariant holds everywhere.
+// ---------------------------------------------------------------------------
+
+TEST(MetamorphicTest, GrowingEpsNeverCostsMoreAndStaysWithinContract) {
+  MatrixOracle oracle(FamilyMetric(MetricFamily::kUniform, 32, 11), 32);
+  for (const SchemeKind scheme :
+       {SchemeKind::kTri, SchemeKind::kSplub, SchemeKind::kLaesa}) {
+    for (const WorkloadCase& w : AllWorkloads()) {
+      const std::string label = std::string(SchemeKindName(scheme)) + "/" +
+                                w.name;
+      uint64_t previous_calls = 0;
+      bool first = true;
+      for (const double eps : {0.0, 0.01, 0.1}) {
+        Telemetry telemetry;
+        WorkloadConfig config;
+        config.scheme = scheme;
+        config.bootstrap =
+            scheme == SchemeKind::kTri || scheme == SchemeKind::kSplub;
+        config.seed = 11;
+        config.eps = eps;
+        config.telemetry = &telemetry;
+        const StatusOr<WorkloadResult> result =
+            TryRunWorkload(&oracle, config, w.run);
+        ASSERT_TRUE(result.ok()) << label << " eps=" << eps;
+        const ResolverStats& s = result->stats;
+        EXPECT_EQ(DecidedTotal(s), s.comparisons)
+            << label << " eps=" << eps;
+        EXPECT_EQ(s.budget_exhausted, 0u) << label << " eps=" << eps;
+        const Histogram::Summary err =
+            telemetry.slack_realized_error.Summarize();
+        if (eps == 0.0) {
+          EXPECT_EQ(s.decided_by_slack, 0u) << label;
+          EXPECT_EQ(err.count, 0u) << label;
+        } else if (err.count > 0) {
+          EXPECT_LE(err.max, eps) << label << " eps=" << eps;
+          EXPECT_EQ(err.count, s.decided_by_slack) << label;
+        }
+        if (!first) {
+          EXPECT_LE(s.oracle_calls, previous_calls)
+              << label << ": eps=" << eps
+              << " spent more oracle calls than the previous tighter eps";
+        }
+        previous_calls = s.oracle_calls;
+        first = false;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Budget semantics.
+// ---------------------------------------------------------------------------
+
+TEST(BudgetTest, DistanceFailsCleanlyWhenExhaustedWithoutSlackFallback) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 16, 3);
+  stack.resolver->SetPolicy(ResolutionPolicy{0.0, 3});
+  const StatusOr<double> result =
+      stack.resolver->RunFallible([](BoundedResolver* r) -> double {
+        double sum = 0.0;
+        for (ObjectId j = 1; j < 10; ++j) sum += r->Distance(0, j);
+        return sum;
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(stack.resolver->budget_spent(), 3u);
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 3u);
+  // A budget failure is not an oracle failure.
+  EXPECT_EQ(stack.resolver->stats().oracle_failures, 0u);
+  // Edges resolved before the cap stay durable, like a transport failure.
+  EXPECT_TRUE(stack.resolver->Known(0, 1));
+  EXPECT_TRUE(stack.resolver->Known(0, 3));
+  EXPECT_FALSE(stack.resolver->Known(0, 5));
+}
+
+TEST(BudgetTest, ResolveAllIsAllOrNothingUnderBudget) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 16, 4);
+  stack.resolver->SetPolicy(ResolutionPolicy{0.0, 2});
+  const std::vector<IdPair> pairs = {
+      {0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 1} /* duplicate */};
+  const StatusOr<double> result =
+      stack.resolver->RunFallible([&](BoundedResolver* r) -> double {
+        r->ResolveAll(pairs);
+        return 0.0;
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  // The gate fires before anything ships: no partial batch, nothing spent.
+  EXPECT_EQ(stack.resolver->stats().oracle_calls, 0u);
+  EXPECT_EQ(stack.resolver->budget_spent(), 0u);
+}
+
+TEST(BudgetTest, SetPolicyResetsSpend) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 12, 5);
+  stack.resolver->SetPolicy(ResolutionPolicy{0.0, 4});
+  (void)stack.resolver->RunFallible([](BoundedResolver* r) -> double {
+    r->Distance(0, 1);
+    r->Distance(0, 2);
+    return 0.0;
+  });
+  EXPECT_EQ(stack.resolver->budget_spent(), 2u);
+  stack.resolver->SetPolicy(ResolutionPolicy{0.0, 4});
+  EXPECT_EQ(stack.resolver->budget_spent(), 0u);
+  EXPECT_EQ(stack.resolver->policy().oracle_budget, 4u);
+}
+
+TEST(BudgetTest, PairLessWithInfiniteBoundsSurfacesResourceExhausted) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 12, 6);
+  stack.resolver->SetPolicy(ResolutionPolicy{0.0, 1});
+  const StatusOr<double> result =
+      stack.resolver->RunFallible([](BoundedResolver* r) -> double {
+        r->Distance(0, 1);  // spends the whole budget
+        // No bounder attached: intervals are unbounded, so there is no
+        // slack fallback and the comparison must fail, not guess.
+        return r->PairLess(2, 3, 4, 5) ? 1.0 : 0.0;
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// The satellite regression: FilterLessThan hitting the budget mid-batch
+// must attribute every comparison exactly once (counter invariant), never
+// resolve a pair twice, and answer duplicates consistently.
+TEST(BudgetTest, FilterLessThanMidBatchKeepsInvariantAndNeverDoubleCounts) {
+  // Near-degenerate metric: all distances land in a narrow band, so with a
+  // star scaffold at 0 the Tri intervals of non-star pairs are finite but
+  // far too wide for eps = 0 to slack-decide — every surviving pair enters
+  // the budget partition deterministically.
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kNearDegenerate, 24, 8);
+  const ObjectId n = stack.oracle->num_objects();
+  std::unique_ptr<Bounder> keepalive;
+  std::vector<bool> out;
+  const std::vector<IdPair> pairs = {
+      {1, 2},  {3, 4},   {5, 6},  {7, 8}, {9, 10},
+      {11, 12}, {13, 14}, {15, 16},
+      {1, 2} /* duplicate */, {2, 1} /* symmetric */, {4, 4} /* self */};
+  constexpr uint64_t kBudget = 3;
+  uint64_t scaffold_calls = 0;
+  const StatusOr<double> result =
+      stack.resolver->RunFallible([&](BoundedResolver* r) -> double {
+        for (ObjectId j = 1; j < n; ++j) r->Distance(0, j);
+        scaffold_calls = r->stats().oracle_calls;
+        SchemeOptions options;
+        auto bounder = MakeAndAttachScheme(SchemeKind::kTri, r, options);
+        CHECK(bounder.ok()) << bounder.status();
+        keepalive = std::move(bounder).value();
+        r->SetPolicy(ResolutionPolicy{0.0, kBudget});
+        out = r->FilterLessThan(pairs, 0.9);
+        return 0.0;
+      });
+  ASSERT_TRUE(result.ok()) << result.status();
+  const ResolverStats& s = stack.resolver->stats();
+
+  ASSERT_EQ(out.size(), pairs.size());
+  // Every comparison attributed exactly once, even across the budget edge.
+  EXPECT_EQ(s.comparisons, pairs.size());
+  EXPECT_EQ(DecidedTotal(s), s.comparisons);
+  // The budget is a hard cap and every forced decision is accounted for.
+  EXPECT_EQ(stack.resolver->budget_spent(), kBudget);
+  EXPECT_EQ(s.oracle_calls, scaffold_calls + kBudget);
+  EXPECT_GE(s.budget_exhausted, 5u) << "8 unique pairs, budget 3";
+  EXPECT_LE(s.budget_exhausted, s.decided_by_slack);
+  // No pair was resolved twice: edges = scaffold star + shipped pairs.
+  EXPECT_EQ(stack.resolver->graph().num_edges(),
+            static_cast<size_t>(scaffold_calls + kBudget));
+  // Duplicates and symmetric repeats of one pair answer identically.
+  EXPECT_EQ(out[8], out[0]);
+  EXPECT_EQ(out[9], out[0]);
+  // The self pair is a cache decision: 0 < 0.9.
+  EXPECT_TRUE(out[10]);
+  // Shipped pairs answer exactly.
+  for (size_t k = 0; k < 8; ++k) {
+    if (stack.resolver->Known(pairs[k].i, pairs[k].j)) {
+      EXPECT_EQ(out[k],
+                stack.oracle->Distance(pairs[k].i, pairs[k].j) < 0.9)
+          << "pair " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Slack decisions happen, and carry certificates that verify.
+// ---------------------------------------------------------------------------
+
+TEST(SlackDecisionTest, LooseEpsTradesOracleCallsForSlackDecisions) {
+  const ManualRun exact =
+      RunManual(SchemeKind::kTri, AllWorkloads()[0].run,
+                /*install_policy=*/false, {});
+  const ManualRun approx =
+      RunManual(SchemeKind::kTri, AllWorkloads()[0].run,
+                /*install_policy=*/true, ResolutionPolicy{0.3, 0});
+  EXPECT_GT(approx.stats.decided_by_slack, 0u)
+      << "eps=0.3 over bootstrapped Tri bounds should slack-decide "
+         "something";
+  EXPECT_LE(approx.stats.oracle_calls, exact.stats.oracle_calls);
+  EXPECT_EQ(DecidedTotal(approx.stats), approx.stats.comparisons);
+  EXPECT_EQ(approx.stats.budget_exhausted, 0u);
+}
+
+TEST(SlackCertTest, AuditedApproximateRunVerifiesEverySlackCertificate) {
+  MatrixOracle oracle(FamilyMetric(MetricFamily::kUniform, 32, 13), 32);
+  WorkloadConfig config;
+  config.scheme = SchemeKind::kTri;
+  config.bootstrap = true;
+  config.seed = 13;
+  config.eps = 0.25;
+  config.audit = true;
+  const StatusOr<WorkloadResult> result = TryRunWorkload(
+      &oracle, config,
+      [](BoundedResolver* r) { return PrimMst(r).total_weight; });
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GT(result->stats.decided_by_slack, 0u);
+  EXPECT_GT(result->certification.emitted, 0u);
+  EXPECT_EQ(result->certification.failed, 0u)
+      << result->certification.first_failure;
+  EXPECT_EQ(result->certification.verified, result->certification.emitted);
+}
+
+TEST(SlackCertTest, VerifierAcceptsConsistentSlackCertificates) {
+  PartialDistanceGraph graph(4);
+  Verifier verifier(&graph, Verifier::Options{1.0});
+
+  CertifiedDecision cd;
+  cd.decision.verb = DecisionVerb::kLessThan;
+  cd.decision.i = 0;
+  cd.decision.j = 2;
+  cd.decision.threshold = 0.6;
+  cd.decision.outcome = true;  // midpoint 0.45 < 0.6
+  cd.cert_ij.kind = BoundCertificate::Kind::kSlack;
+  cd.cert_ij.lb = 0.4;
+  cd.cert_ij.ub = 0.5;
+  cd.cert_ij.slack = SlackWitness{0.4, 0.5, 0.25, 0.2};
+  EXPECT_TRUE(verifier.Check(cd).ok());
+
+  // Advertised error may exceed eps (the budget-forced case): still valid,
+  // the *advertised* number just has to be honest.
+  cd.cert_ij.slack.eps = 0.05;
+  EXPECT_TRUE(verifier.Check(cd).ok());
+}
+
+TEST(SlackCertTest, VerifierRejectsTamperedSlackCertificates) {
+  PartialDistanceGraph graph(4);
+  Verifier verifier(&graph, Verifier::Options{1.0});
+
+  const auto make = [] {
+    CertifiedDecision cd;
+    cd.decision.verb = DecisionVerb::kLessThan;
+    cd.decision.i = 0;
+    cd.decision.j = 2;
+    cd.decision.threshold = 0.6;
+    cd.decision.outcome = true;
+    cd.cert_ij.kind = BoundCertificate::Kind::kSlack;
+    cd.cert_ij.lb = 0.4;
+    cd.cert_ij.ub = 0.5;
+    cd.cert_ij.slack = SlackWitness{0.4, 0.5, 0.25, 0.2};
+    return cd;
+  };
+
+  {
+    // Flipped outcome: the midpoint says true, the record says false.
+    CertifiedDecision cd = make();
+    cd.decision.outcome = false;
+    EXPECT_FALSE(verifier.Check(cd).ok());
+  }
+  {
+    // Understated error: the certificate advertises less error than the
+    // interval actually admits ((0.5-0.4)/0.5 = 0.2).
+    CertifiedDecision cd = make();
+    cd.cert_ij.slack.advertised_error = 0.05;
+    EXPECT_FALSE(verifier.Check(cd).ok());
+  }
+  {
+    // Inverted interval.
+    CertifiedDecision cd = make();
+    cd.cert_ij.slack.lo = 0.7;
+    EXPECT_FALSE(verifier.Check(cd).ok());
+  }
+  {
+    // An unbounded interval can never justify a slack decision.
+    CertifiedDecision cd = make();
+    cd.cert_ij.slack.hi = kInfDistance;
+    EXPECT_FALSE(verifier.Check(cd).ok());
+  }
+  {
+    // Slack certificates never back a proof verb.
+    CertifiedDecision cd = make();
+    cd.decision.verb = DecisionVerb::kGreaterThan;
+    EXPECT_FALSE(verifier.Check(cd).ok());
+  }
+  {
+    // A PairLess slack decision needs a slack certificate on both sides.
+    CertifiedDecision cd = make();
+    cd.decision.verb = DecisionVerb::kPairLess;
+    cd.decision.k = 1;
+    cd.decision.l = 3;
+    EXPECT_FALSE(verifier.Check(cd).ok());
+  }
+}
+
+TEST(SlackCertTest, PairLessSlackCertificatesCompareMidpoints) {
+  PartialDistanceGraph graph(4);
+  Verifier verifier(&graph, Verifier::Options{1.0});
+
+  CertifiedDecision cd;
+  cd.decision.verb = DecisionVerb::kPairLess;
+  cd.decision.i = 0;
+  cd.decision.j = 1;
+  cd.decision.k = 2;
+  cd.decision.l = 3;
+  cd.cert_ij.kind = BoundCertificate::Kind::kSlack;
+  cd.cert_ij.slack = SlackWitness{0.40, 0.50, 0.25, 0.2};  // midpoint 0.45
+  cd.cert_kl.kind = BoundCertificate::Kind::kSlack;
+  cd.cert_kl.slack = SlackWitness{0.60, 0.70, 0.25, 1.0 / 7.0};  // 0.65
+  cd.decision.outcome = true;  // 0.45 < 0.65
+  EXPECT_TRUE(verifier.Check(cd).ok());
+  cd.decision.outcome = false;
+  EXPECT_FALSE(verifier.Check(cd).ok());
+}
+
+}  // namespace
+}  // namespace metricprox

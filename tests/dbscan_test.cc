@@ -1,10 +1,11 @@
 #include "algo/dbscan.h"
 
-#include <deque>
 #include <set>
 
 #include <gtest/gtest.h>
 
+#include "algo/reference.h"
+#include "algo/search.h"
 #include "bounds/scheme.h"
 #include "data/synthetic.h"
 #include "oracle/vector_oracle.h"
@@ -13,56 +14,10 @@
 namespace metricprox {
 namespace {
 
+using testing_util::MakeFamilyStack;
 using testing_util::MakeRandomStack;
+using testing_util::MetricFamily;
 using testing_util::ResolverStack;
-
-// Straightforward textbook DBSCAN over the raw oracle, as the ground truth.
-DbscanResult ReferenceDbscan(DistanceOracle* oracle,
-                             const DbscanOptions& options) {
-  const ObjectId n = oracle->num_objects();
-  auto neighbors = [&](ObjectId p) {
-    std::vector<ObjectId> out;
-    for (ObjectId v = 0; v < n; ++v) {
-      if (v != p && oracle->Distance(p, v) <= options.eps) out.push_back(v);
-    }
-    return out;
-  };
-
-  DbscanResult result;
-  constexpr int32_t kUnvisited = -2;
-  std::vector<int32_t> state(n, kUnvisited);
-  for (ObjectId p = 0; p < n; ++p) {
-    if (state[p] != kUnvisited) continue;
-    const auto hood = neighbors(p);
-    if (hood.size() + 1 < options.min_pts) {
-      state[p] = DbscanResult::kNoise;
-      continue;
-    }
-    const int32_t cluster = static_cast<int32_t>(result.num_clusters++);
-    state[p] = cluster;
-    std::deque<ObjectId> frontier(hood.begin(), hood.end());
-    while (!frontier.empty()) {
-      const ObjectId q = frontier.front();
-      frontier.pop_front();
-      if (state[q] == DbscanResult::kNoise) state[q] = cluster;
-      if (state[q] != kUnvisited) continue;
-      state[q] = cluster;
-      const auto reach = neighbors(q);
-      if (reach.size() + 1 >= options.min_pts) {
-        for (const ObjectId nb : reach) {
-          if (state[nb] == kUnvisited || state[nb] == DbscanResult::kNoise) {
-            frontier.push_back(nb);
-          }
-        }
-      }
-    }
-  }
-  result.labels.assign(n, DbscanResult::kNoise);
-  for (ObjectId o = 0; o < n; ++o) {
-    if (state[o] != kUnvisited) result.labels[o] = state[o];
-  }
-  return result;
-}
 
 ResolverStack MakeClusteredStack(ObjectId n, uint64_t seed) {
   ResolverStack stack;
@@ -151,6 +106,98 @@ TEST(DbscanTest, TriSavesCallsOnClusteredData) {
   DbscanCluster(plugged.resolver.get(), options);
   EXPECT_LT(plugged.resolver->stats().oracle_calls, baseline / 2)
       << "range-query workloads should be a best case for triangle pruning";
+}
+
+// ---------------------------------------------------------------------------
+// Tie semantics at the range boundary. The near-degenerate family quantizes
+// raw weights to a 0.01 grid, so after closure many pairs share *exact*
+// distance values; picking the radius as one of those values forces
+// d == radius boundary points through both the reference scan and the
+// framework's triage (ProvenGreaterThan discard + inclusive include). The
+// differential tests pin that both classify every boundary point
+// identically — the bugfix contract for the range/DBSCAN path.
+// ---------------------------------------------------------------------------
+
+TEST(RangeSearchTieTest, BoundaryPointsClassifyIdentically) {
+  for (uint64_t seed : {11ull, 12ull, 13ull}) {
+    ResolverStack stack =
+        MakeFamilyStack(MetricFamily::kNearDegenerate, 36, seed);
+    const ObjectId n = stack.oracle->num_objects();
+    for (ObjectId query : {ObjectId{0}, ObjectId{7}, ObjectId{19}}) {
+      // An exactly achieved distance, so at least one point sits on the
+      // boundary (typically several, thanks to the quantized grid).
+      const double radius =
+          stack.oracle->Distance(query, (query + 5) % n);
+      const std::vector<KnnNeighbor> expected =
+          ReferenceRangeSearch(stack.oracle.get(), query, radius);
+      size_t boundary = 0;
+      for (const KnnNeighbor& nb : expected) {
+        if (nb.distance == radius) ++boundary;
+      }
+      ASSERT_GE(boundary, 1u) << "tie test is vacuous";
+      const std::vector<KnnNeighbor> got =
+          RangeSearch(stack.resolver.get(), query, radius);
+      EXPECT_EQ(got, expected)
+          << "seed " << seed << " query " << query << " radius " << radius;
+    }
+  }
+}
+
+TEST(RangeSearchTieTest, BoundaryTiesSurviveBoundTriage) {
+  // Same differential, but with real bound schemes triaging candidates: a
+  // scheme that discarded d == radius (or included d > radius) would
+  // diverge from the oracle-only reference here.
+  for (const SchemeKind scheme : {SchemeKind::kTri, SchemeKind::kSplub}) {
+    for (uint64_t seed : {21ull, 22ull}) {
+      ResolverStack stack =
+          MakeFamilyStack(MetricFamily::kNearDegenerate, 36, seed);
+      const ObjectId n = stack.oracle->num_objects();
+      BootstrapWithLandmarks(stack.resolver.get(), 5, seed);
+      SchemeOptions options;
+      auto bounder =
+          MakeAndAttachScheme(scheme, stack.resolver.get(), options);
+      ASSERT_TRUE(bounder.ok());
+      for (ObjectId query : {ObjectId{2}, ObjectId{13}}) {
+        const double radius =
+            stack.oracle->Distance(query, (query + 9) % n);
+        EXPECT_EQ(RangeSearch(stack.resolver.get(), query, radius),
+                  ReferenceRangeSearch(stack.oracle.get(), query, radius))
+            << SchemeKindName(scheme) << " seed " << seed << " query "
+            << query;
+      }
+    }
+  }
+}
+
+TEST(DbscanTieTest, BoundaryEpsClassifiesIdentically) {
+  // DBSCAN with eps picked as an exactly achieved distance: core/border
+  // membership of d == eps points must match the oracle-only reference,
+  // vanilla and under bound schemes alike.
+  for (uint64_t seed : {31ull, 32ull, 33ull}) {
+    ResolverStack stack =
+        MakeFamilyStack(MetricFamily::kNearDegenerate, 40, seed);
+    DbscanOptions options;
+    options.eps = stack.oracle->Distance(0, 1);
+    options.min_pts = 3;
+    const DbscanResult expected =
+        ReferenceDbscan(stack.oracle.get(), options);
+    const DbscanResult vanilla =
+        DbscanCluster(stack.resolver.get(), options);
+    EXPECT_EQ(vanilla.num_clusters, expected.num_clusters) << "seed " << seed;
+    EXPECT_EQ(vanilla.labels, expected.labels) << "seed " << seed;
+
+    for (const SchemeKind scheme : {SchemeKind::kTri, SchemeKind::kSplub}) {
+      ResolverStack plugged =
+          MakeFamilyStack(MetricFamily::kNearDegenerate, 40, seed);
+      SchemeOptions scheme_options;
+      auto bounder =
+          MakeAndAttachScheme(scheme, plugged.resolver.get(), scheme_options);
+      ASSERT_TRUE(bounder.ok());
+      const DbscanResult got = DbscanCluster(plugged.resolver.get(), options);
+      EXPECT_EQ(got.labels, expected.labels)
+          << SchemeKindName(scheme) << " seed " << seed;
+    }
+  }
 }
 
 TEST(DbscanTest, AllNoiseWhenEpsTiny) {

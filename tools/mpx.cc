@@ -22,6 +22,20 @@
 //                            outputs, identical oracle calls and zero failed
 //                            certificates (docs/ARCHITECTURE.md,
 //                            "Verification & audit mode")
+//   --eps=<slack>            approximate mode: a comparison whose bound
+//                            interval has relative gap <= eps resolves
+//                            without the oracle (0 <= eps < 1; 0 = exact;
+//                            counted as decided_by_slack). Only workloads
+//                            with an approximate contract accept it:
+//                            mst (prim|boruvka), knn, cluster (pam|dbscan).
+//                            NOTE: DBSCAN's neighborhood radius, formerly
+//                            --eps, is now --radius.
+//   --oracle-budget=<k>      hard cap on workload-phase oracle calls
+//                            (bootstrap/scheme construction are not
+//                            charged). Once spent, remaining comparisons
+//                            resolve by slack where the bounds allow;
+//                            otherwise the run exits with a
+//                            ResourceExhausted error.
 //   --save-graph=<path>      checkpoint resolved distances afterwards
 //   --load-graph=<path>      start from a checkpoint (same dataset/seed!)
 //   --threads=<k>            cap parallel batch workers (0 = env/hardware)
@@ -230,6 +244,10 @@ int Run(const std::string& command, const Flags& flags) {
   const int64_t trace_limit = flags.GetInt("trace-limit", 0);
   const std::string simd_flag = flags.GetString("simd", "");
 
+  const double approx_eps = flags.GetDouble("eps", 0.0);
+  const bool has_budget_flag = flags.Has("oracle-budget");
+  const int64_t oracle_budget_raw = flags.GetInt("oracle-budget", 0);
+
   // Reject malformed numerics and inconsistent combos before anything is
   // cast, stacked or opened — a bad flag must never silently misbehave.
   for (const Status& s : {
@@ -249,8 +267,47 @@ int Run(const std::string& command, const Flags& flags) {
            RequireNonNegative("--fault-spike-seconds", fault.spike_seconds),
            RequireNonNegative("--fault-timeout",
                               fault.per_call_timeout_seconds),
+           RequireNonNegative("--eps", approx_eps),
        }) {
     if (!s.ok()) return Fail(s.ToString());
+  }
+  if (approx_eps >= 1.0) {
+    return Fail(
+        "--eps must be below 1: it is a relative bound-interval gap, and a "
+        "gap of 1 would accept comparisons the bounds say nothing about");
+  }
+  if (has_budget_flag && oracle_budget_raw <= 0) {
+    return Fail(
+        "--oracle-budget must be a positive call count (omit the flag for "
+        "an unlimited budget)");
+  }
+  const bool approx_active = approx_eps > 0.0 || oracle_budget_raw > 0;
+  if (oracle_budget_raw > 0 && store_no_warm_start) {
+    return Fail(
+        "--oracle-budget cannot be combined with --store-no-warm-start: "
+        "distances already durable in the store would be re-charged against "
+        "the budget instead of entering the graph as warm cache hits");
+  }
+  if (approx_active) {
+    // The (1+eps) contract is only proved for threshold/winner-selection
+    // workloads whose proof verbs stay exact; everything else must not
+    // silently accept a slack policy it would ignore or miscount.
+    bool contract = false;
+    if (command == "mst") {
+      const std::string algorithm = flags.GetString("algorithm", "prim");
+      contract = algorithm == "prim" || algorithm == "boruvka";
+    } else if (command == "knn") {
+      contract = true;
+    } else if (command == "cluster") {
+      const std::string method = flags.GetString("method", "pam");
+      contract = method == "pam" || method == "dbscan";
+    }
+    if (!contract) {
+      return Fail(
+          "--eps/--oracle-budget require a workload with an approximate "
+          "contract: mst (--algorithm=prim|boruvka), knn, or cluster "
+          "(--method=pam|dbscan)");
+    }
   }
   if (store_readonly && store_path.empty()) {
     return Fail("--store-readonly requires --store=<path>");
@@ -345,7 +402,11 @@ int Run(const std::string& command, const Flags& flags) {
   const std::string trace_id = trace_id_stream.str();
   std::optional<Telemetry> telemetry;
   std::unique_ptr<JsonlTraceSink> trace_sink;
-  if (!stats_json.empty() || !trace_path.empty()) {
+  // An approximate audit needs the slack_realized_error histogram to check
+  // realized error against --eps, so the bundle is forced on even without
+  // --stats-json/--trace (attachment is proven side-effect-free).
+  if (!stats_json.empty() || !trace_path.empty() ||
+      (audit && approx_active)) {
     telemetry.emplace();
     telemetry->trace_id = trace_id;
     if (!trace_path.empty()) {
@@ -367,11 +428,18 @@ int Run(const std::string& command, const Flags& flags) {
     if (store != nullptr) store->SetTelemetry(telemetry_ptr);
   };
 
-  std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu%s\n",
+  std::string approx_desc;
+  if (approx_active) {
+    std::ostringstream os;
+    if (approx_eps > 0.0) os << " eps=" << approx_eps;
+    if (oracle_budget_raw > 0) os << " oracle-budget=" << oracle_budget_raw;
+    approx_desc = os.str();
+  }
+  std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu%s%s\n",
               command.c_str(), dataset->name.c_str(), n,
               SchemeKindName(*scheme).data(), bootstrap ? "+bootstrap" : "",
               static_cast<unsigned long long>(seed),
-              audit ? " audit=on" : "");
+              audit ? " audit=on" : "", approx_desc.c_str());
 
   uint64_t warm_loaded = 0;
   // One full execution of the command from a fresh graph. Everything that
@@ -434,12 +502,25 @@ int Run(const std::string& command, const Flags& flags) {
       bounder_keepalive = std::move(bounder).value();
       if (with_cert) certifying.emplace(&resolver, dataset->max_distance);
 
+      // The approximate policy goes live only now: bootstrap and scheme
+      // construction stay exact and are not charged against the budget.
+      if (approx_active) {
+        resolver.SetPolicy(ResolutionPolicy{
+            approx_eps, static_cast<uint64_t>(oracle_budget_raw)});
+      }
+
       watch.Restart();
       exit_code = RunCommand(command, flags, n, seed, &resolver, quiet,
                              checksum_out);
       return 0.0;
     });
     if (!outcome.ok()) {
+      if (outcome.status().code() == StatusCode::kResourceExhausted) {
+        return Fail("oracle budget exceeded: " +
+                    std::string(outcome.status().message()) +
+                    " (raise --oracle-budget, or loosen --eps so more "
+                    "comparisons can resolve by slack)");
+      }
       return Fail("oracle transport failed: " + outcome.status().ToString());
     }
     if (exit_code != 0) return exit_code;
@@ -499,17 +580,43 @@ int Run(const std::string& command, const Flags& flags) {
       std::printf("first failed certificate: %s\n",
                   certification.first_failure.c_str());
     }
+    Histogram::Summary slack_err;
+    if (telemetry_ptr != nullptr) {
+      slack_err = telemetry_ptr->slack_realized_error.Summarize();
+    }
+    if (approx_active) {
+      std::printf("decided_by_slack=%llu budget_exhausted=%llu\n",
+                  static_cast<unsigned long long>(stats.decided_by_slack),
+                  static_cast<unsigned long long>(stats.budget_exhausted));
+      if (slack_err.count > 0) {
+        std::printf(
+            "slack realized error: p50=%.4g p99=%.4g max=%.4g over %llu "
+            "slack decisions\n",
+            slack_err.p50, slack_err.p99, slack_err.max,
+            static_cast<unsigned long long>(slack_err.count));
+      }
+    }
+    // The advertised (1+eps) contract: unless the budget forced wider
+    // decisions, no slack decision may have realized more relative error
+    // than --eps admitted.
+    const bool error_within_eps =
+        !(approx_eps > 0.0 && stats.budget_exhausted == 0 &&
+          slack_err.max > approx_eps);
     if (!outputs_identical || !calls_identical ||
-        certification.failed > 0) {
+        certification.failed > 0 || !error_within_eps) {
       std::string why;
       if (!outputs_identical) why += " outputs differ;";
       if (!calls_identical) why += " oracle calls differ;";
       if (certification.failed > 0) why += " certificates failed;";
+      if (!error_within_eps) why += " realized slack error exceeds --eps;";
       return Fail("audit FAILED:" + why);
     }
     std::printf(
         "audit PASSED: outputs byte-identical, oracle calls identical, "
-        "all emitted certificates verified\n");
+        "all emitted certificates verified%s\n",
+        approx_active ? "; every slack decision certified and realized "
+                        "error within eps"
+                      : "");
     stats.certs_emitted = certification.emitted;
     stats.certs_verified = certification.verified;
     stats.certs_failed = certification.failed;
@@ -732,7 +839,9 @@ int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
       }
     } else if (method == "dbscan") {
       DbscanOptions dbscan;
-      dbscan.eps = flags.GetDouble("eps", 1.0);
+      // The neighborhood radius is --radius (like join); --eps is the
+      // global approximate-resolution slack.
+      dbscan.eps = flags.GetDouble("radius", 1.0);
       dbscan.min_pts = static_cast<uint32_t>(flags.GetInt("min-pts", 4));
       const DbscanResult c = DbscanCluster(&resolver, dbscan);
       uint32_t noise = 0;
@@ -742,7 +851,7 @@ int RunCommand(const std::string& command, const Flags& flags, ObjectId n,
       *checksum = static_cast<double>(c.num_clusters) * 1e6 +
                   static_cast<double>(noise);
       if (!quiet) {
-        std::printf("DBSCAN(eps=%.3f, minPts=%u): %u clusters, %u noise "
+        std::printf("DBSCAN(radius=%.3f, minPts=%u): %u clusters, %u noise "
                     "points\n",
                     dbscan.eps, dbscan.min_pts, c.num_clusters, noise);
       }
@@ -789,7 +898,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mpx <mst|knn|cluster|join|diameter> [--flags]\n"
                  "       mpx store <info|verify|compact> --store=<path>\n"
-                 "run `head -48 tools/mpx.cc` for the flag reference\n");
+                 "run `head -84 tools/mpx.cc` for the flag reference\n");
     return 1;
   }
   const std::string command = argv[1];

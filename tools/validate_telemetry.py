@@ -109,11 +109,17 @@ def validate_report(path):
     # Cross-field invariants the schema language cannot express.
     stats = report["stats"]
     decided = (stats["decided_by_bounds"] + stats["decided_by_cache"] +
-               stats["decided_by_oracle"] + stats["undecided"])
+               stats["decided_by_oracle"] + stats["decided_by_slack"] +
+               stats["undecided"])
     if decided != stats["comparisons"]:
         raise ValidationError(
             f"stats: decisions {decided} != comparisons "
             f"{stats['comparisons']}")
+    if stats["budget_exhausted"] > stats["decided_by_slack"]:
+        raise ValidationError(
+            f"stats: budget_exhausted {stats['budget_exhausted']} > "
+            f"decided_by_slack {stats['decided_by_slack']} (budget-forced "
+            f"decisions are a subset of slack decisions)")
     hists = report["telemetry"]["histograms"]
     if not report["telemetry"]["enabled"]:
         for name, hist in hists.items():
