@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
 #include <unordered_set>
 #include <utility>
 
+#include "bounds/weak.h"
 #include "core/logging.h"
 #include "core/simd.h"
 
@@ -58,6 +60,71 @@ bool BoundedResolver::DecideBySlack(ObjectId i, ObjectId j, double t,
   bounder_->ObserveSlackLessThan(i, j, t, b, policy_.eps, outcome);
   stats_.bounder_seconds += watch.ElapsedSeconds();
   return outcome;
+}
+
+Interval BoundedResolver::WeakQuery(ObjectId i, ObjectId j) {
+  ++stats_.weak_calls;
+  const Interval w = weak_->Bounds(i, j);
+  if (telemetry_ != nullptr) {
+    telemetry_->weak_interval_width.Record(SlackRelativeGap(w));
+  }
+  return w;
+}
+
+Interval BoundedResolver::WeakIntersect(ObjectId i, ObjectId j,
+                                        const Interval& b) {
+  const Interval w = WeakQuery(i, j);
+  if (w.lo > b.hi + BoundDecisionMargin(b.hi) ||
+      b.lo > w.hi + BoundDecisionMargin(w.hi)) {
+    // The scheme's interval is certified, so a weak interval that misses it
+    // entirely proves the weak oracle broke its advertised error model.
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "weak interval [%.17g, %.17g] for pair (%u, %u) is disjoint "
+                  "from the scheme's certified interval [%.17g, %.17g]",
+                  w.lo, w.hi, i, j, b.lo, b.hi);
+    FailWeakModel(buf);
+  }
+  double lo = std::max(w.lo, b.lo);
+  double hi = std::min(w.hi, b.hi);
+  if (lo > hi) lo = hi;  // sub-margin fp disagreement; clamp like Hybrid
+  return Interval(lo, hi);
+}
+
+std::optional<bool> BoundedResolver::DecideByWeak(ObjectId i, ObjectId j,
+                                                  double t,
+                                                  const Interval& eff) {
+  const double margin = BoundDecisionMargin(t);
+  std::optional<bool> outcome;
+  if (eff.hi < t - margin) {
+    outcome = true;
+  } else if (eff.lo >= t + margin) {
+    outcome = false;
+  }
+  if (!outcome.has_value()) return std::nullopt;
+  ++stats_.decided_by_weak;
+  Trace(TraceEventKind::kDecidedByWeak, i, j, t);
+  Stopwatch watch;
+  bounder_->ObserveWeakLessThan(i, j, t, weak_->ModelFor(i, j), *outcome);
+  stats_.bounder_seconds += watch.ElapsedSeconds();
+  return outcome;
+}
+
+void BoundedResolver::NotifyWeakResolved(ObjectId i, ObjectId j, double d) {
+  if (weak_ == nullptr) return;
+  weak_->OnEdgeResolved(i, j, d);
+  if (weak_->violated()) FailWeakModel(weak_->violation_detail());
+}
+
+void BoundedResolver::FailWeakModel(const std::string& detail) {
+  oracle_status_ = Status::FailedPrecondition(
+      "weak oracle violated its advertised error model: " + detail);
+  if (fallible_depth_ > 0) {
+    throw internal::OracleTransportError{oracle_status_};
+  }
+  CHECK(false) << "weak-oracle model violation outside RunFallible: "
+               << oracle_status_;
+  std::abort();  // unreachable; keeps [[noreturn]] honest for the compiler
 }
 
 void BoundedResolver::FailBudget(uint64_t requested) {
@@ -130,6 +197,9 @@ double BoundedResolver::Distance(ObjectId i, ObjectId j) {
   Stopwatch bounder_watch;
   bounder_->OnEdgeResolved(i, j, d);
   stats_.bounder_seconds += bounder_watch.ElapsedSeconds();
+  // Every paid resolution doubles as a free ground-truth check of the weak
+  // oracle's advertised interval for this pair.
+  NotifyWeakResolved(i, j, d);
   return d;
 }
 
@@ -175,15 +245,24 @@ bool BoundedResolver::LessThan(ObjectId i, ObjectId j, double t) {
     Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return *decided;
   }
-  if (PolicyActive()) {
+  if (WeakActive() || PolicyActive()) {
     const Interval b = SlackBounds(i, j);
-    const double gap = SlackRelativeGap(b);
-    if (SlackActive() && gap <= policy_.eps) {
-      return DecideBySlack(i, j, t, b, gap, /*forced=*/false);
+    if (WeakActive()) {
+      // Weak before slack: a weak decision is exact (when the model holds),
+      // a slack decision is not.
+      const std::optional<bool> by_weak =
+          DecideByWeak(i, j, t, WeakIntersect(i, j, b));
+      if (by_weak.has_value()) return *by_weak;
     }
-    if (BudgetActive() && BudgetRemaining() == 0) {
-      if (!std::isfinite(b.hi)) FailBudget(1);
-      return DecideBySlack(i, j, t, b, gap, /*forced=*/true);
+    if (PolicyActive()) {
+      const double gap = SlackRelativeGap(b);
+      if (SlackActive() && gap <= policy_.eps) {
+        return DecideBySlack(i, j, t, b, gap, /*forced=*/false);
+      }
+      if (BudgetActive() && BudgetRemaining() == 0) {
+        if (!std::isfinite(b.hi)) FailBudget(1);
+        return DecideBySlack(i, j, t, b, gap, /*forced=*/true);
+      }
     }
   }
   ++stats_.decided_by_oracle;
@@ -215,6 +294,18 @@ bool BoundedResolver::ProvenGreaterThan(ObjectId i, ObjectId j, double t) {
     ++stats_.decided_by_bounds;
     Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return true;
+  }
+  if (WeakActive() && !decided.has_value()) {
+    const Interval eff = WeakIntersect(i, j, SlackBounds(i, j));
+    if (eff.lo > t + BoundDecisionMargin(t)) {
+      ++stats_.decided_by_weak;
+      Trace(TraceEventKind::kDecidedByWeak, i, j, t);
+      Stopwatch weak_watch;
+      bounder_->ObserveWeakGreaterThan(i, j, t, weak_->ModelFor(i, j),
+                                       /*outcome=*/true);
+      stats_.bounder_seconds += weak_watch.ElapsedSeconds();
+      return true;
+    }
   }
   // Not proven (either provably <= t or undecidable). No oracle call happens
   // here — the caller typically resolves next, and *that* comparison is the
@@ -254,6 +345,20 @@ bool BoundedResolver::ProvenGreaterOrEqual(ObjectId i, ObjectId j, double t) {
     ++stats_.decided_by_bounds;
     Trace(TraceEventKind::kDecidedByBounds, i, j, t);
     return true;
+  }
+  if (WeakActive() && !decided.has_value()) {
+    const Interval eff = WeakIntersect(i, j, SlackBounds(i, j));
+    if (eff.lo >= t + BoundDecisionMargin(t)) {
+      ++stats_.decided_by_weak;
+      Trace(TraceEventKind::kDecidedByWeak, i, j, t);
+      Stopwatch weak_watch;
+      // A >= t proof travels the LessThan observation channel with
+      // outcome=false (`dist(i, j) < t` provably false).
+      bounder_->ObserveWeakLessThan(i, j, t, weak_->ModelFor(i, j),
+                                    /*outcome=*/false);
+      stats_.bounder_seconds += weak_watch.ElapsedSeconds();
+      return true;
+    }
   }
   // Not proven (either provably < t or undecidable). As in
   // ProvenGreaterThan, nothing reached the oracle on this path.
@@ -342,6 +447,9 @@ void BoundedResolver::ResolveUnknown(std::span<const IdPair> pairs) {
   Stopwatch bounder_watch;
   bounder_->OnEdgesResolved(edges);
   stats_.bounder_seconds += bounder_watch.ElapsedSeconds();
+  if (weak_ != nullptr) {
+    for (const ResolvedEdge& e : edges) NotifyWeakResolved(e.u, e.v, e.weight);
+  }
 }
 
 void BoundedResolver::ResolveAll(std::span<const IdPair> pairs) {
@@ -415,6 +523,17 @@ std::vector<bool> BoundedResolver::FilterLessThan(
         out[sweep[s]] = *decided[s];
       } else {
         const IdPair p = sweep_pairs[s];
+        if (WeakActive()) {
+          // No resolution happens during this sweep, so repeats of a pair
+          // see the same memoized weak interval and decide identically.
+          const std::optional<bool> by_weak = DecideByWeak(
+              p.i, p.j, sweep_thresholds[s],
+              WeakIntersect(p.i, p.j, SlackBounds(p.i, p.j)));
+          if (by_weak.has_value()) {
+            out[sweep[s]] = *by_weak;
+            continue;
+          }
+        }
         if (charged.insert(EdgeKey(p.i, p.j)).second) {
           ++stats_.decided_by_oracle;
           // Probe before ResolveUnknown below collapses the interval.
@@ -441,7 +560,8 @@ std::vector<bool> BoundedResolver::FilterLessThan(
     struct Pending {
       size_t s;
       Interval b;
-      double gap;
+      double gap;   // scheme-interval gap: slack decisions, realized error
+      double rank;  // weak-informed gap: oracle-budget shipping priority
     };
     std::vector<Pending> pending;
     for (size_t s = 0; s < sweep.size(); ++s) {
@@ -454,15 +574,28 @@ std::vector<bool> BoundedResolver::FilterLessThan(
       }
       const IdPair p = sweep_pairs[s];
       // No resolution happens during this sweep, so repeats of a pair see
-      // the same interval and slack-decide identically.
+      // the same interval and weak-/slack-decide identically.
       const Interval b = SlackBounds(p.i, p.j);
+      Interval eff = b;
+      if (WeakActive()) {
+        eff = WeakIntersect(p.i, p.j, b);
+        const std::optional<bool> by_weak =
+            DecideByWeak(p.i, p.j, sweep_thresholds[s], eff);
+        if (by_weak.has_value()) {
+          out[sweep[s]] = *by_weak;
+          continue;
+        }
+      }
       const double gap = SlackRelativeGap(b);
       if (SlackActive() && gap <= policy_.eps) {
         out[sweep[s]] = DecideBySlack(p.i, p.j, sweep_thresholds[s], b, gap,
                                       /*forced=*/false);
         continue;
       }
-      pending.push_back({s, b, gap});
+      // Slack decisions and their certificates stay on the scheme interval
+      // `b`; the weak-intersected interval only *ranks* pairs for the
+      // budget below (the pairs weak knowledge helps least ship first).
+      pending.push_back({s, b, gap, SlackRelativeGap(eff)});
     }
     std::unordered_set<EdgeKey, EdgeKeyHash> starved;
     if (BudgetActive()) {
@@ -476,7 +609,7 @@ std::vector<bool> BoundedResolver::FilterLessThan(
       std::unordered_set<EdgeKey, EdgeKeyHash> seen;
       for (const Pending& w : pending) {
         const EdgeKey key(sweep_pairs[w.s].i, sweep_pairs[w.s].j);
-        if (seen.insert(key).second) reps.push_back({key, w.gap});
+        if (seen.insert(key).second) reps.push_back({key, w.rank});
       }
       const uint64_t capacity = BudgetRemaining();
       if (reps.size() > capacity) {
@@ -562,38 +695,68 @@ bool BoundedResolver::PairLess(ObjectId i, ObjectId j, ObjectId k,
     Trace(TraceEventKind::kDecidedByBounds, i, j, TraceEvent::kUnset);
     return *decided;
   }
-  if (PolicyActive()) {
+  if (WeakActive() || PolicyActive()) {
     const Interval bij = dij ? Interval::Exact(*dij) : SlackBounds(i, j);
     const Interval bkl = dkl ? Interval::Exact(*dkl) : SlackBounds(k, l);
-    // The realized error of a slack pair decision is the worse of the two
-    // relative gaps (a cached side is exact: gap 0).
-    const double gap =
-        std::max(SlackRelativeGap(bij), SlackRelativeGap(bkl));
-    bool forced = false;
-    bool by_slack = SlackActive() && gap <= policy_.eps;
-    if (!by_slack && BudgetActive()) {
-      const uint64_t needed = (dij ? 0u : 1u) + (dkl ? 0u : 1u);
-      if (BudgetRemaining() < needed) {
-        if (!std::isfinite(bij.hi) || !std::isfinite(bkl.hi)) {
-          FailBudget(needed);
-        }
-        by_slack = true;
-        forced = true;
+    if (WeakActive()) {
+      // A cached side is exact; only the unresolved side(s) consult the
+      // weak oracle. The decision margin mirrors Bounder::DecidePairLess.
+      const Interval eij = dij ? bij : WeakIntersect(i, j, bij);
+      const Interval ekl = dkl ? bkl : WeakIntersect(k, l, bkl);
+      const double margin =
+          BoundDecisionMargin(std::min(eij.hi, ekl.hi) == kInfDistance
+                                  ? std::max(eij.lo, ekl.lo)
+                                  : std::min(eij.hi, ekl.hi));
+      std::optional<bool> by_weak;
+      if (eij.hi < ekl.lo - margin) {
+        by_weak = true;
+      } else if (eij.lo >= ekl.hi + margin) {
+        by_weak = false;
+      }
+      if (by_weak.has_value()) {
+        ++stats_.decided_by_weak;
+        Trace(TraceEventKind::kDecidedByWeak, i, j, TraceEvent::kUnset);
+        const WeakModel mij =
+            dij ? WeakModel{*dij, 1.0, 0.0} : weak_->ModelFor(i, j);
+        const WeakModel mkl =
+            dkl ? WeakModel{*dkl, 1.0, 0.0} : weak_->ModelFor(k, l);
+        Stopwatch weak_watch;
+        bounder_->ObserveWeakPairLess(i, j, k, l, mij, mkl, *by_weak);
+        stats_.bounder_seconds += weak_watch.ElapsedSeconds();
+        return *by_weak;
       }
     }
-    if (by_slack) {
-      ++stats_.decided_by_slack;
-      if (forced) ++stats_.budget_exhausted;
-      if (telemetry_ != nullptr) {
-        telemetry_->slack_realized_error.Record(gap);
+    if (PolicyActive()) {
+      // The realized error of a slack pair decision is the worse of the two
+      // relative gaps (a cached side is exact: gap 0).
+      const double gap =
+          std::max(SlackRelativeGap(bij), SlackRelativeGap(bkl));
+      bool forced = false;
+      bool by_slack = SlackActive() && gap <= policy_.eps;
+      if (!by_slack && BudgetActive()) {
+        const uint64_t needed = (dij ? 0u : 1u) + (dkl ? 0u : 1u);
+        if (BudgetRemaining() < needed) {
+          if (!std::isfinite(bij.hi) || !std::isfinite(bkl.hi)) {
+            FailBudget(needed);
+          }
+          by_slack = true;
+          forced = true;
+        }
       }
-      Trace(TraceEventKind::kDecidedBySlack, i, j, TraceEvent::kUnset);
-      const bool outcome = SlackMidpoint(bij) < SlackMidpoint(bkl);
-      Stopwatch watch;
-      bounder_->ObserveSlackPairLess(i, j, k, l, bij, bkl, policy_.eps,
-                                     outcome);
-      stats_.bounder_seconds += watch.ElapsedSeconds();
-      return outcome;
+      if (by_slack) {
+        ++stats_.decided_by_slack;
+        if (forced) ++stats_.budget_exhausted;
+        if (telemetry_ != nullptr) {
+          telemetry_->slack_realized_error.Record(gap);
+        }
+        Trace(TraceEventKind::kDecidedBySlack, i, j, TraceEvent::kUnset);
+        const bool outcome = SlackMidpoint(bij) < SlackMidpoint(bkl);
+        Stopwatch watch;
+        bounder_->ObserveSlackPairLess(i, j, k, l, bij, bkl, policy_.eps,
+                                       outcome);
+        stats_.bounder_seconds += watch.ElapsedSeconds();
+        return outcome;
+      }
     }
   }
   ++stats_.decided_by_oracle;

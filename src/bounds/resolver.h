@@ -2,7 +2,9 @@
 #define METRICPROX_BOUNDS_RESOLVER_H_
 
 #include <functional>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/bounder.h"
@@ -26,6 +28,8 @@ struct OracleTransportError {
 };
 
 }  // namespace internal
+
+class WeakBounder;
 
 /// Approximate-resolution policy (ROADMAP item 4). With `eps > 0`, a
 /// comparison verb (LessThan / PairLess / FilterLessThan) may settle
@@ -87,6 +91,22 @@ class BoundedResolver {
   /// (exact) policy restores exact resolution.
   void SetPolicy(const ResolutionPolicy& policy);
   const ResolutionPolicy& policy() const { return policy_; }
+
+  /// Attaches (or with nullptr, detaches) the weak oracle as a third bound
+  /// source. When attached, a comparison the scheme cannot decide consults
+  /// the weak oracle's certified interval [max(0, w - floor)/alpha,
+  /// (w + floor)*alpha], intersects it with the scheme's bounds, and
+  /// decides without a strong-oracle call whenever the intersection clears
+  /// the threshold — exact as long as the weak oracle honors its advertised
+  /// error model (counted in decided_by_weak / weak_calls). Weak estimates
+  /// also steer the oracle-budget ranking in FilterLessThan. A detected
+  /// model violation (interval disjoint from the scheme's, or a resolved
+  /// distance outside its advertised interval) fails the resolution with
+  /// Status::FailedPrecondition instead of corrupting an answer. With
+  /// nullptr (the default) every code path is byte-identical to a resolver
+  /// without a weak oracle.
+  void SetWeakBounder(WeakBounder* weak) { weak_ = weak; }
+  WeakBounder* weak_bounder() const { return weak_; }
 
   /// Oracle pair resolutions charged against the budget since the last
   /// SetPolicy (maintained whether or not a cap is set).
@@ -243,6 +263,32 @@ class BoundedResolver {
   /// fallible scope). Not an oracle failure — oracle_failures stays put.
   [[noreturn]] void FailBudget(uint64_t requested);
 
+  /// Weak-oracle helpers (all inert with no weak bounder attached).
+  bool WeakActive() const { return weak_ != nullptr; }
+  /// Counted weak consult: bumps weak_calls, records the interval's
+  /// relative gap in the weak_interval_width histogram, and returns the
+  /// advertised interval for the pair.
+  Interval WeakQuery(ObjectId i, ObjectId j);
+  /// Consults the weak oracle and intersects its advertised interval with
+  /// the scheme interval `b`. Disjointness beyond BoundDecisionMargin is a
+  /// detected model violation and fails the resolution (FailWeakModel);
+  /// sub-margin fp-noise disjointness clamps to a point like HybridBounder.
+  Interval WeakIntersect(ObjectId i, ObjectId j, const Interval& b);
+  /// Settles `dist(i, j) < t` from the weak-intersected interval `eff`
+  /// when it clears the threshold by the decision margin: counts
+  /// decided_by_weak, traces, and reports the decision (with its advertised
+  /// error model) to the bounder's weak observation channel. Returns
+  /// nullopt when the interval straddles the threshold.
+  std::optional<bool> DecideByWeak(ObjectId i, ObjectId j, double t,
+                                   const Interval& eff);
+  /// Forwards a resolved edge to the weak bounder's violation cross-check
+  /// and escalates a latched violation. No-op with no weak bounder.
+  void NotifyWeakResolved(ObjectId i, ObjectId j, double d);
+  /// Terminates the current resolution because the weak oracle violated
+  /// its advertised error model: surfaces Status::FailedPrecondition
+  /// through RunFallible (CHECK-aborts outside a fallible scope).
+  [[noreturn]] void FailWeakModel(const std::string& detail);
+
   /// Telemetry fast paths: the inline wrappers cost one predictable branch
   /// when telemetry is detached; the Slow variants do the actual work.
   void Trace(TraceEventKind kind, ObjectId i, ObjectId j, double threshold) {
@@ -261,6 +307,7 @@ class BoundedResolver {
   Bounder* bounder_;  // not owned; never null (defaults to &null_bounder_)
   ResolverStats stats_;
   Telemetry* telemetry_ = nullptr;  // not owned; nullptr = telemetry off
+  WeakBounder* weak_ = nullptr;     // not owned; nullptr = weak oracle off
   ResolutionPolicy policy_;         // default = exact mode
   uint64_t budget_spent_ = 0;
   bool batch_transport_ = true;

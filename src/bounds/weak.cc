@@ -1,0 +1,46 @@
+#include "bounds/weak.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+WeakBounder::WeakBounder(WeakOracle* weak) : weak_(weak) {
+  CHECK(weak_ != nullptr);
+}
+
+WeakModel WeakBounder::ModelFor(ObjectId i, ObjectId j) {
+  const uint64_t key = EdgeKey(i, j).packed();
+  auto [it, inserted] = estimates_.try_emplace(key, 0.0);
+  if (inserted) it->second = weak_->Estimate(i, j);
+  return WeakModel{it->second, weak_->alpha(), weak_->floor()};
+}
+
+Interval WeakBounder::Bounds(ObjectId i, ObjectId j) {
+  return WeakModelInterval(ModelFor(i, j));
+}
+
+void WeakBounder::OnEdgeResolved(ObjectId i, ObjectId j, double d) {
+  if (violated_) return;
+  const auto it = estimates_.find(EdgeKey(i, j).packed());
+  if (it == estimates_.end()) return;
+  const Interval advertised =
+      WeakModelInterval(WeakModel{it->second, weak_->alpha(), weak_->floor()});
+  // Containment up to recomputation noise; the advertised interval is a
+  // few fp operations wide, so anything beyond this tolerance is a model
+  // violation, not rounding.
+  const double tol = 1e-9 * (1.0 + std::abs(advertised.hi));
+  if (d >= advertised.lo - tol && d <= advertised.hi + tol) return;
+  violated_ = true;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "resolved dist(%u, %u) = %.17g outside the advertised weak "
+                "interval [%.17g, %.17g] (w=%.17g, alpha=%.17g, floor=%.17g)",
+                i, j, d, advertised.lo, advertised.hi, it->second,
+                weak_->alpha(), weak_->floor());
+  violation_detail_ = buf;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,66 @@
+#ifndef METRICPROX_BOUNDS_WEAK_H_
+#define METRICPROX_BOUNDS_WEAK_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/bounder.h"
+#include "core/types.h"
+#include "oracle/weak_oracle.h"
+
+namespace metricprox {
+
+/// The weak oracle as a bound source: converts a weak answer `w` into the
+/// certified interval [max(0, w - floor)/alpha, (w + floor)*alpha] — valid
+/// whenever the weak oracle honors its advertised error model — so the
+/// resolver can intersect it with the scheme's Tri/SPLUB/DFT bounds and
+/// decide comparisons neither source could decide alone.
+///
+/// Estimates are memoized per pair (one WeakOracle evaluation per unique
+/// pair, ever), which keeps the weak channel cheap and the intervals
+/// stable across repeated queries of the same pair.
+///
+/// Violation detection: every resolution the resolver pays for is also a
+/// free ground-truth sample. OnEdgeResolved checks the resolved distance
+/// against the pair's memoized advertised interval; a miss latches
+/// `violated()` with a human-readable detail, and the resolver escalates
+/// it to a FailedPrecondition error instead of continuing on intervals
+/// that no longer mean anything. (A weak oracle that lies *consistently
+/// within* every observable bound is information-theoretically
+/// undetectable; what this guarantees is that a violation is detectable
+/// whenever any known fact contradicts it, and that detection fails the
+/// run rather than corrupting an answer.)
+class WeakBounder : public Bounder {
+ public:
+  /// `weak` is borrowed and must outlive the bounder.
+  explicit WeakBounder(WeakOracle* weak);
+
+  std::string_view name() const override { return "weak"; }
+
+  /// The advertised interval for dist(i, j), from the memoized estimate.
+  Interval Bounds(ObjectId i, ObjectId j) override;
+
+  /// The advertised error model for dist(i, j) (memoizes like Bounds).
+  WeakModel ModelFor(ObjectId i, ObjectId j);
+
+  /// Cross-checks the resolved distance against the pair's advertised
+  /// interval (no-op for pairs never estimated).
+  void OnEdgeResolved(ObjectId i, ObjectId j, double d) override;
+
+  /// True once any resolved distance fell outside its advertised interval.
+  bool violated() const { return violated_; }
+  const std::string& violation_detail() const { return violation_detail_; }
+
+  uint64_t calls() const { return weak_->calls(); }
+
+ private:
+  WeakOracle* weak_;  // not owned
+  std::unordered_map<uint64_t, double> estimates_;
+  bool violated_ = false;
+  std::string violation_detail_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_BOUNDS_WEAK_H_

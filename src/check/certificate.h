@@ -91,16 +91,33 @@ struct SlackWitness {
   double advertised_error = 0.0;
 };
 
+/// Witness for a dual-oracle (weak) decision: the weak estimate `w` plus
+/// the error model (`alpha`, `floor`) the weak oracle advertised at
+/// decision time. The verifier recomputes the certified interval
+/// [max(0, w - floor)/alpha, (w + floor)*alpha] from these three numbers
+/// alone, intersects it with whatever path/wrap witnesses the enclosing
+/// certificate carries, and re-derives the decision — so an understated
+/// alpha (a weak oracle lying about its own accuracy) is rejected whenever
+/// the witnessed scheme bounds or a since-resolved distance contradict the
+/// advertised interval.
+struct WeakWitness {
+  double w = 0.0;
+  double alpha = 1.0;
+  double floor = 0.0;
+};
+
 /// A self-contained proof that a bound-decided comparison is consistent
 /// with the exact distances. Interval certificates carry constructive
 /// witnesses; Farkas certificates carry an LP infeasibility combination
 /// (the DFT scheme); slack certificates bound the error of an approximate
 /// decision (and reuse the interval witnesses to prove containment when
-/// the scheme can produce them). `lb`/`ub` are the claimed bound values,
-/// kept for diagnostics only — the verifier recomputes everything from the
-/// witnesses and the resolved edges.
+/// the scheme can produce them); weak certificates carry the weak oracle's
+/// advertised error model so the interval it implied can be recomputed.
+/// `lb`/`ub` are the claimed bound values, kept for diagnostics only — the
+/// verifier recomputes everything from the witnesses and the resolved
+/// edges.
 struct BoundCertificate {
-  enum class Kind : uint8_t { kNone, kInterval, kFarkas, kSlack };
+  enum class Kind : uint8_t { kNone, kInterval, kFarkas, kSlack, kWeak };
 
   Kind kind = Kind::kNone;
 
@@ -117,6 +134,9 @@ struct BoundCertificate {
 
   // kSlack:
   SlackWitness slack;
+
+  // kWeak:
+  WeakWitness weak;
 };
 
 /// Which comparison verb a bound decision answered.

@@ -199,6 +199,85 @@ void CertifyingBounder::ObserveSlackPairLess(ObjectId i, ObjectId j,
   inner_->ObserveSlackPairLess(i, j, k, l, bij, bkl, eps, outcome);
 }
 
+BoundCertificate CertifyingBounder::MakeWeakCert(ObjectId i, ObjectId j,
+                                                 const WeakModel& model) {
+  BoundCertificate cert;
+  cert.kind = BoundCertificate::Kind::kWeak;
+  cert.weak = WeakWitness{model.w, model.alpha, model.floor};
+  // Diagnostics only: the verifier recomputes the interval from the model.
+  const Interval advertised = WeakModelInterval(model);
+  cert.lb = advertised.lo;
+  cert.ub = advertised.hi;
+  if (i == j) return cert;
+  if (model.alpha == 1.0 && model.floor == 0.0 &&
+      graph_->Get(i, j) == std::optional<double>(model.w)) {
+    // Cached side of a pair decision (the resolver reports it as the exact
+    // model {d, 1, 0}): the resolved edge itself witnesses both sides.
+    cert.has_upper = true;
+    cert.upper = PathWitness{{i, j}, 1.0};
+    cert.has_lower = true;
+    cert.lower = WrapWitness{i, j, {i}, {j}, 1.0};
+    return cert;
+  }
+  BoundCertificate interval_cert;
+  if (inner_->CertifyBounds(i, j, &interval_cert)) {
+    // Graft the scheme's containment witnesses: the resolver decided from
+    // the weak interval *intersected* with the scheme's bounds, and
+    // CertifyBounds reproduces those bounds bit-for-bit.
+    cert.has_upper = interval_cert.has_upper;
+    cert.upper = std::move(interval_cert.upper);
+    cert.has_lower = interval_cert.has_lower;
+    cert.lower = std::move(interval_cert.lower);
+  }
+  return cert;
+}
+
+void CertifyingBounder::ObserveWeakLessThan(ObjectId i, ObjectId j, double t,
+                                            const WeakModel& model,
+                                            bool outcome) {
+  CertifiedDecision cd;
+  cd.decision.verb = DecisionVerb::kLessThan;
+  cd.decision.outcome = outcome;
+  cd.decision.i = i;
+  cd.decision.j = j;
+  cd.decision.threshold = t;
+  cd.cert_ij = MakeWeakCert(i, j, model);
+  Finish(std::move(cd));
+  inner_->ObserveWeakLessThan(i, j, t, model, outcome);
+}
+
+void CertifyingBounder::ObserveWeakGreaterThan(ObjectId i, ObjectId j,
+                                               double t,
+                                               const WeakModel& model,
+                                               bool outcome) {
+  CertifiedDecision cd;
+  cd.decision.verb = DecisionVerb::kGreaterThan;
+  cd.decision.outcome = outcome;
+  cd.decision.i = i;
+  cd.decision.j = j;
+  cd.decision.threshold = t;
+  cd.cert_ij = MakeWeakCert(i, j, model);
+  Finish(std::move(cd));
+  inner_->ObserveWeakGreaterThan(i, j, t, model, outcome);
+}
+
+void CertifyingBounder::ObserveWeakPairLess(ObjectId i, ObjectId j, ObjectId k,
+                                            ObjectId l, const WeakModel& mij,
+                                            const WeakModel& mkl,
+                                            bool outcome) {
+  CertifiedDecision cd;
+  cd.decision.verb = DecisionVerb::kPairLess;
+  cd.decision.outcome = outcome;
+  cd.decision.i = i;
+  cd.decision.j = j;
+  cd.decision.k = k;
+  cd.decision.l = l;
+  cd.cert_ij = MakeWeakCert(i, j, mij);
+  cd.cert_kl = MakeWeakCert(k, l, mkl);
+  Finish(std::move(cd));
+  inner_->ObserveWeakPairLess(i, j, k, l, mij, mkl, outcome);
+}
+
 CertifyingResolver::CertifyingResolver(BoundedResolver* resolver,
                                        double max_distance)
     : resolver_(resolver),

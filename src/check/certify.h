@@ -88,6 +88,20 @@ class CertifyingBounder : public Bounder {
                             const Interval& bij, const Interval& bkl,
                             double eps, bool outcome) override;
 
+  /// Dual-oracle interception: every weak-decided comparison the resolver
+  /// reports is wrapped in a kWeak certificate carrying the advertised
+  /// error model (plus containment witnesses grafted from CertifyBounds
+  /// when the scheme supports them), verified on the spot — the verifier
+  /// recomputes the interval from the model, so an understated alpha is
+  /// rejected, never silently trusted — and forwarded to the inner scheme.
+  void ObserveWeakLessThan(ObjectId i, ObjectId j, double t,
+                           const WeakModel& model, bool outcome) override;
+  void ObserveWeakGreaterThan(ObjectId i, ObjectId j, double t,
+                              const WeakModel& model, bool outcome) override;
+  void ObserveWeakPairLess(ObjectId i, ObjectId j, ObjectId k, ObjectId l,
+                           const WeakModel& mij, const WeakModel& mkl,
+                           bool outcome) override;
+
  private:
   /// Completes certification of a decided comparison: fills interval
   /// certificates via CertifyBounds when the certified verb left none,
@@ -101,6 +115,10 @@ class CertifyingBounder : public Bounder {
   /// Builds the kSlack certificate for one side of a slack decision.
   BoundCertificate MakeSlackCert(ObjectId i, ObjectId j, const Interval& b,
                                  double eps);
+
+  /// Builds the kWeak certificate for one side of a weak decision.
+  BoundCertificate MakeWeakCert(ObjectId i, ObjectId j,
+                                const WeakModel& model);
 
   Bounder* inner_;                     // not owned
   const PartialDistanceGraph* graph_;  // not owned

@@ -137,6 +137,8 @@ Status Verifier::Check(const CertifiedDecision& cd) const {
       return CheckInterval(cd);
     case BoundCertificate::Kind::kSlack:
       return CheckSlack(cd);
+    case BoundCertificate::Kind::kWeak:
+      return CheckWeak(cd);
     case BoundCertificate::Kind::kNone:
       return Status::InvalidArgument("decision carries no certificate");
   }
@@ -285,6 +287,126 @@ Status Verifier::CheckSlack(const CertifiedDecision& cd) const {
       // Proof verbs are never slack-decided by design.
       return Status::InvalidArgument(
           "slack certificates never back a GreaterThan proof verb");
+  }
+  return Status::Internal("unknown decision verb");
+}
+
+StatusOr<Interval> Verifier::CheckWeakCert(const BoundCertificate& cert,
+                                           ObjectId i, ObjectId j) const {
+  if (cert.kind != BoundCertificate::Kind::kWeak) {
+    return Status::InvalidArgument("not a weak certificate");
+  }
+  const WeakWitness& w = cert.weak;
+  if (!std::isfinite(w.w) || w.w < 0.0) {
+    return Status::InvalidArgument(
+        "weak witness estimate must be finite and non-negative");
+  }
+  if (!std::isfinite(w.alpha) || w.alpha < 1.0) {
+    return Status::InvalidArgument(
+        "weak witness alpha must be finite and >= 1");
+  }
+  if (!std::isfinite(w.floor) || w.floor < 0.0) {
+    return Status::InvalidArgument(
+        "weak witness floor must be finite and non-negative");
+  }
+  // The advertised interval is recomputed from the error model the
+  // certificate itself carries — the resolver's arithmetic is not trusted.
+  const Interval advertised =
+      WeakModelInterval(WeakModel{w.w, w.alpha, w.floor});
+  if (i != j) {
+    if (const std::optional<double> d = graph_->Get(i, j)) {
+      // Ground truth is available for this pair: the advertised model must
+      // contain it. An understated alpha cannot survive a resolved pair.
+      const double tol = 1e-9 * (1.0 + std::abs(advertised.hi));
+      if (!(*d >= advertised.lo - tol && *d <= advertised.hi + tol)) {
+        return ImplicationFailure(
+            "resolved distance inside the advertised weak interval", *d,
+            advertised.hi);
+      }
+    }
+  }
+  double ub = kInfDistance;
+  if (cert.has_upper) {
+    StatusOr<double> v = PathValue(cert.upper, i, j);
+    if (!v.ok()) return v.status();
+    ub = *v;
+  }
+  double lb = 0.0;
+  if (cert.has_lower) {
+    StatusOr<double> v = WrapValue(cert.lower, i, j);
+    if (!v.ok()) return v.status();
+    lb = *v;
+  }
+  double eff_lo = std::max(advertised.lo, lb);
+  double eff_hi = std::min(advertised.hi, ub);
+  const double tol = 1e-9 * (1.0 + std::abs(eff_hi));
+  if (eff_lo > eff_hi + tol) {
+    // The witnesses prove the true distance lies outside the advertised
+    // interval entirely — the weak oracle broke its model.
+    return ImplicationFailure(
+        "advertised weak interval consistent with witnessed bounds", eff_lo,
+        eff_hi);
+  }
+  if (eff_lo > eff_hi) eff_lo = eff_hi;  // sub-tolerance fp disagreement
+  return Interval(eff_lo, eff_hi);
+}
+
+Status Verifier::CheckWeak(const CertifiedDecision& cd) const {
+  const DecisionRecord& dec = cd.decision;
+  StatusOr<Interval> eff_ij = CheckWeakCert(cd.cert_ij, dec.i, dec.j);
+  if (!eff_ij.ok()) return eff_ij.status();
+  switch (dec.verb) {
+    case DecisionVerb::kLessThan: {
+      if (dec.outcome) {
+        if (!(eff_ij->hi < dec.threshold)) {
+          return ImplicationFailure("eff hi < t for weak LessThan=true",
+                                    eff_ij->hi, dec.threshold);
+        }
+      } else {
+        if (!(eff_ij->lo >= dec.threshold)) {
+          return ImplicationFailure("eff lo >= t for weak LessThan=false",
+                                    eff_ij->lo, dec.threshold);
+        }
+      }
+      return Status::OK();
+    }
+    case DecisionVerb::kGreaterThan: {
+      if (dec.outcome) {
+        if (!(eff_ij->lo > dec.threshold)) {
+          return ImplicationFailure("eff lo > t for weak GreaterThan=true",
+                                    eff_ij->lo, dec.threshold);
+        }
+      } else {
+        if (!(eff_ij->hi <= dec.threshold)) {
+          return ImplicationFailure("eff hi <= t for weak GreaterThan=false",
+                                    eff_ij->hi, dec.threshold);
+        }
+      }
+      return Status::OK();
+    }
+    case DecisionVerb::kPairLess: {
+      if (cd.cert_kl.kind != BoundCertificate::Kind::kWeak) {
+        return Status::InvalidArgument(
+            "weak pair-less decision lacks a weak certificate for its "
+            "second pair");
+      }
+      StatusOr<Interval> eff_kl = CheckWeakCert(cd.cert_kl, dec.k, dec.l);
+      if (!eff_kl.ok()) return eff_kl.status();
+      if (dec.outcome) {
+        if (!(eff_ij->hi < eff_kl->lo)) {
+          return ImplicationFailure(
+              "eff hi(i,j) < eff lo(k,l) for weak PairLess=true", eff_ij->hi,
+              eff_kl->lo);
+        }
+      } else {
+        if (!(eff_ij->lo >= eff_kl->hi)) {
+          return ImplicationFailure(
+              "eff lo(i,j) >= eff hi(k,l) for weak PairLess=false",
+              eff_ij->lo, eff_kl->hi);
+        }
+      }
+      return Status::OK();
+    }
   }
   return Status::Internal("unknown decision verb");
 }

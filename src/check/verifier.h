@@ -58,6 +58,16 @@ class Verifier {
   /// decision; returns the certified interval midpoint on success.
   StatusOr<double> CheckSlackCert(const BoundCertificate& cert, ObjectId i,
                                   ObjectId j) const;
+  Status CheckWeak(const CertifiedDecision& cd) const;
+  /// Structural checks for one side of a weak decision: recomputes the
+  /// advertised interval [max(0, w - floor)/alpha, (w + floor)*alpha] from
+  /// the certificate's error model, rejects it if a resolved distance for
+  /// the pair falls outside it (an understated alpha cannot survive any
+  /// resolved pair), rejects it if it is disjoint from the recomputed
+  /// witness bounds, and returns the effective (intersected) interval the
+  /// decision must follow from.
+  StatusOr<Interval> CheckWeakCert(const BoundCertificate& cert, ObjectId i,
+                                   ObjectId j) const;
   StatusOr<double> KnownDistance(ObjectId a, ObjectId b) const;
 
   const PartialDistanceGraph* graph_;  // not owned

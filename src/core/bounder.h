@@ -37,6 +37,28 @@ inline double SlackRelativeGap(const Interval& b) {
   return std::clamp((b.hi - lb) / b.hi, 0.0, 1.0);
 }
 
+/// The advertised error model of one weak-oracle answer: the weak estimate
+/// `w` plus the multiplicative factor `alpha >= 1` and additive floor
+/// `floor >= 0` the weak oracle claims to honor. Lives in core (not
+/// src/oracle/) so the certification subsystem can recompute the implied
+/// interval without depending on any oracle implementation.
+struct WeakModel {
+  double w = 0.0;
+  double alpha = 1.0;
+  double floor = 0.0;
+};
+
+/// The certified interval a WeakModel implies. The model promises
+/// |w - d*m| <= floor for some factor m in [1/alpha, alpha] applied to the
+/// true distance d, so d*m in [w - floor, w + floor] and therefore
+/// d in [max(0, w - floor)/alpha, (w + floor)*alpha]. This holds even when
+/// the weak answer was clamped up to 0 (clamping only raises w).
+inline Interval WeakModelInterval(const WeakModel& m) {
+  const double hi = (m.w + m.floor) * m.alpha;
+  const double lo = std::max(0.0, m.w - m.floor) / m.alpha;
+  return Interval(std::min(lo, hi), hi);
+}
+
 /// A bound scheme: the pluggable component that answers "what do the
 /// already-resolved distances imply about this unknown distance?".
 ///
@@ -184,6 +206,31 @@ class Bounder {
                                     const Interval& /*bij*/,
                                     const Interval& /*bkl*/, double /*eps*/,
                                     bool /*outcome*/) {}
+
+  /// ------------------------------------------------------------------
+  /// Dual-oracle observation channel. When a WeakBounder is installed and
+  /// the resolver settles a comparison from the weak oracle's certified
+  /// interval (intersected with the scheme's bounds), it reports the
+  /// decision here together with the advertised error model, so the audit
+  /// shim can emit a kWeak certificate the Verifier can recompute. The
+  /// defaults do nothing. A GreaterOrEqual proof observed through this
+  /// channel arrives as ObserveWeakLessThan with outcome=false (the same
+  /// convention the scheme path uses: d >= t iff not d < t is provable).
+  /// For pair comparisons a cached side is reported as the degenerate
+  /// model {d, 1.0, 0.0}.
+  /// ------------------------------------------------------------------
+  virtual void ObserveWeakLessThan(ObjectId /*i*/, ObjectId /*j*/,
+                                   double /*t*/, const WeakModel& /*model*/,
+                                   bool /*outcome*/) {}
+  virtual void ObserveWeakGreaterThan(ObjectId /*i*/, ObjectId /*j*/,
+                                      double /*t*/,
+                                      const WeakModel& /*model*/,
+                                      bool /*outcome*/) {}
+  virtual void ObserveWeakPairLess(ObjectId /*i*/, ObjectId /*j*/,
+                                   ObjectId /*k*/, ObjectId /*l*/,
+                                   const WeakModel& /*mij*/,
+                                   const WeakModel& /*mkl*/,
+                                   bool /*outcome*/) {}
 };
 
 /// The no-op scheme backing the "without plug" baselines: every bound is

@@ -38,6 +38,16 @@ namespace metricprox {
 //   budget_exhausted    subset of decided_by_slack forced by an exhausted
 //                       oracle budget; the realized error of these may
 //                       exceed eps (always <= decided_by_slack).
+//   decided_by_weak     comparisons answered from the weak oracle's
+//                       certified interval [w/alpha, w*alpha] (intersected
+//                       with the scheme's bounds); exact whenever the weak
+//                       oracle honors its advertised error model.
+//   weak_calls          weak-oracle consultations made by the resolver
+//                       (one per comparison that consulted the weak
+//                       interval, whether or not it decided; always
+//                       >= decided_by_weak). Fresh weak-oracle evaluations
+//                       are memoized per pair, so the wrapped oracle may
+//                       see fewer calls than this counter.
 //   comparisons         total comparison requests (LessThan + PairLess +
 //                       the batch verbs, one per pair).
 //   bound_queries       bound-interval queries issued to the bounder.
@@ -51,6 +61,10 @@ namespace metricprox {
 //   oracle_seconds      wall time inside the oracle (real, not simulated).
 //   batch_oracle_seconds subset of oracle_seconds spent in BatchDistance.
 //   simulated_oracle_seconds simulated latency from SimulatedCostOracle.
+//   weak_simulated_seconds simulated latency of fresh weak-oracle
+//                       evaluations (WeakOracle::Options::cost_seconds per
+//                       memoized-miss call; 0 when no weak oracle or no
+//                       cost is configured).
 //   oracle_retries      attempts re-shipped by RetryingOracle after a
 //                       transient failure (per pair, not per round-trip).
 //   oracle_timeouts     per-call timeouts observed at the oracle layer.
@@ -82,6 +96,8 @@ namespace metricprox {
   X(uint64_t, undecided)                    \
   X(uint64_t, decided_by_slack)             \
   X(uint64_t, budget_exhausted)             \
+  X(uint64_t, decided_by_weak)              \
+  X(uint64_t, weak_calls)                   \
   X(uint64_t, comparisons)                  \
   X(uint64_t, bound_queries)                \
   X(uint64_t, batch_calls)                  \
@@ -90,6 +106,7 @@ namespace metricprox {
   X(double, oracle_seconds)                 \
   X(double, batch_oracle_seconds)           \
   X(double, simulated_oracle_seconds)       \
+  X(double, weak_simulated_seconds)         \
   X(uint64_t, oracle_retries)               \
   X(uint64_t, oracle_timeouts)              \
   X(uint64_t, oracle_failures)              \

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "bounds/pivots.h"
+#include "bounds/weak.h"
 #include "check/certify.h"
 #include "core/logging.h"
 #include "graph/partial_graph.h"
@@ -64,6 +65,24 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
   BoundedResolver resolver(top, &graph);
   resolver.SetBatchTransport(config.batch_transport);
   resolver.SetTelemetry(config.telemetry);
+
+  // Dual-oracle mode: the weak oracle is derived from the *base* oracle —
+  // below the cost / fault / retry middleware — because a weak estimate is
+  // cheap by definition and is never a strong-oracle call (it does not hit
+  // the store, cannot fault, and is not billed oracle_cost_seconds).
+  std::optional<WeakOracle> weak_oracle;
+  std::optional<WeakBounder> weak_bounder;
+  if (config.weak_alpha > 0.0) {
+    WeakOracle::Options weak_options;
+    weak_options.alpha = config.weak_alpha;
+    weak_options.floor = config.weak_floor;
+    weak_options.seed =
+        config.weak_seed != 0 ? config.weak_seed : config.seed;
+    weak_options.cost_seconds = config.weak_cost_seconds;
+    weak_oracle.emplace(oracle, weak_options);
+    weak_bounder.emplace(&*weak_oracle);
+    resolver.SetWeakBounder(&*weak_bounder);
+  }
 
   WorkloadResult result;
   Stopwatch watch;
@@ -127,12 +146,16 @@ StatusOr<WorkloadResult> TryRunWorkload(DistanceOracle* oracle,
     result.stats.certs_uncertified = result.certification.uncertified;
   }
   result.stats.simulated_oracle_seconds = costed.simulated_seconds();
+  if (weak_oracle.has_value()) {
+    result.stats.weak_simulated_seconds = weak_oracle->simulated_seconds();
+  }
   if (retrying.has_value()) retrying->AccumulateStats(&result.stats);
   result.stats.store_loaded_edges = warm_loaded;
   if (persistent.has_value()) persistent->AccumulateStats(&result.stats);
   result.total_calls = result.stats.oracle_calls;
-  result.completion_seconds =
-      result.wall_seconds + costed.simulated_seconds();
+  result.completion_seconds = result.wall_seconds +
+                              costed.simulated_seconds() +
+                              result.stats.weak_simulated_seconds;
   return result;
 }
 

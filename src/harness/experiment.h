@@ -78,6 +78,19 @@ struct WorkloadConfig {
   /// unlimited. The policy is installed after scheme construction and
   /// bootstrap, so construction-time calls are not charged against it.
   uint64_t oracle_budget = 0;
+  /// Dual-oracle mode: with weak_alpha >= 1, a deterministic seeded
+  /// WeakOracle is derived from the *base* oracle (below the cost / fault /
+  /// retry middleware — a weak estimate is not a strong-oracle call) and
+  /// attached to the resolver as a third bound source. 0 (the default)
+  /// keeps the run weak-free and byte-identical to a resolver without one.
+  double weak_alpha = 0.0;
+  /// Additive error floor of the weak oracle's advertised model (>= 0).
+  double weak_floor = 0.0;
+  /// Seed of the weak oracle's per-pair error draw; 0 uses `seed`.
+  uint64_t weak_seed = 0;
+  /// Simulated per-call weak-oracle cost in seconds; accrues into
+  /// weak_simulated_seconds and the completion time.
+  double weak_cost_seconds = 0.0;
 };
 
 /// A proximity algorithm run against a resolver; returns a checksum

@@ -81,6 +81,7 @@ RunReport::RunReport(RunInfo info, const ResolverStats& stats,
     batch_size_ = telemetry->batch_size.Summarize();
     bound_gap_ = telemetry->bound_gap.Summarize();
     slack_error_ = telemetry->slack_realized_error.Summarize();
+    weak_width_ = telemetry->weak_interval_width.Summarize();
     if (info_.trace_id.empty()) info_.trace_id = telemetry->trace_id;
   }
 }
@@ -116,6 +117,10 @@ std::string RunReport::ToText() const {
   if (s.decided_by_slack > 0 || s.budget_exhausted > 0) {
     rows.push_back({"decided by slack", FormatUint(s.decided_by_slack)});
     rows.push_back({"budget exhausted", FormatUint(s.budget_exhausted)});
+  }
+  if (s.decided_by_weak > 0 || s.weak_calls > 0) {
+    rows.push_back({"decided by weak", FormatUint(s.decided_by_weak)});
+    rows.push_back({"weak calls", FormatUint(s.weak_calls)});
   }
   rows.push_back(
       {"kernel dispatch",
@@ -165,14 +170,25 @@ std::string RunReport::ToText() const {
     rows.push_back({"slack error p99", FormatDouble(slack_error_.p99, 4)});
     rows.push_back({"slack error max", FormatDouble(slack_error_.max, 4)});
   }
+  if (has_telemetry_ && weak_width_.count > 0) {
+    rows.push_back({"weak width p50", FormatDouble(weak_width_.p50, 4)});
+    rows.push_back({"weak width p90", FormatDouble(weak_width_.p90, 4)});
+    rows.push_back({"weak width p99", FormatDouble(weak_width_.p99, 4)});
+  }
   rows.push_back({"scheme CPU (s)", FormatDouble(s.bounder_seconds, 4)});
   rows.push_back({"wall time (s)", FormatDouble(info_.wall_seconds, 3)});
-  if (info_.oracle_cost_seconds > 0) {
+  if (info_.oracle_cost_seconds > 0 || s.weak_simulated_seconds > 0) {
     rows.push_back({"simulated oracle time (s)",
                     FormatDouble(s.simulated_oracle_seconds, 1)});
-    rows.push_back(
-        {"completion time (s)",
-         FormatDouble(info_.wall_seconds + s.simulated_oracle_seconds, 1)});
+    if (s.weak_simulated_seconds > 0) {
+      rows.push_back({"simulated weak time (s)",
+                      FormatDouble(s.weak_simulated_seconds, 1)});
+    }
+    rows.push_back({"completion time (s)",
+                    FormatDouble(info_.wall_seconds +
+                                     s.simulated_oracle_seconds +
+                                     s.weak_simulated_seconds,
+                                 1)});
   }
 
   // TablePrinter-compatible rendering: right-aligned cells, pipe borders,
@@ -236,7 +252,8 @@ std::string RunReport::ToJson() const {
     AppendField(&out, &inner, "oracle_cost_seconds",
                 info_.oracle_cost_seconds);
     AppendField(&out, &inner, "completion_seconds",
-                info_.wall_seconds + stats_.simulated_oracle_seconds);
+                info_.wall_seconds + stats_.simulated_oracle_seconds +
+                    stats_.weak_simulated_seconds);
     out.push_back('}');
   }
 
@@ -277,6 +294,7 @@ std::string RunReport::ToJson() const {
       AppendHistogram(&out, &h, "batch_size", batch_size_);
       AppendHistogram(&out, &h, "bound_gap", bound_gap_);
       AppendHistogram(&out, &h, "slack_realized_error", slack_error_);
+      AppendHistogram(&out, &h, "weak_interval_width", weak_width_);
       out.push_back('}');
     }
     out.push_back('}');

@@ -72,6 +72,7 @@ class RunReport {
   Histogram::Summary batch_size_;
   Histogram::Summary bound_gap_;
   Histogram::Summary slack_error_;
+  Histogram::Summary weak_width_;
 };
 
 }  // namespace metricprox

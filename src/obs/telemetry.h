@@ -56,6 +56,12 @@ struct Telemetry {
   /// approximate ResolutionPolicy: the interval's relative gap at decision
   /// time. Bounded by eps except for budget-forced decisions.
   Histogram slack_realized_error;
+  /// Relative gap (SlackRelativeGap) of the weak oracle's certified
+  /// interval [max(0, w - floor)/alpha, (w + floor)*alpha], one sample per
+  /// weak consult. With floor = 0 the gap is exactly 1 - 1/alpha^2, so the
+  /// histogram reads back the alpha the workload *needed*: pick alpha ~
+  /// 1/sqrt(1 - g) for a target gap quantile g (see PRACTITIONERS.md).
+  Histogram weak_interval_width;
 
   /// Stamps the sequence number and monotonic timestamp, then forwards to
   /// the sink. No-op without a sink.

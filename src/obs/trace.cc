@@ -25,6 +25,7 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kWalAppend: return "wal_append";
     case TraceEventKind::kCompaction: return "compaction";
     case TraceEventKind::kDecidedBySlack: return "decided_by_slack";
+    case TraceEventKind::kDecidedByWeak: return "decided_by_weak";
   }
   return "unknown";
 }

@@ -32,6 +32,7 @@ enum class TraceEventKind : uint8_t {
   kWalAppend,        // fresh distance appended to the write-ahead log
   kCompaction,       // store snapshot rewritten, WAL truncated
   kDecidedBySlack,   // settled approximately under a ResolutionPolicy
+  kDecidedByWeak,    // settled from the weak oracle's certified interval
 };
 
 /// Stable wire name ("decided_by_bounds", "oracle_call", ...).

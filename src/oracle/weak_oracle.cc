@@ -1,0 +1,60 @@
+#include "oracle/weak_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace metricprox {
+namespace {
+
+// splitmix64 finalizer — the same mixer as EdgeKeyHash / the fault layer,
+// mapping (seed, pair, salt) to independent uniform deviates per pair.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Uniform in [0, 1) from a mixed 64-bit state.
+double UnitUniform(uint64_t x) {
+  return static_cast<double>(Mix(x) >> 11) * 0x1.0p-53;
+}
+
+constexpr uint64_t kFactorSalt = 0x6c62272e07bb0142ULL;
+constexpr uint64_t kAdditiveSalt = 0x27d4eb2f165667c5ULL;
+
+}  // namespace
+
+WeakOracle::WeakOracle(DistanceOracle* base, const Options& options)
+    : base_(base), options_(options) {
+  CHECK(base_ != nullptr);
+  CHECK(std::isfinite(options_.alpha) && options_.alpha >= 1.0)
+      << "weak alpha must be finite and >= 1, got " << options_.alpha;
+  CHECK(std::isfinite(options_.floor) && options_.floor >= 0.0)
+      << "weak floor must be finite and >= 0, got " << options_.floor;
+  CHECK(std::isfinite(options_.cost_seconds) && options_.cost_seconds >= 0.0)
+      << "weak cost must be finite and >= 0, got " << options_.cost_seconds;
+}
+
+void WeakOracle::ChargeCall() {
+  ++calls_;
+  simulated_seconds_ += options_.cost_seconds;
+}
+
+double WeakOracle::Estimate(ObjectId i, ObjectId j) {
+  ChargeCall();
+  const double d = base_->Distance(i, j);
+  const uint64_t pair = Mix(options_.seed ^ Mix(EdgeKey(i, j).packed()));
+  // m = alpha^(2u-1): log-uniform over [1/alpha, alpha], so under- and
+  // over-estimation are symmetric in log space and m is exactly 1 when
+  // alpha is 1 (the degenerate exact model).
+  const double m =
+      std::pow(options_.alpha, 2.0 * UnitUniform(pair ^ kFactorSalt) - 1.0);
+  const double a =
+      options_.floor * (2.0 * UnitUniform(pair ^ kAdditiveSalt) - 1.0);
+  return std::max(0.0, d * m + a);
+}
+
+}  // namespace metricprox

@@ -1,0 +1,79 @@
+#ifndef METRICPROX_ORACLE_WEAK_ORACLE_H_
+#define METRICPROX_ORACLE_WEAK_ORACLE_H_
+
+#include <cstdint>
+
+#include "core/oracle.h"
+#include "core/types.h"
+
+namespace metricprox {
+
+/// A cheap, noisy distance estimator derived from any exact oracle plus a
+/// deterministic, seeded error model — the "weak oracle" of the dual-oracle
+/// regime (Bateni et al., arXiv 2310.15863). For a true distance d, the
+/// weak answer is
+///
+///     w = max(0, d * m + a)
+///
+/// with a per-pair stable multiplicative factor m in [1/alpha, alpha]
+/// (log-uniform) and additive perturbation a in [-floor, +floor]
+/// (uniform), both pure functions of (seed, pair). The same pair therefore
+/// always yields the same estimate, independent of query order — the
+/// property that makes weak-informed runs reproducible and auditable.
+///
+/// The advertised contract (WeakModel / WeakModelInterval in
+/// core/bounder.h): d lies in [max(0, w - floor)/alpha, (w + floor)*alpha].
+/// An honest WeakOracle satisfies it by construction; an adversarial
+/// subclass (or a caller advertising a smaller alpha than the truth) is
+/// the violation case the WeakBounder and the Verifier must detect.
+///
+/// This is deliberately *not* a DistanceOracle: its answers are estimates,
+/// never cacheable facts, so it must not be mistakable for a resolution
+/// source. It reads the base oracle directly — stack it over the raw
+/// dataset oracle, below the cost/fault/retry middleware, so weak peeks
+/// are neither billed as strong calls nor subjected to injected faults.
+class WeakOracle {
+ public:
+  struct Options {
+    /// Advertised multiplicative error factor, >= 1 (1 = exact).
+    double alpha = 1.0;
+    /// Advertised additive error floor, >= 0.
+    double floor = 0.0;
+    /// Noise seed; estimates are a pure function of (seed, pair).
+    uint64_t seed = 0;
+    /// Simulated latency per fresh estimate (the "cheap" price; compare
+    /// SimulatedCostOracle's per-call strong price).
+    double cost_seconds = 0.0;
+  };
+
+  WeakOracle(DistanceOracle* base, const Options& options);
+
+  /// The weak estimate for dist(i, j); requires i != j. Every call is a
+  /// fresh evaluation (memoize per pair at the caller — WeakBounder does).
+  virtual double Estimate(ObjectId i, ObjectId j);
+
+  virtual ~WeakOracle() = default;
+
+  double alpha() const { return options_.alpha; }
+  double floor() const { return options_.floor; }
+
+  /// Fresh estimate evaluations performed (pre-memoization).
+  uint64_t calls() const { return calls_; }
+  /// cost_seconds * calls(): the simulated price of the weak channel.
+  double simulated_seconds() const { return simulated_seconds_; }
+
+ protected:
+  DistanceOracle* base() const { return base_; }
+  /// Bills one fresh evaluation (subclasses overriding Estimate call this).
+  void ChargeCall();
+
+ private:
+  DistanceOracle* base_;  // not owned
+  Options options_;
+  uint64_t calls_ = 0;
+  double simulated_seconds_ = 0.0;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_ORACLE_WEAK_ORACLE_H_

@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -22,14 +23,21 @@
 #include "bounds/scheme.h"
 #include "bounds/splub.h"
 #include "bounds/tri.h"
+#include "bounds/weak.h"
+#include "check/certificate.h"
+#include "check/verifier.h"
+#include "core/status.h"
+#include "oracle/weak_oracle.h"
 #include "tests/test_util.h"
 
 namespace metricprox {
 namespace {
 
 using testing_util::GroundTruth;
+using testing_util::kAllMetricFamilies;
 using testing_util::MakeFamilyStack;
 using testing_util::MetricFamily;
+using testing_util::MetricFamilyName;
 using testing_util::ResolveRandomPairs;
 using testing_util::ResolverStack;
 
@@ -208,6 +216,171 @@ TEST(SchemeDominanceTest, DftDoesNotContradictGroundTruth) {
       }
     }
   }
+}
+
+// --- dual-oracle dominance -------------------------------------------------
+//
+// The weak oracle joins the intersection as a third bound source, so the
+// Hybrid+Weak interval nests inside the Hybrid interval: whatever Hybrid
+// decides, Hybrid+Weak decides identically, Hybrid+Weak decides strictly
+// more, and (with an honest weak oracle) nothing it decides contradicts
+// ground truth — across all three metric families.
+
+/// Intersection of two certified intervals. Both sources are honest here,
+/// so any disagreement is sub-margin fp noise; clamp like the resolver.
+Interval Meet(const Interval& a, const Interval& b) {
+  double lo = std::max(a.lo, b.lo);
+  double hi = std::min(a.hi, b.hi);
+  if (lo > hi) lo = hi;
+  return Interval(lo, hi);
+}
+
+/// The resolver's threshold rule applied to a certified interval.
+std::optional<bool> DecideAt(const Interval& b, double t) {
+  const double margin = BoundDecisionMargin(t);
+  if (b.hi < t - margin) return true;
+  if (b.lo >= t + margin) return false;
+  return std::nullopt;
+}
+
+TEST(SchemeDominanceTest, HybridWeakDecidesSupersetAcrossFamilies) {
+  for (MetricFamily family : kAllMetricFamilies) {
+    ResolverStack stack = MakeFamilyStack(family, 20, 13);
+    BoundedResolver* r = stack.resolver.get();
+    const PivotTable table = SelectMaxMinPivots(
+        20, 3, [r](ObjectId a, ObjectId b) { return r->Distance(a, b); },
+        13);
+    ResolveRandomPairs(r, 30, 14);
+    TriBounder tri(stack.graph.get());
+    LaesaBounder laesa(table);
+    WeakOracle::Options options;
+    options.alpha = 1.25;
+    options.seed = 99;
+    WeakOracle weak_oracle(stack.oracle.get(), options);
+    WeakBounder weak(&weak_oracle);
+    const std::vector<double> truth = GroundTruth(stack.oracle.get());
+    const ObjectId n = 20;
+
+    size_t extra_decisions = 0;
+    for (ObjectId i = 0; i < n; ++i) {
+      for (ObjectId j = i + 1; j < n; ++j) {
+        if (stack.graph->Has(i, j)) continue;
+        const double d = truth[i * n + j];
+        const Interval hybrid = Meet(tri.Bounds(i, j), laesa.Bounds(i, j));
+        const Interval with_weak = Meet(hybrid, weak.Bounds(i, j));
+        // An honest weak interval contains the truth, so the intersection
+        // is a valid certified interval too.
+        ASSERT_LE(with_weak.lo, d + 1e-9) << MetricFamilyName(family);
+        ASSERT_GE(with_weak.hi, d - 1e-9) << MetricFamilyName(family);
+        std::vector<double> anchors = {d, hybrid.lo, with_weak.lo,
+                                       with_weak.lo};
+        if (hybrid.hi != kInfDistance) anchors.push_back(hybrid.hi);
+        if (with_weak.hi != kInfDistance) anchors.push_back(with_weak.hi);
+        for (double t = 0.1; t < 1.35; t += 0.155) {
+          bool safe = true;
+          for (double a : anchors) {
+            if (std::abs(t - a) < 1e-3) safe = false;
+          }
+          if (!safe) continue;
+          const std::optional<bool> alone = DecideAt(hybrid, t);
+          const std::optional<bool> joined = DecideAt(with_weak, t);
+          if (alone.has_value()) {
+            ASSERT_TRUE(joined.has_value())
+                << MetricFamilyName(family) << " pair (" << i << "," << j
+                << ") t=" << t;
+            EXPECT_EQ(*joined, *alone)
+                << MetricFamilyName(family) << " pair (" << i << "," << j
+                << ") t=" << t;
+          }
+          if (joined.has_value()) {
+            EXPECT_EQ(*joined, d < t)
+                << MetricFamilyName(family) << " weak-joined decision "
+                << "contradicts ground truth: pair (" << i << "," << j
+                << ") t=" << t << " true d=" << d;
+            if (!alone.has_value()) ++extra_decisions;
+          }
+        }
+      }
+    }
+    EXPECT_GT(extra_decisions, 0u)
+        << MetricFamilyName(family)
+        << ": the weak interval decided nothing Hybrid could not";
+  }
+}
+
+/// A weak oracle whose actual error (factor 2) blows through its advertised
+/// model (alpha = 1.05) on every pair — the understated-alpha adversary.
+class LyingWeakOracle : public WeakOracle {
+ public:
+  LyingWeakOracle(DistanceOracle* base, const Options& options)
+      : WeakOracle(base, options) {}
+  double Estimate(ObjectId i, ObjectId j) override {
+    ChargeCall();
+    return base()->Distance(i, j) * 2.0;
+  }
+};
+
+TEST(SchemeDominanceTest, AdversarialWeakOracleFailsLoudlyNotWrongly) {
+  for (MetricFamily family : kAllMetricFamilies) {
+    ResolverStack stack = MakeFamilyStack(family, 16, 23);
+    BoundedResolver* r = stack.resolver.get();
+    WeakOracle::Options options;
+    options.alpha = 1.05;  // advertised; the actual factor is 2.0
+    LyingWeakOracle lying(stack.oracle.get(), options);
+    WeakBounder weak(&lying);
+    r->SetWeakBounder(&weak);
+
+    const double d = stack.oracle->Distance(0, 1);
+    // A threshold inside the advertised interval [w/1.05, 1.05*w] =
+    // [~1.90*d, 2.10*d]: the lie cannot decide this comparison, so the
+    // resolver pays a strong call — and the resolved distance lands far
+    // outside the advertised interval, which must fail the run before any
+    // answer is produced, never corrupt one.
+    const StatusOr<double> outcome =
+        r->RunFallible([&](BoundedResolver* rr) -> double {
+          return rr->LessThan(0, 1, 2.0 * d) ? 1.0 : 0.0;
+        });
+    ASSERT_FALSE(outcome.ok()) << MetricFamilyName(family);
+    EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition)
+        << MetricFamilyName(family) << ": " << outcome.status();
+    EXPECT_NE(outcome.status().ToString().find("weak oracle violated"),
+              std::string::npos)
+        << outcome.status();
+    EXPECT_TRUE(weak.violated()) << MetricFamilyName(family);
+  }
+}
+
+TEST(SchemeDominanceTest, VerifierRejectsUnderstatedAlphaCertificate) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, 10, 3);
+  const double d = stack.resolver->Distance(2, 7);  // ground truth on record
+  const Verifier verifier(stack.graph.get(), Verifier::Options{1.0});
+
+  // The adversary's certificate: weak answer 2*d advertised at alpha=1.05,
+  // "proving" d >= 1.9*d. The verifier recomputes the advertised interval
+  // and sees the resolved distance outside it.
+  CertifiedDecision cd;
+  cd.decision.verb = DecisionVerb::kLessThan;
+  cd.decision.outcome = false;
+  cd.decision.i = 2;
+  cd.decision.j = 7;
+  cd.decision.threshold = 1.9 * d;
+  cd.cert_ij.kind = BoundCertificate::Kind::kWeak;
+  cd.cert_ij.weak = WeakWitness{2.0 * d, 1.05, 0.0};
+  const Status lying = verifier.Check(cd);
+  EXPECT_FALSE(lying.ok());
+
+  // Control: the same weak answer honestly advertised (alpha wide enough
+  // to contain the truth) supports a decision its interval really proves.
+  CertifiedDecision honest;
+  honest.decision.verb = DecisionVerb::kLessThan;
+  honest.decision.outcome = true;
+  honest.decision.i = 2;
+  honest.decision.j = 7;
+  honest.decision.threshold = 6.0 * d;
+  honest.cert_ij.kind = BoundCertificate::Kind::kWeak;
+  honest.cert_ij.weak = WeakWitness{2.0 * d, 2.5, 0.0};
+  const Status ok = verifier.Check(honest);
+  EXPECT_TRUE(ok.ok()) << ok;
 }
 
 TEST(SchemeDominanceTest, DftPairLessAgreesWithSplubAndTruth) {

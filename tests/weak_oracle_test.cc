@@ -1,0 +1,198 @@
+// Unit tests for the weak-oracle layer: the WeakOracle error model
+// (determinism, symmetry, honesty) and the WeakBounder that converts weak
+// answers into certified intervals (memoization, violation detection).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bounds/weak.h"
+#include "core/bounder.h"
+#include "core/types.h"
+#include "oracle/weak_oracle.h"
+#include "tests/test_util.h"
+
+namespace metricprox {
+namespace {
+
+using testing_util::MakeFamilyStack;
+using testing_util::MetricFamily;
+using testing_util::ResolverStack;
+
+constexpr ObjectId kN = 16;
+
+WeakOracle::Options MakeOptions(double alpha, double floor, uint64_t seed) {
+  WeakOracle::Options options;
+  options.alpha = alpha;
+  options.floor = floor;
+  options.seed = seed;
+  return options;
+}
+
+TEST(WeakOracleTest, EstimatesAreDeterministicPerSeedAndPair) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, kN, 7);
+  WeakOracle a(stack.oracle.get(), MakeOptions(1.5, 0.02, 11));
+  WeakOracle b(stack.oracle.get(), MakeOptions(1.5, 0.02, 11));
+  WeakOracle other_seed(stack.oracle.get(), MakeOptions(1.5, 0.02, 12));
+  bool any_differs = false;
+  for (ObjectId i = 0; i < kN; ++i) {
+    for (ObjectId j = i + 1; j < kN; ++j) {
+      const double w = a.Estimate(i, j);
+      EXPECT_EQ(w, a.Estimate(i, j)) << "not stable across repeat calls";
+      EXPECT_EQ(w, b.Estimate(i, j)) << "not a pure function of (seed,pair)";
+      if (other_seed.Estimate(i, j) != w) any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs) << "seed does not enter the error draw";
+}
+
+TEST(WeakOracleTest, EstimatesAreSymmetric) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kClustered, kN, 3);
+  WeakOracle weak(stack.oracle.get(), MakeOptions(2.0, 0.05, 5));
+  for (ObjectId i = 0; i < kN; ++i) {
+    for (ObjectId j = i + 1; j < kN; ++j) {
+      EXPECT_EQ(weak.Estimate(i, j), weak.Estimate(j, i));
+    }
+  }
+}
+
+TEST(WeakOracleTest, HonestEstimatesSatisfyTheAdvertisedModel) {
+  for (MetricFamily family :
+       {MetricFamily::kUniform, MetricFamily::kClustered}) {
+    ResolverStack stack = MakeFamilyStack(family, kN, 9);
+    for (double alpha : {1.0, 1.05, 1.5, 3.0}) {
+      for (double floor : {0.0, 0.05}) {
+        WeakOracle weak(stack.oracle.get(), MakeOptions(alpha, floor, 17));
+        for (ObjectId i = 0; i < kN; ++i) {
+          for (ObjectId j = i + 1; j < kN; ++j) {
+            const double d = stack.oracle->Distance(i, j);
+            const double w = weak.Estimate(i, j);
+            const Interval advertised =
+                WeakModelInterval(WeakModel{w, alpha, floor});
+            EXPECT_GE(d, advertised.lo - 1e-12)
+                << "alpha=" << alpha << " floor=" << floor << " pair (" << i
+                << "," << j << ")";
+            EXPECT_LE(d, advertised.hi + 1e-12)
+                << "alpha=" << alpha << " floor=" << floor << " pair (" << i
+                << "," << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WeakOracleTest, AlphaOneFloorZeroIsExact) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, kN, 21);
+  WeakOracle weak(stack.oracle.get(), MakeOptions(1.0, 0.0, 42));
+  for (ObjectId i = 0; i < kN; ++i) {
+    for (ObjectId j = i + 1; j < kN; ++j) {
+      EXPECT_DOUBLE_EQ(weak.Estimate(i, j), stack.oracle->Distance(i, j));
+    }
+  }
+}
+
+TEST(WeakOracleTest, ChargesCallsAndSimulatedCost) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, kN, 2);
+  WeakOracle::Options options = MakeOptions(1.5, 0.0, 1);
+  options.cost_seconds = 0.25;
+  WeakOracle weak(stack.oracle.get(), options);
+  EXPECT_EQ(weak.calls(), 0u);
+  weak.Estimate(0, 1);
+  weak.Estimate(0, 1);
+  weak.Estimate(2, 3);
+  EXPECT_EQ(weak.calls(), 3u);
+  EXPECT_DOUBLE_EQ(weak.simulated_seconds(), 0.75);
+}
+
+TEST(WeakModelIntervalTest, DerivationAndEdgeCases) {
+  // Multiplicative only.
+  const Interval m = WeakModelInterval(WeakModel{2.0, 1.25, 0.0});
+  EXPECT_DOUBLE_EQ(m.lo, 2.0 / 1.25);
+  EXPECT_DOUBLE_EQ(m.hi, 2.0 * 1.25);
+  // Additive floor widens both sides and clamps the lower end at zero.
+  const Interval f = WeakModelInterval(WeakModel{0.1, 1.0, 0.3});
+  EXPECT_DOUBLE_EQ(f.lo, 0.0);
+  EXPECT_DOUBLE_EQ(f.hi, 0.4);
+  // Exact model collapses to a point.
+  const Interval e = WeakModelInterval(WeakModel{0.7, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(e.lo, 0.7);
+  EXPECT_DOUBLE_EQ(e.hi, 0.7);
+}
+
+TEST(WeakBounderTest, MemoizesOneEstimatePerPair) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, kN, 4);
+  WeakOracle weak_oracle(stack.oracle.get(), MakeOptions(1.5, 0.0, 6));
+  WeakBounder bounder(&weak_oracle);
+  const Interval first = bounder.Bounds(1, 5);
+  for (int k = 0; k < 5; ++k) {
+    const Interval again = bounder.Bounds(1, 5);
+    EXPECT_EQ(again.lo, first.lo);
+    EXPECT_EQ(again.hi, first.hi);
+  }
+  // Symmetric queries share the memo entry.
+  const Interval mirrored = bounder.Bounds(5, 1);
+  EXPECT_EQ(mirrored.lo, first.lo);
+  EXPECT_EQ(mirrored.hi, first.hi);
+  EXPECT_EQ(weak_oracle.calls(), 1u);
+  bounder.Bounds(2, 9);
+  EXPECT_EQ(weak_oracle.calls(), 2u);
+}
+
+TEST(WeakBounderTest, ModelForMatchesBounds) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, kN, 8);
+  WeakOracle weak_oracle(stack.oracle.get(), MakeOptions(1.25, 0.01, 2));
+  WeakBounder bounder(&weak_oracle);
+  const WeakModel model = bounder.ModelFor(3, 11);
+  EXPECT_DOUBLE_EQ(model.alpha, 1.25);
+  EXPECT_DOUBLE_EQ(model.floor, 0.01);
+  const Interval advertised = WeakModelInterval(model);
+  const Interval bounds = bounder.Bounds(3, 11);
+  EXPECT_EQ(bounds.lo, advertised.lo);
+  EXPECT_EQ(bounds.hi, advertised.hi);
+  EXPECT_EQ(weak_oracle.calls(), 1u);
+}
+
+TEST(WeakBounderTest, HonestResolutionsNeverTripTheViolationLatch) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kClustered, kN, 5);
+  WeakOracle weak_oracle(stack.oracle.get(), MakeOptions(1.25, 0.02, 3));
+  WeakBounder bounder(&weak_oracle);
+  for (ObjectId i = 0; i < kN; ++i) {
+    for (ObjectId j = i + 1; j < kN; ++j) {
+      bounder.Bounds(i, j);
+      bounder.OnEdgeResolved(i, j, stack.oracle->Distance(i, j));
+    }
+  }
+  EXPECT_FALSE(bounder.violated()) << bounder.violation_detail();
+}
+
+TEST(WeakBounderTest, ViolatingResolutionLatchesWithDetail) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, kN, 6);
+  WeakOracle weak_oracle(stack.oracle.get(), MakeOptions(1.05, 0.0, 4));
+  WeakBounder bounder(&weak_oracle);
+  const Interval advertised = bounder.Bounds(2, 7);
+  // A "resolved" distance far above the advertised interval.
+  bounder.OnEdgeResolved(2, 7, advertised.hi * 3.0 + 1.0);
+  ASSERT_TRUE(bounder.violated());
+  EXPECT_NE(bounder.violation_detail().find("advertised weak interval"),
+            std::string::npos)
+      << bounder.violation_detail();
+  // The latch is sticky: a later honest resolution does not clear it.
+  bounder.Bounds(3, 8);
+  bounder.OnEdgeResolved(3, 8, stack.oracle->Distance(3, 8));
+  EXPECT_TRUE(bounder.violated());
+}
+
+TEST(WeakBounderTest, ResolutionsOfUnconsultedPairsAreIgnored) {
+  ResolverStack stack = MakeFamilyStack(MetricFamily::kUniform, kN, 10);
+  WeakOracle weak_oracle(stack.oracle.get(), MakeOptions(1.05, 0.0, 9));
+  WeakBounder bounder(&weak_oracle);
+  // No estimate was ever produced for (0, 1), so there is no advertised
+  // interval to violate — even an absurd distance is accepted.
+  bounder.OnEdgeResolved(0, 1, 1e9);
+  EXPECT_FALSE(bounder.violated());
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -1,0 +1,197 @@
+// End-to-end dual-oracle resolution through the harness: weak-informed runs
+// must be byte-identical to the weak-free exact runs (the exactness theorem
+// extended to the third bound source) while spending a fraction of the
+// strong-oracle calls, and the weak channel's accounting must hold up.
+
+#include <bit>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "algo/boruvka.h"
+#include "algo/knn_graph.h"
+#include "algo/prim.h"
+#include "data/datasets.h"
+#include "harness/experiment.h"
+
+namespace metricprox {
+namespace {
+
+/// Many tight, well-separated clusters: the regime the dual-oracle model is
+/// built for — most comparisons are cluster-scale vs. point-scale, so even
+/// a 25%-error estimate decides them without a strong call.
+Dataset MakeTightClusters(ObjectId n, uint64_t seed) {
+  return MakeClusteredEuclidean(n, 2, 10, 0.01, seed);
+}
+
+const Workload kMstWorkload = [](BoundedResolver* r) {
+  return PrimMst(r).total_weight;
+};
+
+/// Boruvka routes its per-component nearest-edge scans through the batch
+/// min-finding verbs, where weak estimates also steer the resolution order
+/// — the configuration the ISSUE's >= 3x acceptance bar targets.
+const Workload kBoruvkaWorkload = [](BoundedResolver* r) {
+  return BoruvkaMst(r).total_weight;
+};
+
+const Workload kKnnWorkload = [](BoundedResolver* r) {
+  KnnGraphOptions options;
+  options.k = 4;
+  const KnnGraph graph = BuildKnnGraph(r, options);
+  double sum = 0.0;
+  for (const auto& neighbors : graph) {
+    if (!neighbors.empty()) sum += neighbors.back().distance;
+  }
+  return sum;
+};
+
+bool BitIdentical(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+TEST(WeakResolutionTest, KnnByteIdenticalWithThreefoldFewerStrongCalls) {
+  // 48 tight clusters of 10 points: measured 4.0-4.1x across seeds, so the
+  // 3x bar has real margin.
+  Dataset dataset = MakeClusteredEuclidean(480, 2, 48, 0.003, 31);
+  WorkloadConfig base;
+  base.scheme = SchemeKind::kNone;
+  const WorkloadResult exact =
+      RunWorkload(dataset.oracle.get(), base, kKnnWorkload);
+
+  WorkloadConfig weak = base;
+  weak.weak_alpha = 1.25;
+  const WorkloadResult informed =
+      RunWorkload(dataset.oracle.get(), weak, kKnnWorkload);
+
+  EXPECT_TRUE(BitIdentical(exact.value, informed.value))
+      << exact.value << " vs " << informed.value;
+  EXPECT_GT(informed.stats.decided_by_weak, 0u);
+  EXPECT_GE(informed.stats.weak_calls, informed.stats.decided_by_weak);
+  // The acceptance bar: the weak channel absorbs enough comparisons that
+  // strong-oracle spend drops at least 3x at alpha = 1.25.
+  EXPECT_GE(exact.stats.oracle_calls, 3 * informed.stats.oracle_calls)
+      << "weak-free " << exact.stats.oracle_calls << " vs weak-informed "
+      << informed.stats.oracle_calls;
+}
+
+TEST(WeakResolutionTest, MstByteIdenticalWithThreefoldFewerStrongCalls) {
+  // Boruvka's nearest-edge scans go through the weak-steered batch pipeline:
+  // measured 11-15x at alpha=1.25 on this geometry (Prim's per-pair key
+  // comparisons are intrinsically near-tied and cap out lower).
+  Dataset dataset = MakeClusteredEuclidean(480, 2, 48, 0.003, 37);
+  WorkloadConfig base;
+  base.scheme = SchemeKind::kNone;
+  const WorkloadResult exact =
+      RunWorkload(dataset.oracle.get(), base, kBoruvkaWorkload);
+
+  WorkloadConfig weak = base;
+  weak.weak_alpha = 1.25;
+  const WorkloadResult informed =
+      RunWorkload(dataset.oracle.get(), weak, kBoruvkaWorkload);
+
+  EXPECT_TRUE(BitIdentical(exact.value, informed.value))
+      << exact.value << " vs " << informed.value;
+  EXPECT_GT(informed.stats.decided_by_weak, 0u);
+  EXPECT_GE(exact.stats.oracle_calls, 3 * informed.stats.oracle_calls)
+      << "weak-free " << exact.stats.oracle_calls << " vs weak-informed "
+      << informed.stats.oracle_calls;
+}
+
+TEST(WeakResolutionTest, ByteIdenticalAcrossSchemesAndSeeds) {
+  // The exactness property does not depend on the scheme, the workload or
+  // the weak seed: a weak-informed run always reproduces the exact answer.
+  for (uint64_t seed : {1ull, 2ull}) {
+    Dataset dataset = MakeClusteredEuclidean(96, 3, 4, 0.05, seed);
+    for (SchemeKind scheme : {SchemeKind::kNone, SchemeKind::kTri}) {
+      for (const Workload& workload :
+           {kMstWorkload, kBoruvkaWorkload, kKnnWorkload}) {
+        WorkloadConfig base;
+        base.scheme = scheme;
+        base.bootstrap = scheme != SchemeKind::kNone;
+        base.seed = seed;
+        const WorkloadResult exact =
+            RunWorkload(dataset.oracle.get(), base, workload);
+        for (double alpha : {1.05, 1.5, 3.0}) {
+          WorkloadConfig weak = base;
+          weak.weak_alpha = alpha;
+          weak.weak_seed = seed + 100;
+          const WorkloadResult informed =
+              RunWorkload(dataset.oracle.get(), weak, workload);
+          EXPECT_TRUE(BitIdentical(exact.value, informed.value))
+              << "scheme=" << static_cast<int>(scheme) << " seed=" << seed
+              << " alpha=" << alpha;
+          // With no scheme the weak channel can only remove strong calls.
+          // (With a graph-reading scheme it may cost a few extra: weak
+          // decisions keep resolved edges out of the partial graph, so
+          // later Tri bounds start from less information.)
+          if (scheme == SchemeKind::kNone) {
+            EXPECT_LE(informed.stats.oracle_calls, exact.stats.oracle_calls)
+                << "weak oracle increased strong-oracle spend";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WeakResolutionTest, WeakFloorPreservesExactness) {
+  Dataset dataset = MakeTightClusters(120, 11);
+  WorkloadConfig base;
+  base.scheme = SchemeKind::kNone;
+  const WorkloadResult exact =
+      RunWorkload(dataset.oracle.get(), base, kMstWorkload);
+  WorkloadConfig weak = base;
+  weak.weak_alpha = 1.25;
+  weak.weak_floor = 0.01;
+  const WorkloadResult informed =
+      RunWorkload(dataset.oracle.get(), weak, kMstWorkload);
+  EXPECT_TRUE(BitIdentical(exact.value, informed.value));
+}
+
+TEST(WeakResolutionTest, WeakCostAccruesIntoCompletionTime) {
+  Dataset dataset = MakeTightClusters(96, 13);
+  WorkloadConfig weak;
+  weak.scheme = SchemeKind::kNone;
+  weak.weak_alpha = 1.25;
+  weak.weak_cost_seconds = 0.001;
+  const WorkloadResult result =
+      RunWorkload(dataset.oracle.get(), weak, kMstWorkload);
+  EXPECT_GT(result.stats.weak_calls, 0u);
+  EXPECT_GT(result.stats.weak_simulated_seconds, 0.0);
+  EXPECT_NEAR(result.completion_seconds - result.wall_seconds,
+              result.stats.weak_simulated_seconds, 1e-9);
+}
+
+TEST(WeakResolutionTest, AuditVerifiesEveryWeakCertificate) {
+  Dataset dataset = MakeTightClusters(96, 17);
+  WorkloadConfig config;
+  config.scheme = SchemeKind::kTri;
+  config.bootstrap = true;
+  config.weak_alpha = 1.25;
+  const StatusOr<AuditReport> report =
+      AuditWorkload(dataset.oracle.get(), config, kMstWorkload);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->passed()) << report->certification.first_failure;
+  EXPECT_GT(report->audited.stats.decided_by_weak, 0u);
+  EXPECT_EQ(report->certification.failed, 0u);
+  EXPECT_EQ(report->certification.verified, report->certification.emitted);
+}
+
+TEST(WeakResolutionTest, CounterInvariantHoldsWithWeakActive) {
+  Dataset dataset = MakeTightClusters(120, 19);
+  WorkloadConfig weak;
+  weak.scheme = SchemeKind::kTri;
+  weak.bootstrap = true;
+  weak.weak_alpha = 1.5;
+  const WorkloadResult result =
+      RunWorkload(dataset.oracle.get(), weak, kMstWorkload);
+  const ResolverStats& s = result.stats;
+  EXPECT_EQ(s.comparisons, s.decided_by_cache + s.decided_by_bounds +
+                               s.decided_by_oracle + s.decided_by_slack +
+                               s.decided_by_weak + s.undecided);
+  EXPECT_GE(s.weak_calls, s.decided_by_weak);
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -36,6 +36,22 @@
 //                            resolve by slack where the bounds allow;
 //                            otherwise the run exits with a
 //                            ResourceExhausted error.
+//   --weak-alpha=<a>         dual-oracle mode: derive a deterministic weak
+//                            (cheap, noisy) oracle from the dataset oracle,
+//                            advertising multiplicative error a (>= 1). Its
+//                            certified interval [w/a, w*a] joins the bound
+//                            intersection as a third source and decides
+//                            comparisons without a strong-oracle call
+//                            (counted as decided_by_weak) — outputs stay
+//                            byte-identical to the weak-free exact run as
+//                            long as the model holds, and detected
+//                            violations fail the run instead of corrupting
+//                            an answer. Same workload gate as --eps:
+//                            mst (prim|boruvka), knn, cluster (pam|dbscan).
+//   --weak-floor=<f>         additive error floor of the weak model (>= 0)
+//   --weak-seed=<seed>       seed of the per-pair error draw (default: --seed)
+//   --weak-cost=<seconds>    simulated per-call weak-oracle latency; lands
+//                            in weak_simulated_seconds / completion time
 //   --save-graph=<path>      checkpoint resolved distances afterwards
 //   --load-graph=<path>      start from a checkpoint (same dataset/seed!)
 //   --threads=<k>            cap parallel batch workers (0 = env/hardware)
@@ -102,6 +118,7 @@
 #include "bounds/pivots.h"
 #include "bounds/resolver.h"
 #include "bounds/scheme.h"
+#include "bounds/weak.h"
 #include "check/certify.h"
 #include "core/simd.h"
 #include "core/stats.h"
@@ -248,6 +265,16 @@ int Run(const std::string& command, const Flags& flags) {
   const bool has_budget_flag = flags.Has("oracle-budget");
   const int64_t oracle_budget_raw = flags.GetInt("oracle-budget", 0);
 
+  const bool has_weak_alpha = flags.Has("weak-alpha");
+  const double weak_alpha = flags.GetDouble("weak-alpha", 0.0);
+  const bool has_weak_floor = flags.Has("weak-floor");
+  const double weak_floor = flags.GetDouble("weak-floor", 0.0);
+  const bool has_weak_seed = flags.Has("weak-seed");
+  const uint64_t weak_seed = static_cast<uint64_t>(
+      flags.GetInt("weak-seed", static_cast<int64_t>(seed)));
+  const bool has_weak_cost = flags.Has("weak-cost");
+  const double weak_cost = flags.GetDouble("weak-cost", 0.0);
+
   // Reject malformed numerics and inconsistent combos before anything is
   // cast, stacked or opened — a bad flag must never silently misbehave.
   for (const Status& s : {
@@ -268,8 +295,28 @@ int Run(const std::string& command, const Flags& flags) {
            RequireNonNegative("--fault-timeout",
                               fault.per_call_timeout_seconds),
            RequireNonNegative("--eps", approx_eps),
+           RequireNonNegative("--weak-floor", weak_floor),
+           RequireNonNegative("--weak-cost", weak_cost),
        }) {
     if (!s.ok()) return Fail(s.ToString());
+  }
+  if (has_weak_alpha && !(std::isfinite(weak_alpha) && weak_alpha >= 1.0)) {
+    return Fail(
+        "--weak-alpha must be a finite factor >= 1: it is the weak oracle's "
+        "advertised multiplicative error bound, and a factor below 1 would "
+        "claim the estimate is better than exact");
+  }
+  if (!has_weak_alpha &&
+      (has_weak_floor || has_weak_seed || has_weak_cost)) {
+    return Fail(
+        "--weak-floor/--weak-seed/--weak-cost configure the weak oracle and "
+        "require --weak-alpha=<a> to enable it");
+  }
+  if (!std::isfinite(weak_floor)) {
+    return Fail("--weak-floor must be finite");
+  }
+  if (!std::isfinite(weak_cost)) {
+    return Fail("--weak-cost must be finite");
   }
   if (approx_eps >= 1.0) {
     return Fail(
@@ -308,6 +355,40 @@ int Run(const std::string& command, const Flags& flags) {
           "contract: mst (--algorithm=prim|boruvka), knn, or cluster "
           "(--method=pam|dbscan)");
     }
+  }
+  const bool weak_active = has_weak_alpha;
+  if (weak_active) {
+    // Same workload gate as the approximate contract: the dual-oracle bound
+    // source is only plumbed through the threshold/winner-selection
+    // workloads, and a workload that would silently ignore the weak oracle
+    // must not accept its flags.
+    bool weak_supported = false;
+    if (command == "mst") {
+      const std::string algorithm = flags.GetString("algorithm", "prim");
+      weak_supported = algorithm == "prim" || algorithm == "boruvka";
+    } else if (command == "knn") {
+      weak_supported = true;
+    } else if (command == "cluster") {
+      const std::string method = flags.GetString("method", "pam");
+      weak_supported = method == "pam" || method == "dbscan";
+    }
+    if (!weak_supported) {
+      return Fail(
+          "--weak-alpha requires a workload wired for dual-oracle "
+          "resolution: mst (--algorithm=prim|boruvka), knn, or cluster "
+          "(--method=pam|dbscan)");
+    }
+  }
+  if (command == "cluster" && flags.GetString("method", "pam") == "dbscan" &&
+      flags.Has("eps") && !flags.Has("radius")) {
+    // Legacy DBSCAN spelling trap: in this CLI --eps is the
+    // approximate-resolution slack, never the neighborhood radius. Without
+    // --radius the flag would silently run an approximate DBSCAN at the
+    // default radius instead of the query the user meant.
+    return Fail(
+        "DBSCAN's neighborhood radius is spelled --radius, not --eps "
+        "(--eps is the approximate-resolution slack). Pass --radius=<r>, "
+        "optionally alongside --eps=<slack> for approximate resolution");
   }
   if (store_readonly && store_path.empty()) {
     return Fail("--store-readonly requires --store=<path>");
@@ -406,7 +487,7 @@ int Run(const std::string& command, const Flags& flags) {
   // realized error against --eps, so the bundle is forced on even without
   // --stats-json/--trace (attachment is proven side-effect-free).
   if (!stats_json.empty() || !trace_path.empty() ||
-      (audit && approx_active)) {
+      (audit && (approx_active || weak_active))) {
     telemetry.emplace();
     telemetry->trace_id = trace_id;
     if (!trace_path.empty()) {
@@ -435,11 +516,20 @@ int Run(const std::string& command, const Flags& flags) {
     if (oracle_budget_raw > 0) os << " oracle-budget=" << oracle_budget_raw;
     approx_desc = os.str();
   }
-  std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu%s%s\n",
+  std::string weak_desc;
+  if (weak_active) {
+    std::ostringstream os;
+    os << " weak-alpha=" << weak_alpha;
+    if (weak_floor > 0.0) os << " weak-floor=" << weak_floor;
+    if (has_weak_seed) os << " weak-seed=" << weak_seed;
+    weak_desc = os.str();
+  }
+  std::printf("mpx %s: dataset=%s n=%u scheme=%s%s seed=%llu%s%s%s\n",
               command.c_str(), dataset->name.c_str(), n,
               SchemeKindName(*scheme).data(), bootstrap ? "+bootstrap" : "",
               static_cast<unsigned long long>(seed),
-              audit ? " audit=on" : "", approx_desc.c_str());
+              audit ? " audit=on" : "", approx_desc.c_str(),
+              weak_desc.c_str());
 
   uint64_t warm_loaded = 0;
   // One full execution of the command from a fresh graph. Everything that
@@ -478,6 +568,25 @@ int Run(const std::string& command, const Flags& flags) {
     }
     BoundedResolver resolver(top, &graph);
     resolver.SetTelemetry(pass_telemetry);
+
+    // Dual-oracle mode: the weak oracle is derived from the *base* dataset
+    // oracle — below the verify / cost / fault / retry middleware — because
+    // a weak estimate is cheap by definition and is never a strong-oracle
+    // call (it does not hit the store, cannot fault, and is not billed
+    // --oracle-cost). Both audit passes get identical settings, so the A-B
+    // comparison is weak-vs-weak.
+    std::optional<WeakOracle> weak_oracle;
+    std::optional<WeakBounder> weak_bounder;
+    if (weak_active) {
+      WeakOracle::Options weak_options;
+      weak_options.alpha = weak_alpha;
+      weak_options.floor = weak_floor;
+      weak_options.seed = weak_seed;
+      weak_options.cost_seconds = weak_cost;
+      weak_oracle.emplace(dataset->oracle.get(), weak_options);
+      weak_bounder.emplace(&*weak_oracle);
+      resolver.SetWeakBounder(&*weak_bounder);
+    }
 
     Stopwatch watch;
     int exit_code = 0;
@@ -521,11 +630,19 @@ int Run(const std::string& command, const Flags& flags) {
                     " (raise --oracle-budget, or loosen --eps so more "
                     "comparisons can resolve by slack)");
       }
+      if (outcome.status().code() == StatusCode::kFailedPrecondition) {
+        // The weak-model violation path: never a wrong answer, always a
+        // loud failure naming the pair and the advertised interval.
+        return Fail(std::string(outcome.status().message()));
+      }
       return Fail("oracle transport failed: " + outcome.status().ToString());
     }
     if (exit_code != 0) return exit_code;
     *wall_out = watch.ElapsedSeconds();
     *stats_out = resolver.stats();
+    if (weak_oracle.has_value()) {
+      stats_out->weak_simulated_seconds = weak_oracle->simulated_seconds();
+    }
     if (certifying.has_value()) *cert_out = certifying->stats();
     *graph_out = std::move(graph);
     return 0;
@@ -594,6 +711,22 @@ int Run(const std::string& command, const Flags& flags) {
             "slack decisions\n",
             slack_err.p50, slack_err.p99, slack_err.max,
             static_cast<unsigned long long>(slack_err.count));
+      }
+    }
+    if (weak_active) {
+      std::printf("decided_by_weak=%llu weak_calls=%llu\n",
+                  static_cast<unsigned long long>(stats.decided_by_weak),
+                  static_cast<unsigned long long>(stats.weak_calls));
+      Histogram::Summary weak_width;
+      if (telemetry_ptr != nullptr) {
+        weak_width = telemetry_ptr->weak_interval_width.Summarize();
+      }
+      if (weak_width.count > 0) {
+        std::printf(
+            "weak interval width: p50=%.4g p90=%.4g p99=%.4g over %llu "
+            "weak consults\n",
+            weak_width.p50, weak_width.p90, weak_width.p99,
+            static_cast<unsigned long long>(weak_width.count));
       }
     }
     // The advertised (1+eps) contract: unless the budget forced wider

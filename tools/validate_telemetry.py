@@ -108,9 +108,15 @@ def validate_report(path):
 
     # Cross-field invariants the schema language cannot express.
     stats = report["stats"]
+    known_keys = set(schema["properties"]["stats"]["required"])
+    unknown = sorted(set(stats) - known_keys)
+    if unknown:
+        raise ValidationError(
+            f"stats: unknown keys {unknown} (a new ResolverStats field must "
+            f"be added to run_report_schema.json and this validator)")
     decided = (stats["decided_by_bounds"] + stats["decided_by_cache"] +
                stats["decided_by_oracle"] + stats["decided_by_slack"] +
-               stats["undecided"])
+               stats["decided_by_weak"] + stats["undecided"])
     if decided != stats["comparisons"]:
         raise ValidationError(
             f"stats: decisions {decided} != comparisons "
@@ -120,6 +126,11 @@ def validate_report(path):
             f"stats: budget_exhausted {stats['budget_exhausted']} > "
             f"decided_by_slack {stats['decided_by_slack']} (budget-forced "
             f"decisions are a subset of slack decisions)")
+    if stats["decided_by_weak"] > stats["weak_calls"]:
+        raise ValidationError(
+            f"stats: decided_by_weak {stats['decided_by_weak']} > "
+            f"weak_calls {stats['weak_calls']} (every weak decision "
+            f"requires at least one weak consult)")
     hists = report["telemetry"]["histograms"]
     if not report["telemetry"]["enabled"]:
         for name, hist in hists.items():
