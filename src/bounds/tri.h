@@ -46,13 +46,19 @@ class TriBounder : public Bounder {
 
   /// Merge-intersects the two SoA adjacency columns and reduces the matched
   /// triangles through the dispatched tri-reduce kernel (bit-identical to
-  /// the historical lambda walk on every tier; see core/simd.h).
+  /// the historical lambda walk on every tier; see core/simd.h). The merge
+  /// scratch is a member — per bounder instance, not per thread — so
+  /// concurrent sessions each driving their own TriBounder never share
+  /// mutable state through the bound path; one TriBounder instance must not
+  /// be driven from two threads at once (same contract as the resolver that
+  /// owns it).
   Interval Bounds(ObjectId i, ObjectId j) override {
     const PartialDistanceGraph::AdjacencyColumns a = graph_->AdjacencyView(i);
     const PartialDistanceGraph::AdjacencyColumns b = graph_->AdjacencyView(j);
     return simd::TriMergeBounds(a.ids.data(), a.distances.data(),
                                 a.ids.size(), b.ids.data(),
-                                b.distances.data(), b.ids.size(), rho_);
+                                b.distances.data(), b.ids.size(), rho_,
+                                &scratch_);
   }
 
   void OnEdgeResolved(ObjectId, ObjectId, double) override {}
@@ -119,6 +125,7 @@ class TriBounder : public Bounder {
  private:
   const PartialDistanceGraph* graph_;  // not owned
   double rho_;
+  simd::TriScratch scratch_;
 };
 
 }  // namespace metricprox

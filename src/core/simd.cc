@@ -1,5 +1,6 @@
 #include "core/simd.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <string>
@@ -395,8 +396,12 @@ Tier ResolveInitialTier() {
   return clamped;
 }
 
-Tier& ActiveTierRef() {
-  static Tier tier = ResolveInitialTier();
+/// The active tier, readable concurrently with SetTier: bound scans from
+/// concurrent resolver sessions read this on every kernel dispatch, so the
+/// cell is atomic (relaxed — the tier is a self-contained value, nothing
+/// is published through it).
+std::atomic<Tier>& ActiveTierRef() {
+  static std::atomic<Tier> tier{ResolveInitialTier()};
   return tier;
 }
 
@@ -437,11 +442,11 @@ Tier DetectedTier() {
 #endif
 }
 
-Tier ActiveTier() { return ActiveTierRef(); }
+Tier ActiveTier() { return ActiveTierRef().load(std::memory_order_relaxed); }
 
 Tier SetTier(Tier tier) {
   const Tier clamped = ClampToDetected(tier);
-  ActiveTierRef() = clamped;
+  ActiveTierRef().store(clamped, std::memory_order_relaxed);
   return clamped;
 }
 
@@ -463,17 +468,18 @@ const KernelTable& KernelsForTier(Tier tier) {
   return kScalarKernels;
 }
 
-const KernelTable& ActiveKernels() { return KernelsForTier(ActiveTierRef()); }
+const KernelTable& ActiveKernels() { return KernelsForTier(ActiveTier()); }
 
 Interval TriMergeBounds(const ObjectId* ids_a, const double* dist_a, size_t na,
                         const ObjectId* ids_b, const double* dist_b, size_t nb,
-                        double rho) {
-  // Scratch reused across calls: common-neighbor counts vary wildly (a few
-  // in sparse phases, O(n) after a warm start), and the reduction kernel
-  // wants the whole intersection contiguous so the clamp happens once, not
-  // per chunk (per-chunk clamping would change lb near crossing intervals).
-  static thread_local std::vector<double> di_scratch;
-  static thread_local std::vector<double> dj_scratch;
+                        double rho, TriScratch* scratch) {
+  // The caller-owned scratch is reused across calls: common-neighbor counts
+  // vary wildly (a few in sparse phases, O(n) after a warm start), and the
+  // reduction kernel wants the whole intersection contiguous so the clamp
+  // happens once, not per chunk (per-chunk clamping would change lb near
+  // crossing intervals).
+  std::vector<double>& di_scratch = scratch->di;
+  std::vector<double>& dj_scratch = scratch->dj;
   di_scratch.clear();
   dj_scratch.clear();
   size_t x = 0;

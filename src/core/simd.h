@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "core/status.h"
 #include "core/types.h"
@@ -40,8 +41,10 @@ Tier ActiveTier();
 
 /// Re-points ActiveKernels() at `tier` (clamped to DetectedTier(); the
 /// clamped tier is returned). Used by the `mpx --simd=` flag and by
-/// kernel_equivalence_test to A/B the tiers inside one process. Not
-/// thread-safe against in-flight kernel calls — switch only between runs.
+/// kernel_equivalence_test to A/B the tiers inside one process. The tier
+/// variable itself is atomic, so a switch concurrent with in-flight kernel
+/// calls is a race-free (TSan-clean) read of either the old or the new
+/// tier — but for reproducible accounting still switch only between runs.
 Tier SetTier(Tier tier);
 
 /// Distance functions the batch-distance kernel can evaluate over flat
@@ -98,15 +101,29 @@ const KernelTable& ActiveKernels();
 /// and benches compare tiers side by side without flipping the global.
 const KernelTable& KernelsForTier(Tier tier);
 
+/// Caller-owned scratch for TriMergeBounds: the matched triangle sides of
+/// the merge-intersection, kept contiguous so the reduction clamps once
+/// over the whole intersection. Callers (TriBounder holds one per
+/// instance) reuse the same scratch across calls so the capacity is paid
+/// once; distinct resolvers/sessions own distinct scratch, so concurrent
+/// bound scans never share mutable state through this layer (the previous
+/// function-local `thread_local` hid per-thread buffers that outlived the
+/// bounders using them and coupled every resolver on a thread).
+struct TriScratch {
+  std::vector<double> di;
+  std::vector<double> dj;
+};
+
 /// Convenience wrapper for the Tri bounder: merge-intersects two adjacency
-/// columns sorted ascending by id (the graph's CSR view) and feeds the
-/// matched distance pairs through the active tri_reduce kernel in chunks.
-/// The merge itself is branchy pointer-chasing (never worth vectorizing at
-/// proximity-graph degrees); the arithmetic reduction is where the SIMD
-/// tiers differ.
+/// columns sorted ascending by id (the graph's CSR view) into `scratch`
+/// and feeds the matched distance pairs through the active tri_reduce
+/// kernel. The merge itself is branchy pointer-chasing (never worth
+/// vectorizing at proximity-graph degrees); the arithmetic reduction is
+/// where the SIMD tiers differ.
 Interval TriMergeBounds(const ObjectId* ids_a, const double* dist_a,
                         size_t na, const ObjectId* ids_b,
-                        const double* dist_b, size_t nb, double rho);
+                        const double* dist_b, size_t nb, double rho,
+                        TriScratch* scratch);
 
 }  // namespace simd
 }  // namespace metricprox

@@ -82,6 +82,24 @@ namespace metricprox {
 //                       is a bug in a bound scheme (or the verifier).
 //   certs_uncertified   bound decisions whose scheme has no certification
 //                       support; counted separately, never as failures.
+//   sessions_active     gauge merged in by SessionPool::AccumulateStats:
+//                       the peak number of concurrently open resolver
+//                       sessions over the pool's lifetime (0 on runs that
+//                       never used the session layer).
+//   shared_graph_hits   pair resolutions answered by the pool's shared
+//                       concurrent graph instead of the base oracle (a
+//                       cross-session cache hit; each is still counted in
+//                       oracle_calls by the session's resolver, so
+//                       shared_graph_hits <= oracle_calls always holds).
+//                       Schedule-dependent under concurrency: which session
+//                       pays for a pair depends on arrival order.
+//   coalesced_batches   BatchDistance round-trips shipped by the
+//                       cross-session BatchCoalescer (each covers >= 1
+//                       pending pair from >= 1 session).
+//   cross_session_dedup_hits resolutions that joined a pair already
+//                       pending in the coalescer from another submission
+//                       instead of shipping it again — the cross-session
+//                       amortization the session layer exists for.
 //   kernel_dispatch     configuration gauge, not a counter: the simd::Tier
 //                       id (0 scalar, 1 sse2, 2 avx2) of the bound kernels
 //                       active when the resolver was constructed or its
@@ -120,6 +138,10 @@ namespace metricprox {
   X(uint64_t, certs_verified)               \
   X(uint64_t, certs_failed)                 \
   X(uint64_t, certs_uncertified)            \
+  X(uint64_t, sessions_active)              \
+  X(uint64_t, shared_graph_hits)            \
+  X(uint64_t, coalesced_batches)            \
+  X(uint64_t, cross_session_dedup_hits)     \
   X(uint64_t, kernel_dispatch)
 
 /// Counters collected by a BoundedResolver while a proximity algorithm

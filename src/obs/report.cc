@@ -134,6 +134,14 @@ std::string RunReport::ToText() const {
     rows.push_back(
         {"retry backoff (s)", FormatDouble(s.retry_backoff_seconds, 4)});
   }
+  if (s.sessions_active > 0 || s.shared_graph_hits > 0 ||
+      s.coalesced_batches > 0 || s.cross_session_dedup_hits > 0) {
+    rows.push_back({"sessions (peak)", FormatUint(s.sessions_active)});
+    rows.push_back({"shared graph hits", FormatUint(s.shared_graph_hits)});
+    rows.push_back({"coalesced batches", FormatUint(s.coalesced_batches)});
+    rows.push_back({"cross-session dedup hits",
+                    FormatUint(s.cross_session_dedup_hits)});
+  }
   if (s.certs_emitted > 0 || s.certs_uncertified > 0) {
     rows.push_back({"certs emitted", FormatUint(s.certs_emitted)});
     rows.push_back({"certs verified", FormatUint(s.certs_verified)});

@@ -1,0 +1,229 @@
+#include "service/coalescer.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+BatchCoalescer::BatchCoalescer(DistanceOracle* base,
+                               const CoalescerOptions& options)
+    : base_(base), options_(options) {
+  CHECK(base != nullptr);
+  CHECK_GT(options_.max_batch_pairs, 0u);
+  CHECK_GT(options_.max_pending_pairs, 0u);
+  CHECK_GE(options_.linger_seconds, 0.0);
+  if (!options_.manual_flush) {
+    flusher_ = std::thread([this] { FlusherLoop(); });
+  }
+}
+
+BatchCoalescer::~BatchCoalescer() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();  // release backpressure-blocked submitters
+  }
+  if (flusher_.joinable()) flusher_.join();
+  // Manual mode (or pairs enqueued after the flusher drained): ship the
+  // remainder so no waiter is left blocked forever, then wait until every
+  // released waiter has actually left Resolve() — the members below this
+  // frame (mu_, the cvs) must outlive their last use.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!queue_.empty()) ShipOneBatch(lock);
+  idle_cv_.wait(lock, [&] { return active_resolves_ == 0; });
+}
+
+Status BatchCoalescer::Resolve(std::span<const IdPair> pairs,
+                               std::span<double> out,
+                               std::span<Status> statuses, Deadline deadline) {
+  CHECK_EQ(pairs.size(), out.size());
+  CHECK_EQ(pairs.size(), statuses.size());
+
+  struct Wait {
+    size_t index;
+    Entry entry;
+  };
+  std::vector<Wait> waits;
+  waits.reserve(pairs.size());
+  // Entries this call already joined or created, so a repeated pair within
+  // one request maps to one entry without charging a cross-call dedup hit.
+  std::unordered_map<EdgeKey, Entry, EdgeKeyHash> local;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ++active_resolves_;
+  bool enqueued_fresh = false;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const ObjectId i = pairs[k].i;
+    const ObjectId j = pairs[k].j;
+    statuses[k] = Status::OK();
+    if (i == j) {
+      out[k] = 0.0;
+      continue;
+    }
+    const EdgeKey key(i, j);
+    auto seen = local.find(key);
+    if (seen != local.end()) {
+      waits.push_back({k, seen->second});
+      continue;
+    }
+    auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      // Another submission (typically another session) already has this
+      // pair in flight: join it instead of shipping it again.
+      ++counters_.dedup_hits;
+      local.emplace(key, it->second);
+      waits.push_back({k, it->second});
+      continue;
+    }
+    // Backpressure: block until the flusher drains (or the deadline hits).
+    bool expired = false;
+    while (!stop_ && pending_.size() >= options_.max_pending_pairs) {
+      if (deadline.has_value()) {
+        if (space_cv_.wait_until(lock, *deadline) == std::cv_status::timeout &&
+            pending_.size() >= options_.max_pending_pairs) {
+          expired = true;
+          break;
+        }
+      } else {
+        space_cv_.wait(lock);
+      }
+    }
+    if (expired) {
+      ++counters_.deadline_expirations;
+      statuses[k] = Status::DeadlineExceeded(
+          "coalescer backpressure outlasted the resolve deadline");
+      continue;
+    }
+    if (stop_) {
+      statuses[k] = Status::FailedPrecondition(
+          "coalescer is shutting down; pair not accepted");
+      continue;
+    }
+    auto entry = std::make_shared<Pending>();
+    pending_.emplace(key, entry);
+    queue_.push_back(key);
+    enqueued_fresh = true;
+    local.emplace(key, entry);
+    waits.push_back({k, entry});
+  }
+  if (enqueued_fresh) work_cv_.notify_one();
+
+  for (const Wait& wait : waits) {
+    bool expired = false;
+    while (!wait.entry->done) {
+      if (deadline.has_value()) {
+        if (done_cv_.wait_until(lock, *deadline) == std::cv_status::timeout &&
+            !wait.entry->done) {
+          expired = true;
+          break;
+        }
+      } else {
+        done_cv_.wait(lock);
+      }
+    }
+    if (expired) {
+      // Only this waiter gives up: the pair stays pending, still ships, and
+      // every other waiter still receives its result.
+      ++counters_.deadline_expirations;
+      statuses[wait.index] = Status::DeadlineExceeded(
+          "pair did not resolve before the session deadline");
+      continue;
+    }
+    out[wait.index] = wait.entry->result;
+    statuses[wait.index] = wait.entry->status;
+  }
+
+  --active_resolves_;
+  if (active_resolves_ == 0) idle_cv_.notify_all();
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+size_t BatchCoalescer::FlushNow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t shipped = 0;
+  while (!queue_.empty()) shipped += ShipOneBatch(lock);
+  return shipped;
+}
+
+size_t BatchCoalescer::PendingPairs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+CoalescerCounters BatchCoalescer::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void BatchCoalescer::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    if (!stop_) {
+      // Linger: hold the batch open for the window (or until it fills) so
+      // concurrent sessions' pairs coalesce into this round-trip.
+      const auto flush_at =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.linger_seconds));
+      while (!stop_ && queue_.size() < options_.max_batch_pairs) {
+        if (work_cv_.wait_until(lock, flush_at) == std::cv_status::timeout) {
+          break;
+        }
+      }
+    }
+    ShipOneBatch(lock);
+  }
+}
+
+size_t BatchCoalescer::ShipOneBatch(std::unique_lock<std::mutex>& lock) {
+  const size_t take = std::min(queue_.size(), options_.max_batch_pairs);
+  if (take == 0) return 0;
+  std::vector<EdgeKey> keys(queue_.begin(),
+                            queue_.begin() + static_cast<ptrdiff_t>(take));
+  queue_.erase(queue_.begin(), queue_.begin() + static_cast<ptrdiff_t>(take));
+  std::vector<Entry> entries;
+  entries.reserve(take);
+  std::vector<IdPair> ship;
+  ship.reserve(take);
+  for (const EdgeKey key : keys) {
+    auto it = pending_.find(key);
+    CHECK(it != pending_.end());
+    entries.push_back(it->second);
+    ship.push_back(IdPair{key.lo(), key.hi()});
+  }
+  counters_.batches_shipped += 1;
+  counters_.pairs_shipped += take;
+  // The oracle round-trip happens outside mu_ so submitters can keep
+  // queueing the next batch; ship_mu_ serializes the base call itself, so
+  // even a FlushNow racing the flusher thread keeps the single-threaded
+  // guarantee the fault/retry middleware underneath relies on.
+  lock.unlock();
+  std::vector<double> results(take, 0.0);
+  std::vector<Status> statuses(take, Status::OK());
+  {
+    std::lock_guard<std::mutex> ship_lock(ship_mu_);
+    base_->TryBatchDistance(ship, results, statuses);
+  }
+  lock.lock();
+  for (size_t k = 0; k < take; ++k) {
+    entries[k]->result = results[k];
+    entries[k]->status = statuses[k];
+    entries[k]->done = true;
+    pending_.erase(keys[k]);
+  }
+  done_cv_.notify_all();
+  space_cv_.notify_all();
+  return take;
+}
+
+}  // namespace metricprox

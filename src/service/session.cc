@@ -1,0 +1,248 @@
+#include "service/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "bounds/tri.h"
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace internal {
+
+BatchCoalescer::Deadline SessionOracle::MakeDeadline() const {
+  if (deadline_seconds_ <= 0.0) return {};
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(deadline_seconds_));
+}
+
+StatusOr<double> SessionOracle::TryDistance(ObjectId i, ObjectId j) {
+  const IdPair pair{i, j};
+  double out = 0.0;
+  Status status;
+  const Status first =
+      pool_->ResolvePairs(std::span<const IdPair>(&pair, 1),
+                          std::span<double>(&out, 1),
+                          std::span<Status>(&status, 1), MakeDeadline(),
+                          &shared_hits_);
+  if (!first.ok()) return first;
+  return out;
+}
+
+Status SessionOracle::TryBatchDistance(std::span<const IdPair> pairs,
+                                       std::span<double> out,
+                                       std::span<Status> statuses) {
+  return pool_->ResolvePairs(pairs, out, statuses, MakeDeadline(),
+                             &shared_hits_);
+}
+
+double SessionOracle::Distance(ObjectId i, ObjectId j) {
+  StatusOr<double> resolved = TryDistance(i, j);
+  CHECK(resolved.ok()) << "session resolution failed outside a fallible "
+                          "scope: "
+                       << resolved.status().message();
+  return resolved.value();
+}
+
+void SessionOracle::BatchDistance(std::span<const IdPair> pairs,
+                                  std::span<double> out) {
+  std::vector<Status> statuses(pairs.size());
+  const Status status = TryBatchDistance(pairs, out, statuses);
+  CHECK(status.ok()) << "session batch resolution failed outside a "
+                        "fallible scope: "
+                     << status.message();
+}
+
+ObjectId SessionOracle::num_objects() const { return pool_->num_objects(); }
+
+void SessionOracle::set_batch_workers(unsigned workers) {
+  pool_->base_oracle().set_batch_workers(workers);
+}
+
+unsigned SessionOracle::batch_workers() const {
+  return pool_->base_oracle().batch_workers();
+}
+
+}  // namespace internal
+
+ResolverSession::ResolverSession(SessionPool* pool, SessionOptions options)
+    : pool_(pool),
+      options_(std::move(options)),
+      graph_(pool->num_objects()),
+      oracle_(pool, options_.deadline_seconds),
+      resolver_(&oracle_, &graph_) {}
+
+ResolverSession::~ResolverSession() { pool_->CloseSession(); }
+
+void ResolverSession::UseTriBounds(double rho) {
+  bounder_ = std::make_unique<TriBounder>(&graph_, rho);
+  resolver_.SetBounder(bounder_.get());
+}
+
+ResolverStats ResolverSession::Stats() const {
+  ResolverStats stats = resolver_.stats();
+  stats.shared_graph_hits += oracle_.shared_hits();
+  return stats;
+}
+
+StoreFingerprint ResolverSession::Fingerprint(std::string_view identity) const {
+  return pool_->TenantFingerprint(identity);
+}
+
+SessionPool::SessionPool(DistanceOracle* base,
+                         const SessionPoolOptions& options)
+    : base_(base),
+      options_(options),
+      graph_(base->num_objects(), options.graph_shards) {
+  CHECK(base != nullptr);
+  if (options_.store != nullptr) {
+    CHECK_EQ(options_.store->fingerprint().num_objects, base->num_objects())
+        << "attached store was fingerprinted for a different universe";
+  }
+  if (options_.enable_coalescer) {
+    coalescer_ = std::make_unique<BatchCoalescer>(base, options_.coalescer);
+  }
+}
+
+std::unique_ptr<ResolverSession> SessionPool::OpenSession(
+    SessionOptions options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.sessions_opened;
+    ++counters_.sessions_active;
+    counters_.sessions_peak =
+        std::max(counters_.sessions_peak, counters_.sessions_active);
+  }
+  return std::unique_ptr<ResolverSession>(
+      new ResolverSession(this, std::move(options)));
+}
+
+void SessionPool::CloseSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK_GT(counters_.sessions_active, 0u);
+  --counters_.sessions_active;
+}
+
+SessionPoolCounters SessionPool::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+StoreFingerprint SessionPool::TenantFingerprint(
+    std::string_view identity) const {
+  std::string namespaced = "tenant=" + options_.tenant + ";";
+  namespaced.append(identity);
+  return MakeStoreFingerprint(namespaced, num_objects());
+}
+
+void SessionPool::AccumulateStats(ResolverStats* total) const {
+  CHECK(total != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  total->sessions_active += counters_.sessions_peak;
+  if (coalescer_ != nullptr) {
+    const CoalescerCounters c = coalescer_->counters();
+    total->coalesced_batches += c.batches_shipped;
+    total->cross_session_dedup_hits += c.dedup_hits;
+  }
+}
+
+Status SessionPool::ResolvePairs(std::span<const IdPair> pairs,
+                                 std::span<double> out,
+                                 std::span<Status> statuses,
+                                 BatchCoalescer::Deadline deadline,
+                                 uint64_t* shared_hits) {
+  CHECK_EQ(pairs.size(), out.size());
+  CHECK_EQ(pairs.size(), statuses.size());
+
+  // Sweep 1: the shared graph — lock-striped point lookups, no
+  // serialization with other sessions beyond one shard mutex each.
+  std::vector<size_t> miss;
+  uint64_t graph_hits = 0;
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    statuses[k] = Status::OK();
+    if (pairs[k].i == pairs[k].j) {
+      out[k] = 0.0;
+      continue;
+    }
+    if (const std::optional<double> d = graph_.Get(pairs[k].i, pairs[k].j)) {
+      out[k] = *d;
+      ++graph_hits;
+      continue;
+    }
+    miss.push_back(k);
+  }
+
+  // Sweep 2: the durable store (serialized — DistanceStore is
+  // single-threaded by contract). Store hits are published to the shared
+  // graph so the next asker stops at sweep 1.
+  uint64_t store_hits = 0;
+  if (options_.store != nullptr && !miss.empty()) {
+    std::vector<size_t> still_missing;
+    still_missing.reserve(miss.size());
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const size_t k : miss) {
+      const std::optional<double> d =
+          options_.store->Lookup(pairs[k].i, pairs[k].j);
+      if (!d.has_value()) {
+        still_missing.push_back(k);
+        continue;
+      }
+      out[k] = *d;
+      ++store_hits;
+      graph_.Insert(pairs[k].i, pairs[k].j, *d);
+    }
+    miss = std::move(still_missing);
+  }
+
+  // Sweep 3: the base oracle stack — one coalesced cross-session batch, or
+  // a serialized direct round-trip.
+  const size_t shipped = miss.size();
+  if (!miss.empty()) {
+    std::vector<IdPair> ship;
+    ship.reserve(miss.size());
+    for (const size_t k : miss) ship.push_back(pairs[k]);
+    std::vector<double> results(miss.size(), 0.0);
+    std::vector<Status> ship_statuses(miss.size(), Status::OK());
+    if (coalescer_ != nullptr) {
+      coalescer_->Resolve(ship, results, ship_statuses, deadline);
+    } else {
+      std::lock_guard<std::mutex> lock(base_mu_);
+      base_->TryBatchDistance(ship, results, ship_statuses);
+    }
+    for (size_t k = 0; k < miss.size(); ++k) {
+      statuses[miss[k]] = ship_statuses[k];
+      if (!ship_statuses[k].ok()) continue;
+      out[miss[k]] = results[k];
+      // A racing session may have published the same pair meanwhile;
+      // Insert returning false (exact duplicate) is the expected benign
+      // outcome of that race.
+      graph_.Insert(ship[k].i, ship[k].j, results[k]);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.shared_graph_hits += graph_hits;
+    counters_.store_hits += store_hits;
+    counters_.base_pairs_shipped += shipped;
+    if (options_.store != nullptr && !options_.store->read_only()) {
+      for (const size_t k : miss) {
+        if (!statuses[k].ok()) continue;
+        const Status recorded =
+            options_.store->Record(pairs[k].i, pairs[k].j, out[k]);
+        CHECK(recorded.ok()) << "store append failed: " << recorded.message();
+      }
+    }
+  }
+  if (shared_hits != nullptr) *shared_hits += graph_hits;
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+}  // namespace metricprox

@@ -182,9 +182,10 @@ TEST(KernelBitIdentityTest, TriMergeBoundsMatchesLambdaWalkOnEveryTier) {
               graph.AdjacencyView(i);
           const PartialDistanceGraph::AdjacencyColumns b =
               graph.AdjacencyView(j);
+          simd::TriScratch scratch;
           const Interval got = simd::TriMergeBounds(
               a.ids.data(), a.distances.data(), a.ids.size(), b.ids.data(),
-              b.distances.data(), b.ids.size(), rho);
+              b.distances.data(), b.ids.size(), rho, &scratch);
           EXPECT_EQ(got.lo, lb) << simd::TierName(tier) << " (" << i << ","
                                 << j << ") rho=" << rho;
           EXPECT_EQ(got.hi, ub) << simd::TierName(tier) << " (" << i << ","

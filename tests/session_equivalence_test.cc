@@ -1,0 +1,352 @@
+// Session-layer equivalence: N ResolverSessions running the algorithm
+// matrix (k-NN / Prim / Borůvka / PAM) concurrently over ONE shared
+// SessionPool — shared striped graph, shared store, optionally a
+// cross-session coalescer — must produce byte-identical outputs and
+// identical per-session decision counters to the same workloads run
+// sequentially and to plain unshared single-session runs. Sharing may only
+// change WHERE a resolution is answered (shared graph / store / coalesced
+// batch instead of the base oracle), never an answer or a per-session
+// count. The concurrent variants are the TSan payload of the
+// concurrency-smoke CI matrix.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/boruvka.h"
+#include "algo/knn_graph.h"
+#include "algo/pam.h"
+#include "algo/prim.h"
+#include "bounds/resolver.h"
+#include "bounds/tri.h"
+#include "data/datasets.h"
+#include "graph/partial_graph.h"
+#include "oracle/wrappers.h"
+#include "service/session.h"
+#include "store/distance_store.h"
+
+namespace metricprox {
+namespace {
+
+constexpr const char* kAlgorithms[] = {"knn", "prim", "boruvka", "pam"};
+
+/// Flattened output + counters of one workload run (same blob encoding as
+/// chaos_test so equality is bytewise over every emitted value).
+struct SessionRun {
+  std::vector<double> blob;
+  ResolverStats stats;
+};
+
+void RunAlgorithm(BoundedResolver* r, const std::string& algorithm,
+                  std::vector<double>* blob) {
+  auto push_edge = [blob](const WeightedEdge& e) {
+    blob->push_back(e.u);
+    blob->push_back(e.v);
+    blob->push_back(e.weight);
+  };
+  if (algorithm == "prim") {
+    for (const WeightedEdge& e : PrimMst(r).edges) push_edge(e);
+  } else if (algorithm == "boruvka") {
+    for (const WeightedEdge& e : BoruvkaMst(r).edges) push_edge(e);
+  } else if (algorithm == "knn") {
+    for (const auto& row : BuildKnnGraph(r, KnnGraphOptions{3})) {
+      for (const KnnNeighbor& nb : row) {
+        blob->push_back(nb.id);
+        blob->push_back(nb.distance);
+      }
+    }
+  } else {  // pam
+    PamOptions options;
+    options.num_medoids = 4;
+    const ClusteringResult c = PamCluster(r, options);
+    for (const ObjectId m : c.medoids) blob->push_back(m);
+    for (const uint32_t a : c.assignment) blob->push_back(a);
+    blob->push_back(c.total_deviation);
+  }
+}
+
+/// The unshared single-session reference: a private graph + resolver +
+/// TriBounder straight on the oracle, exactly as pre-session code wrote it.
+SessionRun RunUnshared(DistanceOracle* oracle, const std::string& algorithm,
+                       bool batch_transport) {
+  PartialDistanceGraph graph(oracle->num_objects());
+  BoundedResolver resolver(oracle, &graph);
+  TriBounder bounder(&graph);
+  resolver.SetBounder(&bounder);
+  resolver.SetBatchTransport(batch_transport);
+  SessionRun run;
+  RunAlgorithm(&resolver, algorithm, &run.blob);
+  run.stats = resolver.stats();
+  return run;
+}
+
+SessionRun RunInSession(ResolverSession* session, const std::string& algorithm,
+                        bool batch_transport) {
+  session->UseTriBounds();
+  session->resolver().SetBatchTransport(batch_transport);
+  SessionRun run;
+  RunAlgorithm(&session->resolver(), algorithm, &run.blob);
+  run.stats = session->Stats();
+  return run;
+}
+
+/// Compares the schedule-independent integer counters (timing doubles and
+/// the schedule-dependent shared_graph_hits are deliberately excluded).
+void ExpectSameCounters(const ResolverStats& got, const ResolverStats& want,
+                        const std::string& context) {
+  EXPECT_EQ(got.comparisons, want.comparisons) << context;
+  EXPECT_EQ(got.oracle_calls, want.oracle_calls) << context;
+  EXPECT_EQ(got.bound_queries, want.bound_queries) << context;
+  EXPECT_EQ(got.decided_by_cache, want.decided_by_cache) << context;
+  EXPECT_EQ(got.decided_by_bounds, want.decided_by_bounds) << context;
+  EXPECT_EQ(got.decided_by_oracle, want.decided_by_oracle) << context;
+  EXPECT_EQ(got.undecided, want.undecided) << context;
+  EXPECT_EQ(got.batch_calls, want.batch_calls) << context;
+  EXPECT_EQ(got.batch_resolved_pairs, want.batch_resolved_pairs) << context;
+  EXPECT_EQ(got.oracle_failures, want.oracle_failures) << context;
+}
+
+class SessionEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+// The tentpole property: the full algorithm matrix run CONCURRENTLY (one
+// session per algorithm, one thread per session) over one pool equals the
+// unshared sequential reference — outputs bytewise, counters exactly —
+// under both transports, with and without the cross-session coalescer.
+TEST_P(SessionEquivalenceTest, ConcurrentMatrixMatchesUnsharedRuns) {
+  const auto [batch_transport, enable_coalescer] = GetParam();
+  const ObjectId n = 36;
+  Dataset dataset = MakeRandomMetric(n, /*seed=*/1234);
+
+  std::vector<SessionRun> want;
+  uint64_t unshared_base_pairs = 0;
+  for (const char* algorithm : kAlgorithms) {
+    want.push_back(
+        RunUnshared(dataset.oracle.get(), algorithm, batch_transport));
+    unshared_base_pairs += want.back().stats.oracle_calls;
+  }
+
+  CountingOracle counting(dataset.oracle.get());
+  SessionPoolOptions pool_options;
+  pool_options.enable_coalescer = enable_coalescer;
+  SessionPool pool(&counting, pool_options);
+  std::vector<std::unique_ptr<ResolverSession>> sessions;
+  for (const char* algorithm : kAlgorithms) {
+    SessionOptions options;
+    options.tag = algorithm;
+    sessions.push_back(pool.OpenSession(options));
+  }
+
+  std::vector<SessionRun> got(sessions.size());
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    threads.emplace_back([&, s] {
+      got[s] = RunInSession(sessions[s].get(), kAlgorithms[s], batch_transport);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    EXPECT_EQ(got[s].blob, want[s].blob)
+        << kAlgorithms[s] << " diverged under concurrent shared resolution";
+    ExpectSameCounters(got[s].stats, want[s].stats, kAlgorithms[s]);
+    // Shared hits are still charged as oracle calls, never on top of them.
+    EXPECT_LE(got[s].stats.shared_graph_hits, got[s].stats.oracle_calls);
+  }
+  // Sharing can only REMOVE base-oracle traffic relative to independent
+  // runs (each session ships each unique pair at most once).
+  EXPECT_LE(counting.calls(), unshared_base_pairs);
+
+  const SessionPoolCounters counters = pool.counters();
+  EXPECT_EQ(counters.sessions_opened, sessions.size());
+  EXPECT_EQ(counters.sessions_peak, sessions.size());
+  if (enable_coalescer) {
+    // Submissions may exceed wire pairs by exactly the cross-session
+    // dedup joins; what shipped is what the base oracle billed.
+    ASSERT_NE(pool.coalescer(), nullptr);
+    const CoalescerCounters cc = pool.coalescer()->counters();
+    EXPECT_EQ(cc.pairs_shipped, counting.calls());
+    EXPECT_EQ(counters.base_pairs_shipped, cc.pairs_shipped + cc.dedup_hits);
+  } else {
+    EXPECT_EQ(counters.base_pairs_shipped, counting.calls());
+  }
+
+  // The merged report: session stats + pool stats must satisfy the
+  // validate_telemetry.py session invariants.
+  ResolverStats total;
+  for (const SessionRun& run : got) total += run.stats;
+  pool.AccumulateStats(&total);
+  EXPECT_EQ(total.sessions_active, sessions.size());
+  EXPECT_LE(total.shared_graph_hits, total.oracle_calls);
+  if (!enable_coalescer) {
+    EXPECT_EQ(total.coalesced_batches, 0u);
+    EXPECT_EQ(total.cross_session_dedup_hits, 0u);
+  }
+
+  sessions.clear();
+  EXPECT_EQ(pool.counters().sessions_active, 0u);
+  EXPECT_EQ(pool.counters().sessions_peak, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TransportByCoalescing, SessionEquivalenceTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+// Sequential sessions over one pool: deterministic cache accounting. The
+// first session pays every pair to the base oracle; later sessions running
+// the same workload are answered entirely from the shared graph.
+TEST(SessionPoolTest, SequentialSessionsShareEveryResolution) {
+  const ObjectId n = 32;
+  Dataset dataset = MakeRandomMetric(n, /*seed=*/99);
+  const SessionRun want =
+      RunUnshared(dataset.oracle.get(), "knn", /*batch_transport=*/true);
+
+  CountingOracle counting(dataset.oracle.get());
+  SessionPool pool(&counting);
+  for (int s = 0; s < 3; ++s) {
+    std::unique_ptr<ResolverSession> session = pool.OpenSession();
+    const SessionRun got =
+        RunInSession(session.get(), "knn", /*batch_transport=*/true);
+    EXPECT_EQ(got.blob, want.blob);
+    ExpectSameCounters(got.stats, want.stats, "sequential session");
+    if (s == 0) {
+      EXPECT_EQ(got.stats.shared_graph_hits, 0u);
+    } else {
+      // Every pair the resolver shipped was already in the shared graph.
+      EXPECT_EQ(got.stats.shared_graph_hits, got.stats.oracle_calls);
+    }
+  }
+  // Base traffic equals ONE unshared run: sessions 2 and 3 were free.
+  EXPECT_EQ(counting.calls(), want.stats.oracle_calls);
+  EXPECT_EQ(pool.counters().shared_graph_hits, 2 * want.stats.oracle_calls);
+  EXPECT_EQ(pool.counters().sessions_peak, 1u);
+  EXPECT_EQ(pool.counters().sessions_opened, 3u);
+}
+
+// Run sequentially, coalescing cannot cost extra base calls: the coalesced
+// pool ships exactly as many pairs as the uncoalesced one (the ISSUE's
+// "total oracle calls with coalescing <= without" in its deterministic
+// form; the concurrent form is covered by the <= unshared bound above).
+TEST(SessionPoolTest, CoalescingNeverAddsBaseCalls) {
+  const ObjectId n = 28;
+  Dataset dataset = MakeRandomMetric(n, /*seed=*/7);
+
+  uint64_t base_calls[2] = {0, 0};
+  for (const bool coalesce : {false, true}) {
+    CountingOracle counting(dataset.oracle.get());
+    SessionPoolOptions options;
+    options.enable_coalescer = coalesce;
+    SessionPool pool(&counting, options);
+    for (int s = 0; s < 2; ++s) {
+      std::unique_ptr<ResolverSession> session = pool.OpenSession();
+      RunInSession(session.get(), "prim", /*batch_transport=*/true);
+    }
+    base_calls[coalesce ? 1 : 0] = counting.calls();
+  }
+  EXPECT_LE(base_calls[1], base_calls[0]);
+  EXPECT_GT(base_calls[0], 0u);
+}
+
+// Shared DistanceStore: a pool records every base resolution durably; a
+// SECOND pool over the same store answers the whole workload without one
+// base-oracle call, and outputs stay byte-identical.
+TEST(SessionPoolTest, StoreWarmStartsAcrossPools) {
+  const ObjectId n = 30;
+  Dataset dataset = MakeRandomMetric(n, /*seed=*/4242);
+  const SessionRun want =
+      RunUnshared(dataset.oracle.get(), "boruvka", /*batch_transport=*/true);
+
+  const std::string base_path =
+      ::testing::TempDir() + "/session_shared_store";
+  std::filesystem::remove(DistanceStore::SnapshotPath(base_path));
+  std::filesystem::remove(DistanceStore::WalPath(base_path));
+  SessionPoolOptions fp_options;  // fingerprint via a storeless pool
+  SessionPool fp_pool(dataset.oracle.get(), fp_options);
+  const StoreFingerprint fp = fp_pool.TenantFingerprint("dataset=random;n=30");
+
+  uint64_t cold_calls = 0;
+  {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(base_path, fp);
+    ASSERT_TRUE(store.ok()) << store.status();
+    CountingOracle counting(dataset.oracle.get());
+    SessionPoolOptions options;
+    options.store = store.value().get();
+    SessionPool pool(&counting, options);
+    std::unique_ptr<ResolverSession> session = pool.OpenSession();
+    const SessionRun got =
+        RunInSession(session.get(), "boruvka", /*batch_transport=*/true);
+    EXPECT_EQ(got.blob, want.blob);
+    cold_calls = counting.calls();
+    EXPECT_EQ(cold_calls, want.stats.oracle_calls);
+    ASSERT_TRUE(store.value()->Close().ok());
+  }
+  {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(base_path, fp);
+    ASSERT_TRUE(store.ok()) << store.status();
+    CountingOracle counting(dataset.oracle.get());
+    SessionPoolOptions options;
+    options.store = store.value().get();
+    SessionPool pool(&counting, options);
+    std::unique_ptr<ResolverSession> session = pool.OpenSession();
+    const SessionRun got =
+        RunInSession(session.get(), "boruvka", /*batch_transport=*/true);
+    EXPECT_EQ(got.blob, want.blob);
+    ExpectSameCounters(got.stats, want.stats, "warm store session");
+    EXPECT_EQ(counting.calls(), 0u);  // everything answered by the store
+    EXPECT_EQ(pool.counters().store_hits, want.stats.oracle_calls);
+  }
+}
+
+// Tenant fingerprints namespace the store machinery: the same identity
+// under two tenants must not validate against each other's files.
+TEST(SessionPoolTest, TenantFingerprintsIsolateStores) {
+  const ObjectId n = 16;
+  Dataset dataset = MakeRandomMetric(n, /*seed=*/5);
+  SessionPoolOptions tenant_a;
+  tenant_a.tenant = "tenant-a";
+  SessionPoolOptions tenant_b;
+  tenant_b.tenant = "tenant-b";
+  SessionPool pool_a(dataset.oracle.get(), tenant_a);
+  SessionPool pool_b(dataset.oracle.get(), tenant_b);
+  const StoreFingerprint fp_a = pool_a.TenantFingerprint("dataset=x;n=16");
+  const StoreFingerprint fp_b = pool_b.TenantFingerprint("dataset=x;n=16");
+  EXPECT_NE(fp_a.identity_hash, fp_b.identity_hash);
+
+  const std::string base_path = ::testing::TempDir() + "/tenant_a_store";
+  std::filesystem::remove(DistanceStore::SnapshotPath(base_path));
+  std::filesystem::remove(DistanceStore::WalPath(base_path));
+  {
+    StatusOr<std::unique_ptr<DistanceStore>> store =
+        DistanceStore::Open(base_path, fp_a);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE(store.value()->Record(0, 1, 1.5).ok());
+    ASSERT_TRUE(store.value()->Close().ok());
+  }
+  StatusOr<std::unique_ptr<DistanceStore>> cross =
+      DistanceStore::Open(base_path, fp_b);
+  EXPECT_FALSE(cross.ok());
+  EXPECT_EQ(cross.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// Per-session fingerprints come from the pool's tenant namespace.
+TEST(SessionPoolTest, SessionFingerprintMatchesPoolNamespace) {
+  const ObjectId n = 12;
+  Dataset dataset = MakeRandomMetric(n, /*seed=*/11);
+  SessionPoolOptions options;
+  options.tenant = "acme";
+  SessionPool pool(dataset.oracle.get(), options);
+  std::unique_ptr<ResolverSession> session = pool.OpenSession();
+  EXPECT_TRUE(session->Fingerprint("ds=z") == pool.TenantFingerprint("ds=z"));
+  EXPECT_FALSE(session->Fingerprint("ds=z") ==
+               MakeStoreFingerprint("ds=z", n));
+}
+
+}  // namespace
+}  // namespace metricprox

@@ -131,6 +131,19 @@ def validate_report(path):
             f"stats: decided_by_weak {stats['decided_by_weak']} > "
             f"weak_calls {stats['weak_calls']} (every weak decision "
             f"requires at least one weak consult)")
+    if stats["shared_graph_hits"] > stats["oracle_calls"]:
+        raise ValidationError(
+            f"stats: shared_graph_hits {stats['shared_graph_hits']} > "
+            f"oracle_calls {stats['oracle_calls']} (a shared-graph hit is a "
+            f"resolver oracle call answered by the pool's shared graph)")
+    if stats["sessions_active"] == 0 and (
+            stats["coalesced_batches"] > 0 or
+            stats["cross_session_dedup_hits"] > 0 or
+            stats["shared_graph_hits"] > 0):
+        raise ValidationError(
+            "stats: session-layer counters are nonzero but sessions_active "
+            "is 0 (only SessionPool runs produce coalesced_batches / "
+            "cross_session_dedup_hits / shared_graph_hits)")
     hists = report["telemetry"]["histograms"]
     if not report["telemetry"]["enabled"]:
         for name, hist in hists.items():
