@@ -6,8 +6,11 @@
 //                 session resolved is free for the others);
 //   coalesced:    pooled + the cross-session BatchCoalescer (overlapping
 //                 in-flight pairs from different sessions ride one
-//                 BatchDistance round-trip).
-// Outputs are checked byte-identical across all three, and the emitted
+//                 BatchDistance round-trip);
+//   coalesced+obs: the coalesced mode with a live ObservabilityHub attached
+//                 (causal spans into the flight ring, per-session metrics)
+//                 — the price of leaving observability on in production.
+// Outputs are checked byte-identical across all modes, and the emitted
 // BENCH JSON records base-oracle pair counts so validate_telemetry.py can
 // pin the headline claim: shared/coalesced sessions spend strictly fewer
 // base oracle calls than independent runs.
@@ -31,6 +34,7 @@
 #include "data/datasets.h"
 #include "graph/partial_graph.h"
 #include "harness/flags.h"
+#include "obs/hub.h"
 #include "oracle/wrappers.h"
 #include "service/session.h"
 
@@ -42,6 +46,7 @@ using metricprox::Dataset;
 using metricprox::KnnGraphOptions;
 using metricprox::KnnNeighbor;
 using metricprox::ObjectId;
+using metricprox::ObservabilityHub;
 using metricprox::PartialDistanceGraph;
 using metricprox::ResolverSession;
 using metricprox::SessionPool;
@@ -73,6 +78,7 @@ std::vector<double> KnnBlob(BoundedResolver* resolver) {
 struct ModeResult {
   std::vector<std::vector<double>> blobs;  // one per session
   uint64_t base_pairs = 0;                 // pairs billed to the base oracle
+  uint64_t spans_emitted = 0;              // causal spans (hub modes only)
   double wall_seconds = 0.0;
 };
 
@@ -96,12 +102,18 @@ ModeResult RunIndependent(const Dataset& dataset, unsigned sessions) {
 }
 
 ModeResult RunPooled(const Dataset& dataset, unsigned sessions,
-                     bool coalesced) {
+                     bool coalesced, bool observed = false) {
   ModeResult result;
   result.blobs.resize(sessions);
   CountingOracle counting(dataset.oracle.get());
+  // The hub (when measuring the observed mode) spans into its in-memory
+  // flight ring only — no directory, so the bench measures instrumentation
+  // cost, not disk I/O.
+  std::unique_ptr<ObservabilityHub> hub;
+  if (observed) hub = std::make_unique<ObservabilityHub>();
   SessionPoolOptions options;
   options.enable_coalescer = coalesced;
+  options.hub = hub.get();
   SessionPool pool(&counting, options);
   std::vector<std::unique_ptr<ResolverSession>> handles;
   for (unsigned s = 0; s < sessions; ++s) {
@@ -118,6 +130,7 @@ ModeResult RunPooled(const Dataset& dataset, unsigned sessions,
   for (std::thread& t : threads) t.join();
   result.wall_seconds = watch.ElapsedSeconds();
   result.base_pairs = counting.calls();
+  if (hub != nullptr) result.spans_emitted = hub->flight().spans_seen();
   return result;
 }
 
@@ -125,7 +138,7 @@ void RunBench(const std::vector<ObjectId>& sizes, unsigned sessions,
               uint64_t seed) {
   std::printf("\nConcurrent sessions — clustered Euclidean, %u x k-NN(3)\n",
               sessions);
-  std::printf("%6s %-12s %14s %12s %10s\n", "n", "mode", "base pairs",
+  std::printf("%6s %-13s %14s %12s %10s\n", "n", "mode", "base pairs",
               "vs indep", "wall(s)");
   metricprox::benchutil::BenchJson json("Concurrent session coalescing");
   for (const ObjectId n : sizes) {
@@ -135,17 +148,24 @@ void RunBench(const std::vector<ObjectId>& sizes, unsigned sessions,
         RunPooled(dataset, sessions, /*coalesced=*/false);
     const ModeResult coalesced =
         RunPooled(dataset, sessions, /*coalesced=*/true);
+    const ModeResult observed =
+        RunPooled(dataset, sessions, /*coalesced=*/true, /*observed=*/true);
 
-    // The exactness invariant: sharing and coalescing change WHERE a pair
-    // is resolved, never any session's output.
+    // The exactness invariant: sharing, coalescing and live observability
+    // change WHERE a pair is resolved (or who watches it), never any
+    // session's output.
     for (unsigned s = 0; s < sessions; ++s) {
       CHECK(pooled.blobs[s] == independent.blobs[s])
           << "pooled session " << s << " diverged at n=" << n;
       CHECK(coalesced.blobs[s] == independent.blobs[s])
           << "coalesced session " << s << " diverged at n=" << n;
+      CHECK(observed.blobs[s] == independent.blobs[s])
+          << "observed session " << s << " diverged at n=" << n;
     }
     CHECK_LE(pooled.base_pairs, independent.base_pairs);
     CHECK_LE(coalesced.base_pairs, independent.base_pairs);
+    CHECK_LE(observed.base_pairs, independent.base_pairs);
+    CHECK_GT(observed.spans_emitted, 0u) << "hub attached but no spans";
     CHECK_GT(sessions, 1u) << "coalescing needs concurrent sessions";
     // >= 2 sessions over one dataset: sharing must save real calls.
     CHECK_LT(coalesced.base_pairs, independent.base_pairs);
@@ -156,14 +176,15 @@ void RunBench(const std::vector<ObjectId>& sizes, unsigned sessions,
     };
     const Row rows[] = {{"independent", &independent},
                         {"pooled", &pooled},
-                        {"coalesced", &coalesced}};
+                        {"coalesced", &coalesced},
+                        {"coalesced+obs", &observed}};
     for (const Row& row : rows) {
       const double save =
           independent.base_pairs > 0
               ? 100.0 * (1.0 - static_cast<double>(row.result->base_pairs) /
                                    static_cast<double>(independent.base_pairs))
               : 0.0;
-      std::printf("%6u %-12s %14llu %11.1f%% %10.4f\n", n, row.mode,
+      std::printf("%6u %-13s %14llu %11.1f%% %10.4f\n", n, row.mode,
                   static_cast<unsigned long long>(row.result->base_pairs),
                   save, row.result->wall_seconds);
       json.NewRow()
@@ -172,6 +193,7 @@ void RunBench(const std::vector<ObjectId>& sizes, unsigned sessions,
           .Add("sessions", static_cast<uint64_t>(sessions))
           .Add("base_oracle_pairs", row.result->base_pairs)
           .Add("saved_vs_independent_pct", save)
+          .Add("spans_emitted", row.result->spans_emitted)
           .Add("wall_seconds", row.result->wall_seconds);
     }
   }

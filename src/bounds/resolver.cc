@@ -12,6 +12,7 @@
 #include "bounds/weak.h"
 #include "core/logging.h"
 #include "core/simd.h"
+#include "obs/span.h"
 
 namespace metricprox {
 
@@ -384,6 +385,9 @@ void BoundedResolver::ResolveUnknown(std::span<const IdPair> pairs) {
     unique.push_back(p);
   }
   if (unique.empty()) return;
+  // The session-side root of the causal chain: resolve -> (oracle per-pair
+  // or coalesce_submit -> oracle_rtt) nest under this span on this thread.
+  ScopedSpan resolve_span(telemetry_, "resolve", unique.size());
   // Resolution verbs are all-or-nothing under a budget: there is no slack
   // fallback for a caller that demanded exact distances. (FilterLessThan
   // pre-partitions its remainder to fit, so it never trips this.)
@@ -500,6 +504,7 @@ std::vector<bool> BoundedResolver::FilterLessThan(
   // before any resolution, so they are independent of the transport.
   std::vector<std::optional<bool>> decided(sweep.size());
   if (!sweep.empty()) {
+    ScopedSpan bound_span(telemetry_, "bound", sweep.size());
     stats_.bound_queries += sweep.size();
     Stopwatch watch;
     bounder_->DecideBatch(sweep_pairs, sweep_thresholds, decided);

@@ -1,6 +1,7 @@
 #ifndef METRICPROX_CORE_LOGGING_H_
 #define METRICPROX_CORE_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -17,7 +18,19 @@
 //   LOG(INFO) << "message";
 
 namespace metricprox {
+
+/// Called once, after the fatal message is flushed and before abort().
+/// Installed by the observability hub so a CHECK failure still dumps the
+/// flight recorder; must be async-signal-unsafe-tolerant only to the
+/// extent abort paths are (it runs on the failing thread, normally).
+using FatalHook = void (*)();
+
 namespace internal_logging {
+
+inline std::atomic<FatalHook>& FatalHookSlot() {
+  static std::atomic<FatalHook> slot{nullptr};
+  return slot;
+}
 
 enum class Severity { kInfo, kWarning, kError, kFatal };
 
@@ -38,6 +51,12 @@ class LogMessage {
     std::cerr << stream_.str();
     if (severity_ == Severity::kFatal) {
       std::cerr.flush();
+      if (FatalHook hook = FatalHookSlot().load(std::memory_order_acquire);
+          hook != nullptr) {
+        // Disarm first: a CHECK failing inside the hook must not recurse.
+        FatalHookSlot().store(nullptr, std::memory_order_release);
+        hook();
+      }
       std::abort();
     }
   }
@@ -81,6 +100,14 @@ class NullStream {
 };
 
 }  // namespace internal_logging
+
+/// Replaces the process-wide fatal hook; returns the previous one.
+/// nullptr uninstalls. The hook self-disarms when it fires.
+inline FatalHook SetFatalLogHook(FatalHook hook) {
+  return internal_logging::FatalHookSlot().exchange(hook,
+                                                    std::memory_order_acq_rel);
+}
+
 }  // namespace metricprox
 
 #define MetricproxLogInfo \

@@ -100,6 +100,18 @@ namespace metricprox {
 //                       pending in the coalescer from another submission
 //                       instead of shipping it again — the cross-session
 //                       amortization the session layer exists for.
+//   spans_emitted       causal spans opened (span_begin trace events) over
+//                       the run, counted by the observability hub's flight
+//                       recorder; 0 on runs without the hub attached.
+//   metrics_samples     time-series ticks taken by the hub's metrics
+//                       sampler thread (one JSONL line each).
+//   flight_dumps        flight-recorder snapshots written to disk, over
+//                       every trigger (error status, watchdog stall,
+//                       CHECK-failure hook, dump request, exit dump).
+//   watchdog_stalls     stall episodes flagged by the hub's watchdog: a
+//                       coalescer waiter outlived its linger deadline by
+//                       more than the configured factor. Each episode is
+//                       counted once and produces one flight dump.
 //   kernel_dispatch     configuration gauge, not a counter: the simd::Tier
 //                       id (0 scalar, 1 sse2, 2 avx2) of the bound kernels
 //                       active when the resolver was constructed or its
@@ -142,6 +154,10 @@ namespace metricprox {
   X(uint64_t, shared_graph_hits)            \
   X(uint64_t, coalesced_batches)            \
   X(uint64_t, cross_session_dedup_hits)     \
+  X(uint64_t, spans_emitted)                \
+  X(uint64_t, metrics_samples)              \
+  X(uint64_t, flight_dumps)                 \
+  X(uint64_t, watchdog_stalls)              \
   X(uint64_t, kernel_dispatch)
 
 /// Counters collected by a BoundedResolver while a proximity algorithm

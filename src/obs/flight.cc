@@ -1,0 +1,55 @@
+#include "obs/flight.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace metricprox {
+
+FlightRecorder::FlightRecorder(TraceSink* downstream, size_t capacity)
+    : downstream_(downstream), ring_(capacity) {}
+
+void FlightRecorder::Emit(const TraceEvent& event) {
+  if (event.kind == TraceEventKind::kSpanBegin) {
+    spans_seen_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring_.Emit(event);
+  if (downstream_ != nullptr) downstream_->Emit(event);
+}
+
+Status FlightRecorder::Dump(const std::string& path, std::string_view reason) {
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<TraceEvent> events = ring_.Snapshot();
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open flight dump " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::string out;
+  out.append("{\"schema\":\"metricprox-flight\",\"schema_version\":1");
+  out.append(",\"reason\":");
+  obsjson::AppendString(&out, reason);
+  out.append("}\n");
+  for (const TraceEvent& event : events) {
+    out.append(TraceEventToJson(event));
+    out.push_back('\n');
+  }
+  char footer[64];
+  std::snprintf(footer, sizeof(footer),
+                "{\"flight_footer\":true,\"events_written\":%" PRIu64 "}\n",
+                static_cast<uint64_t>(events.size()));
+  out.append(footer);
+
+  Status status;
+  if (std::fwrite(out.data(), 1, out.size(), file) != out.size()) {
+    status = Status::IoError("short write on flight dump " + path);
+  }
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = Status::IoError("close failed on flight dump " + path);
+  }
+  return status;
+}
+
+}  // namespace metricprox

@@ -1,0 +1,54 @@
+#ifndef METRICPROX_OBS_FLIGHT_H_
+#define METRICPROX_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/trace.h"
+
+namespace metricprox {
+
+/// Tee sink keeping a bounded ring of the most recent trace events (spans
+/// included) while forwarding everything to an optional downstream sink.
+/// The ring is the pool's "black box": Dump() snapshots it to a JSONL file
+/// (schema "metricprox-flight") with the trigger reason in the header, so
+/// a stalled or dying run leaves its last moments on disk even when no
+/// full --trace was requested.
+///
+/// Emit is thread-safe (ring and downstream both lock internally) and
+/// Dump may race Emit — it writes a consistent snapshot of the ring at the
+/// moment it runs.
+class FlightRecorder final : public TraceSink {
+ public:
+  /// `downstream` may be null (record-only). Not owned.
+  FlightRecorder(TraceSink* downstream, size_t capacity);
+
+  void Emit(const TraceEvent& event) override;
+
+  /// Writes the ring (oldest first) to `path`: one header line carrying
+  /// `reason`, one line per event, one footer line. Each call increments
+  /// dumps() regardless of I/O outcome.
+  Status Dump(const std::string& path, std::string_view reason);
+
+  std::vector<TraceEvent> Snapshot() const { return ring_.Snapshot(); }
+
+  /// kSpanBegin events seen (the report's spans_emitted stat).
+  uint64_t spans_seen() const {
+    return spans_seen_.load(std::memory_order_relaxed);
+  }
+  uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+ private:
+  TraceSink* downstream_;  // not owned; may be null
+  RingBufferTraceSink ring_;
+  std::atomic<uint64_t> spans_seen_{0};
+  std::atomic<uint64_t> dumps_{0};
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_OBS_FLIGHT_H_

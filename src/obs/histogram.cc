@@ -40,8 +40,42 @@ double Histogram::BucketRepresentative(size_t bucket) const {
   return std::ldexp(mid_mantissa, exp + 1);  // mid_mantissa * 2^(exp+1)
 }
 
+Histogram::Histogram(const Histogram& other) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  buckets_ = other.buckets_;
+  count_ = other.count_;
+  min_ = other.min_;
+  max_ = other.max_;
+  sum_ = other.sum_;
+}
+
+Histogram& Histogram::operator=(const Histogram& other) {
+  if (this == &other) return *this;
+  // Snapshot the source, then overwrite under our own lock; holding both
+  // locks at once would need a global order between arbitrary histograms.
+  std::array<uint64_t, kNumBuckets> buckets;
+  uint64_t count;
+  double min, max, sum;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    buckets = other.buckets_;
+    count = other.count_;
+    min = other.min_;
+    max = other.max_;
+    sum = other.sum_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_ = buckets;
+  count_ = count;
+  min_ = min;
+  max_ = max;
+  sum_ = sum;
+  return *this;
+}
+
 void Histogram::Record(double value) {
   if (std::isnan(value)) return;
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = value;
     max_ = value;
@@ -55,19 +89,40 @@ void Histogram::Record(double value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  if (other.count_ == 0) return;
+  std::array<uint64_t, kNumBuckets> obuckets;
+  uint64_t ocount;
+  double omin, omax, osum;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    if (other.count_ == 0) return;
+    obuckets = other.buckets_;
+    ocount = other.count_;
+    omin = other.min_;
+    omax = other.max_;
+    osum = other.sum_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
-    *this = other;
+    buckets_ = obuckets;
+    count_ = ocount;
+    min_ = omin;
+    max_ = omax;
+    sum_ = osum;
     return;
   }
-  for (size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
-  count_ += other.count_;
-  sum_ += other.sum_;
-  min_ = std::min(min_, other.min_);
-  max_ = std::max(max_, other.max_);
+  for (size_t b = 0; b < kNumBuckets; ++b) buckets_[b] += obuckets[b];
+  count_ += ocount;
+  sum_ += osum;
+  min_ = std::min(min_, omin);
+  max_ = std::max(max_, omax);
 }
 
 double Histogram::Quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QuantileLocked(q);
+}
+
+double Histogram::QuantileLocked(double q) const {
   if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the sample the quantile falls on (1-based, nearest-rank rule).
@@ -84,15 +139,16 @@ double Histogram::Quantile(double q) const {
 }
 
 Histogram::Summary Histogram::Summarize() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Summary s;
   s.count = count_;
-  s.min = min();
-  s.max = max();
-  s.sum = sum();
-  s.mean = mean();
-  s.p50 = Quantile(0.50);
-  s.p90 = Quantile(0.90);
-  s.p99 = Quantile(0.99);
+  s.min = count_ == 0 ? 0.0 : min_;
+  s.max = count_ == 0 ? 0.0 : max_;
+  s.sum = sum_;
+  s.mean = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  s.p50 = QuantileLocked(0.50);
+  s.p90 = QuantileLocked(0.90);
+  s.p99 = QuantileLocked(0.99);
   return s;
 }
 

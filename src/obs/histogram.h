@@ -4,6 +4,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 namespace metricprox {
 
@@ -28,8 +29,17 @@ namespace metricprox {
 /// geometric midpoint clamped into [min, max], so a single-sample histogram
 /// reports that sample exactly and an empty histogram reports 0.0 — never
 /// NaN.
+///
+/// Thread-safety: every operation (Record, Merge, quantiles, accessors,
+/// copies) is internally synchronized, so one histogram may be fed by
+/// concurrent sessions sharing a Telemetry bundle. Merge snapshots the
+/// source before touching the destination and never holds both locks.
 class Histogram {
  public:
+  Histogram() = default;
+  Histogram(const Histogram& other);
+  Histogram& operator=(const Histogram& other);
+
   static constexpr size_t kSubBuckets = 4;
   static constexpr int kMinExponent = -64;  // first octave is [2^-64, 2^-63)
   static constexpr int kMaxExponent = 63;   // last octave is [2^63, 2^64)
@@ -47,13 +57,26 @@ class Histogram {
   /// Value at quantile q in [0, 1] (clamped). Empty histogram: 0.0.
   double Quantile(double q) const;
 
-  uint64_t count() const { return count_; }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
   /// Smallest / largest recorded sample (exact, not bucketed). 0.0 if empty.
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double min() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0 ? 0.0 : max_;
+  }
   /// Sum of all recorded samples (exact). 0.0 if empty.
-  double sum() const { return sum_; }
+  double sum() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sum_;
+  }
   double mean() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
   }
 
@@ -74,7 +97,10 @@ class Histogram {
   static size_t BucketIndex(double value);
   /// Representative value reported for a bucket, before min/max clamping.
   double BucketRepresentative(size_t bucket) const;
+  /// Quantile walk; caller holds mu_.
+  double QuantileLocked(double q) const;
 
+  mutable std::mutex mu_;
   std::array<uint64_t, kNumBuckets> buckets_{};
   uint64_t count_ = 0;
   double min_ = 0.0;

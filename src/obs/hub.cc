@@ -1,0 +1,249 @@
+#include "obs/hub.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "core/logging.h"
+
+namespace metricprox {
+
+namespace {
+
+/// The fatal log hook is a bare function pointer, so the installed hub is
+/// reached through one process-wide slot.
+std::atomic<ObservabilityHub*> g_fatal_hub{nullptr};
+
+void FatalHubDump() {
+  if (ObservabilityHub* hub = g_fatal_hub.load(std::memory_order_acquire);
+      hub != nullptr) {
+    (void)hub->DumpFlight("check_failure");
+  }
+}
+
+/// Keeps dump filenames shell-safe whatever the caller passes as reason.
+std::string SanitizeReason(std::string_view reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (const char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  return out.empty() ? std::string("dump") : out;
+}
+
+}  // namespace
+
+ObservabilityHub::ObservabilityHub(ObservabilityHubOptions options)
+    : options_(std::move(options)),
+      flight_(options_.sink,
+              options_.flight_capacity == 0 ? 1 : options_.flight_capacity) {
+  if (!options_.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.dir, ec);
+    // A bad directory degrades to no file output; dumps report the error.
+  }
+  pool_telemetry_.sink = &flight_;
+  pool_telemetry_.shared_clock = &clock_;
+  pool_telemetry_.trace_id = options_.trace_id;
+  pool_telemetry_.tenant = options_.tenant;
+  background_ = std::thread([this] { BackgroundLoop(); });
+}
+
+ObservabilityHub::~ObservabilityHub() {
+  ObservabilityHub* self = this;
+  if (g_fatal_hub.compare_exchange_strong(self, nullptr)) {
+    SetFatalLogHook(nullptr);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (background_.joinable()) background_.join();
+  if (!options_.dir.empty()) {
+    // One final time-series point so even a shorter-than-interval run
+    // leaves a snapshot behind.
+    SampleNow();
+  }
+  if (options_.dump_on_exit) (void)DumpFlight("exit");
+}
+
+Telemetry* ObservabilityHub::SessionTelemetry(uint64_t session_id,
+                                              std::string_view tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Telemetry>& slot = session_telemetry_[session_id];
+  if (slot == nullptr) {
+    slot = std::make_unique<Telemetry>();
+    slot->sink = &flight_;
+    slot->shared_clock = &clock_;
+    slot->trace_id = options_.trace_id;
+    slot->session_id = session_id;
+    slot->tenant = std::string(tenant);
+  }
+  return slot.get();
+}
+
+Status ObservabilityHub::DumpFlight(std::string_view reason) {
+  if (options_.dir.empty()) return Status();
+  const uint64_t n = dump_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "-%" PRIu64 ".jsonl", n);
+  const std::string path =
+      options_.dir + "/flight-" + SanitizeReason(reason) + suffix;
+  return flight_.Dump(path, reason);
+}
+
+void ObservabilityHub::SetStallProbe(
+    double linger_seconds, std::function<double()> oldest_wait_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_linger_seconds_ = linger_seconds;
+  stall_probe_ = std::move(oldest_wait_seconds);
+  in_stall_ = false;
+}
+
+void ObservabilityHub::ClearStallProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_linger_seconds_ = 0.0;
+  stall_probe_ = nullptr;
+  in_stall_ = false;
+}
+
+void ObservabilityHub::AddGaugeProbe(const void* owner, std::string tenant,
+                                     uint64_t session, std::string metric,
+                                     std::function<double()> probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauge_probes_.push_back(GaugeProbe{owner, std::move(tenant), session,
+                                     std::move(metric), std::move(probe)});
+}
+
+void ObservabilityHub::RemoveGaugeProbes(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(gauge_probes_,
+                [owner](const GaugeProbe& g) { return g.owner == owner; });
+}
+
+void ObservabilityHub::SampleNow() {
+  std::vector<GaugeProbe> probes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probes = gauge_probes_;
+  }
+  for (const GaugeProbe& g : probes) {
+    metrics_.GaugeSet(g.tenant, g.session, g.metric, g.probe());
+  }
+  // Built-in hub gauges, so an exposition exists even before any pool or
+  // workload registers its own probes.
+  metrics_.GaugeSet(options_.tenant, 0, "spans_emitted",
+                    static_cast<double>(flight_.spans_seen()));
+  metrics_.GaugeSet(options_.tenant, 0, "flight_dumps",
+                    static_cast<double>(flight_.dumps()));
+  metrics_.GaugeSet(options_.tenant, 0, "watchdog_stalls",
+                    static_cast<double>(watchdog_stalls()));
+  const uint64_t tick =
+      metrics_samples_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const auto t_ns =
+      static_cast<uint64_t>(clock_.clock.ElapsedSeconds() * 1e9);
+  std::string line;
+  metrics_.AppendJsonLine(&line, tick, t_ns);
+  WriteMetricsArtifacts(line);
+}
+
+void ObservabilityHub::WriteMetricsArtifacts(const std::string& json_line) {
+  if (options_.dir.empty()) return;
+  if (std::FILE* series =
+          std::fopen((options_.dir + "/metrics.jsonl").c_str(), "ab");
+      series != nullptr) {
+    std::fwrite(json_line.data(), 1, json_line.size(), series);
+    std::fclose(series);
+  }
+  const std::string prom = metrics_.RenderPrometheus();
+  if (std::FILE* expo =
+          std::fopen((options_.dir + "/metrics.prom").c_str(), "wb");
+      expo != nullptr) {
+    std::fwrite(prom.data(), 1, prom.size(), expo);
+    std::fclose(expo);
+  }
+}
+
+void ObservabilityHub::InstallFatalHook() {
+  g_fatal_hub.store(this, std::memory_order_release);
+  SetFatalLogHook(&FatalHubDump);
+}
+
+void ObservabilityHub::AccumulateStats(ResolverStats* total) const {
+  total->spans_emitted += flight_.spans_seen();
+  total->metrics_samples += metrics_samples();
+  total->flight_dumps += flight_.dumps();
+  total->watchdog_stalls += watchdog_stalls();
+}
+
+void ObservabilityHub::BackgroundLoop() {
+  const auto period = std::chrono::duration<double>(
+      options_.poll_interval_seconds > 0 ? options_.poll_interval_seconds
+                                         : 0.02);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, period, [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    PollOnce();
+  }
+}
+
+void ObservabilityHub::PollOnce() {
+  // Watchdog: one stall episode = one dump + one counter tick; the episode
+  // re-arms once the oldest wait falls back under half the threshold.
+  std::function<double()> probe;
+  double linger = 0.0;
+  bool in_stall = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    probe = stall_probe_;
+    linger = stall_linger_seconds_;
+    in_stall = in_stall_;
+  }
+  if (probe != nullptr && options_.stall_factor > 0 && linger > 0) {
+    const double age = probe();
+    const double limit = linger * options_.stall_factor;
+    if (age > limit && !in_stall) {
+      watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+      (void)DumpFlight("stall");
+      std::lock_guard<std::mutex> lock(mu_);
+      in_stall_ = true;
+    } else if (age <= 0.5 * limit && in_stall) {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_stall_ = false;
+    }
+  }
+
+  // `mpx obs dump` live snapshot request: a sentinel file in the obs dir.
+  if (!options_.dir.empty()) {
+    std::error_code ec;
+    const std::string sentinel = options_.dir + "/DUMP_REQUEST";
+    if (std::filesystem::exists(sentinel, ec)) {
+      (void)DumpFlight("request");
+      std::filesystem::remove(sentinel, ec);
+    }
+  }
+
+  // Timed metrics tick.
+  if (options_.metrics_interval_seconds > 0) {
+    bool due = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const double now = clock_.clock.ElapsedSeconds();
+      if (now - last_sample_elapsed_ >= options_.metrics_interval_seconds) {
+        last_sample_elapsed_ = now;
+        due = true;
+      }
+    }
+    if (due) SampleNow();
+  }
+}
+
+}  // namespace metricprox

@@ -1,0 +1,167 @@
+#ifndef METRICPROX_OBS_HUB_H_
+#define METRICPROX_OBS_HUB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/status.h"
+#include "obs/flight.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace metricprox {
+
+/// Configuration of one ObservabilityHub, fixed at construction.
+struct ObservabilityHubOptions {
+  /// Directory for live artifacts: metrics.jsonl (time-series, one line
+  /// per sampler tick), metrics.prom (Prometheus-style exposition,
+  /// rewritten each tick — what `mpx obs export` prints), flight-*.jsonl
+  /// dumps, and the DUMP_REQUEST sentinel `mpx obs dump` touches. Created
+  /// if missing. Empty = no file output (spans and metrics still work
+  /// in-process).
+  std::string dir;
+  /// Metrics sampler period; 0 disables timed ticks (SampleNow() and the
+  /// final on-destruction snapshot still run when `dir` is set).
+  double metrics_interval_seconds = 0.0;
+  /// Flight-recorder ring capacity (most recent trace events kept).
+  size_t flight_capacity = 4096;
+  /// Watchdog threshold: a coalescer waiter older than
+  /// linger_seconds * stall_factor flags a stall episode (one flight dump
+  /// + one watchdog_stalls tick per episode). <= 0 disables the watchdog.
+  double stall_factor = 8.0;
+  /// Cadence of the background thread (watchdog checks + dump-request
+  /// sentinel polling); the metrics interval is quantized to it.
+  double poll_interval_seconds = 0.02;
+  /// Write one final flight dump (reason "exit") at destruction — the
+  /// deterministic CI artifact.
+  bool dump_on_exit = false;
+  /// Default tenant tag for the pool-level bundle.
+  std::string tenant = "default";
+  std::string trace_id = "pool";
+  /// Downstream trace sink behind the flight recorder (the --trace JSONL
+  /// sink, a test ring, ...). Not owned; may be null (flight ring only).
+  TraceSink* sink = nullptr;
+};
+
+/// The live observability root for a run or a session pool: owns the
+/// pool-wide TraceClock (one seq / span-id space across every session),
+/// the flight-recorder tee in front of the user's trace sink, the
+/// MetricsRegistry, and one background thread running the metrics sampler
+/// and the stall watchdog.
+///
+/// Wiring: hand pool_telemetry() to run-level layers (middleware stack,
+/// resolver of a single-session run) and SessionTelemetry(id, tenant) to
+/// each session; SessionPool does both automatically when its options
+/// carry a hub. The hub must outlive every bundle consumer (pool,
+/// sessions, middleware).
+///
+/// Thread-safety: every public method is safe from any thread.
+class ObservabilityHub {
+ public:
+  explicit ObservabilityHub(ObservabilityHubOptions options = {});
+  ~ObservabilityHub();
+
+  ObservabilityHub(const ObservabilityHub&) = delete;
+  ObservabilityHub& operator=(const ObservabilityHub&) = delete;
+
+  /// The untagged pool/run-level bundle (session_id 0).
+  Telemetry* pool_telemetry() { return &pool_telemetry_; }
+
+  /// The session-tagged bundle for `session_id` (created on first use;
+  /// stable address for the hub's lifetime). All bundles share the pool
+  /// clock and the flight-recorder sink.
+  Telemetry* SessionTelemetry(uint64_t session_id, std::string_view tenant);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  FlightRecorder& flight() { return flight_; }
+  TraceClock& trace_clock() { return clock_; }
+
+  /// Snapshots the flight ring to `<dir>/flight-<reason>-<n>.jsonl`.
+  /// No-op (OK) without a directory.
+  Status DumpFlight(std::string_view reason);
+
+  /// Registers the watchdog's data source: `oldest_wait_seconds` returns
+  /// how long the oldest pending coalescer waiter has been waiting (0 when
+  /// idle), `linger_seconds` its allowed linger. SessionPool installs this
+  /// when both a hub and a coalescer are configured. The probe must stay
+  /// valid until ClearStallProbe() (or hub destruction).
+  void SetStallProbe(double linger_seconds,
+                     std::function<double()> oldest_wait_seconds);
+  void ClearStallProbe();
+
+  /// Registers a gauge sampled into the registry on every tick. `owner`
+  /// keys later removal (RemoveGaugeProbes); the probe must stay valid
+  /// until then.
+  void AddGaugeProbe(const void* owner, std::string tenant, uint64_t session,
+                     std::string metric, std::function<double()> probe);
+  void RemoveGaugeProbes(const void* owner);
+
+  /// Takes one metrics sample now (timed ticks also call this).
+  void SampleNow();
+
+  /// Installs this hub as the process CHECK-failure dump target (the
+  /// fatal log hook). Uninstalled automatically at destruction.
+  void InstallFatalHook();
+
+  /// Folds the hub's counters (spans_emitted, metrics_samples,
+  /// flight_dumps, watchdog_stalls) into `total` for the run report.
+  void AccumulateStats(ResolverStats* total) const;
+
+  uint64_t metrics_samples() const {
+    return metrics_samples_.load(std::memory_order_relaxed);
+  }
+  uint64_t watchdog_stalls() const {
+    return watchdog_stalls_.load(std::memory_order_relaxed);
+  }
+
+  const ObservabilityHubOptions& options() const { return options_; }
+
+ private:
+  void BackgroundLoop();
+  /// One watchdog check + dump-request poll; returns true if it sampled.
+  void PollOnce();
+  void WriteMetricsArtifacts(const std::string& json_line);
+
+  ObservabilityHubOptions options_;
+  TraceClock clock_;
+  FlightRecorder flight_;
+  MetricsRegistry metrics_;
+  Telemetry pool_telemetry_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::map<uint64_t, std::unique_ptr<Telemetry>> session_telemetry_;
+  double stall_linger_seconds_ = 0.0;
+  std::function<double()> stall_probe_;
+  bool in_stall_ = false;
+  struct GaugeProbe {
+    const void* owner;
+    std::string tenant;
+    uint64_t session;
+    std::string metric;
+    std::function<double()> probe;
+  };
+  std::vector<GaugeProbe> gauge_probes_;
+  double last_sample_elapsed_ = 0.0;
+
+  std::atomic<uint64_t> metrics_samples_{0};
+  std::atomic<uint64_t> watchdog_stalls_{0};
+  std::atomic<uint64_t> dump_seq_{0};
+
+  std::thread background_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_OBS_HUB_H_

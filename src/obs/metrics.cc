@@ -1,0 +1,262 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <tuple>
+
+#include "core/logging.h"
+#include "obs/trace.h"
+
+namespace metricprox {
+
+namespace {
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out->append(buf);
+}
+
+/// Prometheus metric names admit [a-zA-Z_:][a-zA-Z0-9_:]*; anything else
+/// becomes '_' so arbitrary registry keys stay lintable.
+void AppendPromName(std::string* out, std::string_view metric) {
+  out->append("mpx_");
+  for (const char c : metric) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out->push_back(ok ? c : '_');
+  }
+}
+
+/// Label values escape \, " and newline per the exposition format.
+void AppendPromLabelValue(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out->append("\\\\"); break;
+      case '"': out->append("\\\""); break;
+      case '\n': out->append("\\n"); break;
+      default: out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendPromLabels(std::string* out, const MetricSample& s,
+                      const char* extra_key = nullptr,
+                      const char* extra_value = nullptr) {
+  out->append("{tenant=");
+  AppendPromLabelValue(out, s.tenant);
+  out->append(",session=\"");
+  AppendUint(out, s.session);
+  out->push_back('"');
+  if (extra_key != nullptr) {
+    out->push_back(',');
+    out->append(extra_key);
+    out->push_back('=');
+    out->push_back('"');
+    out->append(extra_value);
+    out->push_back('"');
+  }
+  out->push_back('}');
+}
+
+void AppendPromValue(std::string* out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string_view MetricKindName(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+MetricsRegistry::MetricsRegistry(size_t stripes)
+    : num_stripes_(stripes == 0 ? 1 : stripes),
+      stripes_(new Stripe[num_stripes_]) {}
+
+MetricsRegistry::Stripe& MetricsRegistry::StripeFor(
+    std::string_view tenant, uint64_t session, std::string_view metric) const {
+  size_t h = std::hash<std::string_view>{}(tenant);
+  h = h * 1000003u + std::hash<uint64_t>{}(session);
+  h = h * 1000003u + std::hash<std::string_view>{}(metric);
+  return stripes_[h % num_stripes_];
+}
+
+void MetricsRegistry::CounterAdd(std::string_view tenant, uint64_t session,
+                                 std::string_view metric, uint64_t delta) {
+  Stripe& stripe = StripeFor(tenant, session, metric);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  Cell& cell = stripe.cells[{std::string(tenant), session,
+                             std::string(metric)}];
+  cell.kind = MetricSample::Kind::kCounter;
+  cell.counter += delta;
+}
+
+void MetricsRegistry::GaugeSet(std::string_view tenant, uint64_t session,
+                               std::string_view metric, double value) {
+  Stripe& stripe = StripeFor(tenant, session, metric);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  Cell& cell = stripe.cells[{std::string(tenant), session,
+                             std::string(metric)}];
+  cell.kind = MetricSample::Kind::kGauge;
+  cell.gauge = value;
+}
+
+void MetricsRegistry::HistogramRecord(std::string_view tenant,
+                                      uint64_t session,
+                                      std::string_view metric, double value) {
+  Stripe& stripe = StripeFor(tenant, session, metric);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  Cell& cell = stripe.cells[{std::string(tenant), session,
+                             std::string(metric)}];
+  cell.kind = MetricSample::Kind::kHistogram;
+  cell.hist.Record(value);
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  for (size_t s = 0; s < num_stripes_; ++s) {
+    std::lock_guard<std::mutex> lock(stripes_[s].mu);
+    for (const auto& [key, cell] : stripes_[s].cells) {
+      MetricSample sample;
+      sample.tenant = std::get<0>(key);
+      sample.session = std::get<1>(key);
+      sample.metric = std::get<2>(key);
+      sample.kind = cell.kind;
+      sample.counter = cell.counter;
+      sample.gauge = cell.gauge;
+      sample.hist = cell.hist.Summarize();
+      out.push_back(std::move(sample));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return std::tie(a.metric, a.tenant, a.session) <
+                     std::tie(b.metric, b.tenant, b.session);
+            });
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const std::vector<MetricSample> samples = Snapshot();
+  std::string out;
+  std::string last_metric;
+  for (const MetricSample& s : samples) {
+    if (s.metric != last_metric) {
+      last_metric = s.metric;
+      out.append("# TYPE ");
+      AppendPromName(&out, s.metric);
+      out.push_back(' ');
+      // Log2 histograms export as Prometheus summaries (quantile labels).
+      out.append(s.kind == MetricSample::Kind::kHistogram
+                     ? "summary"
+                     : std::string(MetricKindName(s.kind)));
+      out.push_back('\n');
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        AppendPromName(&out, s.metric);
+        AppendPromLabels(&out, s);
+        out.push_back(' ');
+        AppendUint(&out, s.counter);
+        out.push_back('\n');
+        break;
+      case MetricSample::Kind::kGauge:
+        AppendPromName(&out, s.metric);
+        AppendPromLabels(&out, s);
+        out.push_back(' ');
+        AppendPromValue(&out, s.gauge);
+        out.push_back('\n');
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const struct {
+          const char* label;
+          double value;
+        } quantiles[] = {{"0.5", s.hist.p50},
+                         {"0.9", s.hist.p90},
+                         {"0.99", s.hist.p99}};
+        for (const auto& q : quantiles) {
+          AppendPromName(&out, s.metric);
+          AppendPromLabels(&out, s, "quantile", q.label);
+          out.push_back(' ');
+          AppendPromValue(&out, q.value);
+          out.push_back('\n');
+        }
+        AppendPromName(&out, s.metric);
+        out.append("_sum");
+        AppendPromLabels(&out, s);
+        out.push_back(' ');
+        AppendPromValue(&out, s.hist.sum);
+        out.push_back('\n');
+        AppendPromName(&out, s.metric);
+        out.append("_count");
+        AppendPromLabels(&out, s);
+        out.push_back(' ');
+        AppendUint(&out, s.hist.count);
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::AppendJsonLine(std::string* out, uint64_t tick,
+                                     uint64_t t_ns) const {
+  const std::vector<MetricSample> samples = Snapshot();
+  out->append("{\"schema\":\"metricprox-metrics\",\"schema_version\":1");
+  out->append(",\"tick\":");
+  AppendUint(out, tick);
+  out->append(",\"t_ns\":");
+  AppendUint(out, t_ns);
+  out->append(",\"samples\":[");
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("{\"tenant\":");
+    obsjson::AppendString(out, s.tenant);
+    out->append(",\"session\":");
+    AppendUint(out, s.session);
+    out->append(",\"metric\":");
+    obsjson::AppendString(out, s.metric);
+    out->append(",\"kind\":");
+    obsjson::AppendString(out, MetricKindName(s.kind));
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out->append(",\"value\":");
+        AppendUint(out, s.counter);
+        break;
+      case MetricSample::Kind::kGauge:
+        out->append(",\"value\":");
+        obsjson::AppendDouble(out, s.gauge);
+        break;
+      case MetricSample::Kind::kHistogram:
+        out->append(",\"count\":");
+        AppendUint(out, s.hist.count);
+        out->append(",\"sum\":");
+        obsjson::AppendDouble(out, s.hist.sum);
+        out->append(",\"p50\":");
+        obsjson::AppendDouble(out, s.hist.p50);
+        out->append(",\"p90\":");
+        obsjson::AppendDouble(out, s.hist.p90);
+        out->append(",\"p99\":");
+        obsjson::AppendDouble(out, s.hist.p99);
+        break;
+    }
+    out->push_back('}');
+  }
+  out->append("]}\n");
+}
+
+}  // namespace metricprox

@@ -1,0 +1,95 @@
+#ifndef METRICPROX_OBS_METRICS_H_
+#define METRICPROX_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace metricprox {
+
+/// Point-in-time value of one (tenant, session, metric) cell.
+struct MetricSample {
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+
+  std::string tenant;
+  /// 0 = pool-level / tenant rollup (no single session).
+  uint64_t session = 0;
+  std::string metric;
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;         // kCounter
+  double gauge = 0.0;           // kGauge
+  Histogram::Summary hist;      // kHistogram
+};
+
+/// Wire name of a sample kind ("counter", "gauge", "histogram").
+std::string_view MetricKindName(MetricSample::Kind kind);
+
+/// Lock-striped live metrics registry keyed by (tenant, session, metric).
+///
+/// Counters are monotone, gauges are last-write-wins, histograms are the
+/// standard log2 Histogram. All operations are safe from any thread; a
+/// cell's stripe is chosen by key hash so concurrent sessions touching
+/// different cells rarely contend. Snapshot() is consistent per stripe
+/// (not globally atomic — fine for monitoring, by design).
+///
+/// Convention: session 0 holds pool-level / per-tenant rollups; nonzero
+/// sessions hold per-session cells. ObservabilityHub samples this into
+/// time-series JSONL and a Prometheus-style exposition file.
+class MetricsRegistry {
+ public:
+  static constexpr size_t kDefaultStripes = 16;
+
+  explicit MetricsRegistry(size_t stripes = kDefaultStripes);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void CounterAdd(std::string_view tenant, uint64_t session,
+                  std::string_view metric, uint64_t delta = 1);
+  void GaugeSet(std::string_view tenant, uint64_t session,
+                std::string_view metric, double value);
+  void HistogramRecord(std::string_view tenant, uint64_t session,
+                       std::string_view metric, double value);
+
+  /// Every cell, sorted by (metric, tenant, session) — deterministic for
+  /// tests and stable exposition output.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Prometheus-style text exposition of Snapshot(): one `# TYPE` line per
+  /// metric family, `mpx_<metric>{tenant=...,session=...}` samples,
+  /// histograms as summaries (quantile labels + _sum/_count).
+  std::string RenderPrometheus() const;
+
+  /// Appends one time-series JSONL line for Snapshot() — the sampler's
+  /// per-tick record (schema "metricprox-metrics").
+  void AppendJsonLine(std::string* out, uint64_t tick, uint64_t t_ns) const;
+
+ private:
+  struct Cell {
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    uint64_t counter = 0;
+    double gauge = 0.0;
+    Histogram hist;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    // Ordered so per-stripe iteration is deterministic.
+    std::map<std::tuple<std::string, uint64_t, std::string>, Cell> cells;
+  };
+
+  Stripe& StripeFor(std::string_view tenant, uint64_t session,
+                    std::string_view metric) const;
+
+  size_t num_stripes_;
+  std::unique_ptr<Stripe[]> stripes_;
+};
+
+}  // namespace metricprox
+
+#endif  // METRICPROX_OBS_METRICS_H_

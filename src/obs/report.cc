@@ -142,6 +142,13 @@ std::string RunReport::ToText() const {
     rows.push_back({"cross-session dedup hits",
                     FormatUint(s.cross_session_dedup_hits)});
   }
+  if (s.spans_emitted > 0 || s.metrics_samples > 0 || s.flight_dumps > 0 ||
+      s.watchdog_stalls > 0) {
+    rows.push_back({"spans emitted", FormatUint(s.spans_emitted)});
+    rows.push_back({"metrics samples", FormatUint(s.metrics_samples)});
+    rows.push_back({"flight dumps", FormatUint(s.flight_dumps)});
+    rows.push_back({"watchdog stalls", FormatUint(s.watchdog_stalls)});
+  }
   if (s.certs_emitted > 0 || s.certs_uncertified > 0) {
     rows.push_back({"certs emitted", FormatUint(s.certs_emitted)});
     rows.push_back({"certs verified", FormatUint(s.certs_verified)});

@@ -14,6 +14,18 @@
 
 namespace metricprox {
 
+/// Shared stamping state for a set of Telemetry bundles feeding one sink:
+/// one monotonic clock, one run-wide sequence counter and one span-id
+/// counter. A multi-session pool hands every session's Telemetry the same
+/// TraceClock (see obs/hub.h) so the merged trace keeps the strictly
+/// increasing `seq` that tools/validate_telemetry.py requires, and span ids
+/// are unique pool-wide.
+struct TraceClock {
+  Stopwatch clock;
+  std::atomic<uint64_t> seq{0};
+  std::atomic<uint64_t> next_span{1};  // 0 is reserved for "no span"
+};
+
 /// The per-run telemetry bundle: a trace sink plus the standard histograms.
 ///
 /// Instrumented layers (BoundedResolver, the oracle middleware stack,
@@ -28,17 +40,23 @@ namespace metricprox {
 /// (the `--stats-json` without `--trace` case). Events only flow when a
 /// sink is set.
 ///
-/// Thread-safety: Emit is safe from batch-transport worker threads (the
-/// sequence counter is atomic and sinks lock internally). The histograms
-/// are not internally synchronized — layers record into them only from
-/// the calling thread, mirroring how ResolverStats is maintained; code
-/// running on workers should use worker-local Histogram instances and
-/// Merge them (see core/parallel.h for the worker model).
+/// Thread-safety: Emit is safe from batch-transport worker threads and
+/// from concurrent sessions (the sequence counter is atomic, sinks lock
+/// internally, and since obs v2 the histograms are internally synchronized
+/// too, so one bundle may legally be shared by a whole SessionPool).
 struct Telemetry {
   /// Destination for trace events; not owned; nullptr disables tracing.
   TraceSink* sink = nullptr;
   /// Identifier stamped into the trace header and the run report.
   std::string trace_id = "run";
+  /// Shared stamping state; not owned; nullptr = use this bundle's private
+  /// clock (the single-run default). ObservabilityHub points every session
+  /// bundle at one pool-wide TraceClock.
+  TraceClock* shared_clock = nullptr;
+  /// Session/tenant identity stamped onto every emitted event that does
+  /// not already carry one. 0/empty = untagged single-run telemetry.
+  uint64_t session_id = 0;
+  std::string tenant;
 
   /// Wall-clock latency of each scalar oracle resolution and each batch
   /// round-trip, in seconds.
@@ -63,20 +81,29 @@ struct Telemetry {
   /// 1/sqrt(1 - g) for a target gap quantile g (see PRACTITIONERS.md).
   Histogram weak_interval_width;
 
-  /// Stamps the sequence number and monotonic timestamp, then forwards to
-  /// the sink. No-op without a sink.
+  /// Stamps the sequence number, monotonic timestamp and (when unset) the
+  /// session/tenant identity, then forwards to the sink. No-op without a
+  /// sink.
   void Emit(TraceEvent event) {
     if (sink == nullptr) return;
-    event.seq = seq_.fetch_add(1, std::memory_order_relaxed);
-    event.t_ns = static_cast<uint64_t>(clock_.ElapsedSeconds() * 1e9);
+    TraceClock& tc = shared_clock != nullptr ? *shared_clock : own_clock_;
+    event.seq = tc.seq.fetch_add(1, std::memory_order_relaxed);
+    event.t_ns = static_cast<uint64_t>(tc.clock.ElapsedSeconds() * 1e9);
+    if (event.session_id == 0) event.session_id = session_id;
+    if (event.tenant.empty()) event.tenant = tenant;
     sink->Emit(event);
+  }
+
+  /// Fresh span id, unique across every bundle sharing this clock.
+  uint64_t NextSpanId() {
+    TraceClock& tc = shared_clock != nullptr ? *shared_clock : own_clock_;
+    return tc.next_span.fetch_add(1, std::memory_order_relaxed);
   }
 
   bool tracing() const { return sink != nullptr; }
 
  private:
-  Stopwatch clock_;
-  std::atomic<uint64_t> seq_{0};
+  TraceClock own_clock_;
 };
 
 /// Relative width of a bound interval against the threshold-free scale of

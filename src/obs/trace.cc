@@ -26,6 +26,9 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kCompaction: return "compaction";
     case TraceEventKind::kDecidedBySlack: return "decided_by_slack";
     case TraceEventKind::kDecidedByWeak: return "decided_by_weak";
+    case TraceEventKind::kSpanBegin: return "span_begin";
+    case TraceEventKind::kSpanEnd: return "span_end";
+    case TraceEventKind::kCoalesceDedup: return "coalesce_dedup";
   }
   return "unknown";
 }
@@ -109,6 +112,26 @@ std::string TraceEventToJson(const TraceEvent& event) {
   if (event.count > 0) {
     out.append(",\"count\":");
     obsjson::AppendUint(&out, event.count);
+  }
+  const auto uint_field = [&out](const char* name, uint64_t value) {
+    if (value == 0) return;
+    out.push_back(',');
+    out.push_back('"');
+    out.append(name);
+    out.append("\":");
+    obsjson::AppendUint(&out, value);
+  };
+  uint_field("span_id", event.span_id);
+  uint_field("parent_span_id", event.parent_span_id);
+  uint_field("link_span_id", event.link_span_id);
+  uint_field("session_id", event.session_id);
+  if (!event.name.empty()) {
+    out.append(",\"name\":");
+    obsjson::AppendString(&out, event.name);
+  }
+  if (!event.tenant.empty()) {
+    out.append(",\"tenant\":");
+    obsjson::AppendString(&out, event.tenant);
   }
   out.push_back('}');
   return out;

@@ -33,6 +33,9 @@ enum class TraceEventKind : uint8_t {
   kCompaction,       // store snapshot rewritten, WAL truncated
   kDecidedBySlack,   // settled approximately under a ResolutionPolicy
   kDecidedByWeak,    // settled from the weak oracle's certified interval
+  kSpanBegin,        // a causal span opened (resolve/bound/coalesce/ship/rtt)
+  kSpanEnd,          // the matching span closed; carries duration
+  kCoalesceDedup,    // a submission joined another session's pending pair
 };
 
 /// Stable wire name ("decided_by_bounds", "oracle_call", ...).
@@ -53,8 +56,23 @@ struct TraceEvent {
   double ub = kUnset;         // upper bound (kBoundInterval)
   double threshold = kUnset;  // comparison threshold, when there is one
   double value = kUnset;      // resolved distance (kOracleCall, kStoreHit)
-  double seconds = kUnset;    // latency / backoff duration
+  double seconds = kUnset;    // latency / backoff duration / span duration
   uint64_t count = 0;         // batch size / retried pairs / compacted edges
+
+  // Causal-span fields (kSpanBegin/kSpanEnd; session_id and tenant are also
+  // stamped onto every event emitted through a session-tagged Telemetry).
+  // Span ids are pool-unique and nonzero; 0 means "not a span event" /
+  // "root span" / "no cross-trace link" / "untagged run" respectively.
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  /// Causal link across session traces: a waiter's oracle-RTT span points
+  /// at the batch-ship span (possibly another session's flusher-side span)
+  /// that actually carried its pairs over the wire.
+  uint64_t link_span_id = 0;
+  uint64_t session_id = 0;
+  std::string name;    // span name ("resolve", "bound", "coalesce_submit",
+                       // "batch_ship", "oracle_rtt")
+  std::string tenant;  // tenant namespace of the emitting session
 };
 
 /// One JSON object, no trailing newline. Non-finite doubles are emitted as

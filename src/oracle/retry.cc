@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "obs/span.h"
 
 namespace metricprox {
 namespace {
@@ -46,12 +47,12 @@ void RetryingOracle::Backoff(double seconds) {
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
   }
   stats_.backoff_seconds += seconds;
-  if (telemetry_ != nullptr) {
-    TraceEvent event;
-    event.kind = TraceEventKind::kBackoff;
-    event.seconds = seconds;
-    telemetry_->Emit(event);
-  }
+  TraceEvent event;
+  event.kind = TraceEventKind::kBackoff;
+  event.seconds = seconds;
+  // Fan-out: a backoff taken while shipping a coalesced batch belongs in
+  // every waiting session's trace, not just the shipping thread's.
+  FanoutEmit(telemetry_, event);
 }
 
 StatusOr<double> RetryingOracle::TryDistance(ObjectId i, ObjectId j) {
@@ -70,14 +71,12 @@ StatusOr<double> RetryingOracle::TryDistance(ObjectId i, ObjectId j) {
       }
       Backoff(sleep);
       ++stats_.retries;
-      if (telemetry_ != nullptr) {
-        TraceEvent event;
-        event.kind = TraceEventKind::kRetry;
-        event.i = i;
-        event.j = j;
-        event.count = attempt;  // retry round, 1-based
-        telemetry_->Emit(event);
-      }
+      TraceEvent event;
+      event.kind = TraceEventKind::kRetry;
+      event.i = i;
+      event.j = j;
+      event.count = attempt;  // retry round, 1-based
+      FanoutEmit(telemetry_, event);
     }
     ++stats_.attempts;
     StatusOr<double> result = base_->TryDistance(i, j);
@@ -121,12 +120,10 @@ Status RetryingOracle::TryBatchDistance(std::span<const IdPair> pairs,
       }
       Backoff(sleep);
       stats_.retries += active.size();
-      if (telemetry_ != nullptr) {
-        TraceEvent event;
-        event.kind = TraceEventKind::kRetry;
-        event.count = active.size();  // pairs re-shipped this round
-        telemetry_->Emit(event);
-      }
+      TraceEvent event;
+      event.kind = TraceEventKind::kRetry;
+      event.count = active.size();  // pairs re-shipped this round
+      FanoutEmit(telemetry_, event);
     }
 
     round_pairs.clear();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/logging.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 
 namespace metricprox {
 
@@ -37,7 +39,8 @@ BatchCoalescer::~BatchCoalescer() {
 
 Status BatchCoalescer::Resolve(std::span<const IdPair> pairs,
                                std::span<double> out,
-                               std::span<Status> statuses, Deadline deadline) {
+                               std::span<Status> statuses, Deadline deadline,
+                               Telemetry* waiter_telemetry) {
   CHECK_EQ(pairs.size(), out.size());
   CHECK_EQ(pairs.size(), statuses.size());
 
@@ -54,85 +57,126 @@ Status BatchCoalescer::Resolve(std::span<const IdPair> pairs,
   std::unique_lock<std::mutex> lock(mu_);
   ++active_resolves_;
   bool enqueued_fresh = false;
-  for (size_t k = 0; k < pairs.size(); ++k) {
-    const ObjectId i = pairs[k].i;
-    const ObjectId j = pairs[k].j;
-    statuses[k] = Status::OK();
-    if (i == j) {
-      out[k] = 0.0;
-      continue;
-    }
-    const EdgeKey key(i, j);
-    auto seen = local.find(key);
-    if (seen != local.end()) {
-      waits.push_back({k, seen->second});
-      continue;
-    }
-    auto it = pending_.find(key);
-    if (it != pending_.end()) {
-      // Another submission (typically another session) already has this
-      // pair in flight: join it instead of shipping it again.
-      ++counters_.dedup_hits;
-      local.emplace(key, it->second);
-      waits.push_back({k, it->second});
-      continue;
-    }
-    // Backpressure: block until the flusher drains (or the deadline hits).
-    bool expired = false;
-    while (!stop_ && pending_.size() >= options_.max_pending_pairs) {
-      if (deadline.has_value()) {
-        if (space_cv_.wait_until(lock, *deadline) == std::cv_status::timeout &&
-            pending_.size() >= options_.max_pending_pairs) {
-          expired = true;
-          break;
-        }
-      } else {
-        space_cv_.wait(lock);
+  {
+    // Spans the enqueue phase. Its count is fresh-enqueued + cross-session
+    // joins (local repeats, trivial pairs and rejected pairs excluded), so
+    // summed over every submitter it equals pairs_shipped + dedup_hits at
+    // quiescence — the trace-stream identity the validator checks.
+    ScopedSpan submit_span(waiter_telemetry, "coalesce_submit");
+    uint64_t submitted = 0;
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      const ObjectId i = pairs[k].i;
+      const ObjectId j = pairs[k].j;
+      statuses[k] = Status::OK();
+      if (i == j) {
+        out[k] = 0.0;
+        continue;
       }
+      const EdgeKey key(i, j);
+      auto seen = local.find(key);
+      if (seen != local.end()) {
+        waits.push_back({k, seen->second});
+        continue;
+      }
+      auto it = pending_.find(key);
+      if (it != pending_.end()) {
+        // Another submission (typically another session) already has this
+        // pair in flight: join it instead of shipping it again.
+        ++counters_.dedup_hits;
+        ++submitted;
+        if (waiter_telemetry != nullptr) {
+          Pending& pending = *it->second;
+          if (std::find(pending.waiters.begin(), pending.waiters.end(),
+                        waiter_telemetry) == pending.waiters.end()) {
+            pending.waiters.push_back(waiter_telemetry);
+          }
+          if (waiter_telemetry->tracing()) {
+            TraceEvent event;
+            event.kind = TraceEventKind::kCoalesceDedup;
+            event.i = key.lo();
+            event.j = key.hi();
+            event.count = 1;
+            waiter_telemetry->Emit(std::move(event));
+          }
+        }
+        local.emplace(key, it->second);
+        waits.push_back({k, it->second});
+        continue;
+      }
+      // Backpressure: block until the flusher drains (or the deadline hits).
+      bool expired = false;
+      while (!stop_ && pending_.size() >= options_.max_pending_pairs) {
+        if (deadline.has_value()) {
+          if (space_cv_.wait_until(lock, *deadline) ==
+                  std::cv_status::timeout &&
+              pending_.size() >= options_.max_pending_pairs) {
+            expired = true;
+            break;
+          }
+        } else {
+          space_cv_.wait(lock);
+        }
+      }
+      if (expired) {
+        ++counters_.deadline_expirations;
+        statuses[k] = Status::DeadlineExceeded(
+            "coalescer backpressure outlasted the resolve deadline");
+        continue;
+      }
+      if (stop_) {
+        statuses[k] = Status::FailedPrecondition(
+            "coalescer is shutting down; pair not accepted");
+        continue;
+      }
+      auto entry = std::make_shared<Pending>();
+      entry->enqueued_at = std::chrono::steady_clock::now();
+      if (waiter_telemetry != nullptr) {
+        entry->waiters.push_back(waiter_telemetry);
+      }
+      pending_.emplace(key, entry);
+      queue_.push_back(key);
+      enqueued_fresh = true;
+      ++submitted;
+      local.emplace(key, entry);
+      waits.push_back({k, entry});
     }
-    if (expired) {
-      ++counters_.deadline_expirations;
-      statuses[k] = Status::DeadlineExceeded(
-          "coalescer backpressure outlasted the resolve deadline");
-      continue;
-    }
-    if (stop_) {
-      statuses[k] = Status::FailedPrecondition(
-          "coalescer is shutting down; pair not accepted");
-      continue;
-    }
-    auto entry = std::make_shared<Pending>();
-    pending_.emplace(key, entry);
-    queue_.push_back(key);
-    enqueued_fresh = true;
-    local.emplace(key, entry);
-    waits.push_back({k, entry});
+    submit_span.set_count(submitted);
   }
   if (enqueued_fresh) work_cv_.notify_one();
 
-  for (const Wait& wait : waits) {
-    bool expired = false;
-    while (!wait.entry->done) {
-      if (deadline.has_value()) {
-        if (done_cv_.wait_until(lock, *deadline) == std::cv_status::timeout &&
-            !wait.entry->done) {
-          expired = true;
-          break;
+  {
+    // Spans the wait for the round-trip(s); linked to the batch_ship span
+    // that carried the first of this caller's pairs, so the cross-session
+    // trip is reachable from every waiter's trace.
+    ScopedSpan rtt_span(waiter_telemetry, "oracle_rtt", waits.size());
+    uint64_t link = 0;
+    for (const Wait& wait : waits) {
+      bool expired = false;
+      while (!wait.entry->done) {
+        if (deadline.has_value()) {
+          if (done_cv_.wait_until(lock, *deadline) ==
+                  std::cv_status::timeout &&
+              !wait.entry->done) {
+            expired = true;
+            break;
+          }
+        } else {
+          done_cv_.wait(lock);
         }
-      } else {
-        done_cv_.wait(lock);
       }
+      if (link == 0) link = wait.entry->ship_span_id;
+      if (expired) {
+        // Only this waiter gives up: the pair stays pending, still ships,
+        // and every other waiter still receives its result.
+        ++counters_.deadline_expirations;
+        statuses[wait.index] = Status::DeadlineExceeded(
+            "pair did not resolve before the session deadline");
+        continue;
+      }
+      out[wait.index] = wait.entry->result;
+      statuses[wait.index] = wait.entry->status;
     }
-    if (expired) {
-      // Only this waiter gives up: the pair stays pending, still ships, and
-      // every other waiter still receives its result.
-      ++counters_.deadline_expirations;
-      statuses[wait.index] = Status::DeadlineExceeded(
-          "pair did not resolve before the session deadline");
-      continue;
-    }
-    out[wait.index] = wait.entry->result;
-    statuses[wait.index] = wait.entry->status;
+    rtt_span.set_link(link);
   }
 
   --active_resolves_;
@@ -153,6 +197,18 @@ size_t BatchCoalescer::FlushNow() {
 size_t BatchCoalescer::PendingPairs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_.size();
+}
+
+double BatchCoalescer::OldestPendingSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return 0.0;
+  auto oldest = std::chrono::steady_clock::time_point::max();
+  for (const auto& [key, entry] : pending_) {
+    oldest = std::min(oldest, entry->enqueued_at);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       oldest)
+      .count();
 }
 
 CoalescerCounters BatchCoalescer::counters() const {
@@ -203,6 +259,25 @@ size_t BatchCoalescer::ShipOneBatch(std::unique_lock<std::mutex>& lock) {
   }
   counters_.batches_shipped += 1;
   counters_.pairs_shipped += take;
+  // The flusher-side span for this round-trip; its id is recorded on every
+  // entry (still under mu_, so waiters observing `done` also observe it)
+  // and every distinct waiter bundle becomes a fan-out target, so the
+  // middleware events of this ship land in each waiter's session trace.
+  ScopedSpan ship_span(telemetry_, "batch_ship", take);
+  std::vector<FanoutTarget> fanout;
+  for (const Entry& entry : entries) {
+    entry->ship_span_id = ship_span.id();
+    for (Telemetry* waiter : entry->waiters) {
+      bool known = false;
+      for (const FanoutTarget& target : fanout) {
+        if (target.telemetry == waiter) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) fanout.push_back(FanoutTarget{waiter, ship_span.id()});
+    }
+  }
   // The oracle round-trip happens outside mu_ so submitters can keep
   // queueing the next batch; ship_mu_ serializes the base call itself, so
   // even a FlushNow racing the flusher thread keeps the single-threaded
@@ -212,6 +287,7 @@ size_t BatchCoalescer::ShipOneBatch(std::unique_lock<std::mutex>& lock) {
   std::vector<Status> statuses(take, Status::OK());
   {
     std::lock_guard<std::mutex> ship_lock(ship_mu_);
+    ScopedFanout fan(&fanout);
     base_->TryBatchDistance(ship, results, statuses);
   }
   lock.lock();

@@ -17,6 +17,8 @@
 
 namespace metricprox {
 
+struct Telemetry;
+
 struct CoalescerOptions {
   /// Linger window: after the first pair of a batch arrives, the flusher
   /// waits up to this long for more pairs before shipping. This is the
@@ -89,8 +91,17 @@ class BatchCoalescer {
   /// only. A pair equal (as an unordered EdgeKey) to one already pending
   /// joins it instead of shipping twice; i == j yields 0 without shipping.
   /// Returns the first non-OK per-pair status, or OK.
+  ///
+  /// `waiter_telemetry` (optional, session-tagged) attributes the trip:
+  /// the submission emits a coalesce_submit span whose count is the
+  /// fresh-enqueued + cross-session-joined pairs (so summed over every
+  /// submitter it reconciles with pairs_shipped + dedup_hits), each join
+  /// emits a coalesce_dedup event, the wait emits an oracle_rtt span
+  /// linked to the batch_ship span that carried this caller's pairs, and
+  /// middleware events during that ship are mirrored to this bundle.
   Status Resolve(std::span<const IdPair> pairs, std::span<double> out,
-                 std::span<Status> statuses, Deadline deadline = {});
+                 std::span<Status> statuses, Deadline deadline = {},
+                 Telemetry* waiter_telemetry = nullptr);
 
   /// Ships every currently-pending pair now (all of it, looping batches of
   /// max_batch_pairs). The manual-flush driver; also usable alongside the
@@ -100,15 +111,30 @@ class BatchCoalescer {
   /// Pairs currently pending (enqueued or in flight).
   size_t PendingPairs() const;
 
+  /// How long the oldest still-pending pair has been waiting, in seconds
+  /// (0 when idle). The observability hub's stall watchdog polls this.
+  double OldestPendingSeconds() const;
+
+  /// Attaches the pool-level telemetry bundle used for the flusher-side
+  /// batch_ship spans. Call before the first Resolve; not owned.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+
   CoalescerCounters counters() const;
 
  private:
-  /// One pending pair: shared by every waiter that joined it. `done`,
-  /// `result` and `status` are guarded by mu_.
+  /// One pending pair: shared by every waiter that joined it. Everything
+  /// below is guarded by mu_.
   struct Pending {
     double result = 0.0;
     Status status;
     bool done = false;
+    /// When the pair entered the pending set (watchdog's stall signal).
+    std::chrono::steady_clock::time_point enqueued_at;
+    /// batch_ship span that carried (or is carrying) this pair; 0 until
+    /// a batch takes it, and forever 0 when the pool is untraced.
+    uint64_t ship_span_id = 0;
+    /// Session bundles waiting on this pair — the ship's fan-out targets.
+    std::vector<Telemetry*> waiters;
   };
   using Entry = std::shared_ptr<Pending>;
 
@@ -121,6 +147,7 @@ class BatchCoalescer {
 
   DistanceOracle* base_;  // not owned
   CoalescerOptions options_;
+  Telemetry* telemetry_ = nullptr;  // not owned; flusher-side spans
 
   /// Serializes the base-oracle round-trip itself (taken without mu_ held):
   /// FlushNow racing the flusher drains disjoint queue slices, but the base

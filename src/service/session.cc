@@ -7,6 +7,9 @@
 
 #include "bounds/tri.h"
 #include "core/logging.h"
+#include "obs/hub.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 
 namespace metricprox {
 
@@ -27,7 +30,7 @@ StatusOr<double> SessionOracle::TryDistance(ObjectId i, ObjectId j) {
       pool_->ResolvePairs(std::span<const IdPair>(&pair, 1),
                           std::span<double>(&out, 1),
                           std::span<Status>(&status, 1), MakeDeadline(),
-                          &shared_hits_);
+                          &shared_hits_, telemetry_);
   if (!first.ok()) return first;
   return out;
 }
@@ -36,7 +39,7 @@ Status SessionOracle::TryBatchDistance(std::span<const IdPair> pairs,
                                        std::span<double> out,
                                        std::span<Status> statuses) {
   return pool_->ResolvePairs(pairs, out, statuses, MakeDeadline(),
-                             &shared_hits_);
+                             &shared_hits_, telemetry_);
 }
 
 double SessionOracle::Distance(ObjectId i, ObjectId j) {
@@ -105,19 +108,63 @@ SessionPool::SessionPool(DistanceOracle* base,
   if (options_.enable_coalescer) {
     coalescer_ = std::make_unique<BatchCoalescer>(base, options_.coalescer);
   }
+  if (options_.hub != nullptr) {
+    ObservabilityHub* hub = options_.hub;
+    if (coalescer_ != nullptr) {
+      coalescer_->SetTelemetry(hub->pool_telemetry());
+      hub->SetStallProbe(options_.coalescer.linger_seconds,
+                         [c = coalescer_.get()] {
+                           return c->OldestPendingSeconds();
+                         });
+      hub->AddGaugeProbe(this, options_.tenant, 0, "coalescer_queue_depth",
+                         [c = coalescer_.get()] {
+                           return static_cast<double>(c->PendingPairs());
+                         });
+    }
+    hub->AddGaugeProbe(this, options_.tenant, 0, "sessions_active", [this] {
+      return static_cast<double>(counters().sessions_active);
+    });
+    hub->AddGaugeProbe(this, options_.tenant, 0, "shared_graph_hit_rate",
+                       [this] {
+                         const SessionPoolCounters c = counters();
+                         const uint64_t asked = c.shared_graph_hits +
+                                                c.store_hits +
+                                                c.base_pairs_shipped;
+                         if (asked == 0) return 0.0;
+                         return static_cast<double>(c.shared_graph_hits) /
+                                static_cast<double>(asked);
+                       });
+  }
+}
+
+SessionPool::~SessionPool() {
+  if (options_.hub != nullptr) {
+    options_.hub->RemoveGaugeProbes(this);
+    if (coalescer_ != nullptr) options_.hub->ClearStallProbe();
+  }
 }
 
 std::unique_ptr<ResolverSession> SessionPool::OpenSession(
     SessionOptions options) {
+  uint64_t session_id = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++counters_.sessions_opened;
     ++counters_.sessions_active;
     counters_.sessions_peak =
         std::max(counters_.sessions_peak, counters_.sessions_active);
+    session_id = counters_.sessions_opened;
   }
-  return std::unique_ptr<ResolverSession>(
+  auto session = std::unique_ptr<ResolverSession>(
       new ResolverSession(this, std::move(options)));
+  session->session_id_ = session_id;
+  if (options_.hub != nullptr) {
+    Telemetry* telemetry =
+        options_.hub->SessionTelemetry(session_id, options_.tenant);
+    session->oracle_.SetTelemetry(telemetry);
+    session->resolver_.SetTelemetry(telemetry);
+  }
+  return session;
 }
 
 void SessionPool::CloseSession() {
@@ -153,7 +200,8 @@ Status SessionPool::ResolvePairs(std::span<const IdPair> pairs,
                                  std::span<double> out,
                                  std::span<Status> statuses,
                                  BatchCoalescer::Deadline deadline,
-                                 uint64_t* shared_hits) {
+                                 uint64_t* shared_hits,
+                                 Telemetry* telemetry) {
   CHECK_EQ(pairs.size(), out.size());
   CHECK_EQ(pairs.size(), statuses.size());
 
@@ -207,8 +255,12 @@ Status SessionPool::ResolvePairs(std::span<const IdPair> pairs,
     std::vector<double> results(miss.size(), 0.0);
     std::vector<Status> ship_statuses(miss.size(), Status::OK());
     if (coalescer_ != nullptr) {
-      coalescer_->Resolve(ship, results, ship_statuses, deadline);
+      coalescer_->Resolve(ship, results, ship_statuses, deadline, telemetry);
     } else {
+      // The direct path's round-trip span, mirroring the coalesced path's
+      // oracle_rtt so per-session attribution does not depend on which
+      // transport the pool uses.
+      ScopedSpan rtt_span(telemetry, "oracle_rtt", ship.size());
       std::lock_guard<std::mutex> lock(base_mu_);
       base_->TryBatchDistance(ship, results, ship_statuses);
     }
@@ -239,10 +291,36 @@ Status SessionPool::ResolvePairs(std::span<const IdPair> pairs,
   }
   if (shared_hits != nullptr) *shared_hits += graph_hits;
 
-  for (const Status& status : statuses) {
-    if (!status.ok()) return status;
+  if (options_.hub != nullptr && telemetry != nullptr) {
+    MetricsRegistry& metrics = options_.hub->metrics();
+    const std::string& tenant = options_.tenant;
+    const uint64_t session = telemetry->session_id;
+    if (graph_hits > 0) {
+      metrics.CounterAdd(tenant, session, "shared_graph_hits", graph_hits);
+    }
+    if (store_hits > 0) {
+      metrics.CounterAdd(tenant, session, "store_hits", store_hits);
+    }
+    if (shipped > 0) {
+      metrics.CounterAdd(tenant, session, "base_pairs_shipped", shipped);
+    }
   }
-  return Status::OK();
+
+  Status first;
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      first = status;
+      break;
+    }
+  }
+  if (!first.ok() && options_.hub != nullptr &&
+      (first.code() == StatusCode::kResourceExhausted ||
+       first.code() == StatusCode::kDeadlineExceeded)) {
+    // The pool is in trouble (budget gone or waiters timing out): freeze
+    // the black box now, while the evidence is still in the ring.
+    (void)options_.hub->DumpFlight(StatusCodeToString(first.code()));
+  }
+  return first;
 }
 
 }  // namespace metricprox

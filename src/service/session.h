@@ -19,8 +19,10 @@
 
 namespace metricprox {
 
+class ObservabilityHub;
 class ResolverSession;
 class SessionPool;
+struct Telemetry;
 
 /// Per-session knobs, fixed at OpenSession().
 struct SessionOptions {
@@ -51,6 +53,14 @@ struct SessionPoolOptions {
   /// two tenants' stores over the same dataset can never validate against
   /// each other (see TenantFingerprint).
   std::string tenant = "default";
+  /// Optional live observability hub (see obs/hub.h). Not owned; must
+  /// outlive the pool. When set, every opened session gets a
+  /// session-tagged Telemetry bundle (causal spans, shared trace clock),
+  /// the coalescer's ship spans and stall watchdog wire up, pool gauges
+  /// (sessions active, coalescer queue depth, shared-graph hit rate) are
+  /// sampled into the hub's MetricsRegistry, and kResourceExhausted /
+  /// kDeadlineExceeded resolutions trigger flight-recorder dumps.
+  ObservabilityHub* hub = nullptr;
 };
 
 /// Monotone counters of one pool (gauges noted explicitly).
@@ -108,12 +118,18 @@ class SessionOracle : public DistanceOracle {
   /// warm single-session run). Schedule-dependent under concurrency.
   uint64_t shared_hits() const { return shared_hits_; }
 
+  /// Session-tagged bundle the pool's resolution funnel attributes spans
+  /// and metrics to; set by OpenSession when the pool carries a hub.
+  void SetTelemetry(Telemetry* telemetry) { telemetry_ = telemetry; }
+  Telemetry* telemetry() const { return telemetry_; }
+
  private:
   BatchCoalescer::Deadline MakeDeadline() const;
 
   SessionPool* pool_;  // not owned
   double deadline_seconds_;
   uint64_t shared_hits_ = 0;
+  Telemetry* telemetry_ = nullptr;  // not owned
 };
 
 }  // namespace internal
@@ -146,6 +162,13 @@ class ResolverSession {
 
   const std::string& tag() const { return options_.tag; }
 
+  /// Pool-unique session number (1-based open order); 0 only before the
+  /// pool assigns it. Tags this session's spans and metrics cells.
+  uint64_t session_id() const { return session_id_; }
+
+  /// Session-tagged telemetry bundle, or nullptr without a hub.
+  Telemetry* telemetry() const { return oracle_.telemetry(); }
+
   /// This session's resolver counters with the session-layer fields filled
   /// in (shared_graph_hits; the pool-level fields are merged by
   /// SessionPool::AccumulateStats instead).
@@ -163,6 +186,7 @@ class ResolverSession {
 
   SessionPool* pool_;  // not owned
   SessionOptions options_;
+  uint64_t session_id_ = 0;
   PartialDistanceGraph graph_;
   internal::SessionOracle oracle_;
   BoundedResolver resolver_;
@@ -188,6 +212,8 @@ class SessionPool {
  public:
   explicit SessionPool(DistanceOracle* base,
                        const SessionPoolOptions& options = {});
+  /// Unhooks the pool's probes from the hub (when one was attached).
+  ~SessionPool();
 
   SessionPool(const SessionPool&) = delete;
   SessionPool& operator=(const SessionPool&) = delete;
@@ -226,12 +252,14 @@ class SessionPool {
   /// `pairs` must satisfy the DistanceOracle batch contract (deduplicated,
   /// in range); i == j yields 0. OK entries are published to the shared
   /// graph and the store. `shared_hits`, when non-null, is incremented by
-  /// the number of pairs answered from the shared graph. Returns the first
+  /// the number of pairs answered from the shared graph. `telemetry`
+  /// (session-tagged, may be null) attributes the sweep's spans, metrics
+  /// and coalescer submission to the asking session. Returns the first
   /// non-OK per-pair status, or OK.
   Status ResolvePairs(std::span<const IdPair> pairs, std::span<double> out,
                       std::span<Status> statuses,
                       BatchCoalescer::Deadline deadline,
-                      uint64_t* shared_hits);
+                      uint64_t* shared_hits, Telemetry* telemetry);
 
   void CloseSession();
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/logging.h"
+#include "obs/span.h"
 
 namespace metricprox {
 
@@ -16,13 +17,14 @@ PersistentOracle::PersistentOracle(DistanceOracle* base, DistanceStore* store)
 }
 
 void PersistentOracle::TraceHit(ObjectId i, ObjectId j, double d) {
-  if (telemetry_ == nullptr) return;
   TraceEvent event;
   event.kind = TraceEventKind::kStoreHit;
   event.i = i;
   event.j = j;
   event.value = d;
-  telemetry_->Emit(event);
+  // Fan-out mirrors the hit into each coalesced waiter's session trace
+  // when this oracle sits under a BatchCoalescer ship.
+  FanoutEmit(telemetry_, event);
 }
 
 void PersistentOracle::RecordToStore(ObjectId i, ObjectId j, double d) {
@@ -30,14 +32,12 @@ void PersistentOracle::RecordToStore(ObjectId i, ObjectId j, double d) {
   const Status s = store_->Record(i, j, d);
   if (s.ok()) {
     ++appends_;
-    if (telemetry_ != nullptr) {
-      TraceEvent event;
-      event.kind = TraceEventKind::kWalAppend;
-      event.i = i;
-      event.j = j;
-      event.value = d;
-      telemetry_->Emit(event);
-    }
+    TraceEvent event;
+    event.kind = TraceEventKind::kWalAppend;
+    event.i = i;
+    event.j = j;
+    event.value = d;
+    FanoutEmit(telemetry_, event);
   } else {
     ++write_failures_;
     if (store_status_.ok()) store_status_ = s;

@@ -1,0 +1,461 @@
+// Unit coverage of the live-observability layer (obs v2): causal ScopedSpan
+// parenting and inertness, FanoutEmit mirroring, the lock-striped
+// MetricsRegistry with its two renderings, the FlightRecorder ring/tee and
+// its dump file, and the ObservabilityHub (session bundles, gauge probes,
+// sampler artifacts, dump-request sentinel, stall watchdog, stats fold-in).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "obs/flight.h"
+#include "obs/hub.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+
+namespace metricprox {
+namespace {
+
+std::vector<TraceEvent> OfKind(const std::vector<TraceEvent>& events,
+                               TraceEventKind kind) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+/// Fresh per-test scratch directory under the gtest temp root.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/obs_live_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+/// Spins (bounded) until `done` returns true; hub background work runs on
+/// its own thread, so tests that observe it must wait, not sleep blindly.
+bool WaitFor(const std::function<bool()>& done, double timeout_seconds = 5.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (!done()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- spans --
+
+TEST(ScopedSpanTest, EmitsMatchingBeginAndEndWithImplicitParent) {
+  RingBufferTraceSink sink(64);
+  Telemetry telemetry;
+  telemetry.sink = &sink;
+  telemetry.session_id = 7;
+  telemetry.tenant = "acme";
+
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    ScopedSpan outer(&telemetry, "resolve", 3);
+    ASSERT_TRUE(outer.active());
+    outer_id = outer.id();
+    ASSERT_NE(outer_id, 0u);
+    EXPECT_EQ(ScopedSpan::CurrentSpanId(), outer_id);
+    {
+      ScopedSpan inner(&telemetry, "bound", 2);
+      inner_id = inner.id();
+      EXPECT_NE(inner_id, outer_id);
+      EXPECT_EQ(ScopedSpan::CurrentSpanId(), inner_id);
+    }
+    EXPECT_EQ(ScopedSpan::CurrentSpanId(), outer_id);
+  }
+  EXPECT_EQ(ScopedSpan::CurrentSpanId(), 0u);
+
+  const std::vector<TraceEvent> events = sink.Snapshot();
+  const std::vector<TraceEvent> begins =
+      OfKind(events, TraceEventKind::kSpanBegin);
+  const std::vector<TraceEvent> ends = OfKind(events, TraceEventKind::kSpanEnd);
+  ASSERT_EQ(begins.size(), 2u);
+  ASSERT_EQ(ends.size(), 2u);
+  // Outer begins first, ends last (LIFO nesting), and the inner span names
+  // the outer as its implicit parent.
+  EXPECT_EQ(begins[0].span_id, outer_id);
+  EXPECT_EQ(begins[0].name, "resolve");
+  EXPECT_EQ(begins[0].parent_span_id, 0u);
+  EXPECT_EQ(begins[1].span_id, inner_id);
+  EXPECT_EQ(begins[1].name, "bound");
+  EXPECT_EQ(begins[1].parent_span_id, outer_id);
+  EXPECT_EQ(ends[0].span_id, inner_id);
+  EXPECT_EQ(ends[1].span_id, outer_id);
+  EXPECT_EQ(ends[1].count, 3u);
+  // Session/tenant identity is stamped onto every span event.
+  for (const TraceEvent& e : begins) {
+    EXPECT_EQ(e.session_id, 7u);
+    EXPECT_EQ(e.tenant, "acme");
+  }
+  // The end carries a measured (non-negative, finite) duration.
+  EXPECT_GE(ends[1].seconds, 0.0);
+}
+
+TEST(ScopedSpanTest, NullTelemetryIsFullyInert) {
+  {
+    ScopedSpan span(nullptr, "resolve", 5);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+    // An inert span must not appear on the thread's parent stack, or an A/B
+    // run would parent real spans differently.
+    EXPECT_EQ(ScopedSpan::CurrentSpanId(), 0u);
+  }
+  // A sinkless telemetry is equally inert: no span ids may be consumed, so
+  // traced and untraced runs allocate identical id sequences later.
+  Telemetry untraced;
+  {
+    ScopedSpan span(&untraced, "resolve");
+    EXPECT_EQ(span.id(), 0u);
+    EXPECT_EQ(ScopedSpan::CurrentSpanId(), 0u);
+  }
+  RingBufferTraceSink sink(8);
+  untraced.sink = &sink;
+  ScopedSpan first(&untraced, "resolve");
+  EXPECT_EQ(first.id(), 1u);  // nothing was burned while inert
+}
+
+TEST(ScopedSpanTest, LinkAndCountAreCarriedOnEnd) {
+  RingBufferTraceSink sink(8);
+  Telemetry telemetry;
+  telemetry.sink = &sink;
+  {
+    ScopedSpan span(&telemetry, "oracle_rtt", 1);
+    span.set_link(99);
+    span.set_count(4);
+  }
+  const std::vector<TraceEvent> ends =
+      OfKind(sink.Snapshot(), TraceEventKind::kSpanEnd);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends[0].link_span_id, 99u);
+  EXPECT_EQ(ends[0].count, 4u);
+}
+
+TEST(FanoutEmitTest, MirrorsToTargetsWithLinkAndIdentityStamping) {
+  RingBufferTraceSink primary_sink(8);
+  RingBufferTraceSink waiter_sink(8);
+  Telemetry primary;
+  primary.sink = &primary_sink;
+  Telemetry waiter;
+  waiter.sink = &waiter_sink;
+  waiter.session_id = 3;
+  waiter.tenant = "acme";
+
+  std::vector<FanoutTarget> targets;
+  targets.push_back(FanoutTarget{&waiter, /*link_span_id=*/42});
+  targets.push_back(FanoutTarget{&primary, /*link_span_id=*/42});  // skipped
+  {
+    ScopedFanout fanout(&targets);
+    TraceEvent event;
+    event.kind = TraceEventKind::kRetry;
+    event.count = 2;
+    FanoutEmit(&primary, event);
+  }
+  // Primary got the original, the waiter a mirrored copy with its session
+  // identity and the ship-span link; the primary was not double-emitted.
+  ASSERT_EQ(primary_sink.emitted(), 1u);
+  ASSERT_EQ(waiter_sink.emitted(), 1u);
+  const TraceEvent copy = waiter_sink.Snapshot()[0];
+  EXPECT_EQ(copy.kind, TraceEventKind::kRetry);
+  EXPECT_EQ(copy.count, 2u);
+  EXPECT_EQ(copy.link_span_id, 42u);
+  EXPECT_EQ(copy.session_id, 3u);
+  EXPECT_EQ(copy.tenant, "acme");
+
+  // Outside the scope the ambient target list is gone.
+  TraceEvent after;
+  after.kind = TraceEventKind::kRetry;
+  FanoutEmit(&primary, after);
+  EXPECT_EQ(primary_sink.emitted(), 2u);
+  EXPECT_EQ(waiter_sink.emitted(), 1u);
+}
+
+TEST(FanoutEmitTest, MirrorsEvenWithoutAPrimaryBundle) {
+  // The middleware stack may run untraced (null telemetry) while shipping a
+  // coalesced batch whose waiters ARE traced — mirroring must still happen.
+  RingBufferTraceSink waiter_sink(8);
+  Telemetry waiter;
+  waiter.sink = &waiter_sink;
+  std::vector<FanoutTarget> targets = {FanoutTarget{&waiter, 0}};
+  ScopedFanout fanout(&targets);
+  TraceEvent event;
+  event.kind = TraceEventKind::kBackoff;
+  event.seconds = 0.25;
+  FanoutEmit(nullptr, event);
+  ASSERT_EQ(waiter_sink.emitted(), 1u);
+  EXPECT_EQ(waiter_sink.Snapshot()[0].kind, TraceEventKind::kBackoff);
+}
+
+// -------------------------------------------------------------- metrics --
+
+TEST(MetricsRegistryTest, UpsertsAndSortedSnapshot) {
+  MetricsRegistry registry;
+  registry.CounterAdd("acme", 1, "oracle_calls", 5);
+  registry.CounterAdd("acme", 1, "oracle_calls", 7);
+  registry.CounterAdd("acme", 2, "oracle_calls");
+  registry.GaugeSet("acme", 0, "queue_depth", 3.0);
+  registry.GaugeSet("acme", 0, "queue_depth", 1.5);  // last write wins
+  registry.HistogramRecord("acme", 1, "batch_size", 8.0);
+  registry.HistogramRecord("acme", 1, "batch_size", 16.0);
+
+  const std::vector<MetricSample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 4u);
+  // Sorted by (metric, tenant, session).
+  EXPECT_EQ(samples[0].metric, "batch_size");
+  EXPECT_EQ(samples[0].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(samples[0].hist.count, 2u);
+  EXPECT_EQ(samples[0].hist.sum, 24.0);
+  EXPECT_EQ(samples[1].metric, "oracle_calls");
+  EXPECT_EQ(samples[1].session, 1u);
+  EXPECT_EQ(samples[1].counter, 12u);
+  EXPECT_EQ(samples[2].metric, "oracle_calls");
+  EXPECT_EQ(samples[2].session, 2u);
+  EXPECT_EQ(samples[2].counter, 1u);
+  EXPECT_EQ(samples[3].metric, "queue_depth");
+  EXPECT_EQ(samples[3].kind, MetricSample::Kind::kGauge);
+  EXPECT_EQ(samples[3].gauge, 1.5);
+}
+
+TEST(MetricsRegistryTest, PrometheusRenderingIsLintable) {
+  MetricsRegistry registry;
+  registry.CounterAdd("a\"b\\c", 4, "oracle calls!", 9);
+  registry.GaugeSet("default", 0, "wall_seconds", 2.5);
+  registry.HistogramRecord("default", 1, "latency", 0.5);
+  const std::string prom = registry.RenderPrometheus();
+
+  // Metric names are sanitized into the Prometheus charset and prefixed.
+  EXPECT_NE(prom.find("# TYPE mpx_oracle_calls_ counter"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE mpx_wall_seconds gauge"), std::string::npos);
+  // Histograms export as summaries with quantile labels + _sum/_count.
+  EXPECT_NE(prom.find("# TYPE mpx_latency summary"), std::string::npos);
+  EXPECT_NE(prom.find("mpx_latency{tenant=\"default\",session=\"1\","
+                      "quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("mpx_latency_count{tenant=\"default\",session=\"1\"} 1"),
+            std::string::npos);
+  // Label values escape backslash and quote.
+  EXPECT_NE(prom.find("tenant=\"a\\\"b\\\\c\",session=\"4\"} 9"),
+            std::string::npos);
+  // Every line is either a comment or a sample ending in a value.
+  EXPECT_EQ(prom.back(), '\n');
+}
+
+TEST(MetricsRegistryTest, JsonLineCarriesEveryCell) {
+  MetricsRegistry registry;
+  registry.CounterAdd("t", 1, "c", 3);
+  registry.GaugeSet("t", 0, "g", 1.25);
+  registry.HistogramRecord("t", 2, "h", 4.0);
+  std::string line;
+  registry.AppendJsonLine(&line, /*tick=*/5, /*t_ns=*/123);
+  EXPECT_NE(line.find("\"schema\":\"metricprox-metrics\""), std::string::npos);
+  EXPECT_NE(line.find("\"tick\":5"), std::string::npos);
+  EXPECT_NE(line.find("\"t_ns\":123"), std::string::npos);
+  EXPECT_NE(line.find("\"metric\":\"c\",\"kind\":\"counter\",\"value\":3"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"metric\":\"g\",\"kind\":\"gauge\",\"value\":1.25"),
+            std::string::npos);
+  EXPECT_NE(line.find("\"kind\":\"histogram\",\"count\":1"),
+            std::string::npos);
+  EXPECT_EQ(line.back(), '\n');
+}
+
+// --------------------------------------------------------------- flight --
+
+TEST(FlightRecorderTest, TeesDownstreamAndKeepsBoundedRing) {
+  RingBufferTraceSink downstream(1024);
+  FlightRecorder flight(&downstream, /*capacity=*/4);
+  Telemetry telemetry;
+  telemetry.sink = &flight;
+
+  for (int k = 0; k < 10; ++k) {
+    ScopedSpan span(&telemetry, "resolve");
+  }
+  // Downstream saw everything; the ring kept only the most recent 4.
+  EXPECT_EQ(downstream.emitted(), 20u);
+  EXPECT_EQ(flight.Snapshot().size(), 4u);
+  EXPECT_EQ(flight.spans_seen(), 10u);  // kSpanBegin only
+}
+
+TEST(FlightRecorderTest, DumpWritesHeaderEventsFooter) {
+  const std::string dir = ScratchDir("flight_dump");
+  std::filesystem::create_directories(dir);
+  FlightRecorder flight(nullptr, 16);
+  Telemetry telemetry;
+  telemetry.sink = &flight;
+  { ScopedSpan span(&telemetry, "resolve", 2); }
+
+  const std::string path = dir + "/flight.jsonl";
+  ASSERT_TRUE(flight.Dump(path, "unit test: stall?").ok());
+  EXPECT_EQ(flight.dumps(), 1u);
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 4u);  // header + begin + end + footer
+  EXPECT_NE(lines[0].find("\"schema\":\"metricprox-flight\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("unit test: stall?"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"span_begin\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"kind\":\"span_end\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"flight_footer\":true"), std::string::npos);
+  EXPECT_NE(lines[3].find("\"events_written\":2"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ hub --
+
+TEST(ObservabilityHubTest, SessionBundlesShareClockAndStayStable) {
+  ObservabilityHub hub;
+  Telemetry* s1 = hub.SessionTelemetry(1, "acme");
+  Telemetry* s2 = hub.SessionTelemetry(2, "acme");
+  EXPECT_NE(s1, s2);
+  EXPECT_EQ(hub.SessionTelemetry(1, "acme"), s1);  // stable address
+  EXPECT_EQ(s1->session_id, 1u);
+  EXPECT_EQ(s1->tenant, "acme");
+  EXPECT_EQ(s1->shared_clock, &hub.trace_clock());
+  EXPECT_EQ(s2->shared_clock, &hub.trace_clock());
+  EXPECT_EQ(hub.pool_telemetry()->shared_clock, &hub.trace_clock());
+
+  // Span ids drawn from different bundles never collide (one pool-wide
+  // id space), and everything lands in the one flight ring.
+  const uint64_t a = s1->NextSpanId();
+  const uint64_t b = s2->NextSpanId();
+  const uint64_t c = hub.pool_telemetry()->NextSpanId();
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+  { ScopedSpan span(s1, "resolve"); }
+  { ScopedSpan span(s2, "resolve"); }
+  EXPECT_EQ(hub.flight().spans_seen(), 2u);
+}
+
+TEST(ObservabilityHubTest, SampleNowWritesSeriesAndExposition) {
+  const std::string dir = ScratchDir("sample");
+  {
+    ObservabilityHubOptions options;
+    options.dir = dir;
+    options.tenant = "acme";
+    ObservabilityHub hub(options);
+    double depth = 4.0;
+    hub.AddGaugeProbe(&depth, "acme", 0, "queue_depth",
+                      [&depth] { return depth; });
+    hub.metrics().CounterAdd("acme", 1, "oracle_calls", 11);
+    hub.SampleNow();
+    hub.RemoveGaugeProbes(&depth);
+
+    ResolverStats stats;
+    hub.AccumulateStats(&stats);
+    EXPECT_GE(stats.metrics_samples, 1u);
+  }  // destructor takes one final sample — both artifacts must survive it
+
+  const std::vector<std::string> series = ReadLines(dir + "/metrics.jsonl");
+  ASSERT_GE(series.size(), 1u);
+  EXPECT_NE(series[0].find("\"metric\":\"queue_depth\""), std::string::npos);
+  EXPECT_NE(series[0].find("\"metric\":\"oracle_calls\",\"kind\":\"counter\","
+                           "\"value\":11"),
+            std::string::npos);
+  // Built-in hub gauges give the exposition content even in an idle run.
+  std::ifstream expo(dir + "/metrics.prom");
+  ASSERT_TRUE(expo.good());
+  std::string prom((std::istreambuf_iterator<char>(expo)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(prom.find("mpx_spans_emitted"), std::string::npos);
+  EXPECT_NE(prom.find("mpx_oracle_calls{tenant=\"acme\",session=\"1\"} 11"),
+            std::string::npos);
+}
+
+TEST(ObservabilityHubTest, DumpRequestSentinelIsAnswered) {
+  const std::string dir = ScratchDir("sentinel");
+  ObservabilityHubOptions options;
+  options.dir = dir;
+  options.poll_interval_seconds = 0.005;
+  ObservabilityHub hub(options);
+  { ScopedSpan span(hub.pool_telemetry(), "resolve"); }
+
+  // What `mpx obs dump` does: touch the sentinel, the background thread
+  // answers with a flight-request-*.jsonl snapshot and removes the file.
+  std::ofstream(dir + "/DUMP_REQUEST").close();
+  ASSERT_TRUE(WaitFor([&] { return hub.flight().dumps() >= 1; }));
+  ASSERT_TRUE(WaitFor(
+      [&] { return !std::filesystem::exists(dir + "/DUMP_REQUEST"); }));
+  bool found = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    found |= entry.path().filename().string().rfind("flight-request-", 0) == 0;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObservabilityHubTest, WatchdogFlagsOneStallEpisodeAndRearms) {
+  const std::string dir = ScratchDir("watchdog");
+  ObservabilityHubOptions options;
+  options.dir = dir;
+  options.poll_interval_seconds = 0.005;
+  options.stall_factor = 10.0;
+  ObservabilityHub hub(options);
+
+  // Synthetic coalescer probe: oldest waiter "stuck" far past the linger
+  // allowance, then recovered.
+  std::atomic<double> oldest{5.0};
+  hub.SetStallProbe(/*linger_seconds=*/0.01,
+                    [&oldest] { return oldest.load(); });
+  ASSERT_TRUE(WaitFor([&] { return hub.watchdog_stalls() >= 1; }));
+  // One episode = one counter tick + one dump, however long it persists.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(hub.watchdog_stalls(), 1u);
+  EXPECT_EQ(hub.flight().dumps(), 1u);
+
+  // Recovery below half the threshold re-arms; a second stall is a second
+  // episode.
+  oldest.store(0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  oldest.store(5.0);
+  ASSERT_TRUE(WaitFor([&] { return hub.watchdog_stalls() >= 2; }));
+  hub.ClearStallProbe();
+
+  bool found = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    found |= entry.path().filename().string().rfind("flight-stall-", 0) == 0;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObservabilityHubTest, ExitDumpAndStatsFoldIn) {
+  const std::string dir = ScratchDir("exit");
+  ResolverStats stats;
+  {
+    ObservabilityHubOptions options;
+    options.dir = dir;
+    options.dump_on_exit = true;
+    ObservabilityHub hub(options);
+    { ScopedSpan span(hub.pool_telemetry(), "resolve"); }
+    hub.SampleNow();
+    hub.AccumulateStats(&stats);
+    EXPECT_EQ(stats.spans_emitted, 1u);
+    EXPECT_GE(stats.metrics_samples, 1u);
+  }
+  EXPECT_TRUE(std::filesystem::exists(dir + "/flight-exit-1.jsonl"));
+}
+
+}  // namespace
+}  // namespace metricprox

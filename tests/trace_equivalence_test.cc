@@ -7,10 +7,14 @@
 // bonus the ring snapshot is cross-checked against the counters: the trace
 // is not just harmless, it is a faithful transcript of the decisions.
 
+#include <algorithm>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -25,8 +29,10 @@
 #include "core/logging.h"
 #include "data/datasets.h"
 #include "graph/partial_graph.h"
+#include "obs/hub.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "service/session.h"
 
 namespace metricprox {
 namespace {
@@ -217,6 +223,235 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<TraceEquivalenceTest::ParamType>&
            info) {
       return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+// --------------------------------------------------------------------------
+// The concurrent pooled extension (obs v2): attaching an ObservabilityHub to
+// a SessionPool running the full algorithm matrix CONCURRENTLY (one session
+// per algorithm) must also change nothing — per-session outputs stay
+// byte-identical to the untraced pooled run and every schedule-independent
+// counter matches — while the merged pool-wide trace carries well-formed
+// causal span trees whose coalescing identity reconciles with the
+// coalescer's own counters: sum(coalesce_submit counts) == pairs_shipped +
+// dedup_hits. This is the in-process twin of validate_telemetry.py --mode
+// spans, and the TSan payload for hub-attached pools.
+
+constexpr const char* kPoolAlgorithms[] = {"knn", "prim", "boruvka", "pam"};
+
+void RunPoolAlgorithm(BoundedResolver* r, const std::string& algorithm,
+                      std::vector<double>* blob) {
+  auto push_edge = [blob](const WeightedEdge& e) {
+    blob->push_back(e.u);
+    blob->push_back(e.v);
+    blob->push_back(e.weight);
+  };
+  if (algorithm == "prim") {
+    for (const WeightedEdge& e : PrimMst(r).edges) push_edge(e);
+  } else if (algorithm == "boruvka") {
+    for (const WeightedEdge& e : BoruvkaMst(r).edges) push_edge(e);
+  } else if (algorithm == "knn") {
+    for (const auto& row : BuildKnnGraph(r, KnnGraphOptions{3})) {
+      for (const KnnNeighbor& nb : row) {
+        blob->push_back(nb.id);
+        blob->push_back(nb.distance);
+      }
+    }
+  } else {  // pam
+    PamOptions options;
+    options.num_medoids = 4;
+    const ClusteringResult c = PamCluster(r, options);
+    for (const ObjectId m : c.medoids) blob->push_back(m);
+    for (const uint32_t a : c.assignment) blob->push_back(a);
+    blob->push_back(c.total_deviation);
+  }
+}
+
+struct PoolMatrixResult {
+  std::vector<RunOutput> runs;
+  CoalescerCounters coalescer;
+};
+
+PoolMatrixResult RunPoolMatrix(const Dataset& dataset, bool batch_transport,
+                               bool enable_coalescer, ObservabilityHub* hub) {
+  SessionPoolOptions options;
+  options.enable_coalescer = enable_coalescer;
+  options.hub = hub;
+  SessionPool pool(dataset.oracle.get(), options);
+  std::vector<std::unique_ptr<ResolverSession>> sessions;
+  for (size_t s = 0; s < std::size(kPoolAlgorithms); ++s) {
+    SessionOptions session_options;
+    session_options.tag = kPoolAlgorithms[s];
+    sessions.push_back(pool.OpenSession(session_options));
+  }
+  PoolMatrixResult result;
+  result.runs.resize(sessions.size());
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < sessions.size(); ++s) {
+    threads.emplace_back([&, s] {
+      sessions[s]->UseTriBounds();
+      sessions[s]->resolver().SetBatchTransport(batch_transport);
+      RunPoolAlgorithm(&sessions[s]->resolver(), kPoolAlgorithms[s],
+                       &result.runs[s].blob);
+      result.runs[s].stats = sessions[s]->Stats();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (pool.coalescer() != nullptr) {
+    result.coalescer = pool.coalescer()->counters();
+  }
+  return result;
+}
+
+/// The C++ version of the validator's spans mode, plus cross-checks the
+/// trace-stream identity against the coalescer's own accounting.
+void ExpectWellFormedSpanTrees(const std::vector<TraceEvent>& events,
+                               bool enable_coalescer,
+                               const CoalescerCounters& cc,
+                               const std::string& context) {
+  std::map<uint64_t, const TraceEvent*> begins;
+  std::map<uint64_t, const TraceEvent*> ends;
+  std::set<uint64_t> seqs;
+  uint64_t dedup_joins = 0;
+  for (const TraceEvent& e : events) {
+    // The pool clock stamps seq atomically before the sink locks, so the
+    // ring order may interleave — but every seq is handed out exactly once.
+    EXPECT_TRUE(seqs.insert(e.seq).second)
+        << context << " duplicate seq " << e.seq;
+    if (e.kind == TraceEventKind::kSpanBegin) {
+      EXPECT_TRUE(begins.emplace(e.span_id, &e).second)
+          << context << " span id reused: " << e.span_id;
+    } else if (e.kind == TraceEventKind::kSpanEnd) {
+      EXPECT_TRUE(ends.emplace(e.span_id, &e).second)
+          << context << " span ended twice: " << e.span_id;
+    } else if (e.kind == TraceEventKind::kCoalesceDedup) {
+      dedup_joins += e.count;
+    }
+  }
+  ASSERT_EQ(begins.size(), ends.size()) << context << " unclosed spans";
+  EXPECT_GT(begins.size(), 0u) << context;
+
+  const std::set<std::string> vocabulary = {
+      "resolve", "bound", "coalesce_submit", "batch_ship", "oracle_rtt"};
+  uint64_t submitted = 0;
+  uint64_t shipped = 0;
+  for (const auto& [id, end] : ends) {
+    const auto begin_it = begins.find(id);
+    ASSERT_NE(begin_it, begins.end())
+        << context << " span_end without begin: " << id;
+    const TraceEvent* begin = begin_it->second;
+    EXPECT_EQ(begin->name, end->name) << context << " span " << id;
+    EXPECT_EQ(begin->session_id, end->session_id) << context << " span " << id;
+    EXPECT_LT(begin->seq, end->seq) << context << " span " << id;
+    EXPECT_TRUE(vocabulary.count(begin->name) > 0)
+        << context << " unknown span name: " << begin->name;
+    if (begin->parent_span_id != 0) {
+      // Parents are implicit (thread-local stack), so a child's lifetime is
+      // strictly inside its parent's: begin after, end before.
+      const auto parent_begin = begins.find(begin->parent_span_id);
+      ASSERT_NE(parent_begin, begins.end())
+          << context << " dangling parent of span " << id;
+      const auto parent_end = ends.find(begin->parent_span_id);
+      ASSERT_NE(parent_end, ends.end()) << context;
+      EXPECT_LT(parent_begin->second->seq, begin->seq) << context;
+      EXPECT_GT(parent_end->second->seq, end->seq) << context;
+    }
+    if (end->link_span_id != 0) {
+      // A waiter's oracle_rtt links to the (possibly foreign-session)
+      // batch_ship span that actually carried its pairs.
+      const auto link = begins.find(end->link_span_id);
+      ASSERT_NE(link, begins.end())
+          << context << " dangling link from span " << id;
+      EXPECT_EQ(link->second->name, "batch_ship") << context;
+      EXPECT_EQ(end->name, "oracle_rtt") << context;
+    }
+    if (end->name == "resolve" || end->name == "bound") {
+      EXPECT_GE(begin->session_id, 1u)
+          << context << " session-side span without a session tag";
+    }
+    if (end->name == "batch_ship") {
+      // Flusher-side root span on the pool bundle: no session, no parent.
+      EXPECT_EQ(begin->session_id, 0u) << context;
+      EXPECT_EQ(begin->parent_span_id, 0u) << context;
+      shipped += end->count;
+    }
+    if (end->name == "coalesce_submit") submitted += end->count;
+  }
+
+  // The trace-stream identity: every submitted pair either went over the
+  // wire or joined another session's in-flight pair — and the span stream
+  // agrees exactly with the coalescer's counters.
+  EXPECT_EQ(submitted, shipped + dedup_joins) << context;
+  if (enable_coalescer) {
+    EXPECT_EQ(shipped, cc.pairs_shipped) << context;
+    EXPECT_EQ(dedup_joins, cc.dedup_hits) << context;
+  } else {
+    EXPECT_EQ(submitted, 0u) << context;
+    EXPECT_EQ(shipped, 0u) << context;
+    EXPECT_EQ(dedup_joins, 0u) << context;
+  }
+}
+
+class PooledTraceEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(PooledTraceEquivalenceTest, ConcurrentTracedPoolIsByteIdentical) {
+  const auto [batch_transport, enable_coalescer] = GetParam();
+  const std::string context = std::string("pooled") +
+                              (batch_transport ? "/batch" : "/serial") +
+                              (enable_coalescer ? "/coalesced" : "/direct");
+  const ObjectId n = 36;
+  const Dataset dataset = MakeRandomMetric(n, /*seed=*/1234);
+
+  const PoolMatrixResult bare =
+      RunPoolMatrix(dataset, batch_transport, enable_coalescer, nullptr);
+
+  constexpr size_t kRingCapacity = 1u << 20;
+  ObservabilityHubOptions hub_options;
+  hub_options.flight_capacity = kRingCapacity;
+  hub_options.tenant = "equivalence";
+  ObservabilityHub hub(hub_options);
+  const PoolMatrixResult traced =
+      RunPoolMatrix(dataset, batch_transport, enable_coalescer, &hub);
+
+  ASSERT_EQ(bare.runs.size(), traced.runs.size());
+  for (size_t s = 0; s < bare.runs.size(); ++s) {
+    ExpectIdentical(bare.runs[s], traced.runs[s],
+                    context + "/" + kPoolAlgorithms[s]);
+  }
+
+  const std::vector<TraceEvent> events = hub.flight().Snapshot();
+  ASSERT_LT(events.size(), kRingCapacity) << context << ": grow the ring";
+  ExpectWellFormedSpanTrees(events, enable_coalescer, traced.coalescer,
+                            context);
+
+  // Per session, the merged trace is still a faithful transcript: filter
+  // by session tag and replay the single-run cross-checks.
+  for (size_t s = 0; s < traced.runs.size(); ++s) {
+    std::vector<TraceEvent> session_events;
+    for (const TraceEvent& e : events) {
+      if (e.session_id == s + 1) session_events.push_back(e);
+    }
+    ExpectFaithfulTrace(traced.runs[s], session_events, batch_transport,
+                        context + "/" + kPoolAlgorithms[s]);
+  }
+
+  // The hub's fold-in matches the ring: one spans_emitted per span_begin.
+  uint64_t begins = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kSpanBegin) ++begins;
+  }
+  ResolverStats obs_stats;
+  hub.AccumulateStats(&obs_stats);
+  EXPECT_EQ(obs_stats.spans_emitted, begins) << context;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TransportByCoalescing, PooledTraceEquivalenceTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<PooledTraceEquivalenceTest::ParamType>&
+           info) {
+      return std::string(std::get<0>(info.param) ? "batch" : "serial") +
+             (std::get<1>(info.param) ? "_coalesced" : "_direct");
     });
 
 }  // namespace

@@ -95,6 +95,29 @@
 //                            JSONL (tools/schema/trace_schema.json)
 //   --trace-limit=<k>        keep at most k events (0 = unlimited); the
 //                            footer reports how many were dropped
+//
+// Live observability (docs/ARCHITECTURE.md, "Live observability"):
+//   --obs-dir=<dir>          attach an ObservabilityHub: causal spans
+//                            (resolve/bound/oracle_rtt, plus the coalescer
+//                            span vocabulary under session pools) flow into
+//                            a flight-recorder ring teed in front of the
+//                            --trace sink, gauges and counters land in
+//                            <dir>/metrics.jsonl + <dir>/metrics.prom, and
+//                            flight-*.jsonl dumps freeze the last events on
+//                            resource exhaustion, deadline blowups, CHECK
+//                            failures, stalls, or request
+//   --metrics-interval=<s>   metrics sampler period (requires --obs-dir;
+//                            0 = only the final on-exit sample)
+//   --obs-dump-on-exit       always write a flight-exit-*.jsonl dump at
+//                            shutdown (the deterministic CI artifact)
+//
+// Live-run inspection (no dataset needed):
+//   mpx obs export --obs-dir=<dir>   print the current Prometheus-style
+//                                    exposition (<dir>/metrics.prom)
+//   mpx obs dump   --obs-dir=<dir>   ask the live run to snapshot its
+//                                    flight ring (touches DUMP_REQUEST;
+//                                    the hub polls and writes
+//                                    flight-request-*.jsonl)
 
 #include <bit>
 #include <cmath>
@@ -126,6 +149,7 @@
 #include "graph/graph_io.h"
 #include "harness/flags.h"
 #include "harness/table.h"
+#include "obs/hub.h"
 #include "obs/report.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -261,6 +285,10 @@ int Run(const std::string& command, const Flags& flags) {
   const int64_t trace_limit = flags.GetInt("trace-limit", 0);
   const std::string simd_flag = flags.GetString("simd", "");
 
+  const std::string obs_dir = flags.GetString("obs-dir", "");
+  const double metrics_interval = flags.GetDouble("metrics-interval", 0.0);
+  const bool obs_dump_on_exit = flags.GetBool("obs-dump-on-exit", false);
+
   const double approx_eps = flags.GetDouble("eps", 0.0);
   const bool has_budget_flag = flags.Has("oracle-budget");
   const int64_t oracle_budget_raw = flags.GetInt("oracle-budget", 0);
@@ -297,6 +325,7 @@ int Run(const std::string& command, const Flags& flags) {
            RequireNonNegative("--eps", approx_eps),
            RequireNonNegative("--weak-floor", weak_floor),
            RequireNonNegative("--weak-cost", weak_cost),
+           RequireNonNegative("--metrics-interval", metrics_interval),
        }) {
     if (!s.ok()) return Fail(s.ToString());
   }
@@ -396,6 +425,10 @@ int Run(const std::string& command, const Flags& flags) {
   if (trace_limit > 0 && trace_path.empty()) {
     return Fail("--trace-limit requires --trace=<path>");
   }
+  if ((metrics_interval > 0.0 || obs_dump_on_exit) && obs_dir.empty()) {
+    return Fail(
+        "--metrics-interval/--obs-dump-on-exit require --obs-dir=<dir>");
+  }
   if (store_no_warm_start && store_path.empty()) {
     return Fail("--store-no-warm-start requires --store=<path>");
   }
@@ -483,25 +516,42 @@ int Run(const std::string& command, const Flags& flags) {
   const std::string trace_id = trace_id_stream.str();
   std::optional<Telemetry> telemetry;
   std::unique_ptr<JsonlTraceSink> trace_sink;
-  // An approximate audit needs the slack_realized_error histogram to check
-  // realized error against --eps, so the bundle is forced on even without
-  // --stats-json/--trace (attachment is proven side-effect-free).
-  if (!stats_json.empty() || !trace_path.empty() ||
-      (audit && (approx_active || weak_active))) {
-    telemetry.emplace();
-    telemetry->trace_id = trace_id;
-    if (!trace_path.empty()) {
-      trace_sink = std::make_unique<JsonlTraceSink>(
-          trace_path, trace_id, static_cast<uint64_t>(trace_limit));
-      if (!trace_sink->status().ok()) {
-        return Fail("cannot open --trace file: " +
-                    trace_sink->status().ToString());
-      }
-      telemetry->sink = trace_sink.get();
+  // Declared after trace_sink so the hub (and its final flight dump /
+  // metrics sample) shuts down while the trace sink still exists.
+  std::unique_ptr<ObservabilityHub> hub;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<JsonlTraceSink>(
+        trace_path, trace_id, static_cast<uint64_t>(trace_limit));
+    if (!trace_sink->status().ok()) {
+      return Fail("cannot open --trace file: " +
+                  trace_sink->status().ToString());
     }
   }
+  if (!obs_dir.empty()) {
+    // Live observability: the hub's pool-level bundle replaces the local
+    // one. Its flight recorder tees every event into the ring (and onward
+    // to the --trace sink when present), its sampler writes metrics.jsonl/
+    // metrics.prom under --obs-dir, and CHECK failures dump the ring.
+    ObservabilityHubOptions hub_options;
+    hub_options.dir = obs_dir;
+    hub_options.metrics_interval_seconds = metrics_interval;
+    hub_options.dump_on_exit = obs_dump_on_exit;
+    hub_options.trace_id = trace_id;
+    hub_options.sink = trace_sink.get();
+    hub = std::make_unique<ObservabilityHub>(std::move(hub_options));
+    hub->InstallFatalHook();
+  } else if (!stats_json.empty() || !trace_path.empty() ||
+             (audit && (approx_active || weak_active))) {
+    // An approximate audit needs the slack_realized_error histogram to
+    // check realized error against --eps, so the bundle is forced on even
+    // without --stats-json/--trace (attachment is proven side-effect-free).
+    telemetry.emplace();
+    telemetry->trace_id = trace_id;
+    if (trace_sink != nullptr) telemetry->sink = trace_sink.get();
+  }
   Telemetry* const telemetry_ptr =
-      telemetry.has_value() ? &*telemetry : nullptr;
+      hub != nullptr ? hub->pool_telemetry()
+                     : (telemetry.has_value() ? &*telemetry : nullptr);
   const auto attach_telemetry = [&] {
     costed.SetTelemetry(telemetry_ptr);
     if (retrying != nullptr) retrying->SetTelemetry(telemetry_ptr);
@@ -769,6 +819,22 @@ int Run(const std::string& command, const Flags& flags) {
   stats.store_loaded_edges = warm_loaded;
   if (persistent != nullptr) persistent->AccumulateStats(&stats);
   stats.simulated_oracle_seconds = costed.simulated_seconds();
+  if (hub != nullptr) {
+    // Headline run counters land in the registry under the pool cell
+    // (session 0) so `mpx obs export` has them in the exposition.
+    MetricsRegistry& metrics = hub->metrics();
+    const std::string& tenant = hub->options().tenant;
+    metrics.CounterAdd(tenant, 0, "oracle_calls", stats.oracle_calls);
+    metrics.CounterAdd(tenant, 0, "decided_by_bounds",
+                       stats.decided_by_bounds);
+    metrics.CounterAdd(tenant, 0, "decided_by_cache", stats.decided_by_cache);
+    metrics.CounterAdd(tenant, 0, "comparisons", stats.comparisons);
+    metrics.GaugeSet(tenant, 0, "wall_seconds", wall);
+    // One explicit sample so even a shorter-than-interval run reports (and
+    // persists) a time-series point before the counters are folded in.
+    hub->SampleNow();
+    hub->AccumulateStats(&stats);
+  }
 
   RunInfo run_info;
   run_info.command = command;
@@ -905,6 +971,51 @@ int RunStore(const std::string& verb, const Flags& flags) {
   return Fail("unknown store verb: " + verb + " (info|verify|compact)");
 }
 
+/// The `mpx obs <export|dump>` live-run verbs. Both operate purely on the
+/// --obs-dir artifacts, so they can inspect a run owned by another process.
+int RunObs(const std::string& verb, const Flags& flags) {
+  const std::string dir = flags.GetString("obs-dir", "");
+  if (dir.empty()) {
+    return Fail("mpx obs " + verb + " requires --obs-dir=<dir>");
+  }
+  if (const Status s = flags.FailOnUnused(); !s.ok()) {
+    return Fail(s.ToString());
+  }
+
+  if (verb == "export") {
+    const std::string path = dir + "/metrics.prom";
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return Fail("no exposition at " + path +
+                  " (is a run with --obs-dir writing here, and has its "
+                  "sampler ticked at least once?)");
+    }
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+      std::fwrite(buf, 1, got, stdout);
+    }
+    std::fclose(file);
+    return 0;
+  }
+
+  if (verb == "dump") {
+    // The hub's background thread polls for this sentinel and answers with
+    // a flight-request-*.jsonl snapshot, then removes the file.
+    const std::string sentinel = dir + "/DUMP_REQUEST";
+    if (const Status s = WriteFile(sentinel, ""); !s.ok()) {
+      return Fail(s.ToString());
+    }
+    std::printf(
+        "dump requested: the live run will write flight-request-*.jsonl "
+        "under %s within its poll interval\n",
+        dir.c_str());
+    return 0;
+  }
+
+  return Fail("unknown obs verb: " + verb + " (export|dump)");
+}
+
 /// The command dispatch, extracted so Run() can execute it inside the
 /// resolver's fallible scope (twice under --audit). Returns a process exit
 /// code; `*checksum` receives the command's headline value (MST weight,
@@ -1031,10 +1142,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: mpx <mst|knn|cluster|join|diameter> [--flags]\n"
                  "       mpx store <info|verify|compact> --store=<path>\n"
-                 "run `head -84 tools/mpx.cc` for the flag reference\n");
+                 "       mpx obs <export|dump> --obs-dir=<dir>\n"
+                 "run `head -120 tools/mpx.cc` for the flag reference\n");
     return 1;
   }
   const std::string command = argv[1];
+  if (command == "obs") {
+    if (argc < 3 || argv[2][0] == '-') {
+      std::fprintf(stderr, "usage: mpx obs <export|dump> --obs-dir=<dir>\n");
+      return 1;
+    }
+    const std::string verb = argv[2];
+    auto flags = metricprox::Flags::Parse(argc - 2, argv + 2);
+    if (!flags.ok()) {
+      std::fprintf(stderr, "mpx: %s\n", flags.status().ToString().c_str());
+      return 1;
+    }
+    return metricprox::RunObs(verb, *flags);
+  }
   if (command == "store") {
     if (argc < 3 || argv[2][0] == '-') {
       std::fprintf(stderr,

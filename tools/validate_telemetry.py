@@ -7,13 +7,33 @@ required, properties, additionalProperties (boolean), enum, const,
 minimum, maximum, and $ref into the document's $defs.
 
 Usage:
-  validate_telemetry.py report <stats.json>   # mpx --stats-json output
-  validate_telemetry.py trace  <trace.jsonl>  # mpx --trace output
-  validate_telemetry.py bench  <BENCH_*.json> # bench BenchJson output
+  validate_telemetry.py report  <stats.json>    # mpx --stats-json output
+  validate_telemetry.py trace   <trace.jsonl>   # mpx --trace output
+  validate_telemetry.py bench   <BENCH_*.json>  # bench BenchJson output
+  validate_telemetry.py spans   <trace.jsonl>   # span-tree well-formedness
+  validate_telemetry.py metrics <metrics.jsonl> # --obs-dir time-series
 
 Beyond per-object schema checks, `trace` mode verifies the stream shape
 (header first, footer last), strictly increasing seq values, and that the
 footer's events_written equals the number of event lines.
+
+`spans` mode re-runs the `trace` checks, then verifies the causal-span
+stream: every span_end matches an earlier span_begin of the same name,
+every parent_span_id / link_span_id references a known span, a parent
+begins before its children, and (for coalesced runs) the cross-session
+accounting identity holds — the summed coalesce_submit span cardinality
+equals the summed batch_ship cardinality plus the coalesce_dedup events,
+i.e. every submitted pair was either shipped over the wire exactly once or
+joined a sibling session's in-flight pair. A flight-recorder dump
+(schema metricprox-flight) is also accepted: its ring may have evicted the
+oldest begins, so tree completeness is only enforced for spans whose
+begin survived.
+
+`metrics` mode validates a metrics.jsonl time-series: one self-describing
+JSON object per sampler tick with strictly increasing tick numbers,
+non-decreasing timestamps, and well-formed counter/gauge/histogram
+samples (counters must also be non-decreasing per (tenant, session,
+metric) cell across ticks).
 
 Exit status 0 = valid; 1 = validation failure (details on stderr).
 """
@@ -195,6 +215,233 @@ def validate_trace(path):
           f"{footer['events_dropped']} dropped, kinds: {', '.join(kinds)})")
 
 
+def _load_event_stream(path):
+    """Loads a trace or flight-dump JSONL: (header, events, footer, kind).
+
+    `kind` is "trace" or "flight". Schema-validates every event line and
+    checks strictly increasing seq; trace footers additionally must match
+    the event-line count (a flight ring legitimately evicts).
+    """
+    schema = load_schema("trace_schema.json")
+    with open(path, encoding="utf-8") as f:
+        lines = [line for line in f.read().splitlines() if line]
+    if len(lines) < 2:
+        raise ValidationError("stream needs at least a header and a footer")
+    objects = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            objects.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"line {number}: not JSON: {e}") from e
+
+    header, events, footer = objects[0], objects[1:-1], objects[-1]
+    if header.get("schema") == "metricprox-flight":
+        stream_kind = "flight"
+        if header.get("schema_version") != 1:
+            raise ValidationError("flight header: schema_version != 1")
+        if "reason" not in header:
+            raise ValidationError("flight header: missing reason")
+        if footer.get("flight_footer") is not True:
+            raise ValidationError("flight footer: missing flight_footer")
+        if footer.get("events_written") != len(events):
+            raise ValidationError(
+                f"flight footer says events_written="
+                f"{footer.get('events_written')}, file has {len(events)}")
+    else:
+        stream_kind = "trace"
+        validate(header, {"$ref": "#/$defs/header"}, schema, "header")
+        validate(footer, {"$ref": "#/$defs/footer"}, schema, "footer")
+        if footer["events_written"] != len(events):
+            raise ValidationError(
+                f"footer says events_written={footer['events_written']}, "
+                f"file has {len(events)} event lines")
+    last_seq = -1
+    for k, event in enumerate(events):
+        validate(event, {"$ref": "#/$defs/event"}, schema, f"event[{k}]")
+        if event["seq"] <= last_seq:
+            raise ValidationError(
+                f"event[{k}]: seq {event['seq']} not increasing "
+                f"(previous {last_seq})")
+        last_seq = event["seq"]
+    return header, events, footer, stream_kind
+
+
+def validate_spans(path):
+    _, events, _, stream_kind = _load_event_stream(path)
+    ring = stream_kind == "flight"  # oldest begins may be evicted
+
+    # Pass 1: collect begins. span ids are pool-unique (one TraceClock), so
+    # a reused id is a bug, not an artifact of merging sessions.
+    begins = {}  # span_id -> begin event
+    ends = {}    # span_id -> end event
+    for k, event in enumerate(events):
+        kind = event["kind"]
+        if kind == "span_begin":
+            sid = event.get("span_id")
+            if not sid:
+                raise ValidationError(f"event[{k}]: span_begin without id")
+            if sid in begins:
+                raise ValidationError(f"event[{k}]: span id {sid} reused")
+            begins[sid] = event
+        elif kind == "span_end":
+            sid = event.get("span_id")
+            if not sid:
+                raise ValidationError(f"event[{k}]: span_end without id")
+            if sid in ends:
+                raise ValidationError(
+                    f"event[{k}]: span id {sid} ended twice")
+            ends[sid] = event
+
+    # Pass 2: structural checks.
+    for sid, end in ends.items():
+        begin = begins.get(sid)
+        if begin is None:
+            if ring:
+                continue  # its begin fell off the ring
+            raise ValidationError(
+                f"span {sid} ({end.get('name')}): end without begin")
+        if begin.get("name") != end.get("name"):
+            raise ValidationError(
+                f"span {sid}: begin name {begin.get('name')!r} != end name "
+                f"{end.get('name')!r}")
+        if begin.get("session_id", 0) != end.get("session_id", 0):
+            raise ValidationError(
+                f"span {sid}: begin/end session_id mismatch")
+        if begin["seq"] >= end["seq"]:
+            raise ValidationError(f"span {sid}: begin seq after end seq")
+    for sid, begin in begins.items():
+        parent = begin.get("parent_span_id", 0)
+        if parent:
+            pbegin = begins.get(parent)
+            if pbegin is None:
+                if not ring:
+                    raise ValidationError(
+                        f"span {sid} ({begin.get('name')}): unknown parent "
+                        f"{parent}")
+            elif pbegin["seq"] >= begin["seq"]:
+                raise ValidationError(
+                    f"span {sid}: parent {parent} begins after child")
+            pend = ends.get(parent)
+            if pend is not None and sid in ends and (
+                    pend["seq"] <= ends[sid]["seq"]):
+                raise ValidationError(
+                    f"span {sid}: parent {parent} ends before child ends "
+                    f"(spans are strictly nested per thread)")
+        if not ring and sid not in ends:
+            raise ValidationError(
+                f"span {sid} ({begin.get('name')}): begin without end")
+    known = set(begins) | set(ends)
+    for sid, end in ends.items():
+        link = end.get("link_span_id", 0)
+        if link and link not in known and not ring:
+            raise ValidationError(
+                f"span {sid}: link_span_id {link} references no span")
+
+    # Pass 3: the cross-session coalescing identity. Over a complete trace,
+    # every pair counted by a coalesce_submit span was either shipped in
+    # exactly one batch_ship round-trip or joined a pair another submission
+    # already had in flight (one coalesce_dedup event each).
+    submitted = sum(e.get("count", 0) for e in ends.values()
+                    if e.get("name") == "coalesce_submit")
+    shipped = sum(e.get("count", 0) for e in ends.values()
+                  if e.get("name") == "batch_ship")
+    dedup = sum(e.get("count", 1) for e in events
+                if e["kind"] == "coalesce_dedup")
+    if not ring and submitted != shipped + dedup:
+        raise ValidationError(
+            f"coalescing identity violated: submitted {submitted} != "
+            f"shipped {shipped} + dedup {dedup}")
+
+    # Per-session oracle_rtt spans must link somewhere real when coalescing
+    # was active (the direct path leaves link unset).
+    names = {}
+    for sid, begin in begins.items():
+        names.setdefault(begin.get("name"), 0)
+        names[begin.get("name")] += 1
+    summary = ", ".join(f"{name}={count}"
+                        for name, count in sorted(names.items()))
+    print(f"spans OK: {path} ({len(begins)} begins, {len(ends)} ends"
+          f"{' [ring]' if ring else ''}; submitted={submitted} "
+          f"shipped={shipped} dedup={dedup}; {summary})")
+
+
+METRIC_SAMPLE_SCHEMA = {
+    "type": "object",
+    "required": ["tenant", "session", "metric", "kind"],
+    "additionalProperties": False,
+    "properties": {
+        "tenant": {"type": "string"},
+        "session": {"type": "integer", "minimum": 0},
+        "metric": {"type": "string"},
+        "kind": {"enum": ["counter", "gauge", "histogram"]},
+        "value": {"type": "number"},
+        "count": {"type": "integer", "minimum": 0},
+        "sum": {"type": ["number", "null"]},
+        "p50": {"type": ["number", "null"]},
+        "p90": {"type": ["number", "null"]},
+        "p99": {"type": ["number", "null"]},
+    },
+}
+
+METRIC_LINE_SCHEMA = {
+    "type": "object",
+    "required": ["schema", "schema_version", "tick", "t_ns", "samples"],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"const": "metricprox-metrics"},
+        "schema_version": {"const": 1},
+        "tick": {"type": "integer", "minimum": 1},
+        "t_ns": {"type": "integer", "minimum": 0},
+        "samples": {"type": "array"},
+    },
+}
+
+
+def validate_metrics(path):
+    with open(path, encoding="utf-8") as f:
+        lines = [line for line in f.read().splitlines() if line]
+    if not lines:
+        raise ValidationError("metrics time-series is empty")
+    last_tick, last_t_ns = 0, -1
+    counters = {}  # (tenant, session, metric) -> last value
+    total_samples = 0
+    for number, line in enumerate(lines, start=1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise ValidationError(f"line {number}: not JSON: {e}") from e
+        validate(obj, METRIC_LINE_SCHEMA, METRIC_LINE_SCHEMA,
+                 path=f"line[{number}]")
+        if obj["tick"] <= last_tick:
+            raise ValidationError(
+                f"line {number}: tick {obj['tick']} not increasing "
+                f"(previous {last_tick})")
+        if obj["t_ns"] < last_t_ns:
+            raise ValidationError(
+                f"line {number}: t_ns went backwards")
+        last_tick, last_t_ns = obj["tick"], obj["t_ns"]
+        for k, sample in enumerate(obj["samples"]):
+            where = f"line[{number}].samples[{k}]"
+            validate(sample, METRIC_SAMPLE_SCHEMA, METRIC_SAMPLE_SCHEMA,
+                     path=where)
+            kind = sample["kind"]
+            if kind in ("counter", "gauge") and "value" not in sample:
+                raise ValidationError(f"{where}: {kind} without value")
+            if kind == "histogram" and "count" not in sample:
+                raise ValidationError(f"{where}: histogram without count")
+            if kind == "counter":
+                cell = (sample["tenant"], sample["session"],
+                        sample["metric"])
+                if sample["value"] < counters.get(cell, 0):
+                    raise ValidationError(
+                        f"{where}: counter {cell} went backwards "
+                        f"({counters[cell]} -> {sample['value']})")
+                counters[cell] = sample["value"]
+            total_samples += 1
+    print(f"metrics OK: {path} ({len(lines)} ticks, {total_samples} "
+          f"samples, {len(counters)} counter cells)")
+
+
 def validate_bench(path):
     with open(path, encoding="utf-8") as f:
         bench = json.load(f)
@@ -249,13 +496,19 @@ def validate_kernel_row(row, k):
 
 
 def main(argv):
-    if len(argv) != 3 or argv[1] not in ("report", "trace", "bench"):
+    # Both spellings are accepted: `spans file` and `--mode spans file`.
+    if len(argv) == 4 and argv[1] == "--mode":
+        argv = [argv[0], argv[2], argv[3]]
+    modes = ("report", "trace", "bench", "spans", "metrics")
+    if len(argv) != 3 or argv[1] not in modes:
         print(__doc__, file=sys.stderr)
         return 2
     try:
         {"report": validate_report,
          "trace": validate_trace,
-         "bench": validate_bench}[argv[1]](argv[2])
+         "bench": validate_bench,
+         "spans": validate_spans,
+         "metrics": validate_metrics}[argv[1]](argv[2])
     except ValidationError as e:
         print(f"validate_telemetry: {argv[2]}: {e}", file=sys.stderr)
         return 1
